@@ -1,0 +1,49 @@
+//! Wall-clock companion to Table 6 / Figure 8: the animation query set
+//! under regular vs areas-of-interest tiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tilestore_bench::schemes::NamedScheme;
+use tilestore_bench::workloads::animation::Animation;
+use tilestore_engine::{Database, MddType};
+use tilestore_geometry::DefDomain;
+use tilestore_tiling::Scheme;
+
+fn load(anim: &Animation, scheme: Scheme) -> Database<tilestore_storage::MemPageStore> {
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "clip",
+        MddType::new(Animation::cell_type(), DefDomain::unlimited(3).unwrap()),
+        scheme,
+    )
+    .unwrap();
+    db.insert("clip", &anim.generate()).unwrap();
+    db
+}
+
+fn bench_animation_queries(c: &mut Criterion) {
+    let anim = Animation::table5();
+    let queries = anim.queries();
+    let schemes = vec![
+        NamedScheme::regular(3, 64),
+        NamedScheme::areas_of_interest(256, anim.areas.clone()),
+    ];
+    let mut group = c.benchmark_group("animation_query");
+    group.sample_size(20);
+    for named in &schemes {
+        let db = load(&anim, named.scheme.clone());
+        for q in &queries {
+            group.throughput(Throughput::Bytes(q.region.size_bytes(3).unwrap()));
+            group.bench_with_input(
+                BenchmarkId::new(&named.name, q.label),
+                &q.region,
+                |b, region| {
+                    b.iter(|| db.range_query("clip", region).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_animation_queries);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Wall-clock companion to Table 4 / Figure 7: the Table 3 query set over
+//! the sales cube under regular vs directional tiling.
+//!
+//! The `repro` binary produces the deterministic cost-model version; this
+//! bench measures real end-to-end query latency through the in-memory
+//! storage stack (index lookup, BLOB fetch, run-copy composition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tilestore_bench::schemes::NamedScheme;
+use tilestore_bench::workloads::sales::SalesCube;
+use tilestore_engine::{Database, MddType};
+use tilestore_geometry::{DefDomain, Domain};
+use tilestore_tiling::Scheme;
+
+/// A one-year cube keeps bench time moderate while preserving the category
+/// structure.
+fn small_cube() -> (SalesCube, Vec<(String, Domain)>) {
+    let full = SalesCube::table1();
+    let domain: Domain = "[1:365,1:60,1:100]".parse().unwrap();
+    let cube = SalesCube {
+        domain: domain.clone(),
+        partitions: full
+            .partitions
+            .iter()
+            .map(|p| {
+                let hi = domain.hi(p.axis);
+                let mut points: Vec<i64> =
+                    p.points.iter().copied().filter(|&x| x < hi).collect();
+                points.push(hi);
+                tilestore_tiling::AxisPartition::new(p.axis, points)
+            })
+            .collect(),
+    };
+    let queries = cube
+        .queries()
+        .into_iter()
+        .filter(|q| q.region.hi(0) <= 365)
+        .map(|q| (q.label.to_string(), q.region))
+        .collect();
+    (cube, queries)
+}
+
+fn load(cube: &SalesCube, scheme: Scheme) -> Database<tilestore_storage::MemPageStore> {
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "cube",
+        MddType::new(SalesCube::cell_type(), DefDomain::unlimited(3).unwrap()),
+        scheme,
+    )
+    .unwrap();
+    db.insert("cube", &cube.generate(42)).unwrap();
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (cube, queries) = small_cube();
+    let schemes = vec![
+        NamedScheme::regular(3, 32),
+        NamedScheme::directional(64, cube.partitions_3p()),
+    ];
+    let mut group = c.benchmark_group("sales_range_query");
+    group.sample_size(20);
+    for named in &schemes {
+        let db = load(&cube, named.scheme.clone());
+        for (label, region) in &queries {
+            group.throughput(Throughput::Bytes(region.size_bytes(4).unwrap()));
+            group.bench_with_input(
+                BenchmarkId::new(&named.name, label),
+                region,
+                |b, region| {
+                    b.iter(|| db.range_query("cube", region).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let (cube, _) = small_cube();
+    let data = cube.generate(42);
+    let mut group = c.benchmark_group("sales_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.size_bytes()));
+    for named in [
+        NamedScheme::regular(3, 32),
+        NamedScheme::directional(64, cube.partitions_3p()),
+    ] {
+        group.bench_function(&named.name, |b| {
+            b.iter(|| {
+                let mut db = Database::in_memory().unwrap();
+                db.create_object(
+                    "cube",
+                    MddType::new(SalesCube::cell_type(), DefDomain::unlimited(3).unwrap()),
+                    named.scheme.clone(),
+                )
+                .unwrap();
+                db.insert("cube", &data).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_load);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Cost of the tiling algorithms themselves (§6.1 observes that "the time
+//! taken by the tiling algorithms to calculate tiling" is negligible
+//! against load time — this bench quantifies it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tilestore_bench::workloads::sales::SalesCube;
+use tilestore_geometry::Domain;
+use tilestore_tiling::{
+    AlignedTiling, AreasOfInterestTiling, DirectionalTiling, StatisticTiling, AccessRecord,
+    TilingStrategy,
+};
+
+fn bench_partition_algorithms(c: &mut Criterion) {
+    let cube = SalesCube::table1();
+    let domain = cube.domain.clone();
+    let mut group = c.benchmark_group("tiling_partition");
+
+    group.bench_function("aligned_regular_32K", |b| {
+        let strat = AlignedTiling::regular(3, 32 * 1024);
+        b.iter(|| strat.partition(&domain, 4).unwrap());
+    });
+
+    group.bench_function("directional_3P_64K", |b| {
+        let strat = DirectionalTiling::new(cube.partitions_3p(), 64 * 1024);
+        b.iter(|| strat.partition(&domain, 4).unwrap());
+    });
+
+    let anim_domain: Domain = "[0:120,0:159,0:119]".parse().unwrap();
+    let areas = vec![
+        "[0:120,80:120,25:60]".parse().unwrap(),
+        "[0:120,70:159,25:105]".parse().unwrap(),
+    ];
+    group.bench_function("areas_of_interest_256K", |b| {
+        let strat = AreasOfInterestTiling::new(areas.clone(), 256 * 1024);
+        b.iter(|| strat.partition(&anim_domain, 3).unwrap());
+    });
+
+    for n_accesses in [10usize, 100, 400] {
+        let log: Vec<AccessRecord> = (0..n_accesses)
+            .map(|i| {
+                let x = (i as i64 * 13) % 100;
+                let y = (i as i64 * 29) % 120;
+                AccessRecord::new(
+                    Domain::from_bounds(&[(0, 120), (x, x + 20), (y.min(99), y.min(99) + 20)])
+                        .unwrap(),
+                    1 + (i as u64 % 5),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("statistic_clustering", n_accesses),
+            &log,
+            |b, log| {
+                let strat = StatisticTiling::new(log.clone(), 10, 2, 256 * 1024);
+                b.iter(|| strat.clusters().unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Workload generators and the experiment harness reproducing the ICDE'99
+//! evaluation (§6 of the paper).
+//!
+//! * [`workloads::sales`] — the Table 1/3 sales data cubes (directional
+//!   tiling benchmark, §6.1);
+//! * [`workloads::animation`] — the Table 5 animation object
+//!   (areas-of-interest benchmark, §6.2);
+//! * [`schemes`] — the named tiling schemes of Tables 2 and 5;
+//! * [`harness`] — cold-replay of a query set per scheme, producing the
+//!   paper's `t_o` / `t_ix` / `t_cpu` decomposition and speedup tables;
+//! * [`report`] — plain-text table rendering.
+//!
+//! The `repro` binary regenerates every table and figure:
+//! `cargo run -p tilestore-bench --release --bin repro -- all`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod harness;
+pub mod report;
+pub mod schemes;
+pub mod workloads;

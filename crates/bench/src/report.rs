@@ -1,0 +1,114 @@
+//! Plain-text table rendering for the experiment reports.
+
+/// A simple left-padded text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds with millisecond resolution.
+#[must_use]
+pub fn secs(t: f64) -> String {
+    format!("{t:.3}s")
+}
+
+/// Formats a speedup factor like the paper's tables (one decimal).
+#[must_use]
+pub fn speedup(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Formats a byte count human-readably.
+#[must_use]
+pub fn bytes(n: u64) -> String {
+    if n >= 1024 * 1024 {
+        format!("{:.1}MB", n as f64 / (1024.0 * 1024.0))
+    } else if n >= 1024 {
+        format!("{:.1}KB", n as f64 / 1024.0)
+    } else {
+        format!("{n}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(&["q", "t_o"]);
+        t.row(vec!["a".into(), "1.23".into()]);
+        t.row(vec!["long-label".into(), "0.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('q') && lines[0].contains("t_o"));
+        assert!(lines[3].starts_with("long-label"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.2345), "1.234s");
+        assert_eq!(speedup(2.666), "2.7");
+        assert_eq!(speedup(f64::INFINITY), "inf");
+        assert_eq!(bytes(500), "500B");
+        assert_eq!(bytes(52 * 1024 + 512), "52.5KB");
+        assert_eq!(bytes(17 * 1024 * 1024), "17.0MB");
+    }
+}

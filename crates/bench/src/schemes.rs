@@ -1,0 +1,141 @@
+//! The named tiling schemes of Tables 2 and 5.
+
+use tilestore_tiling::{
+    AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Scheme,
+};
+use tilestore_geometry::Domain;
+
+/// A tiling scheme under test, with its paper name (`Reg32K`, `Dir64K3P`,
+/// `AI256K`, …).
+#[derive(Debug, Clone)]
+pub struct NamedScheme {
+    /// The paper's scheme name.
+    pub name: String,
+    /// The scheme itself.
+    pub scheme: Scheme,
+}
+
+impl NamedScheme {
+    /// A regular tiling scheme `Reg<kb>K` of dimensionality `dim`.
+    #[must_use]
+    pub fn regular(dim: usize, kb: u64) -> Self {
+        NamedScheme {
+            name: format!("Reg{kb}K"),
+            scheme: Scheme::Aligned(AlignedTiling::regular(dim, kb * 1024)),
+        }
+    }
+
+    /// A directional tiling scheme `Dir<kb>K<n>P` over the given partitions.
+    #[must_use]
+    pub fn directional(kb: u64, partitions: Vec<AxisPartition>) -> Self {
+        let n = partitions.len();
+        NamedScheme {
+            name: format!("Dir{kb}K{n}P"),
+            scheme: Scheme::Directional(DirectionalTiling::new(partitions, kb * 1024)),
+        }
+    }
+
+    /// An areas-of-interest scheme `AI<kb>K` over the given areas.
+    #[must_use]
+    pub fn areas_of_interest(kb: u64, areas: Vec<Domain>) -> Self {
+        NamedScheme {
+            name: format!("AI{kb}K"),
+            scheme: Scheme::AreasOfInterest(AreasOfInterestTiling::new(areas, kb * 1024)),
+        }
+    }
+}
+
+/// The Table 2 scheme set for the sales cube: `Reg{32,64,128,256}K`,
+/// `Dir{32,64}K{2P,3P}`, `Dir{128,256}K2P`.
+///
+/// §6.1: "Directional tiling with tiles bigger than 64K and partitions in
+/// the 3 dimensions was not performed, since the result would be the same
+/// as that for Dir64K3P" — the 3-D category blocks already fit in 64 KB.
+#[must_use]
+pub fn table2_schemes(
+    partitions_2p: &[AxisPartition],
+    partitions_3p: &[AxisPartition],
+) -> Vec<NamedScheme> {
+    let mut schemes = Vec::new();
+    for kb in [32, 64, 128, 256] {
+        schemes.push(NamedScheme::regular(3, kb));
+    }
+    for kb in [32, 64] {
+        schemes.push(NamedScheme::directional(kb, partitions_2p.to_vec()));
+        schemes.push(NamedScheme::directional(kb, partitions_3p.to_vec()));
+    }
+    for kb in [128, 256] {
+        schemes.push(NamedScheme::directional(kb, partitions_2p.to_vec()));
+    }
+    schemes
+}
+
+/// The Table 5 scheme set for the animation: `Reg{32..256}K` and
+/// `AI{32..256}K`.
+#[must_use]
+pub fn table5_schemes(areas: &[Domain]) -> Vec<NamedScheme> {
+    let mut schemes = Vec::new();
+    for kb in [32, 64, 128, 256] {
+        schemes.push(NamedScheme::regular(3, kb));
+    }
+    for kb in [32, 64, 128, 256] {
+        schemes.push(NamedScheme::areas_of_interest(kb, areas.to_vec()));
+    }
+    schemes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::sales::SalesCube;
+
+    #[test]
+    fn table2_has_ten_schemes_with_paper_names() {
+        let cube = SalesCube::table1();
+        let schemes = table2_schemes(&cube.partitions_2p(), &cube.partitions_3p());
+        let names: Vec<&str> = schemes.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Reg32K", "Reg64K", "Reg128K", "Reg256K", "Dir32K2P", "Dir32K3P",
+                "Dir64K2P", "Dir64K3P", "Dir128K2P", "Dir256K2P",
+            ]
+        );
+    }
+
+    #[test]
+    fn dir3p_category_blocks_are_near_64k() {
+        // §6.1 omits Dir128K3P/Dir256K3P "since the result would be the
+        // same as that for Dir64K3P": the 3-D category blocks sit at or
+        // just above 64 KB (the largest — a 31-day month × the 26-product
+        // class × the 26-store district — is ~82 KB), so larger caps leave
+        // the category structure untouched.
+        let cube = SalesCube::table1();
+        let dir = DirectionalTiling::without_subtiling(cube.partitions_3p());
+        let blocks = dir.category_blocks(&cube.domain).unwrap();
+        let max_bytes = blocks
+            .iter()
+            .map(|b| b.size_bytes(4).unwrap())
+            .max()
+            .unwrap();
+        assert!(max_bytes <= 128 * 1024, "largest 3P block: {max_bytes} B");
+        // Most blocks do fit in 64 KB.
+        let fitting = blocks
+            .iter()
+            .filter(|b| b.size_bytes(4).unwrap() <= 64 * 1024)
+            .count();
+        assert!(fitting * 10 >= blocks.len() * 9, "{fitting}/{}", blocks.len());
+    }
+
+    #[test]
+    fn table5_has_eight_schemes() {
+        let areas: Vec<Domain> = vec![
+            "[0:120,80:120,25:60]".parse().unwrap(),
+            "[0:120,70:159,25:105]".parse().unwrap(),
+        ];
+        let schemes = table5_schemes(&areas);
+        assert_eq!(schemes.len(), 8);
+        assert_eq!(schemes[0].name, "Reg32K");
+        assert_eq!(schemes[7].name, "AI256K");
+    }
+}

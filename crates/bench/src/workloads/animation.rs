@@ -1,0 +1,169 @@
+//! The §6.2 areas-of-interest benchmark: a 3-D RGB animation sequence.
+//!
+//! Table 5: spatial domain `[0:120, 0:159, 0:119]`, 3-byte RGB cells
+//! (6.8 MB). The areas of interest follow the head and whole body of the
+//! main character across all 121 frames; queries c and d are "unexpected".
+//!
+//! The paper used a real short animation; we synthesize an equivalent: a
+//! character whose body occupies area 2 and whose head occupies area 1,
+//! drifting slightly per frame, on a textured background. Only the region
+//! geometry and byte volumes matter for the measured quantities.
+
+use tilestore_engine::{Array, CellType, Rgb};
+use tilestore_geometry::Domain;
+
+/// Axis index of the frame (time) dimension.
+pub const AXIS_FRAME: usize = 0;
+
+/// One query of the Table 5 set.
+#[derive(Debug, Clone)]
+pub struct AnimationQuery {
+    /// Query label `a` … `d`.
+    pub label: &'static str,
+    /// The query region.
+    pub region: Domain,
+    /// Whether the query belongs to the declared access pattern (a, b) or
+    /// is "unexpected" (c, d).
+    pub expected: bool,
+    /// Table 5's description.
+    pub description: &'static str,
+}
+
+/// The animation benchmark workload.
+#[derive(Debug, Clone)]
+pub struct Animation {
+    /// The object's spatial domain.
+    pub domain: Domain,
+    /// The two areas of interest (head; whole body including head).
+    pub areas: Vec<Domain>,
+}
+
+impl Animation {
+    /// The Table 5 object.
+    #[must_use]
+    pub fn table5() -> Self {
+        Animation {
+            domain: "[0:120,0:159,0:119]".parse().expect("static domain"),
+            areas: vec![
+                "[0:120,80:120,25:60]".parse().expect("static area"),
+                "[0:120,70:159,25:105]".parse().expect("static area"),
+            ],
+        }
+    }
+
+    /// The cell type: RGB pixels with black as default.
+    #[must_use]
+    pub fn cell_type() -> CellType {
+        CellType::of::<Rgb>()
+    }
+
+    /// Synthesizes the frames.
+    #[must_use]
+    pub fn generate(&self) -> Array {
+        let head = self.areas[0].clone();
+        let body = self.areas[1].clone();
+        Array::from_fn(self.domain.clone(), |p| {
+            let (t, y, x) = (p[0], p[1], p[2]);
+            if head.contains_point(p) {
+                // Head: skin tone shifting with a per-frame flicker.
+                Rgb::new(
+                    220u8.wrapping_sub((t % 7) as u8),
+                    170,
+                    (140 + (x + y) % 40) as u8,
+                )
+            } else if body.contains_point(p) {
+                // Body: clothing texture.
+                Rgb::new(40, (80 + (y * 3 + t) % 60) as u8, (160 + x % 30) as u8)
+            } else {
+                // Background: dim gradient.
+                let g = ((x + y + t) % 64) as u8;
+                Rgb::new(g / 2, g / 2, g)
+            }
+        })
+        .expect("static domain fits memory")
+    }
+
+    /// The Table 5 query set.
+    #[must_use]
+    pub fn queries(&self) -> Vec<AnimationQuery> {
+        vec![
+            AnimationQuery {
+                label: "a",
+                region: self.areas[0].clone(),
+                expected: true,
+                description: "to the area of interest 1, 523 KB",
+            },
+            AnimationQuery {
+                label: "b",
+                region: self.areas[1].clone(),
+                expected: true,
+                description: "to the area of interest 2, 2.6 MB",
+            },
+            AnimationQuery {
+                label: "c",
+                region: "[0:60,0:159,0:119]".parse().expect("static region"),
+                expected: false,
+                description: "to the first 61 frames, 3.6 MB",
+            },
+            AnimationQuery {
+                label: "d",
+                region: self.domain.clone(),
+                expected: false,
+                description: "to the whole array, 6.8 MB",
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_spec_matches_paper() {
+        let anim = Animation::table5();
+        let mb = anim.domain.size_bytes(3).unwrap() as f64 / (1024.0 * 1024.0);
+        assert!((6.5..7.1).contains(&mb), "array is {mb:.2} MiB");
+        assert_eq!(anim.areas.len(), 2);
+        // The areas overlap (head is inside the body region's footprint).
+        assert!(anim.areas[0].intersects(&anim.areas[1]));
+        for a in &anim.areas {
+            assert!(anim.domain.contains_domain(a));
+            assert_eq!(a.extent(AXIS_FRAME), 121, "areas span all frames");
+        }
+    }
+
+    #[test]
+    fn query_sizes_match_table5() {
+        let anim = Animation::table5();
+        let qs = anim.queries();
+        let kb = |i: usize| qs[i].region.size_bytes(3).unwrap() as f64 / 1024.0;
+        assert!((kb(0) - 523.0).abs() < 12.0, "a: {} KB", kb(0));
+        assert!((kb(1) / 1024.0 - 2.6).abs() < 0.3, "b: {} MB", kb(1) / 1024.0);
+        assert!((kb(2) / 1024.0 - 3.5).abs() < 0.3, "c: {} MB", kb(2) / 1024.0);
+        assert!((kb(3) / 1024.0 - 6.8).abs() < 0.3, "d: {} MB", kb(3) / 1024.0);
+        assert!(qs[0].expected && qs[1].expected);
+        assert!(!qs[2].expected && !qs[3].expected);
+    }
+
+    #[test]
+    fn generated_frames_distinguish_regions() {
+        // Use a shrunken clone to keep the test fast.
+        let anim = Animation {
+            domain: "[0:5,0:159,0:119]".parse().unwrap(),
+            areas: vec![
+                "[0:5,80:120,25:60]".parse().unwrap(),
+                "[0:5,70:159,25:105]".parse().unwrap(),
+            ],
+        };
+        let frames = anim.generate();
+        let head: Rgb = frames
+            .get(&tilestore_geometry::Point::from_slice(&[0, 100, 40]))
+            .unwrap();
+        let bg: Rgb = frames
+            .get(&tilestore_geometry::Point::from_slice(&[0, 10, 10]))
+            .unwrap();
+        assert!(head.r > 200, "head pixels are skin-toned");
+        assert!(bg.r < 64, "background is dim");
+    }
+}

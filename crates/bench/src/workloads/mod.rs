@@ -1,0 +1,5 @@
+//! Synthetic workloads reproducing the paper's two benchmarks.
+
+pub mod animation;
+pub mod sales;
+pub mod sparse;

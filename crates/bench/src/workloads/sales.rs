@@ -1,0 +1,334 @@
+//! The §6.1 directional-tiling benchmark: 3-D sales data cubes.
+//!
+//! Table 1 specifies the small cube — 730 days × 60 products × 100 stores
+//! of 4-byte cells (16.7 MB) — with category partitions: 24 months, 3
+//! product classes, 8 country districts. Table 3 lists the query set a–j.
+//! §6.1's closing paragraphs describe the extended cubes: one more year,
+//! 240 more products, 200 more shops (375 MB), partitions repeated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tilestore_engine::{Array, CellType};
+use tilestore_geometry::Domain;
+use tilestore_tiling::AxisPartition;
+
+/// Axis index of the time dimension (days).
+pub const AXIS_TIME: usize = 0;
+/// Axis index of the product dimension.
+pub const AXIS_PRODUCT: usize = 1;
+/// Axis index of the store dimension.
+pub const AXIS_STORE: usize = 2;
+
+/// One query of the Table 3 set.
+#[derive(Debug, Clone)]
+pub struct SalesQuery {
+    /// Query label `a` … `j`.
+    pub label: &'static str,
+    /// The query region.
+    pub region: Domain,
+    /// The paper's "Selected (Months, Product classes, Country Districts)"
+    /// column.
+    pub selected: &'static str,
+    /// Whether 2P tiling is expected to execute this query efficiently
+    /// (queries b, e, f, h, i impose no restriction on product classes).
+    pub favors_2p: bool,
+}
+
+/// The sales-cube benchmark workload.
+#[derive(Debug, Clone)]
+pub struct SalesCube {
+    /// The cube's spatial domain.
+    pub domain: Domain,
+    /// Dimension partitions: months, product classes, country districts.
+    pub partitions: Vec<AxisPartition>,
+}
+
+/// Month lengths of a non-leap year.
+const MONTH_LENGTHS: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn month_points(lo: i64, hi: i64) -> Vec<i64> {
+    let mut points = vec![lo];
+    let mut day = lo;
+    'years: loop {
+        for len in MONTH_LENGTHS {
+            day += len;
+            if day >= hi {
+                break 'years;
+            }
+            points.push(day);
+        }
+    }
+    points.push(hi);
+    points
+}
+
+/// Repeats a base partition pattern across a longer axis, as §6.1 does for
+/// the extended cubes ("with the partition described before repeated").
+fn repeat_pattern(base: &[i64], lo: i64, hi: i64) -> Vec<i64> {
+    let base_lo = base[0];
+    let period = base[base.len() - 1] - base_lo + 1;
+    let mut points = Vec::new();
+    let mut offset = lo - base_lo;
+    'outer: loop {
+        for &p in &base[..base.len() - 1] {
+            let shifted = p + offset;
+            if shifted >= hi {
+                break 'outer;
+            }
+            points.push(shifted);
+        }
+        offset += period;
+        if offset + base_lo >= hi {
+            break;
+        }
+    }
+    points.push(hi);
+    points
+}
+
+impl SalesCube {
+    /// The Table 1 cube: `[1:730, 1:60, 1:100]`, 16.7 MB at 4 bytes/cell.
+    #[must_use]
+    pub fn table1() -> Self {
+        let domain: Domain = "[1:730,1:60,1:100]".parse().expect("static domain");
+        let partitions = vec![
+            AxisPartition::new(AXIS_TIME, month_points(1, 730)),
+            AxisPartition::new(AXIS_PRODUCT, vec![1, 27, 42, 60]),
+            AxisPartition::new(AXIS_STORE, vec![1, 27, 35, 41, 59, 73, 89, 97, 100]),
+        ];
+        SalesCube { domain, partitions }
+    }
+
+    /// The §6.1 extended cube: one more year, 240 more products, 200 more
+    /// shops → `[1:1095, 1:300, 1:300]` (375 MB), partitions repeated.
+    #[must_use]
+    pub fn extended_full() -> Self {
+        Self::extended_with(1095, 300, 300)
+    }
+
+    /// A size-reduced extended cube preserving the same shape (for
+    /// time-bounded runs); see `repro -- extended --full` for the 375 MB
+    /// version.
+    #[must_use]
+    pub fn extended_reduced() -> Self {
+        Self::extended_with(1095, 120, 200)
+    }
+
+    fn extended_with(days: i64, products: i64, stores: i64) -> Self {
+        let domain = Domain::from_bounds(&[(1, days), (1, products), (1, stores)])
+            .expect("static domain");
+        let partitions = vec![
+            AxisPartition::new(AXIS_TIME, month_points(1, days)),
+            AxisPartition::new(
+                AXIS_PRODUCT,
+                repeat_pattern(&[1, 27, 42, 60], 1, products),
+            ),
+            AxisPartition::new(
+                AXIS_STORE,
+                repeat_pattern(&[1, 27, 35, 41, 59, 73, 89, 97, 100], 1, stores),
+            ),
+        ];
+        SalesCube { domain, partitions }
+    }
+
+    /// The cube's cell type: 4-byte unsigned sales counts.
+    #[must_use]
+    pub fn cell_type() -> CellType {
+        CellType::of::<u32>()
+    }
+
+    /// Partitions along two dimensions only — months and country districts
+    /// (the paper's "2P" schemes).
+    #[must_use]
+    pub fn partitions_2p(&self) -> Vec<AxisPartition> {
+        self.partitions
+            .iter()
+            .filter(|p| p.axis != AXIS_PRODUCT)
+            .cloned()
+            .collect()
+    }
+
+    /// Partitions along all three dimensions (the "3P" schemes).
+    #[must_use]
+    pub fn partitions_3p(&self) -> Vec<AxisPartition> {
+        self.partitions.clone()
+    }
+
+    /// Generates the cube's data: pseudo-random sales counts, deterministic
+    /// for a given seed.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Array {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cells = self.domain.cells() as usize;
+        let mut data = vec![0u8; cells * 4];
+        for chunk in data.chunks_exact_mut(4) {
+            let sales: u32 = rng.gen_range(0..500);
+            chunk.copy_from_slice(&sales.to_le_bytes());
+        }
+        Array::from_bytes(self.domain.clone(), 4, data).expect("length matches by construction")
+    }
+
+    /// The Table 3 query set (regions exactly as printed in the paper).
+    #[must_use]
+    pub fn queries(&self) -> Vec<SalesQuery> {
+        let full = |axis: usize| -> (i64, i64) {
+            let r = self.domain.axis(axis);
+            (r.lo(), r.hi())
+        };
+        let (t_lo, t_hi) = full(AXIS_TIME);
+        let (p_lo, p_hi) = full(AXIS_PRODUCT);
+        let (s_lo, s_hi) = full(AXIS_STORE);
+        let dom = |t: (i64, i64), p: (i64, i64), s: (i64, i64)| {
+            Domain::from_bounds(&[t, p, s]).expect("query bounds valid")
+        };
+        vec![
+            SalesQuery {
+                label: "a",
+                region: dom((32, 59), (28, 42), (28, 35)),
+                selected: "1,1,1",
+                favors_2p: false,
+            },
+            SalesQuery {
+                label: "b",
+                region: dom((32, 59), (p_lo, p_hi), (28, 35)),
+                selected: "1,all,1",
+                favors_2p: true,
+            },
+            SalesQuery {
+                label: "c",
+                region: dom((32, 59), (28, 42), (s_lo, s_hi)),
+                selected: "1,1,all",
+                favors_2p: false,
+            },
+            SalesQuery {
+                label: "d",
+                region: dom((t_lo, t_hi), (28, 42), (28, 35)),
+                selected: "all,1,1",
+                favors_2p: false,
+            },
+            SalesQuery {
+                label: "e",
+                region: dom((32, 59), (p_lo, p_hi), (s_lo, s_hi)),
+                selected: "1,all,all",
+                favors_2p: true,
+            },
+            SalesQuery {
+                label: "f",
+                region: dom((t_lo, t_hi), (p_lo, p_hi), (28, 35)),
+                selected: "all,all,1",
+                favors_2p: true,
+            },
+            SalesQuery {
+                label: "g",
+                region: dom((t_lo, t_hi), (28, 42), (s_lo, s_hi)),
+                selected: "all,1,all",
+                favors_2p: false,
+            },
+            SalesQuery {
+                label: "h",
+                region: dom((182, 365), (p_lo, p_hi), (s_lo, s_hi)),
+                selected: "6,all,all",
+                favors_2p: true,
+            },
+            SalesQuery {
+                label: "i",
+                region: dom((32, 396), (p_lo, p_hi), (s_lo, s_hi)),
+                selected: "12,all,all",
+                favors_2p: true,
+            },
+            SalesQuery {
+                label: "j",
+                region: dom((28, 34), (p_lo, p_hi), (s_lo, s_hi)),
+                selected: "1 week,all,all",
+                favors_2p: false,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_spec() {
+        let cube = SalesCube::table1();
+        assert_eq!(cube.domain.cells(), 730 * 60 * 100);
+        // 16.7 MB at 4 bytes per cell.
+        let mb = cube.domain.size_bytes(4).unwrap() as f64 / (1024.0 * 1024.0);
+        assert!((16.0..17.5).contains(&mb), "cube is {mb:.1} MiB");
+        // 24 months, 3 product classes, 8 country districts.
+        let months = &cube.partitions[0];
+        assert_eq!(months.blocks(&cube.domain).unwrap().len(), 24);
+        assert_eq!(cube.partitions[1].blocks(&cube.domain).unwrap().len(), 3);
+        assert_eq!(cube.partitions[2].blocks(&cube.domain).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn query_sizes_match_table3() {
+        let cube = SalesCube::table1();
+        let queries = cube.queries();
+        assert_eq!(queries.len(), 10);
+        let kb = |label: &str| {
+            let q = queries.iter().find(|q| q.label == label).unwrap();
+            q.region.size_bytes(4).unwrap() as f64 / 1024.0
+        };
+        // Table 3 sizes (KB): a=13, b=52.5, c=164, d=342, e=656, f=1400,
+        // g=4300, h=4300, i=8500, j=164. Allow small rounding slack.
+        assert!((kb("a") - 13.0).abs() < 1.0, "a: {}", kb("a"));
+        assert!((kb("b") - 52.5).abs() < 3.0, "b: {}", kb("b"));
+        assert!((kb("c") - 164.0).abs() < 5.0, "c: {}", kb("c"));
+        assert!((kb("d") - 342.0).abs() < 10.0, "d: {}", kb("d"));
+        assert!((kb("e") - 656.0).abs() < 10.0, "e: {}", kb("e"));
+        assert!((kb("f") - 1400.0).abs() < 40.0, "f: {}", kb("f"));
+        assert!((kb("g") - 4300.0).abs() < 100.0, "g: {}", kb("g"));
+        assert!((kb("h") - 4300.0).abs() < 100.0, "h: {}", kb("h"));
+        assert!((kb("i") - 8500.0).abs() < 100.0, "i: {}", kb("i"));
+        assert!((kb("j") - 164.0).abs() < 5.0, "j: {}", kb("j"));
+    }
+
+    #[test]
+    fn query_j_straddles_a_month_boundary() {
+        // §6.1: "the week starts in one month and ends in another".
+        let cube = SalesCube::table1();
+        let j = &cube.queries()[9];
+        let months = &cube.partitions[0].points;
+        let crossed = months[1..months.len() - 1]
+            .iter()
+            .any(|&cut| j.region.lo(AXIS_TIME) < cut && cut <= j.region.hi(AXIS_TIME));
+        assert!(crossed, "query j {} must straddle a month cut", j.region);
+    }
+
+    #[test]
+    fn extended_full_matches_paper_spec() {
+        let cube = SalesCube::extended_full();
+        let mb = cube.domain.size_bytes(4).unwrap() as f64 / (1024.0 * 1024.0);
+        assert!((370.0..380.0).contains(&mb), "extended cube is {mb:.0} MiB");
+        assert_eq!(cube.partitions[0].blocks(&cube.domain).unwrap().len(), 36);
+        // Repeated product pattern: 3 classes per 60 products, 300 products.
+        let classes = cube.partitions[1].blocks(&cube.domain).unwrap().len();
+        assert!(classes >= 15, "got {classes} product classes");
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cube = SalesCube::table1();
+        let small = SalesCube {
+            domain: "[1:10,1:10,1:10]".parse().unwrap(),
+            partitions: cube.partitions.clone(),
+        };
+        assert_eq!(small.generate(7), small.generate(7));
+        assert_ne!(small.generate(7), small.generate(8));
+    }
+
+    #[test]
+    fn partition_subsets() {
+        let cube = SalesCube::table1();
+        assert_eq!(cube.partitions_2p().len(), 2);
+        assert_eq!(cube.partitions_3p().len(), 3);
+        assert!(cube
+            .partitions_2p()
+            .iter()
+            .all(|p| p.axis != AXIS_PRODUCT));
+    }
+}

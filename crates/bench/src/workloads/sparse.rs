@@ -1,0 +1,150 @@
+//! Sparse-cube workload — the paper's §8 future work: "In the future we
+//! will test performance on sparse data with those options [selective
+//! compression, partial coverage] activated. Performance gains over
+//! regular tiling are expected to be even higher, since arbitrary tiling
+//! adapts better to sparse data distributions."
+//!
+//! The cube reuses the Table 1 category structure but populates only a few
+//! dense category clusters (real OLAP cubes concentrate sales in a few
+//! product/store combinations); everything else is the default value.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tilestore_engine::Array;
+use tilestore_geometry::Domain;
+
+use super::sales::SalesCube;
+
+/// A sparse variant of the sales cube.
+#[derive(Debug, Clone)]
+pub struct SparseCube {
+    /// The dense cube structure (domain + category partitions).
+    pub cube: SalesCube,
+    /// The dense clusters (category-aligned sub-cubes holding actual data).
+    pub clusters: Vec<Domain>,
+    /// Probability that a cell *inside* a cluster is non-zero.
+    pub in_cluster_density: f64,
+}
+
+impl SparseCube {
+    /// A one-year sparse cube with three hot category clusters and ~1%
+    /// overall density.
+    #[must_use]
+    pub fn one_year() -> Self {
+        let full = SalesCube::table1();
+        let domain: Domain = "[1:365,1:60,1:100]".parse().expect("static domain");
+        let cube = SalesCube {
+            domain: domain.clone(),
+            partitions: full
+                .partitions
+                .iter()
+                .map(|p| {
+                    let hi = domain.hi(p.axis);
+                    let mut points: Vec<i64> =
+                        p.points.iter().copied().filter(|&x| x < hi).collect();
+                    points.push(hi);
+                    tilestore_tiling::AxisPartition::new(p.axis, points)
+                })
+                .collect(),
+        };
+        // Clusters aligned to category blocks: two months x one class x one
+        // district each.
+        let clusters = vec![
+            "[32:90,1:26,1:26]".parse().expect("static"),
+            "[121:181,27:41,41:58]".parse().expect("static"),
+            "[244:304,42:60,73:88]".parse().expect("static"),
+        ];
+        SparseCube {
+            cube,
+            clusters,
+            in_cluster_density: 0.35,
+        }
+    }
+
+    /// Generates the sparse data.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Array {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Array::from_fn(self.cube.domain.clone(), |p| {
+            if self.clusters.iter().any(|c| c.contains_point(p)) {
+                if rng.gen_bool(self.in_cluster_density) {
+                    rng.gen_range(1u32..500)
+                } else {
+                    0
+                }
+            } else {
+                0
+            }
+        })
+        .expect("domain fits memory")
+    }
+
+    /// The query set: one aggregation-style query per cluster plus one
+    /// background probe.
+    #[must_use]
+    pub fn queries(&self) -> Vec<(String, Domain)> {
+        let mut queries: Vec<(String, Domain)> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (format!("cluster{}", i + 1), c.clone()))
+            .collect();
+        queries.push((
+            "background".to_string(),
+            "[182:243,1:26,89:100]".parse().expect("static"),
+        ));
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_about_one_percent() {
+        let sc = SparseCube::one_year();
+        let cluster_cells: u64 = sc.clusters.iter().map(Domain::cells).sum();
+        let expected = cluster_cells as f64 * sc.in_cluster_density;
+        let total = sc.cube.domain.cells() as f64;
+        let density = expected / total;
+        assert!(
+            (0.005..0.08).contains(&density),
+            "density {density:.4} out of the sparse regime"
+        );
+    }
+
+    #[test]
+    fn clusters_are_inside_the_domain_and_disjoint() {
+        let sc = SparseCube::one_year();
+        for (i, a) in sc.clusters.iter().enumerate() {
+            assert!(sc.cube.domain.contains_domain(a));
+            for b in &sc.clusters[i + 1..] {
+                assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_sparse() {
+        let sc = SparseCube {
+            cube: SalesCube {
+                domain: "[1:40,1:20,1:20]".parse().unwrap(),
+                partitions: vec![],
+            },
+            clusters: vec!["[1:10,1:10,1:10]".parse().unwrap()],
+            in_cluster_density: 0.5,
+        };
+        let a = sc.generate(3);
+        let b = sc.generate(3);
+        assert_eq!(a, b);
+        let nonzero = a
+            .to_cells::<u32>()
+            .unwrap()
+            .iter()
+            .filter(|&&c| c != 0)
+            .count();
+        assert!(nonzero > 0);
+        assert!(nonzero < 1000, "at most the cluster can be populated");
+    }
+}

@@ -1,0 +1,403 @@
+//! CLI command implementations, separated from I/O for testability.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use tilestore_compress::CompressionPolicy;
+use tilestore_engine::{Array, CellType, Database, MddType};
+use tilestore_geometry::{DefDomain, Domain};
+use tilestore_rasql::Value;
+use tilestore_storage::{CostModel, FilePageStore};
+use tilestore_tiling::{AlignedTiling, AxisPartition, DirectionalTiling, Scheme, TileConfig};
+
+/// Errors surfaced to the CLI user as plain messages.
+pub type CliResult<T> = Result<T, String>;
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// Opens an existing database directory.
+pub fn open(dir: &Path) -> CliResult<Database<FilePageStore>> {
+    Database::open_dir(dir).map_err(err)
+}
+
+/// Creates a fresh database directory.
+pub fn init(dir: &Path) -> CliResult<String> {
+    let db = Database::create_dir(dir).map_err(err)?;
+    db.save(dir).map_err(err)?;
+    Ok(format!("created database at {}", dir.display()))
+}
+
+/// Parses a cell type name.
+pub fn parse_cell_type(name: &str) -> CliResult<CellType> {
+    let size = match name {
+        "u8" | "i8" => 1,
+        "u16" | "i16" => 2,
+        "u32" | "i32" | "f32" => 4,
+        "u64" | "i64" | "f64" => 8,
+        "rgb" => 3,
+        other => return Err(format!("unknown cell type {other:?}")),
+    };
+    Ok(CellType::zeroed(name, size))
+}
+
+/// Parses a scheme spec:
+/// `regular:<maxKB>` | `aligned:<config>:<maxKB>` |
+/// `directional:<axis>=p1/p2/...[,<axis>=...]:<maxKB>` | `single`.
+pub fn parse_scheme(spec: &str, dim: usize) -> CliResult<Scheme> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts[0] {
+        "single" => Ok(Scheme::SingleTile(tilestore_tiling::SingleTile)),
+        "regular" => {
+            let kb: u64 = parts
+                .get(1)
+                .unwrap_or(&"128")
+                .parse()
+                .map_err(|e| format!("bad MaxTileSize: {e}"))?;
+            Ok(Scheme::Aligned(AlignedTiling::regular(dim, kb * 1024)))
+        }
+        "aligned" => {
+            let config: TileConfig = parts
+                .get(1)
+                .ok_or("aligned needs a config, e.g. aligned:[*,1]:64")?
+                .parse()
+                .map_err(err)?;
+            let kb: u64 = parts
+                .get(2)
+                .unwrap_or(&"128")
+                .parse()
+                .map_err(|e| format!("bad MaxTileSize: {e}"))?;
+            Ok(Scheme::Aligned(AlignedTiling::new(config, kb * 1024)))
+        }
+        "directional" => {
+            let cuts = parts
+                .get(1)
+                .ok_or("directional needs cuts, e.g. directional:0=1/31/60,1=1/50:64")?;
+            let mut partitions = Vec::new();
+            for axis_spec in cuts.split(',') {
+                let (axis, points) = axis_spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad axis spec {axis_spec:?}"))?;
+                let axis: usize = axis.parse().map_err(|e| format!("bad axis: {e}"))?;
+                let points: Result<Vec<i64>, _> =
+                    points.split('/').map(str::parse).collect();
+                partitions.push(AxisPartition::new(
+                    axis,
+                    points.map_err(|e| format!("bad cut point: {e}"))?,
+                ));
+            }
+            let kb: u64 = parts
+                .get(2)
+                .unwrap_or(&"128")
+                .parse()
+                .map_err(|e| format!("bad MaxTileSize: {e}"))?;
+            Ok(Scheme::Directional(DirectionalTiling::new(
+                partitions,
+                kb * 1024,
+            )))
+        }
+        other => Err(format!(
+            "unknown scheme {other:?} (expected single, regular, aligned, directional)"
+        )),
+    }
+}
+
+/// `create <name> <celltype> <dim> [scheme]`.
+pub fn create(
+    db: &mut Database<FilePageStore>,
+    name: &str,
+    cell: &str,
+    dim: usize,
+    scheme: Option<&str>,
+) -> CliResult<String> {
+    let cell = parse_cell_type(cell)?;
+    let scheme = match scheme {
+        Some(spec) => parse_scheme(spec, dim)?,
+        None => Scheme::default_for(dim),
+    };
+    let def = DefDomain::unlimited(dim).map_err(err)?;
+    db.create_object(name, MddType::new(cell, def), scheme)
+        .map_err(err)?;
+    Ok(format!("created object {name:?} ({dim}-D)"))
+}
+
+/// `load <name> <domain> <pattern>` — synthesize and insert data.
+/// Patterns: `zero`, `gradient`, `checker`, `random:<seed>`.
+pub fn load(
+    db: &mut Database<FilePageStore>,
+    name: &str,
+    domain: &str,
+    pattern: &str,
+) -> CliResult<String> {
+    let domain: Domain = domain.parse().map_err(err)?;
+    let meta = db.object(name).map_err(err)?;
+    let cell_size = meta.cell_size();
+    let array = synthesize(&domain, cell_size, pattern)?;
+    let stats = db.insert(name, &array).map_err(err)?;
+    Ok(format!(
+        "loaded {} as {} tiles ({} pages)",
+        domain, stats.tiles_created, stats.pages_written
+    ))
+}
+
+fn synthesize(domain: &Domain, cell_size: usize, pattern: &str) -> CliResult<Array> {
+    let cells = domain.cell_count().map_err(err)? as usize;
+    let mut data = vec![0u8; cells * cell_size];
+    match pattern.split(':').next().unwrap_or("zero") {
+        "zero" => {}
+        "gradient" => {
+            for (i, chunk) in data.chunks_exact_mut(cell_size).enumerate() {
+                let v = (i % 251) as u8;
+                for (lane, b) in chunk.iter_mut().enumerate() {
+                    *b = v.wrapping_add(lane as u8);
+                }
+            }
+        }
+        "checker" => {
+            for (i, chunk) in data.chunks_exact_mut(cell_size).enumerate() {
+                let v = if i % 2 == 0 { 0xFF } else { 0x00 };
+                chunk.fill(v);
+            }
+        }
+        "random" => {
+            let seed: u64 = pattern
+                .split_once(':')
+                .map_or(Ok(42), |(_, s)| s.parse())
+                .map_err(|e| format!("bad seed: {e}"))?;
+            let mut x = seed | 1;
+            for b in &mut data {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (x >> 33) as u8;
+            }
+        }
+        other => return Err(format!("unknown pattern {other:?}")),
+    }
+    Array::from_bytes(domain.clone(), cell_size, data).map_err(err)
+}
+
+/// `query <rasql>` — run a query and render the result.
+pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
+    let (value, stats) = tilestore_rasql::execute(db, text).map_err(err)?;
+    let model = CostModel::classic_disk();
+    let times = stats.times(&model);
+    let mut out = String::new();
+    match value {
+        Value::Array(a) => {
+            writeln!(out, "array over {} ({} cells)", a.domain(), a.domain().cells())
+                .expect("string write");
+            if a.domain().cells() <= 64 && a.cell_size() <= 8 {
+                writeln!(out, "{}", render_small(&a)).expect("string write");
+            }
+        }
+        Value::Number(n) => writeln!(out, "{n}").expect("string write"),
+        Value::Count(c) => writeln!(out, "{c} cells").expect("string write"),
+        Value::Bool(b) => writeln!(out, "{b}").expect("string write"),
+    }
+    write!(
+        out,
+        "[{} tiles, {} pages, {} bytes read; model t_total={:.4}s]",
+        stats.tiles_read,
+        stats.io.pages_read,
+        stats.io.bytes_read,
+        times.total_cpu()
+    )
+    .expect("string write");
+    Ok(out)
+}
+
+/// Renders a tiny array as hex rows (debug aid).
+fn render_small(a: &Array) -> String {
+    let mut out = String::new();
+    for (i, chunk) in a.bytes().chunks(a.cell_size()).enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        for b in chunk {
+            write!(out, "{b:02x}").expect("string write");
+        }
+    }
+    out
+}
+
+/// `info` / `info <name>`.
+pub fn info(db: &Database<FilePageStore>, name: Option<&str>) -> CliResult<String> {
+    let mut out = String::new();
+    match name {
+        None => {
+            writeln!(out, "objects: {}", db.object_names().join(", ")).expect("string write");
+            let io = db.io_stats().snapshot();
+            write!(
+                out,
+                "session I/O: {} pages read, {} pages written",
+                io.pages_read, io.pages_written
+            )
+            .expect("string write");
+        }
+        Some(name) => {
+            let meta = db.object(name).map_err(err)?;
+            writeln!(out, "object:        {name}").expect("string write");
+            writeln!(out, "cell type:     {} ({} B)", meta.mdd_type.cell.name, meta.cell_size())
+                .expect("string write");
+            writeln!(out, "definition:    {}", meta.mdd_type.definition).expect("string write");
+            match &meta.current_domain {
+                Some(cur) => writeln!(out, "current:       {cur}").expect("string write"),
+                None => writeln!(out, "current:       (empty)").expect("string write"),
+            }
+            writeln!(out, "tiles:         {}", meta.tile_count()).expect("string write");
+            writeln!(out, "logical bytes: {}", meta.stored_bytes()).expect("string write");
+            let phys = db.object_physical_bytes(name).map_err(err)?;
+            writeln!(out, "physical bytes:{phys}").expect("string write");
+            write!(out, "scheme:        {:?}", meta.scheme).expect("string write");
+        }
+    }
+    Ok(out)
+}
+
+/// `compress <name> <none|selective>` — set policy and rewrite tiles.
+pub fn compress(
+    db: &mut Database<FilePageStore>,
+    name: &str,
+    policy: &str,
+) -> CliResult<String> {
+    let policy = match policy {
+        "none" => CompressionPolicy::None,
+        "selective" => CompressionPolicy::selective_default(),
+        other => return Err(format!("unknown policy {other:?} (none|selective)")),
+    };
+    db.set_compression(name, policy).map_err(err)?;
+    let scheme = db.object(name).map_err(err)?.scheme.clone();
+    let before = db.object_physical_bytes(name).map_err(err)?;
+    db.retile(name, scheme).map_err(err)?;
+    let after = db.object_physical_bytes(name).map_err(err)?;
+    Ok(format!("rewrote tiles: {before} -> {after} physical bytes"))
+}
+
+/// `retile <name> <scheme>`.
+pub fn retile(db: &mut Database<FilePageStore>, name: &str, spec: &str) -> CliResult<String> {
+    let dim = db.object(name).map_err(err)?.mdd_type.dim();
+    let scheme = parse_scheme(spec, dim)?;
+    let stats = db.retile(name, scheme).map_err(err)?;
+    Ok(format!(
+        "retiled: {} -> {} tiles",
+        stats.tiles_before, stats.tiles_after
+    ))
+}
+
+/// `delete <name> <domain>` — remove a region's cells (shrinkage).
+pub fn delete(db: &mut Database<FilePageStore>, name: &str, domain: &str) -> CliResult<String> {
+    let region: Domain = domain.parse().map_err(err)?;
+    let stats = db.delete_region(name, &region).map_err(err)?;
+    Ok(format!(
+        "removed {} cells ({} tiles dropped, {} split)",
+        stats.cells_removed, stats.tiles_dropped, stats.tiles_split
+    ))
+}
+
+/// `drop <name>`.
+pub fn drop_object(db: &mut Database<FilePageStore>, name: &str) -> CliResult<String> {
+    db.drop_object(name).map_err(err)?;
+    Ok(format!("dropped {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> (tempfile::TempDir, Database<FilePageStore>) {
+        let dir = tempfile::tempdir().unwrap();
+        init(dir.path()).unwrap();
+        let db = open(dir.path()).unwrap();
+        (dir, db)
+    }
+
+    #[test]
+    fn init_create_load_query_cycle() {
+        let (dir, mut db) = fresh();
+        create(&mut db, "img", "u8", 2, Some("regular:4")).unwrap();
+        load(&mut db, "img", "[0:63,0:63]", "gradient").unwrap();
+        let out = query(&db, "SELECT img[0:7,0:7] FROM img").unwrap();
+        assert!(out.contains("array over [0:7,0:7]"), "{out}");
+        let out = query(&db, "SELECT count_cells(img) FROM img").unwrap();
+        assert!(out.contains("cells"), "{out}");
+        db.save(dir.path()).unwrap();
+        // Reopen and query again.
+        let db2 = open(dir.path()).unwrap();
+        let out = query(&db2, "SELECT max_cells(img) FROM img").unwrap();
+        assert!(out.contains('\n'), "{out}");
+    }
+
+    #[test]
+    fn info_renders_object_details() {
+        let (_dir, mut db) = fresh();
+        create(&mut db, "vol", "f32", 3, None).unwrap();
+        load(&mut db, "vol", "[0:9,0:9,0:9]", "random:7").unwrap();
+        let text = info(&db, Some("vol")).unwrap();
+        assert!(text.contains("cell type:     f32"), "{text}");
+        assert!(text.contains("current:       [0:9,0:9,0:9]"), "{text}");
+        let listing = info(&db, None).unwrap();
+        assert!(listing.contains("vol"), "{listing}");
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        assert!(parse_scheme("regular:64", 2).is_ok());
+        assert!(parse_scheme("single", 3).is_ok());
+        assert!(parse_scheme("aligned:[*,1]:32", 2).is_ok());
+        let s = parse_scheme("directional:0=1/31/60:64", 2).unwrap();
+        assert!(matches!(s, Scheme::Directional(_)));
+        assert!(parse_scheme("bogus", 2).is_err());
+        assert!(parse_scheme("aligned", 2).is_err());
+        assert!(parse_scheme("directional:0-1", 2).is_err());
+        assert!(parse_scheme("regular:x", 2).is_err());
+    }
+
+    #[test]
+    fn compress_and_retile_commands() {
+        let (_dir, mut db) = fresh();
+        create(&mut db, "m", "u32", 2, Some("regular:8")).unwrap();
+        load(&mut db, "m", "[0:63,0:63]", "zero").unwrap();
+        let msg = compress(&mut db, "m", "selective").unwrap();
+        assert!(msg.contains("->"), "{msg}");
+        let phys = db.object_physical_bytes("m").unwrap();
+        assert!(phys < 1024, "all-zero object compresses tiny: {phys}");
+        let msg = retile(&mut db, "m", "regular:16").unwrap();
+        assert!(msg.contains("tiles"), "{msg}");
+        assert!(compress(&mut db, "m", "lzma").is_err());
+    }
+
+    #[test]
+    fn delete_command_shrinks_object() {
+        let (_dir, mut db) = fresh();
+        create(&mut db, "m", "u16", 2, Some("regular:2")).unwrap();
+        load(&mut db, "m", "[0:31,0:31]", "gradient").unwrap();
+        let msg = delete(&mut db, "m", "[16:31,0:31]").unwrap();
+        assert!(msg.contains("removed 512 cells"), "{msg}");
+        let text = info(&db, Some("m")).unwrap();
+        assert!(text.contains("current:       [0:15,0:31]"), "{text}");
+        assert!(delete(&mut db, "m", "not-a-domain").is_err());
+    }
+
+    #[test]
+    fn drop_and_errors() {
+        let (_dir, mut db) = fresh();
+        create(&mut db, "a", "u8", 1, None).unwrap();
+        drop_object(&mut db, "a").unwrap();
+        assert!(drop_object(&mut db, "a").is_err());
+        assert!(create(&mut db, "bad", "u128", 1, None).is_err());
+        assert!(load(&mut db, "missing", "[0:1]", "zero").is_err());
+        assert!(query(&db, "SELECT nope FROM nope").is_err());
+    }
+
+    #[test]
+    fn synthesize_patterns() {
+        let dom: Domain = "[0:9]".parse().unwrap();
+        assert!(synthesize(&dom, 2, "zero").unwrap().bytes().iter().all(|&b| b == 0));
+        let g = synthesize(&dom, 2, "gradient").unwrap();
+        assert_ne!(g.bytes()[0], g.bytes()[2]);
+        let r1 = synthesize(&dom, 1, "random:9").unwrap();
+        let r2 = synthesize(&dom, 1, "random:9").unwrap();
+        assert_eq!(r1, r2);
+        assert!(synthesize(&dom, 1, "perlin").is_err());
+    }
+}

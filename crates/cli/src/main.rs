@@ -1,0 +1,196 @@
+//! `tilestore` — command-line interface for tilestore databases.
+//!
+//! ```text
+//! tilestore <dbdir> init
+//! tilestore <dbdir> create <name> <celltype> <dim> [scheme]
+//! tilestore <dbdir> load <name> <domain> <pattern>
+//! tilestore <dbdir> query "SELECT obj[0:9,0:9] FROM obj"
+//! tilestore <dbdir> info [name]
+//! tilestore <dbdir> compress <name> <none|selective>
+//! tilestore <dbdir> retile <name> <scheme>
+//! tilestore <dbdir> drop <name>
+//! tilestore <dbdir> repl
+//! ```
+//!
+//! Schemes: `regular:<maxKB>`, `aligned:<config>:<maxKB>` (e.g.
+//! `aligned:[*,1]:64`), `directional:<axis>=p1/p2/..[,..]:<maxKB>`,
+//! `single`. Patterns: `zero`, `gradient`, `checker`, `random:<seed>`.
+
+mod commands;
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use commands::CliResult;
+
+const USAGE: &str = "usage: tilestore <dbdir> <command> [args...]
+commands:
+  init                                   create a new database directory
+  create <name> <celltype> <dim> [scheme]
+  load <name> <domain> <pattern>         synthesize and insert data
+  query <rasql>                          run a query
+  info [name]                            database / object details
+  compress <name> <none|selective>       set policy and rewrite tiles
+  retile <name> <scheme>                 re-tile an object
+  delete <name> <domain>                 remove a region's cells
+  drop <name>                            remove an object
+  repl                                   interactive query shell";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> CliResult<String> {
+    let (dir, rest) = match args.split_first() {
+        Some((dir, rest)) if !rest.is_empty() => (PathBuf::from(dir), rest),
+        _ => return Err(USAGE.to_string()),
+    };
+    let command = rest[0].as_str();
+    let args = &rest[1..];
+    match command {
+        "init" => commands::init(&dir),
+        "create" => {
+            let (name, cell, dim) = match args {
+                [n, c, d, ..] => (n.as_str(), c.as_str(), d),
+                _ => return Err("create <name> <celltype> <dim> [scheme]".to_string()),
+            };
+            let dim: usize = dim.parse().map_err(|e| format!("bad dim: {e}"))?;
+            with_db(&dir, |db| {
+                commands::create(db, name, cell, dim, args.get(3).map(String::as_str))
+            })
+        }
+        "load" => match args {
+            [name, domain, pattern] => {
+                with_db(&dir, |db| commands::load(db, name, domain, pattern))
+            }
+            _ => Err("load <name> <domain> <pattern>".to_string()),
+        },
+        "query" => match args {
+            [text] => {
+                let db = commands::open(&dir)?;
+                commands::query(&db, text)
+            }
+            _ => Err("query <rasql>".to_string()),
+        },
+        "info" => {
+            let db = commands::open(&dir)?;
+            commands::info(&db, args.first().map(String::as_str))
+        }
+        "compress" => match args {
+            [name, policy] => with_db(&dir, |db| commands::compress(db, name, policy)),
+            _ => Err("compress <name> <none|selective>".to_string()),
+        },
+        "retile" => match args {
+            [name, scheme] => with_db(&dir, |db| commands::retile(db, name, scheme)),
+            _ => Err("retile <name> <scheme>".to_string()),
+        },
+        "delete" => match args {
+            [name, domain] => with_db(&dir, |db| commands::delete(db, name, domain)),
+            _ => Err("delete <name> <domain>".to_string()),
+        },
+        "drop" => match args {
+            [name] => with_db(&dir, |db| commands::drop_object(db, name)),
+            _ => Err("drop <name>".to_string()),
+        },
+        "repl" => repl(&dir),
+        _ => Err(format!("unknown command {command:?}\n{USAGE}")),
+    }
+}
+
+/// Opens, mutates and saves the database around `f`.
+fn with_db<F>(dir: &Path, f: F) -> CliResult<String>
+where
+    F: FnOnce(&mut tilestore_engine::Database<tilestore_storage::FilePageStore>) -> CliResult<String>,
+{
+    let mut db = commands::open(dir)?;
+    let out = f(&mut db)?;
+    db.save(dir).map_err(|e| e.to_string())?;
+    Ok(out)
+}
+
+/// Interactive query shell: each line is a RasQL query (or `info`, `exit`).
+fn repl(dir: &Path) -> CliResult<String> {
+    let db = commands::open(dir)?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("tilestore repl — RasQL queries, `info`, `info <name>`, `exit`");
+    loop {
+        print!("> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "exit" | "quit" => break,
+            "info" => match commands::info(&db, None) {
+                Ok(s) => println!("{s}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            _ if line.starts_with("info ") => {
+                match commands::info(&db, Some(line[5..].trim())) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            query => match commands::query(&db, query) {
+                Ok(s) => println!("{s}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+        }
+    }
+    Ok(String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn full_command_cycle() {
+        let dir = tempfile::tempdir().unwrap();
+        let d = dir.path().to_str().unwrap();
+        run(&s(&[d, "init"])).unwrap();
+        run(&s(&[d, "create", "img", "u8", "2", "regular:4"])).unwrap();
+        run(&s(&[d, "load", "img", "[0:31,0:31]", "gradient"])).unwrap();
+        let out = run(&s(&[d, "query", "SELECT count_cells(img) FROM img"])).unwrap();
+        assert!(out.contains("cells"), "{out}");
+        let out = run(&s(&[d, "info", "img"])).unwrap();
+        assert!(out.contains("u8"), "{out}");
+        run(&s(&[d, "compress", "img", "selective"])).unwrap();
+        run(&s(&[d, "retile", "img", "regular:8"])).unwrap();
+        let out = run(&s(&[d, "query", "SELECT img[0:1,0:1] FROM img"])).unwrap();
+        assert!(out.contains("array over [0:1,0:1]"), "{out}");
+        run(&s(&[d, "drop", "img"])).unwrap();
+        assert!(run(&s(&[d, "info", "img"])).is_err());
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["/tmp/nope-db"])).is_err());
+        let dir = tempfile::tempdir().unwrap();
+        let d = dir.path().to_str().unwrap();
+        run(&s(&[d, "init"])).unwrap();
+        assert!(run(&s(&[d, "frobnicate"])).is_err());
+        assert!(run(&s(&[d, "create", "x"])).is_err());
+        assert!(run(&s(&[d, "load", "x"])).is_err());
+    }
+}

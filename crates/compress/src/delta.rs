@@ -1,0 +1,99 @@
+//! Shuffled byte-lane delta transform for smooth raster data.
+//!
+//! Two steps, both exactly invertible and size-preserving:
+//!
+//! 1. **Shuffle**: reorder the payload lane-major — all cells' byte 0, then
+//!    all cells' byte 1, … (the "shuffle" of Blosc-style compressors), so
+//!    that bytes with similar statistics become contiguous;
+//! 2. **Delta**: difference each lane against its previous value
+//!    (wrapping), turning smooth gradients into long near-zero runs that
+//!    PackBits collapses.
+
+use crate::error::{CompressError, Result};
+
+/// Applies shuffle + per-lane delta, returning a buffer of the same size.
+///
+/// # Errors
+/// [`CompressError::ZeroCellSize`] / [`CompressError::BadPayload`].
+pub fn forward(payload: &[u8], cell_size: usize) -> Result<Vec<u8>> {
+    check(payload, cell_size)?;
+    let cells = payload.len() / cell_size;
+    let mut out = Vec::with_capacity(payload.len());
+    for lane in 0..cell_size {
+        let mut prev = 0u8;
+        for cell in 0..cells {
+            let b = payload[cell * cell_size + lane];
+            out.push(b.wrapping_sub(prev));
+            prev = b;
+        }
+    }
+    Ok(out)
+}
+
+/// Inverts [`forward`].
+///
+/// # Errors
+/// [`CompressError::ZeroCellSize`] / [`CompressError::BadPayload`].
+pub fn inverse(deltas: &[u8], cell_size: usize) -> Result<Vec<u8>> {
+    check(deltas, cell_size)?;
+    let cells = deltas.len() / cell_size;
+    let mut out = vec![0u8; deltas.len()];
+    for lane in 0..cell_size {
+        let mut prev = 0u8;
+        for cell in 0..cells {
+            let v = deltas[lane * cells + cell].wrapping_add(prev);
+            out[cell * cell_size + lane] = v;
+            prev = v;
+        }
+    }
+    Ok(out)
+}
+
+fn check(payload: &[u8], cell_size: usize) -> Result<()> {
+    if cell_size == 0 {
+        return Err(CompressError::ZeroCellSize);
+    }
+    if !payload.len().is_multiple_of(cell_size) {
+        return Err(CompressError::BadPayload {
+            len: payload.len(),
+            cell_size,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_cell_sizes() {
+        for cell_size in [1usize, 2, 3, 4, 8] {
+            let data: Vec<u8> = (0..cell_size * 100).map(|i| (i * 7 % 251) as u8).collect();
+            let fwd = forward(&data, cell_size).unwrap();
+            assert_eq!(fwd.len(), data.len());
+            assert_eq!(inverse(&fwd, cell_size).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn smooth_data_becomes_runs() {
+        // A linear ramp of u16 cells: after shuffle+delta the low lane is
+        // all 1s and the high lane almost all 0s.
+        let cells: Vec<u8> = (0..1000u16).flat_map(|v| v.to_le_bytes()).collect();
+        let fwd = forward(&cells, 2).unwrap();
+        let low_lane = &fwd[..1000];
+        let high_lane = &fwd[1000..];
+        assert!(low_lane.iter().skip(1).all(|&b| b == 1));
+        let zeros = high_lane.iter().filter(|&&b| b == 0).count();
+        assert!(zeros > 990, "high lane mostly zero: {zeros}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(forward(&[1, 2, 3], 2).is_err());
+        assert!(forward(&[1, 2], 0).is_err());
+        assert!(inverse(&[1, 2, 3], 2).is_err());
+        assert_eq!(forward(&[], 4).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for tile compression.
+
+use std::fmt;
+
+/// Errors raised while compressing or decompressing tile payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The compressed stream is truncated or malformed.
+    Corrupt(String),
+    /// The payload length is not a multiple of the cell size.
+    BadPayload {
+        /// Payload length in bytes.
+        len: usize,
+        /// Cell size in bytes.
+        cell_size: usize,
+    },
+    /// A zero cell size was supplied.
+    ZeroCellSize,
+    /// The decoded length does not match what the header promised.
+    LengthMismatch {
+        /// Length the stream header declared.
+        expected: u64,
+        /// Length actually decoded.
+        got: u64,
+    },
+    /// Unknown codec tag in a stored stream.
+    UnknownCodec(u8),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Corrupt(s) => write!(f, "corrupt compressed stream: {s}"),
+            CompressError::BadPayload { len, cell_size } => {
+                write!(f, "payload of {len} bytes is not a multiple of cell size {cell_size}")
+            }
+            CompressError::ZeroCellSize => write!(f, "cell size must be positive"),
+            CompressError::LengthMismatch { expected, got } => {
+                write!(f, "decoded length mismatch: expected {expected}, got {got}")
+            }
+            CompressError::UnknownCodec(tag) => write!(f, "unknown codec tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Convenience result alias for compression operations.
+pub type Result<T> = std::result::Result<T, CompressError>;

@@ -1,0 +1,135 @@
+//! PackBits-style byte run-length coding.
+//!
+//! Control byte `c`:
+//! * `0..=127` — literal run: the next `c + 1` bytes are copied verbatim;
+//! * `128..=255` — repeat run: the next byte repeats `c - 126` times
+//!   (2..=129 copies).
+//!
+//! Worst-case expansion is 1/128 over the input; long constant runs (the
+//! common case for background areas of raster tiles) compress ~64:1.
+
+use crate::error::{CompressError, Result};
+
+/// Encodes `input` with PackBits.
+#[must_use]
+pub fn encode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 4 + 8);
+    let mut i = 0;
+    while i < input.len() {
+        // Measure the repeat run at i.
+        let b = input[i];
+        let mut run = 1usize;
+        while run < 129 && i + run < input.len() && input[i + run] == b {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push((run + 126) as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // Literal run: scan until a repeat of >= 3 starts (a 2-repeat is
+        // not worth breaking a literal for) or 128 bytes accumulate.
+        let start = i;
+        i += 1;
+        while i < input.len() && i - start < 128 {
+            let b = input[i];
+            let mut ahead = 1usize;
+            while ahead < 3 && i + ahead < input.len() && input[i + ahead] == b {
+                ahead += 1;
+            }
+            if ahead >= 3 {
+                break;
+            }
+            i += 1;
+        }
+        let len = i - start;
+        out.push((len - 1) as u8);
+        out.extend_from_slice(&input[start..i]);
+    }
+    out
+}
+
+/// Decodes a PackBits stream produced by [`encode`].
+///
+/// # Errors
+/// [`CompressError::Corrupt`] on truncated runs.
+pub fn decode(input: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0;
+    while i < input.len() {
+        let c = input[i];
+        i += 1;
+        if c <= 127 {
+            let len = c as usize + 1;
+            let lit = input
+                .get(i..i + len)
+                .ok_or_else(|| CompressError::Corrupt("truncated literal run".to_string()))?;
+            out.extend_from_slice(lit);
+            i += len;
+        } else {
+            let count = c as usize - 126;
+            let b = *input
+                .get(i)
+                .ok_or_else(|| CompressError::Corrupt("truncated repeat run".to_string()))?;
+            i += 1;
+            out.resize(out.len() + count, b);
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CompressError::LengthMismatch {
+            expected: expected_len as u64,
+            got: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let enc = encode(data);
+        assert_eq!(decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        round_trip(&[]);
+        round_trip(&[42]);
+    }
+
+    #[test]
+    fn constant_run_compresses_hard() {
+        let data = vec![7u8; 10_000];
+        let enc = encode(&data);
+        assert!(enc.len() < 200, "constant run: {} bytes", enc.len());
+        assert_eq!(decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_expands_bounded() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let enc = encode(&data);
+        assert!(enc.len() <= data.len() + data.len() / 128 + 2);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn mixed_runs() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&[1, 2, 3]);
+        data.extend(std::iter::repeat_n(9u8, 50));
+        data.extend_from_slice(&[4, 4, 5, 6]);
+        data.extend(std::iter::repeat_n(0u8, 300));
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let enc = encode(&[1, 1, 1, 1, 1]);
+        assert!(decode(&enc[..enc.len() - 1], 5).is_err());
+        assert!(decode(&enc, 4).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! LEB128 variable-length integers for compact stream headers.
+
+use crate::error::{CompressError, Result};
+
+/// Appends `value` as an LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `input` starting at `*pos`, advancing it.
+///
+/// # Errors
+/// [`CompressError::Corrupt`] on truncation or overlong encodings.
+pub fn read_varint(input: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input
+            .get(*pos)
+            .ok_or_else(|| CompressError::Corrupt("truncated varint".to_string()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CompressError::Corrupt("varint overflows u64".to_string()));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000_000);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn sequential_reads() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 5);
+        write_varint(&mut buf, 500);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos).unwrap(), 5);
+        assert_eq!(read_varint(&buf, &mut pos).unwrap(), 500);
+    }
+}

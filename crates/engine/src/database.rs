@@ -1,0 +1,702 @@
+//! The MDD storage manager: objects, inserts, queries, re-tiling.
+//!
+//! §5: "an MDD object is composed of a set of multidimensional tiles and an
+//! index on tiles. Cells of each tile are stored in a separate BLOB. The
+//! MDD object index stores the spatial information of the object tiles."
+//!
+//! [`Database`] owns a [`BlobStore`] over any [`PageStore`] (file-backed,
+//! in-memory, or buffer-pooled) and a catalog of [`MddObject`]s. Inserts run
+//! the object's tiling scheme (phase 1) and then materialize, store and
+//! index the tiles (phase 2). Queries ask the R+-tree for the intersected
+//! tiles, fetch each tile BLOB, and compose the result array, collecting
+//! the `t_ix`/`t_o`/`t_cpu` counters of §6 along the way.
+
+use std::collections::BTreeMap;
+
+use tilestore_compress::{CellContext, CompressionPolicy};
+use tilestore_geometry::Domain;
+use tilestore_index::RPlusTree;
+use tilestore_storage::{BlobStore, IoStats, MemPageStore, PageStore, DEFAULT_PAGE_SIZE};
+use tilestore_tiling::{Scheme, StatisticTiling, TilingSpec, TilingStrategy};
+
+use crate::access::{AccessLog, AccessRegion};
+use crate::array::Array;
+use crate::error::{EngineError, Result};
+use crate::mdd::{MddObject, MddType, TileMeta};
+use crate::stats::{InsertStats, QueryStats, RetileStats};
+
+/// State of one stored object: persistent metadata plus the runtime log.
+struct ObjectState {
+    meta: MddObject,
+    log: AccessLog,
+}
+
+/// A database of tiled MDD objects over a page store `S`.
+///
+/// ```
+/// use tilestore_engine::{Array, CellType, Database, MddType};
+/// use tilestore_geometry::{DefDomain, Domain};
+/// use tilestore_tiling::{AlignedTiling, Scheme};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut db = Database::in_memory()?;
+/// db.create_object(
+///     "img",
+///     MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2)?),
+///     Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+/// )?;
+/// let domain: Domain = "[0:63,0:63]".parse()?;
+/// db.insert("img", &Array::from_fn(domain, |p| (p[0] + p[1]) as u8)?)?;
+///
+/// let (crop, stats) = db.range_query("img", &"[8:15,8:15]".parse()?)?;
+/// assert_eq!(crop.domain().cells(), 64);
+/// assert!(stats.tiles_read >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Database<S: PageStore> {
+    blobs: BlobStore<S>,
+    objects: BTreeMap<String, ObjectState>,
+}
+
+impl Database<MemPageStore> {
+    /// An in-memory database (tests, benchmarks excluding file I/O).
+    ///
+    /// # Errors
+    /// Never in practice; page-size validation only.
+    pub fn in_memory() -> Result<Self> {
+        Ok(Database::with_store(MemPageStore::new(DEFAULT_PAGE_SIZE)?))
+    }
+}
+
+impl<S: PageStore> Database<S> {
+    /// A database over an arbitrary page store (e.g. a
+    /// [`tilestore_storage::FilePageStore`] or a
+    /// [`tilestore_storage::BufferPool`]).
+    #[must_use]
+    pub fn with_store(store: S) -> Self {
+        Database {
+            blobs: BlobStore::new(store),
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// A database over a pre-built BLOB store (catalog restore path).
+    pub(crate) fn from_blob_store(blobs: BlobStore<S>) -> Self {
+        Database {
+            blobs,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// Reinstalls a persisted object (catalog restore path).
+    pub(crate) fn restore_object(&mut self, meta: MddObject) {
+        self.objects.insert(
+            meta.name.clone(),
+            ObjectState {
+                meta,
+                log: AccessLog::new(),
+            },
+        );
+    }
+
+    /// The shared I/O statistics of the underlying BLOB store.
+    #[must_use]
+    pub fn io_stats(&self) -> &IoStats {
+        self.blobs.stats()
+    }
+
+    /// The underlying BLOB store (read-only access).
+    #[must_use]
+    pub fn blob_store(&self) -> &BlobStore<S> {
+        &self.blobs
+    }
+
+    /// Mutable BLOB store access for the modification paths.
+    pub(crate) fn blob_store_mut(&mut self) -> &mut BlobStore<S> {
+        &mut self.blobs
+    }
+
+    /// Mutable object metadata (crate-internal).
+    pub(crate) fn object_mut(&mut self, name: &str) -> Result<&mut MddObject> {
+        self.objects
+            .get_mut(name)
+            .map(|s| &mut s.meta)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))
+    }
+
+    /// Names of all stored objects.
+    #[must_use]
+    pub fn object_names(&self) -> Vec<String> {
+        self.objects.keys().cloned().collect()
+    }
+
+    /// Metadata of one object.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`].
+    pub fn object(&self, name: &str) -> Result<&MddObject> {
+        self.objects
+            .get(name)
+            .map(|s| &s.meta)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))
+    }
+
+    /// The access log of one object.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`].
+    pub fn access_log(&self, name: &str) -> Result<&AccessLog> {
+        self.objects
+            .get(name)
+            .map(|s| &s.log)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))
+    }
+
+    /// Sets the per-tile compression policy of an object. Applies to tiles
+    /// written afterwards (inserts and re-tiles); already-stored tiles keep
+    /// their framing and remain readable — call [`Database::retile`] with
+    /// the current scheme to rewrite them under the new policy.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`].
+    pub fn set_compression(&mut self, name: &str, policy: CompressionPolicy) -> Result<()> {
+        let state = self
+            .objects
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
+        state.meta.compression = policy;
+        Ok(())
+    }
+
+    /// Physical bytes the object's tiles occupy in the BLOB store (after
+    /// compression); compare with [`MddObject::stored_bytes`] for the
+    /// logical size.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`]; storage errors.
+    pub fn object_physical_bytes(&self, name: &str) -> Result<u64> {
+        let meta = self.object(name)?;
+        let mut total = 0u64;
+        for tile in &meta.tiles {
+            total += self.blobs.blob_len(tile.blob)?;
+        }
+        Ok(total)
+    }
+
+    /// Creates an empty MDD object.
+    ///
+    /// # Errors
+    /// [`EngineError::ObjectExists`] for duplicate names;
+    /// [`EngineError::Index`] for inconsistent dimensionality.
+    pub fn create_object(&mut self, name: &str, mdd_type: MddType, scheme: Scheme) -> Result<()> {
+        if self.objects.contains_key(name) {
+            return Err(EngineError::ObjectExists(name.to_string()));
+        }
+        let index = RPlusTree::new(mdd_type.dim())?;
+        self.objects.insert(
+            name.to_string(),
+            ObjectState {
+                meta: MddObject {
+                    name: name.to_string(),
+                    mdd_type,
+                    scheme,
+                    compression: CompressionPolicy::None,
+                    tiles: Vec::new(),
+                    index,
+                    current_domain: None,
+                },
+                log: AccessLog::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops an object, freeing its BLOBs.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`]; BLOB deletion errors.
+    pub fn drop_object(&mut self, name: &str) -> Result<()> {
+        let state = self
+            .objects
+            .remove(name)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
+        for tile in &state.meta.tiles {
+            self.blobs.delete(tile.blob)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts (part of) an array into an object.
+    ///
+    /// The array's domain is tiled by the object's scheme, each tile's cells
+    /// are copied together, stored as a BLOB and indexed (§5.2's two
+    /// phases). The current domain grows by closure with the array's domain
+    /// (§4). For gradual growth the new data must not overlap cells already
+    /// stored — tiles are disjoint by definition.
+    ///
+    /// # Errors
+    /// Type/domain validation errors, tiling errors and storage errors.
+    pub fn insert(&mut self, name: &str, array: &Array) -> Result<InsertStats> {
+        let state = self
+            .objects
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
+        let cell_size = state.meta.cell_size();
+        if array.cell_size() != cell_size {
+            return Err(EngineError::CellSizeMismatch {
+                expected: cell_size,
+                got: array.cell_size(),
+            });
+        }
+        if !state.meta.mdd_type.definition.admits(array.domain()) {
+            return Err(EngineError::OutsideDefinitionDomain {
+                domain: array.domain().to_string(),
+                definition: state.meta.mdd_type.definition.to_string(),
+            });
+        }
+        if !state.meta.index.search(array.domain()).hits.is_empty() {
+            return Err(EngineError::OverlapsExistingTiles {
+                domain: array.domain().to_string(),
+            });
+        }
+
+        // Phase 1: the tiling specification.
+        let spec = state.meta.scheme.partition(array.domain(), cell_size)?;
+
+        // Phase 2: materialize, store and index the tiles.
+        let io_before = self.blobs.stats().snapshot();
+        let mut stats = InsertStats::default();
+        let ctx = CellContext {
+            cell_size,
+            default: &state.meta.mdd_type.cell.default,
+        };
+        for tile_domain in spec.tiles() {
+            let tile = array.extract(tile_domain)?;
+            let stream = tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
+                .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+            let blob = self.blobs.create(&stream)?;
+            let pos = state.meta.tiles.len() as u64;
+            state.meta.tiles.push(TileMeta {
+                domain: tile_domain.clone(),
+                blob,
+            });
+            state.meta.index.insert(tile_domain.clone(), pos)?;
+            stats.tiles_created += 1;
+        }
+        let io = self.blobs.stats().snapshot().since(&io_before);
+        stats.bytes_written = io.bytes_written;
+        stats.pages_written = io.pages_written;
+
+        state.meta.current_domain = Some(match state.meta.current_domain.take() {
+            Some(cur) => cur.hull(array.domain())?,
+            None => array.domain().clone(),
+        });
+        Ok(stats)
+    }
+
+    /// Executes a range query (§5.1 type (b)): returns the sub-array over
+    /// `region`, with uncovered cells holding the type's default value, plus
+    /// the execution counters.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`], domain validation errors, storage
+    /// errors.
+    pub fn range_query(&self, name: &str, region: &Domain) -> Result<(Array, QueryStats)> {
+        let state = self
+            .objects
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
+        if !state.meta.mdd_type.definition.admits(region) {
+            return Err(EngineError::OutsideDefinitionDomain {
+                domain: region.to_string(),
+                definition: state.meta.mdd_type.definition.to_string(),
+            });
+        }
+        state.log.record(region);
+        self.execute_range(&state.meta, region)
+    }
+
+    /// Executes any §5.1 access. Sections (type (d)) come back with the
+    /// fixed axes dropped from the result's dimensionality.
+    ///
+    /// # Errors
+    /// [`EngineError::EmptyObject`] when the object holds no cells (the
+    /// access cannot be resolved against a current domain), plus the errors
+    /// of [`Database::range_query`].
+    pub fn query(&self, name: &str, access: &AccessRegion) -> Result<(Array, QueryStats)> {
+        let state = self
+            .objects
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
+        let current = state
+            .meta
+            .current_domain
+            .as_ref()
+            .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
+        let (region, fixed_axes) = access.resolve(current)?;
+        let (array, stats) = self.range_query(name, &region)?;
+        if fixed_axes.is_empty() {
+            return Ok((array, stats));
+        }
+        let section_domain = region.project_out(&fixed_axes)?;
+        Ok((array.reshaped(section_domain)?, stats))
+    }
+
+    /// Fetches and decompresses one tile's cell payload.
+    pub(crate) fn read_tile_payload(&self, meta: &MddObject, tile: &TileMeta) -> Result<Vec<u8>> {
+        let stream = self.blobs.read(tile.blob)?;
+        let ctx = CellContext {
+            cell_size: meta.cell_size(),
+            default: &meta.mdd_type.cell.default,
+        };
+        tilestore_compress::decompress(&stream, &ctx)
+            .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))
+    }
+
+    /// Shared query executor: index lookup, tile fetch, composition.
+    fn execute_range(&self, meta: &MddObject, region: &Domain) -> Result<(Array, QueryStats)> {
+        let cell_size = meta.cell_size();
+        let search = meta.index.search(region);
+        let mut result = Array::filled(region.clone(), &meta.mdd_type.cell.default)?;
+        let io_before = self.blobs.stats().snapshot();
+        let mut stats = QueryStats {
+            index_nodes: search.nodes_visited,
+            ..QueryStats::default()
+        };
+        for &pos in &search.hits {
+            let tile = &meta.tiles[pos as usize];
+            let bytes = self.read_tile_payload(meta, tile)?;
+            let tile_array = Array::from_bytes(tile.domain.clone(), cell_size, bytes)?;
+            let copied = result.paste(&tile_array)?;
+            stats.tiles_read += 1;
+            stats.cells_processed += tile.domain.cells();
+            stats.cells_copied += copied;
+        }
+        stats.io = self.blobs.stats().snapshot().since(&io_before);
+        stats.cells_defaulted = region.cells() - stats.cells_copied;
+        Ok((result, stats))
+    }
+
+    /// Replaces an object's tiling with a new scheme, rewriting the tiles.
+    ///
+    /// New tiles are materialized from the old ones; new-tiling tiles that
+    /// intersect no stored data remain unmaterialized, preserving partial
+    /// coverage (a new tile partially covering old data stores default
+    /// values for the uncovered cells it spans).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`], [`EngineError::EmptyObject`],
+    /// tiling and storage errors.
+    pub fn retile(&mut self, name: &str, scheme: Scheme) -> Result<RetileStats> {
+        let state = self
+            .objects
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
+        let current = state
+            .meta
+            .current_domain
+            .clone()
+            .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
+        let cell_size = state.meta.cell_size();
+        let spec: TilingSpec = scheme.partition(&current, cell_size)?;
+
+        let mut stats = RetileStats {
+            tiles_before: state.meta.tiles.len() as u64,
+            ..RetileStats::default()
+        };
+        let mut new_tiles: Vec<TileMeta> = Vec::with_capacity(spec.len());
+        let default = state.meta.mdd_type.cell.default.clone();
+        let ctx = CellContext {
+            cell_size,
+            default: &default,
+        };
+        for tile_domain in spec.tiles() {
+            let hits = state.meta.index.search(tile_domain).hits;
+            if hits.is_empty() {
+                continue; // stays uncovered
+            }
+            let mut tile = Array::filled(tile_domain.clone(), &default)?;
+            for pos in hits {
+                let old = &state.meta.tiles[pos as usize];
+                let stream = self.blobs.read(old.blob)?;
+                let bytes = tilestore_compress::decompress(&stream, &ctx)
+                    .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))?;
+                let old_array = Array::from_bytes(old.domain.clone(), cell_size, bytes)?;
+                tile.paste(&old_array)?;
+            }
+            let stream = tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
+                .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+            let blob = self.blobs.create(&stream)?;
+            stats.bytes_rewritten += tile.size_bytes();
+            new_tiles.push(TileMeta {
+                domain: tile_domain.clone(),
+                blob,
+            });
+        }
+        // Swap in the new tiles and rebuild the index.
+        for old in &state.meta.tiles {
+            self.blobs.delete(old.blob)?;
+        }
+        let entries: Vec<(Domain, u64)> = new_tiles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.domain.clone(), i as u64))
+            .collect();
+        state.meta.index =
+            RPlusTree::bulk_load(state.meta.mdd_type.dim(), tilestore_index::DEFAULT_FANOUT, entries)?;
+        state.meta.tiles = new_tiles;
+        state.meta.scheme = scheme;
+        stats.tiles_after = state.meta.tiles.len() as u64;
+        Ok(stats)
+    }
+
+    /// Automatic tiling based on access statistics (§5.2): derives a
+    /// [`StatisticTiling`] from the object's access log and re-tiles.
+    ///
+    /// # Errors
+    /// The errors of [`Database::retile`].
+    pub fn auto_retile(
+        &mut self,
+        name: &str,
+        distance_threshold: u64,
+        frequency_threshold: u64,
+        max_tile_size: u64,
+    ) -> Result<RetileStats> {
+        let records = self.access_log(name)?.to_records();
+        let scheme = Scheme::Statistic(StatisticTiling::new(
+            records,
+            distance_threshold,
+            frequency_threshold,
+            max_tile_size,
+        ));
+        self.retile(name, scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilestore_geometry::Point;
+    use tilestore_tiling::AlignedTiling;
+
+    use crate::celltype::CellType;
+
+    fn d(s: &str) -> Domain {
+        s.parse().unwrap()
+    }
+
+    fn u32_type(def: &str) -> MddType {
+        MddType::new(CellType::of::<u32>(), def.parse().unwrap())
+    }
+
+    fn fresh_db_with_object(scheme: Scheme) -> Database<MemPageStore> {
+        let mut db = Database::in_memory().unwrap();
+        db.create_object("obj", u32_type("[0:*,0:*]"), scheme).unwrap();
+        db
+    }
+
+    fn checkerboard(dom: &str) -> Array {
+        Array::from_fn(d(dom), |p| (p[0] * 1000 + p[1]) as u32).unwrap()
+    }
+
+    #[test]
+    fn insert_then_query_round_trips() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        let data = checkerboard("[0:99,0:99]");
+        let ins = db.insert("obj", &data).unwrap();
+        assert!(ins.tiles_created > 1);
+
+        let (out, stats) = db.range_query("obj", &d("[10:20,30:45]")).unwrap();
+        assert_eq!(out.domain(), &d("[10:20,30:45]"));
+        assert_eq!(
+            out.get::<u32>(&Point::from_slice(&[15, 40])).unwrap(),
+            15040
+        );
+        assert!(stats.tiles_read >= 1);
+        assert_eq!(stats.cells_copied, 11 * 16);
+        assert_eq!(stats.cells_defaulted, 0);
+        assert!(stats.io.pages_read > 0);
+        assert!(stats.index_nodes >= 1);
+    }
+
+    #[test]
+    fn whole_query_reproduces_input() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let data = checkerboard("[0:19,0:19]");
+        db.insert("obj", &data).unwrap();
+        let (out, _) = db.query("obj", &AccessRegion::Whole).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn uncovered_cells_read_default() {
+        let mut db = Database::in_memory().unwrap();
+        let cell = CellType::with_default("u32", 7u32.to_le_bytes().to_vec());
+        db.create_object(
+            "obj",
+            MddType::new(cell, "[0:*,0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+        )
+        .unwrap();
+        db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
+        // Query beyond the covered area: outside cells get the default 7.
+        let (out, stats) = db.range_query("obj", &d("[5:14,0:9]")).unwrap();
+        assert_eq!(out.get::<u32>(&Point::from_slice(&[9, 9])).unwrap(), 9009);
+        assert_eq!(out.get::<u32>(&Point::from_slice(&[12, 3])).unwrap(), 7);
+        assert_eq!(stats.cells_defaulted, 50);
+    }
+
+    #[test]
+    fn gradual_growth_updates_current_domain_by_closure() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
+        assert_eq!(db.object("obj").unwrap().current_domain, Some(d("[0:9,0:9]")));
+        db.insert("obj", &checkerboard("[20:29,0:9]")).unwrap();
+        // Closure: minimal interval containing both (§4).
+        assert_eq!(
+            db.object("obj").unwrap().current_domain,
+            Some(d("[0:29,0:9]"))
+        );
+        // The gap [10:19] stays uncovered and reads as default (0).
+        let (out, _) = db.range_query("obj", &d("[10:19,0:9]")).unwrap();
+        assert!(out.to_cells::<u32>().unwrap().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn overlapping_insert_rejected() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
+        let err = db.insert("obj", &checkerboard("[5:14,5:14]")).unwrap_err();
+        assert!(matches!(err, EngineError::OverlapsExistingTiles { .. }));
+    }
+
+    #[test]
+    fn definition_domain_enforced() {
+        let mut db = Database::in_memory().unwrap();
+        db.create_object(
+            "bounded",
+            u32_type("[0:9,0:9]"),
+            Scheme::default_for(2),
+        )
+        .unwrap();
+        let err = db.insert("bounded", &checkerboard("[0:9,0:15]")).unwrap_err();
+        assert!(matches!(err, EngineError::OutsideDefinitionDomain { .. }));
+        assert!(db.range_query("bounded", &d("[0:9,0:15]")).is_err());
+    }
+
+    #[test]
+    fn section_query_drops_fixed_axes() {
+        let mut db = Database::in_memory().unwrap();
+        db.create_object("vol", u32_type("[0:*,0:*,0:*]"), Scheme::default_for(3))
+            .unwrap();
+        let data = Array::from_fn(d("[0:4,0:4,0:4]"), |p| {
+            (p[0] * 100 + p[1] * 10 + p[2]) as u32
+        })
+        .unwrap();
+        db.insert("vol", &data).unwrap();
+        let (out, _) = db
+            .query("vol", &AccessRegion::Section(vec![None, Some(3), None]))
+            .unwrap();
+        assert_eq!(out.domain(), &d("[0:4,0:4]"));
+        assert_eq!(out.get::<u32>(&Point::from_slice(&[2, 4])).unwrap(), 234);
+    }
+
+    #[test]
+    fn queries_are_logged_for_statistic_tiling() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        db.insert("obj", &checkerboard("[0:49,0:49]")).unwrap();
+        for _ in 0..5 {
+            db.range_query("obj", &d("[0:9,0:9]")).unwrap();
+        }
+        db.range_query("obj", &d("[40:49,40:49]")).unwrap();
+        let log = db.access_log("obj").unwrap();
+        assert_eq!(log.total_accesses(), 6);
+        assert_eq!(log.distinct_regions(), 2);
+    }
+
+    #[test]
+    fn auto_retile_adapts_to_hot_region() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        let data = checkerboard("[0:99,0:99]");
+        db.insert("obj", &data).unwrap();
+        let hot = d("[10:29,10:29]");
+        for _ in 0..10 {
+            db.range_query("obj", &hot).unwrap();
+        }
+        let stats = db.auto_retile("obj", 0, 5, 64 * 1024).unwrap();
+        assert!(stats.tiles_after > 0);
+        // After adaptation the hot query reads exactly its own bytes.
+        let (out, qs) = db.range_query("obj", &hot).unwrap();
+        assert_eq!(out, data.extract(&hot).unwrap());
+        assert_eq!(qs.cells_processed, hot.cells());
+        // Full content still correct.
+        let (all, _) = db.range_query("obj", &d("[0:99,0:99]")).unwrap();
+        assert_eq!(all, data);
+    }
+
+    #[test]
+    fn retile_preserves_partial_coverage() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
+        db.insert("obj", &checkerboard("[90:99,90:99]")).unwrap();
+        let before = db.object("obj").unwrap().covered_cells();
+        db.retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 512)))
+            .unwrap();
+        let after = db.object("obj").unwrap().covered_cells();
+        // The uncovered middle must not have been densified.
+        assert!(after < d("[0:99,0:99]").cells(), "object was densified");
+        assert!(after >= before);
+        let (out, _) = db.range_query("obj", &d("[0:9,0:9]")).unwrap();
+        assert_eq!(out, checkerboard("[0:9,0:9]"));
+    }
+
+    #[test]
+    fn drop_object_frees_blobs() {
+        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        db.insert("obj", &checkerboard("[0:19,0:19]")).unwrap();
+        assert!(db.blob_store().blob_count() > 0);
+        db.drop_object("obj").unwrap();
+        assert_eq!(db.blob_store().blob_count(), 0);
+        assert!(db.object("obj").is_err());
+        assert!(db.drop_object("obj").is_err());
+    }
+
+    #[test]
+    fn empty_object_behaviour() {
+        let db_err = {
+            let mut db = fresh_db_with_object(Scheme::default_for(2));
+            let r = db.query("obj", &AccessRegion::Whole);
+            assert!(matches!(r, Err(EngineError::EmptyObject(_))));
+            db.retile("obj", Scheme::default_for(2))
+        };
+        assert!(matches!(db_err, Err(EngineError::EmptyObject(_))));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_objects() {
+        let mut db = fresh_db_with_object(Scheme::default_for(2));
+        assert!(matches!(
+            db.create_object("obj", u32_type("[0:*,0:*]"), Scheme::default_for(2)),
+            Err(EngineError::ObjectExists(_))
+        ));
+        assert!(matches!(
+            db.range_query("nope", &d("[0:1,0:1]")),
+            Err(EngineError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            db.insert("nope", &checkerboard("[0:1,0:1]")),
+            Err(EngineError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn cell_size_mismatch_rejected() {
+        let mut db = fresh_db_with_object(Scheme::default_for(2));
+        let bytes = Array::from_cells(d("[0:1,0:1]"), &[1u8, 2, 3, 4]).unwrap();
+        assert!(matches!(
+            db.insert("obj", &bytes),
+            Err(EngineError::CellSizeMismatch { expected: 4, got: 1 })
+        ));
+    }
+}

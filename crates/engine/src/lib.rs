@@ -1,0 +1,45 @@
+//! The MDD storage manager of *Furtado & Baumann (ICDE 1999)*.
+//!
+//! An MDD object is a set of multidimensional tiles plus an R+-tree index
+//! over their domains; tile cells live in BLOBs of a page-based store (§5).
+//! This crate ties the workspace's substrates together:
+//!
+//! * [`Database`] — catalog of [`MddObject`]s over any page store; insert
+//!   runs the object's tiling [`Scheme`](tilestore_tiling::Scheme)
+//!   (phase 1) and materializes/stores/indexes the tiles (phase 2);
+//! * [`Array`] / [`CellValue`] / [`CellType`] — dense array values with
+//!   typed cell access;
+//! * [`AccessRegion`] — the §5.1 access model: whole object, range query,
+//!   partial range query, section;
+//! * [`QueryStats`] / [`QueryTimes`] — the §6 time decomposition
+//!   (`t_ix`, `t_o`, `t_cpu` and the totals);
+//! * [`AccessLog`] + [`Database::auto_retile`] — automatic tiling from
+//!   access statistics;
+//! * catalog persistence for file-backed databases ([`Catalog`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod access;
+mod aggregate;
+mod array;
+mod celltype;
+mod database;
+mod error;
+mod induce;
+mod mdd;
+mod modify;
+mod persist;
+mod stats;
+
+pub use access::{AccessLog, AccessRegion};
+pub use aggregate::{aggregate_array, AggKind, AggValue};
+pub use array::Array;
+pub use celltype::{CellType, CellValue, Rgb};
+pub use database::Database;
+pub use error::{EngineError, Result};
+pub use induce::{induce_map, induce_scalar, BinOp};
+pub use mdd::{MddObject, MddType, TileMeta};
+pub use modify::{DeleteStats, UpdateStats};
+pub use persist::{Catalog, CATALOG_FILE, PAGES_FILE};
+pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};

@@ -1,0 +1,110 @@
+//! MDD object metadata: types, tiles and current domains (§3–§5).
+
+use serde::{Deserialize, Serialize};
+use tilestore_compress::CompressionPolicy;
+use tilestore_geometry::{DefDomain, Domain};
+use tilestore_index::RPlusTree;
+use tilestore_storage::BlobId;
+use tilestore_tiling::Scheme;
+
+use crate::celltype::CellType;
+
+/// The type of an MDD object: base (cell) type plus definition domain (§3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MddType {
+    /// The base type of the cells.
+    pub cell: CellType,
+    /// The definition domain; bounds may be unlimited (`*`).
+    pub definition: DefDomain,
+}
+
+impl MddType {
+    /// Creates an MDD type.
+    #[must_use]
+    pub fn new(cell: CellType, definition: DefDomain) -> Self {
+        MddType { cell, definition }
+    }
+
+    /// Dimensionality of instances of this type.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.definition.dim()
+    }
+}
+
+/// One stored tile: its spatial domain and the BLOB holding its cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileMeta {
+    /// The tile's spatial domain.
+    pub domain: Domain,
+    /// The BLOB storing the tile's cells (row-major within the domain).
+    pub blob: BlobId,
+}
+
+/// A stored MDD object: type, tiling scheme, tiles and index.
+///
+/// The *current domain* is the minimal interval containing all inserted
+/// cells; it grows by closure as tiles are inserted (§4) and is `None` for
+/// an object that holds no cells yet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MddObject {
+    /// Object name (unique within a database).
+    pub name: String,
+    /// The MDD type.
+    pub mdd_type: MddType,
+    /// The tiling scheme applied to inserted data.
+    pub scheme: Scheme,
+    /// Per-tile compression policy (§8: selective compression of blocks).
+    /// Applies to tiles written after it is set; streams are
+    /// self-describing, so mixed-codec objects read back correctly.
+    #[serde(default)]
+    pub compression: CompressionPolicy,
+    /// All stored tiles; index payloads are positions in this vector.
+    pub tiles: Vec<TileMeta>,
+    /// The R+-tree over tile domains.
+    pub index: RPlusTree,
+    /// Current spatial domain (`None` while empty).
+    pub current_domain: Option<Domain>,
+}
+
+impl MddObject {
+    /// Cell size in bytes.
+    #[must_use]
+    pub fn cell_size(&self) -> usize {
+        self.mdd_type.cell.size
+    }
+
+    /// Total cells covered by tiles (partial coverage means this can be
+    /// less than the current domain's cell count).
+    #[must_use]
+    pub fn covered_cells(&self) -> u64 {
+        self.tiles.iter().map(|t| t.domain.cells()).sum()
+    }
+
+    /// Total payload bytes across tiles.
+    #[must_use]
+    pub fn stored_bytes(&self) -> u64 {
+        self.covered_cells() * self.cell_size() as u64
+    }
+
+    /// Number of tiles.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mdd_type_dim_comes_from_definition() {
+        let t = MddType::new(
+            CellType::of::<u32>(),
+            "[0:*,0:99]".parse().unwrap(),
+        );
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.cell.size, 4);
+    }
+}

@@ -1,0 +1,409 @@
+//! In-place modification: cell updates and removal of regions.
+//!
+//! §2: storage management must support "sparsity, growth and shrinkage of
+//! arrays corresponding to the insertion and removal of data".
+//!
+//! * [`Database::update`] overwrites cells — covered cells are rewritten in
+//!   their tiles; newly-touched (previously uncovered) areas are tiled by
+//!   the object's scheme and stored, so an update over a partially covered
+//!   region both modifies and grows the object;
+//! * [`Database::delete_region`] removes cells — tiles fully inside the
+//!   region are dropped; border tiles are split into their remainder boxes
+//!   (arbitrary tiling makes the resulting non-aligned layout legal). The
+//!   current domain *shrinks* to the hull of the remaining tiles.
+
+use tilestore_compress::CellContext;
+use tilestore_geometry::{difference, uncovered, Domain};
+use tilestore_index::RPlusTree;
+use tilestore_storage::PageStore;
+use tilestore_tiling::TilingStrategy;
+
+use crate::array::Array;
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::mdd::TileMeta;
+
+/// Statistics of an [`Database::update`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Existing tiles whose cells were rewritten.
+    pub tiles_rewritten: u64,
+    /// New tiles created for previously uncovered areas.
+    pub tiles_created: u64,
+    /// Cells overwritten in existing tiles.
+    pub cells_updated: u64,
+}
+
+/// Statistics of a [`Database::delete_region`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeleteStats {
+    /// Tiles removed entirely.
+    pub tiles_dropped: u64,
+    /// Border tiles split into remainder boxes.
+    pub tiles_split: u64,
+    /// Cells removed from storage.
+    pub cells_removed: u64,
+}
+
+impl<S: PageStore> Database<S> {
+    /// Overwrites the cells of `array.domain()` with `array`'s values.
+    ///
+    /// Unlike [`Database::insert`], overlap with existing tiles is the
+    /// *point*: covered cells are rewritten in place (tile BLOBs are
+    /// re-encoded under the object's compression policy); uncovered parts
+    /// of the region are tiled by the object's scheme and added. The
+    /// current domain grows by closure as with inserts.
+    ///
+    /// # Errors
+    /// Type/domain validation errors, tiling and storage errors.
+    pub fn update(&mut self, name: &str, array: &Array) -> Result<UpdateStats> {
+        let (cell_size, compression, default, scheme, hits) = {
+            let meta = self.object(name)?;
+            if array.cell_size() != meta.cell_size() {
+                return Err(EngineError::CellSizeMismatch {
+                    expected: meta.cell_size(),
+                    got: array.cell_size(),
+                });
+            }
+            if !meta.mdd_type.definition.admits(array.domain()) {
+                return Err(EngineError::OutsideDefinitionDomain {
+                    domain: array.domain().to_string(),
+                    definition: meta.mdd_type.definition.to_string(),
+                });
+            }
+            (
+                meta.cell_size(),
+                meta.compression.clone(),
+                meta.mdd_type.cell.default.clone(),
+                meta.scheme.clone(),
+                meta.index.search(array.domain()).hits,
+            )
+        };
+        let ctx = CellContext {
+            cell_size,
+            default: &default,
+        };
+        let mut stats = UpdateStats::default();
+        let mut covered: Vec<Domain> = Vec::with_capacity(hits.len());
+
+        // Rewrite intersected tiles.
+        for pos in &hits {
+            let (tile_domain, blob) = {
+                let meta = self.object(name)?;
+                let t = &meta.tiles[*pos as usize];
+                (t.domain.clone(), t.blob)
+            };
+            let meta = self.object(name)?;
+            let payload = self.read_tile_payload(meta, &meta.tiles[*pos as usize])?;
+            let mut tile = Array::from_bytes(tile_domain.clone(), cell_size, payload)?;
+            let updated = tile.paste(array)?;
+            let stream = tilestore_compress::compress(&compression, tile.bytes(), &ctx)
+                .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+            self.blob_store_mut().update(blob, &stream)?;
+            stats.tiles_rewritten += 1;
+            stats.cells_updated += updated;
+            covered.push(tile_domain);
+        }
+
+        // Tile and store the previously uncovered remainder.
+        let remainder = uncovered(array.domain(), &covered)?;
+        for piece in remainder {
+            let spec = scheme.partition(&piece, cell_size)?;
+            for tile_domain in spec.tiles() {
+                let tile = array.extract(tile_domain)?;
+                let stream = tilestore_compress::compress(&compression, tile.bytes(), &ctx)
+                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let blob = self.blob_store_mut().create(&stream)?;
+                self.push_tile(name, tile_domain.clone(), blob)?;
+                stats.tiles_created += 1;
+            }
+        }
+
+        // Grow the current domain by closure.
+        self.grow_current_domain(name, array.domain())?;
+        Ok(stats)
+    }
+
+    /// Removes every stored cell inside `region`. Reading the region
+    /// afterwards returns the default value; the current domain shrinks to
+    /// the hull of the remaining tiles (`None` when nothing remains).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`]; storage errors.
+    pub fn delete_region(&mut self, name: &str, region: &Domain) -> Result<DeleteStats> {
+        let (cell_size, compression, default, hits) = {
+            let meta = self.object(name)?;
+            (
+                meta.cell_size(),
+                meta.compression.clone(),
+                meta.mdd_type.cell.default.clone(),
+                meta.index.search(region).hits,
+            )
+        };
+        let ctx = CellContext {
+            cell_size,
+            default: &default,
+        };
+        let mut stats = DeleteStats::default();
+        let mut drop_positions: Vec<u64> = Vec::new();
+        let mut replacement_tiles: Vec<TileMeta> = Vec::new();
+
+        for pos in &hits {
+            let (tile_domain, blob) = {
+                let meta = self.object(name)?;
+                let t = &meta.tiles[*pos as usize];
+                (t.domain.clone(), t.blob)
+            };
+            if region.contains_domain(&tile_domain) {
+                // Whole tile vanishes.
+                self.blob_store_mut().delete(blob)?;
+                stats.tiles_dropped += 1;
+                stats.cells_removed += tile_domain.cells();
+                drop_positions.push(*pos);
+                continue;
+            }
+            // Border tile: keep only the remainder boxes.
+            let meta = self.object(name)?;
+            let payload = self.read_tile_payload(meta, &meta.tiles[*pos as usize])?;
+            let tile = Array::from_bytes(tile_domain.clone(), cell_size, payload)?;
+            let remainder = difference(&tile_domain, region);
+            for piece in remainder {
+                let part = tile.extract(&piece)?;
+                let stream = tilestore_compress::compress(&compression, part.bytes(), &ctx)
+                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let new_blob = self.blob_store_mut().create(&stream)?;
+                replacement_tiles.push(TileMeta {
+                    domain: piece,
+                    blob: new_blob,
+                });
+            }
+            self.blob_store_mut().delete(blob)?;
+            stats.tiles_split += 1;
+            stats.cells_removed += tile_domain
+                .intersection(region)
+                .map_or(0, |i| i.cells());
+            drop_positions.push(*pos);
+        }
+
+        if !drop_positions.is_empty() {
+            self.rebuild_tiles(name, &drop_positions, replacement_tiles)?;
+        }
+        Ok(stats)
+    }
+}
+
+// Internal helpers on Database used by the modification paths; kept in this
+// module to keep `database.rs` focused on the §5 core.
+impl<S: PageStore> Database<S> {
+    /// Appends one tile to an object (tile list + index).
+    pub(crate) fn push_tile(&mut self, name: &str, domain: Domain, blob: tilestore_storage::BlobId) -> Result<()> {
+        let meta = self.object_mut(name)?;
+        let pos = meta.tiles.len() as u64;
+        meta.tiles.push(TileMeta {
+            domain: domain.clone(),
+            blob,
+        });
+        meta.index.insert(domain, pos)?;
+        Ok(())
+    }
+
+    /// Grows the current domain by closure with `domain`.
+    pub(crate) fn grow_current_domain(&mut self, name: &str, domain: &Domain) -> Result<()> {
+        let meta = self.object_mut(name)?;
+        meta.current_domain = Some(match meta.current_domain.take() {
+            Some(cur) => cur.hull(domain)?,
+            None => domain.clone(),
+        });
+        Ok(())
+    }
+
+    /// Rebuilds the tile list and index after removals, installing
+    /// `replacements`, and recomputes the (possibly shrunken) current
+    /// domain.
+    fn rebuild_tiles(
+        &mut self,
+        name: &str,
+        dropped: &[u64],
+        replacements: Vec<TileMeta>,
+    ) -> Result<()> {
+        let meta = self.object_mut(name)?;
+        let mut kept: Vec<TileMeta> = meta
+            .tiles
+            .drain(..)
+            .enumerate()
+            .filter(|(i, _)| !dropped.contains(&(*i as u64)))
+            .map(|(_, t)| t)
+            .collect();
+        kept.extend(replacements);
+        let entries: Vec<(Domain, u64)> = kept
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.domain.clone(), i as u64))
+            .collect();
+        meta.index = RPlusTree::bulk_load(
+            meta.mdd_type.dim(),
+            tilestore_index::DEFAULT_FANOUT,
+            entries,
+        )?;
+        // Shrinkage: the current domain is the hull of what remains.
+        meta.current_domain = kept
+            .iter()
+            .map(|t| t.domain.clone())
+            .reduce(|a, b| a.hull(&b).expect("uniform dimensionality"));
+        meta.tiles = kept;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::celltype::CellType;
+    use crate::mdd::MddType;
+    use tilestore_geometry::{DefDomain, Point};
+    use tilestore_tiling::{AlignedTiling, Scheme};
+
+    fn d(s: &str) -> Domain {
+        s.parse().unwrap()
+    }
+
+    fn setup() -> Database<tilestore_storage::MemPageStore> {
+        let mut db = Database::in_memory().unwrap();
+        db.create_object(
+            "m",
+            MddType::new(CellType::of::<u16>(), DefDomain::unlimited(2).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 512)),
+        )
+        .unwrap();
+        db.insert(
+            "m",
+            &Array::from_fn(d("[0:31,0:31]"), |p| (p[0] * 32 + p[1]) as u16).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn update_overwrites_covered_cells() {
+        let mut db = setup();
+        let patch = Array::filled(d("[10:20,10:20]"), &9999u16.to_le_bytes()).unwrap();
+        let stats = db.update("m", &patch).unwrap();
+        assert!(stats.tiles_rewritten > 0);
+        assert_eq!(stats.tiles_created, 0);
+        assert_eq!(stats.cells_updated, 121);
+        let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
+        assert_eq!(out.get::<u16>(&Point::from_slice(&[15, 15])).unwrap(), 9999);
+        assert_eq!(out.get::<u16>(&Point::from_slice(&[5, 5])).unwrap(), 5 * 32 + 5);
+    }
+
+    #[test]
+    fn update_grows_into_uncovered_space() {
+        let mut db = setup();
+        // Patch straddling coverage: half over existing cells, half beyond.
+        let patch = Array::filled(d("[24:39,0:15]"), &7u16.to_le_bytes()).unwrap();
+        let stats = db.update("m", &patch).unwrap();
+        assert!(stats.tiles_rewritten > 0);
+        assert!(stats.tiles_created > 0, "uncovered part must be stored");
+        assert_eq!(
+            db.object("m").unwrap().current_domain,
+            Some(d("[0:39,0:31]"))
+        );
+        let (out, _) = db.range_query("m", &d("[24:39,0:15]")).unwrap();
+        assert!(out.to_cells::<u16>().unwrap().iter().all(|&c| c == 7));
+    }
+
+    #[test]
+    fn update_validates_type_and_domain() {
+        let mut db = setup();
+        let wrong = Array::filled(d("[0:1,0:1]"), &[1u8]).unwrap();
+        assert!(matches!(
+            db.update("m", &wrong),
+            Err(EngineError::CellSizeMismatch { .. })
+        ));
+        assert!(db.update("nope", &wrong).is_err());
+    }
+
+    #[test]
+    fn delete_whole_tiles_and_read_default() {
+        let mut db = setup();
+        let before_blobs = db.blob_store().blob_count();
+        let stats = db.delete_region("m", &d("[0:15,0:15]")).unwrap();
+        assert!(stats.tiles_dropped > 0);
+        assert_eq!(stats.cells_removed, 256);
+        assert!(db.blob_store().blob_count() < before_blobs + stats.tiles_split as usize * 4);
+        let (out, _) = db.range_query("m", &d("[0:15,0:15]")).unwrap();
+        assert!(out.to_cells::<u16>().unwrap().iter().all(|&c| c == 0));
+        // Cells outside the deleted region survive.
+        let (out, _) = db.range_query("m", &d("[16:31,0:31]")).unwrap();
+        assert_eq!(
+            out.get::<u16>(&Point::from_slice(&[20, 20])).unwrap(),
+            20 * 32 + 20
+        );
+    }
+
+    #[test]
+    fn delete_splits_border_tiles() {
+        let mut db = setup();
+        // A region not aligned to the 16x16 tile grid.
+        let region = d("[5:12,5:26]");
+        let stats = db.delete_region("m", &region).unwrap();
+        assert!(stats.tiles_split > 0);
+        assert_eq!(stats.cells_removed, region.cells());
+        let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
+        for p in tilestore_geometry::PointIter::new(d("[0:31,0:31]")) {
+            let got: u16 = out.get(&p).unwrap();
+            if region.contains_point(&p) {
+                assert_eq!(got, 0, "deleted cell {p} must read default");
+            } else {
+                assert_eq!(got, (p[0] * 32 + p[1]) as u16, "cell {p} must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_shrinks_current_domain() {
+        let mut db = setup();
+        db.delete_region("m", &d("[16:31,0:31]")).unwrap();
+        assert_eq!(
+            db.object("m").unwrap().current_domain,
+            Some(d("[0:15,0:31]")),
+            "current domain shrinks to the remaining hull"
+        );
+        // Deleting everything empties the object.
+        db.delete_region("m", &d("[0:31,0:31]")).unwrap();
+        assert_eq!(db.object("m").unwrap().current_domain, None);
+        assert_eq!(db.object("m").unwrap().tile_count(), 0);
+        assert_eq!(db.blob_store().blob_count(), 0);
+        // And it can be refilled.
+        db.insert("m", &Array::filled(d("[0:3,0:3]"), &[1, 0]).unwrap())
+            .unwrap();
+        assert_eq!(db.object("m").unwrap().current_domain, Some(d("[0:3,0:3]")));
+    }
+
+    #[test]
+    fn delete_disjoint_region_is_a_noop() {
+        let mut db = setup();
+        let before = db.object("m").unwrap().tile_count();
+        let stats = db.delete_region("m", &d("[100:110,100:110]")).unwrap();
+        assert_eq!(stats, DeleteStats::default());
+        assert_eq!(db.object("m").unwrap().tile_count(), before);
+    }
+
+    #[test]
+    fn update_then_delete_with_compression() {
+        use tilestore_compress::CompressionPolicy;
+        let mut db = setup();
+        db.set_compression("m", CompressionPolicy::selective_default())
+            .unwrap();
+        let patch = Array::filled(d("[8:23,8:23]"), &0xABCDu16.to_le_bytes()).unwrap();
+        db.update("m", &patch).unwrap();
+        db.delete_region("m", &d("[0:7,0:31]")).unwrap();
+        let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
+        assert_eq!(out.get::<u16>(&Point::from_slice(&[10, 10])).unwrap(), 0xABCD);
+        assert_eq!(out.get::<u16>(&Point::from_slice(&[3, 3])).unwrap(), 0);
+        assert_eq!(
+            out.get::<u16>(&Point::from_slice(&[30, 3])).unwrap(),
+            30 * 32 + 3
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Query execution statistics and the paper's time decomposition (§6).
+
+use serde::{Deserialize, Serialize};
+use tilestore_storage::{CostModel, IoSnapshot};
+
+/// Counters collected while executing one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Index nodes visited while locating the intersected tiles.
+    pub index_nodes: u64,
+    /// Tiles fetched from storage.
+    pub tiles_read: u64,
+    /// I/O performed while fetching tiles.
+    pub io: IoSnapshot,
+    /// Cells of fetched tiles handled during post-processing — the basis of
+    /// `t_cpu` (border tiles are processed whole even when only part of
+    /// their cells lands in the result).
+    pub cells_processed: u64,
+    /// Cells actually copied into the result array.
+    pub cells_copied: u64,
+    /// Cells of the result filled with the default value (uncovered areas).
+    pub cells_defaulted: u64,
+}
+
+impl QueryStats {
+    /// Converts the counters to the paper's time components under `model`.
+    ///
+    /// `t_cpu` distinguishes useful work (cells composed into the result or
+    /// default-filled) from waste (cells fetched in border tiles but
+    /// clipped away) — the latter is what makes regular tiling expensive in
+    /// §6.1's post-processing measurements.
+    #[must_use]
+    pub fn times(&self, model: &CostModel) -> QueryTimes {
+        let t_ix = model.t_ix(self.index_nodes);
+        let t_o = model.t_o(&self.io);
+        let useful = self.cells_copied + self.cells_defaulted;
+        let wasted = self.cells_processed - self.cells_copied;
+        let t_cpu = model.t_cpu(useful, wasted);
+        QueryTimes {
+            t_ix,
+            t_o,
+            t_cpu,
+        }
+    }
+}
+
+/// The paper's per-query time decomposition (model seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryTimes {
+    /// Index access time.
+    pub t_ix: f64,
+    /// Tile retrieval (disk) time — the optimized component.
+    pub t_o: f64,
+    /// Post-processing (query evaluation) time.
+    pub t_cpu: f64,
+}
+
+impl QueryTimes {
+    /// `t_totalaccess = t_o + t_ix` — total retrieval time from disk.
+    #[must_use]
+    pub fn total_access(&self) -> f64 {
+        self.t_o + self.t_ix
+    }
+
+    /// `t_totalcpu = t_o + t_ix + t_cpu` — total query execution time.
+    #[must_use]
+    pub fn total_cpu(&self) -> f64 {
+        self.t_o + self.t_ix + self.t_cpu
+    }
+}
+
+impl std::fmt::Display for QueryTimes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t_ix={:.4}s t_o={:.4}s t_cpu={:.4}s (total {:.4}s)",
+            self.t_ix,
+            self.t_o,
+            self.t_cpu,
+            self.total_cpu()
+        )
+    }
+}
+
+/// Statistics of one insert (load) operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsertStats {
+    /// Tiles created.
+    pub tiles_created: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Pages written.
+    pub pages_written: u64,
+}
+
+/// Statistics of a re-tiling operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetileStats {
+    /// Tiles before re-tiling.
+    pub tiles_before: u64,
+    /// Tiles after re-tiling.
+    pub tiles_after: u64,
+    /// Payload bytes rewritten.
+    pub bytes_rewritten: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let stats = QueryStats {
+            index_nodes: 10,
+            tiles_read: 2,
+            io: IoSnapshot {
+                blobs_read: 2,
+                pages_read: 8,
+                bytes_read: 60_000,
+                ..IoSnapshot::default()
+            },
+            cells_processed: 15_000,
+            cells_copied: 13_000,
+            cells_defaulted: 0,
+        };
+        let m = CostModel::classic_disk();
+        let t = stats.times(&m);
+        assert!(t.t_o > 0.0 && t.t_ix > 0.0 && t.t_cpu > 0.0);
+        assert!((t.total_access() - (t.t_o + t.t_ix)).abs() < 1e-15);
+        assert!((t.total_cpu() - (t.t_o + t.t_ix + t.t_cpu)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn query_times_display() {
+        let t = QueryTimes {
+            t_ix: 0.001,
+            t_o: 0.25,
+            t_cpu: 0.05,
+        };
+        let s = t.to_string();
+        assert!(s.contains("t_o=0.2500s"), "{s}");
+        assert!(s.contains("total 0.3010s"), "{s}");
+    }
+
+    #[test]
+    fn defaulted_cells_cost_cpu() {
+        let m = CostModel::classic_disk();
+        let a = QueryStats {
+            cells_defaulted: 1_000_000,
+            ..QueryStats::default()
+        };
+        assert!(a.times(&m).t_cpu > 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Engine-level compression tests: selective per-tile compression must be
+//! transparent to queries and actually shrink sparse/smooth objects.
+
+use tilestore_compress::{Codec, CompressionPolicy};
+use tilestore_engine::{Array, CellType, Database, MddType};
+use tilestore_geometry::{DefDomain, Domain, Point};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+fn d(s: &str) -> Domain {
+    s.parse().unwrap()
+}
+
+fn db_with(policy: CompressionPolicy) -> Database<tilestore_storage::MemPageStore> {
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "obj",
+        MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 16 * 1024)),
+    )
+    .unwrap();
+    db.set_compression("obj", policy).unwrap();
+    db
+}
+
+/// A sparse array: 1% non-zero cells.
+fn sparse_array(dom: &Domain) -> Array {
+    Array::from_fn(dom.clone(), |p| {
+        if (p[0] * 131 + p[1]) % 100 == 0 {
+            (p[0] + p[1] + 1) as u32
+        } else {
+            0
+        }
+    })
+    .unwrap()
+}
+
+#[test]
+fn compressed_objects_answer_queries_exactly() {
+    let dom = d("[0:199,0:199]");
+    let data = sparse_array(&dom);
+    for policy in [
+        CompressionPolicy::None,
+        CompressionPolicy::Fixed(Codec::PackBits),
+        CompressionPolicy::Fixed(Codec::DeltaPackBits),
+        CompressionPolicy::Fixed(Codec::ChunkOffset),
+        CompressionPolicy::selective_default(),
+    ] {
+        let mut db = db_with(policy.clone());
+        db.insert("obj", &data).unwrap();
+        let (all, _) = db.range_query("obj", &dom).unwrap();
+        assert_eq!(all, data, "{policy:?}");
+        let (sub, _) = db.range_query("obj", &d("[50:149,30:59]")).unwrap();
+        assert_eq!(sub, data.extract(&d("[50:149,30:59]")).unwrap(), "{policy:?}");
+    }
+}
+
+#[test]
+fn sparse_data_shrinks_physical_storage() {
+    let dom = d("[0:199,0:199]");
+    let data = sparse_array(&dom);
+
+    let mut raw = db_with(CompressionPolicy::None);
+    raw.insert("obj", &data).unwrap();
+    let raw_bytes = raw.object_physical_bytes("obj").unwrap();
+
+    let mut packed = db_with(CompressionPolicy::selective_default());
+    packed.insert("obj", &data).unwrap();
+    let packed_bytes = packed.object_physical_bytes("obj").unwrap();
+
+    assert!(
+        packed_bytes * 5 < raw_bytes,
+        "expected >5x shrink on 1%-dense data: {packed_bytes} vs {raw_bytes}"
+    );
+    // And fewer pages are read per query — compression reduces t_o.
+    let q = d("[0:99,0:99]");
+    let (_, raw_stats) = raw.range_query("obj", &q).unwrap();
+    let (_, packed_stats) = packed.range_query("obj", &q).unwrap();
+    assert!(packed_stats.io.pages_read < raw_stats.io.pages_read);
+}
+
+#[test]
+fn mixed_codecs_within_one_object() {
+    // Insert one batch raw, then switch the policy and grow the object:
+    // both generations of tiles must read back correctly.
+    let mut db = db_with(CompressionPolicy::None);
+    let first = sparse_array(&d("[0:99,0:99]"));
+    db.insert("obj", &first).unwrap();
+    db.set_compression("obj", CompressionPolicy::selective_default())
+        .unwrap();
+    let second = sparse_array(&d("[200:299,0:99]"));
+    db.insert("obj", &second).unwrap();
+
+    let (a, _) = db.range_query("obj", &d("[0:99,0:99]")).unwrap();
+    assert_eq!(a, first);
+    let (b, _) = db.range_query("obj", &d("[200:299,0:99]")).unwrap();
+    assert_eq!(b, second);
+}
+
+#[test]
+fn retile_rewrites_under_new_policy() {
+    let dom = d("[0:99,0:99]");
+    let data = sparse_array(&dom);
+    let mut db = db_with(CompressionPolicy::None);
+    db.insert("obj", &data).unwrap();
+    let before = db.object_physical_bytes("obj").unwrap();
+
+    db.set_compression("obj", CompressionPolicy::selective_default())
+        .unwrap();
+    db.retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 16 * 1024)))
+        .unwrap();
+    let after = db.object_physical_bytes("obj").unwrap();
+    assert!(after < before, "retile under compression: {after} vs {before}");
+
+    let (out, _) = db.range_query("obj", &dom).unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn compression_persists_across_reopen() {
+    let dir = tempfile::tempdir().unwrap();
+    let dom = d("[0:99,0:99]");
+    let data = sparse_array(&dom);
+    {
+        let mut db = Database::create_dir(dir.path()).unwrap();
+        db.create_object(
+            "obj",
+            MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 16 * 1024)),
+        )
+        .unwrap();
+        db.set_compression("obj", CompressionPolicy::selective_default())
+            .unwrap();
+        db.insert("obj", &data).unwrap();
+        db.save(dir.path()).unwrap();
+    }
+    let db = Database::open_dir(dir.path()).unwrap();
+    let (out, _) = db.range_query("obj", &dom).unwrap();
+    assert_eq!(out, data);
+    assert_eq!(
+        db.object("obj").unwrap().compression,
+        CompressionPolicy::selective_default()
+    );
+    let probe = Point::from_slice(&[0, 0]);
+    assert_eq!(out.get::<u32>(&probe).unwrap(), 1);
+}

@@ -1,0 +1,154 @@
+//! Disjoint decomposition of domain differences.
+//!
+//! Arbitrary tiling allows *partial coverage* of the current domain (§4):
+//! the cells of a query region not covered by any tile must be filled with
+//! the default value. Computing that uncovered remainder is a repeated
+//! domain-difference: start from the query region and subtract each
+//! intersecting tile, keeping the remainder as a set of disjoint boxes.
+
+use crate::domain::Domain;
+use crate::error::Result;
+
+/// Decomposes `minuend \ subtrahend` into disjoint boxes.
+///
+/// Returns up to `2d` boxes using axis-by-axis slab splitting; when the
+/// domains are disjoint the result is `[minuend]`, and when `subtrahend`
+/// covers `minuend` the result is empty.
+#[must_use]
+pub fn difference(minuend: &Domain, subtrahend: &Domain) -> Vec<Domain> {
+    let Some(overlap) = minuend.intersection(subtrahend) else {
+        return vec![minuend.clone()];
+    };
+    let mut pieces = Vec::new();
+    // Shrink `remaining` toward the overlap one axis at a time, emitting the
+    // slabs cut off on each side.
+    let mut remaining = minuend.clone();
+    for axis in 0..minuend.dim() {
+        let r = remaining.axis(axis);
+        let o = overlap.axis(axis);
+        if r.lo() < o.lo() {
+            let slab = remaining
+                .with_axis(axis, crate::domain::AxisRange::new(r.lo(), o.lo() - 1).unwrap())
+                .expect("axis in range");
+            pieces.push(slab);
+        }
+        if o.hi() < r.hi() {
+            let slab = remaining
+                .with_axis(axis, crate::domain::AxisRange::new(o.hi() + 1, r.hi()).unwrap())
+                .expect("axis in range");
+            pieces.push(slab);
+        }
+        remaining = remaining.with_axis(axis, o).expect("axis in range");
+    }
+    pieces
+}
+
+/// Subtracts every domain in `covers` from `region`, returning the disjoint
+/// set of boxes of `region` not covered by any of them.
+///
+/// # Errors
+/// Currently infallible; returns `Result` for interface stability with other
+/// geometry operations.
+pub fn uncovered(region: &Domain, covers: &[Domain]) -> Result<Vec<Domain>> {
+    let mut remainder = vec![region.clone()];
+    for cover in covers {
+        if remainder.is_empty() {
+            break;
+        }
+        let mut next = Vec::with_capacity(remainder.len());
+        for piece in &remainder {
+            next.extend(difference(piece, cover));
+        }
+        remainder = next;
+    }
+    Ok(remainder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        s.parse().unwrap()
+    }
+
+    fn total_cells(doms: &[Domain]) -> u64 {
+        doms.iter().map(Domain::cells).sum()
+    }
+
+    fn assert_disjoint(doms: &[Domain]) {
+        for (i, a) in doms.iter().enumerate() {
+            for b in &doms[i + 1..] {
+                assert!(!a.intersects(b), "{a} intersects {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn difference_disjoint_inputs() {
+        let m = d("[0:4,0:4]");
+        assert_eq!(difference(&m, &d("[10:12,0:4]")), vec![m.clone()]);
+    }
+
+    #[test]
+    fn difference_full_cover_is_empty() {
+        assert!(difference(&d("[1:2,1:2]"), &d("[0:4,0:4]")).is_empty());
+    }
+
+    #[test]
+    fn difference_center_hole() {
+        let m = d("[0:4,0:4]");
+        let hole = d("[1:3,1:3]");
+        let pieces = difference(&m, &hole);
+        assert_disjoint(&pieces);
+        assert_eq!(total_cells(&pieces), 25 - 9);
+        for p in &pieces {
+            assert!(m.contains_domain(p));
+            assert!(!p.intersects(&hole));
+        }
+    }
+
+    #[test]
+    fn difference_corner_overlap() {
+        let m = d("[0:4,0:4]");
+        let c = d("[3:8,3:8]");
+        let pieces = difference(&m, &c);
+        assert_disjoint(&pieces);
+        assert_eq!(total_cells(&pieces), 25 - 4);
+    }
+
+    #[test]
+    fn uncovered_accumulates() {
+        let region = d("[0:9,0:9]");
+        let covers = vec![d("[0:4,0:9]"), d("[5:9,0:4]")];
+        let rest = uncovered(&region, &covers).unwrap();
+        assert_disjoint(&rest);
+        assert_eq!(total_cells(&rest), 25);
+        for p in &rest {
+            assert!(d("[5:9,5:9]").contains_domain(p));
+        }
+    }
+
+    #[test]
+    fn uncovered_empty_when_fully_covered() {
+        let region = d("[0:3,0:3]");
+        let covers = vec![d("[0:1,0:3]"), d("[2:3,0:3]")];
+        assert!(uncovered(&region, &covers).unwrap().is_empty());
+    }
+
+    #[test]
+    fn uncovered_ignores_irrelevant_covers() {
+        let region = d("[0:3,0:3]");
+        let covers = vec![d("[100:200,100:200]")];
+        assert_eq!(uncovered(&region, &covers).unwrap(), vec![region]);
+    }
+
+    #[test]
+    fn three_dimensional_difference() {
+        let m = d("[0:3,0:3,0:3]");
+        let s = d("[0:3,0:3,1:2]");
+        let pieces = difference(&m, &s);
+        assert_disjoint(&pieces);
+        assert_eq!(total_cells(&pieces), 64 - 32);
+    }
+}

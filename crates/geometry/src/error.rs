@@ -1,0 +1,71 @@
+//! Error type for geometric operations.
+
+use std::fmt;
+
+/// Errors raised by geometric constructions and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A domain or point was constructed with zero axes.
+    ZeroDimensional,
+    /// Two objects that must share a dimensionality do not.
+    DimensionMismatch {
+        /// Dimensionality of the left-hand object.
+        left: usize,
+        /// Dimensionality of the right-hand object.
+        right: usize,
+    },
+    /// An axis range was given with `lo > hi`.
+    EmptyAxis {
+        /// Axis index.
+        axis: usize,
+        /// Lower bound supplied.
+        lo: i64,
+        /// Upper bound supplied.
+        hi: i64,
+    },
+    /// A point lies outside the domain it was used against.
+    PointOutOfDomain,
+    /// A sub-domain is not contained in its enclosing domain.
+    NotContained,
+    /// The number of cells overflows `u64`.
+    CellCountOverflow,
+    /// A textual domain/point representation could not be parsed.
+    Parse(String),
+    /// An axis index was out of range for the dimensionality.
+    AxisOutOfRange {
+        /// Offending axis index.
+        axis: usize,
+        /// Dimensionality of the object.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroDimensional => {
+                write!(f, "domains and points must have at least one axis")
+            }
+            GeometryError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            GeometryError::EmptyAxis { axis, lo, hi } => {
+                write!(f, "empty range on axis {axis}: [{lo}:{hi}]")
+            }
+            GeometryError::PointOutOfDomain => write!(f, "point lies outside the domain"),
+            GeometryError::NotContained => {
+                write!(f, "sub-domain is not contained in the enclosing domain")
+            }
+            GeometryError::CellCountOverflow => write!(f, "cell count overflows u64"),
+            GeometryError::Parse(s) => write!(f, "parse error: {s}"),
+            GeometryError::AxisOutOfRange { axis, dim } => {
+                write!(f, "axis {axis} out of range for dimensionality {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Convenience result alias for geometry operations.
+pub type Result<T> = std::result::Result<T, GeometryError>;

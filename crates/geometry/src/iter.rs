@@ -1,0 +1,327 @@
+//! Iteration over the cells of a domain and run decomposition of subdomains.
+//!
+//! Copying cells between a tile and a query result is the dominant CPU cost
+//! of query post-processing (`t_cpu` in §6). Rather than iterating cell by
+//! cell, [`RunIter`] decomposes the intersection region into *runs* —
+//! maximal row-major-contiguous cell sequences — so each run is a single
+//! `copy_from_slice`.
+
+use crate::domain::Domain;
+use crate::error::{GeometryError, Result};
+use crate::order::RowMajor;
+use crate::point::Point;
+
+/// Iterator over all points of a domain in row-major order.
+#[derive(Debug, Clone)]
+pub struct PointIter {
+    domain: Domain,
+    /// Next point to yield; `None` once exhausted.
+    next: Option<Vec<i64>>,
+}
+
+impl PointIter {
+    /// Creates an iterator over all cells of `domain`.
+    #[must_use]
+    pub fn new(domain: Domain) -> Self {
+        let next = Some(domain.lowest().coords().to_vec());
+        PointIter { domain, next }
+    }
+}
+
+impl Iterator for PointIter {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let current = self.next.take()?;
+        let point = Point::new(current.clone()).expect("domain is non-empty");
+        // Advance like a d-digit odometer, last axis fastest.
+        let mut coords = current;
+        for axis in (0..self.domain.dim()).rev() {
+            if coords[axis] < self.domain.hi(axis) {
+                coords[axis] += 1;
+                self.next = Some(coords);
+                return Some(point);
+            }
+            coords[axis] = self.domain.lo(axis);
+        }
+        // Wrapped around on every axis: iteration complete.
+        Some(point)
+    }
+}
+
+/// One contiguous run of cells shared between an enclosing domain and a
+/// subdomain of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Offset (in cells) of the run start within the *enclosing* domain.
+    pub outer_offset: u64,
+    /// Offset (in cells) of the run start within the *subdomain*.
+    pub inner_offset: u64,
+    /// Length of the run in cells.
+    pub len: u64,
+}
+
+/// Iterator over the row-major runs of `sub` inside `outer`.
+///
+/// Each yielded [`Run`] identifies `len` cells that are contiguous in both
+/// the row-major layout of `outer` and that of `sub`, enabling bulk copies.
+#[derive(Debug, Clone)]
+pub struct RunIter {
+    outer: RowMajor,
+    inner: RowMajor,
+    /// Coordinates of the current run start; `None` once exhausted.
+    cursor: Option<Vec<i64>>,
+    run_len: u64,
+}
+
+impl RunIter {
+    /// Creates the run decomposition of `sub` within `outer`.
+    ///
+    /// # Errors
+    /// [`GeometryError::NotContained`] when `sub` is not inside `outer`;
+    /// [`GeometryError::CellCountOverflow`] for oversized domains.
+    pub fn new(outer: &Domain, sub: &Domain) -> Result<Self> {
+        if !outer.contains_domain(sub) {
+            return Err(GeometryError::NotContained);
+        }
+        let d = outer.dim();
+        let run_len = sub.extent(d - 1);
+        Ok(RunIter {
+            outer: RowMajor::new(outer.clone())?,
+            inner: RowMajor::new(sub.clone())?,
+            cursor: Some(sub.lowest().coords().to_vec()),
+            run_len,
+        })
+    }
+
+    /// Total number of runs the iterator will yield.
+    #[must_use]
+    pub fn run_count(&self) -> u64 {
+        self.inner.cells() / self.run_len
+    }
+
+    /// Length of each run in cells.
+    #[must_use]
+    pub fn run_len(&self) -> u64 {
+        self.run_len
+    }
+}
+
+impl Iterator for RunIter {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        let coords = self.cursor.take()?;
+        let start = Point::new(coords.clone()).expect("non-empty");
+        let run = Run {
+            outer_offset: self
+                .outer
+                .offset_of(&start)
+                .expect("run start inside outer"),
+            inner_offset: self
+                .inner
+                .offset_of(&start)
+                .expect("run start inside inner"),
+            len: self.run_len,
+        };
+        // Advance the odometer over all axes but the last (the run axis).
+        let d = coords.len();
+        let sub = self.inner.domain();
+        let mut coords = coords;
+        if d == 1 {
+            return Some(run); // single run covers the whole 1-D subdomain
+        }
+        for axis in (0..d - 1).rev() {
+            if coords[axis] < sub.hi(axis) {
+                coords[axis] += 1;
+                self.cursor = Some(coords);
+                return Some(run);
+            }
+            coords[axis] = sub.lo(axis);
+        }
+        Some(run)
+    }
+}
+
+/// Copies the cells of `src_region` from a buffer laid out over `src_domain`
+/// into a buffer laid out over `dst_domain`, for `cell_size`-byte cells.
+///
+/// `region` must be contained in both domains. Returns the number of cells
+/// copied (used for `t_cpu` accounting).
+///
+/// # Errors
+/// [`GeometryError::NotContained`] when the region is outside either domain.
+///
+/// # Panics
+/// Panics if either buffer is smaller than its domain requires.
+pub fn copy_region(
+    src_domain: &Domain,
+    src: &[u8],
+    dst_domain: &Domain,
+    dst: &mut [u8],
+    region: &Domain,
+    cell_size: usize,
+) -> Result<u64> {
+    if !dst_domain.contains_domain(region) {
+        return Err(GeometryError::NotContained);
+    }
+    let src_runs = RunIter::new(src_domain, region)?;
+    let dst_runs = RunIter::new(dst_domain, region)?;
+    let mut copied = 0u64;
+    for (s, d) in src_runs.zip(dst_runs) {
+        debug_assert_eq!(s.len, d.len);
+        debug_assert_eq!(s.inner_offset, d.inner_offset);
+        let len = s.len as usize * cell_size;
+        let s0 = s.outer_offset as usize * cell_size;
+        let d0 = d.outer_offset as usize * cell_size;
+        dst[d0..d0 + len].copy_from_slice(&src[s0..s0 + len]);
+        copied += s.len;
+    }
+    Ok(copied)
+}
+
+/// Fills the cells of `region` within a buffer laid out over `domain` with a
+/// repeating `cell` pattern (the default value of uncovered areas, §4).
+///
+/// # Errors
+/// [`GeometryError::NotContained`] when the region is outside the domain.
+pub fn fill_region(
+    domain: &Domain,
+    buf: &mut [u8],
+    region: &Domain,
+    cell: &[u8],
+) -> Result<u64> {
+    let runs = RunIter::new(domain, region)?;
+    let cell_size = cell.len();
+    let mut filled = 0u64;
+    for run in runs {
+        let start = run.outer_offset as usize * cell_size;
+        for i in 0..run.len as usize {
+            let at = start + i * cell_size;
+            buf[at..at + cell_size].copy_from_slice(cell);
+        }
+        filled += run.len;
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn point_iter_visits_all_cells_in_order() {
+        let dom = d("[0:1,5:7]");
+        let pts: Vec<Point> = PointIter::new(dom.clone()).collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], Point::from_slice(&[0, 5]));
+        assert_eq!(pts[1], Point::from_slice(&[0, 6]));
+        assert_eq!(pts[3], Point::from_slice(&[1, 5]));
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn point_iter_single_cell() {
+        let pts: Vec<Point> = PointIter::new(d("[3:3,4:4]")).collect();
+        assert_eq!(pts, vec![Point::from_slice(&[3, 4])]);
+    }
+
+    #[test]
+    fn run_iter_covers_subdomain_exactly() {
+        let outer = d("[0:3,0:3]");
+        let sub = d("[1:2,1:2]");
+        let runs: Vec<Run> = RunIter::new(&outer, &sub).unwrap().collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0],
+            Run {
+                outer_offset: 5,
+                inner_offset: 0,
+                len: 2
+            }
+        );
+        assert_eq!(
+            runs[1],
+            Run {
+                outer_offset: 9,
+                inner_offset: 2,
+                len: 2
+            }
+        );
+    }
+
+    #[test]
+    fn run_iter_requires_containment() {
+        assert!(RunIter::new(&d("[0:3,0:3]"), &d("[2:5,0:1]")).is_err());
+    }
+
+    #[test]
+    fn run_iter_full_domain_is_one_run_per_row_block() {
+        let outer = d("[0:2,0:4]");
+        let runs: Vec<Run> = RunIter::new(&outer, &outer).unwrap().collect();
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.len == 5));
+        assert_eq!(runs[2].outer_offset, 10);
+    }
+
+    #[test]
+    fn run_iter_one_dimensional() {
+        let runs: Vec<Run> = RunIter::new(&d("[0:9]"), &d("[3:5]")).unwrap().collect();
+        assert_eq!(
+            runs,
+            vec![Run {
+                outer_offset: 3,
+                inner_offset: 0,
+                len: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn copy_region_moves_expected_bytes() {
+        // 4x4 source of u8 cells numbered 0..16; copy the center 2x2 into a
+        // 2x2 destination.
+        let src_dom = d("[0:3,0:3]");
+        let src: Vec<u8> = (0..16).collect();
+        let dst_dom = d("[1:2,1:2]");
+        let mut dst = vec![0u8; 4];
+        let copied =
+            copy_region(&src_dom, &src, &dst_dom, &mut dst, &dst_dom, 1).unwrap();
+        assert_eq!(copied, 4);
+        assert_eq!(dst, vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn copy_region_multibyte_cells() {
+        let src_dom = d("[0:1,0:1]");
+        let src: Vec<u8> = vec![1, 1, 2, 2, 3, 3, 4, 4]; // 2-byte cells
+        let dst_dom = d("[0:1,0:1]");
+        let mut dst = vec![0u8; 8];
+        let region = d("[1:1,0:1]");
+        copy_region(&src_dom, &src, &dst_dom, &mut dst, &region, 2).unwrap();
+        assert_eq!(dst, vec![0, 0, 0, 0, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn fill_region_writes_default_cells() {
+        let dom = d("[0:1,0:2]");
+        let mut buf = vec![9u8; 6];
+        let filled = fill_region(&dom, &mut buf, &d("[0:0,1:2]"), &[7]).unwrap();
+        assert_eq!(filled, 2);
+        assert_eq!(buf, vec![9, 7, 7, 9, 9, 9]);
+    }
+
+    #[test]
+    fn run_count_matches_iteration() {
+        let outer = d("[0:5,0:5,0:5]");
+        let sub = d("[1:4,2:3,0:5]");
+        let it = RunIter::new(&outer, &sub).unwrap();
+        assert_eq!(it.run_count(), 8);
+        assert_eq!(it.run_len(), 6);
+        assert_eq!(it.clone().count() as u64, it.run_count());
+    }
+}

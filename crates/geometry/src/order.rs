@@ -1,0 +1,158 @@
+//! Row-major linearization of cells within a domain.
+//!
+//! §3 of the paper fixes an implicit row-major ("C order") cell ordering for
+//! storage on linear media: the *last* axis varies fastest. [`RowMajor`]
+//! precomputes the stride table for a domain and converts between points and
+//! linear offsets in `O(d)`.
+
+use crate::domain::Domain;
+use crate::error::{GeometryError, Result};
+use crate::point::Point;
+
+/// Precomputed row-major layout of a domain.
+///
+/// Offsets are relative to the domain's lowest corner: offset 0 is
+/// `(l_1, ..., l_d)` and offset `cells - 1` is `(u_1, ..., u_d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMajor {
+    domain: Domain,
+    /// `strides[i]` = number of cells spanned by one step along axis `i`.
+    strides: Vec<u64>,
+    cells: u64,
+}
+
+impl RowMajor {
+    /// Builds the layout for `domain`.
+    ///
+    /// # Errors
+    /// [`GeometryError::CellCountOverflow`] when the domain has more than
+    /// `u64::MAX` cells.
+    pub fn new(domain: Domain) -> Result<Self> {
+        let d = domain.dim();
+        let mut strides = vec![1u64; d];
+        for i in (0..d.saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1]
+                .checked_mul(domain.extent(i + 1))
+                .ok_or(GeometryError::CellCountOverflow)?;
+        }
+        let cells = domain.cell_count()?;
+        Ok(RowMajor {
+            domain,
+            strides,
+            cells,
+        })
+    }
+
+    /// The domain this layout covers.
+    #[must_use]
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Stride (in cells) of one step along `axis`.
+    #[must_use]
+    pub fn stride(&self, axis: usize) -> u64 {
+        self.strides[axis]
+    }
+
+    /// Linear offset of `point` within the domain.
+    ///
+    /// # Errors
+    /// [`GeometryError::PointOutOfDomain`] when the point is outside.
+    pub fn offset_of(&self, point: &Point) -> Result<u64> {
+        if !self.domain.contains_point(point) {
+            return Err(GeometryError::PointOutOfDomain);
+        }
+        let mut off = 0u64;
+        for (i, (&c, s)) in point.coords().iter().zip(&self.strides).enumerate() {
+            off += c.abs_diff(self.domain.lo(i)) * s;
+        }
+        Ok(off)
+    }
+
+    /// The point at linear offset `offset`.
+    ///
+    /// # Errors
+    /// [`GeometryError::PointOutOfDomain`] when `offset >= cells`.
+    pub fn point_at(&self, offset: u64) -> Result<Point> {
+        if offset >= self.cells {
+            return Err(GeometryError::PointOutOfDomain);
+        }
+        let mut rem = offset;
+        let mut coords = Vec::with_capacity(self.domain.dim());
+        for (i, &s) in self.strides.iter().enumerate() {
+            let steps = rem / s;
+            rem %= s;
+            // steps < extent(i) <= u64 of i64 range; safe narrowing.
+            coords.push(self.domain.lo(i) + steps as i64);
+        }
+        Ok(Point::new(coords).expect("domain is non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(s: &str) -> RowMajor {
+        RowMajor::new(s.parse().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let l = layout("[0:1,0:2,0:3]"); // extents 2,3,4
+        assert_eq!(l.stride(0), 12);
+        assert_eq!(l.stride(1), 4);
+        assert_eq!(l.stride(2), 1);
+        assert_eq!(l.cells(), 24);
+    }
+
+    #[test]
+    fn offset_of_corners() {
+        let l = layout("[10:11,20:22]");
+        assert_eq!(l.offset_of(&Point::from_slice(&[10, 20])).unwrap(), 0);
+        assert_eq!(l.offset_of(&Point::from_slice(&[10, 22])).unwrap(), 2);
+        assert_eq!(l.offset_of(&Point::from_slice(&[11, 20])).unwrap(), 3);
+        assert_eq!(l.offset_of(&Point::from_slice(&[11, 22])).unwrap(), 5);
+        assert!(l.offset_of(&Point::from_slice(&[12, 20])).is_err());
+        assert!(l.offset_of(&Point::from_slice(&[10, 19])).is_err());
+    }
+
+    #[test]
+    fn point_at_inverts_offset_of() {
+        let l = layout("[-2:1,5:7]");
+        for off in 0..l.cells() {
+            let p = l.point_at(off).unwrap();
+            assert_eq!(l.offset_of(&p).unwrap(), off);
+        }
+        assert!(l.point_at(l.cells()).is_err());
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let l = layout("[5:9]");
+        assert_eq!(l.stride(0), 1);
+        assert_eq!(l.offset_of(&Point::from_slice(&[7])).unwrap(), 2);
+        assert_eq!(l.point_at(4).unwrap(), Point::from_slice(&[9]));
+    }
+
+    #[test]
+    fn ordering_agrees_with_point_order() {
+        // Offsets increase exactly when points increase in the §3 order.
+        let l = layout("[0:2,0:2]");
+        let mut prev: Option<Point> = None;
+        for off in 0..l.cells() {
+            let p = l.point_at(off).unwrap();
+            if let Some(q) = prev {
+                assert!(q < p);
+            }
+            prev = Some(p);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Z-order (Morton) linearization of points.
+//!
+//! The paper's related work (Lamb '94, reference \[11\]) studies tile
+//! orderings — scanline vs. Hilbert — for raster storage; bit-interleaved
+//! Z-order is the standard cheap approximation of a space-filling curve.
+//! The index uses it to sort tiles for bulk loading: spatially close tiles
+//! land in the same leaf, tightening directory rectangles.
+
+use crate::domain::Domain;
+use crate::point::Point;
+
+/// Number of bits interleaved per coordinate.
+const BITS: u32 = 21; // 21 bits × up to 3 axes fits u64; more axes wrap.
+
+/// Computes the Morton key of `point` relative to `origin` (coordinates are
+/// offset to be non-negative before interleaving; callers pass the hull's
+/// lowest corner).
+///
+/// Coordinates are clamped to `2^21 - 1` after offsetting, which preserves
+/// ordering for the domains real tilings produce; for higher
+/// dimensionalities the per-axis bits shrink so the key still fits `u64`.
+#[must_use]
+pub fn morton_key(point: &Point, origin: &Point) -> u64 {
+    let d = point.dim().min(origin.dim());
+    let bits = (64 / d.max(1) as u32).min(BITS);
+    let mask = (1u64 << bits) - 1;
+    let mut key = 0u64;
+    for (axis, (&c, &o)) in point
+        .coords()
+        .iter()
+        .zip(origin.coords())
+        .enumerate()
+        .take(d)
+    {
+        let v = (c.saturating_sub(o).max(0) as u64).min(mask);
+        // Spread the bits of v at stride d, offset by the axis index.
+        for b in 0..bits {
+            key |= ((v >> b) & 1) << (b as usize * d + axis);
+        }
+    }
+    key
+}
+
+/// Sorts domains by the Morton key of their lowest corners (relative to the
+/// hull of all inputs). Stable, deterministic.
+pub fn sort_by_zorder<T, F: Fn(&T) -> &Domain>(items: &mut [T], domain_of: F) {
+    let Some(first) = items.first() else {
+        return;
+    };
+    let hull = items
+        .iter()
+        .skip(1)
+        .fold(domain_of(first).clone(), |acc, t| {
+            acc.hull(domain_of(t)).expect("uniform dimensionality")
+        });
+    let origin = hull.lowest();
+    items.sort_by_key(|t| morton_key(&domain_of(t).lowest(), &origin));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[i64]) -> Point {
+        Point::from_slice(coords)
+    }
+
+    #[test]
+    fn interleaving_orders_quadrants() {
+        let o = p(&[0, 0]);
+        // The four corners of a 2x2 grid in Z order. Axis 0 takes the lower
+        // interleave positions, so it varies fastest: (0,0), (1,0), (0,1),
+        // (1,1).
+        let k00 = morton_key(&p(&[0, 0]), &o);
+        let k10 = morton_key(&p(&[1, 0]), &o);
+        let k01 = morton_key(&p(&[0, 1]), &o);
+        let k11 = morton_key(&p(&[1, 1]), &o);
+        assert!(k00 < k10 && k10 < k01 && k01 < k11);
+    }
+
+    #[test]
+    fn locality_beats_row_major_for_blocks() {
+        // Points inside one 2x2 block are closer in Z order than the
+        // row-major neighbours from the next row block.
+        let o = p(&[0, 0]);
+        let in_block = morton_key(&p(&[1, 1]), &o);
+        let same_row_far = morton_key(&p(&[0, 2]), &o);
+        assert!(in_block < same_row_far);
+    }
+
+    #[test]
+    fn negative_coordinates_offset_by_origin() {
+        let o = p(&[-10, -10]);
+        let a = morton_key(&p(&[-10, -10]), &o);
+        let b = morton_key(&p(&[-9, -9]), &o);
+        assert_eq!(a, 0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn sort_by_zorder_groups_neighbours() {
+        let mut blocks: Vec<Domain> = Vec::new();
+        for x in 0..4i64 {
+            for y in 0..4i64 {
+                blocks.push(
+                    Domain::from_bounds(&[(x * 10, x * 10 + 9), (y * 10, y * 10 + 9)])
+                        .unwrap(),
+                );
+            }
+        }
+        sort_by_zorder(&mut blocks, |d| d);
+        // The first four blocks after sorting form the lower-left 2x2 tile
+        // quadrant — Z-order locality.
+        for b in &blocks[..4] {
+            assert!(b.lo(0) < 20 && b.lo(1) < 20, "block {b} not in quadrant");
+        }
+        // Empty and single inputs don't panic.
+        let mut empty: Vec<Domain> = Vec::new();
+        sort_by_zorder(&mut empty, |d| d);
+        let mut one = vec![blocks[0].clone()];
+        sort_by_zorder(&mut one, |d| d);
+    }
+
+    #[test]
+    fn high_dimensions_still_fit_u64() {
+        let o = Point::origin(8);
+        let far = p(&[255; 8]);
+        let k = morton_key(&far, &o);
+        assert!(k > 0);
+        let near = p(&[1; 8]);
+        assert!(morton_key(&near, &o) < k);
+    }
+}

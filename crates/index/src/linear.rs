@@ -1,0 +1,134 @@
+//! Linear tile directory — the ablation baseline for the R+-tree.
+//!
+//! A flat list of `(domain, payload)` pairs scanned in full on every search.
+//! "Node" accounting treats the directory as pages of `fanout` entries so
+//! `t_ix` comparisons against the tree are apples-to-apples.
+
+use serde::{Deserialize, Serialize};
+use tilestore_geometry::Domain;
+
+use crate::error::{IndexError, Result};
+use crate::rplus::{SearchResult, DEFAULT_FANOUT};
+
+/// A linear-scan tile directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearIndex {
+    dim: usize,
+    fanout: usize,
+    entries: Vec<(Domain, u64)>,
+}
+
+impl LinearIndex {
+    /// An empty directory for `dim`-dimensional entries.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        LinearIndex {
+            dim,
+            fanout: DEFAULT_FANOUT,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Errors
+    /// [`IndexError::DimensionMismatch`] for a wrong-dimensional domain.
+    pub fn insert(&mut self, domain: Domain, payload: u64) -> Result<()> {
+        if domain.dim() != self.dim {
+            return Err(IndexError::DimensionMismatch {
+                index: self.dim,
+                entry: domain.dim(),
+            });
+        }
+        self.entries.push((domain, payload));
+        Ok(())
+    }
+
+    /// Scans the whole directory for entries intersecting `region`.
+    #[must_use]
+    pub fn search(&self, region: &Domain) -> SearchResult {
+        let hits = self
+            .entries
+            .iter()
+            .filter(|(d, _)| d.intersects(region))
+            .map(|&(_, p)| p)
+            .collect();
+        // Every "page" of the directory is visited.
+        let nodes_visited = (self.entries.len() as u64).div_ceil(self.fanout as u64).max(1);
+        SearchResult {
+            hits,
+            nodes_visited,
+        }
+    }
+
+    /// Removes the entry with exactly this domain and payload.
+    pub fn remove(&mut self, domain: &Domain, payload: u64) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(d, p)| !(d == domain && *p == payload));
+        self.entries.len() != before
+    }
+
+    /// Visits every entry.
+    pub fn for_each<F: FnMut(&Domain, u64)>(&self, mut f: F) {
+        for (d, p) in &self.entries {
+            f(d, *p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Domain {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn scan_finds_intersections() {
+        let mut ix = LinearIndex::new(2);
+        ix.insert(d("[0:4,0:4]"), 1).unwrap();
+        ix.insert(d("[5:9,0:4]"), 2).unwrap();
+        ix.insert(d("[0:4,5:9]"), 3).unwrap();
+        let r = ix.search(&d("[4:5,0:1]"));
+        let mut hits = r.hits;
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        assert_eq!(r.nodes_visited, 1);
+    }
+
+    #[test]
+    fn node_accounting_scales_with_size() {
+        let mut ix = LinearIndex::new(1);
+        for i in 0..100 {
+            ix.insert(d(&format!("[{}:{}]", i * 10, i * 10 + 9)), i as u64)
+                .unwrap();
+        }
+        let r = ix.search(&d("[0:5]"));
+        assert_eq!(r.hits, vec![0]);
+        assert_eq!(r.nodes_visited, (100u64).div_ceil(DEFAULT_FANOUT as u64));
+    }
+
+    #[test]
+    fn remove_and_dimension_check() {
+        let mut ix = LinearIndex::new(2);
+        assert!(ix.insert(d("[0:1]"), 0).is_err());
+        ix.insert(d("[0:1,0:1]"), 7).unwrap();
+        assert!(ix.remove(&d("[0:1,0:1]"), 7));
+        assert!(!ix.remove(&d("[0:1,0:1]"), 7));
+        assert!(ix.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property test: the R+-tree search must agree with a linear scan for any
+//! entry set and query, including after random removals and for bulk loads.
+
+use proptest::prelude::*;
+use tilestore_geometry::Domain;
+use tilestore_index::{LinearIndex, RPlusTree};
+
+fn domain(dim: usize) -> impl Strategy<Value = Domain> {
+    proptest::collection::vec((-40i64..40, 0i64..12), dim).prop_map(|bounds| {
+        let bounds: Vec<(i64, i64)> = bounds
+            .into_iter()
+            .map(|(lo, ext)| (lo, lo + ext))
+            .collect();
+        Domain::from_bounds(&bounds).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_search_equals_linear_scan(
+        entries in proptest::collection::vec(domain(2), 0..120),
+        queries in proptest::collection::vec(domain(2), 1..8),
+        fanout in 2usize..10,
+    ) {
+        let mut tree = RPlusTree::with_fanout(2, fanout).unwrap();
+        let mut lin = LinearIndex::new(2);
+        for (i, dom) in entries.iter().enumerate() {
+            tree.insert(dom.clone(), i as u64).unwrap();
+            lin.insert(dom.clone(), i as u64).unwrap();
+        }
+        prop_assert_eq!(tree.len(), entries.len());
+        for q in &queries {
+            let mut a = tree.search(q).hits;
+            let mut b = lin.search(q).hits;
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(
+        entries in proptest::collection::vec(domain(3), 0..100),
+        query in domain(3),
+        fanout in 2usize..12,
+    ) {
+        let pairs: Vec<(Domain, u64)> = entries
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, d)| (d, i as u64))
+            .collect();
+        let bulk = RPlusTree::bulk_load(3, fanout, pairs.clone()).unwrap();
+        let mut inc = RPlusTree::with_fanout(3, fanout).unwrap();
+        for (d, p) in pairs {
+            inc.insert(d, p).unwrap();
+        }
+        let mut a = bulk.search(&query).hits;
+        let mut b = inc.search(&query).hits;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn removal_preserves_search_correctness(
+        entries in proptest::collection::vec(domain(2), 1..80),
+        remove_mask in proptest::collection::vec(any::<bool>(), 1..80),
+        query in domain(2),
+    ) {
+        let mut tree = RPlusTree::with_fanout(2, 4).unwrap();
+        for (i, dom) in entries.iter().enumerate() {
+            tree.insert(dom.clone(), i as u64).unwrap();
+        }
+        let mut surviving: Vec<(Domain, u64)> = Vec::new();
+        for (i, dom) in entries.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                prop_assert!(tree.remove(dom, i as u64));
+            } else {
+                surviving.push((dom.clone(), i as u64));
+            }
+        }
+        prop_assert_eq!(tree.len(), surviving.len());
+        let mut a = tree.search(&query).hits;
+        let mut b: Vec<u64> = surviving
+            .iter()
+            .filter(|(d, _)| d.intersects(&query))
+            .map(|&(_, p)| p)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

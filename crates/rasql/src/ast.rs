@@ -1,0 +1,117 @@
+//! Abstract syntax of the query language.
+
+/// One axis of a trim/section subscript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxisSelect {
+    /// `lo:hi` — a trim along this axis (either side may be `*`).
+    Range {
+        /// Lower bound; `None` for `*`.
+        lo: Option<i64>,
+        /// Upper bound; `None` for `*`.
+        hi: Option<i64>,
+    },
+    /// A single coordinate — a *section*: the axis is fixed and dropped
+    /// from the result's dimensionality (RasQL semantics, §5.1 type (d)).
+    Point(i64),
+    /// A bare `*` — the whole axis.
+    All,
+}
+
+/// The condenser (aggregation) functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condenser {
+    /// `sum_cells`
+    Sum,
+    /// `avg_cells`
+    Avg,
+    /// `min_cells`
+    Min,
+    /// `max_cells`
+    Max,
+    /// `count_cells` — cells different from the default value.
+    Count,
+    /// `some_cells`
+    Some,
+    /// `all_cells`
+    All,
+}
+
+impl Condenser {
+    /// Parses a function name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "sum_cells" => Some(Condenser::Sum),
+            "avg_cells" => Some(Condenser::Avg),
+            "min_cells" => Some(Condenser::Min),
+            "max_cells" => Some(Condenser::Max),
+            "count_cells" => Some(Condenser::Count),
+            "some_cells" => Some(Condenser::Some),
+            "all_cells" => Some(Condenser::All),
+            _ => None,
+        }
+    }
+}
+
+/// Induced binary operators (array ⊕ scalar), mirroring
+/// [`tilestore_engine::BinOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InducedOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A collection reference with an optional subscript.
+    Access {
+        /// Collection (MDD object) name.
+        collection: String,
+        /// Per-axis selection; `None` = whole object.
+        subscript: Option<Vec<AxisSelect>>,
+    },
+    /// A condenser applied to a sub-expression.
+    Condense {
+        /// The aggregation.
+        op: Condenser,
+        /// The argument (must be an array-valued access).
+        arg: Box<Expr>,
+    },
+    /// An induced operation: `lhs ⊕ scalar` applied to every cell.
+    Induce {
+        /// The array-valued operand.
+        lhs: Box<Expr>,
+        /// The operator.
+        op: InducedOp,
+        /// The scalar right-hand side.
+        rhs: f64,
+    },
+}
+
+/// A full query: `SELECT expr FROM collection`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The selected expression.
+    pub expr: Expr,
+    /// The collection named in `FROM`.
+    pub from: String,
+}

@@ -1,0 +1,60 @@
+//! Error type for the query language.
+
+use std::fmt;
+
+use tilestore_engine::EngineError;
+
+/// Errors raised while parsing or executing a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Lexical error with position.
+    Lex {
+        /// Byte offset in the input.
+        at: usize,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error with position.
+    Parse {
+        /// Byte offset in the input.
+        at: usize,
+        /// Description.
+        message: String,
+    },
+    /// A semantic error (unknown function, collection mismatch, bad
+    /// subscript arity).
+    Semantic(String),
+    /// The underlying engine failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { at, message } => write!(f, "lex error at byte {at}: {message}"),
+            QueryError::Parse { at, message } => {
+                write!(f, "parse error at byte {at}: {message}")
+            }
+            QueryError::Semantic(s) => write!(f, "semantic error: {s}"),
+            QueryError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for QueryError {
+    fn from(e: EngineError) -> Self {
+        QueryError::Engine(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,396 @@
+//! Query execution against a [`Database`].
+
+use tilestore_engine::{
+    aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellType, Database,
+    QueryStats,
+};
+use tilestore_geometry::{AxisRange, Domain};
+use tilestore_storage::PageStore;
+
+use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Query};
+use crate::error::{QueryError, Result};
+use crate::parser::parse;
+
+/// The result value of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An array result (range / section query).
+    Array(Array),
+    /// A numeric scalar (sum/avg/min/max).
+    Number(f64),
+    /// A count (count_cells).
+    Count(u64),
+    /// A boolean (some_cells / all_cells).
+    Bool(bool),
+}
+
+impl Value {
+    /// The array, if this is [`Value::Array`].
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Array> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is [`Value::Number`].
+    #[must_use]
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Resolved form of an access: the concrete region plus the axes a section
+/// fixes.
+struct ResolvedAccess {
+    collection: String,
+    region: Domain,
+    fixed_axes: Vec<usize>,
+}
+
+/// Parses and executes a query.
+///
+/// ```
+/// use tilestore_engine::{Array, CellType, Database, MddType};
+/// use tilestore_geometry::DefDomain;
+/// use tilestore_tiling::Scheme;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut db = Database::in_memory()?;
+/// db.create_object(
+///     "m",
+///     MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2)?),
+///     Scheme::default_for(2),
+/// )?;
+/// db.insert("m", &Array::from_fn("[0:9,0:9]".parse()?, |p| p[0] as u32)?)?;
+///
+/// let (value, _) = tilestore_rasql::execute(&db, "SELECT sum_cells(m) FROM m")?;
+/// assert_eq!(value.as_number(), Some(450.0));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Parse errors, semantic errors (collection mismatch, arity) and engine
+/// errors.
+pub fn execute<S: PageStore>(db: &Database<S>, input: &str) -> Result<(Value, QueryStats)> {
+    let query = parse(input)?;
+    execute_query(db, &query)
+}
+
+/// Executes a pre-parsed query.
+///
+/// # Errors
+/// Semantic and engine errors.
+pub fn execute_query<S: PageStore>(
+    db: &Database<S>,
+    query: &Query,
+) -> Result<(Value, QueryStats)> {
+    match &query.expr {
+        Expr::Condense { op, arg } => {
+            let kind = condenser_kind(*op);
+            if let Expr::Access { .. } = arg.as_ref() {
+                // Plain access: aggregate tile-streaming, no materialization.
+                let access = resolve_access(db, arg, &query.from)?;
+                let (value, stats) =
+                    db.aggregate(&access.collection, &access.region, kind)?;
+                return Ok((agg_to_value(value), stats));
+            }
+            // Induced argument: materialize, then aggregate in memory.
+            let (array, cell, stats) = eval_array(db, arg, &query.from)?;
+            let value = aggregate_array(&cell, &array, kind)?;
+            Ok((agg_to_value(value), stats))
+        }
+        other => {
+            let (array, _, stats) = eval_array(db, other, &query.from)?;
+            Ok((Value::Array(array), stats))
+        }
+    }
+}
+
+fn condenser_kind(op: Condenser) -> AggKind {
+    match op {
+        Condenser::Sum => AggKind::Sum,
+        Condenser::Avg => AggKind::Avg,
+        Condenser::Min => AggKind::Min,
+        Condenser::Max => AggKind::Max,
+        Condenser::Count => AggKind::CountNonDefault,
+        Condenser::Some => AggKind::SomeNonDefault,
+        Condenser::All => AggKind::AllNonDefault,
+    }
+}
+
+fn agg_to_value(value: AggValue) -> Value {
+    match value {
+        AggValue::Number(v) => Value::Number(v),
+        AggValue::Count(v) => Value::Count(v),
+        AggValue::Bool(v) => Value::Bool(v),
+    }
+}
+
+fn induced_binop(op: InducedOp) -> BinOp {
+    match op {
+        InducedOp::Add => BinOp::Add,
+        InducedOp::Sub => BinOp::Sub,
+        InducedOp::Mul => BinOp::Mul,
+        InducedOp::Div => BinOp::Div,
+        InducedOp::Gt => BinOp::Gt,
+        InducedOp::Ge => BinOp::Ge,
+        InducedOp::Lt => BinOp::Lt,
+        InducedOp::Le => BinOp::Le,
+        InducedOp::Eq => BinOp::Eq,
+        InducedOp::Ne => BinOp::Ne,
+    }
+}
+
+/// Evaluates an array-valued expression, returning the array, its cell
+/// type, and the accumulated execution counters.
+fn eval_array<S: PageStore>(
+    db: &Database<S>,
+    expr: &Expr,
+    from: &str,
+) -> Result<(Array, CellType, QueryStats)> {
+    match expr {
+        Expr::Access { .. } => {
+            let access = resolve_access(db, expr, from)?;
+            let cell = db.object(&access.collection)?.mdd_type.cell.clone();
+            let (array, stats) = db.range_query(&access.collection, &access.region)?;
+            if access.fixed_axes.is_empty() {
+                return Ok((array, cell, stats));
+            }
+            let section_domain = access
+                .region
+                .project_out(&access.fixed_axes)
+                .map_err(tilestore_engine::EngineError::from)?;
+            let reshaped = array
+                .reshaped(section_domain)
+                .map_err(QueryError::Engine)?;
+            Ok((reshaped, cell, stats))
+        }
+        Expr::Induce { lhs, op, rhs } => {
+            let (array, cell, stats) = eval_array(db, lhs, from)?;
+            let (result, result_cell) =
+                induce_scalar(&cell, &array, induced_binop(*op), *rhs)?;
+            Ok((result, result_cell, stats))
+        }
+        Expr::Condense { .. } => Err(QueryError::Semantic(
+            "condensers produce scalars and cannot be used as array operands".to_string(),
+        )),
+    }
+}
+
+fn resolve_access<S: PageStore>(
+    db: &Database<S>,
+    expr: &Expr,
+    from: &str,
+) -> Result<ResolvedAccess> {
+    let Expr::Access {
+        collection,
+        subscript,
+    } = expr
+    else {
+        return Err(QueryError::Semantic(
+            "condensers take an array access as argument, not another condenser".to_string(),
+        ));
+    };
+    if collection != from {
+        return Err(QueryError::Semantic(format!(
+            "expression references {collection:?} but FROM names {from:?}"
+        )));
+    }
+    let meta = db.object(collection)?;
+    let current = meta.current_domain.clone().ok_or_else(|| {
+        QueryError::Engine(tilestore_engine::EngineError::EmptyObject(
+            collection.clone(),
+        ))
+    })?;
+    let Some(axes) = subscript else {
+        return Ok(ResolvedAccess {
+            collection: collection.clone(),
+            region: current,
+            fixed_axes: Vec::new(),
+        });
+    };
+    if axes.len() != current.dim() {
+        return Err(QueryError::Semantic(format!(
+            "subscript has {} axes, object {collection:?} has {}",
+            axes.len(),
+            current.dim()
+        )));
+    }
+    let mut region = current.clone();
+    let mut fixed_axes = Vec::new();
+    for (axis, sel) in axes.iter().enumerate() {
+        match sel {
+            AxisSelect::All => {}
+            AxisSelect::Point(c) => {
+                let r = AxisRange::new(*c, *c).expect("degenerate range");
+                region = region
+                    .with_axis(axis, r)
+                    .map_err(tilestore_engine::EngineError::from)?;
+                fixed_axes.push(axis);
+            }
+            AxisSelect::Range { lo, hi } => {
+                let lo = lo.unwrap_or_else(|| current.lo(axis));
+                let hi = hi.unwrap_or_else(|| current.hi(axis));
+                let r = AxisRange::new(lo, hi).map_err(|e| {
+                    QueryError::Semantic(format!("axis {axis}: empty range: {e}"))
+                })?;
+                region = region
+                    .with_axis(axis, r)
+                    .map_err(tilestore_engine::EngineError::from)?;
+            }
+        }
+    }
+    if fixed_axes.len() == axes.len() {
+        return Err(QueryError::Semantic(
+            "section fixes every axis; at least one axis must remain".to_string(),
+        ));
+    }
+    Ok(ResolvedAccess {
+        collection: collection.clone(),
+        region,
+        fixed_axes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilestore_engine::{CellType, MddType};
+    use tilestore_geometry::{DefDomain, Point};
+    use tilestore_tiling::{AlignedTiling, Scheme};
+
+    fn setup() -> Database<tilestore_storage::MemPageStore> {
+        let mut db = Database::in_memory().unwrap();
+        db.create_object(
+            "cube",
+            MddType::new(CellType::of::<u32>(), DefDomain::unlimited(3).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(3, 2048)),
+        )
+        .unwrap();
+        let dom: Domain = "[0:9,0:9,0:9]".parse().unwrap();
+        db.insert(
+            "cube",
+            &Array::from_fn(dom, |p| (p[0] * 100 + p[1] * 10 + p[2]) as u32).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn whole_object_select() {
+        let db = setup();
+        let (v, _) = execute(&db, "SELECT cube FROM cube").unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.domain().to_string(), "[0:9,0:9,0:9]");
+    }
+
+    #[test]
+    fn trim_select() {
+        let db = setup();
+        let (v, stats) = execute(&db, "SELECT cube[2:4, 0:9, 5:7] FROM cube").unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.domain().to_string(), "[2:4,0:9,5:7]");
+        assert_eq!(
+            arr.get::<u32>(&Point::from_slice(&[3, 4, 6])).unwrap(),
+            346
+        );
+        assert!(stats.tiles_read >= 1);
+    }
+
+    #[test]
+    fn star_bounds_resolve_to_current_domain() {
+        let db = setup();
+        let (v, _) = execute(&db, "SELECT cube[*:*, 3:3, 2:*] FROM cube").unwrap();
+        assert_eq!(v.as_array().unwrap().domain().to_string(), "[0:9,3:3,2:9]");
+    }
+
+    #[test]
+    fn section_drops_axes() {
+        let db = setup();
+        let (v, _) = execute(&db, "SELECT cube[5, *, 2:3] FROM cube").unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.domain().to_string(), "[0:9,2:3]");
+        assert_eq!(arr.get::<u32>(&Point::from_slice(&[4, 2])).unwrap(), 542);
+    }
+
+    #[test]
+    fn condensers() {
+        let db = setup();
+        let (v, _) = execute(&db, "SELECT sum_cells(cube[0:0,0:0,0:9]) FROM cube").unwrap();
+        assert_eq!(v.as_number().unwrap(), 45.0);
+        let (v, _) = execute(&db, "SELECT avg_cells(cube[0:0,0:0,0:9]) FROM cube").unwrap();
+        assert_eq!(v.as_number().unwrap(), 4.5);
+        let (v, _) = execute(&db, "SELECT max_cells(cube) FROM cube").unwrap();
+        assert_eq!(v.as_number().unwrap(), 999.0);
+        let (v, _) = execute(&db, "SELECT min_cells(cube) FROM cube").unwrap();
+        assert_eq!(v.as_number().unwrap(), 0.0);
+        let (v, _) = execute(&db, "SELECT count_cells(cube[0:0,0:0,*]) FROM cube").unwrap();
+        assert_eq!(v, Value::Count(9)); // cell (0,0,0) == 0 == default
+        let (v, _) = execute(&db, "SELECT some_cells(cube) FROM cube").unwrap();
+        assert_eq!(v, Value::Bool(true));
+        let (v, _) = execute(&db, "SELECT all_cells(cube) FROM cube").unwrap();
+        assert_eq!(v, Value::Bool(false));
+    }
+
+    #[test]
+    fn induced_arithmetic_and_comparison() {
+        let db = setup();
+        // cube cell at (x,y,z) = 100x + 10y + z.
+        let (v, _) = execute(&db, "SELECT cube[0:0,0:0,0:3] + 1000 FROM cube").unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(
+            arr.to_cells::<u32>().unwrap(),
+            vec![1000, 1001, 1002, 1003]
+        );
+
+        let (v, _) = execute(&db, "SELECT cube[0:0,0:0,*] > 4 FROM cube").unwrap();
+        let mask = v.as_array().unwrap();
+        assert_eq!(mask.cell_size(), 1, "comparisons yield boolean arrays");
+        assert_eq!(
+            mask.to_cells::<u8>().unwrap(),
+            vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]
+        );
+
+        // Condenser over an induced mask: how many cells exceed 500?
+        let (v, _) = execute(&db, "SELECT count_cells(cube > 500) FROM cube").unwrap();
+        assert_eq!(v, Value::Count(499)); // values 501..=999 occur once each
+
+        // Chained arithmetic, left-associative: (x * 2) - 10.
+        let (v, _) = execute(&db, "SELECT cube[0:0,1:1,0:2] * 2 - 10 FROM cube").unwrap();
+        assert_eq!(
+            v.as_array().unwrap().to_cells::<u32>().unwrap(),
+            vec![10, 12, 14]
+        );
+
+        // Induced over a section keeps the reduced dimensionality.
+        let (v, _) = execute(&db, "SELECT cube[5, *, *] + 0.0 FROM cube").unwrap();
+        assert_eq!(v.as_array().unwrap().domain().dim(), 2);
+
+        // sum over comparison mask = count of true cells.
+        let (v, _) = execute(&db, "SELECT sum_cells(cube[0:0,0:0,*] >= 5) FROM cube").unwrap();
+        assert_eq!(v.as_number().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let db = setup();
+        for bad in [
+            "SELECT other FROM cube",
+            "SELECT cube[0:1] FROM cube",
+            "SELECT cube[1,2,3] FROM cube",
+            "SELECT sum_cells(sum_cells(cube)) FROM cube",
+            "SELECT cube[5:1,*,*] FROM cube",
+            "SELECT cube + sum_cells(cube) FROM cube",
+            "SELECT sum_cells(cube) + 1 FROM cube",
+        ] {
+            assert!(execute(&db, bad).is_err(), "{bad:?} should fail");
+        }
+        assert!(execute(&db, "SELECT nope FROM nope").is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! A small RasQL-style query language over tilestore databases.
+//!
+//! The paper's evaluation drives the storage manager through RasQL, the
+//! RasDaMan query language; this crate provides the equivalent declarative
+//! surface for the subset the storage layer sees — rectangular trims,
+//! sections and condensers:
+//!
+//! ```text
+//! SELECT img[0:99, 0:99]                 FROM img   -- range query  (§5.1 b)
+//! SELECT cube[*:*, 27:41, 27:34]         FROM cube  -- partial range (§5.1 c)
+//! SELECT video[42, *, *]                 FROM video -- section      (§5.1 d)
+//! SELECT avg_cells(cube[0:30, *, 27:34]) FROM cube  -- sub-aggregation
+//! ```
+//!
+//! Induced operations apply scalars cell-wise — `img + 10`, `cube > 100`
+//! (comparisons yield boolean `u8` arrays) — and compose with condensers:
+//! `count_cells(cube > 100)`.
+//!
+//! Condensers: `sum_cells`, `avg_cells`, `min_cells`, `max_cells` (numeric
+//! cell types), `count_cells`, `some_cells`, `all_cells` (any cell type;
+//! "non-default" plays the role RasQL's booleans do). Sections use RasQL
+//! semantics: a single coordinate fixes the axis and drops it from the
+//! result's dimensionality. `*` bounds resolve against the object's current
+//! domain. Aggregations execute tile-streaming via
+//! [`Database::aggregate`](tilestore_engine::Database::aggregate), never
+//! materializing the queried region.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod ast;
+mod error;
+mod exec;
+mod parser;
+mod token;
+
+pub use ast::{AxisSelect, Condenser, Expr, InducedOp, Query};
+pub use error::{QueryError, Result};
+pub use exec::{execute, execute_query, Value};
+pub use parser::parse;
+pub use token::{tokenize, Token, TokenKind};

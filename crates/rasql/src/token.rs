@@ -1,0 +1,283 @@
+//! Tokenizer for the query language.
+
+use crate::error::{QueryError, Result};
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the token start in the query text.
+    pub at: usize,
+    /// The token kind.
+    pub kind: TokenKind,
+}
+
+/// Token kinds of the query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `SELECT` keyword (case-insensitive).
+    Select,
+    /// `FROM` keyword (case-insensitive).
+    From,
+    /// An identifier (collection or function name).
+    Ident(String),
+    /// An integer literal (possibly negative).
+    Int(i64),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `*` (whole axis in subscripts; multiplication in expressions)
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// A floating-point literal.
+    Float(f64),
+}
+
+/// Tokenizes a query string.
+///
+/// # Errors
+/// [`QueryError::Lex`] on unexpected characters or malformed numbers.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { at: i, kind: TokenKind::LBracket });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { at: i, kind: TokenKind::RBracket });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { at: i, kind: TokenKind::LParen });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { at: i, kind: TokenKind::RParen });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { at: i, kind: TokenKind::Colon });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { at: i, kind: TokenKind::Comma });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { at: i, kind: TokenKind::Star });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { at: i, kind: TokenKind::Plus });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { at: i, kind: TokenKind::Minus });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { at: i, kind: TokenKind::Slash });
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { at: i, kind: TokenKind::Ge });
+                    i += 2;
+                } else {
+                    tokens.push(Token { at: i, kind: TokenKind::Gt });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { at: i, kind: TokenKind::Le });
+                    i += 2;
+                } else {
+                    tokens.push(Token { at: i, kind: TokenKind::Lt });
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Token { at: i, kind: TokenKind::Eq });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { at: i, kind: TokenKind::Ne });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        at: i,
+                        message: "expected '=' after '!'".to_string(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Fractional part makes it a float literal.
+                if bytes.get(i) == Some(&b'.')
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    let value: f64 = text.parse().map_err(|e| QueryError::Lex {
+                        at: start,
+                        message: format!("bad number {text:?}: {e}"),
+                    })?;
+                    tokens.push(Token { at: start, kind: TokenKind::Float(value) });
+                } else {
+                    let text = &input[start..i];
+                    let value: i64 = text.parse().map_err(|e| QueryError::Lex {
+                        at: start,
+                        message: format!("bad integer {text:?}: {e}"),
+                    })?;
+                    tokens.push(Token { at: start, kind: TokenKind::Int(value) });
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match word.to_ascii_lowercase().as_str() {
+                    "select" => TokenKind::Select,
+                    "from" => TokenKind::From,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { at: start, kind });
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("SELECT img FROM img"),
+            vec![
+                TokenKind::Select,
+                TokenKind::Ident("img".into()),
+                TokenKind::From,
+                TokenKind::Ident("img".into()),
+            ]
+        );
+        assert_eq!(kinds("select")[0], TokenKind::Select);
+        assert_eq!(kinds("FrOm")[0], TokenKind::From);
+    }
+
+    #[test]
+    fn subscripts_and_numbers() {
+        assert_eq!(
+            kinds("img[0:99,-5: * ]"),
+            vec![
+                TokenKind::Ident("img".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(0),
+                TokenKind::Colon,
+                TokenKind::Int(99),
+                TokenKind::Comma,
+                TokenKind::Minus,
+                TokenKind::Int(5),
+                TokenKind::Colon,
+                TokenKind::Star,
+                TokenKind::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_floats() {
+        assert_eq!(
+            kinds("img + 1 >= 2.5 != 3"),
+            vec![
+                TokenKind::Ident("img".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Ge,
+                TokenKind::Float(2.5),
+                TokenKind::Ne,
+                TokenKind::Int(3),
+            ]
+        );
+        assert!(tokenize("a ! b").is_err());
+        assert_eq!(kinds("a<b")[1], TokenKind::Lt);
+        assert_eq!(kinds("a<=b")[1], TokenKind::Le);
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let tokens = tokenize("  select x").unwrap();
+        assert_eq!(tokens[0].at, 2);
+        assert_eq!(tokens[1].at, 9);
+    }
+
+    #[test]
+    fn bad_characters_error() {
+        assert!(tokenize("select #").is_err());
+        assert!(tokenize("img[0;1]").is_err());
+    }
+
+    #[test]
+    fn float_requires_digits_after_dot() {
+        // "1." is lexed as Int(1) followed by an error on '.'.
+        assert!(tokenize("1.").is_err());
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+    }
+}

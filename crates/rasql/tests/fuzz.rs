@@ -1,0 +1,76 @@
+//! Robustness properties: the parser/executor must never panic, and
+//! well-formed queries must round-trip through their textual form.
+
+use proptest::prelude::*;
+use tilestore_engine::{Array, CellType, Database, MddType};
+use tilestore_geometry::{DefDomain, Domain};
+use tilestore_rasql::{execute, parse};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+fn tiny_db() -> Database<tilestore_storage::MemPageStore> {
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "m",
+        MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2).unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+    )
+    .unwrap();
+    let dom: Domain = "[0:15,0:15]".parse().unwrap();
+    db.insert("m", &Array::from_fn(dom, |p| (p[0] + p[1]) as u8).unwrap())
+        .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary input must never panic the parser.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,60}") {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary token soup built from the language's alphabet must never
+    /// panic the parser or the executor.
+    #[test]
+    fn token_soup_never_panics(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("m".to_string()),
+                Just("sum_cells".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(":".to_string()),
+                Just(",".to_string()),
+                Just("*".to_string()),
+                (-20i64..20).prop_map(|v| v.to_string()),
+            ],
+            0..12,
+        ),
+    ) {
+        let query = pieces.join(" ");
+        let db = tiny_db();
+        let _ = execute(&db, &query);
+    }
+
+    /// Well-formed trims execute and produce the requested domain.
+    #[test]
+    fn generated_trims_execute(
+        a_lo in 0i64..8, a_ext in 0i64..8,
+        b_lo in 0i64..8, b_ext in 0i64..8,
+    ) {
+        let db = tiny_db();
+        let q = format!(
+            "SELECT m[{}:{},{}:{}] FROM m",
+            a_lo, a_lo + a_ext, b_lo, b_lo + b_ext
+        );
+        let (value, _) = execute(&db, &q).unwrap();
+        let arr = value.as_array().unwrap();
+        prop_assert_eq!(arr.domain().lo(0), a_lo);
+        prop_assert_eq!(arr.domain().hi(1), b_lo + b_ext);
+    }
+}

@@ -1,0 +1,390 @@
+//! BLOB storage on top of a page store.
+//!
+//! In the storage manager, "cells of each tile are stored in a separate
+//! BLOB" (§5). A BLOB occupies an integral number of pages — which is why
+//! §2 recommends tile sizes approximating multiples of the page size — and
+//! reading a BLOB touches all of its pages.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PageStore};
+use crate::stats::IoStats;
+
+/// Identifier of a BLOB within a [`BlobStore`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlobId(pub u64);
+
+/// Descriptor of one stored BLOB.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct BlobEntry {
+    pages: Vec<PageId>,
+    len: u64,
+}
+
+/// Serializable directory of a [`BlobStore`] — persisted by the engine so a
+/// database can be reopened.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlobDirectory {
+    entries: Vec<(BlobId, BlobEntry)>,
+    free_pages: Vec<PageId>,
+    next_id: u64,
+}
+
+/// A BLOB store: variable-length byte strings mapped onto whole pages of an
+/// underlying [`PageStore`], with per-operation I/O accounting.
+pub struct BlobStore<S> {
+    store: S,
+    stats: IoStats,
+    inner: Mutex<Directory>,
+}
+
+#[derive(Debug, Default)]
+struct Directory {
+    entries: std::collections::BTreeMap<u64, BlobEntry>,
+    free_pages: Vec<PageId>,
+    next_id: u64,
+}
+
+impl<S: PageStore> BlobStore<S> {
+    /// Wraps a page store with an empty BLOB directory.
+    #[must_use]
+    pub fn new(store: S) -> Self {
+        BlobStore {
+            store,
+            stats: IoStats::new(),
+            inner: Mutex::new(Directory::default()),
+        }
+    }
+
+    /// Wraps a page store, restoring a previously exported directory.
+    #[must_use]
+    pub fn with_directory(store: S, dir: BlobDirectory) -> Self {
+        let mut entries = std::collections::BTreeMap::new();
+        for (id, e) in dir.entries {
+            entries.insert(id.0, e);
+        }
+        BlobStore {
+            store,
+            stats: IoStats::new(),
+            inner: Mutex::new(Directory {
+                entries,
+                free_pages: dir.free_pages,
+                next_id: dir.next_id,
+            }),
+        }
+    }
+
+    /// Exports the directory for persistence.
+    #[must_use]
+    pub fn directory(&self) -> BlobDirectory {
+        let inner = self.inner.lock();
+        BlobDirectory {
+            entries: inner
+                .entries
+                .iter()
+                .map(|(&id, e)| (BlobId(id), e.clone()))
+                .collect(),
+            free_pages: inner.free_pages.clone(),
+            next_id: inner.next_id,
+        }
+    }
+
+    /// The shared I/O statistics of this store.
+    #[must_use]
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The underlying page store.
+    #[must_use]
+    pub fn page_store(&self) -> &S {
+        &self.store
+    }
+
+    /// Number of live BLOBs.
+    #[must_use]
+    pub fn blob_count(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Number of pages a BLOB of `len` bytes occupies.
+    #[must_use]
+    pub fn pages_for(&self, len: u64) -> u64 {
+        len.div_ceil(self.store.page_size() as u64).max(1)
+    }
+
+    /// Length in bytes of a stored BLOB.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownBlob`].
+    pub fn blob_len(&self, id: BlobId) -> Result<u64> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .get(&id.0)
+            .map(|e| e.len)
+            .ok_or(StorageError::UnknownBlob { blob: id.0 })
+    }
+
+    /// Creates a BLOB holding `data`, returning its id.
+    ///
+    /// Pages are taken from the free list first, then freshly allocated.
+    ///
+    /// # Errors
+    /// Backend allocation/write errors.
+    pub fn create(&self, data: &[u8]) -> Result<BlobId> {
+        let page_size = self.store.page_size();
+        let needed = self.pages_for(data.len() as u64);
+        let pages = {
+            let mut inner = self.inner.lock();
+            let mut pages = Vec::with_capacity(needed as usize);
+            while (pages.len() as u64) < needed {
+                match inner.free_pages.pop() {
+                    Some(p) => pages.push(p),
+                    None => break,
+                }
+            }
+            pages
+        };
+        let mut pages = pages;
+        if (pages.len() as u64) < needed {
+            let fresh = self.store.allocate(needed - pages.len() as u64)?;
+            pages.extend(fresh);
+        }
+        // Write the payload page by page, zero-padding the tail.
+        let mut buf = vec![0u8; page_size];
+        for (i, &page) in pages.iter().enumerate() {
+            let start = i * page_size;
+            let end = ((i + 1) * page_size).min(data.len());
+            if start < data.len() {
+                let chunk = &data[start..end];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                buf[chunk.len()..].fill(0);
+            } else {
+                buf.fill(0);
+            }
+            self.store.write_page(page, &buf)?;
+        }
+        self.stats.add_pages_written(pages.len() as u64);
+        self.stats.add_blob_written(data.len() as u64);
+        let id = {
+            let mut inner = self.inner.lock();
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.entries.insert(
+                id,
+                BlobEntry {
+                    pages,
+                    len: data.len() as u64,
+                },
+            );
+            BlobId(id)
+        };
+        Ok(id)
+    }
+
+    /// Reads a whole BLOB.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownBlob`] or backend read errors.
+    pub fn read(&self, id: BlobId) -> Result<Vec<u8>> {
+        let entry = {
+            let inner = self.inner.lock();
+            inner
+                .entries
+                .get(&id.0)
+                .cloned()
+                .ok_or(StorageError::UnknownBlob { blob: id.0 })?
+        };
+        let page_size = self.store.page_size();
+        let mut data = vec![0u8; entry.pages.len() * page_size];
+        for (i, &page) in entry.pages.iter().enumerate() {
+            self.store
+                .read_page(page, &mut data[i * page_size..(i + 1) * page_size])?;
+        }
+        data.truncate(entry.len as usize);
+        self.stats.add_pages_read(entry.pages.len() as u64);
+        self.stats.add_blob_read(entry.len);
+        Ok(data)
+    }
+
+    /// Overwrites a BLOB with new contents, reusing its pages where the
+    /// page count is unchanged.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownBlob`] or backend errors.
+    pub fn update(&self, id: BlobId, data: &[u8]) -> Result<()> {
+        // Simplest correct strategy: delete + recreate under the same id.
+        let page_size = self.store.page_size();
+        let needed = self.pages_for(data.len() as u64);
+        let mut pages = {
+            let mut inner = self.inner.lock();
+            let entry = inner
+                .entries
+                .remove(&id.0)
+                .ok_or(StorageError::UnknownBlob { blob: id.0 })?;
+            let mut pages = entry.pages;
+            // Shrink: return surplus pages to the free list.
+            while pages.len() as u64 > needed {
+                let p = pages.pop().expect("len > needed >= 1");
+                inner.free_pages.push(p);
+            }
+            pages
+        };
+        if (pages.len() as u64) < needed {
+            let extra = {
+                let mut inner = self.inner.lock();
+                let mut extra = Vec::new();
+                while (pages.len() + extra.len()) < needed as usize {
+                    match inner.free_pages.pop() {
+                        Some(p) => extra.push(p),
+                        None => break,
+                    }
+                }
+                extra
+            };
+            pages.extend(extra);
+            if (pages.len() as u64) < needed {
+                pages.extend(self.store.allocate(needed - pages.len() as u64)?);
+            }
+        }
+        let mut buf = vec![0u8; page_size];
+        for (i, &page) in pages.iter().enumerate() {
+            let start = i * page_size;
+            let end = ((i + 1) * page_size).min(data.len());
+            if start < data.len() {
+                let chunk = &data[start..end];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                buf[chunk.len()..].fill(0);
+            } else {
+                buf.fill(0);
+            }
+            self.store.write_page(page, &buf)?;
+        }
+        self.stats.add_pages_written(pages.len() as u64);
+        self.stats.add_blob_written(data.len() as u64);
+        let mut inner = self.inner.lock();
+        inner.entries.insert(
+            id.0,
+            BlobEntry {
+                pages,
+                len: data.len() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    /// Deletes a BLOB, returning its pages to the free list.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownBlob`].
+    pub fn delete(&self, id: BlobId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .entries
+            .remove(&id.0)
+            .ok_or(StorageError::UnknownBlob { blob: id.0 })?;
+        inner.free_pages.extend(entry.pages);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::MemPageStore;
+
+    fn store() -> BlobStore<MemPageStore> {
+        BlobStore::new(MemPageStore::new(1024).unwrap())
+    }
+
+    #[test]
+    fn create_read_round_trip() {
+        let bs = store();
+        let data: Vec<u8> = (0..3000).map(|i| (i % 256) as u8).collect();
+        let id = bs.create(&data).unwrap();
+        assert_eq!(bs.read(id).unwrap(), data);
+        assert_eq!(bs.blob_len(id).unwrap(), 3000);
+        assert_eq!(bs.blob_count(), 1);
+    }
+
+    #[test]
+    fn io_accounting_counts_whole_pages() {
+        let bs = store();
+        let id = bs.create(&vec![1u8; 2500]).unwrap(); // 3 pages of 1024
+        bs.stats().reset();
+        bs.read(id).unwrap();
+        let s = bs.stats().snapshot();
+        assert_eq!(s.pages_read, 3);
+        assert_eq!(s.blobs_read, 1);
+        assert_eq!(s.bytes_read, 2500);
+    }
+
+    #[test]
+    fn empty_blob_occupies_one_page() {
+        let bs = store();
+        let id = bs.create(&[]).unwrap();
+        assert_eq!(bs.read(id).unwrap(), Vec::<u8>::new());
+        assert_eq!(bs.page_store().allocated(), 1);
+    }
+
+    #[test]
+    fn delete_recycles_pages() {
+        let bs = store();
+        let a = bs.create(&vec![1u8; 2048]).unwrap(); // 2 pages
+        bs.delete(a).unwrap();
+        let before = bs.page_store().allocated();
+        let b = bs.create(&vec![2u8; 2048]).unwrap(); // reuses freed pages
+        assert_eq!(bs.page_store().allocated(), before);
+        assert_eq!(bs.read(b).unwrap(), vec![2u8; 2048]);
+        assert!(matches!(
+            bs.read(a),
+            Err(StorageError::UnknownBlob { .. })
+        ));
+        assert!(bs.delete(a).is_err());
+    }
+
+    #[test]
+    fn update_grows_and_shrinks() {
+        let bs = store();
+        let id = bs.create(&[1u8; 100]).unwrap();
+        bs.update(id, &vec![2u8; 5000]).unwrap();
+        assert_eq!(bs.read(id).unwrap(), vec![2u8; 5000]);
+        bs.update(id, &[3u8; 10]).unwrap();
+        assert_eq!(bs.read(id).unwrap(), vec![3u8; 10]);
+        // Freed pages are reusable.
+        let other = bs.create(&vec![4u8; 4096]).unwrap();
+        assert_eq!(bs.read(other).unwrap(), vec![4u8; 4096]);
+    }
+
+    #[test]
+    fn directory_round_trip_preserves_blobs() {
+        let mem = MemPageStore::new(1024).unwrap();
+        let bs = BlobStore::new(mem);
+        let data = vec![9u8; 1500];
+        let id = bs.create(&data).unwrap();
+        let dir = bs.directory();
+        // Re-wrap the same page store (simulating reopen).
+        let BlobStore { store, .. } = bs;
+        let bs2 = BlobStore::with_directory(store, dir);
+        assert_eq!(bs2.read(id).unwrap(), data);
+        // Fresh ids don't collide with restored ones.
+        let id2 = bs2.create(&[1, 2, 3]).unwrap();
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn many_blobs_keep_distinct_contents() {
+        let bs = store();
+        let ids: Vec<BlobId> = (0..50u8)
+            .map(|i| bs.create(&vec![i; (i as usize + 1) * 37]).unwrap())
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(bs.read(id).unwrap(), vec![i as u8; (i + 1) * 37]);
+        }
+    }
+}

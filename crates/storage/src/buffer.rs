@@ -1,0 +1,212 @@
+//! LRU buffer pool over a page store.
+//!
+//! The paper measures cold-cache retrieval times (`t_o`); the pool exists to
+//! show (and benchmark) how caching changes the picture, and to serve as the
+//! realistic substrate a DBMS would run on. It wraps any [`PageStore`] and
+//! is itself a [`PageStore`], so the BLOB layer can run with or without it.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::page::{PageId, PageStore};
+use crate::stats::IoStats;
+
+/// A write-through LRU page cache.
+pub struct BufferPool<S> {
+    store: S,
+    capacity: usize,
+    stats: IoStats,
+    inner: Mutex<PoolInner>,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// page -> (frame payload, LRU tick of last use)
+    frames: HashMap<u64, (Box<[u8]>, u64)>,
+    tick: u64,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Wraps `store` with an LRU cache of `capacity` frames.
+    ///
+    /// # Errors
+    /// [`crate::StorageError::ZeroCapacity`] when `capacity == 0`.
+    pub fn new(store: S, capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(crate::error::StorageError::ZeroCapacity);
+        }
+        Ok(BufferPool {
+            store,
+            capacity,
+            stats: IoStats::new(),
+            inner: Mutex::new(PoolInner::default()),
+        })
+    }
+
+    /// Cache hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The wrapped page store.
+    #[must_use]
+    pub fn inner_store(&self) -> &S {
+        &self.store
+    }
+
+    /// Number of frames currently cached.
+    #[must_use]
+    pub fn cached_frames(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Drops every cached frame (cold-start measurements).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+    }
+
+    fn evict_if_full(inner: &mut PoolInner, capacity: usize) {
+        while inner.frames.len() >= capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(&page, _)| page)
+                .expect("frames non-empty when len >= capacity >= 1");
+            inner.frames.remove(&victim);
+        }
+    }
+}
+
+impl<S: PageStore> PageStore for BufferPool<S> {
+    fn page_size(&self) -> usize {
+        self.store.page_size()
+    }
+
+    fn allocated(&self) -> u64 {
+        self.store.allocated()
+    }
+
+    fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
+        self.store.allocate(count)
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
+                buf.copy_from_slice(frame);
+                *last = tick;
+                self.stats.add_cache_hit();
+                return Ok(());
+            }
+        }
+        // Miss: fetch outside the lock-held fast path, then install.
+        self.stats.add_cache_miss();
+        self.store.read_page(page, buf)?;
+        let mut inner = self.inner.lock();
+        Self::evict_if_full(&mut inner, self.capacity);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .frames
+            .insert(page.0, (buf.to_vec().into_boxed_slice(), tick));
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
+        // Write-through: the store is always current.
+        self.store.write_page(page, buf)?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
+            frame.copy_from_slice(buf);
+            *last = tick;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::MemPageStore;
+
+    fn pool(capacity: usize) -> BufferPool<MemPageStore> {
+        BufferPool::new(MemPageStore::new(1024).unwrap(), capacity).unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(BufferPool::new(MemPageStore::new(1024).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let p = pool(4);
+        let pages = p.allocate(1).unwrap();
+        let payload = vec![5u8; 1024];
+        p.write_page(pages[0], &payload).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.read_page(pages[0], &mut buf).unwrap();
+        p.read_page(pages[0], &mut buf).unwrap();
+        p.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(buf, payload);
+        let s = p.stats().snapshot();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let p = pool(2);
+        let pages = p.allocate(3).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.read_page(pages[0], &mut buf).unwrap(); // cache: {0}
+        p.read_page(pages[1], &mut buf).unwrap(); // cache: {0,1}
+        p.read_page(pages[0], &mut buf).unwrap(); // refresh 0
+        p.read_page(pages[2], &mut buf).unwrap(); // evicts 1
+        assert_eq!(p.cached_frames(), 2);
+        p.stats().reset();
+        p.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_hits, 1);
+        p.read_page(pages[1], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_misses, 1);
+    }
+
+    #[test]
+    fn write_through_updates_cached_frame() {
+        let p = pool(2);
+        let pages = p.allocate(1).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.write_page(pages[0], &vec![1u8; 1024]).unwrap();
+        p.read_page(pages[0], &mut buf).unwrap(); // install frame
+        p.write_page(pages[0], &vec![2u8; 1024]).unwrap();
+        p.read_page(pages[0], &mut buf).unwrap(); // served from cache
+        assert_eq!(buf, vec![2u8; 1024]);
+        // And the backing store is current too.
+        let mut direct = vec![0u8; 1024];
+        p.inner_store().read_page(pages[0], &mut direct).unwrap();
+        assert_eq!(direct, vec![2u8; 1024]);
+    }
+
+    #[test]
+    fn clear_forces_cold_reads() {
+        let p = pool(4);
+        let pages = p.allocate(1).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.read_page(pages[0], &mut buf).unwrap();
+        p.clear();
+        assert_eq!(p.cached_frames(), 0);
+        p.stats().reset();
+        p.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_misses, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by the page, BLOB and buffer layers.
+#[derive(Debug, Clone)]
+pub enum StorageError {
+    /// An I/O error from the underlying file.
+    Io(Arc<std::io::Error>),
+    /// A page id beyond the allocated range was accessed.
+    PageOutOfRange {
+        /// The page requested.
+        page: u64,
+        /// Number of allocated pages.
+        allocated: u64,
+    },
+    /// A BLOB id that does not exist (never created or already deleted).
+    UnknownBlob {
+        /// The offending id.
+        blob: u64,
+    },
+    /// A page size that is zero or absurdly small.
+    BadPageSize {
+        /// The offending size.
+        size: usize,
+    },
+    /// Buffer pool capacity of zero frames.
+    ZeroCapacity,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfRange { page, allocated } => {
+                write!(f, "page {page} out of range ({allocated} allocated)")
+            }
+            StorageError::UnknownBlob { blob } => write!(f, "unknown BLOB id {blob}"),
+            StorageError::BadPageSize { size } => {
+                write!(f, "bad page size {size} (minimum 512 bytes)")
+            }
+            StorageError::ZeroCapacity => write!(f, "buffer pool needs at least one frame"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(Arc::new(e))
+    }
+}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,25 @@
+//! Page-based BLOB storage substrate.
+//!
+//! Stands in for the O₂ object store the paper ran on (§5/§6): tiles are
+//! BLOBs ([`BlobStore`]) laid out on fixed-size pages ([`PageStore`], with
+//! [`FilePageStore`] and [`MemPageStore`] backends), optionally cached by an
+//! LRU [`BufferPool`]. Every operation is accounted in [`IoStats`], and
+//! [`CostModel`] converts the counts into the deterministic model seconds
+//! used to reproduce the paper's `t_o` measurements.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod blob;
+mod buffer;
+mod cost;
+mod error;
+mod page;
+mod stats;
+
+pub use blob::{BlobDirectory, BlobId, BlobStore};
+pub use buffer::BufferPool;
+pub use cost::CostModel;
+pub use error::{Result, StorageError};
+pub use page::{FilePageStore, MemPageStore, PageId, PageStore, DEFAULT_PAGE_SIZE, MIN_PAGE_SIZE};
+pub use stats::{IoSnapshot, IoStats};

@@ -1,0 +1,301 @@
+//! Page abstraction and backends.
+//!
+//! The storage system reads and writes fixed-size pages — "accesses by the
+//! storage system are to whole pages" (§2). Two backends are provided: a
+//! file-backed store (the normal case) and an in-memory store (tests and
+//! benchmarks that must exclude OS I/O noise).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StorageError};
+
+/// Default page size: 8 KiB, typical of late-90s database systems.
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// Minimum accepted page size.
+pub const MIN_PAGE_SIZE: usize = 512;
+
+/// Identifier of a page within a page store.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PageId(pub u64);
+
+/// A store of fixed-size pages.
+///
+/// Implementations must be internally synchronized: `&self` methods may be
+/// called from multiple threads.
+pub trait PageStore: Send + Sync {
+    /// The page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Number of pages currently allocated.
+    fn allocated(&self) -> u64;
+
+    /// Allocates `count` fresh pages, returning their ids (contiguous).
+    ///
+    /// # Errors
+    /// Propagates backend I/O errors.
+    fn allocate(&self, count: u64) -> Result<Vec<PageId>>;
+
+    /// Reads one page into `buf` (must be exactly `page_size` long).
+    ///
+    /// # Errors
+    /// [`StorageError::PageOutOfRange`] or backend I/O errors.
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes one page from `buf` (must be exactly `page_size` long).
+    ///
+    /// # Errors
+    /// [`StorageError::PageOutOfRange`] or backend I/O errors.
+    fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()>;
+}
+
+fn check_page_size(size: usize) -> Result<()> {
+    if size < MIN_PAGE_SIZE {
+        return Err(StorageError::BadPageSize { size });
+    }
+    Ok(())
+}
+
+/// In-memory page store.
+#[derive(Debug)]
+pub struct MemPageStore {
+    page_size: usize,
+    pages: Mutex<Vec<Box<[u8]>>>,
+}
+
+impl MemPageStore {
+    /// Creates an empty in-memory store with the given page size.
+    ///
+    /// # Errors
+    /// [`StorageError::BadPageSize`] for undersized pages.
+    pub fn new(page_size: usize) -> Result<Self> {
+        check_page_size(page_size)?;
+        Ok(MemPageStore {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocated(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
+        let mut pages = self.pages.lock();
+        let first = pages.len() as u64;
+        for _ in 0..count {
+            pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        }
+        Ok((first..first + count).map(PageId).collect())
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page");
+        let pages = self.pages.lock();
+        let data = pages.get(page.0 as usize).ok_or(StorageError::PageOutOfRange {
+            page: page.0,
+            allocated: pages.len() as u64,
+        })?;
+        buf.copy_from_slice(data);
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page");
+        let mut pages = self.pages.lock();
+        let allocated = pages.len() as u64;
+        let data = pages
+            .get_mut(page.0 as usize)
+            .ok_or(StorageError::PageOutOfRange {
+                page: page.0,
+                allocated,
+            })?;
+        data.copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+/// File-backed page store: pages live at `page_id × page_size` offsets of a
+/// single file.
+#[derive(Debug)]
+pub struct FilePageStore {
+    page_size: usize,
+    inner: Mutex<FileInner>,
+}
+
+#[derive(Debug)]
+struct FileInner {
+    file: File,
+    allocated: u64,
+}
+
+impl FilePageStore {
+    /// Creates (or truncates) a page file at `path`.
+    ///
+    /// # Errors
+    /// [`StorageError::BadPageSize`] or file-creation I/O errors.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        check_page_size(page_size)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePageStore {
+            page_size,
+            inner: Mutex::new(FileInner { file, allocated: 0 }),
+        })
+    }
+
+    /// Opens an existing page file; the allocated page count is derived
+    /// from the file length.
+    ///
+    /// # Errors
+    /// [`StorageError::BadPageSize`] or file-open I/O errors.
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        check_page_size(page_size)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FilePageStore {
+            page_size,
+            inner: Mutex::new(FileInner {
+                file,
+                allocated: len / page_size as u64,
+            }),
+        })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocated(&self) -> u64 {
+        self.inner.lock().allocated
+    }
+
+    fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
+        let mut inner = self.inner.lock();
+        let first = inner.allocated;
+        inner.allocated += count;
+        let new_len = inner.allocated * self.page_size as u64;
+        inner.file.set_len(new_len)?;
+        Ok((first..first + count).map(PageId).collect())
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page");
+        let mut inner = self.inner.lock();
+        if page.0 >= inner.allocated {
+            return Err(StorageError::PageOutOfRange {
+                page: page.0,
+                allocated: inner.allocated,
+            });
+        }
+        inner
+            .file
+            .seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
+        inner.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page");
+        let mut inner = self.inner.lock();
+        if page.0 >= inner.allocated {
+            return Err(StorageError::PageOutOfRange {
+                page: page.0,
+                allocated: inner.allocated,
+            });
+        }
+        inner
+            .file
+            .seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
+        inner.file.write_all(buf)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn PageStore) {
+        assert_eq!(store.allocated(), 0);
+        let pages = store.allocate(3).unwrap();
+        assert_eq!(pages, vec![PageId(0), PageId(1), PageId(2)]);
+        assert_eq!(store.allocated(), 3);
+
+        let ps = store.page_size();
+        let payload: Vec<u8> = (0..ps).map(|i| (i % 256) as u8).collect();
+        store.write_page(PageId(1), &payload).unwrap();
+
+        let mut buf = vec![0u8; ps];
+        store.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf, payload);
+
+        // Untouched page reads back as zeroes.
+        store.read_page(PageId(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+
+        // Out-of-range access errors.
+        assert!(matches!(
+            store.read_page(PageId(3), &mut buf),
+            Err(StorageError::PageOutOfRange { page: 3, .. })
+        ));
+        assert!(store.write_page(PageId(99), &payload).is_err());
+    }
+
+    #[test]
+    fn mem_store_round_trip() {
+        let store = MemPageStore::new(DEFAULT_PAGE_SIZE).unwrap();
+        exercise(&store);
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = FilePageStore::create(dir.path().join("pages.db"), 1024).unwrap();
+        exercise(&store);
+    }
+
+    #[test]
+    fn file_store_reopen_preserves_pages() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("pages.db");
+        let payload = vec![7u8; 1024];
+        {
+            let store = FilePageStore::create(&path, 1024).unwrap();
+            store.allocate(2).unwrap();
+            store.write_page(PageId(1), &payload).unwrap();
+        }
+        let store = FilePageStore::open(&path, 1024).unwrap();
+        assert_eq!(store.allocated(), 2);
+        let mut buf = vec![0u8; 1024];
+        store.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn rejects_tiny_pages() {
+        assert!(matches!(
+            MemPageStore::new(16),
+            Err(StorageError::BadPageSize { size: 16 })
+        ));
+    }
+}

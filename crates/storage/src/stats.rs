@@ -1,0 +1,173 @@
+//! I/O statistics shared across the storage stack.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Thread-safe I/O counters. Cloning shares the underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+    blobs_read: AtomicU64,
+    blobs_written: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// An immutable snapshot of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoSnapshot {
+    /// Pages fetched from the page store.
+    pub pages_read: u64,
+    /// Pages written to the page store.
+    pub pages_written: u64,
+    /// BLOB read operations — each is a "seek" in the disk cost model,
+    /// since a BLOB's pages are laid out contiguously.
+    pub blobs_read: u64,
+    /// BLOB write operations.
+    pub blobs_written: u64,
+    /// Payload bytes read from BLOBs.
+    pub bytes_read: u64,
+    /// Payload bytes written to BLOBs.
+    pub bytes_written: u64,
+    /// Buffer-pool hits (page served without touching the store).
+    pub cache_hits: u64,
+    /// Buffer-pool misses.
+    pub cache_misses: u64,
+}
+
+impl IoSnapshot {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    #[must_use]
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            pages_read: self.pages_read - earlier.pages_read,
+            pages_written: self.pages_written - earlier.pages_written,
+            blobs_read: self.blobs_read - earlier.blobs_read,
+            blobs_written: self.blobs_written - earlier.blobs_written,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+        }
+    }
+}
+
+impl IoStats {
+    /// Fresh counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Records `n` pages read.
+    pub fn add_pages_read(&self, n: u64) {
+        self.inner.pages_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` pages written.
+    pub fn add_pages_written(&self, n: u64) {
+        self.inner.pages_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one BLOB read of `bytes` payload bytes.
+    pub fn add_blob_read(&self, bytes: u64) {
+        self.inner.blobs_read.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one BLOB write of `bytes` payload bytes.
+    pub fn add_blob_written(&self, bytes: u64) {
+        self.inner.blobs_written.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool hit.
+    pub fn add_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool miss.
+    pub fn add_cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            pages_read: self.inner.pages_read.load(Ordering::Relaxed),
+            pages_written: self.inner.pages_written.load(Ordering::Relaxed),
+            blobs_read: self.inner.blobs_read.load(Ordering::Relaxed),
+            blobs_written: self.inner.blobs_written.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.inner.pages_read.store(0, Ordering::Relaxed);
+        self.inner.pages_written.store(0, Ordering::Relaxed);
+        self.inner.blobs_read.store(0, Ordering::Relaxed);
+        self.inner.blobs_written.store(0, Ordering::Relaxed);
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.bytes_written.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = IoStats::new();
+        stats.add_pages_read(4);
+        stats.add_blob_read(1000);
+        stats.add_cache_hit();
+        stats.add_cache_miss();
+        let s = stats.snapshot();
+        assert_eq!(s.pages_read, 4);
+        assert_eq!(s.blobs_read, 1);
+        assert_eq!(s.bytes_read, 1000);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        b.add_pages_written(2);
+        assert_eq!(a.snapshot().pages_written, 2);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let stats = IoStats::new();
+        stats.add_pages_read(10);
+        let before = stats.snapshot();
+        stats.add_pages_read(7);
+        stats.add_blob_read(100);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.pages_read, 7);
+        assert_eq!(delta.blobs_read, 1);
+        assert_eq!(delta.bytes_read, 100);
+    }
+}

@@ -1,0 +1,157 @@
+//! Model-based property tests: the BLOB store must behave like a simple
+//! `HashMap<BlobId, Vec<u8>>` under any interleaving of operations, and the
+//! buffer pool must be transparent.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tilestore_storage::{BlobStore, BufferPool, MemPageStore, PageStore};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(Vec<u8>),
+    /// Update the i-th live blob (modulo) with new contents.
+    Update(usize, Vec<u8>),
+    /// Delete the i-th live blob (modulo).
+    Delete(usize),
+    /// Read the i-th live blob (modulo) and compare against the model.
+    Read(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let payload = proptest::collection::vec(any::<u8>(), 0..3000);
+    prop_oneof![
+        3 => payload.clone().prop_map(Op::Create),
+        2 => (any::<usize>(), payload).prop_map(|(i, p)| Op::Update(i, p)),
+        1 => any::<usize>().prop_map(Op::Delete),
+        3 => any::<usize>().prop_map(Op::Read),
+    ]
+}
+
+fn run_model(store: &BlobStore<impl PageStore>, ops: Vec<Op>) {
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut live: Vec<tilestore_storage::BlobId> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Create(data) => {
+                let id = store.create(&data).unwrap();
+                assert!(!model.contains_key(&id.0), "id reuse of live blob");
+                model.insert(id.0, data);
+                live.push(id);
+            }
+            Op::Update(i, data) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[i % live.len()];
+                store.update(id, &data).unwrap();
+                model.insert(id.0, data);
+            }
+            Op::Delete(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(i % live.len());
+                store.delete(id).unwrap();
+                model.remove(&id.0);
+                assert!(store.read(id).is_err(), "deleted blob must not read");
+            }
+            Op::Read(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[i % live.len()];
+                assert_eq!(store.read(id).unwrap(), model[&id.0]);
+            }
+        }
+    }
+    // Final sweep: every live blob matches the model.
+    for id in &live {
+        assert_eq!(store.read(*id).unwrap(), model[&id.0]);
+        assert_eq!(store.blob_len(*id).unwrap(), model[&id.0].len() as u64);
+    }
+    assert_eq!(store.blob_count(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blob_store_matches_hashmap_model(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        page_size_kb in 1usize..4,
+    ) {
+        let store = BlobStore::new(MemPageStore::new(page_size_kb * 1024).unwrap());
+        run_model(&store, ops);
+    }
+
+    #[test]
+    fn buffer_pool_is_transparent(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        capacity in 1usize..12,
+    ) {
+        // The same model must hold when an LRU pool sits under the BLOBs —
+        // caching must never change observable contents.
+        let pool = BufferPool::new(MemPageStore::new(1024).unwrap(), capacity).unwrap();
+        let store = BlobStore::new(pool);
+        run_model(&store, ops);
+    }
+
+    #[test]
+    fn directory_round_trip_under_churn(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+    ) {
+        // Export/import of the directory preserves every live blob.
+        let store = BlobStore::new(MemPageStore::new(1024).unwrap());
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut live: Vec<tilestore_storage::BlobId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create(data) => {
+                    let id = store.create(&data).unwrap();
+                    model.insert(id.0, data);
+                    live.push(id);
+                }
+                Op::Update(i, data) => {
+                    if live.is_empty() { continue; }
+                    let id = live[i % live.len()];
+                    store.update(id, &data).unwrap();
+                    model.insert(id.0, data);
+                }
+                Op::Delete(i) => {
+                    if live.is_empty() { continue; }
+                    let id = live.swap_remove(i % live.len());
+                    store.delete(id).unwrap();
+                    model.remove(&id.0);
+                }
+                Op::Read(_) => {}
+            }
+        }
+        let dir = store.directory();
+        let reopened = BlobStore::with_directory(
+            // In-memory stores do not persist pages, so reuse the original's
+            // page store by moving it out via the directory + same store.
+            // (FilePageStore round-trips are covered in the engine tests.)
+            {
+                // Rebuild a store with identical page contents.
+                let src = store;
+                let page_size = src.page_store().page_size();
+                let pages = src.page_store().allocated();
+                let dst = MemPageStore::new(page_size).unwrap();
+                dst.allocate(pages).unwrap();
+                let mut buf = vec![0u8; page_size];
+                for p in 0..pages {
+                    src.page_store()
+                        .read_page(tilestore_storage::PageId(p), &mut buf)
+                        .unwrap();
+                    dst.write_page(tilestore_storage::PageId(p), &buf).unwrap();
+                }
+                dst
+            },
+            dir,
+        );
+        for id in &live {
+            prop_assert_eq!(reopened.read(*id).unwrap(), model[&id.0].clone());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for tiling computations.
+
+use std::fmt;
+
+use tilestore_geometry::GeometryError;
+
+/// Errors raised while computing or validating tilings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TilingError {
+    /// An underlying geometric operation failed.
+    Geometry(GeometryError),
+    /// The cell size is zero.
+    ZeroCellSize,
+    /// A single cell does not fit in `MaxTileSize`.
+    CellExceedsMaxTileSize {
+        /// The cell size in bytes.
+        cell_size: usize,
+        /// The configured maximum tile size in bytes.
+        max_tile_size: u64,
+    },
+    /// A tile configuration has the wrong number of entries for the domain.
+    ConfigDimensionMismatch {
+        /// Entries in the configuration.
+        config: usize,
+        /// Dimensionality of the domain.
+        domain: usize,
+    },
+    /// A tile configuration contains a zero relative size.
+    ZeroConfigEntry {
+        /// The offending axis.
+        axis: usize,
+    },
+    /// A directional partition refers to an axis outside the domain.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Dimensionality of the domain.
+        dim: usize,
+    },
+    /// The same axis was partitioned twice.
+    DuplicateAxis {
+        /// The duplicated axis.
+        axis: usize,
+    },
+    /// Directional partition points are invalid (not strictly increasing, or
+    /// not anchored at the domain bounds as §5.2 requires).
+    BadPartitionPoints {
+        /// The offending axis.
+        axis: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An area of interest lies (partly) outside the domain being tiled.
+    AreaOutsideDomain {
+        /// Index of the offending area.
+        index: usize,
+    },
+    /// No areas of interest were supplied.
+    NoAreasOfInterest,
+    /// More areas of interest than the intersect code can encode.
+    TooManyAreas {
+        /// Areas supplied.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A produced tiling violates an invariant (internal consistency check).
+    InvalidTiling(String),
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::Geometry(e) => write!(f, "geometry error: {e}"),
+            TilingError::ZeroCellSize => write!(f, "cell size must be positive"),
+            TilingError::CellExceedsMaxTileSize {
+                cell_size,
+                max_tile_size,
+            } => write!(
+                f,
+                "a single {cell_size}-byte cell exceeds MaxTileSize={max_tile_size}"
+            ),
+            TilingError::ConfigDimensionMismatch { config, domain } => write!(
+                f,
+                "tile configuration has {config} entries for a {domain}-dimensional domain"
+            ),
+            TilingError::ZeroConfigEntry { axis } => {
+                write!(f, "tile configuration entry for axis {axis} is zero")
+            }
+            TilingError::AxisOutOfRange { axis, dim } => {
+                write!(f, "axis {axis} out of range for dimensionality {dim}")
+            }
+            TilingError::DuplicateAxis { axis } => {
+                write!(f, "axis {axis} partitioned more than once")
+            }
+            TilingError::BadPartitionPoints { axis, reason } => {
+                write!(f, "bad partition points on axis {axis}: {reason}")
+            }
+            TilingError::AreaOutsideDomain { index } => {
+                write!(f, "area of interest #{index} lies outside the domain")
+            }
+            TilingError::NoAreasOfInterest => write!(f, "no areas of interest supplied"),
+            TilingError::TooManyAreas { got, max } => {
+                write!(f, "{got} areas of interest exceed the supported maximum {max}")
+            }
+            TilingError::InvalidTiling(s) => write!(f, "invalid tiling: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TilingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TilingError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for TilingError {
+    fn from(e: GeometryError) -> Self {
+        TilingError::Geometry(e)
+    }
+}
+
+/// Convenience result alias for tiling operations.
+pub type Result<T> = std::result::Result<T, TilingError>;

@@ -1,0 +1,43 @@
+//! Arbitrary multidimensional tiling strategies.
+//!
+//! This crate implements §4–§5.2 of *Furtado & Baumann, "Storage of
+//! Multidimensional Arrays Based on Arbitrary Tiling" (ICDE 1999)*: the
+//! algorithms that partition an MDD object's spatial domain into disjoint
+//! multidimensional tiles, tunable to the expected access pattern.
+//!
+//! | Strategy | Paper section | Type |
+//! |---|---|---|
+//! | [`AlignedTiling`] | §5.2 "Aligned Tiling" | [`Scheme::Aligned`] |
+//! | [`SingleTile`] | §5.1 access type (a) | [`Scheme::SingleTile`] |
+//! | [`DirectionalTiling`] | §5.2 "Partitioning the Dimensions" | [`Scheme::Directional`] |
+//! | [`AreasOfInterestTiling`] | §5.2 "Areas of Interest" (Fig. 6) | [`Scheme::AreasOfInterest`] |
+//! | [`StatisticTiling`] | §5.2 "Statistic Tiling" | [`Scheme::Statistic`] |
+//!
+//! Every strategy implements [`TilingStrategy`] and produces a validated
+//! [`TilingSpec`] — a set of disjoint tiles within the domain, each at most
+//! `MaxTileSize` bytes. The spec is the "first phase" of §5.2; materializing
+//! tiles from array data is the storage engine's second phase.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod aligned;
+mod config;
+mod directional;
+mod error;
+mod interest;
+mod spec;
+mod statistic;
+mod strategy;
+
+pub use aligned::{AlignedTiling, SingleTile};
+pub use config::{Extent, TileConfig};
+pub use directional::{
+    blocks_from_starts, cartesian_blocks, minimal_split_format, AxisPartition,
+    DirectionalTiling, SubTiling,
+};
+pub use error::{Result, TilingError};
+pub use interest::{AreasOfInterestTiling, IntersectCode, MAX_AREAS};
+pub use spec::{check_cell_fits, TilingSpec, DEFAULT_MAX_TILE_SIZE};
+pub use statistic::{AccessCluster, AccessRecord, StatisticTiling};
+pub use strategy::{Scheme, TilingStrategy};

@@ -1,0 +1,136 @@
+//! The tiling-strategy abstraction and the closed set of built-in schemes.
+
+use serde::{Deserialize, Serialize};
+use tilestore_geometry::Domain;
+
+use crate::aligned::{AlignedTiling, SingleTile};
+use crate::directional::DirectionalTiling;
+use crate::error::Result;
+use crate::interest::AreasOfInterestTiling;
+use crate::spec::TilingSpec;
+use crate::statistic::StatisticTiling;
+
+/// A tiling strategy: computes a tiling specification (a partition of the
+/// spatial domain) from the domain and the cell size (§5.2).
+pub trait TilingStrategy {
+    /// Human-readable strategy name.
+    fn name(&self) -> &'static str;
+
+    /// The `MaxTileSize` this strategy enforces, in bytes.
+    fn max_tile_size(&self) -> u64;
+
+    /// Computes the tiling specification for `domain` with `cell_size`-byte
+    /// cells.
+    ///
+    /// # Errors
+    /// Strategy-specific validation errors; see [`crate::TilingError`].
+    fn partition(&self, domain: &Domain, cell_size: usize) -> Result<TilingSpec>;
+}
+
+/// The closed, serializable set of built-in tiling schemes. An engine stores
+/// the scheme with each MDD object so later insertions (gradual growth) tile
+/// consistently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Aligned tiling with a tile configuration (includes regular tiling).
+    Aligned(AlignedTiling),
+    /// The whole object as one tile.
+    SingleTile(SingleTile),
+    /// Tiling by user-defined partitions of the axes.
+    Directional(DirectionalTiling),
+    /// Tiling adapted to declared areas of interest.
+    AreasOfInterest(AreasOfInterestTiling),
+    /// Areas of interest derived automatically from an access log.
+    Statistic(StatisticTiling),
+}
+
+impl Scheme {
+    /// The paper's default: aligned regular tiling.
+    #[must_use]
+    pub fn default_for(dim: usize) -> Self {
+        Scheme::Aligned(AlignedTiling::default_for(dim))
+    }
+}
+
+impl TilingStrategy for Scheme {
+    fn name(&self) -> &'static str {
+        match self {
+            Scheme::Aligned(s) => s.name(),
+            Scheme::SingleTile(s) => s.name(),
+            Scheme::Directional(s) => s.name(),
+            Scheme::AreasOfInterest(s) => s.name(),
+            Scheme::Statistic(s) => s.name(),
+        }
+    }
+
+    fn max_tile_size(&self) -> u64 {
+        match self {
+            Scheme::Aligned(s) => s.max_tile_size(),
+            Scheme::SingleTile(s) => s.max_tile_size(),
+            Scheme::Directional(s) => s.max_tile_size(),
+            Scheme::AreasOfInterest(s) => s.max_tile_size(),
+            Scheme::Statistic(s) => s.max_tile_size(),
+        }
+    }
+
+    fn partition(&self, domain: &Domain, cell_size: usize) -> Result<TilingSpec> {
+        match self {
+            Scheme::Aligned(s) => s.partition(domain, cell_size),
+            Scheme::SingleTile(s) => s.partition(domain, cell_size),
+            Scheme::Directional(s) => s.partition(domain, cell_size),
+            Scheme::AreasOfInterest(s) => s.partition(domain, cell_size),
+            Scheme::Statistic(s) => s.partition(domain, cell_size),
+        }
+    }
+}
+
+impl From<AlignedTiling> for Scheme {
+    fn from(s: AlignedTiling) -> Self {
+        Scheme::Aligned(s)
+    }
+}
+
+impl From<SingleTile> for Scheme {
+    fn from(s: SingleTile) -> Self {
+        Scheme::SingleTile(s)
+    }
+}
+
+impl From<DirectionalTiling> for Scheme {
+    fn from(s: DirectionalTiling) -> Self {
+        Scheme::Directional(s)
+    }
+}
+
+impl From<AreasOfInterestTiling> for Scheme {
+    fn from(s: AreasOfInterestTiling) -> Self {
+        Scheme::AreasOfInterest(s)
+    }
+}
+
+impl From<StatisticTiling> for Scheme {
+    fn from(s: StatisticTiling) -> Self {
+        Scheme::Statistic(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scheme_is_aligned() {
+        let s = Scheme::default_for(3);
+        assert_eq!(s.name(), "aligned");
+        let dom: Domain = "[0:9,0:9,0:9]".parse().unwrap();
+        assert!(s.partition(&dom, 1).unwrap().covers(&dom));
+    }
+
+    #[test]
+    fn scheme_serde_round_trip() {
+        let s = Scheme::default_for(2);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scheme = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,94 @@
+//! Automatic tiling from access statistics (§5.2 "Statistic Tiling").
+//!
+//! An object starts with the default tiling; the engine logs every query.
+//! After a workload phase, `auto_retile` clusters the log into areas of
+//! interest (`DistanceThreshold`, `FrequencyThreshold`) and re-tiles the
+//! object to match — queries to the hot regions then read zero waste.
+//!
+//! ```text
+//! cargo run --release --example auto_tuning
+//! ```
+
+use tilestore::{
+    Array, CellType, CostModel, Database, DefDomain, Domain, MddType, Scheme,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::in_memory()?;
+    let domain: Domain = "[0:511,0:511]".parse()?;
+    db.create_object(
+        "map",
+        MddType::new(CellType::of::<u16>(), DefDomain::unlimited(2)?),
+        Scheme::default_for(2),
+    )?;
+    let data = Array::from_fn(domain.clone(), |p| ((p[0] * 7 + p[1]) % 1000) as u16)?;
+    db.insert("map", &data)?;
+    println!(
+        "loaded {} under default tiling: {} tiles",
+        domain,
+        db.object("map")?.tile_count()
+    );
+
+    // Workload phase: two hot regions are hammered, plus noise. The two
+    // nearby rectangles will be clustered into one area of interest.
+    let hot_a: Domain = "[64:127,64:127]".parse()?;
+    let hot_a2: Domain = "[64:127,130:191]".parse()?; // 2 cells from hot_a
+    let hot_b: Domain = "[400:475,380:460]".parse()?;
+    let noise: Domain = "[0:20,490:511]".parse()?;
+    for _ in 0..20 {
+        db.range_query("map", &hot_a)?;
+        db.range_query("map", &hot_a2)?;
+    }
+    for _ in 0..12 {
+        db.range_query("map", &hot_b)?;
+    }
+    db.range_query("map", &noise)?; // once: below the frequency threshold
+
+    let model = CostModel::classic_disk();
+    let (_, before) = db.range_query("map", &hot_a)?;
+    println!(
+        "before tuning: hot query reads {} bytes in {} tiles (t_totalcpu {:.4}s)",
+        before.io.bytes_read,
+        before.tiles_read,
+        before.times(&model).total_cpu()
+    );
+
+    let log = db.access_log("map")?;
+    println!(
+        "access log: {} accesses over {} distinct regions",
+        log.total_accesses(),
+        log.distinct_regions()
+    );
+
+    // Adapt: merge accesses closer than 4 cells, keep clusters hit >= 10
+    // times, cap tiles at 64 KB.
+    let retile = db.auto_retile("map", 4, 10, 64 * 1024)?;
+    println!(
+        "auto-retile: {} -> {} tiles ({} bytes rewritten)",
+        retile.tiles_before, retile.tiles_after, retile.bytes_rewritten
+    );
+
+    let (out, after) = db.range_query("map", &hot_a)?;
+    println!(
+        "after tuning:  hot query reads {} bytes in {} tiles (t_totalcpu {:.4}s)",
+        after.io.bytes_read,
+        after.tiles_read,
+        after.times(&model).total_cpu()
+    );
+
+    // The two nearby hot rectangles were clustered into one area of
+    // interest — their hull — so the hot query reads exactly that area's
+    // tile(s): no background data, and the data is intact.
+    assert_eq!(out, data.extract(&hot_a)?);
+    assert!(after.io.bytes_read <= before.io.bytes_read);
+    let clustered_area = hot_a.hull(&hot_a2)?;
+    assert_eq!(
+        after.cells_processed,
+        clustered_area.cells(),
+        "reads exactly the clustered area of interest"
+    );
+
+    let speedup = before.times(&model).total_cpu() / after.times(&model).total_cpu();
+    println!("hot-query speedup from adaptation: {speedup:.1}x");
+    Ok(())
+}

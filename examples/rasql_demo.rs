@@ -1,0 +1,81 @@
+//! The RasQL-style query surface (the paper drove its evaluation through
+//! RasQL, the RasDaMan query language).
+//!
+//! ```text
+//! cargo run --release --example rasql_demo
+//! ```
+
+use tilestore::rasql::{execute, Value};
+use tilestore::{
+    AlignedTiling, Array, AxisPartition, CellType, Database, DefDomain, DirectionalTiling,
+    Domain, MddType, Scheme,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::in_memory()?;
+
+    // A quarterly sales cube: 90 days x 60 products x 100 stores, tiled
+    // along category boundaries.
+    db.create_object(
+        "sales",
+        MddType::new(CellType::of::<u32>(), DefDomain::unlimited(3)?),
+        Scheme::Directional(DirectionalTiling::new(
+            vec![
+                AxisPartition::new(0, vec![1, 31, 59, 90]), // months
+                AxisPartition::new(1, vec![1, 27, 42, 60]), // product classes
+            ],
+            64 * 1024,
+        )),
+    )?;
+    let dom: Domain = "[1:90,1:60,1:100]".parse()?;
+    db.insert(
+        "sales",
+        &Array::from_fn(dom, |p| ((p[0] + p[1] * p[2]) % 20) as u32)?,
+    )?;
+
+    // And a small image under regular tiling.
+    db.create_object(
+        "img",
+        MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2)?),
+        Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+    )?;
+    db.insert(
+        "img",
+        &Array::from_fn("[0:63,0:63]".parse()?, |p| ((p[0] * p[1]) % 256) as u8)?,
+    )?;
+
+    let queries = [
+        // (b) range query: a sub-image.
+        "SELECT img[16:47, 16:47] FROM img",
+        // (c) partial range: February, all products, district [27:34].
+        "SELECT sales[31:58, *, 27:34] FROM sales",
+        // (d) section: day 45 as a 2-D products x stores slab.
+        "SELECT sales[45, *, *] FROM sales",
+        // condensers over a category block — the §5.1(c) sub-aggregation.
+        "SELECT sum_cells(sales[1:30, 1:26, *]) FROM sales",
+        "SELECT avg_cells(sales[1:30, 1:26, *]) FROM sales",
+        "SELECT max_cells(sales) FROM sales",
+        "SELECT count_cells(sales[1:5, 1:5, 1:5]) FROM sales",
+        // induced operations: scalar arithmetic and comparisons cell-wise.
+        "SELECT img[0:3,0:3] + 100 FROM img",
+        "SELECT count_cells(sales > 15) FROM sales",
+        "SELECT avg_cells(sales[1:30, *, *] * 2 - 1) FROM sales",
+    ];
+
+    for q in queries {
+        let (value, stats) = execute(&db, q)?;
+        let rendered = match &value {
+            Value::Array(a) => format!("array over {} ({} cells)", a.domain(), a.domain().cells()),
+            Value::Number(n) => format!("{n}"),
+            Value::Count(c) => format!("{c} cells"),
+            Value::Bool(b) => format!("{b}"),
+        };
+        println!("{q}\n  => {rendered}   [{} tiles read, {} bytes]", stats.tiles_read, stats.io.bytes_read);
+    }
+
+    // Parse errors are located precisely.
+    let err = execute(&db, "SELECT sales[1:2 FROM sales").unwrap_err();
+    println!("\nbad query rejected: {err}");
+
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! tilestore — storage of multidimensional arrays based on arbitrary tiling.
+//!
+//! Facade crate re-exporting the public API of the workspace. See the
+//! individual crates for details:
+//!
+//! * [`geometry`] — points, domains, cell ordering ([`tilestore_geometry`]);
+//! * [`tiling`] — the tiling strategies ([`tilestore_tiling`]);
+//! * [`storage`] — page/BLOB substrate ([`tilestore_storage`]);
+//! * [`index`] — R+-tree tile index ([`tilestore_index`]);
+//! * [`engine`] — the MDD storage manager ([`tilestore_engine`]).
+//!
+//! The most common entry points are re-exported at the crate root:
+//!
+//! ```
+//! use tilestore::{Domain, Point};
+//!
+//! let domain: Domain = "[0:120,0:159,0:119]".parse().unwrap();
+//! assert!(domain.contains_point(&Point::from_slice(&[60, 80, 40])));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tilestore_geometry as geometry;
+pub use tilestore_index as index;
+pub use tilestore_storage as storage;
+pub use tilestore_tiling as tiling;
+
+/// The MDD storage engine (re-exported whole).
+pub use tilestore_engine as engine;
+
+/// Selective per-tile compression (re-exported whole).
+pub use tilestore_compress as compress;
+
+/// The RasQL-style query language (re-exported whole).
+pub use tilestore_rasql as rasql;
+
+pub use tilestore_compress::{Codec, CompressionPolicy};
+pub use tilestore_engine::{
+    AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database,
+    DeleteStats, EngineError, InsertStats, MddObject, MddType, QueryStats, QueryTimes,
+    RetileStats, Rgb, UpdateStats,
+};
+pub use tilestore_geometry::{AxisRange, DefDomain, Domain, Point};
+pub use tilestore_storage::{BufferPool, CostModel, FilePageStore, IoStats, MemPageStore};
+pub use tilestore_tiling::{
+    AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling,
+    Extent, Scheme, SingleTile, StatisticTiling, TileConfig, TilingSpec, TilingStrategy,
+};

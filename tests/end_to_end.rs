@@ -1,0 +1,255 @@
+//! Cross-crate integration: file-backed databases, mixed object types,
+//! persistence, and the full insert/query/retile lifecycle.
+
+use tilestore::{
+    AccessRegion, AlignedTiling, Array, AxisPartition, CellType, Database, DefDomain,
+    DirectionalTiling, Domain, MddType, Point, Rgb, Scheme, TileConfig,
+};
+
+fn d(s: &str) -> Domain {
+    s.parse().unwrap()
+}
+
+#[test]
+fn file_backed_database_full_lifecycle() {
+    let dir = tempfile::tempdir().unwrap();
+    let image_dom = d("[0:99,0:99]");
+    let video_dom = d("[0:9,0:31,0:31]");
+
+    {
+        let mut db = Database::create_dir(dir.path()).unwrap();
+
+        // Two objects with different dimensionalities and cell types in the
+        // same database (the §2 "integrated support" requirement).
+        db.create_object(
+            "image",
+            MddType::new(CellType::of::<u16>(), DefDomain::unlimited(2).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 2048)),
+        )
+        .unwrap();
+        db.create_object(
+            "video",
+            MddType::new(CellType::of::<Rgb>(), DefDomain::unlimited(3).unwrap()),
+            Scheme::Aligned(AlignedTiling::new(
+                "[*,1,*]".parse::<TileConfig>().unwrap(),
+                4096,
+            )),
+        )
+        .unwrap();
+
+        let image = Array::from_fn(image_dom.clone(), |p| (p[0] * 100 + p[1]) as u16).unwrap();
+        db.insert("image", &image).unwrap();
+        let video = Array::from_fn(video_dom.clone(), |p| {
+            Rgb::new(p[0] as u8, p[1] as u8, p[2] as u8)
+        })
+        .unwrap();
+        db.insert("video", &video).unwrap();
+
+        db.save(dir.path()).unwrap();
+    }
+
+    // Reopen and verify both objects.
+    let db = Database::open_dir(dir.path()).unwrap();
+    assert_eq!(db.object_names(), vec!["image", "video"]);
+
+    let (img, stats) = db.range_query("image", &d("[40:59,40:59]")).unwrap();
+    assert_eq!(img.get::<u16>(&Point::from_slice(&[50, 50])).unwrap(), 5050);
+    assert!(stats.io.pages_read > 0, "data came from the page file");
+
+    let (frame, _) = db
+        .query("video", &AccessRegion::Section(vec![Some(3), None, None]))
+        .unwrap();
+    assert_eq!(frame.domain(), &d("[0:31,0:31]"));
+    assert_eq!(
+        frame.get::<Rgb>(&Point::from_slice(&[5, 6])).unwrap(),
+        Rgb::new(3, 5, 6)
+    );
+}
+
+#[test]
+fn retile_on_reopened_database() {
+    let dir = tempfile::tempdir().unwrap();
+    let dom = d("[1:100,1:40]");
+    let data = Array::from_fn(dom.clone(), |p| (p[0] * 41 + p[1]) as u32).unwrap();
+    {
+        let mut db = Database::create_dir(dir.path()).unwrap();
+        db.create_object(
+            "grid",
+            MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+        )
+        .unwrap();
+        db.insert("grid", &data).unwrap();
+        db.save(dir.path()).unwrap();
+    }
+    let mut db = Database::open_dir(dir.path()).unwrap();
+    let before = db.object("grid").unwrap().tile_count();
+    db.retile(
+        "grid",
+        Scheme::Directional(DirectionalTiling::new(
+            vec![AxisPartition::new(0, vec![1, 50, 100])],
+            16 * 1024,
+        )),
+    )
+    .unwrap();
+    assert_ne!(db.object("grid").unwrap().tile_count(), before);
+    let (out, _) = db.range_query("grid", &dom).unwrap();
+    assert_eq!(out, data);
+    // Persist the retiled state and read it back once more.
+    db.save(dir.path()).unwrap();
+    let db2 = Database::open_dir(dir.path()).unwrap();
+    let (out2, _) = db2.range_query("grid", &dom).unwrap();
+    assert_eq!(out2, data);
+}
+
+#[test]
+fn gradual_growth_over_unlimited_axis() {
+    // A time series growing along an unlimited axis, as §3's unlimited
+    // definition domains are designed for.
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "series",
+        MddType::new(
+            CellType::of::<f64>(),
+            "[0:*,0:9]".parse::<DefDomain>().unwrap(),
+        ),
+        Scheme::Aligned(AlignedTiling::new(
+            "[*,1]".parse::<TileConfig>().unwrap(),
+            4096,
+        )),
+    )
+    .unwrap();
+
+    // Append ten daily batches of 100 time steps each.
+    for batch in 0..10i64 {
+        let lo = batch * 100;
+        let dom = Domain::from_bounds(&[(lo, lo + 99), (0, 9)]).unwrap();
+        let batch_data =
+            Array::from_fn(dom, |p| (p[0] as f64) + (p[1] as f64) / 10.0).unwrap();
+        db.insert("series", &batch_data).unwrap();
+    }
+    let obj = db.object("series").unwrap();
+    assert_eq!(obj.current_domain, Some(d("[0:999,0:9]")));
+
+    // A query spanning several batches stitches them seamlessly.
+    let (out, _) = db.range_query("series", &d("[250:749,3:5]")).unwrap();
+    assert_eq!(
+        out.get::<f64>(&Point::from_slice(&[500, 4])).unwrap(),
+        500.4
+    );
+    assert_eq!(out.domain().cells(), 500 * 3);
+
+    // Growth below the definition domain's lower bound is rejected.
+    let bad = Array::from_fn(d("[-10:-1,0:9]"), |_| 0.0f64).unwrap();
+    assert!(db.insert("series", &bad).is_err());
+}
+
+#[test]
+fn buffer_pooled_database_serves_hot_queries_from_cache() {
+    use tilestore::{BufferPool, MemPageStore};
+
+    let store = MemPageStore::new(4096).unwrap();
+    let pool = BufferPool::new(store, 256).unwrap();
+    let mut db = Database::with_store(pool);
+    db.create_object(
+        "img",
+        MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2).unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+    )
+    .unwrap();
+    db.insert(
+        "img",
+        &Array::from_fn(d("[0:127,0:127]"), |p| (p[0] ^ p[1]) as u8).unwrap(),
+    )
+    .unwrap();
+
+    let q = d("[10:50,10:50]");
+    db.range_query("img", &q).unwrap();
+    let cold = db.blob_store().page_store().stats().snapshot();
+    db.range_query("img", &q).unwrap();
+    let warm = db.blob_store().page_store().stats().snapshot().since(&cold);
+    assert_eq!(warm.cache_misses, 0, "second read is fully cached");
+    assert!(warm.cache_hits > 0);
+}
+
+#[test]
+fn concurrent_readers_share_one_database() {
+    // Queries take &self; the storage layer is internally synchronized, so
+    // many threads may read one database concurrently.
+    use std::sync::Arc;
+
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "grid",
+        MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 2048)),
+    )
+    .unwrap();
+    let dom = d("[0:127,0:127]");
+    let data = Array::from_fn(dom.clone(), |p| (p[0] * 128 + p[1]) as u32).unwrap();
+    db.insert("grid", &data).unwrap();
+    let db = Arc::new(db);
+
+    std::thread::scope(|scope| {
+        for t in 0..8i64 {
+            let db = Arc::clone(&db);
+            let data = &data;
+            scope.spawn(move || {
+                for k in 0..16i64 {
+                    let lo = (t * 16 + k) % 100;
+                    let region =
+                        Domain::from_bounds(&[(lo, lo + 27), (lo, lo + 27)]).unwrap();
+                    let (out, _) = db.range_query("grid", &region).unwrap();
+                    assert_eq!(out, data.extract(&region).unwrap());
+                    let (sum, _) = db
+                        .aggregate("grid", &region, tilestore::AggKind::Sum)
+                        .unwrap();
+                    assert!(sum.as_number().unwrap() > 0.0);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn single_tile_and_sparse_objects() {
+    let mut db = Database::in_memory().unwrap();
+    // A tiny config object stored as one BLOB.
+    db.create_object(
+        "config",
+        MddType::new(CellType::of::<u8>(), DefDomain::unlimited(1).unwrap()),
+        Scheme::SingleTile(tilestore::SingleTile),
+    )
+    .unwrap();
+    db.insert(
+        "config",
+        &Array::from_cells(d("[0:15]"), &[7u8; 16]).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(db.object("config").unwrap().tile_count(), 1);
+
+    // A sparse object: two far-apart islands, huge current domain, tiny
+    // storage footprint (§4 partial coverage).
+    db.create_object(
+        "sparse",
+        MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2).unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+    )
+    .unwrap();
+    db.insert("sparse", &Array::filled(d("[0:9,0:9]"), &[1]).unwrap())
+        .unwrap();
+    db.insert(
+        "sparse",
+        &Array::filled(d("[10000:10009,10000:10009]"), &[2]).unwrap(),
+    )
+    .unwrap();
+    let obj = db.object("sparse").unwrap();
+    assert_eq!(
+        obj.current_domain,
+        Some(d("[0:10009,0:10009]")),
+        "current domain is the closure"
+    );
+    assert_eq!(obj.covered_cells(), 200, "storage stays proportional to data");
+    let (probe, _) = db.range_query("sparse", &d("[5000:5001,5000:5001]")).unwrap();
+    assert!(probe.to_cells::<u8>().unwrap().iter().all(|&c| c == 0));
+}

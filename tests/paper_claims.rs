@@ -1,0 +1,268 @@
+//! Integration tests asserting the paper's qualitative experimental claims
+//! on scaled-down versions of the §6 workloads (the full-size runs live in
+//! the `repro` binary).
+
+use tilestore::{CompressionPolicy, CostModel, Domain, TilingStrategy};
+use tilestore_bench::harness::{speedups, Experiment, QuerySpec};
+use tilestore_bench::schemes::NamedScheme;
+use tilestore_bench::workloads::animation::Animation;
+use tilestore_bench::workloads::sales::SalesCube;
+use tilestore_engine::Array;
+
+fn d(s: &str) -> Domain {
+    s.parse().unwrap()
+}
+
+/// A one-year, quarter-size sales cube that keeps Table 1's category
+/// structure but runs in milliseconds.
+fn small_cube() -> (SalesCube, Array) {
+    let full = SalesCube::table1();
+    let domain = d("[1:365,1:60,1:100]");
+    let cube = SalesCube {
+        domain: domain.clone(),
+        partitions: full
+            .partitions
+            .iter()
+            .map(|p| {
+                // Truncate each axis's cut points to the shrunken domain.
+                let hi = domain.hi(p.axis);
+                let mut points: Vec<i64> =
+                    p.points.iter().copied().filter(|&x| x < hi).collect();
+                points.push(hi);
+                tilestore::AxisPartition::new(p.axis, points)
+            })
+            .collect(),
+    };
+    let data = cube.generate(7);
+    (cube, data)
+}
+
+#[test]
+fn directional_tiling_beats_regular_on_category_aligned_queries() {
+    let (cube, data) = small_cube();
+    let queries: Vec<QuerySpec> = cube
+        .queries()
+        .into_iter()
+        // Keep the queries that fit the one-year cube.
+        .filter(|q| q.region.hi(0) <= 365)
+        .map(|q| QuerySpec {
+            label: q.label.to_string(),
+            region: q.region,
+        })
+        .collect();
+    assert!(queries.len() >= 6);
+    let exp = Experiment {
+        data: &data,
+        cell_type: SalesCube::cell_type(),
+        queries,
+        model: CostModel::classic_disk(),
+        compression: CompressionPolicy::None,
+    };
+    let results = exp
+        .run(&[
+            NamedScheme::directional(64, cube.partitions_3p()),
+            NamedScheme::regular(3, 32),
+        ])
+        .unwrap();
+    let rows = speedups(&results[0], &results[1]);
+
+    // §6.1's headline: the category-aligned small queries (a, b, c) gain
+    // clearly on every metric.
+    for label in ["a", "b", "c"] {
+        let row = rows.iter().find(|r| r.label == label).unwrap();
+        assert!(
+            row.t_o > 1.2,
+            "query {label}: expected t_o speedup > 1.2, got {:.2}",
+            row.t_o
+        );
+        assert!(
+            row.total_cpu > 1.2,
+            "query {label}: expected t_totalcpu speedup > 1.2, got {:.2}",
+            row.total_cpu
+        );
+    }
+    // Speedups shrink as queries grow (§6.1: border-tile savings are a
+    // smaller share of big reads).
+    let small = rows.iter().find(|r| r.label == "a").unwrap().t_o;
+    let large = rows.iter().find(|r| r.label == "g").unwrap().t_o;
+    assert!(small > large, "a: {small:.2} should exceed g: {large:.2}");
+}
+
+#[test]
+fn directional_reads_exactly_the_category_block() {
+    // The §5.2 claim: directional tiling "optimizes the amount of data
+    // read for all operations of access to any subset of those partitions".
+    let (cube, data) = small_cube();
+    let exp = Experiment {
+        data: &data,
+        cell_type: SalesCube::cell_type(),
+        // One month x one product class x one district, exactly on the cuts.
+        queries: vec![QuerySpec {
+            label: "block".into(),
+            region: d("[32:59,27:41,27:34]"),
+        }],
+        model: CostModel::classic_disk(),
+        compression: CompressionPolicy::None,
+    };
+    let result = exp
+        .run_scheme(&NamedScheme::directional(64, cube.partitions_3p()))
+        .unwrap();
+    let q = &result.queries[0];
+    // Exactly the block's cells are processed; physical bytes add only the
+    // per-tile stream framing (tag + length varint).
+    assert_eq!(
+        q.stats.cells_processed,
+        d("[32:59,27:41,27:34]").cells(),
+        "no cell outside the category block is read"
+    );
+    let logical = d("[32:59,27:41,27:34]").size_bytes(4).unwrap();
+    assert!(
+        q.stats.io.bytes_read < logical + 16 * q.stats.tiles_read,
+        "framing overhead only: {} vs {}",
+        q.stats.io.bytes_read,
+        logical
+    );
+}
+
+#[test]
+fn aoi_tiling_guarantee_and_optimal_tile_size_shift() {
+    let anim = Animation {
+        domain: d("[0:30,0:159,0:119]"),
+        areas: vec![d("[0:30,80:120,25:60]"), d("[0:30,70:159,25:105]")],
+    };
+    let data = anim.generate();
+    let queries: Vec<QuerySpec> = anim
+        .queries()
+        .into_iter()
+        .map(|q| QuerySpec {
+            label: q.label.to_string(),
+            region: q.region,
+        })
+        .collect();
+    let exp = Experiment {
+        data: &data,
+        cell_type: Animation::cell_type(),
+        queries,
+        model: CostModel::classic_disk(),
+        compression: CompressionPolicy::None,
+    };
+    let ai = exp
+        .run_scheme(&NamedScheme::areas_of_interest(64, anim.areas.clone()))
+        .unwrap();
+    let reg = exp.run_scheme(&NamedScheme::regular(3, 64)).unwrap();
+
+    // Access-pattern queries read exactly their own cells under AI tiling…
+    for (i, area) in anim.areas.iter().enumerate() {
+        assert_eq!(
+            ai.queries[i].stats.cells_processed,
+            area.cells(),
+            "AI query {} reads only the area",
+            ai.queries[i].label
+        );
+        // …and strictly less than regular tiling reads.
+        assert!(ai.queries[i].stats.io.bytes_read < reg.queries[i].stats.io.bytes_read);
+    }
+    // Speedup on the access pattern (compare Table 6's a=2.3, b=1.3).
+    let rows = speedups(&ai, &reg);
+    assert!(rows[0].t_o > 1.5, "query a t_o speedup {:.2}", rows[0].t_o);
+    assert!(rows[1].t_o > 1.0, "query b t_o speedup {:.2}", rows[1].t_o);
+}
+
+#[test]
+fn statistic_tiling_derives_the_aoi_layout_from_a_log() {
+    // §5.2: statistic tiling = access log -> areas of interest -> AOI
+    // tiling. Feeding the animation's access pattern as a log must yield a
+    // layout with the same zero-waste property.
+    use tilestore::{AccessRecord, StatisticTiling};
+
+    let anim = Animation {
+        domain: d("[0:30,0:159,0:119]"),
+        areas: vec![d("[0:30,80:120,25:60]"), d("[0:30,70:159,25:105]")],
+    };
+    let log = vec![
+        AccessRecord::new(anim.areas[0].clone(), 25),
+        AccessRecord::new(anim.areas[1].clone(), 25),
+        AccessRecord::new(d("[0:0,0:10,0:10]"), 1), // noise below threshold
+    ];
+    let scheme = StatisticTiling::new(log, 0, 10, 64 * 1024);
+    let spec = scheme.partition(&anim.domain, 3).unwrap();
+    assert!(spec.covers(&anim.domain));
+    // The overlapping areas stay distinct in the IntersectCode sense: both
+    // hot regions read exactly their own bytes.
+    for area in &anim.areas {
+        assert_eq!(spec.bytes_touched(area, 3), area.size_bytes(3).unwrap());
+    }
+}
+
+#[test]
+fn seek_dominated_model_changes_the_ranking() {
+    // DESIGN.md ablation 4: under a seek-dominated cost model, the many
+    // small tiles of fine directional tiling lose their edge — tile size,
+    // not alignment, dominates.
+    let (cube, data) = small_cube();
+    let queries = vec![QuerySpec {
+        label: "g".into(),
+        region: d("[1:365,28:42,1:100]"),
+    }];
+    let mk = |model| Experiment {
+        data: &data,
+        cell_type: SalesCube::cell_type(),
+        queries: queries.clone(),
+        model,
+        compression: CompressionPolicy::None,
+    };
+    let schemes = [
+        NamedScheme::directional(32, cube.partitions_3p()),
+        NamedScheme::regular(3, 256),
+    ];
+    let transfer = mk(CostModel::classic_disk()).run(&schemes).unwrap();
+    let seeky = mk(CostModel::seek_dominated()).run(&schemes).unwrap();
+    let ratio_transfer = transfer[1].queries[0].times.t_o / transfer[0].queries[0].times.t_o;
+    let ratio_seeky = seeky[1].queries[0].times.t_o / seeky[0].queries[0].times.t_o;
+    assert!(
+        ratio_seeky < ratio_transfer,
+        "seek-dominance must punish fine tiling: {ratio_seeky:.2} vs {ratio_transfer:.2}"
+    );
+}
+
+#[test]
+fn table2_scheme_inventory_is_constructible_at_full_scale() {
+    // All ten Table 2 schemes partition the real 16.7 MB cube: complete
+    // cover, within the byte cap. (Partition-only — no data is loaded.)
+    use tilestore::TilingSpec;
+    use tilestore_bench::schemes::table2_schemes;
+
+    let cube = SalesCube::table1();
+    let schemes = table2_schemes(&cube.partitions_2p(), &cube.partitions_3p());
+    assert_eq!(schemes.len(), 10);
+    for named in &schemes {
+        let cap = named.scheme.max_tile_size();
+        let spec: TilingSpec = named
+            .scheme
+            .partition(&cube.domain, 4)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", named.name));
+        assert!(spec.covers(&cube.domain), "{} must cover the cube", named.name);
+        assert!(
+            spec.max_tile_bytes(4) <= cap,
+            "{}: {} > {}",
+            named.name,
+            spec.max_tile_bytes(4),
+            cap
+        );
+        // The paper's naming convention encodes the cap.
+        assert!(named.name.contains('K'));
+    }
+    // Directional schemes produce at least as many tiles as the category
+    // grid they refine.
+    let grid = tilestore::DirectionalTiling::without_subtiling(cube.partitions_3p())
+        .partition(&cube.domain, 4)
+        .unwrap();
+    let dir64k3p = schemes
+        .iter()
+        .find(|s| s.name == "Dir64K3P")
+        .unwrap()
+        .scheme
+        .partition(&cube.domain, 4)
+        .unwrap();
+    assert!(dir64k3p.len() >= grid.len());
+}

@@ -1,0 +1,112 @@
+//! Cross-crate integration of the query language: RasQL over compressed,
+//! directionally-tiled, persisted databases.
+
+use tilestore::rasql::{execute, Value};
+use tilestore::{
+    Array, AxisPartition, CellType, CompressionPolicy, Database, DefDomain,
+    DirectionalTiling, Domain, MddType, Scheme,
+};
+
+fn d(s: &str) -> Domain {
+    s.parse().unwrap()
+}
+
+/// Builds a quarter-year sales cube with category cuts, selective
+/// compression, loaded in two growth steps.
+fn build(dir: &std::path::Path) {
+    let mut db = Database::create_dir(dir).unwrap();
+    db.create_object(
+        "sales",
+        MddType::new(CellType::of::<u32>(), DefDomain::unlimited(3).unwrap()),
+        Scheme::Directional(DirectionalTiling::new(
+            vec![
+                AxisPartition::new(0, vec![1, 31, 59, 90]),
+                AxisPartition::new(1, vec![1, 27, 42, 60]),
+            ],
+            64 * 1024,
+        )),
+    )
+    .unwrap();
+    db.set_compression("sales", CompressionPolicy::selective_default())
+        .unwrap();
+    // Two-step growth along the time axis.
+    for (lo, hi) in [(1i64, 59i64), (60, 90)] {
+        let dom = Domain::from_bounds(&[(lo, hi), (1, 60), (1, 100)]).unwrap();
+        db.insert(
+            "sales",
+            &Array::from_fn(dom, |p| ((p[0] * 7 + p[1] * 3 + p[2]) % 100) as u32).unwrap(),
+        )
+        .unwrap();
+    }
+    db.save(dir).unwrap();
+}
+
+#[test]
+fn rasql_over_reopened_compressed_database() {
+    let dir = tempfile::tempdir().unwrap();
+    build(dir.path());
+    let db = Database::open_dir(dir.path()).unwrap();
+
+    // Trim spanning the growth boundary.
+    let (v, stats) = execute(&db, "SELECT sales[55:65, 1:10, 1:10] FROM sales").unwrap();
+    let arr = v.as_array().unwrap();
+    assert_eq!(arr.domain(), &d("[55:65,1:10,1:10]"));
+    // Spot check a cell on each side of the boundary.
+    for (t, y, x) in [(55i64, 5i64, 5i64), (65, 5, 5)] {
+        let expected = ((t * 7 + y * 3 + x) % 100) as u32;
+        assert_eq!(
+            arr.get::<u32>(&tilestore::Point::from_slice(&[t, y, x])).unwrap(),
+            expected
+        );
+    }
+    assert!(stats.io.bytes_read > 0, "data decompressed from disk");
+
+    // Streaming condenser equals materialize-and-fold.
+    let (sum, _) = execute(&db, "SELECT sum_cells(sales[1:30, 1:26, *]) FROM sales").unwrap();
+    let (block, _) = execute(&db, "SELECT sales[1:30, 1:26, *] FROM sales").unwrap();
+    let brute: f64 = block
+        .as_array()
+        .unwrap()
+        .to_cells::<u32>()
+        .unwrap()
+        .iter()
+        .map(|&c| f64::from(c))
+        .sum();
+    assert_eq!(sum.as_number().unwrap(), brute);
+
+    // Induced comparison counted two ways agrees.
+    let (count, _) = execute(&db, "SELECT count_cells(sales > 50) FROM sales").unwrap();
+    let Value::Count(n) = count else { panic!("count expected") };
+    let (all, _) = execute(&db, "SELECT sales FROM sales").unwrap();
+    let brute = all
+        .as_array()
+        .unwrap()
+        .to_cells::<u32>()
+        .unwrap()
+        .iter()
+        .filter(|&&c| c > 50)
+        .count() as u64;
+    assert_eq!(n, brute);
+}
+
+#[test]
+fn section_and_induced_compose_across_crates() {
+    let dir = tempfile::tempdir().unwrap();
+    build(dir.path());
+    let db = Database::open_dir(dir.path()).unwrap();
+
+    // Day 45 as a 2-D slab, doubled.
+    let (v, _) = execute(&db, "SELECT sales[45, *, *] * 2 FROM sales").unwrap();
+    let slab = v.as_array().unwrap();
+    assert_eq!(slab.domain(), &d("[1:60,1:100]"));
+    let expected = (((45 * 7 + 10 * 3 + 20) % 100) * 2) as u32;
+    assert_eq!(
+        slab.get::<u32>(&tilestore::Point::from_slice(&[10, 20])).unwrap(),
+        expected
+    );
+
+    // avg over the section must match avg over the equivalent 3-D trim.
+    let (a, _) = execute(&db, "SELECT avg_cells(sales[45, *, *]) FROM sales").unwrap();
+    let (b, _) = execute(&db, "SELECT avg_cells(sales[45:45, *, *]) FROM sales").unwrap();
+    assert!((a.as_number().unwrap() - b.as_number().unwrap()).abs() < 1e-9);
+}
