@@ -1,11 +1,11 @@
 //! Wall-clock companion to Table 6 / Figure 8: the animation query set
 //! under regular vs areas-of-interest tiling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tilestore_bench::schemes::NamedScheme;
 use tilestore_bench::workloads::animation::Animation;
 use tilestore_engine::{Database, MddType};
 use tilestore_geometry::DefDomain;
+use tilestore_testkit::bench::Group;
 use tilestore_tiling::Scheme;
 
 fn load(anim: &Animation, scheme: Scheme) -> Database<tilestore_storage::MemPageStore> {
@@ -20,30 +20,22 @@ fn load(anim: &Animation, scheme: Scheme) -> Database<tilestore_storage::MemPage
     db
 }
 
-fn bench_animation_queries(c: &mut Criterion) {
+fn main() {
     let anim = Animation::table5();
     let queries = anim.queries();
     let schemes = vec![
         NamedScheme::regular(3, 64),
         NamedScheme::areas_of_interest(256, anim.areas.clone()),
     ];
-    let mut group = c.benchmark_group("animation_query");
+    let mut group = Group::new("animation_query");
     group.sample_size(20);
     for named in &schemes {
         let db = load(&anim, named.scheme.clone());
         for q in &queries {
-            group.throughput(Throughput::Bytes(q.region.size_bytes(3).unwrap()));
-            group.bench_with_input(
-                BenchmarkId::new(&named.name, q.label),
-                &q.region,
-                |b, region| {
-                    b.iter(|| db.range_query("clip", region).unwrap());
-                },
-            );
+            group.throughput_bytes(q.region.size_bytes(3).unwrap());
+            group.bench(&format!("{}/{}", named.name, q.label), || {
+                db.range_query("clip", &q.region).unwrap()
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_animation_queries);
-criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Codec throughput and the cost of selective (best-of) compression.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tilestore_compress::{compress, decompress, CellContext, Codec, CompressionPolicy};
+use tilestore_testkit::bench::Group;
 
 /// Representative tile payloads (64 KB of u32 cells).
 fn payloads() -> Vec<(&'static str, Vec<u8>)> {
     let cells = 16 * 1024;
-    let smooth: Vec<u8> = (0..cells as u32).flat_map(|v| (v / 7).to_le_bytes()).collect();
+    let smooth: Vec<u8> = (0..cells as u32)
+        .flat_map(|v| (v / 7).to_le_bytes())
+        .collect();
     let sparse: Vec<u8> = (0..cells as u32)
         .flat_map(|v| if v % 97 == 0 { v.to_le_bytes() } else { [0; 4] })
         .collect();
@@ -16,42 +18,33 @@ fn payloads() -> Vec<(&'static str, Vec<u8>)> {
     vec![("smooth", smooth), ("sparse", sparse), ("noisy", noisy)]
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
     let default = 0u32.to_le_bytes();
     let ctx = CellContext {
         cell_size: 4,
         default: &default,
     };
-    let mut group = c.benchmark_group("compress");
+    let mut group = Group::new("compress");
     for (shape, data) in payloads() {
-        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.throughput_bytes(data.len() as u64);
         for (name, policy) in [
             ("packbits", CompressionPolicy::Fixed(Codec::PackBits)),
             ("delta", CompressionPolicy::Fixed(Codec::DeltaPackBits)),
             ("chunk_offset", CompressionPolicy::Fixed(Codec::ChunkOffset)),
             ("selective", CompressionPolicy::selective_default()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, shape),
-                &data,
-                |b, data| b.iter(|| compress(&policy, data, &ctx).unwrap()),
-            );
+            group.bench(&format!("{name}/{shape}"), || {
+                compress(&policy, &data, &ctx).unwrap()
+            });
         }
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("decompress");
+    let mut group = Group::new("decompress");
     for (shape, data) in payloads() {
-        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.throughput_bytes(data.len() as u64);
         let stream = compress(&CompressionPolicy::selective_default(), &data, &ctx).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("selective", shape),
-            &stream,
-            |b, stream| b.iter(|| decompress(stream, &ctx).unwrap()),
-        );
+        group.bench(&format!("selective/{shape}"), || {
+            decompress(&stream, &ctx).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codecs);
-criterion_main!(benches);

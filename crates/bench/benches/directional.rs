@@ -5,11 +5,11 @@
 //! bench measures real end-to-end query latency through the in-memory
 //! storage stack (index lookup, BLOB fetch, run-copy composition).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tilestore_bench::schemes::NamedScheme;
 use tilestore_bench::workloads::sales::SalesCube;
 use tilestore_engine::{Database, MddType};
 use tilestore_geometry::{DefDomain, Domain};
+use tilestore_testkit::bench::Group;
 use tilestore_tiling::Scheme;
 
 /// A one-year cube keeps bench time moderate while preserving the category
@@ -24,8 +24,7 @@ fn small_cube() -> (SalesCube, Vec<(String, Domain)>) {
             .iter()
             .map(|p| {
                 let hi = domain.hi(p.axis);
-                let mut points: Vec<i64> =
-                    p.points.iter().copied().filter(|&x| x < hi).collect();
+                let mut points: Vec<i64> = p.points.iter().copied().filter(|&x| x < hi).collect();
                 points.push(hi);
                 tilestore_tiling::AxisPartition::new(p.axis, points)
             })
@@ -52,55 +51,49 @@ fn load(cube: &SalesCube, scheme: Scheme) -> Database<tilestore_storage::MemPage
     db
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries() {
     let (cube, queries) = small_cube();
     let schemes = vec![
         NamedScheme::regular(3, 32),
         NamedScheme::directional(64, cube.partitions_3p()),
     ];
-    let mut group = c.benchmark_group("sales_range_query");
+    let mut group = Group::new("sales_range_query");
     group.sample_size(20);
     for named in &schemes {
         let db = load(&cube, named.scheme.clone());
         for (label, region) in &queries {
-            group.throughput(Throughput::Bytes(region.size_bytes(4).unwrap()));
-            group.bench_with_input(
-                BenchmarkId::new(&named.name, label),
-                region,
-                |b, region| {
-                    b.iter(|| db.range_query("cube", region).unwrap());
-                },
-            );
+            group.throughput_bytes(region.size_bytes(4).unwrap());
+            group.bench(&format!("{}/{label}", named.name), || {
+                db.range_query("cube", region).unwrap()
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_load(c: &mut Criterion) {
+fn bench_load() {
     let (cube, _) = small_cube();
     let data = cube.generate(42);
-    let mut group = c.benchmark_group("sales_load");
+    let mut group = Group::new("sales_load");
     group.sample_size(10);
-    group.throughput(Throughput::Bytes(data.size_bytes()));
+    group.throughput_bytes(data.size_bytes());
     for named in [
         NamedScheme::regular(3, 32),
         NamedScheme::directional(64, cube.partitions_3p()),
     ] {
-        group.bench_function(&named.name, |b| {
-            b.iter(|| {
-                let mut db = Database::in_memory().unwrap();
-                db.create_object(
-                    "cube",
-                    MddType::new(SalesCube::cell_type(), DefDomain::unlimited(3).unwrap()),
-                    named.scheme.clone(),
-                )
-                .unwrap();
-                db.insert("cube", &data).unwrap()
-            });
+        group.bench(&named.name, || {
+            let mut db = Database::in_memory().unwrap();
+            db.create_object(
+                "cube",
+                MddType::new(SalesCube::cell_type(), DefDomain::unlimited(3).unwrap()),
+                named.scheme.clone(),
+            )
+            .unwrap();
+            db.insert("cube", &data).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_load);
-criterion_main!(benches);
+fn main() {
+    bench_queries();
+    bench_load();
+}

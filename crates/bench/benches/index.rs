@@ -2,9 +2,9 @@
 //! the tile count grows — the `t_ix` component the paper's §6.1 extended
 //! cubes make visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tilestore_geometry::Domain;
 use tilestore_index::{LinearIndex, RPlusTree};
+use tilestore_testkit::bench::Group;
 
 /// A 3-D grid of `n^3` tiles of 10x10x10 cells.
 fn grid_entries(n: i64) -> Vec<(Domain, u64)> {
@@ -29,8 +29,8 @@ fn grid_entries(n: i64) -> Vec<(Domain, u64)> {
     v
 }
 
-fn bench_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("index_search");
+fn bench_search() {
+    let mut group = Group::new("index_search");
     for n in [8i64, 16, 24] {
         let entries = grid_entries(n);
         let tree = RPlusTree::bulk_load(3, 32, entries.clone()).unwrap();
@@ -40,41 +40,32 @@ fn bench_search(c: &mut Criterion) {
         }
         // A small query touching ~8 tiles in the middle.
         let mid = n * 5;
-        let query = Domain::from_bounds(&[
-            (mid - 5, mid + 5),
-            (mid - 5, mid + 5),
-            (mid - 5, mid + 5),
-        ])
-        .unwrap();
+        let query =
+            Domain::from_bounds(&[(mid - 5, mid + 5), (mid - 5, mid + 5), (mid - 5, mid + 5)])
+                .unwrap();
         let tiles = n * n * n;
-        group.bench_with_input(BenchmarkId::new("rplus_tree", tiles), &query, |b, q| {
-            b.iter(|| tree.search(q));
-        });
-        group.bench_with_input(BenchmarkId::new("linear_scan", tiles), &query, |b, q| {
-            b.iter(|| lin.search(q));
-        });
+        group.bench_with_input(&format!("rplus_tree/{tiles}"), &query, |q| tree.search(q));
+        group.bench_with_input(&format!("linear_scan/{tiles}"), &query, |q| lin.search(q));
     }
-    group.finish();
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("index_build");
+fn bench_build() {
+    let mut group = Group::new("index_build");
     group.sample_size(20);
     let entries = grid_entries(16);
-    group.bench_function("bulk_load_4096", |b| {
-        b.iter(|| RPlusTree::bulk_load(3, 32, entries.clone()).unwrap());
+    group.bench("bulk_load_4096", || {
+        RPlusTree::bulk_load(3, 32, entries.clone()).unwrap()
     });
-    group.bench_function("incremental_4096", |b| {
-        b.iter(|| {
-            let mut t = RPlusTree::with_fanout(3, 32).unwrap();
-            for (d, p) in entries.clone() {
-                t.insert(d, p).unwrap();
-            }
-            t
-        });
+    group.bench("incremental_4096", || {
+        let mut t = RPlusTree::with_fanout(3, 32).unwrap();
+        for (d, p) in entries.clone() {
+            t.insert(d, p).unwrap();
+        }
+        t
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_build);
-criterion_main!(benches);
+fn main() {
+    bench_search();
+    bench_build();
+}

@@ -2,38 +2,31 @@
 //! buffer-pool sweep (DESIGN.md ablation 4 — how caching flattens the
 //! tiling-scheme differences the paper measures cold).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tilestore_storage::{BlobStore, BufferPool, MemPageStore, PageStore};
+use tilestore_testkit::bench::Group;
 
-fn bench_blob_io(c: &mut Criterion) {
-    let mut group = c.benchmark_group("blob_io");
+fn bench_blob_io() {
+    let mut group = Group::new("blob_io");
     for size_kb in [32usize, 256] {
         let bytes = size_kb * 1024;
         let payload = vec![0xA5u8; bytes];
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(
-            BenchmarkId::new("create", format!("{size_kb}KB")),
-            &payload,
-            |b, payload| {
-                let store = BlobStore::new(MemPageStore::new(8192).unwrap());
-                b.iter(|| store.create(payload).unwrap());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("read", format!("{size_kb}KB")),
-            &payload,
-            |b, payload| {
-                let store = BlobStore::new(MemPageStore::new(8192).unwrap());
-                let id = store.create(payload).unwrap();
-                b.iter(|| store.read(id).unwrap());
-            },
-        );
+        group.throughput_bytes(bytes as u64);
+        {
+            let store = BlobStore::new(MemPageStore::new(8192).unwrap());
+            group.bench(&format!("create/{size_kb}KB"), || {
+                store.create(&payload).unwrap()
+            });
+        }
+        {
+            let store = BlobStore::new(MemPageStore::new(8192).unwrap());
+            let id = store.create(&payload).unwrap();
+            group.bench(&format!("read/{size_kb}KB"), || store.read(id).unwrap());
+        }
     }
-    group.finish();
 }
 
-fn bench_buffer_pool_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buffer_pool");
+fn bench_buffer_pool_sweep() {
+    let mut group = Group::new("buffer_pool");
     // 512 pages of data, re-read in a scan; pool sizes below/at/above the
     // working set.
     let total_pages = 512u64;
@@ -45,20 +38,15 @@ fn bench_buffer_pool_sweep(c: &mut Criterion) {
             store.write_page(p, &payload).unwrap();
         }
         let mut buf = vec![0u8; 8192];
-        group.bench_with_input(
-            BenchmarkId::new("scan_512_pages", capacity),
-            &pages,
-            |b, pages| {
-                b.iter(|| {
-                    for &p in pages {
-                        store.read_page(p, &mut buf).unwrap();
-                    }
-                });
-            },
-        );
+        group.bench(&format!("scan_512_pages/{capacity}"), || {
+            for &p in &pages {
+                store.read_page(p, &mut buf).unwrap();
+            }
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_blob_io, bench_buffer_pool_sweep);
-criterion_main!(benches);
+fn main() {
+    bench_blob_io();
+    bench_buffer_pool_sweep();
+}

@@ -2,37 +2,37 @@
 //! taken by the tiling algorithms to calculate tiling" is negligible
 //! against load time — this bench quantifies it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tilestore_bench::workloads::sales::SalesCube;
 use tilestore_geometry::Domain;
+use tilestore_testkit::bench::Group;
 use tilestore_tiling::{
-    AlignedTiling, AreasOfInterestTiling, DirectionalTiling, StatisticTiling, AccessRecord,
+    AccessRecord, AlignedTiling, AreasOfInterestTiling, DirectionalTiling, StatisticTiling,
     TilingStrategy,
 };
 
-fn bench_partition_algorithms(c: &mut Criterion) {
+fn main() {
     let cube = SalesCube::table1();
     let domain = cube.domain.clone();
-    let mut group = c.benchmark_group("tiling_partition");
+    let mut group = Group::new("tiling_partition");
 
-    group.bench_function("aligned_regular_32K", |b| {
-        let strat = AlignedTiling::regular(3, 32 * 1024);
-        b.iter(|| strat.partition(&domain, 4).unwrap());
+    let aligned = AlignedTiling::regular(3, 32 * 1024);
+    group.bench("aligned_regular_32K", || {
+        aligned.partition(&domain, 4).unwrap()
     });
 
-    group.bench_function("directional_3P_64K", |b| {
-        let strat = DirectionalTiling::new(cube.partitions_3p(), 64 * 1024);
-        b.iter(|| strat.partition(&domain, 4).unwrap());
+    let directional = DirectionalTiling::new(cube.partitions_3p(), 64 * 1024);
+    group.bench("directional_3P_64K", || {
+        directional.partition(&domain, 4).unwrap()
     });
 
     let anim_domain: Domain = "[0:120,0:159,0:119]".parse().unwrap();
-    let areas = vec![
+    let areas: Vec<Domain> = vec![
         "[0:120,80:120,25:60]".parse().unwrap(),
         "[0:120,70:159,25:105]".parse().unwrap(),
     ];
-    group.bench_function("areas_of_interest_256K", |b| {
-        let strat = AreasOfInterestTiling::new(areas.clone(), 256 * 1024);
-        b.iter(|| strat.partition(&anim_domain, 3).unwrap());
+    let aoi = AreasOfInterestTiling::new(areas, 256 * 1024);
+    group.bench("areas_of_interest_256K", || {
+        aoi.partition(&anim_domain, 3).unwrap()
     });
 
     for n_accesses in [10usize, 100, 400] {
@@ -47,17 +47,9 @@ fn bench_partition_algorithms(c: &mut Criterion) {
                 )
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("statistic_clustering", n_accesses),
-            &log,
-            |b, log| {
-                let strat = StatisticTiling::new(log.clone(), 10, 2, 256 * 1024);
-                b.iter(|| strat.clusters().unwrap());
-            },
-        );
+        let strat = StatisticTiling::new(log, 10, 2, 256 * 1024);
+        group.bench(&format!("statistic_clustering/{n_accesses}"), || {
+            strat.clusters().unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partition_algorithms);
-criterion_main!(benches);

@@ -12,16 +12,14 @@
 
 use std::collections::BTreeMap;
 
-use tilestore_bench::harness::{
-    best_by_prefix, speedups, Experiment, QuerySpec, SchemeResult,
-};
+use tilestore_bench::harness::{best_by_prefix, speedups, Experiment, QuerySpec, SchemeResult};
 use tilestore_bench::report::{bytes, secs, speedup, TextTable};
 use tilestore_bench::schemes::{table2_schemes, table5_schemes, NamedScheme};
 use tilestore_bench::workloads::animation::Animation;
 use tilestore_bench::workloads::sales::SalesCube;
 use tilestore_bench::workloads::sparse::SparseCube;
-use tilestore_engine::Array;
 use tilestore_compress::CompressionPolicy;
+use tilestore_engine::Array;
 use tilestore_storage::CostModel;
 use tilestore_tiling::{AreasOfInterestTiling, Scheme};
 
@@ -62,8 +60,20 @@ fn main() {
     if run("ablate-merge") {
         ablate_merge();
     }
-    if !["table1", "table2", "table3", "table4", "fig7", "extended", "table5", "table6",
-        "fig8", "sparse", "ablate-merge", "all"]
+    if ![
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig7",
+        "extended",
+        "table5",
+        "table6",
+        "fig8",
+        "sparse",
+        "ablate-merge",
+        "all",
+    ]
     .contains(&command)
     {
         eprintln!(
@@ -175,11 +185,7 @@ fn print_speedup_table(title: &str, fast: &SchemeResult, slow: &SchemeResult) {
     banner(title);
     let rows = speedups(fast, slow);
     let mut t = TextTable::new(&["", "a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
-    for (metric, pick) in [
-        ("t_o", 0usize),
-        ("t_totalaccess", 1),
-        ("t_totalcpu", 2),
-    ] {
+    for (metric, pick) in [("t_o", 0usize), ("t_totalaccess", 1), ("t_totalcpu", 2)] {
         let mut cells = vec![metric.to_string()];
         for r in &rows {
             let v = match pick {
@@ -231,7 +237,10 @@ fn table4_and_fig7(command: &str, json: bool) {
     let data = placeholder_array(&cube);
     let exp = sales_experiment(&data, &cube);
     let schemes = table2_schemes(&cube.partitions_2p(), &cube.partitions_3p());
-    eprintln!("[running {} schemes x 10 queries on the 16.7MB cube ...]", schemes.len());
+    eprintln!(
+        "[running {} schemes x 10 queries on the 16.7MB cube ...]",
+        schemes.len()
+    );
     let results = exp.run(&schemes).expect("experiment must run");
 
     let by_name: BTreeMap<&str, &SchemeResult> =
@@ -260,10 +269,7 @@ fn table4_and_fig7(command: &str, json: bool) {
         );
     }
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&results).expect("results serialize")
-        );
+        println!("{}", tilestore_testkit::json::to_string_pretty(&results));
     }
 }
 
@@ -282,7 +288,10 @@ fn extended(full: bool, json: bool) {
     if !full {
         println!("(size-reduced; pass --full for the 375MB version)");
     }
-    eprintln!("[generating {} cube ...]", bytes(cube.domain.size_bytes(4).unwrap()));
+    eprintln!(
+        "[generating {} cube ...]",
+        bytes(cube.domain.size_bytes(4).unwrap())
+    );
     let data = cube.generate(42);
     let exp = sales_experiment(&data, &cube);
     let schemes = vec![
@@ -297,10 +306,7 @@ fn extended(full: bool, json: bool) {
         &results[1],
     );
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&results).expect("results serialize")
-        );
+        println!("{}", tilestore_testkit::json::to_string_pretty(&results));
     }
 }
 
@@ -315,7 +321,11 @@ fn table5() {
         bytes(anim.domain.size_bytes(3).expect("fits u64"))
     );
     for (i, a) in anim.areas.iter().enumerate() {
-        println!("Area of interest {}: {a} ({})", i + 1, bytes(a.size_bytes(3).unwrap()));
+        println!(
+            "Area of interest {}: {a} ({})",
+            i + 1,
+            bytes(a.size_bytes(3).unwrap())
+        );
     }
     println!("Tiling schemes: Reg{{32,64,128,256}}K, AI{{32,64,128,256}}K");
     let mut t = TextTable::new(&["Query", "Region", "Size", "Kind"]);
@@ -324,7 +334,12 @@ fn table5() {
             q.label.to_string(),
             q.region.to_string(),
             bytes(q.region.size_bytes(3).expect("fits u64")),
-            if q.expected { "access pattern" } else { "\"unexpected\"" }.to_string(),
+            if q.expected {
+                "access pattern"
+            } else {
+                "\"unexpected\""
+            }
+            .to_string(),
         ]);
     }
     print!("{}", t.render());
@@ -349,7 +364,10 @@ fn table6_and_fig8(command: &str, json: bool) {
         compression: CompressionPolicy::None,
     };
     let schemes = table5_schemes(&anim.areas);
-    eprintln!("[running {} schemes x 4 queries on the 6.8MB animation ...]", schemes.len());
+    eprintln!(
+        "[running {} schemes x 4 queries on the 6.8MB animation ...]",
+        schemes.len()
+    );
     let results = exp.run(&schemes).expect("experiment must run");
     let by_name: BTreeMap<&str, &SchemeResult> =
         results.iter().map(|r| (r.scheme.as_str(), r)).collect();
@@ -388,10 +406,7 @@ fn table6_and_fig8(command: &str, json: bool) {
         );
     }
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&results).expect("results serialize")
-        );
+        println!("{}", tilestore_testkit::json::to_string_pretty(&results));
     }
 }
 
@@ -413,7 +428,12 @@ fn sparse(json: bool) {
     ];
     let mut all = Vec::new();
     let mut t = TextTable::new(&[
-        "Scheme", "Compression", "Tiles", "Physical size", "cluster1 t_o", "background t_o",
+        "Scheme",
+        "Compression",
+        "Tiles",
+        "Physical size",
+        "cluster1 t_o",
+        "background t_o",
     ]);
     for (policy_name, policy) in [
         ("none", CompressionPolicy::None),
@@ -455,7 +475,7 @@ fn sparse(json: bool) {
         );
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&all).expect("results serialize"));
+        println!("{}", tilestore_testkit::json::to_string_pretty(&all));
     }
 }
 
@@ -480,7 +500,13 @@ fn ablate_merge() {
         compression: CompressionPolicy::None,
     };
     let mut t = TextTable::new(&[
-        "MaxTileSize", "Variant", "Tiles", "q=a seeks", "q=a t_o", "q=b seeks", "q=b t_o",
+        "MaxTileSize",
+        "Variant",
+        "Tiles",
+        "q=a seeks",
+        "q=a t_o",
+        "q=b seeks",
+        "q=b t_o",
     ]);
     for kb in [64u64, 256, 1024, 4096] {
         for (label, skip_merge) in [("with merge", false), ("without merge", true)] {

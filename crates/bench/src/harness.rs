@@ -1,34 +1,35 @@
 //! Experiment harness: loads a workload under each tiling scheme and
 //! replays a query set cold, producing the paper's measurements.
 
-use serde::Serialize;
 use tilestore_compress::CompressionPolicy;
 use tilestore_engine::{Array, CellType, Database, InsertStats, MddType, QueryStats, QueryTimes};
 use tilestore_geometry::{DefDomain, Domain};
 use tilestore_storage::CostModel;
+use tilestore_testkit::{Json, ToJson};
 use tilestore_tiling::TilingStrategy;
 
 use crate::schemes::NamedScheme;
 
 /// A labelled query of an experiment's query set.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QuerySpec {
     /// Short label (`a` … `j`).
     pub label: String,
     /// The query region.
-    #[serde(serialize_with = "domain_as_string")]
     pub region: Domain,
 }
 
-fn domain_as_string<Ser: serde::Serializer>(
-    d: &Domain,
-    s: Ser,
-) -> std::result::Result<Ser::Ok, Ser::Error> {
-    s.serialize_str(&d.to_string())
+impl ToJson for QuerySpec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("region", Json::Str(self.region.to_string())),
+        ])
+    }
 }
 
 /// Measurement of one query under one scheme.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QueryMeasurement {
     /// Query label.
     pub label: String,
@@ -36,6 +37,16 @@ pub struct QueryMeasurement {
     pub stats: QueryStats,
     /// Model-time decomposition.
     pub times: QueryTimes,
+}
+
+impl ToJson for QueryMeasurement {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("stats", self.stats.to_json()),
+            ("times", self.times.to_json()),
+        ])
+    }
 }
 
 impl QueryMeasurement {
@@ -53,7 +64,7 @@ impl QueryMeasurement {
 }
 
 /// All measurements of one scheme over the query set.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SchemeResult {
     /// Scheme name (`Reg32K`, `Dir64K3P`, …).
     pub scheme: String,
@@ -67,6 +78,19 @@ pub struct SchemeResult {
     pub load: InsertStats,
     /// One measurement per query, in query-set order.
     pub queries: Vec<QueryMeasurement>,
+}
+
+impl ToJson for SchemeResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scheme", self.scheme.to_json()),
+            ("tiles", self.tiles.to_json()),
+            ("max_tile_bytes", self.max_tile_bytes.to_json()),
+            ("physical_bytes", self.physical_bytes.to_json()),
+            ("load", self.load.to_json()),
+            ("queries", self.queries.to_json()),
+        ])
+    }
 }
 
 impl SchemeResult {
@@ -169,10 +193,7 @@ impl Experiment<'_> {
     ///
     /// # Errors
     /// Tiling errors.
-    pub fn tile_counts(
-        &self,
-        named: &NamedScheme,
-    ) -> tilestore_tiling::Result<(usize, u64)> {
+    pub fn tile_counts(&self, named: &NamedScheme) -> tilestore_tiling::Result<(usize, u64)> {
         let spec = named
             .scheme
             .partition(self.data.domain(), self.cell_type.size)?;
@@ -182,7 +203,7 @@ impl Experiment<'_> {
 }
 
 /// Per-query speedup of `fast` over `slow` (the paper's Tables 4 and 6).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupRow {
     /// Query label.
     pub label: String,
@@ -192,6 +213,17 @@ pub struct SpeedupRow {
     pub total_access: f64,
     /// Speedup in `t_totalcpu`.
     pub total_cpu: f64,
+}
+
+impl ToJson for SpeedupRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("t_o", self.t_o.to_json()),
+            ("total_access", self.total_access.to_json()),
+            ("total_cpu", self.total_cpu.to_json()),
+        ])
+    }
 }
 
 /// Computes per-query speedups of `fast` over `slow` (values > 1 mean
@@ -263,10 +295,8 @@ mod tests {
 
     #[test]
     fn harness_runs_and_orders_queries() {
-        let data = Array::from_fn("[0:39,0:39]".parse().unwrap(), |p| {
-            (p[0] + p[1]) as u32
-        })
-        .unwrap();
+        let data =
+            Array::from_fn("[0:39,0:39]".parse().unwrap(), |p| (p[0] + p[1]) as u32).unwrap();
         let exp = tiny_experiment(&data);
         let res = exp
             .run(&[NamedScheme::regular(2, 1), NamedScheme::regular(2, 4)])
@@ -283,10 +313,8 @@ mod tests {
 
     #[test]
     fn speedups_are_ratios_of_slow_over_fast() {
-        let data = Array::from_fn("[0:39,0:39]".parse().unwrap(), |p| {
-            (p[0] * p[1]) as u32
-        })
-        .unwrap();
+        let data =
+            Array::from_fn("[0:39,0:39]".parse().unwrap(), |p| (p[0] * p[1]) as u32).unwrap();
         let exp = tiny_experiment(&data);
         let res = exp
             .run(&[NamedScheme::regular(2, 1), NamedScheme::regular(2, 4)])

@@ -1,9 +1,9 @@
 //! The named tiling schemes of Tables 2 and 5.
 
+use tilestore_geometry::Domain;
 use tilestore_tiling::{
     AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Scheme,
 };
-use tilestore_geometry::Domain;
 
 /// A tiling scheme under test, with its paper name (`Reg32K`, `Dir64K3P`,
 /// `AI256K`, …).
@@ -97,8 +97,16 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Reg32K", "Reg64K", "Reg128K", "Reg256K", "Dir32K2P", "Dir32K3P",
-                "Dir64K2P", "Dir64K3P", "Dir128K2P", "Dir256K2P",
+                "Reg32K",
+                "Reg64K",
+                "Reg128K",
+                "Reg256K",
+                "Dir32K2P",
+                "Dir32K3P",
+                "Dir64K2P",
+                "Dir64K3P",
+                "Dir128K2P",
+                "Dir256K2P",
             ]
         );
     }
@@ -124,7 +132,11 @@ mod tests {
             .iter()
             .filter(|b| b.size_bytes(4).unwrap() <= 64 * 1024)
             .count();
-        assert!(fitting * 10 >= blocks.len() * 9, "{fitting}/{}", blocks.len());
+        assert!(
+            fitting * 10 >= blocks.len() * 9,
+            "{fitting}/{}",
+            blocks.len()
+        );
     }
 
     #[test]

@@ -139,9 +139,21 @@ mod tests {
         let qs = anim.queries();
         let kb = |i: usize| qs[i].region.size_bytes(3).unwrap() as f64 / 1024.0;
         assert!((kb(0) - 523.0).abs() < 12.0, "a: {} KB", kb(0));
-        assert!((kb(1) / 1024.0 - 2.6).abs() < 0.3, "b: {} MB", kb(1) / 1024.0);
-        assert!((kb(2) / 1024.0 - 3.5).abs() < 0.3, "c: {} MB", kb(2) / 1024.0);
-        assert!((kb(3) / 1024.0 - 6.8).abs() < 0.3, "d: {} MB", kb(3) / 1024.0);
+        assert!(
+            (kb(1) / 1024.0 - 2.6).abs() < 0.3,
+            "b: {} MB",
+            kb(1) / 1024.0
+        );
+        assert!(
+            (kb(2) / 1024.0 - 3.5).abs() < 0.3,
+            "c: {} MB",
+            kb(2) / 1024.0
+        );
+        assert!(
+            (kb(3) / 1024.0 - 6.8).abs() < 0.3,
+            "d: {} MB",
+            kb(3) / 1024.0
+        );
         assert!(qs[0].expected && qs[1].expected);
         assert!(!qs[2].expected && !qs[3].expected);
     }

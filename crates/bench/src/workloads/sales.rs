@@ -6,10 +6,9 @@
 //! §6.1's closing paragraphs describe the extended cubes: one more year,
 //! 240 more products, 200 more shops (375 MB), partitions repeated.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tilestore_engine::{Array, CellType};
 use tilestore_geometry::Domain;
+use tilestore_testkit::Rng;
 use tilestore_tiling::AxisPartition;
 
 /// Axis index of the time dimension (days).
@@ -115,14 +114,11 @@ impl SalesCube {
     }
 
     fn extended_with(days: i64, products: i64, stores: i64) -> Self {
-        let domain = Domain::from_bounds(&[(1, days), (1, products), (1, stores)])
-            .expect("static domain");
+        let domain =
+            Domain::from_bounds(&[(1, days), (1, products), (1, stores)]).expect("static domain");
         let partitions = vec![
             AxisPartition::new(AXIS_TIME, month_points(1, days)),
-            AxisPartition::new(
-                AXIS_PRODUCT,
-                repeat_pattern(&[1, 27, 42, 60], 1, products),
-            ),
+            AxisPartition::new(AXIS_PRODUCT, repeat_pattern(&[1, 27, 42, 60], 1, products)),
             AxisPartition::new(
                 AXIS_STORE,
                 repeat_pattern(&[1, 27, 35, 41, 59, 73, 89, 97, 100], 1, stores),
@@ -158,11 +154,11 @@ impl SalesCube {
     /// for a given seed.
     #[must_use]
     pub fn generate(&self, seed: u64) -> Array {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let cells = self.domain.cells() as usize;
         let mut data = vec![0u8; cells * 4];
         for chunk in data.chunks_exact_mut(4) {
-            let sales: u32 = rng.gen_range(0..500);
+            let sales = rng.gen_range(0u32..500);
             chunk.copy_from_slice(&sales.to_le_bytes());
         }
         Array::from_bytes(self.domain.clone(), 4, data).expect("length matches by construction")
@@ -326,9 +322,6 @@ mod tests {
         let cube = SalesCube::table1();
         assert_eq!(cube.partitions_2p().len(), 2);
         assert_eq!(cube.partitions_3p().len(), 3);
-        assert!(cube
-            .partitions_2p()
-            .iter()
-            .all(|p| p.axis != AXIS_PRODUCT));
+        assert!(cube.partitions_2p().iter().all(|p| p.axis != AXIS_PRODUCT));
     }
 }

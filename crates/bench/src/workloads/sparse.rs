@@ -8,10 +8,9 @@
 //! dense category clusters (real OLAP cubes concentrate sales in a few
 //! product/store combinations); everything else is the default value.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tilestore_engine::Array;
 use tilestore_geometry::Domain;
+use tilestore_testkit::Rng;
 
 use super::sales::SalesCube;
 
@@ -64,7 +63,7 @@ impl SparseCube {
     /// Generates the sparse data.
     #[must_use]
     pub fn generate(&self, seed: u64) -> Array {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Array::from_fn(self.cube.domain.clone(), |p| {
             if self.clusters.iter().any(|c| c.contains_point(p)) {
                 if rng.gen_bool(self.in_cluster_density) {

@@ -80,8 +80,7 @@ pub fn parse_scheme(spec: &str, dim: usize) -> CliResult<Scheme> {
                     .split_once('=')
                     .ok_or_else(|| format!("bad axis spec {axis_spec:?}"))?;
                 let axis: usize = axis.parse().map_err(|e| format!("bad axis: {e}"))?;
-                let points: Result<Vec<i64>, _> =
-                    points.split('/').map(str::parse).collect();
+                let points: Result<Vec<i64>, _> = points.split('/').map(str::parse).collect();
                 partitions.push(AxisPartition::new(
                     axis,
                     points.map_err(|e| format!("bad cut point: {e}"))?,
@@ -167,7 +166,9 @@ fn synthesize(domain: &Domain, cell_size: usize, pattern: &str) -> CliResult<Arr
                 .map_err(|e| format!("bad seed: {e}"))?;
             let mut x = seed | 1;
             for b in &mut data {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (x >> 33) as u8;
             }
         }
@@ -184,8 +185,13 @@ pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
     let mut out = String::new();
     match value {
         Value::Array(a) => {
-            writeln!(out, "array over {} ({} cells)", a.domain(), a.domain().cells())
-                .expect("string write");
+            writeln!(
+                out,
+                "array over {} ({} cells)",
+                a.domain(),
+                a.domain().cells()
+            )
+            .expect("string write");
             if a.domain().cells() <= 64 && a.cell_size() <= 8 {
                 writeln!(out, "{}", render_small(&a)).expect("string write");
             }
@@ -237,8 +243,13 @@ pub fn info(db: &Database<FilePageStore>, name: Option<&str>) -> CliResult<Strin
         Some(name) => {
             let meta = db.object(name).map_err(err)?;
             writeln!(out, "object:        {name}").expect("string write");
-            writeln!(out, "cell type:     {} ({} B)", meta.mdd_type.cell.name, meta.cell_size())
-                .expect("string write");
+            writeln!(
+                out,
+                "cell type:     {} ({} B)",
+                meta.mdd_type.cell.name,
+                meta.cell_size()
+            )
+            .expect("string write");
             writeln!(out, "definition:    {}", meta.mdd_type.definition).expect("string write");
             match &meta.current_domain {
                 Some(cur) => writeln!(out, "current:       {cur}").expect("string write"),
@@ -255,11 +266,7 @@ pub fn info(db: &Database<FilePageStore>, name: Option<&str>) -> CliResult<Strin
 }
 
 /// `compress <name> <none|selective>` — set policy and rewrite tiles.
-pub fn compress(
-    db: &mut Database<FilePageStore>,
-    name: &str,
-    policy: &str,
-) -> CliResult<String> {
+pub fn compress(db: &mut Database<FilePageStore>, name: &str, policy: &str) -> CliResult<String> {
     let policy = match policy {
         "none" => CompressionPolicy::None,
         "selective" => CompressionPolicy::selective_default(),
@@ -304,8 +311,8 @@ pub fn drop_object(db: &mut Database<FilePageStore>, name: &str) -> CliResult<St
 mod tests {
     use super::*;
 
-    fn fresh() -> (tempfile::TempDir, Database<FilePageStore>) {
-        let dir = tempfile::tempdir().unwrap();
+    fn fresh() -> (tilestore_testkit::TempDir, Database<FilePageStore>) {
+        let dir = tilestore_testkit::tempdir().unwrap();
         init(dir.path()).unwrap();
         let db = open(dir.path()).unwrap();
         (dir, db)
@@ -392,7 +399,11 @@ mod tests {
     #[test]
     fn synthesize_patterns() {
         let dom: Domain = "[0:9]".parse().unwrap();
-        assert!(synthesize(&dom, 2, "zero").unwrap().bytes().iter().all(|&b| b == 0));
+        assert!(synthesize(&dom, 2, "zero")
+            .unwrap()
+            .bytes()
+            .iter()
+            .all(|&b| b == 0));
         let g = synthesize(&dom, 2, "gradient").unwrap();
         assert_ne!(g.bytes()[0], g.bytes()[2]);
         let r1 = synthesize(&dom, 1, "random:9").unwrap();

@@ -111,7 +111,9 @@ fn run(args: &[String]) -> CliResult<String> {
 /// Opens, mutates and saves the database around `f`.
 fn with_db<F>(dir: &Path, f: F) -> CliResult<String>
 where
-    F: FnOnce(&mut tilestore_engine::Database<tilestore_storage::FilePageStore>) -> CliResult<String>,
+    F: FnOnce(
+        &mut tilestore_engine::Database<tilestore_storage::FilePageStore>,
+    ) -> CliResult<String>,
 {
     let mut db = commands::open(dir)?;
     let out = f(&mut db)?;
@@ -129,7 +131,12 @@ fn repl(dir: &Path) -> CliResult<String> {
         print!("> ");
         stdout.flush().ok();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
             break;
         }
         let line = line.trim();
@@ -140,12 +147,10 @@ fn repl(dir: &Path) -> CliResult<String> {
                 Ok(s) => println!("{s}"),
                 Err(e) => eprintln!("error: {e}"),
             },
-            _ if line.starts_with("info ") => {
-                match commands::info(&db, Some(line[5..].trim())) {
-                    Ok(s) => println!("{s}"),
-                    Err(e) => eprintln!("error: {e}"),
-                }
-            }
+            _ if line.starts_with("info ") => match commands::info(&db, Some(line[5..].trim())) {
+                Ok(s) => println!("{s}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
             query => match commands::query(&db, query) {
                 Ok(s) => println!("{s}"),
                 Err(e) => eprintln!("error: {e}"),
@@ -165,7 +170,7 @@ mod tests {
 
     #[test]
     fn full_command_cycle() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = tilestore_testkit::tempdir().unwrap();
         let d = dir.path().to_str().unwrap();
         run(&s(&[d, "init"])).unwrap();
         run(&s(&[d, "create", "img", "u8", "2", "regular:4"])).unwrap();
@@ -186,7 +191,7 @@ mod tests {
     fn usage_errors() {
         assert!(run(&[]).is_err());
         assert!(run(&s(&["/tmp/nope-db"])).is_err());
-        let dir = tempfile::tempdir().unwrap();
+        let dir = tilestore_testkit::tempdir().unwrap();
         let d = dir.path().to_str().unwrap();
         run(&s(&[d, "init"])).unwrap();
         assert!(run(&s(&[d, "frobnicate"])).is_err());

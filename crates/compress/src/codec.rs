@@ -7,7 +7,7 @@
 //! "selective compression of blocks" (§8): try the candidate codecs per
 //! tile and keep the smallest representation, falling back to raw.
 
-use serde::{Deserialize, Serialize};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::chunk_offset;
 use crate::delta;
@@ -16,7 +16,7 @@ use crate::packbits;
 use crate::varint::{read_varint, write_varint};
 
 /// Codec identifiers (also the stream tags).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Codec {
     /// Raw bytes, no transform.
     None,
@@ -49,8 +49,32 @@ impl Codec {
     }
 }
 
+impl ToJson for Codec {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            Codec::None => "none",
+            Codec::PackBits => "packbits",
+            Codec::DeltaPackBits => "delta_packbits",
+            Codec::ChunkOffset => "chunk_offset",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for Codec {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        match v.as_str() {
+            Some("none") => Ok(Codec::None),
+            Some("packbits") => Ok(Codec::PackBits),
+            Some("delta_packbits") => Ok(Codec::DeltaPackBits),
+            Some("chunk_offset") => Ok(Codec::ChunkOffset),
+            _ => Err(JsonError::msg("unknown codec name")),
+        }
+    }
+}
+
 /// Per-object compression policy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum CompressionPolicy {
     /// Store tiles raw (still framed, so streams stay self-describing).
     #[default]
@@ -72,6 +96,41 @@ impl CompressionPolicy {
             Codec::DeltaPackBits,
             Codec::ChunkOffset,
         ])
+    }
+}
+
+impl ToJson for CompressionPolicy {
+    fn to_json(&self) -> Json {
+        match self {
+            CompressionPolicy::None => Json::obj(vec![("kind", Json::Str("none".to_string()))]),
+            CompressionPolicy::Fixed(codec) => Json::obj(vec![
+                ("kind", Json::Str("fixed".to_string())),
+                ("codec", codec.to_json()),
+            ]),
+            CompressionPolicy::Selective(codecs) => Json::obj(vec![
+                ("kind", Json::Str("selective".to_string())),
+                ("codecs", codecs.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for CompressionPolicy {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let kind = v
+            .field("kind")?
+            .as_str()
+            .ok_or_else(|| JsonError::msg("policy kind must be a string"))?;
+        match kind {
+            "none" => Ok(CompressionPolicy::None),
+            "fixed" => Ok(CompressionPolicy::Fixed(Codec::from_json(
+                v.field("codec")?,
+            )?)),
+            "selective" => Ok(CompressionPolicy::Selective(Vec::from_json(
+                v.field("codecs")?,
+            )?)),
+            other => Err(JsonError::msg(format!("unknown policy kind {other:?}"))),
+        }
     }
 }
 
@@ -118,7 +177,11 @@ pub fn compress(
             let candidate = encode_with(*codec, payload, ctx)?;
             // Never store an expansion: fall back to raw framing.
             let raw = encode_with(Codec::None, payload, ctx)?;
-            Ok(if candidate.len() < raw.len() { candidate } else { raw })
+            Ok(if candidate.len() < raw.len() {
+                candidate
+            } else {
+                raw
+            })
         }
         CompressionPolicy::Selective(codecs) => {
             let mut best = encode_with(Codec::None, payload, ctx)?;
@@ -202,7 +265,9 @@ mod tests {
     #[test]
     fn fixed_policy_never_expands() {
         // Random-ish data defeats PackBits; the fixed policy must fall back.
-        let data: Vec<u8> = (0..2048u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..2048u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let c = ctx(1, &[0]);
         let s = compress(&CompressionPolicy::Fixed(Codec::PackBits), &data, &c).unwrap();
         assert!(s.len() <= data.len() + 10);
@@ -241,7 +306,12 @@ mod tests {
         }
         let default = 0u32.to_le_bytes();
         let c = ctx(4, &default);
-        for codec in [Codec::None, Codec::PackBits, Codec::DeltaPackBits, Codec::ChunkOffset] {
+        for codec in [
+            Codec::None,
+            Codec::PackBits,
+            Codec::DeltaPackBits,
+            Codec::ChunkOffset,
+        ] {
             let s = compress(&CompressionPolicy::Fixed(codec), &data, &c).unwrap();
             assert_eq!(decompress(&s, &c).unwrap(), data, "{codec:?}");
         }

@@ -32,7 +32,10 @@ impl fmt::Display for CompressError {
         match self {
             CompressError::Corrupt(s) => write!(f, "corrupt compressed stream: {s}"),
             CompressError::BadPayload { len, cell_size } => {
-                write!(f, "payload of {len} bytes is not a multiple of cell size {cell_size}")
+                write!(
+                    f,
+                    "payload of {len} bytes is not a multiple of cell size {cell_size}"
+                )
             }
             CompressError::ZeroCellSize => write!(f, "cell size must be positive"),
             CompressError::LengthMismatch { expected, got } => {

@@ -44,7 +44,17 @@ mod tests {
 
     #[test]
     fn round_trips() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             let mut pos = 0;

@@ -2,95 +2,162 @@
 //! payloads exactly, and selective compression must never expand beyond
 //! the framing overhead.
 
-use proptest::prelude::*;
-use tilestore_compress::{
-    compress, decompress, CellContext, Codec, CompressionPolicy,
-};
+use tilestore_compress::{compress, decompress, CellContext, Codec, CompressionPolicy};
+use tilestore_testkit::prop::{check, Source};
+use tilestore_testkit::{prop_assert, prop_assert_eq};
 
-fn payload(cell_size: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 0..64)
-        .prop_map(move |cells_seed| {
-            // Expand to whole cells.
-            let mut out = Vec::with_capacity(cells_seed.len() * cell_size);
-            for b in cells_seed {
-                for lane in 0..cell_size {
-                    out.push(b.wrapping_add(lane as u8));
-                }
-            }
-            out
-        })
+fn payload(s: &mut Source, cell_size: usize) -> Vec<u8> {
+    let cells_seed = s.vec_of(0, 63, Source::u8);
+    // Expand to whole cells.
+    let mut out = Vec::with_capacity(cells_seed.len() * cell_size);
+    for b in cells_seed {
+        for lane in 0..cell_size {
+            out.push(b.wrapping_add(lane as u8));
+        }
+    }
+    out
 }
 
 /// Structured payloads that exercise the codecs' sweet spots.
-fn structured(cell_size: usize) -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        // constant
-        (any::<u8>(), 1usize..200).prop_map(move |(b, n)| vec![b; n * cell_size]),
-        // ramp
-        (1usize..200).prop_map(move |n| {
+fn structured(s: &mut Source, cell_size: usize) -> Vec<u8> {
+    match s.weighted(&[1, 1, 1, 1]) {
+        0 => {
+            // constant
+            let b = s.u8();
+            let n = s.usize_in(1, 199);
+            vec![b; n * cell_size]
+        }
+        1 => {
+            // ramp
+            let n = s.usize_in(1, 199);
             (0..n * cell_size).map(|i| (i / cell_size) as u8).collect()
-        }),
-        // sparse
-        (1usize..200, proptest::collection::vec(0usize..200, 0..8)).prop_map(
-            move |(n, hits)| {
-                let mut v = vec![0u8; n * cell_size];
-                for h in hits {
-                    let i = (h % n) * cell_size;
-                    v[i] = 0xEE;
-                }
-                v
+        }
+        2 => {
+            // sparse
+            let n = s.usize_in(1, 199);
+            let hits = s.vec_of(0, 7, |s| s.usize_in(0, 199));
+            let mut v = vec![0u8; n * cell_size];
+            for h in hits {
+                let i = (h % n) * cell_size;
+                v[i] = 0xEE;
             }
-        ),
-        payload(cell_size),
-    ]
+            v
+        }
+        _ => payload(s, cell_size),
+    }
 }
 
-proptest! {
-    #[test]
-    fn every_codec_round_trips(
-        cell_size in 1usize..6,
-        data_seed in 0usize..4,
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let _ = data_seed;
-        // Trim to whole cells.
-        let len = data.len() / cell_size * cell_size;
-        let data = &data[..len];
-        let default = vec![0u8; cell_size];
-        let ctx = CellContext { cell_size, default: &default };
-        for codec in [Codec::None, Codec::PackBits, Codec::DeltaPackBits, Codec::ChunkOffset] {
-            let s = compress(&CompressionPolicy::Fixed(codec), data, &ctx).unwrap();
-            prop_assert_eq!(decompress(&s, &ctx).unwrap(), data, "{:?}", codec);
-        }
-    }
+#[test]
+fn every_codec_round_trips() {
+    check(
+        "every_codec_round_trips",
+        256,
+        |s| (s.usize_in(1, 5), s.vec_of(0, 511, Source::u8)),
+        |(cell_size, data)| {
+            // Trim to whole cells.
+            let len = data.len() / cell_size * cell_size;
+            let data = &data[..len];
+            let default = vec![0u8; *cell_size];
+            let ctx = CellContext {
+                cell_size: *cell_size,
+                default: &default,
+            };
+            for codec in [
+                Codec::None,
+                Codec::PackBits,
+                Codec::DeltaPackBits,
+                Codec::ChunkOffset,
+            ] {
+                let s = compress(&CompressionPolicy::Fixed(codec), data, &ctx).unwrap();
+                prop_assert_eq!(decompress(&s, &ctx).unwrap(), data, "{:?}", codec);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn selective_round_trips_and_is_minimal(
-        cell_size in 1usize..5,
-        data in (1usize..5).prop_flat_map(structured),
-    ) {
-        let len = data.len() / cell_size * cell_size;
-        let data = &data[..len];
-        let default = vec![0u8; cell_size];
-        let ctx = CellContext { cell_size, default: &default };
-        let s = compress(&CompressionPolicy::selective_default(), data, &ctx).unwrap();
-        prop_assert_eq!(decompress(&s, &ctx).unwrap(), data);
-        // Never bigger than the raw framing.
-        let raw = compress(&CompressionPolicy::None, data, &ctx).unwrap();
-        prop_assert!(s.len() <= raw.len());
-    }
+#[test]
+fn selective_round_trips_and_is_minimal() {
+    check(
+        "selective_round_trips_and_is_minimal",
+        256,
+        |s| {
+            let cell_size = s.usize_in(1, 4);
+            let data = structured(s, cell_size);
+            (cell_size, data)
+        },
+        |(cell_size, data)| {
+            let len = data.len() / cell_size * cell_size;
+            let data = &data[..len];
+            let default = vec![0u8; *cell_size];
+            let ctx = CellContext {
+                cell_size: *cell_size,
+                default: &default,
+            };
+            let s = compress(&CompressionPolicy::selective_default(), data, &ctx).unwrap();
+            prop_assert_eq!(decompress(&s, &ctx).unwrap(), data);
+            // Never bigger than the raw framing.
+            let raw = compress(&CompressionPolicy::None, data, &ctx).unwrap();
+            prop_assert!(s.len() <= raw.len());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn decompress_rejects_mutations(
-        data in proptest::collection::vec(any::<u8>(), 4..128),
-        flip in 0usize..64,
-    ) {
-        let default = [0u8];
-        let ctx = CellContext { cell_size: 1, default: &default };
-        let mut s = compress(&CompressionPolicy::selective_default(), &data, &ctx).unwrap();
-        let i = flip % s.len();
-        s[i] ^= 0xFF;
-        // Mutation must either error or produce *something* — never panic.
-        let _ = decompress(&s, &ctx);
-    }
+#[test]
+fn decompress_rejects_mutations() {
+    check(
+        "decompress_rejects_mutations",
+        256,
+        |s| (s.vec_of(4, 127, Source::u8), s.usize_in(0, 63)),
+        |(data, flip)| {
+            let default = [0u8];
+            let ctx = CellContext {
+                cell_size: 1,
+                default: &default,
+            };
+            let mut s = compress(&CompressionPolicy::selective_default(), data, &ctx).unwrap();
+            let i = flip % s.len();
+            s[i] ^= 0xFF;
+            // Mutation must either error or produce *something* — never panic.
+            let _ = decompress(&s, &ctx);
+            Ok(())
+        },
+    );
+}
+
+/// Policies (and codec lists inside them) survive a JSON round trip.
+#[test]
+fn policy_json_round_trip() {
+    check(
+        "policy_json_round_trip",
+        64,
+        |s| match s.weighted(&[1, 2, 2]) {
+            0 => CompressionPolicy::None,
+            1 => {
+                let all = [
+                    Codec::None,
+                    Codec::PackBits,
+                    Codec::DeltaPackBits,
+                    Codec::ChunkOffset,
+                ];
+                CompressionPolicy::Fixed(all[s.usize_in(0, 3)])
+            }
+            _ => {
+                let all = [
+                    Codec::None,
+                    Codec::PackBits,
+                    Codec::DeltaPackBits,
+                    Codec::ChunkOffset,
+                ];
+                CompressionPolicy::Selective(s.vec_of(0, 4, |s| all[s.usize_in(0, 3)]))
+            }
+        },
+        |policy| {
+            let text = tilestore_testkit::json::to_string(policy);
+            let back: CompressionPolicy = tilestore_testkit::json::from_str(&text).unwrap();
+            prop_assert_eq!(&back, policy);
+            Ok(())
+        },
+    );
 }

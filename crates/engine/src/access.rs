@@ -1,8 +1,8 @@
 //! The access model of §5.1 and the access log feeding statistic tiling.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use tilestore_geometry::{AxisRange, Domain};
 use tilestore_tiling::AccessRecord;
 
@@ -109,7 +109,7 @@ impl AccessLog {
 
     /// Records one access to `region`.
     pub fn record(&self, region: &Domain) {
-        let mut entries = self.entries.lock();
+        let mut entries = self.entries.lock().unwrap();
         entries
             .entry(region.to_string())
             .and_modify(|(_, c)| *c += 1)
@@ -119,13 +119,13 @@ impl AccessLog {
     /// Number of distinct regions recorded.
     #[must_use]
     pub fn distinct_regions(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().unwrap().len()
     }
 
     /// Total accesses recorded.
     #[must_use]
     pub fn total_accesses(&self) -> u64 {
-        self.entries.lock().values().map(|(_, c)| *c).sum()
+        self.entries.lock().unwrap().values().map(|(_, c)| *c).sum()
     }
 
     /// Exports the log as tiling [`AccessRecord`]s.
@@ -133,6 +133,7 @@ impl AccessLog {
     pub fn to_records(&self) -> Vec<AccessRecord> {
         self.entries
             .lock()
+            .unwrap()
             .values()
             .map(|(region, count)| AccessRecord::new(region.clone(), *count))
             .collect()
@@ -140,14 +141,14 @@ impl AccessLog {
 
     /// Clears the log.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().unwrap().clear();
     }
 }
 
 impl Clone for AccessLog {
     fn clone(&self) -> Self {
         AccessLog {
-            entries: Mutex::new(self.entries.lock().clone()),
+            entries: Mutex::new(self.entries.lock().unwrap().clone()),
         }
     }
 }

@@ -393,9 +393,7 @@ mod tests {
     fn empty_region_average_is_nan_free_path() {
         // A 1-cell region exercises the smallest path.
         let db = setup();
-        let (avg, _) = db
-            .aggregate("grid", &d("[7:7,7:7]"), AggKind::Avg)
-            .unwrap();
+        let (avg, _) = db.aggregate("grid", &d("[7:7,7:7]"), AggKind::Avg).unwrap();
         assert_eq!(avg.as_number().unwrap(), 7.0);
     }
 }

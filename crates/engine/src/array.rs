@@ -318,10 +318,7 @@ mod tests {
 
     #[test]
     fn rgb_arrays() {
-        let a = Array::from_fn(d("[0:1,0:1]"), |p| {
-            Rgb::new(p[0] as u8, p[1] as u8, 99)
-        })
-        .unwrap();
+        let a = Array::from_fn(d("[0:1,0:1]"), |p| Rgb::new(p[0] as u8, p[1] as u8, 99)).unwrap();
         assert_eq!(a.cell_size(), 3);
         assert_eq!(
             a.get::<Rgb>(&Point::from_slice(&[1, 0])).unwrap(),
@@ -343,10 +340,7 @@ mod tests {
         let mut a = Array::filled(d("[0:2,0:2]"), &[1]).unwrap();
         let n = a.fill(&d("[1:1,0:2]"), &[9]).unwrap();
         assert_eq!(n, 3);
-        assert_eq!(
-            a.to_cells::<u8>().unwrap(),
-            vec![1, 1, 1, 9, 9, 9, 1, 1, 1]
-        );
+        assert_eq!(a.to_cells::<u8>().unwrap(), vec![1, 1, 1, 9, 9, 9, 1, 1, 1]);
     }
 
     #[test]
@@ -354,7 +348,10 @@ mod tests {
         assert!(Array::from_bytes(d("[0:1]"), 2, vec![0; 4]).is_ok());
         assert!(matches!(
             Array::from_bytes(d("[0:1]"), 2, vec![0; 5]),
-            Err(EngineError::DataLengthMismatch { expected: 4, got: 5 })
+            Err(EngineError::DataLengthMismatch {
+                expected: 4,
+                got: 5
+            })
         ));
     }
 }

@@ -4,12 +4,12 @@
 //! ([`CellType`]); the typed layer ([`CellValue`]) gives applications
 //! ergonomic access for the common scalar and pixel types.
 
-use serde::{Deserialize, Serialize};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 /// Runtime descriptor of a cell type: a name, a fixed size, and the default
 /// value used for cells in uncovered areas (§4: "areas left empty are
 /// considered to be covered by cells with a default value").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellType {
     /// Human-readable type name (e.g. `"u32"`, `"rgb"`).
     pub name: String,
@@ -51,6 +51,26 @@ impl CellType {
             size: T::SIZE,
             default,
         }
+    }
+}
+
+impl ToJson for CellType {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("size", self.size.to_json()),
+            ("default", self.default.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CellType {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CellType {
+            name: String::from_json(v.field("name")?)?,
+            size: usize::from_json(v.field("size")?)?,
+            default: Vec::from_json(v.field("default")?)?,
+        })
     }
 }
 

@@ -443,8 +443,11 @@ impl<S: PageStore> Database<S> {
             .enumerate()
             .map(|(i, t)| (t.domain.clone(), i as u64))
             .collect();
-        state.meta.index =
-            RPlusTree::bulk_load(state.meta.mdd_type.dim(), tilestore_index::DEFAULT_FANOUT, entries)?;
+        state.meta.index = RPlusTree::bulk_load(
+            state.meta.mdd_type.dim(),
+            tilestore_index::DEFAULT_FANOUT,
+            entries,
+        )?;
         state.meta.tiles = new_tiles;
         state.meta.scheme = scheme;
         stats.tiles_after = state.meta.tiles.len() as u64;
@@ -492,7 +495,8 @@ mod tests {
 
     fn fresh_db_with_object(scheme: Scheme) -> Database<MemPageStore> {
         let mut db = Database::in_memory().unwrap();
-        db.create_object("obj", u32_type("[0:*,0:*]"), scheme).unwrap();
+        db.create_object("obj", u32_type("[0:*,0:*]"), scheme)
+            .unwrap();
         db
     }
 
@@ -551,7 +555,10 @@ mod tests {
     fn gradual_growth_updates_current_domain_by_closure() {
         let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
         db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
-        assert_eq!(db.object("obj").unwrap().current_domain, Some(d("[0:9,0:9]")));
+        assert_eq!(
+            db.object("obj").unwrap().current_domain,
+            Some(d("[0:9,0:9]"))
+        );
         db.insert("obj", &checkerboard("[20:29,0:9]")).unwrap();
         // Closure: minimal interval containing both (§4).
         assert_eq!(
@@ -574,13 +581,11 @@ mod tests {
     #[test]
     fn definition_domain_enforced() {
         let mut db = Database::in_memory().unwrap();
-        db.create_object(
-            "bounded",
-            u32_type("[0:9,0:9]"),
-            Scheme::default_for(2),
-        )
-        .unwrap();
-        let err = db.insert("bounded", &checkerboard("[0:9,0:15]")).unwrap_err();
+        db.create_object("bounded", u32_type("[0:9,0:9]"), Scheme::default_for(2))
+            .unwrap();
+        let err = db
+            .insert("bounded", &checkerboard("[0:9,0:15]"))
+            .unwrap_err();
         assert!(matches!(err, EngineError::OutsideDefinitionDomain { .. }));
         assert!(db.range_query("bounded", &d("[0:9,0:15]")).is_err());
     }
@@ -696,7 +701,10 @@ mod tests {
         let bytes = Array::from_cells(d("[0:1,0:1]"), &[1u8, 2, 3, 4]).unwrap();
         assert!(matches!(
             db.insert("obj", &bytes),
-            Err(EngineError::CellSizeMismatch { expected: 4, got: 1 })
+            Err(EngineError::CellSizeMismatch {
+                expected: 4,
+                got: 1
+            })
         ));
     }
 }

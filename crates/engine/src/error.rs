@@ -78,7 +78,10 @@ impl fmt::Display for EngineError {
             }
             EngineError::EmptyObject(n) => write!(f, "MDD object {n:?} holds no cells"),
             EngineError::DataLengthMismatch { expected, got } => {
-                write!(f, "data length mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "data length mismatch: expected {expected} bytes, got {got}"
+                )
             }
             EngineError::BadAccessRegion(s) => write!(f, "bad access region: {s}"),
             EngineError::Catalog(s) => write!(f, "catalog error: {s}"),

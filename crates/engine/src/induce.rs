@@ -145,11 +145,7 @@ pub fn induce_scalar(
 ///
 /// # Errors
 /// Same as [`induce_scalar`].
-pub fn induce_map<F: FnMut(f64) -> f64>(
-    cell: &CellType,
-    array: &Array,
-    mut f: F,
-) -> Result<Array> {
+pub fn induce_map<F: FnMut(f64) -> f64>(cell: &CellType, array: &Array, mut f: F) -> Result<Array> {
     if cell.size != array.cell_size() {
         return Err(EngineError::CellSizeMismatch {
             expected: cell.size,

@@ -1,16 +1,16 @@
 //! MDD object metadata: types, tiles and current domains (§3–§5).
 
-use serde::{Deserialize, Serialize};
 use tilestore_compress::CompressionPolicy;
 use tilestore_geometry::{DefDomain, Domain};
 use tilestore_index::RPlusTree;
 use tilestore_storage::BlobId;
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 use tilestore_tiling::Scheme;
 
 use crate::celltype::CellType;
 
 /// The type of an MDD object: base (cell) type plus definition domain (§3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MddType {
     /// The base type of the cells.
     pub cell: CellType,
@@ -32,8 +32,26 @@ impl MddType {
     }
 }
 
+impl ToJson for MddType {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cell", self.cell.to_json()),
+            ("definition", self.definition.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MddType {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MddType {
+            cell: CellType::from_json(v.field("cell")?)?,
+            definition: DefDomain::from_json(v.field("definition")?)?,
+        })
+    }
+}
+
 /// One stored tile: its spatial domain and the BLOB holding its cells.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileMeta {
     /// The tile's spatial domain.
     pub domain: Domain,
@@ -41,12 +59,30 @@ pub struct TileMeta {
     pub blob: BlobId,
 }
 
+impl ToJson for TileMeta {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("domain", self.domain.to_json()),
+            ("blob", self.blob.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TileMeta {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TileMeta {
+            domain: Domain::from_json(v.field("domain")?)?,
+            blob: BlobId::from_json(v.field("blob")?)?,
+        })
+    }
+}
+
 /// A stored MDD object: type, tiling scheme, tiles and index.
 ///
 /// The *current domain* is the minimal interval containing all inserted
 /// cells; it grows by closure as tiles are inserted (§4) and is `None` for
 /// an object that holds no cells yet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MddObject {
     /// Object name (unique within a database).
     pub name: String,
@@ -57,7 +93,7 @@ pub struct MddObject {
     /// Per-tile compression policy (§8: selective compression of blocks).
     /// Applies to tiles written after it is set; streams are
     /// self-describing, so mixed-codec objects read back correctly.
-    #[serde(default)]
+    /// Defaults to no compression when absent from a stored catalog.
     pub compression: CompressionPolicy,
     /// All stored tiles; index payloads are positions in this vector.
     pub tiles: Vec<TileMeta>,
@@ -65,6 +101,39 @@ pub struct MddObject {
     pub index: RPlusTree,
     /// Current spatial domain (`None` while empty).
     pub current_domain: Option<Domain>,
+}
+
+impl ToJson for MddObject {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("mdd_type", self.mdd_type.to_json()),
+            ("scheme", self.scheme.to_json()),
+            ("compression", self.compression.to_json()),
+            ("tiles", self.tiles.to_json()),
+            ("index", self.index.to_json()),
+            ("current_domain", self.current_domain.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MddObject {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // Catalogs written before compression existed omit the field.
+        let compression = match v.get("compression") {
+            Some(c) => CompressionPolicy::from_json(c)?,
+            None => CompressionPolicy::default(),
+        };
+        Ok(MddObject {
+            name: String::from_json(v.field("name")?)?,
+            mdd_type: MddType::from_json(v.field("mdd_type")?)?,
+            scheme: Scheme::from_json(v.field("scheme")?)?,
+            compression,
+            tiles: Vec::from_json(v.field("tiles")?)?,
+            index: RPlusTree::from_json(v.field("index")?)?,
+            current_domain: Option::from_json(v.field("current_domain")?)?,
+        })
+    }
 }
 
 impl MddObject {
@@ -100,10 +169,7 @@ mod tests {
 
     #[test]
     fn mdd_type_dim_comes_from_definition() {
-        let t = MddType::new(
-            CellType::of::<u32>(),
-            "[0:*,0:99]".parse().unwrap(),
-        );
+        let t = MddType::new(CellType::of::<u32>(), "[0:*,0:99]".parse().unwrap());
         assert_eq!(t.dim(), 2);
         assert_eq!(t.cell.size, 4);
     }

@@ -179,9 +179,7 @@ impl<S: PageStore> Database<S> {
             }
             self.blob_store_mut().delete(blob)?;
             stats.tiles_split += 1;
-            stats.cells_removed += tile_domain
-                .intersection(region)
-                .map_or(0, |i| i.cells());
+            stats.cells_removed += tile_domain.intersection(region).map_or(0, |i| i.cells());
             drop_positions.push(*pos);
         }
 
@@ -196,7 +194,12 @@ impl<S: PageStore> Database<S> {
 // module to keep `database.rs` focused on the §5 core.
 impl<S: PageStore> Database<S> {
     /// Appends one tile to an object (tile list + index).
-    pub(crate) fn push_tile(&mut self, name: &str, domain: Domain, blob: tilestore_storage::BlobId) -> Result<()> {
+    pub(crate) fn push_tile(
+        &mut self,
+        name: &str,
+        domain: Domain,
+        blob: tilestore_storage::BlobId,
+    ) -> Result<()> {
         let meta = self.object_mut(name)?;
         let pos = meta.tiles.len() as u64;
         meta.tiles.push(TileMeta {
@@ -293,7 +296,10 @@ mod tests {
         assert_eq!(stats.cells_updated, 121);
         let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
         assert_eq!(out.get::<u16>(&Point::from_slice(&[15, 15])).unwrap(), 9999);
-        assert_eq!(out.get::<u16>(&Point::from_slice(&[5, 5])).unwrap(), 5 * 32 + 5);
+        assert_eq!(
+            out.get::<u16>(&Point::from_slice(&[5, 5])).unwrap(),
+            5 * 32 + 5
+        );
     }
 
     #[test]
@@ -399,7 +405,10 @@ mod tests {
         db.update("m", &patch).unwrap();
         db.delete_region("m", &d("[0:7,0:31]")).unwrap();
         let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
-        assert_eq!(out.get::<u16>(&Point::from_slice(&[10, 10])).unwrap(), 0xABCD);
+        assert_eq!(
+            out.get::<u16>(&Point::from_slice(&[10, 10])).unwrap(),
+            0xABCD
+        );
         assert_eq!(out.get::<u16>(&Point::from_slice(&[3, 3])).unwrap(), 0);
         assert_eq!(
             out.get::<u16>(&Point::from_slice(&[30, 3])).unwrap(),

@@ -8,15 +8,15 @@
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
 use tilestore_storage::{BlobDirectory, BlobStore, FilePageStore, PageStore, DEFAULT_PAGE_SIZE};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::mdd::MddObject;
 
 /// Serializable catalog of a whole database.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Catalog {
     /// Page size of the page store.
     pub page_size: usize,
@@ -24,6 +24,26 @@ pub struct Catalog {
     pub blobs: BlobDirectory,
     /// All object metadata.
     pub objects: Vec<MddObject>,
+}
+
+impl ToJson for Catalog {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("page_size", self.page_size.to_json()),
+            ("blobs", self.blobs.to_json()),
+            ("objects", self.objects.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Catalog {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(Catalog {
+            page_size: usize::from_json(v.field("page_size")?)?,
+            blobs: BlobDirectory::from_json(v.field("blobs")?)?,
+            objects: Vec::from_json(v.field("objects")?)?,
+        })
+    }
 }
 
 /// Name of the page file inside a database directory.
@@ -76,8 +96,7 @@ impl Database<FilePageStore> {
     /// # Errors
     /// Serialization or file I/O errors.
     pub fn save<P: AsRef<Path>>(&self, dir: P) -> Result<()> {
-        let json = serde_json::to_string(&self.catalog())
-            .map_err(|e| EngineError::Catalog(e.to_string()))?;
+        let json = tilestore_testkit::json::to_string(&self.catalog());
         fs::write(dir.as_ref().join(CATALOG_FILE), json)
             .map_err(|e| EngineError::Catalog(e.to_string()))?;
         Ok(())
@@ -91,7 +110,7 @@ impl Database<FilePageStore> {
         let dir = dir.as_ref();
         let json = fs::read_to_string(dir.join(CATALOG_FILE))
             .map_err(|e| EngineError::Catalog(format!("reading catalog: {e}")))?;
-        let catalog: Catalog = serde_json::from_str(&json)
+        let catalog: Catalog = tilestore_testkit::json::from_str(&json)
             .map_err(|e| EngineError::Catalog(format!("parsing catalog: {e}")))?;
         let store = FilePageStore::open(dir.join(PAGES_FILE), catalog.page_size)?;
         Ok(Database::from_catalog(store, catalog))
@@ -110,7 +129,7 @@ mod tests {
 
     #[test]
     fn save_and_reopen_round_trip() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = tilestore_testkit::tempdir().unwrap();
         let dom: Domain = "[0:29,0:29]".parse().unwrap();
         let data = Array::from_fn(dom.clone(), |p| (p[0] * 31 + p[1]) as u32).unwrap();
         {
@@ -132,13 +151,18 @@ mod tests {
         assert_eq!(out, data);
         assert!(stats.io.pages_read > 0);
         // Point probe through the reopened index.
-        let (one, _) = db.range_query("grid", &"[7:7,11:11]".parse().unwrap()).unwrap();
-        assert_eq!(one.get::<u32>(&Point::from_slice(&[7, 11])).unwrap(), 7 * 31 + 11);
+        let (one, _) = db
+            .range_query("grid", &"[7:7,11:11]".parse().unwrap())
+            .unwrap();
+        assert_eq!(
+            one.get::<u32>(&Point::from_slice(&[7, 11])).unwrap(),
+            7 * 31 + 11
+        );
     }
 
     #[test]
     fn open_missing_dir_fails_cleanly() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = tilestore_testkit::tempdir().unwrap();
         let missing = dir.path().join("nope");
         assert!(matches!(
             Database::open_dir(&missing),
@@ -148,7 +172,7 @@ mod tests {
 
     #[test]
     fn reopened_database_accepts_new_inserts() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = tilestore_testkit::tempdir().unwrap();
         {
             let mut db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
@@ -157,13 +181,19 @@ mod tests {
                 Scheme::Aligned(AlignedTiling::regular(2, 512)),
             )
             .unwrap();
-            db.insert("g", &Array::filled("[0:9,0:9]".parse().unwrap(), &[1]).unwrap())
-                .unwrap();
+            db.insert(
+                "g",
+                &Array::filled("[0:9,0:9]".parse().unwrap(), &[1]).unwrap(),
+            )
+            .unwrap();
             db.save(dir.path()).unwrap();
         }
         let mut db = Database::open_dir(dir.path()).unwrap();
-        db.insert("g", &Array::filled("[20:29,0:9]".parse().unwrap(), &[2]).unwrap())
-            .unwrap();
+        db.insert(
+            "g",
+            &Array::filled("[20:29,0:9]".parse().unwrap(), &[2]).unwrap(),
+        )
+        .unwrap();
         let (out, _) = db.range_query("g", &"[0:29,0:9]".parse().unwrap()).unwrap();
         assert_eq!(out.get::<u8>(&Point::from_slice(&[5, 5])).unwrap(), 1);
         assert_eq!(out.get::<u8>(&Point::from_slice(&[25, 5])).unwrap(), 2);

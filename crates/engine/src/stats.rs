@@ -1,10 +1,10 @@
 //! Query execution statistics and the paper's time decomposition (§6).
 
-use serde::{Deserialize, Serialize};
 use tilestore_storage::{CostModel, IoSnapshot};
+use tilestore_testkit::{Json, ToJson};
 
 /// Counters collected while executing one query.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Index nodes visited while locating the intersected tiles.
     pub index_nodes: u64,
@@ -36,16 +36,25 @@ impl QueryStats {
         let useful = self.cells_copied + self.cells_defaulted;
         let wasted = self.cells_processed - self.cells_copied;
         let t_cpu = model.t_cpu(useful, wasted);
-        QueryTimes {
-            t_ix,
-            t_o,
-            t_cpu,
-        }
+        QueryTimes { t_ix, t_o, t_cpu }
+    }
+}
+
+impl ToJson for QueryStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("index_nodes", self.index_nodes.to_json()),
+            ("tiles_read", self.tiles_read.to_json()),
+            ("io", self.io.to_json()),
+            ("cells_processed", self.cells_processed.to_json()),
+            ("cells_copied", self.cells_copied.to_json()),
+            ("cells_defaulted", self.cells_defaulted.to_json()),
+        ])
     }
 }
 
 /// The paper's per-query time decomposition (model seconds).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryTimes {
     /// Index access time.
     pub t_ix: f64,
@@ -82,8 +91,18 @@ impl std::fmt::Display for QueryTimes {
     }
 }
 
+impl ToJson for QueryTimes {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("t_ix", self.t_ix.to_json()),
+            ("t_o", self.t_o.to_json()),
+            ("t_cpu", self.t_cpu.to_json()),
+        ])
+    }
+}
+
 /// Statistics of one insert (load) operation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InsertStats {
     /// Tiles created.
     pub tiles_created: u64,
@@ -93,8 +112,18 @@ pub struct InsertStats {
     pub pages_written: u64,
 }
 
+impl ToJson for InsertStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tiles_created", self.tiles_created.to_json()),
+            ("bytes_written", self.bytes_written.to_json()),
+            ("pages_written", self.pages_written.to_json()),
+        ])
+    }
+}
+
 /// Statistics of a re-tiling operation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetileStats {
     /// Tiles before re-tiling.
     pub tiles_before: u64,
@@ -102,6 +131,16 @@ pub struct RetileStats {
     pub tiles_after: u64,
     /// Payload bytes rewritten.
     pub bytes_rewritten: u64,
+}
+
+impl ToJson for RetileStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tiles_before", self.tiles_before.to_json()),
+            ("tiles_after", self.tiles_after.to_json()),
+            ("bytes_rewritten", self.bytes_rewritten.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -50,7 +50,11 @@ fn compressed_objects_answer_queries_exactly() {
         let (all, _) = db.range_query("obj", &dom).unwrap();
         assert_eq!(all, data, "{policy:?}");
         let (sub, _) = db.range_query("obj", &d("[50:149,30:59]")).unwrap();
-        assert_eq!(sub, data.extract(&d("[50:149,30:59]")).unwrap(), "{policy:?}");
+        assert_eq!(
+            sub,
+            data.extract(&d("[50:149,30:59]")).unwrap(),
+            "{policy:?}"
+        );
     }
 }
 
@@ -109,7 +113,10 @@ fn retile_rewrites_under_new_policy() {
     db.retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 16 * 1024)))
         .unwrap();
     let after = db.object_physical_bytes("obj").unwrap();
-    assert!(after < before, "retile under compression: {after} vs {before}");
+    assert!(
+        after < before,
+        "retile under compression: {after} vs {before}"
+    );
 
     let (out, _) = db.range_query("obj", &dom).unwrap();
     assert_eq!(out, data);
@@ -117,7 +124,7 @@ fn retile_rewrites_under_new_policy() {
 
 #[test]
 fn compression_persists_across_reopen() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = tilestore_testkit::tempdir().unwrap();
     let dom = d("[0:99,0:99]");
     let data = sparse_array(&dom);
     {

@@ -2,48 +2,51 @@
 //! tiling scheme and any query region, `insert` followed by `range_query`
 //! returns exactly the original cells (default value outside coverage).
 
-use proptest::prelude::*;
 use tilestore_engine::{Array, CellType, Database, MddType};
 use tilestore_geometry::{Domain, Point, PointIter};
+use tilestore_testkit::prop::{check, Source};
+use tilestore_testkit::{prop_assert, prop_assert_eq};
 use tilestore_tiling::{
-    AlignedTiling, AreasOfInterestTiling, DirectionalTiling, AxisPartition, Scheme, SingleTile,
+    AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Scheme, SingleTile,
     TileConfig,
 };
 
-fn domain(dim: usize) -> impl Strategy<Value = Domain> {
-    proptest::collection::vec((-20i64..20, 1i64..25), dim).prop_map(|bounds| {
-        let bounds: Vec<(i64, i64)> = bounds
-            .into_iter()
-            .map(|(lo, ext)| (lo, lo + ext))
-            .collect();
-        Domain::from_bounds(&bounds).unwrap()
-    })
+fn domain(s: &mut Source, dim: usize) -> Domain {
+    let bounds: Vec<(i64, i64)> = (0..dim)
+        .map(|_| {
+            let lo = s.i64_in(-20, 19);
+            let ext = s.i64_in(1, 24);
+            (lo, lo + ext)
+        })
+        .collect();
+    Domain::from_bounds(&bounds).unwrap()
 }
 
-fn subdomain(dom: Domain) -> impl Strategy<Value = Domain> {
-    let per_axis: Vec<BoxedStrategy<(i64, i64)>> = dom
+fn subdomain(s: &mut Source, dom: &Domain) -> Domain {
+    let bounds: Vec<(i64, i64)> = dom
         .ranges()
         .iter()
         .map(|r| {
-            let (lo, hi) = (r.lo(), r.hi());
-            (lo..=hi)
-                .prop_flat_map(move |a| (Just(a), a..=hi))
-                .boxed()
+            let a = s.i64_in(r.lo(), r.hi());
+            let b = s.i64_in(a, r.hi());
+            (a, b)
         })
         .collect();
-    per_axis.prop_map(|b| Domain::from_bounds(&b).unwrap())
+    Domain::from_bounds(&bounds).unwrap()
+}
+
+fn max_size(s: &mut Source) -> u64 {
+    [512u64, 2048, 16 * 1024][s.usize_in(0, 2)]
 }
 
 /// A random scheme of any of the implemented families.
-fn scheme(dom: Domain) -> impl Strategy<Value = Scheme> {
+fn scheme(s: &mut Source, dom: &Domain) -> Scheme {
     let dim = dom.dim();
-    let max_sizes = prop_oneof![Just(512u64), Just(2048u64), Just(16 * 1024u64)];
-    let aligned = max_sizes
-        .clone()
-        .prop_map(move |m| Scheme::Aligned(AlignedTiling::regular(dim, m)));
-    let single = Just(Scheme::SingleTile(SingleTile));
-    let slice_cfg = (0..dim).prop_flat_map(move |star_axis| {
-        max_sizes.clone().prop_map(move |m| {
+    match s.weighted(&[1, 1, 1, 1, 1]) {
+        0 => Scheme::Aligned(AlignedTiling::regular(dim, max_size(s))),
+        1 => Scheme::SingleTile(SingleTile),
+        2 => {
+            let star_axis = s.usize_in(0, dim - 1);
             let entries: Vec<tilestore_tiling::Extent> = (0..dim)
                 .map(|i| {
                     if i == star_axis {
@@ -53,182 +56,232 @@ fn scheme(dom: Domain) -> impl Strategy<Value = Scheme> {
                     }
                 })
                 .collect();
-            Scheme::Aligned(AlignedTiling::new(TileConfig::new(entries).unwrap(), m))
-        })
-    });
-    let dom_dir = dom.clone();
-    let directional = (0.2f64..0.8).prop_map(move |f| {
-        let r = dom_dir.axis(0);
-        let cut = r.lo() + ((r.extent() as f64) * f) as i64;
-        let points = if cut > r.lo() && cut < r.hi() {
-            vec![r.lo(), cut, r.hi()]
-        } else {
-            vec![r.lo(), r.hi()]
-        };
-        Scheme::Directional(DirectionalTiling::new(
-            vec![AxisPartition::new(0, points)],
-            2048,
-        ))
-    });
-    let dom_aoi = dom;
-    let aoi = proptest::collection::vec(subdomain(dom_aoi), 1..3)
-        .prop_map(|areas| Scheme::AreasOfInterest(AreasOfInterestTiling::new(areas, 4096)));
-    prop_oneof![aligned, single, slice_cfg, directional, aoi]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn insert_query_round_trip(
-        (dom, sch, query) in domain(2).prop_flat_map(|d| {
-            (Just(d.clone()), scheme(d.clone()), subdomain(d))
-        }),
-    ) {
-        let mut db = Database::in_memory().unwrap();
-        db.create_object(
-            "obj",
-            MddType::new(CellType::of::<u16>(), tilestore_geometry::DefDomain::unlimited(2).unwrap()),
-            sch,
-        ).unwrap();
-        let data = Array::from_fn(dom.clone(), |p| {
-            (p[0] * 131 + p[1] * 7) as u16
-        }).unwrap();
-        db.insert("obj", &data).unwrap();
-
-        // Querying any subregion returns exactly the original cells.
-        let (out, stats) = db.range_query("obj", &query).unwrap();
-        prop_assert_eq!(&out, &data.extract(&query).unwrap());
-        prop_assert_eq!(stats.cells_copied, query.cells());
-        prop_assert_eq!(stats.cells_defaulted, 0);
-        // Tiles processed cover at least the query.
-        prop_assert!(stats.cells_processed >= query.cells());
-    }
-
-    #[test]
-    fn partial_coverage_reads_default_outside(
-        dom in domain(2),
-        probe in domain(2),
-    ) {
-        let mut db = Database::in_memory().unwrap();
-        db.create_object(
-            "obj",
-            MddType::new(
-                CellType::with_default("u16", 0xABu16.to_le_bytes().to_vec()),
-                tilestore_geometry::DefDomain::unlimited(2).unwrap(),
-            ),
-            Scheme::Aligned(AlignedTiling::regular(2, 1024)),
-        ).unwrap();
-        let data = Array::from_fn(dom.clone(), |p| (p[0] + p[1] + 1000) as u16).unwrap();
-        db.insert("obj", &data).unwrap();
-
-        let (out, _) = db.range_query("obj", &probe).unwrap();
-        let layout = tilestore_geometry::RowMajor::new(probe.clone()).unwrap();
-        for p in PointIter::new(probe.clone()).take(512) {
-            let got: u16 = out.get(&p).unwrap();
-            if dom.contains_point(&p) {
-                prop_assert_eq!(got, (p[0] + p[1] + 1000) as u16);
-            } else {
-                prop_assert_eq!(got, 0xAB, "point {} offset {}", p.clone(),
-                    layout.offset_of(&p).unwrap());
-            }
+            Scheme::Aligned(AlignedTiling::new(
+                TileConfig::new(entries).unwrap(),
+                max_size(s),
+            ))
         }
-    }
-
-    #[test]
-    fn retile_preserves_content(
-        (dom, s1, s2) in domain(2).prop_flat_map(|d| {
-            (Just(d.clone()), scheme(d.clone()), scheme(d))
-        }),
-    ) {
-        let mut db = Database::in_memory().unwrap();
-        db.create_object(
-            "obj",
-            MddType::new(CellType::of::<u16>(), tilestore_geometry::DefDomain::unlimited(2).unwrap()),
-            s1,
-        ).unwrap();
-        let data = Array::from_fn(dom.clone(), |p| (p[0] * 3 + p[1]) as u16).unwrap();
-        db.insert("obj", &data).unwrap();
-        db.retile("obj", s2).unwrap();
-        let (out, _) = db.range_query("obj", &dom).unwrap();
-        prop_assert_eq!(out, data);
-    }
-
-    #[test]
-    fn point_queries_agree_with_bulk(
-        dom in domain(3),
-        seed in any::<u64>(),
-    ) {
-        let mut db = Database::in_memory().unwrap();
-        db.create_object(
-            "vol",
-            MddType::new(CellType::of::<u32>(), tilestore_geometry::DefDomain::unlimited(3).unwrap()),
-            Scheme::Aligned(AlignedTiling::regular(3, 2048)),
-        ).unwrap();
-        let data = Array::from_fn(dom.clone(), |p| {
-            (p[0] * 10007 + p[1] * 101 + p[2]) as u32
-        }).unwrap();
-        db.insert("vol", &data).unwrap();
-        // Probe three pseudo-random points.
-        let mut x = seed | 1;
-        for _ in 0..3 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let coords: Vec<i64> = (0..3)
-                .map(|a| {
-                    let r = dom.axis(a);
-                    r.lo() + ((x >> (a * 16)) % r.extent().max(1)) as i64
-                })
-                .collect();
-            let p = Point::new(coords).unwrap();
-            let cell = Domain::cell(&p);
-            let (one, _) = db.range_query("vol", &cell).unwrap();
-            prop_assert_eq!(
-                one.get::<u32>(&p).unwrap(),
-                data.get::<u32>(&p).unwrap()
-            );
+        3 => {
+            let f = 0.2 + 0.6 * s.f64_unit();
+            let r = dom.axis(0);
+            let cut = r.lo() + ((r.extent() as f64) * f) as i64;
+            let points = if cut > r.lo() && cut < r.hi() {
+                vec![r.lo(), cut, r.hi()]
+            } else {
+                vec![r.lo(), r.hi()]
+            };
+            Scheme::Directional(DirectionalTiling::new(
+                vec![AxisPartition::new(0, points)],
+                2048,
+            ))
+        }
+        _ => {
+            let areas = s.vec_of(1, 2, |s| subdomain(s, dom));
+            Scheme::AreasOfInterest(AreasOfInterestTiling::new(areas, 4096))
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn insert_query_round_trip() {
+    check(
+        "insert_query_round_trip",
+        64,
+        |s| {
+            let dom = domain(s, 2);
+            let sch = scheme(s, &dom);
+            let query = subdomain(s, &dom);
+            (dom, sch, query)
+        },
+        |(dom, sch, query)| {
+            let mut db = Database::in_memory().unwrap();
+            db.create_object(
+                "obj",
+                MddType::new(
+                    CellType::of::<u16>(),
+                    tilestore_geometry::DefDomain::unlimited(2).unwrap(),
+                ),
+                sch.clone(),
+            )
+            .unwrap();
+            let data = Array::from_fn(dom.clone(), |p| (p[0] * 131 + p[1] * 7) as u16).unwrap();
+            db.insert("obj", &data).unwrap();
 
-    /// Update/delete model check: the stored object must always agree with
-    /// a shadow dense array maintained by plain writes.
-    #[test]
-    fn update_and_delete_match_shadow_model(
-        base in domain(2),
-        patches in proptest::collection::vec((domain(2), any::<u16>(), any::<bool>()), 1..6),
-    ) {
-        let mut db = Database::in_memory().unwrap();
-        db.create_object(
-            "obj",
-            MddType::new(CellType::of::<u16>(), tilestore_geometry::DefDomain::unlimited(2).unwrap()),
-            Scheme::Aligned(AlignedTiling::regular(2, 512)),
-        ).unwrap();
-        let initial = Array::from_fn(base.clone(), |p| (p[0] * 31 + p[1] + 1) as u16).unwrap();
-        db.insert("obj", &initial).unwrap();
+            // Querying any subregion returns exactly the original cells.
+            let (out, stats) = db.range_query("obj", query).unwrap();
+            prop_assert_eq!(&out, &data.extract(query).unwrap());
+            prop_assert_eq!(stats.cells_copied, query.cells());
+            prop_assert_eq!(stats.cells_defaulted, 0);
+            // Tiles processed cover at least the query.
+            prop_assert!(stats.cells_processed >= query.cells());
+            Ok(())
+        },
+    );
+}
 
-        // Shadow model over the hull of everything we will touch.
-        let mut world = base.clone();
-        for (d, _, _) in &patches {
-            world = world.hull(d).unwrap();
-        }
-        let mut shadow = Array::filled(world.clone(), &[0, 0]).unwrap();
-        shadow.paste(&initial).unwrap();
+#[test]
+fn partial_coverage_reads_default_outside() {
+    check(
+        "partial_coverage_reads_default_outside",
+        64,
+        |s| (domain(s, 2), domain(s, 2)),
+        |(dom, probe)| {
+            let mut db = Database::in_memory().unwrap();
+            db.create_object(
+                "obj",
+                MddType::new(
+                    CellType::with_default("u16", 0xABu16.to_le_bytes().to_vec()),
+                    tilestore_geometry::DefDomain::unlimited(2).unwrap(),
+                ),
+                Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+            )
+            .unwrap();
+            let data = Array::from_fn(dom.clone(), |p| (p[0] + p[1] + 1000) as u16).unwrap();
+            db.insert("obj", &data).unwrap();
 
-        for (region, value, is_delete) in &patches {
-            if *is_delete {
-                db.delete_region("obj", region).unwrap();
-                shadow.fill(region, &[0, 0]).unwrap();
-            } else {
-                let patch = Array::filled(region.clone(), &value.to_le_bytes()).unwrap();
-                db.update("obj", &patch).unwrap();
-                shadow.paste(&patch).unwrap();
+            let (out, _) = db.range_query("obj", probe).unwrap();
+            let layout = tilestore_geometry::RowMajor::new(probe.clone()).unwrap();
+            for p in PointIter::new(probe.clone()).take(512) {
+                let got: u16 = out.get(&p).unwrap();
+                if dom.contains_point(&p) {
+                    prop_assert_eq!(got, (p[0] + p[1] + 1000) as u16);
+                } else {
+                    prop_assert_eq!(
+                        got,
+                        0xAB,
+                        "point {} offset {}",
+                        p.clone(),
+                        layout.offset_of(&p).unwrap()
+                    );
+                }
             }
-        }
+            Ok(())
+        },
+    );
+}
 
-        let (out, _) = db.range_query("obj", &world).unwrap();
-        prop_assert_eq!(out, shadow);
-    }
+#[test]
+fn retile_preserves_content() {
+    check(
+        "retile_preserves_content",
+        64,
+        |s| {
+            let dom = domain(s, 2);
+            let s1 = scheme(s, &dom);
+            let s2 = scheme(s, &dom);
+            (dom, s1, s2)
+        },
+        |(dom, s1, s2)| {
+            let mut db = Database::in_memory().unwrap();
+            db.create_object(
+                "obj",
+                MddType::new(
+                    CellType::of::<u16>(),
+                    tilestore_geometry::DefDomain::unlimited(2).unwrap(),
+                ),
+                s1.clone(),
+            )
+            .unwrap();
+            let data = Array::from_fn(dom.clone(), |p| (p[0] * 3 + p[1]) as u16).unwrap();
+            db.insert("obj", &data).unwrap();
+            db.retile("obj", s2.clone()).unwrap();
+            let (out, _) = db.range_query("obj", dom).unwrap();
+            prop_assert_eq!(out, data);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn point_queries_agree_with_bulk() {
+    check(
+        "point_queries_agree_with_bulk",
+        64,
+        |s| (domain(s, 3), s.next_u64()),
+        |(dom, seed)| {
+            let mut db = Database::in_memory().unwrap();
+            db.create_object(
+                "vol",
+                MddType::new(
+                    CellType::of::<u32>(),
+                    tilestore_geometry::DefDomain::unlimited(3).unwrap(),
+                ),
+                Scheme::Aligned(AlignedTiling::regular(3, 2048)),
+            )
+            .unwrap();
+            let data =
+                Array::from_fn(dom.clone(), |p| (p[0] * 10007 + p[1] * 101 + p[2]) as u32).unwrap();
+            db.insert("vol", &data).unwrap();
+            // Probe three pseudo-random points.
+            let mut x = seed | 1;
+            for _ in 0..3 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let coords: Vec<i64> = (0..3)
+                    .map(|a| {
+                        let r = dom.axis(a);
+                        r.lo() + ((x >> (a * 16)) % r.extent().max(1)) as i64
+                    })
+                    .collect();
+                let p = Point::new(coords).unwrap();
+                let cell = Domain::cell(&p);
+                let (one, _) = db.range_query("vol", &cell).unwrap();
+                prop_assert_eq!(one.get::<u32>(&p).unwrap(), data.get::<u32>(&p).unwrap());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Update/delete model check: the stored object must always agree with
+/// a shadow dense array maintained by plain writes.
+#[test]
+fn update_and_delete_match_shadow_model() {
+    check(
+        "update_and_delete_match_shadow_model",
+        64,
+        |s| {
+            let base = domain(s, 2);
+            let patches = s.vec_of(1, 5, |s| (domain(s, 2), s.u16(), s.bool()));
+            (base, patches)
+        },
+        |(base, patches)| {
+            let mut db = Database::in_memory().unwrap();
+            db.create_object(
+                "obj",
+                MddType::new(
+                    CellType::of::<u16>(),
+                    tilestore_geometry::DefDomain::unlimited(2).unwrap(),
+                ),
+                Scheme::Aligned(AlignedTiling::regular(2, 512)),
+            )
+            .unwrap();
+            let initial = Array::from_fn(base.clone(), |p| (p[0] * 31 + p[1] + 1) as u16).unwrap();
+            db.insert("obj", &initial).unwrap();
+
+            // Shadow model over the hull of everything we will touch.
+            let mut world = base.clone();
+            for (d, _, _) in patches {
+                world = world.hull(d).unwrap();
+            }
+            let mut shadow = Array::filled(world.clone(), &[0, 0]).unwrap();
+            shadow.paste(&initial).unwrap();
+
+            for (region, value, is_delete) in patches {
+                if *is_delete {
+                    db.delete_region("obj", region).unwrap();
+                    shadow.fill(region, &[0, 0]).unwrap();
+                } else {
+                    let patch = Array::filled(region.clone(), &value.to_le_bytes()).unwrap();
+                    db.update("obj", &patch).unwrap();
+                    shadow.paste(&patch).unwrap();
+                }
+            }
+
+            let (out, _) = db.range_query("obj", &world).unwrap();
+            prop_assert_eq!(out, shadow);
+            Ok(())
+        },
+    );
 }

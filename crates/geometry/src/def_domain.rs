@@ -3,14 +3,14 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::domain::Domain;
 use crate::error::{GeometryError, Result};
 
 /// One axis of a definition domain: each bound is either a fixed coordinate
 /// or unlimited (`*`), as in `[m.l_1:m.u_1, ..., m.l_k:m.*, ...]` (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DefAxis {
     /// Lower bound; `None` means unlimited below.
     pub lo: Option<i64>,
@@ -67,7 +67,7 @@ impl DefAxis {
 /// The definition domain of an MDD type (§3): a d-dimensional interval whose
 /// bounds may be unlimited. It is a *type-level* property — instances carry a
 /// concrete, bounded *current domain* that must always lie inside it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DefDomain(Vec<DefAxis>);
 
 impl DefDomain {
@@ -136,11 +136,7 @@ impl DefDomain {
     /// limited; `None` when any bound is `*`.
     #[must_use]
     pub fn as_bounded(&self) -> Option<Domain> {
-        let bounds: Option<Vec<(i64, i64)>> = self
-            .0
-            .iter()
-            .map(|a| Some((a.lo?, a.hi?)))
-            .collect();
+        let bounds: Option<Vec<(i64, i64)>> = self.0.iter().map(|a| Some((a.lo?, a.hi?))).collect();
         Domain::from_bounds(&bounds?).ok()
     }
 }
@@ -201,6 +197,23 @@ impl FromStr for DefDomain {
             axes.push(DefAxis { lo, hi });
         }
         DefDomain::new(axes)
+    }
+}
+
+impl ToJson for DefDomain {
+    /// Serializes in the paper notation with `*` for unlimited bounds, e.g.
+    /// `"[0:*,*:*]"`.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for DefDomain {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::msg("expected definition-domain string"))?;
+        s.parse().map_err(|e| JsonError::msg(format!("{e}")))
     }
 }
 

@@ -28,13 +28,19 @@ pub fn difference(minuend: &Domain, subtrahend: &Domain) -> Vec<Domain> {
         let o = overlap.axis(axis);
         if r.lo() < o.lo() {
             let slab = remaining
-                .with_axis(axis, crate::domain::AxisRange::new(r.lo(), o.lo() - 1).unwrap())
+                .with_axis(
+                    axis,
+                    crate::domain::AxisRange::new(r.lo(), o.lo() - 1).unwrap(),
+                )
                 .expect("axis in range");
             pieces.push(slab);
         }
         if o.hi() < r.hi() {
             let slab = remaining
-                .with_axis(axis, crate::domain::AxisRange::new(o.hi() + 1, r.hi()).unwrap())
+                .with_axis(
+                    axis,
+                    crate::domain::AxisRange::new(o.hi() + 1, r.hi()).unwrap(),
+                )
                 .expect("axis in range");
             pieces.push(slab);
         }

@@ -3,13 +3,13 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{GeometryError, Result};
 use crate::point::Point;
 
 /// A closed integer range `[lo:hi]` along one axis (`lo <= hi`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AxisRange {
     lo: i64,
     hi: i64,
@@ -104,7 +104,7 @@ impl AxisRange {
 ///
 /// The [`Display`](fmt::Display)/[`FromStr`] notation follows the paper:
 /// `"[0:120,0:159,0:119]"`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Domain(Vec<AxisRange>);
 
 impl Domain {
@@ -428,9 +428,9 @@ impl FromStr for Domain {
             .ok_or_else(|| GeometryError::Parse(format!("domain must be bracketed: {s:?}")))?;
         let mut bounds = Vec::new();
         for (axis, part) in inner.split(',').enumerate() {
-            let (lo, hi) = part
-                .split_once(':')
-                .ok_or_else(|| GeometryError::Parse(format!("axis {axis}: missing ':' in {part:?}")))?;
+            let (lo, hi) = part.split_once(':').ok_or_else(|| {
+                GeometryError::Parse(format!("axis {axis}: missing ':' in {part:?}"))
+            })?;
             let lo: i64 = lo.trim().parse().map_err(|e| {
                 GeometryError::Parse(format!("axis {axis}: bad lower bound {lo:?}: {e}"))
             })?;
@@ -440,6 +440,22 @@ impl FromStr for Domain {
             bounds.push((lo, hi));
         }
         Domain::from_bounds(&bounds)
+    }
+}
+
+impl ToJson for Domain {
+    /// Serializes in the paper notation, e.g. `"[0:120,0:159]"`.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Domain {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::msg("expected domain string"))?;
+        s.parse().map_err(|e| JsonError::msg(format!("{e}")))
     }
 }
 
@@ -539,10 +555,7 @@ mod tests {
         let a = d("[0:4,10:14]");
         assert_eq!(a.lowest(), Point::from_slice(&[0, 10]));
         assert_eq!(a.highest(), Point::from_slice(&[4, 14]));
-        assert_eq!(
-            Domain::from_corners(&a.lowest(), &a.highest()).unwrap(),
-            a
-        );
+        assert_eq!(Domain::from_corners(&a.lowest(), &a.highest()).unwrap(), a);
         assert_eq!(Domain::cell(&Point::from_slice(&[7, 8])), d("[7:7,8:8]"));
     }
 }

@@ -185,12 +185,7 @@ pub fn copy_region(
 ///
 /// # Errors
 /// [`GeometryError::NotContained`] when the region is outside the domain.
-pub fn fill_region(
-    domain: &Domain,
-    buf: &mut [u8],
-    region: &Domain,
-    cell: &[u8],
-) -> Result<u64> {
+pub fn fill_region(domain: &Domain, buf: &mut [u8], region: &Domain, cell: &[u8]) -> Result<u64> {
     let runs = RunIter::new(domain, region)?;
     let cell_size = cell.len();
     let mut filled = 0u64;
@@ -289,8 +284,7 @@ mod tests {
         let src: Vec<u8> = (0..16).collect();
         let dst_dom = d("[1:2,1:2]");
         let mut dst = vec![0u8; 4];
-        let copied =
-            copy_region(&src_dom, &src, &dst_dom, &mut dst, &dst_dom, 1).unwrap();
+        let copied = copy_region(&src_dom, &src, &dst_dom, &mut dst, &dst_dom, 1).unwrap();
         assert_eq!(copied, 4);
         assert_eq!(dst, vec![5, 6, 9, 10]);
     }

@@ -5,7 +5,7 @@ use std::fmt;
 use std::ops::Index;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{GeometryError, Result};
 
@@ -15,7 +15,7 @@ use crate::error::{GeometryError, Result};
 /// `Z^d` by higher DBMS layers, so a point is simply a tuple of `i64`
 /// coordinates. Points are totally ordered by the row-major ("lower than")
 /// relation of §3, which [`Ord`] implements.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Point(Vec<i64>);
 
 impl Point {
@@ -171,6 +171,22 @@ impl FromStr for Point {
             })
             .collect();
         Point::new(coords?)
+    }
+}
+
+impl ToJson for Point {
+    /// Serializes in the paper notation, e.g. `"(1,2,3)"`.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Point {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::msg("expected point string"))?;
+        s.parse().map_err(|e| JsonError::msg(format!("{e}")))
     }
 }
 

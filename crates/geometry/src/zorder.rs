@@ -103,8 +103,7 @@ mod tests {
         for x in 0..4i64 {
             for y in 0..4i64 {
                 blocks.push(
-                    Domain::from_bounds(&[(x * 10, x * 10 + 9), (y * 10, y * 10 + 9)])
-                        .unwrap(),
+                    Domain::from_bounds(&[(x * 10, x * 10 + 9), (y * 10, y * 10 + 9)]).unwrap(),
                 );
             }
         }

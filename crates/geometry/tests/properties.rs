@@ -1,153 +1,225 @@
 //! Property-based tests for the geometry invariants listed in DESIGN.md §7.
 
-use proptest::prelude::*;
 use tilestore_geometry::{
     copy_region, difference, uncovered, Domain, GridIter, Point, PointIter, RowMajor, RunIter,
 };
+use tilestore_testkit::prop::{check, Source};
+use tilestore_testkit::{prop_assert, prop_assert_eq};
 
-/// Strategy: a small random domain of dimensionality 1..=4.
-fn small_domain() -> impl Strategy<Value = Domain> {
-    (1usize..=4)
-        .prop_flat_map(|d| {
-            proptest::collection::vec((-20i64..20, 0i64..8), d)
-                .prop_map(|bounds: Vec<(i64, i64)>| {
-                    let bounds: Vec<(i64, i64)> =
-                        bounds.into_iter().map(|(lo, ext)| (lo, lo + ext)).collect();
-                    Domain::from_bounds(&bounds).unwrap()
-                })
+const CASES: u32 = 256;
+
+/// Generator: a small random domain of dimensionality 1..=4.
+fn small_domain(s: &mut Source) -> Domain {
+    let d = s.usize_in(1, 4);
+    let bounds: Vec<(i64, i64)> = (0..d)
+        .map(|_| {
+            let lo = s.i64_in(-20, 19);
+            let ext = s.i64_in(0, 7);
+            (lo, lo + ext)
         })
+        .collect();
+    Domain::from_bounds(&bounds).unwrap()
 }
 
-/// Strategy: a domain plus a random subdomain of it.
-fn domain_and_sub() -> impl Strategy<Value = (Domain, Domain)> {
-    small_domain().prop_flat_map(|dom| {
-        let subs: Vec<BoxedStrategy<(i64, i64)>> = dom
-            .ranges()
-            .iter()
-            .map(|r| {
-                let (lo, hi) = (r.lo(), r.hi());
-                (lo..=hi)
-                    .prop_flat_map(move |a| (Just(a), a..=hi))
-                    .boxed()
-            })
-            .collect();
-        (Just(dom), subs).prop_map(|(dom, bounds)| {
-            let sub = Domain::from_bounds(&bounds).unwrap();
-            (dom, sub)
+/// Generator: a domain plus a random subdomain of it.
+fn domain_and_sub(s: &mut Source) -> (Domain, Domain) {
+    let dom = small_domain(s);
+    let bounds: Vec<(i64, i64)> = dom
+        .ranges()
+        .iter()
+        .map(|r| {
+            let a = s.i64_in(r.lo(), r.hi());
+            let b = s.i64_in(a, r.hi());
+            (a, b)
         })
-    })
+        .collect();
+    let sub = Domain::from_bounds(&bounds).unwrap();
+    (dom, sub)
 }
 
-proptest! {
-    #[test]
-    fn offset_point_round_trip((dom, _) in domain_and_sub()) {
-        let layout = RowMajor::new(dom).unwrap();
-        let n = layout.cells().min(256);
-        for off in 0..n {
-            let p = layout.point_at(off).unwrap();
-            prop_assert_eq!(layout.offset_of(&p).unwrap(), off);
-        }
-    }
-
-    #[test]
-    fn point_iter_is_sorted_and_complete(dom in small_domain()) {
-        let pts: Vec<Point> = PointIter::new(dom.clone()).collect();
-        prop_assert_eq!(pts.len() as u64, dom.cells());
-        prop_assert!(pts.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(pts.iter().all(|p| dom.contains_point(p)));
-    }
-
-    #[test]
-    fn runs_cover_subdomain_exactly_once((dom, sub) in domain_and_sub()) {
-        let runs: Vec<_> = RunIter::new(&dom, &sub).unwrap().collect();
-        let covered: u64 = runs.iter().map(|r| r.len).sum();
-        prop_assert_eq!(covered, sub.cells());
-        // Runs translate to strictly increasing, non-overlapping inner spans.
-        let mut expected_inner = 0u64;
-        for r in &runs {
-            prop_assert_eq!(r.inner_offset, expected_inner);
-            expected_inner += r.len;
-        }
-    }
-
-    #[test]
-    fn intersection_is_commutative_and_contained(a in small_domain(), b in small_domain()) {
-        if a.dim() == b.dim() {
-            let ab = a.intersection(&b);
-            let ba = b.intersection(&a);
-            prop_assert_eq!(ab.clone(), ba);
-            if let Some(i) = ab {
-                prop_assert!(a.contains_domain(&i));
-                prop_assert!(b.contains_domain(&i));
+#[test]
+fn offset_point_round_trip() {
+    check(
+        "offset_point_round_trip",
+        CASES,
+        |s| domain_and_sub(s).0,
+        |dom| {
+            let layout = RowMajor::new(dom.clone()).unwrap();
+            let n = layout.cells().min(256);
+            for off in 0..n {
+                let p = layout.point_at(off).unwrap();
+                prop_assert_eq!(layout.offset_of(&p).unwrap(), off);
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn hull_contains_both(a in small_domain(), b in small_domain()) {
-        if a.dim() == b.dim() {
-            let h = a.hull(&b).unwrap();
-            prop_assert!(h.contains_domain(&a));
-            prop_assert!(h.contains_domain(&b));
-        }
-    }
+#[test]
+fn point_iter_is_sorted_and_complete() {
+    check(
+        "point_iter_is_sorted_and_complete",
+        CASES,
+        small_domain,
+        |dom| {
+            let pts: Vec<Point> = PointIter::new(dom.clone()).collect();
+            prop_assert_eq!(pts.len() as u64, dom.cells());
+            prop_assert!(pts.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(pts.iter().all(|p| dom.contains_point(p)));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn difference_partitions_minuend(a in small_domain(), b in small_domain()) {
-        if a.dim() == b.dim() {
-            let pieces = difference(&a, &b);
-            let in_overlap = a.intersection(&b).map_or(0, |i| i.cells());
-            let piece_cells: u64 = pieces.iter().map(Domain::cells).sum();
-            prop_assert_eq!(piece_cells + in_overlap, a.cells());
-            for (i, p) in pieces.iter().enumerate() {
-                prop_assert!(a.contains_domain(p));
-                prop_assert!(!p.intersects(&b));
-                for q in &pieces[i + 1..] {
-                    prop_assert!(!p.intersects(q));
+#[test]
+fn runs_cover_subdomain_exactly_once() {
+    check(
+        "runs_cover_subdomain_exactly_once",
+        CASES,
+        domain_and_sub,
+        |(dom, sub)| {
+            let runs: Vec<_> = RunIter::new(dom, sub).unwrap().collect();
+            let covered: u64 = runs.iter().map(|r| r.len).sum();
+            prop_assert_eq!(covered, sub.cells());
+            // Runs translate to strictly increasing, non-overlapping inner spans.
+            let mut expected_inner = 0u64;
+            for r in &runs {
+                prop_assert_eq!(r.inner_offset, expected_inner);
+                expected_inner += r.len;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn intersection_is_commutative_and_contained() {
+    check(
+        "intersection_is_commutative_and_contained",
+        CASES,
+        |s| (small_domain(s), small_domain(s)),
+        |(a, b)| {
+            if a.dim() == b.dim() {
+                let ab = a.intersection(b);
+                let ba = b.intersection(a);
+                prop_assert_eq!(ab.clone(), ba);
+                if let Some(i) = ab {
+                    prop_assert!(a.contains_domain(&i));
+                    prop_assert!(b.contains_domain(&i));
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn uncovered_is_disjoint_complement((dom, sub) in domain_and_sub()) {
-        let rest = uncovered(&dom, std::slice::from_ref(&sub)).unwrap();
-        let total: u64 = rest.iter().map(Domain::cells).sum();
-        prop_assert_eq!(total + sub.cells(), dom.cells());
-    }
-
-    #[test]
-    fn grid_partitions_domain(dom in small_domain(), fmt_seed in proptest::collection::vec(1u64..5, 4)) {
-        let fmt: Vec<u64> = fmt_seed[..dom.dim()].to_vec();
-        let blocks: Vec<Domain> = GridIter::new(dom.clone(), &fmt).unwrap().collect();
-        let total: u64 = blocks.iter().map(Domain::cells).sum();
-        prop_assert_eq!(total, dom.cells());
-        for (i, a) in blocks.iter().enumerate() {
-            prop_assert!(dom.contains_domain(a));
-            for b in &blocks[i + 1..] {
-                prop_assert!(!a.intersects(b));
+#[test]
+fn hull_contains_both() {
+    check(
+        "hull_contains_both",
+        CASES,
+        |s| (small_domain(s), small_domain(s)),
+        |(a, b)| {
+            if a.dim() == b.dim() {
+                let h = a.hull(b).unwrap();
+                prop_assert!(h.contains_domain(a));
+                prop_assert!(h.contains_domain(b));
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn copy_region_round_trips((dom, sub) in domain_and_sub()) {
-        // Write a recognizable pattern, copy out the subregion, copy it back
-        // into a cleared buffer, and check only the subregion survived.
-        let cells = dom.cells() as usize;
-        let src: Vec<u8> = (0..cells).map(|i| (i % 251) as u8).collect();
-        let mut extracted = vec![0u8; sub.cells() as usize];
-        copy_region(&dom, &src, &sub, &mut extracted, &sub, 1).unwrap();
-        let mut rebuilt = vec![0xFFu8; cells];
-        copy_region(&sub, &extracted, &dom, &mut rebuilt, &sub, 1).unwrap();
-        let layout = RowMajor::new(dom.clone()).unwrap();
-        for p in PointIter::new(dom.clone()) {
-            let off = layout.offset_of(&p).unwrap() as usize;
-            if sub.contains_point(&p) {
-                prop_assert_eq!(rebuilt[off], src[off]);
-            } else {
-                prop_assert_eq!(rebuilt[off], 0xFF);
+#[test]
+fn difference_partitions_minuend() {
+    check(
+        "difference_partitions_minuend",
+        CASES,
+        |s| (small_domain(s), small_domain(s)),
+        |(a, b)| {
+            if a.dim() == b.dim() {
+                let pieces = difference(a, b);
+                let in_overlap = a.intersection(b).map_or(0, |i| i.cells());
+                let piece_cells: u64 = pieces.iter().map(Domain::cells).sum();
+                prop_assert_eq!(piece_cells + in_overlap, a.cells());
+                for (i, p) in pieces.iter().enumerate() {
+                    prop_assert!(a.contains_domain(p));
+                    prop_assert!(!p.intersects(b));
+                    for q in &pieces[i + 1..] {
+                        prop_assert!(!p.intersects(q));
+                    }
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn uncovered_is_disjoint_complement() {
+    check(
+        "uncovered_is_disjoint_complement",
+        CASES,
+        domain_and_sub,
+        |(dom, sub)| {
+            let rest = uncovered(dom, std::slice::from_ref(sub)).unwrap();
+            let total: u64 = rest.iter().map(Domain::cells).sum();
+            prop_assert_eq!(total + sub.cells(), dom.cells());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn grid_partitions_domain() {
+    check(
+        "grid_partitions_domain",
+        CASES,
+        |s| {
+            let dom = small_domain(s);
+            let fmt: Vec<u64> = (0..dom.dim()).map(|_| s.u64_in(1, 4)).collect();
+            (dom, fmt)
+        },
+        |(dom, fmt)| {
+            let blocks: Vec<Domain> = GridIter::new(dom.clone(), fmt).unwrap().collect();
+            let total: u64 = blocks.iter().map(Domain::cells).sum();
+            prop_assert_eq!(total, dom.cells());
+            for (i, a) in blocks.iter().enumerate() {
+                prop_assert!(dom.contains_domain(a));
+                for b in &blocks[i + 1..] {
+                    prop_assert!(!a.intersects(b));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn copy_region_round_trips() {
+    check(
+        "copy_region_round_trips",
+        CASES,
+        domain_and_sub,
+        |(dom, sub)| {
+            // Write a recognizable pattern, copy out the subregion, copy it back
+            // into a cleared buffer, and check only the subregion survived.
+            let cells = dom.cells() as usize;
+            let src: Vec<u8> = (0..cells).map(|i| (i % 251) as u8).collect();
+            let mut extracted = vec![0u8; sub.cells() as usize];
+            copy_region(dom, &src, sub, &mut extracted, sub, 1).unwrap();
+            let mut rebuilt = vec![0xFFu8; cells];
+            copy_region(sub, &extracted, dom, &mut rebuilt, sub, 1).unwrap();
+            let layout = RowMajor::new(dom.clone()).unwrap();
+            for p in PointIter::new(dom.clone()) {
+                let off = layout.offset_of(&p).unwrap() as usize;
+                if sub.contains_point(&p) {
+                    prop_assert_eq!(rebuilt[off], src[off]);
+                } else {
+                    prop_assert_eq!(rebuilt[off], 0xFF);
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -4,18 +4,38 @@
 //! "Node" accounting treats the directory as pages of `fanout` entries so
 //! `t_ix` comparisons against the tree are apples-to-apples.
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::Domain;
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{IndexError, Result};
 use crate::rplus::{SearchResult, DEFAULT_FANOUT};
 
 /// A linear-scan tile directory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearIndex {
     dim: usize,
     fanout: usize,
     entries: Vec<(Domain, u64)>,
+}
+
+impl ToJson for LinearIndex {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dim", self.dim.to_json()),
+            ("fanout", self.fanout.to_json()),
+            ("entries", self.entries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LinearIndex {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(LinearIndex {
+            dim: usize::from_json(v.field("dim")?)?,
+            fanout: usize::from_json(v.field("fanout")?)?,
+            entries: Vec::from_json(v.field("entries")?)?,
+        })
+    }
 }
 
 impl LinearIndex {
@@ -66,7 +86,9 @@ impl LinearIndex {
             .map(|&(_, p)| p)
             .collect();
         // Every "page" of the directory is visited.
-        let nodes_visited = (self.entries.len() as u64).div_ceil(self.fanout as u64).max(1);
+        let nodes_visited = (self.entries.len() as u64)
+            .div_ceil(self.fanout as u64)
+            .max(1);
         SearchResult {
             hits,
             nodes_visited,

@@ -10,8 +10,8 @@
 //! height-balanced tree with least-enlargement insertion, midpoint splits,
 //! STR bulk loading, and node-visit accounting for the `t_ix` measurement.
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::Domain;
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{IndexError, Result};
 
@@ -28,19 +28,19 @@ pub struct SearchResult {
     pub nodes_visited: u64,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct LeafEntry {
     domain: Domain,
     payload: u64,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct ChildEntry {
     mbr: Domain,
     node: usize,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf(Vec<LeafEntry>),
     Internal(Vec<ChildEntry>),
@@ -49,7 +49,7 @@ enum Node {
 }
 
 /// The R+-tree index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RPlusTree {
     dim: usize,
     fanout: usize,
@@ -57,6 +57,93 @@ pub struct RPlusTree {
     free: Vec<usize>,
     root: usize,
     len: usize,
+}
+
+impl ToJson for LeafEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("domain", self.domain.to_json()),
+            ("payload", self.payload.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LeafEntry {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(LeafEntry {
+            domain: Domain::from_json(v.field("domain")?)?,
+            payload: u64::from_json(v.field("payload")?)?,
+        })
+    }
+}
+
+impl ToJson for ChildEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mbr", self.mbr.to_json()),
+            ("node", self.node.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ChildEntry {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(ChildEntry {
+            mbr: Domain::from_json(v.field("mbr")?)?,
+            node: usize::from_json(v.field("node")?)?,
+        })
+    }
+}
+
+impl ToJson for Node {
+    fn to_json(&self) -> Json {
+        match self {
+            Node::Leaf(entries) => Json::obj(vec![("leaf", entries.to_json())]),
+            Node::Internal(children) => Json::obj(vec![("internal", children.to_json())]),
+            Node::Free => Json::Str("free".to_string()),
+        }
+    }
+}
+
+impl FromJson for Node {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        if let Some("free") = v.as_str() {
+            return Ok(Node::Free);
+        }
+        if let Some(entries) = v.get("leaf") {
+            return Ok(Node::Leaf(Vec::from_json(entries)?));
+        }
+        if let Some(children) = v.get("internal") {
+            return Ok(Node::Internal(Vec::from_json(children)?));
+        }
+        Err(JsonError::msg("expected \"free\", leaf or internal node"))
+    }
+}
+
+impl ToJson for RPlusTree {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dim", self.dim.to_json()),
+            ("fanout", self.fanout.to_json()),
+            ("root", self.root.to_json()),
+            ("len", self.len.to_json()),
+            ("free", self.free.to_json()),
+            ("nodes", self.nodes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RPlusTree {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(RPlusTree {
+            dim: usize::from_json(v.field("dim")?)?,
+            fanout: usize::from_json(v.field("fanout")?)?,
+            root: usize::from_json(v.field("root")?)?,
+            len: usize::from_json(v.field("len")?)?,
+            free: Vec::from_json(v.field("free")?)?,
+            nodes: Vec::from_json(v.field("nodes")?)?,
+        })
+    }
 }
 
 impl RPlusTree {
@@ -202,12 +289,7 @@ impl RPlusTree {
     }
 
     /// Recursive insert; returns the (mbr, index) of a split-off sibling.
-    fn insert_rec(
-        &mut self,
-        node: usize,
-        domain: Domain,
-        payload: u64,
-    ) -> Option<(Domain, usize)> {
+    fn insert_rec(&mut self, node: usize, domain: Domain, payload: u64) -> Option<(Domain, usize)> {
         match &mut self.nodes[node] {
             Node::Leaf(entries) => {
                 entries.push(LeafEntry { domain, payload });
@@ -452,11 +534,7 @@ impl RPlusTree {
     ///
     /// # Errors
     /// [`IndexError::DimensionMismatch`] or [`IndexError::BadFanout`].
-    pub fn bulk_load(
-        dim: usize,
-        fanout: usize,
-        mut entries: Vec<(Domain, u64)>,
-    ) -> Result<Self> {
+    pub fn bulk_load(dim: usize, fanout: usize, mut entries: Vec<(Domain, u64)>) -> Result<Self> {
         let mut tree = Self::with_fanout(dim, fanout)?;
         for (d, _) in &entries {
             tree.check_dim(d)?;
@@ -479,12 +557,9 @@ impl RPlusTree {
                         payload: *p,
                     })
                     .collect();
-                let mbr = leaf
-                    .iter()
-                    .skip(1)
-                    .fold(leaf[0].domain.clone(), |acc, e| {
-                        acc.hull(&e.domain).expect("uniform dimensionality")
-                    });
+                let mbr = leaf.iter().skip(1).fold(leaf[0].domain.clone(), |acc, e| {
+                    acc.hull(&e.domain).expect("uniform dimensionality")
+                });
                 tree.nodes.push(Node::Leaf(leaf));
                 ChildEntry {
                     mbr,
@@ -531,11 +606,8 @@ mod tests {
         let mut id = 0u64;
         for i in 0..10 {
             for j in 0..10 {
-                let dom = Domain::from_bounds(&[
-                    (i * 10, i * 10 + 9),
-                    (j * 10, j * 10 + 9),
-                ])
-                .unwrap();
+                let dom =
+                    Domain::from_bounds(&[(i * 10, i * 10 + 9), (j * 10, j * 10 + 9)]).unwrap();
                 v.push((dom, id));
                 id += 1;
             }
@@ -588,7 +660,11 @@ mod tests {
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 1, 10, 11]);
         // Bulk-loaded tree is packed: node count near minimum.
-        assert!(bulk.node_count() <= 13 + 2 + 1, "nodes: {}", bulk.node_count());
+        assert!(
+            bulk.node_count() <= 13 + 2 + 1,
+            "nodes: {}",
+            bulk.node_count()
+        );
     }
 
     #[test]
@@ -643,12 +719,26 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = RPlusTree::bulk_load(2, 4, grid_entries()).unwrap();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: RPlusTree = serde_json::from_str(&json).unwrap();
+        let json = tilestore_testkit::json::to_string(&t);
+        let back: RPlusTree = tilestore_testkit::json::from_str(&json).unwrap();
         assert_eq!(back, t);
         assert_eq!(back.search(&d("[0:9,0:9]")).hits, vec![0]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_free_slots() {
+        let mut t = RPlusTree::with_fanout(2, 4).unwrap();
+        for (dom, id) in grid_entries() {
+            t.insert(dom, id).unwrap();
+        }
+        for (dom, id) in grid_entries().iter().take(90) {
+            assert!(t.remove(dom, *id));
+        }
+        let json = tilestore_testkit::json::to_string(&t);
+        let back: RPlusTree = tilestore_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

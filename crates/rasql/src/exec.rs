@@ -1,8 +1,7 @@
 //! Query execution against a [`Database`].
 
 use tilestore_engine::{
-    aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellType, Database,
-    QueryStats,
+    aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellType, Database, QueryStats,
 };
 use tilestore_geometry::{AxisRange, Domain};
 use tilestore_storage::PageStore;
@@ -86,18 +85,14 @@ pub fn execute<S: PageStore>(db: &Database<S>, input: &str) -> Result<(Value, Qu
 ///
 /// # Errors
 /// Semantic and engine errors.
-pub fn execute_query<S: PageStore>(
-    db: &Database<S>,
-    query: &Query,
-) -> Result<(Value, QueryStats)> {
+pub fn execute_query<S: PageStore>(db: &Database<S>, query: &Query) -> Result<(Value, QueryStats)> {
     match &query.expr {
         Expr::Condense { op, arg } => {
             let kind = condenser_kind(*op);
             if let Expr::Access { .. } = arg.as_ref() {
                 // Plain access: aggregate tile-streaming, no materialization.
                 let access = resolve_access(db, arg, &query.from)?;
-                let (value, stats) =
-                    db.aggregate(&access.collection, &access.region, kind)?;
+                let (value, stats) = db.aggregate(&access.collection, &access.region, kind)?;
                 return Ok((agg_to_value(value), stats));
             }
             // Induced argument: materialize, then aggregate in memory.
@@ -166,15 +161,12 @@ fn eval_array<S: PageStore>(
                 .region
                 .project_out(&access.fixed_axes)
                 .map_err(tilestore_engine::EngineError::from)?;
-            let reshaped = array
-                .reshaped(section_domain)
-                .map_err(QueryError::Engine)?;
+            let reshaped = array.reshaped(section_domain).map_err(QueryError::Engine)?;
             Ok((reshaped, cell, stats))
         }
         Expr::Induce { lhs, op, rhs } => {
             let (array, cell, stats) = eval_array(db, lhs, from)?;
-            let (result, result_cell) =
-                induce_scalar(&cell, &array, induced_binop(*op), *rhs)?;
+            let (result, result_cell) = induce_scalar(&cell, &array, induced_binop(*op), *rhs)?;
             Ok((result, result_cell, stats))
         }
         Expr::Condense { .. } => Err(QueryError::Semantic(
@@ -237,9 +229,8 @@ fn resolve_access<S: PageStore>(
             AxisSelect::Range { lo, hi } => {
                 let lo = lo.unwrap_or_else(|| current.lo(axis));
                 let hi = hi.unwrap_or_else(|| current.hi(axis));
-                let r = AxisRange::new(lo, hi).map_err(|e| {
-                    QueryError::Semantic(format!("axis {axis}: empty range: {e}"))
-                })?;
+                let r = AxisRange::new(lo, hi)
+                    .map_err(|e| QueryError::Semantic(format!("axis {axis}: empty range: {e}")))?;
                 region = region
                     .with_axis(axis, r)
                     .map_err(tilestore_engine::EngineError::from)?;
@@ -296,10 +287,7 @@ mod tests {
         let (v, stats) = execute(&db, "SELECT cube[2:4, 0:9, 5:7] FROM cube").unwrap();
         let arr = v.as_array().unwrap();
         assert_eq!(arr.domain().to_string(), "[2:4,0:9,5:7]");
-        assert_eq!(
-            arr.get::<u32>(&Point::from_slice(&[3, 4, 6])).unwrap(),
-            346
-        );
+        assert_eq!(arr.get::<u32>(&Point::from_slice(&[3, 4, 6])).unwrap(), 346);
         assert!(stats.tiles_read >= 1);
     }
 
@@ -344,10 +332,7 @@ mod tests {
         // cube cell at (x,y,z) = 100x + 10y + z.
         let (v, _) = execute(&db, "SELECT cube[0:0,0:0,0:3] + 1000 FROM cube").unwrap();
         let arr = v.as_array().unwrap();
-        assert_eq!(
-            arr.to_cells::<u32>().unwrap(),
-            vec![1000, 1001, 1002, 1003]
-        );
+        assert_eq!(arr.to_cells::<u32>().unwrap(), vec![1000, 1001, 1002, 1003]);
 
         let (v, _) = execute(&db, "SELECT cube[0:0,0:0,*] > 4 FROM cube").unwrap();
         let mask = v.as_array().unwrap();

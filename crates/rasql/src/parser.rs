@@ -44,9 +44,7 @@ impl Parser {
     }
 
     fn at(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map_or(self.input_len, |t| t.at)
+        self.tokens.get(self.pos).map_or(self.input_len, |t| t.at)
     }
 
     fn advance(&mut self) -> Option<TokenKind> {
@@ -237,16 +235,26 @@ mod tests {
     #[test]
     fn trim_query_with_stars_and_sections() {
         let q = parse("select cube[0:99, * , 7, 2:*] from cube").unwrap();
-        let Expr::Access { subscript: Some(axes), .. } = q.expr else {
+        let Expr::Access {
+            subscript: Some(axes),
+            ..
+        } = q.expr
+        else {
             panic!("expected access");
         };
         assert_eq!(
             axes,
             vec![
-                AxisSelect::Range { lo: Some(0), hi: Some(99) },
+                AxisSelect::Range {
+                    lo: Some(0),
+                    hi: Some(99)
+                },
                 AxisSelect::All,
                 AxisSelect::Point(7),
-                AxisSelect::Range { lo: Some(2), hi: None },
+                AxisSelect::Range {
+                    lo: Some(2),
+                    hi: None
+                },
             ]
         );
     }
@@ -264,12 +272,19 @@ mod tests {
     #[test]
     fn negative_bounds() {
         let q = parse("SELECT m[-10:-1] FROM m").unwrap();
-        let Expr::Access { subscript: Some(axes), .. } = q.expr else {
+        let Expr::Access {
+            subscript: Some(axes),
+            ..
+        } = q.expr
+        else {
             panic!("expected access");
         };
         assert_eq!(
             axes,
-            vec![AxisSelect::Range { lo: Some(-10), hi: Some(-1) }]
+            vec![AxisSelect::Range {
+                lo: Some(-10),
+                hi: Some(-1)
+            }]
         );
     }
 
@@ -297,7 +312,13 @@ mod tests {
         };
         assert_eq!(op, InducedOp::Sub);
         assert_eq!(rhs, -3.0);
-        assert!(matches!(*lhs, Expr::Induce { op: InducedOp::Mul, .. }));
+        assert!(matches!(
+            *lhs,
+            Expr::Induce {
+                op: InducedOp::Mul,
+                ..
+            }
+        ));
 
         // Condenser over an induced expression.
         let q = parse("SELECT count_cells(img > 100) FROM img").unwrap();

@@ -73,70 +73,118 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { at: i, kind: TokenKind::LBracket });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::LBracket,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { at: i, kind: TokenKind::RBracket });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::RBracket,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { at: i, kind: TokenKind::LParen });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::LParen,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { at: i, kind: TokenKind::RParen });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::RParen,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Token { at: i, kind: TokenKind::Colon });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::Colon,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { at: i, kind: TokenKind::Comma });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { at: i, kind: TokenKind::Star });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::Star,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { at: i, kind: TokenKind::Plus });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::Plus,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { at: i, kind: TokenKind::Minus });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::Minus,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { at: i, kind: TokenKind::Slash });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::Slash,
+                });
                 i += 1;
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { at: i, kind: TokenKind::Ge });
+                    tokens.push(Token {
+                        at: i,
+                        kind: TokenKind::Ge,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { at: i, kind: TokenKind::Gt });
+                    tokens.push(Token {
+                        at: i,
+                        kind: TokenKind::Gt,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { at: i, kind: TokenKind::Le });
+                    tokens.push(Token {
+                        at: i,
+                        kind: TokenKind::Le,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { at: i, kind: TokenKind::Lt });
+                    tokens.push(Token {
+                        at: i,
+                        kind: TokenKind::Lt,
+                    });
                     i += 1;
                 }
             }
             '=' => {
-                tokens.push(Token { at: i, kind: TokenKind::Eq });
+                tokens.push(Token {
+                    at: i,
+                    kind: TokenKind::Eq,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { at: i, kind: TokenKind::Ne });
+                    tokens.push(Token {
+                        at: i,
+                        kind: TokenKind::Ne,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Lex {
@@ -151,9 +199,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 // Fractional part makes it a float literal.
-                if bytes.get(i) == Some(&b'.')
-                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
-                {
+                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -163,21 +209,25 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         at: start,
                         message: format!("bad number {text:?}: {e}"),
                     })?;
-                    tokens.push(Token { at: start, kind: TokenKind::Float(value) });
+                    tokens.push(Token {
+                        at: start,
+                        kind: TokenKind::Float(value),
+                    });
                 } else {
                     let text = &input[start..i];
                     let value: i64 = text.parse().map_err(|e| QueryError::Lex {
                         at: start,
                         message: format!("bad integer {text:?}: {e}"),
                     })?;
-                    tokens.push(Token { at: start, kind: TokenKind::Int(value) });
+                    tokens.push(Token {
+                        at: start,
+                        kind: TokenKind::Int(value),
+                    });
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &input[start..i];
@@ -204,7 +254,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Robustness properties: the parser/executor must never panic, and
 //! well-formed queries must round-trip through their textual form.
 
-use proptest::prelude::*;
 use tilestore_engine::{Array, CellType, Database, MddType};
 use tilestore_geometry::{DefDomain, Domain};
 use tilestore_rasql::{execute, parse};
+use tilestore_testkit::prop::{check, Source};
+use tilestore_testkit::prop_assert_eq;
 use tilestore_tiling::{AlignedTiling, Scheme};
 
 fn tiny_db() -> Database<tilestore_storage::MemPageStore> {
@@ -21,56 +22,97 @@ fn tiny_db() -> Database<tilestore_storage::MemPageStore> {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Arbitrary printable-ish characters, biased toward ASCII with a sprinkle
+/// of multi-byte code points (the old `\PC{0,60}` regex strategy).
+fn char_soup(s: &mut Source) -> String {
+    let n = s.usize_in(0, 60);
+    (0..n)
+        .map(|_| match s.weighted(&[8, 2, 1]) {
+            0 => char::from(s.u8() & 0x7F).to_string(),
+            1 => {
+                // Latin-1 supplement and friends.
+                char::from_u32(0xA0 + u32::from(s.u8()))
+                    .unwrap_or('¤')
+                    .to_string()
+            }
+            _ => {
+                // Arbitrary scalar values, skipping surrogates.
+                let v = s.u64_in(0, 0x10_FFFF) as u32;
+                char::from_u32(v).unwrap_or('\u{FFFD}').to_string()
+            }
+        })
+        .collect()
+}
 
-    /// Arbitrary input must never panic the parser.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,60}") {
-        let _ = parse(&input);
-    }
+/// Arbitrary input must never panic the parser.
+#[test]
+fn parser_never_panics() {
+    check("parser_never_panics", 256, char_soup, |input| {
+        let _ = parse(input);
+        Ok(())
+    });
+}
 
-    /// Arbitrary token soup built from the language's alphabet must never
-    /// panic the parser or the executor.
-    #[test]
-    fn token_soup_never_panics(
-        pieces in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT".to_string()),
-                Just("FROM".to_string()),
-                Just("m".to_string()),
-                Just("sum_cells".to_string()),
-                Just("[".to_string()),
-                Just("]".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just(":".to_string()),
-                Just(",".to_string()),
-                Just("*".to_string()),
-                (-20i64..20).prop_map(|v| v.to_string()),
-            ],
-            0..12,
-        ),
-    ) {
-        let query = pieces.join(" ");
-        let db = tiny_db();
-        let _ = execute(&db, &query);
-    }
+/// Arbitrary token soup built from the language's alphabet must never
+/// panic the parser or the executor.
+#[test]
+fn token_soup_never_panics() {
+    check(
+        "token_soup_never_panics",
+        256,
+        |s| {
+            s.vec_of(0, 11, |s| match s.usize_in(0, 11) {
+                0 => "SELECT".to_string(),
+                1 => "FROM".to_string(),
+                2 => "m".to_string(),
+                3 => "sum_cells".to_string(),
+                4 => "[".to_string(),
+                5 => "]".to_string(),
+                6 => "(".to_string(),
+                7 => ")".to_string(),
+                8 => ":".to_string(),
+                9 => ",".to_string(),
+                10 => "*".to_string(),
+                _ => s.i64_in(-20, 19).to_string(),
+            })
+        },
+        |pieces| {
+            let query = pieces.join(" ");
+            let db = tiny_db();
+            let _ = execute(&db, &query);
+            Ok(())
+        },
+    );
+}
 
-    /// Well-formed trims execute and produce the requested domain.
-    #[test]
-    fn generated_trims_execute(
-        a_lo in 0i64..8, a_ext in 0i64..8,
-        b_lo in 0i64..8, b_ext in 0i64..8,
-    ) {
-        let db = tiny_db();
-        let q = format!(
-            "SELECT m[{}:{},{}:{}] FROM m",
-            a_lo, a_lo + a_ext, b_lo, b_lo + b_ext
-        );
-        let (value, _) = execute(&db, &q).unwrap();
-        let arr = value.as_array().unwrap();
-        prop_assert_eq!(arr.domain().lo(0), a_lo);
-        prop_assert_eq!(arr.domain().hi(1), b_lo + b_ext);
-    }
+/// Well-formed trims execute and produce the requested domain.
+#[test]
+fn generated_trims_execute() {
+    check(
+        "generated_trims_execute",
+        128,
+        |s| {
+            (
+                s.i64_in(0, 7),
+                s.i64_in(0, 7),
+                s.i64_in(0, 7),
+                s.i64_in(0, 7),
+            )
+        },
+        |(a_lo, a_ext, b_lo, b_ext)| {
+            let db = tiny_db();
+            let q = format!(
+                "SELECT m[{}:{},{}:{}] FROM m",
+                a_lo,
+                a_lo + a_ext,
+                b_lo,
+                b_lo + b_ext
+            );
+            let (value, _) = execute(&db, &q).unwrap();
+            let arr = value.as_array().unwrap();
+            prop_assert_eq!(arr.domain().lo(0), *a_lo);
+            prop_assert_eq!(arr.domain().hi(1), b_lo + b_ext);
+            Ok(())
+        },
+    );
 }

@@ -5,21 +5,32 @@
 //! §2 recommends tile sizes approximating multiples of the page size — and
 //! reading a BLOB touches all of its pages.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PageStore};
 use crate::stats::IoStats;
 
 /// Identifier of a BLOB within a [`BlobStore`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlobId(pub u64);
 
+impl ToJson for BlobId {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0)
+    }
+}
+
+impl FromJson for BlobId {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(BlobId(u64::from_json(v)?))
+    }
+}
+
 /// Descriptor of one stored BLOB.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct BlobEntry {
     pages: Vec<PageId>,
     len: u64,
@@ -27,11 +38,60 @@ struct BlobEntry {
 
 /// Serializable directory of a [`BlobStore`] — persisted by the engine so a
 /// database can be reopened.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BlobDirectory {
     entries: Vec<(BlobId, BlobEntry)>,
     free_pages: Vec<PageId>,
     next_id: u64,
+}
+
+impl ToJson for BlobDirectory {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "entries",
+                Json::Array(
+                    self.entries
+                        .iter()
+                        .map(|(id, e)| {
+                            Json::obj(vec![
+                                ("id", id.to_json()),
+                                ("pages", e.pages.to_json()),
+                                ("len", e.len.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("free_pages", self.free_pages.to_json()),
+            ("next_id", self.next_id.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BlobDirectory {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let entries = v
+            .field("entries")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("expected array of blob entries"))?
+            .iter()
+            .map(|e| {
+                Ok((
+                    BlobId::from_json(e.field("id")?)?,
+                    BlobEntry {
+                        pages: Vec::from_json(e.field("pages")?)?,
+                        len: u64::from_json(e.field("len")?)?,
+                    },
+                ))
+            })
+            .collect::<std::result::Result<Vec<_>, JsonError>>()?;
+        Ok(BlobDirectory {
+            entries,
+            free_pages: Vec::from_json(v.field("free_pages")?)?,
+            next_id: u64::from_json(v.field("next_id")?)?,
+        })
+    }
 }
 
 /// A BLOB store: variable-length byte strings mapped onto whole pages of an
@@ -81,7 +141,7 @@ impl<S: PageStore> BlobStore<S> {
     /// Exports the directory for persistence.
     #[must_use]
     pub fn directory(&self) -> BlobDirectory {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         BlobDirectory {
             entries: inner
                 .entries
@@ -108,7 +168,7 @@ impl<S: PageStore> BlobStore<S> {
     /// Number of live BLOBs.
     #[must_use]
     pub fn blob_count(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.inner.lock().unwrap().entries.len()
     }
 
     /// Number of pages a BLOB of `len` bytes occupies.
@@ -122,7 +182,7 @@ impl<S: PageStore> BlobStore<S> {
     /// # Errors
     /// [`StorageError::UnknownBlob`].
     pub fn blob_len(&self, id: BlobId) -> Result<u64> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         inner
             .entries
             .get(&id.0)
@@ -140,7 +200,7 @@ impl<S: PageStore> BlobStore<S> {
         let page_size = self.store.page_size();
         let needed = self.pages_for(data.len() as u64);
         let pages = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap();
             let mut pages = Vec::with_capacity(needed as usize);
             while (pages.len() as u64) < needed {
                 match inner.free_pages.pop() {
@@ -172,7 +232,7 @@ impl<S: PageStore> BlobStore<S> {
         self.stats.add_pages_written(pages.len() as u64);
         self.stats.add_blob_written(data.len() as u64);
         let id = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap();
             let id = inner.next_id;
             inner.next_id += 1;
             inner.entries.insert(
@@ -193,7 +253,7 @@ impl<S: PageStore> BlobStore<S> {
     /// [`StorageError::UnknownBlob`] or backend read errors.
     pub fn read(&self, id: BlobId) -> Result<Vec<u8>> {
         let entry = {
-            let inner = self.inner.lock();
+            let inner = self.inner.lock().unwrap();
             inner
                 .entries
                 .get(&id.0)
@@ -222,7 +282,7 @@ impl<S: PageStore> BlobStore<S> {
         let page_size = self.store.page_size();
         let needed = self.pages_for(data.len() as u64);
         let mut pages = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap();
             let entry = inner
                 .entries
                 .remove(&id.0)
@@ -237,7 +297,7 @@ impl<S: PageStore> BlobStore<S> {
         };
         if (pages.len() as u64) < needed {
             let extra = {
-                let mut inner = self.inner.lock();
+                let mut inner = self.inner.lock().unwrap();
                 let mut extra = Vec::new();
                 while (pages.len() + extra.len()) < needed as usize {
                     match inner.free_pages.pop() {
@@ -267,7 +327,7 @@ impl<S: PageStore> BlobStore<S> {
         }
         self.stats.add_pages_written(pages.len() as u64);
         self.stats.add_blob_written(data.len() as u64);
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.entries.insert(
             id.0,
             BlobEntry {
@@ -283,7 +343,7 @@ impl<S: PageStore> BlobStore<S> {
     /// # Errors
     /// [`StorageError::UnknownBlob`].
     pub fn delete(&self, id: BlobId) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner
             .entries
             .remove(&id.0)
@@ -341,10 +401,7 @@ mod tests {
         let b = bs.create(&vec![2u8; 2048]).unwrap(); // reuses freed pages
         assert_eq!(bs.page_store().allocated(), before);
         assert_eq!(bs.read(b).unwrap(), vec![2u8; 2048]);
-        assert!(matches!(
-            bs.read(a),
-            Err(StorageError::UnknownBlob { .. })
-        ));
+        assert!(matches!(bs.read(a), Err(StorageError::UnknownBlob { .. })));
         assert!(bs.delete(a).is_err());
     }
 

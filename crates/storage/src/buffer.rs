@@ -6,8 +6,7 @@
 //! is itself a [`PageStore`], so the BLOB layer can run with or without it.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::Result;
 use crate::page::{PageId, PageStore};
@@ -60,12 +59,12 @@ impl<S: PageStore> BufferPool<S> {
     /// Number of frames currently cached.
     #[must_use]
     pub fn cached_frames(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.inner.lock().unwrap().frames.len()
     }
 
     /// Drops every cached frame (cold-start measurements).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.frames.clear();
     }
 
@@ -97,7 +96,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap();
             inner.tick += 1;
             let tick = inner.tick;
             if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
@@ -110,7 +109,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         // Miss: fetch outside the lock-held fast path, then install.
         self.stats.add_cache_miss();
         self.store.read_page(page, buf)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         Self::evict_if_full(&mut inner, self.capacity);
         inner.tick += 1;
         let tick = inner.tick;
@@ -123,7 +122,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         // Write-through: the store is always current.
         self.store.write_page(page, buf)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some((frame, last)) = inner.frames.get_mut(&page.0) {

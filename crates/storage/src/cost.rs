@@ -7,12 +7,12 @@
 //! optimize. [`CostModel`] converts an [`IoSnapshot`] plus index/CPU
 //! counters into model seconds so speedup tables reproduce exactly.
 
-use serde::{Deserialize, Serialize};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::stats::IoSnapshot;
 
 /// Linear disk/CPU cost model. All values are seconds (per unit).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of one seek (charged once per BLOB read — a tile's pages are
     /// contiguous).
@@ -104,6 +104,30 @@ impl Default for CostModel {
     }
 }
 
+impl ToJson for CostModel {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seek_s", self.seek_s.to_json()),
+            ("page_transfer_s", self.page_transfer_s.to_json()),
+            ("index_node_s", self.index_node_s.to_json()),
+            ("cpu_cell_s", self.cpu_cell_s.to_json()),
+            ("cpu_waste_cell_s", self.cpu_waste_cell_s.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CostModel {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CostModel {
+            seek_s: f64::from_json(v.field("seek_s")?)?,
+            page_transfer_s: f64::from_json(v.field("page_transfer_s")?)?,
+            index_node_s: f64::from_json(v.field("index_node_s")?)?,
+            cpu_cell_s: f64::from_json(v.field("cpu_cell_s")?)?,
+            cpu_waste_cell_s: f64::from_json(v.field("cpu_waste_cell_s")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,10 +167,12 @@ mod tests {
         let m = CostModel::io_only();
         assert_eq!(m.t_cpu(1_000_000, 1_000_000), 0.0);
         assert_eq!(m.t_ix(1_000), 0.0);
-        assert!(m.t_o(&IoSnapshot {
-            blobs_read: 1,
-            pages_read: 1,
-            ..IoSnapshot::default()
-        }) > 0.0);
+        assert!(
+            m.t_o(&IoSnapshot {
+                blobs_read: 1,
+                pages_read: 1,
+                ..IoSnapshot::default()
+            }) > 0.0
+        );
     }
 }

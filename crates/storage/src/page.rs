@@ -9,8 +9,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Result, StorageError};
 
@@ -21,10 +22,20 @@ pub const DEFAULT_PAGE_SIZE: usize = 8192;
 pub const MIN_PAGE_SIZE: usize = 512;
 
 /// Identifier of a page within a page store.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId(pub u64);
+
+impl ToJson for PageId {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0)
+    }
+}
+
+impl FromJson for PageId {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(PageId(u64::from_json(v)?))
+    }
+}
 
 /// A store of fixed-size pages.
 ///
@@ -90,11 +101,11 @@ impl PageStore for MemPageStore {
     }
 
     fn allocated(&self) -> u64 {
-        self.pages.lock().len() as u64
+        self.pages.lock().unwrap().len() as u64
     }
 
     fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.lock().unwrap();
         let first = pages.len() as u64;
         for _ in 0..count {
             pages.push(vec![0u8; self.page_size].into_boxed_slice());
@@ -104,18 +115,20 @@ impl PageStore for MemPageStore {
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let pages = self.pages.lock();
-        let data = pages.get(page.0 as usize).ok_or(StorageError::PageOutOfRange {
-            page: page.0,
-            allocated: pages.len() as u64,
-        })?;
+        let pages = self.pages.lock().unwrap();
+        let data = pages
+            .get(page.0 as usize)
+            .ok_or(StorageError::PageOutOfRange {
+                page: page.0,
+                allocated: pages.len() as u64,
+            })?;
         buf.copy_from_slice(data);
         Ok(())
     }
 
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.lock().unwrap();
         let allocated = pages.len() as u64;
         let data = pages
             .get_mut(page.0 as usize)
@@ -186,11 +199,11 @@ impl PageStore for FilePageStore {
     }
 
     fn allocated(&self) -> u64 {
-        self.inner.lock().allocated
+        self.inner.lock().unwrap().allocated
     }
 
     fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let first = inner.allocated;
         inner.allocated += count;
         let new_len = inner.allocated * self.page_size as u64;
@@ -200,7 +213,7 @@ impl PageStore for FilePageStore {
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if page.0 >= inner.allocated {
             return Err(StorageError::PageOutOfRange {
                 page: page.0,
@@ -216,7 +229,7 @@ impl PageStore for FilePageStore {
 
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if page.0 >= inner.allocated {
             return Err(StorageError::PageOutOfRange {
                 page: page.0,
@@ -269,14 +282,14 @@ mod tests {
 
     #[test]
     fn file_store_round_trip() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = tilestore_testkit::tempdir().unwrap();
         let store = FilePageStore::create(dir.path().join("pages.db"), 1024).unwrap();
         exercise(&store);
     }
 
     #[test]
     fn file_store_reopen_preserves_pages() {
-        let dir = tempfile::tempdir().unwrap();
+        let dir = tilestore_testkit::tempdir().unwrap();
         let path = dir.path().join("pages.db");
         let payload = vec![7u8; 1024];
         {

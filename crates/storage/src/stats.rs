@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 /// Thread-safe I/O counters. Cloning shares the underlying counters.
 #[derive(Debug, Clone, Default)]
@@ -24,7 +24,7 @@ struct Counters {
 }
 
 /// An immutable snapshot of [`IoStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
     /// Pages fetched from the page store.
     pub pages_read: u64,
@@ -59,6 +59,36 @@ impl IoSnapshot {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
         }
+    }
+}
+
+impl ToJson for IoSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pages_read", self.pages_read.to_json()),
+            ("pages_written", self.pages_written.to_json()),
+            ("blobs_read", self.blobs_read.to_json()),
+            ("blobs_written", self.blobs_written.to_json()),
+            ("bytes_read", self.bytes_read.to_json()),
+            ("bytes_written", self.bytes_written.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IoSnapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(IoSnapshot {
+            pages_read: u64::from_json(v.field("pages_read")?)?,
+            pages_written: u64::from_json(v.field("pages_written")?)?,
+            blobs_read: u64::from_json(v.field("blobs_read")?)?,
+            blobs_written: u64::from_json(v.field("blobs_written")?)?,
+            bytes_read: u64::from_json(v.field("bytes_read")?)?,
+            bytes_written: u64::from_json(v.field("bytes_written")?)?,
+            cache_hits: u64::from_json(v.field("cache_hits")?)?,
+            cache_misses: u64::from_json(v.field("cache_misses")?)?,
+        })
     }
 }
 

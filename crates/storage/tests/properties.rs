@@ -4,8 +4,9 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use tilestore_storage::{BlobStore, BufferPool, MemPageStore, PageStore};
+use tilestore_testkit::prop::{check, Source};
+use tilestore_testkit::prop_assert_eq;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,25 +19,36 @@ enum Op {
     Read(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let payload = proptest::collection::vec(any::<u8>(), 0..3000);
-    prop_oneof![
-        3 => payload.clone().prop_map(Op::Create),
-        2 => (any::<usize>(), payload).prop_map(|(i, p)| Op::Update(i, p)),
-        1 => any::<usize>().prop_map(Op::Delete),
-        3 => any::<usize>().prop_map(Op::Read),
-    ]
+/// A payload of 0..3000 arbitrary bytes.
+fn payload(s: &mut Source) -> Vec<u8> {
+    s.vec_of(0, 2999, Source::u8)
 }
 
-fn run_model(store: &BlobStore<impl PageStore>, ops: Vec<Op>) {
+fn op(s: &mut Source) -> Op {
+    match s.weighted(&[3, 2, 1, 3]) {
+        0 => Op::Create(payload(s)),
+        1 => {
+            let i = s.usize_in(0, usize::MAX - 1);
+            Op::Update(i, payload(s))
+        }
+        2 => Op::Delete(s.usize_in(0, usize::MAX - 1)),
+        _ => Op::Read(s.usize_in(0, usize::MAX - 1)),
+    }
+}
+
+fn ops(s: &mut Source, max: usize) -> Vec<Op> {
+    s.vec_of(0, max, op)
+}
+
+fn run_model(store: &BlobStore<impl PageStore>, ops: &[Op]) {
     let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
     let mut live: Vec<tilestore_storage::BlobId> = Vec::new();
     for op in ops {
         match op {
             Op::Create(data) => {
-                let id = store.create(&data).unwrap();
+                let id = store.create(data).unwrap();
                 assert!(!model.contains_key(&id.0), "id reuse of live blob");
-                model.insert(id.0, data);
+                model.insert(id.0, data.clone());
                 live.push(id);
             }
             Op::Update(i, data) => {
@@ -44,8 +56,8 @@ fn run_model(store: &BlobStore<impl PageStore>, ops: Vec<Op>) {
                     continue;
                 }
                 let id = live[i % live.len()];
-                store.update(id, &data).unwrap();
-                model.insert(id.0, data);
+                store.update(id, data).unwrap();
+                model.insert(id.0, data.clone());
             }
             Op::Delete(i) => {
                 if live.is_empty() {
@@ -73,85 +85,138 @@ fn run_model(store: &BlobStore<impl PageStore>, ops: Vec<Op>) {
     assert_eq!(store.blob_count(), model.len());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn blob_store_matches_hashmap_model() {
+    check(
+        "blob_store_matches_hashmap_model",
+        64,
+        |s| (ops(s, 39), s.usize_in(1, 3)),
+        |(ops, page_size_kb)| {
+            let store = BlobStore::new(MemPageStore::new(page_size_kb * 1024).unwrap());
+            run_model(&store, ops);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn blob_store_matches_hashmap_model(
-        ops in proptest::collection::vec(op_strategy(), 0..40),
-        page_size_kb in 1usize..4,
-    ) {
-        let store = BlobStore::new(MemPageStore::new(page_size_kb * 1024).unwrap());
-        run_model(&store, ops);
-    }
+#[test]
+fn buffer_pool_is_transparent() {
+    check(
+        "buffer_pool_is_transparent",
+        64,
+        |s| (ops(s, 39), s.usize_in(1, 11)),
+        |(ops, capacity)| {
+            // The same model must hold when an LRU pool sits under the BLOBs —
+            // caching must never change observable contents.
+            let pool = BufferPool::new(MemPageStore::new(1024).unwrap(), *capacity).unwrap();
+            let store = BlobStore::new(pool);
+            run_model(&store, ops);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn buffer_pool_is_transparent(
-        ops in proptest::collection::vec(op_strategy(), 0..40),
-        capacity in 1usize..12,
-    ) {
-        // The same model must hold when an LRU pool sits under the BLOBs —
-        // caching must never change observable contents.
-        let pool = BufferPool::new(MemPageStore::new(1024).unwrap(), capacity).unwrap();
-        let store = BlobStore::new(pool);
-        run_model(&store, ops);
-    }
-
-    #[test]
-    fn directory_round_trip_under_churn(
-        ops in proptest::collection::vec(op_strategy(), 0..30),
-    ) {
-        // Export/import of the directory preserves every live blob.
-        let store = BlobStore::new(MemPageStore::new(1024).unwrap());
-        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
-        let mut live: Vec<tilestore_storage::BlobId> = Vec::new();
-        for op in ops {
-            match op {
-                Op::Create(data) => {
-                    let id = store.create(&data).unwrap();
-                    model.insert(id.0, data);
-                    live.push(id);
+#[test]
+fn directory_round_trip_under_churn() {
+    check(
+        "directory_round_trip_under_churn",
+        64,
+        |s| ops(s, 29),
+        |ops| {
+            // Export/import of the directory preserves every live blob.
+            let store = BlobStore::new(MemPageStore::new(1024).unwrap());
+            let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+            let mut live: Vec<tilestore_storage::BlobId> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Create(data) => {
+                        let id = store.create(data).unwrap();
+                        model.insert(id.0, data.clone());
+                        live.push(id);
+                    }
+                    Op::Update(i, data) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let id = live[i % live.len()];
+                        store.update(id, data).unwrap();
+                        model.insert(id.0, data.clone());
+                    }
+                    Op::Delete(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let id = live.swap_remove(i % live.len());
+                        store.delete(id).unwrap();
+                        model.remove(&id.0);
+                    }
+                    Op::Read(_) => {}
                 }
-                Op::Update(i, data) => {
-                    if live.is_empty() { continue; }
-                    let id = live[i % live.len()];
-                    store.update(id, &data).unwrap();
-                    model.insert(id.0, data);
-                }
-                Op::Delete(i) => {
-                    if live.is_empty() { continue; }
-                    let id = live.swap_remove(i % live.len());
-                    store.delete(id).unwrap();
-                    model.remove(&id.0);
-                }
-                Op::Read(_) => {}
             }
-        }
-        let dir = store.directory();
-        let reopened = BlobStore::with_directory(
-            // In-memory stores do not persist pages, so reuse the original's
-            // page store by moving it out via the directory + same store.
-            // (FilePageStore round-trips are covered in the engine tests.)
-            {
-                // Rebuild a store with identical page contents.
-                let src = store;
-                let page_size = src.page_store().page_size();
-                let pages = src.page_store().allocated();
-                let dst = MemPageStore::new(page_size).unwrap();
-                dst.allocate(pages).unwrap();
-                let mut buf = vec![0u8; page_size];
-                for p in 0..pages {
-                    src.page_store()
-                        .read_page(tilestore_storage::PageId(p), &mut buf)
-                        .unwrap();
-                    dst.write_page(tilestore_storage::PageId(p), &buf).unwrap();
+            let dir = store.directory();
+            let reopened = BlobStore::with_directory(
+                // In-memory stores do not persist pages, so rebuild a store
+                // with identical page contents to simulate a reopen.
+                // (FilePageStore round-trips are covered in the engine tests.)
+                {
+                    let src = store;
+                    let page_size = src.page_store().page_size();
+                    let pages = src.page_store().allocated();
+                    let dst = MemPageStore::new(page_size).unwrap();
+                    dst.allocate(pages).unwrap();
+                    let mut buf = vec![0u8; page_size];
+                    for p in 0..pages {
+                        src.page_store()
+                            .read_page(tilestore_storage::PageId(p), &mut buf)
+                            .unwrap();
+                        dst.write_page(tilestore_storage::PageId(p), &buf).unwrap();
+                    }
+                    dst
+                },
+                dir,
+            );
+            for id in &live {
+                prop_assert_eq!(reopened.read(*id).unwrap(), model[&id.0].clone());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The directory itself survives a JSON round trip.
+#[test]
+fn directory_json_round_trip() {
+    check(
+        "directory_json_round_trip",
+        64,
+        |s| ops(s, 19),
+        |ops| {
+            let store = BlobStore::new(MemPageStore::new(1024).unwrap());
+            let mut live: Vec<tilestore_storage::BlobId> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Create(data) => live.push(store.create(data).unwrap()),
+                    Op::Update(i, data) => {
+                        if !live.is_empty() {
+                            let id = live[i % live.len()];
+                            store.update(id, data).unwrap();
+                        }
+                    }
+                    Op::Delete(i) => {
+                        if !live.is_empty() {
+                            let id = live.swap_remove(i % live.len());
+                            store.delete(id).unwrap();
+                        }
+                    }
+                    Op::Read(_) => {}
                 }
-                dst
-            },
-            dir,
-        );
-        for id in &live {
-            prop_assert_eq!(reopened.read(*id).unwrap(), model[&id.0].clone());
-        }
-    }
+            }
+            let dir = store.directory();
+            let text = tilestore_testkit::json::to_string(&dir);
+            let back: tilestore_storage::BlobDirectory =
+                tilestore_testkit::json::from_str(&text).unwrap();
+            prop_assert_eq!(&back, &dir);
+            Ok(())
+        },
+    );
 }

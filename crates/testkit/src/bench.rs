@@ -1,0 +1,208 @@
+//! Wall-clock micro-benchmark runner for `harness = false` bench targets.
+//!
+//! A [`Group`] times closures over a warmup phase plus N measured
+//! iterations and prints a median/p95 report:
+//!
+//! ```text
+//! tiling/aligned_regular_32K      median 412.3µs  p95 433.9µs  min 405.1µs  max 512.0µs  (n=30)
+//! ```
+//!
+//! Environment knobs: `TILESTORE_BENCH_SAMPLES` overrides the per-bench
+//! sample count (useful for quick smoke runs: `TILESTORE_BENCH_SAMPLES=3`).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of measured iterations per benchmark.
+pub const DEFAULT_SAMPLE_SIZE: usize = 30;
+
+/// Cap on total measurement time per benchmark.
+const MAX_MEASURE_TIME: Duration = Duration::from_secs(3);
+
+/// Cap on warmup time per benchmark.
+const MAX_WARMUP_TIME: Duration = Duration::from_millis(300);
+
+/// Summary statistics of one benchmark's timed iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Number of measured iterations.
+    pub n: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// 95th-percentile iteration.
+    pub p95: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl Report {
+    /// Computes the summary of a non-empty sample set.
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        samples.sort_unstable();
+        let n = samples.len();
+        let pick = |q: f64| {
+            let idx = ((n as f64 - 1.0) * q).floor() as usize;
+            samples[idx.min(n - 1)]
+        };
+        Report {
+            n,
+            min: samples[0],
+            median: pick(0.5),
+            p95: pick(0.95),
+            max: samples[n - 1],
+        }
+    }
+}
+
+/// Formats a duration with an adaptive unit (ns/µs/ms/s).
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput settings.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group {
+    /// A group with the default sample size.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let sample_size = std::env::var("TILESTORE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_SAMPLE_SIZE);
+        Group {
+            name: name.to_string(),
+            sample_size,
+            throughput_bytes: None,
+        }
+    }
+
+    /// Overrides the number of measured iterations (the environment
+    /// variable still wins, so quick smoke runs stay quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("TILESTORE_BENCH_SAMPLES").is_err() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Reports throughput (bytes processed per iteration) alongside times.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Times `f`: warmup, then up to `sample_size` measured iterations
+    /// (time-capped), printing the report line. Returns the [`Report`].
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> Report {
+        // Warmup: at least one run, until the warmup budget is spent.
+        let warmup_start = Instant::now();
+        let mut warmups = 0u32;
+        while warmups == 0 || (warmup_start.elapsed() < MAX_WARMUP_TIME && warmups < 10) {
+            black_box(f());
+            warmups += 1;
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+            if measure_start.elapsed() > MAX_MEASURE_TIME && samples.len() >= 5 {
+                break;
+            }
+        }
+        let report = Report::from_samples(samples);
+        let mut line = format!(
+            "{:<42} median {:>9}  p95 {:>9}  min {:>9}  max {:>9}  (n={})",
+            format!("{}/{id}", self.name),
+            fmt_duration(report.median),
+            fmt_duration(report.p95),
+            fmt_duration(report.min),
+            fmt_duration(report.max),
+            report.n
+        );
+        if let Some(bytes) = self.throughput_bytes {
+            let secs = report.median.as_secs_f64();
+            if secs > 0.0 {
+                let mibps = bytes as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("  thrpt {mibps:.1} MiB/s"));
+            }
+        }
+        println!("{line}");
+        report
+    }
+
+    /// Equivalent of criterion's `bench_with_input`: forwards `input` to the
+    /// closure. Exists so ported benches keep their shape.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: &str,
+        input: &I,
+        mut f: impl FnMut(&I) -> R,
+    ) -> Report {
+        self.bench(id, || f(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_statistics_are_ordered() {
+        let samples: Vec<Duration> = (1..=100).map(|i| Duration::from_micros(i)).collect();
+        let r = Report::from_samples(samples);
+        assert_eq!(r.n, 100);
+        assert_eq!(r.min, Duration::from_micros(1));
+        assert_eq!(r.max, Duration::from_micros(100));
+        assert!(r.min <= r.median && r.median <= r.p95 && r.p95 <= r.max);
+        assert_eq!(r.median, Duration::from_micros(50));
+        assert_eq!(r.p95, Duration::from_micros(95));
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = Group::new("selftest");
+        g.sample_size(5);
+        let mut runs = 0u64;
+        let r = g.bench("noop", || {
+            runs += 1;
+            runs
+        });
+        assert!(r.n >= 1);
+        assert!(runs as usize >= r.n, "warmup must run too");
+        assert!(r.min <= r.p95);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+    }
+}

@@ -1,0 +1,29 @@
+//! In-tree test toolkit keeping the workspace free of external crates.
+//!
+//! The workspace builds hermetically — no registry dependencies — so every
+//! facility the tests, benches and persistence layer need is provided here:
+//!
+//! * [`rng`] — a deterministic seedable PRNG (SplitMix64-seeded
+//!   xoshiro256++) with `gen_range`/`gen_bool`/`shuffle`/`fill_bytes`
+//!   helpers.
+//! * [`prop`] — a minimal property-testing harness with configurable case
+//!   counts, deterministic per-property seeds, failing-seed reporting and
+//!   greedy input shrinking over the recorded random-choice tape.
+//! * [`bench`] — a wall-clock micro-benchmark runner (warmup + N timed
+//!   iterations, median/p95 report) for `harness = false` bench targets.
+//! * [`json`] — a small JSON value model, parser and printer plus the
+//!   [`ToJson`]/[`FromJson`] traits used by catalog persistence and the
+//!   benchmark reports.
+//! * [`tempdir`] — scoped temporary directories removed on drop.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod tempdir;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::Rng;
+pub use tempdir::{tempdir, TempDir};

@@ -1,0 +1,541 @@
+//! Minimal property-testing harness with deterministic seeds and greedy
+//! input shrinking.
+//!
+//! A property is a pair of closures: a *generator* drawing an input from a
+//! [`Source`] of random choices, and a *predicate* returning `Ok(())` or a
+//! failure message. [`check`] runs the property for a configurable number of
+//! cases from a seed derived deterministically from the property name (so
+//! every run of the suite replays the same inputs), and on failure shrinks
+//! the input before reporting.
+//!
+//! Shrinking works on the recorded *choice tape* rather than on the value:
+//! every draw the generator makes is recorded as a `u64`; a failing tape is
+//! greedily simplified (blocks deleted, individual choices binary-searched
+//! toward zero) and replayed through the generator, keeping any
+//! simplification that still fails. Replaying an exhausted tape yields
+//! zeros, which the drawing helpers map to the smallest value in range — so
+//! shrinking drives inputs toward structurally minimal cases without
+//! per-type shrinkers.
+//!
+//! ```
+//! use tilestore_testkit::prop::{check, Source};
+//! use tilestore_testkit::prop_assert;
+//!
+//! check(
+//!     "sum_is_commutative",
+//!     64,
+//!     |s: &mut Source| (s.i64_in(-100, 100), s.i64_in(-100, 100)),
+//!     |&(a, b)| {
+//!         prop_assert!(a + b == b + a, "{a} + {b} not commutative");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! Set `TILESTORE_PROP_SEED` (decimal or `0x…` hex) to replay a reported
+//! failing seed; the harness then runs that seed as the first case.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::rng::{splitmix64, Rng};
+
+/// Maximum number of candidate tapes tried while shrinking. Binary-searching
+/// one full-width `u64` choice costs ~64 evaluations, so the budget must
+/// comfortably cover a few sweeps over a tape of dozens of choices.
+const MAX_SHRINK_ITERS: usize = 50_000;
+
+/// A source of random choices that records every draw.
+///
+/// In *live* mode draws come from a seeded [`Rng`]; in *replay* mode they
+/// come from a recorded tape (zero once the tape is exhausted), which is how
+/// shrinking re-runs a generator on a simplified history.
+pub struct Source {
+    rng: Option<Rng>,
+    tape: Vec<u64>,
+    pos: usize,
+    recorded: Vec<u64>,
+}
+
+impl Source {
+    /// A live source drawing fresh values from `seed`.
+    #[must_use]
+    pub fn live(seed: u64) -> Self {
+        Source {
+            rng: Some(Rng::seed_from_u64(seed)),
+            tape: Vec::new(),
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// A replay source drawing from `tape`, then zeros.
+    #[must_use]
+    pub fn replay(tape: Vec<u64>) -> Self {
+        Source {
+            rng: None,
+            tape,
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The draws made so far.
+    #[must_use]
+    pub fn recorded(&self) -> &[u64] {
+        &self.recorded
+    }
+
+    /// The next raw 64-bit choice.
+    pub fn next_u64(&mut self) -> u64 {
+        let v = if self.pos < self.tape.len() {
+            self.tape[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        self.recorded.push(v);
+        v
+    }
+
+    /// A uniform `u64` in `[lo, hi]`. A zero draw maps to `lo`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// A uniform `i64` in `[lo, hi]`. A zero draw maps to `lo`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi.wrapping_sub(lo)) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add((self.next_u64() % (span + 1)) as i64)
+    }
+
+    /// A uniform `usize` in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.u64_in(0, u8::MAX as u64) as u8
+    }
+
+    /// A uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.u64_in(0, u16::MAX as u64) as u16
+    }
+
+    /// A boolean. A zero draw maps to `false`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() % 2 == 1
+    }
+
+    /// A uniform `f64` in `[0, 1)`. A zero draw maps to `0.0`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Picks an index with the given relative weights (the `prop_oneof!`
+    /// replacement). A zero draw maps to index 0.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "all weights zero");
+        let mut x = self.next_u64() % total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w as u64 {
+                return i;
+            }
+            x -= w as u64;
+        }
+        weights.len() - 1
+    }
+
+    /// A vector of `n ∈ [lo, hi]` elements drawn by `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut f: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Returns `Err(message)` from the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Returns `Err(message)` from the enclosing property when the operands
+/// differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($arg)+),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Runs `predicate` against `cases` inputs drawn by `generator`, shrinking
+/// and reporting on the first failure.
+///
+/// The base seed is derived from `name` (stable across runs and platforms)
+/// unless `TILESTORE_PROP_SEED` is set, in which case that seed runs first.
+///
+/// # Panics
+/// Panics with a report naming the property, the failing seed and the
+/// shrunk input when the property fails.
+pub fn check<T, G, P>(name: &str, cases: u32, generator: G, predicate: P)
+where
+    T: Debug,
+    G: Fn(&mut Source) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let base_seed = fnv1a(name.as_bytes()) ^ 0x7469_6C65_7374_6F72; // "tilestor"
+    let env_seed = std::env::var("TILESTORE_PROP_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s));
+    let failure = {
+        let _quiet = Silence::enter();
+        let mut failure = None;
+        for case in 0..cases {
+            let case_seed = match (case, env_seed) {
+                (0, Some(s)) => s,
+                _ => {
+                    let mut sm = base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    splitmix64(&mut sm)
+                }
+            };
+            let mut source = Source::live(case_seed);
+            let input = generator(&mut source);
+            if let Err(msg) = run_predicate(&predicate, &input) {
+                let tape = source.recorded().to_vec();
+                let (shrunk_input, shrunk_msg) = shrink(tape, &generator, &predicate);
+                failure = Some(format!(
+                    "property '{name}' failed (case {case}, seed {case_seed:#018x})\n\
+                     original error: {msg}\n\
+                     shrunk input: {shrunk_input:#?}\n\
+                     shrunk error: {shrunk_msg}\n\
+                     rerun just this input with TILESTORE_PROP_SEED={case_seed:#x}"
+                ));
+                break;
+            }
+        }
+        failure
+    };
+    if let Some(report) = failure {
+        panic!("{report}");
+    }
+}
+
+/// Runs the predicate, converting panics into `Err` so shrinking can
+/// continue past `unwrap`-style failures.
+fn run_predicate<T>(
+    predicate: &impl Fn(&T) -> Result<(), String>,
+    input: &T,
+) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| predicate(input))) {
+        Ok(r) => r,
+        Err(payload) => Err(format!("panic: {}", panic_message(&*payload))),
+    }
+}
+
+/// Greedily simplifies a failing choice tape. Returns the shrunk input and
+/// its failure message.
+fn shrink<T, G, P>(mut tape: Vec<u64>, generator: &G, predicate: &P) -> (T, String)
+where
+    T: Debug,
+    G: Fn(&mut Source) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    // Re-runs the generator + predicate on a candidate tape. `Some` when the
+    // property still fails; the returned tape is the canonical recording.
+    let eval = |candidate: &[u64]| -> Option<(Vec<u64>, T, String)> {
+        let mut source = Source::replay(candidate.to_vec());
+        let input = catch_unwind(AssertUnwindSafe(|| generator(&mut source))).ok()?;
+        let msg = run_predicate(predicate, &input).err()?;
+        Some((source.recorded().to_vec(), input, msg))
+    };
+
+    let (mut best_input, mut best_msg) = {
+        let (t, input, msg) = eval(&tape).expect("original tape must still fail");
+        tape = t;
+        (input, msg)
+    };
+
+    let mut iters = 0usize;
+    let mut improved = true;
+    while improved && iters < MAX_SHRINK_ITERS {
+        improved = false;
+
+        // Pass 1: drop blocks of choices (shortens collections and removes
+        // whole sub-structures). A candidate only counts as progress when
+        // its canonical recording is strictly simpler — replay zero-padding
+        // can otherwise resurrect deleted choices and stall the sweep.
+        for block in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + block <= tape.len() && iters < MAX_SHRINK_ITERS {
+                let mut candidate = tape.clone();
+                candidate.drain(i..i + block);
+                iters += 1;
+                match eval(&candidate) {
+                    Some((t, input, msg)) if simpler(&t, &tape) => {
+                        tape = t;
+                        best_input = input;
+                        best_msg = msg;
+                        improved = true;
+                        // keep i: the tape shifted left under us
+                    }
+                    _ => i += block,
+                }
+            }
+        }
+
+        // Pass 2: binary-search each choice toward zero. Small draws map to
+        // small in-range values (the helpers use `lo + draw % span`), so the
+        // search converges on a fail/pass boundary — the minimal value the
+        // property still rejects, under the usual monotonicity heuristic.
+        for i in 0..tape.len() {
+            if i >= tape.len() || tape[i] == 0 {
+                continue;
+            }
+            let mut lo = 0u64;
+            let mut hi = tape[i];
+            while lo < hi && iters < MAX_SHRINK_ITERS {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = tape.clone();
+                candidate[i] = mid;
+                iters += 1;
+                if let Some((t, input, msg)) = eval(&candidate) {
+                    if simpler(&t, &tape) {
+                        tape = t;
+                        best_input = input;
+                        best_msg = msg;
+                        improved = true;
+                    }
+                    if i >= tape.len() {
+                        break;
+                    }
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+    }
+    (best_input, best_msg)
+}
+
+/// Tape simplicity order: shorter beats longer; at equal length,
+/// lexicographically smaller (choices closer to zero) wins.
+fn simpler(a: &[u64], b: &[u64]) -> bool {
+    a.len() < b.len() || (a.len() == b.len() && a < b)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+thread_local! {
+    static SILENCED: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Silences the panic hook *for this thread* while properties run, so the
+/// panics caught during generation/shrinking don't spam the test output.
+/// The hook wrapper is installed once per process and delegates to the
+/// original hook for all other threads.
+struct Silence;
+
+impl Silence {
+    fn enter() -> Self {
+        INSTALL_HOOK.call_once(|| {
+            let original = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !SILENCED.with(Cell::get) {
+                    original(info);
+                }
+            }));
+        });
+        SILENCED.with(|f| f.set(true));
+        Silence
+    }
+}
+
+impl Drop for Silence {
+    fn drop(&mut self) {
+        SILENCED.with(|f| f.set(false));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "counts_cases",
+            64,
+            |s| s.u64_in(0, 100),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = catch_unwind(|| {
+            check(
+                "fails_over_ninety",
+                256,
+                |s| s.u64_in(0, 1000),
+                |&v| {
+                    prop_assert!(v <= 90, "{v} exceeds 90");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(&*result.unwrap_err());
+        assert!(msg.contains("fails_over_ninety"), "{msg}");
+        assert!(msg.contains("TILESTORE_PROP_SEED"), "{msg}");
+        // Greedy shrinking must reach the boundary: the minimal failing
+        // value is 91.
+        assert!(msg.contains("shrunk input: 91"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_collections() {
+        let result = catch_unwind(|| {
+            check(
+                "no_nines",
+                256,
+                |s| s.vec_of(0, 30, |s| s.u64_in(0, 9)),
+                |v| {
+                    prop_assert!(!v.contains(&9), "found a nine in {v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(&*result.unwrap_err());
+        // The minimal counterexample is the single-element vector [9].
+        assert!(
+            msg.contains("shrunk input: [\n    9,\n]"),
+            "not minimal: {msg}"
+        );
+    }
+
+    #[test]
+    fn replay_source_is_deterministic_and_zero_padded() {
+        let mut live = Source::live(42);
+        let a = (live.u64_in(5, 10), live.i64_in(-3, 3), live.bool());
+        let tape = live.recorded().to_vec();
+        let mut replay = Source::replay(tape);
+        let b = (replay.u64_in(5, 10), replay.i64_in(-3, 3), replay.bool());
+        assert_eq!(a, b);
+        // Exhausted tape yields minimal values.
+        assert_eq!(replay.u64_in(5, 10), 5);
+        assert_eq!(replay.i64_in(-3, 3), -3);
+        assert!(!replay.bool());
+    }
+
+    #[test]
+    fn panicking_predicate_is_caught_and_reported() {
+        let result = catch_unwind(|| {
+            check(
+                "panics_on_big",
+                128,
+                |s| s.u64_in(0, 100),
+                |&v| {
+                    assert!(v < 95, "boom at {v}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(&*result.unwrap_err());
+        assert!(msg.contains("panic"), "{msg}");
+        assert!(msg.contains("shrunk input: 95"), "{msg}");
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut s = Source::live(9);
+        let mut counts = [0u32; 3];
+        for _ in 0..6000 {
+            counts[s.weighted(&[3, 2, 1])] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+    }
+}

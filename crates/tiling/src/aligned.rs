@@ -6,8 +6,8 @@
 //! tiling (equal relative sizes), "tiling by cuts along a direction"
 //! (a `*` configuration) and the default tiling.
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::{Domain, GridIter};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::config::TileConfig;
 use crate::error::Result;
@@ -15,7 +15,7 @@ use crate::spec::{TilingSpec, DEFAULT_MAX_TILE_SIZE};
 use crate::strategy::TilingStrategy;
 
 /// Aligned tiling with a tile configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlignedTiling {
     /// Relative tile-size preferences per direction.
     pub config: TileConfig,
@@ -55,7 +55,8 @@ impl AlignedTiling {
     /// # Errors
     /// Propagates [`TileConfig::tile_format`] errors.
     pub fn tile_format(&self, domain: &Domain, cell_size: usize) -> Result<Vec<u64>> {
-        self.config.tile_format(domain, cell_size, self.max_tile_size)
+        self.config
+            .tile_format(domain, cell_size, self.max_tile_size)
     }
 }
 
@@ -80,8 +81,26 @@ impl TilingStrategy for AlignedTiling {
 ///
 /// `MaxTileSize` is intentionally not enforced here — the object *is* the
 /// tile; validation uses the object's own size as the cap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SingleTile;
+
+impl ToJson for AlignedTiling {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("config", self.config.to_json()),
+            ("max_tile_size", self.max_tile_size.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AlignedTiling {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(AlignedTiling {
+            config: TileConfig::from_json(v.field("config")?)?,
+            max_tile_size: u64::from_json(v.field("max_tile_size")?)?,
+        })
+    }
+}
 
 impl TilingStrategy for SingleTile {
     fn name(&self) -> &'static str {

@@ -10,14 +10,14 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::Domain;
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Result, TilingError};
 use crate::spec::check_cell_fits;
 
 /// One entry of a tile configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Extent {
     /// A finite relative size `r_i > 0`.
     Fixed(u64),
@@ -31,7 +31,7 @@ pub enum Extent {
 /// Examples from the paper: `[*, 1, *]` for frame-by-frame access to a 3-D
 /// animation cut along direction `y`; `[1, *, 1]` for accesses fixing
 /// `x = c_1 ∧ z = c_2`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TileConfig(Vec<Extent>);
 
 impl TileConfig {
@@ -184,9 +184,7 @@ impl TileConfig {
                     let candidate = finite
                         .iter()
                         .filter(|&&i| format[i] < domain.extent(i))
-                        .filter(|&&i| {
-                            product / format[i] <= budget / (format[i] + 1)
-                        })
+                        .filter(|&&i| product / format[i] <= budget / (format[i] + 1))
                         .min_by(|&&a, &&b| {
                             let fa = format[a] as f64 / ratio_of(&self.0[a]);
                             let fb = format[b] as f64 / ratio_of(&self.0[b]);
@@ -248,14 +246,30 @@ impl FromStr for TileConfig {
                     Ok(Extent::Unbounded)
                 } else {
                     part.parse::<u64>().map(Extent::Fixed).map_err(|e| {
-                        TilingError::Geometry(tilestore_geometry::GeometryError::Parse(
-                            format!("bad config entry {part:?}: {e}"),
-                        ))
+                        TilingError::Geometry(tilestore_geometry::GeometryError::Parse(format!(
+                            "bad config entry {part:?}: {e}"
+                        )))
                     })
                 }
             })
             .collect();
         TileConfig::new(entries?)
+    }
+}
+
+impl ToJson for TileConfig {
+    /// Serializes in the paper notation, e.g. `"[*,1,*]"`.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for TileConfig {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::msg("expected tile-config string"))?;
+        s.parse().map_err(|e| JsonError::msg(format!("{e}")))
     }
 }
 

@@ -8,8 +8,8 @@
 //! amount of data read for all operations of access to any subset of those
 //! partitions".
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::{AxisRange, Domain};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::aligned::AlignedTiling;
 use crate::config::TileConfig;
@@ -24,7 +24,7 @@ use crate::strategy::TilingStrategy;
 /// `[p_1 : p_2 - 1], [p_2 : p_3 - 1], …, [p_{n-1} : p_n]`. This matches
 /// Table 1: products `[1,27,42,60]` → the three classes `[1:26]`, `[27:41]`,
 /// `[42:60]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AxisPartition {
     /// The axis (direction) being partitioned, 0-based.
     pub axis: usize,
@@ -104,7 +104,7 @@ impl AxisPartition {
 }
 
 /// How oversized blocks produced by the axis cuts are split.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubTiling {
     /// Split each oversize block with as few cuts as possible: repeatedly
     /// halve the block's longest direction until it fits `MaxTileSize`.
@@ -141,7 +141,7 @@ pub fn minimal_split_format(extents: &[u64], budget_cells: u64) -> Vec<u64> {
 }
 
 /// Directional tiling: axis partitions plus sub-tiling of oversize blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectionalTiling {
     /// Partitions for a subset of the axes (axes not listed are uncut).
     pub partitions: Vec<AxisPartition>,
@@ -181,8 +181,7 @@ impl DirectionalTiling {
     /// [`TilingError::DuplicateAxis`].
     pub fn category_blocks(&self, domain: &Domain) -> Result<Vec<Domain>> {
         let d = domain.dim();
-        let mut per_axis: Vec<Vec<AxisRange>> =
-            domain.ranges().iter().map(|r| vec![*r]).collect();
+        let mut per_axis: Vec<Vec<AxisRange>> = domain.ranges().iter().map(|r| vec![*r]).collect();
         let mut seen = vec![false; d];
         for p in &self.partitions {
             if p.axis < d && seen[p.axis] {
@@ -228,7 +227,10 @@ pub fn cartesian_blocks(per_axis: &[Vec<AxisRange>]) -> Vec<Domain> {
 #[must_use]
 pub fn blocks_from_starts(range: AxisRange, starts: &[i64]) -> Vec<AxisRange> {
     debug_assert!(starts.first() == Some(&range.lo()), "starts anchored at lo");
-    debug_assert!(starts.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+    debug_assert!(
+        starts.windows(2).all(|w| w[0] < w[1]),
+        "strictly increasing"
+    );
     debug_assert!(starts.last().is_some_and(|&s| s <= range.hi()));
     let mut blocks = Vec::with_capacity(starts.len());
     for (j, &s) in starts.iter().enumerate() {
@@ -276,14 +278,86 @@ impl TilingStrategy for DirectionalTiling {
                     } else {
                         TileConfig::equal(domain.dim())
                     };
-                    let sub = AlignedTiling::new(cfg, self.max_tile_size)
-                        .partition(&block, cell_size)?;
+                    let sub =
+                        AlignedTiling::new(cfg, self.max_tile_size).partition(&block, cell_size)?;
                     tiles.extend(sub.into_tiles());
                 }
                 SubTiling::None => unreachable!("handled above"),
             }
         }
         TilingSpec::validated(tiles, domain, cell_size, self.max_tile_size)
+    }
+}
+
+impl ToJson for AxisPartition {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("axis", self.axis.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AxisPartition {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(AxisPartition {
+            axis: usize::from_json(v.field("axis")?)?,
+            points: Vec::from_json(v.field("points")?)?,
+        })
+    }
+}
+
+impl ToJson for SubTiling {
+    /// Serializes as a tagged object: `{"kind":"minimal_splits"}`,
+    /// `{"kind":"aligned","config":"[4,*]"}` or `{"kind":"none"}`.
+    fn to_json(&self) -> Json {
+        match self {
+            SubTiling::MinimalSplits => {
+                Json::obj(vec![("kind", Json::Str("minimal_splits".into()))])
+            }
+            SubTiling::Aligned(config) => Json::obj(vec![
+                ("kind", Json::Str("aligned".into())),
+                ("config", config.to_json()),
+            ]),
+            SubTiling::None => Json::obj(vec![("kind", Json::Str("none".into()))]),
+        }
+    }
+}
+
+impl FromJson for SubTiling {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let kind = v
+            .field("kind")?
+            .as_str()
+            .ok_or_else(|| JsonError::msg("sub-tiling kind must be a string"))?;
+        match kind {
+            "minimal_splits" => Ok(SubTiling::MinimalSplits),
+            "aligned" => Ok(SubTiling::Aligned(TileConfig::from_json(
+                v.field("config")?,
+            )?)),
+            "none" => Ok(SubTiling::None),
+            other => Err(JsonError::msg(format!("unknown sub-tiling kind {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for DirectionalTiling {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("partitions", self.partitions.to_json()),
+            ("max_tile_size", self.max_tile_size.to_json()),
+            ("sub_tiling", self.sub_tiling.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DirectionalTiling {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(DirectionalTiling {
+            partitions: Vec::from_json(v.field("partitions")?)?,
+            max_tile_size: u64::from_json(v.field("max_tile_size")?)?,
+            sub_tiling: SubTiling::from_json(v.field("sub_tiling")?)?,
+        })
     }
 }
 
@@ -394,10 +468,8 @@ mod tests {
 
     #[test]
     fn unpartitioned_axes_stay_whole() {
-        let t = DirectionalTiling::without_subtiling(vec![AxisPartition::new(
-            1,
-            vec![1, 27, 42, 60],
-        )]);
+        let t =
+            DirectionalTiling::without_subtiling(vec![AxisPartition::new(1, vec![1, 27, 42, 60])]);
         let blocks = t.category_blocks(&cube()).unwrap();
         assert_eq!(blocks.len(), 3);
         for b in &blocks {
@@ -432,10 +504,7 @@ mod tests {
     #[test]
     fn small_blocks_stay_unsplit() {
         // Blocks already below MaxTileSize must be kept whole.
-        let t = DirectionalTiling::new(
-            vec![AxisPartition::new(0, vec![0, 5, 9])],
-            1 << 20,
-        );
+        let t = DirectionalTiling::new(vec![AxisPartition::new(0, vec![0, 5, 9])], 1 << 20);
         let dom = d("[0:9,0:9]");
         let spec = t.partition(&dom, 1).unwrap();
         assert_eq!(spec.len(), 2);

@@ -101,7 +101,10 @@ impl fmt::Display for TilingError {
             }
             TilingError::NoAreasOfInterest => write!(f, "no areas of interest supplied"),
             TilingError::TooManyAreas { got, max } => {
-                write!(f, "{got} areas of interest exceed the supported maximum {max}")
+                write!(
+                    f,
+                    "{got} areas of interest exceed the supported maximum {max}"
+                )
             }
             TilingError::InvalidTiling(s) => write!(f, "invalid tiling: {s}"),
         }

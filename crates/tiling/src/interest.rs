@@ -15,8 +15,8 @@
 //! 5. split blocks exceeding `MaxTileSize` with minimal-split sub-tiling
 //!    (splits stay inside one code region, preserving the guarantee).
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::{AxisRange, Domain};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::directional::{blocks_from_starts, cartesian_blocks, minimal_split_format};
 use crate::error::{Result, TilingError};
@@ -71,7 +71,7 @@ impl IntersectCode {
 /// assert_eq!(spec.bytes_touched(&hot, 2), hot.size_bytes(2).unwrap());
 /// assert!(spec.covers(&domain));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AreasOfInterestTiling {
     /// The declared areas of interest (may overlap each other).
     pub areas: Vec<Domain>,
@@ -79,8 +79,31 @@ pub struct AreasOfInterestTiling {
     pub max_tile_size: u64,
     /// Disable the merge step (step 4). Exposed for the ablation benchmark;
     /// `false` reproduces the paper's algorithm.
-    #[serde(default)]
     pub skip_merge: bool,
+}
+
+impl ToJson for AreasOfInterestTiling {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("areas", self.areas.to_json()),
+            ("max_tile_size", self.max_tile_size.to_json()),
+            ("skip_merge", self.skip_merge.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AreasOfInterestTiling {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(AreasOfInterestTiling {
+            areas: Vec::from_json(v.field("areas")?)?,
+            max_tile_size: u64::from_json(v.field("max_tile_size")?)?,
+            // Absent in catalogs written before the ablation flag existed.
+            skip_merge: match v.get("skip_merge") {
+                Some(f) => bool::from_json(f)?,
+                None => false,
+            },
+        })
+    }
 }
 
 impl AreasOfInterestTiling {

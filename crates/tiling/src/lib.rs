@@ -33,8 +33,8 @@ mod strategy;
 pub use aligned::{AlignedTiling, SingleTile};
 pub use config::{Extent, TileConfig};
 pub use directional::{
-    blocks_from_starts, cartesian_blocks, minimal_split_format, AxisPartition,
-    DirectionalTiling, SubTiling,
+    blocks_from_starts, cartesian_blocks, minimal_split_format, AxisPartition, DirectionalTiling,
+    SubTiling,
 };
 pub use error::{Result, TilingError};
 pub use interest::{AreasOfInterestTiling, IntersectCode, MAX_AREAS};

@@ -7,7 +7,6 @@
 //! of disjoint tile domains, each within the target domain and below the
 //! size cap.
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::Domain;
 
 use crate::error::{Result, TilingError};
@@ -18,7 +17,7 @@ use crate::error::{Result, TilingError};
 pub const DEFAULT_MAX_TILE_SIZE: u64 = 128 * 1024;
 
 /// A validated partition of (part of) a spatial domain into disjoint tiles.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TilingSpec {
     tiles: Vec<Domain>,
 }
@@ -117,9 +116,7 @@ impl TilingSpec {
                     "tile #{i} {t} escapes domain {domain}"
                 )));
             }
-            let bytes = t
-                .size_bytes(cell_size)
-                .map_err(TilingError::Geometry)?;
+            let bytes = t.size_bytes(cell_size).map_err(TilingError::Geometry)?;
             if bytes > max_tile_size {
                 return Err(TilingError::InvalidTiling(format!(
                     "tile #{i} {t} has {bytes} bytes > MaxTileSize {max_tile_size}"
@@ -212,13 +209,7 @@ mod tests {
     #[test]
     fn validated_accepts_a_good_partition() {
         let dom = d("[0:3,0:3]");
-        let spec = TilingSpec::validated(
-            vec![d("[0:1,0:3]"), d("[2:3,0:3]")],
-            &dom,
-            1,
-            8,
-        )
-        .unwrap();
+        let spec = TilingSpec::validated(vec![d("[0:1,0:3]"), d("[2:3,0:3]")], &dom, 1, 8).unwrap();
         assert!(spec.covers(&dom));
         assert_eq!(spec.covered_cells(), 16);
         assert_eq!(spec.max_tile_bytes(1), 8);
@@ -227,13 +218,8 @@ mod tests {
     #[test]
     fn rejects_overlap() {
         let dom = d("[0:3,0:3]");
-        let err = TilingSpec::validated(
-            vec![d("[0:2,0:3]"), d("[2:3,0:3]")],
-            &dom,
-            1,
-            100,
-        )
-        .unwrap_err();
+        let err =
+            TilingSpec::validated(vec![d("[0:2,0:3]"), d("[2:3,0:3]")], &dom, 1, 100).unwrap_err();
         assert!(matches!(err, TilingError::InvalidTiling(_)));
     }
 
@@ -248,8 +234,7 @@ mod tests {
     #[test]
     fn partial_coverage_is_legal_but_not_covering() {
         let dom = d("[0:9,0:9]");
-        let spec =
-            TilingSpec::validated(vec![d("[0:1,0:1]")], &dom, 1, 100).unwrap();
+        let spec = TilingSpec::validated(vec![d("[0:1,0:1]")], &dom, 1, 100).unwrap();
         assert!(!spec.covers(&dom));
         assert_eq!(spec.covered_cells(), 4);
     }

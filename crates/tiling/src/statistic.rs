@@ -6,8 +6,8 @@
 //! `FrequencyThreshold` become areas of interest. The areas-of-interest
 //! algorithm then computes the tiling.
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::Domain;
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::aligned::AlignedTiling;
 use crate::error::{Result, TilingError};
@@ -16,7 +16,7 @@ use crate::spec::TilingSpec;
 use crate::strategy::TilingStrategy;
 
 /// One logged access to an MDD object.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessRecord {
     /// The region that was queried.
     pub region: Domain,
@@ -38,6 +38,24 @@ impl AccessRecord {
     }
 }
 
+impl ToJson for AccessRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("region", self.region.to_json()),
+            ("count", self.count.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AccessRecord {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(AccessRecord {
+            region: Domain::from_json(v.field("region")?)?,
+            count: u64::from_json(v.field("count")?)?,
+        })
+    }
+}
+
 /// A cluster of nearby accesses: candidate area of interest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessCluster {
@@ -48,7 +66,7 @@ pub struct AccessCluster {
 }
 
 /// Statistic tiling: derive areas of interest from an access log.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatisticTiling {
     /// The access log (from the application or database log file).
     pub accesses: Vec<AccessRecord>,
@@ -137,6 +155,28 @@ impl StatisticTiling {
     }
 }
 
+impl ToJson for StatisticTiling {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("accesses", self.accesses.to_json()),
+            ("distance_threshold", self.distance_threshold.to_json()),
+            ("frequency_threshold", self.frequency_threshold.to_json()),
+            ("max_tile_size", self.max_tile_size.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StatisticTiling {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(StatisticTiling {
+            accesses: Vec::from_json(v.field("accesses")?)?,
+            distance_threshold: u64::from_json(v.field("distance_threshold")?)?,
+            frequency_threshold: u64::from_json(v.field("frequency_threshold")?)?,
+            max_tile_size: u64::from_json(v.field("max_tile_size")?)?,
+        })
+    }
+}
+
 impl TilingStrategy for StatisticTiling {
     fn name(&self) -> &'static str {
         "statistic"
@@ -155,8 +195,7 @@ impl TilingStrategy for StatisticTiling {
             return AlignedTiling::regular(domain.dim(), self.max_tile_size)
                 .partition(domain, cell_size);
         }
-        match AreasOfInterestTiling::new(areas, self.max_tile_size).partition(domain, cell_size)
-        {
+        match AreasOfInterestTiling::new(areas, self.max_tile_size).partition(domain, cell_size) {
             Err(TilingError::TooManyAreas { .. }) => {
                 // Degenerate log with >128 distinct hot spots: fall back to
                 // regular tiling rather than fail the load.
@@ -241,12 +280,7 @@ mod tests {
     fn derived_areas_drive_the_tiling() {
         let dom = d("[0:99,0:99]");
         let hot = d("[10:29,10:29]");
-        let t = StatisticTiling::new(
-            vec![AccessRecord::new(hot.clone(), 100)],
-            0,
-            10,
-            1 << 20,
-        );
+        let t = StatisticTiling::new(vec![AccessRecord::new(hot.clone(), 100)], 0, 10, 1 << 20);
         let spec = t.partition(&dom, 1).unwrap();
         assert!(spec.covers(&dom));
         // The guarantee transfers: a query to the hot area reads only it.
@@ -258,7 +292,10 @@ mod tests {
         let a = d("[0:10,0:10]");
         let b = d("[5:20,5:20]");
         let t = StatisticTiling::new(
-            vec![AccessRecord::new(a.clone(), 9), AccessRecord::new(b.clone(), 9)],
+            vec![
+                AccessRecord::new(a.clone(), 9),
+                AccessRecord::new(b.clone(), 9),
+            ],
             0,
             5,
             1 << 20,
@@ -271,12 +308,7 @@ mod tests {
     #[test]
     fn accesses_outside_domain_are_clipped() {
         let dom = d("[0:9,0:9]");
-        let t = StatisticTiling::new(
-            vec![AccessRecord::new(d("[5:20,5:20]"), 10)],
-            0,
-            1,
-            1 << 20,
-        );
+        let t = StatisticTiling::new(vec![AccessRecord::new(d("[5:20,5:20]"), 10)], 0, 1, 1 << 20);
         let areas = t.areas_of_interest(&dom).unwrap();
         assert_eq!(areas, vec![d("[5:9,5:9]")]);
         assert!(t.partition(&dom, 1).unwrap().covers(&dom));

@@ -1,7 +1,7 @@
 //! The tiling-strategy abstraction and the closed set of built-in schemes.
 
-use serde::{Deserialize, Serialize};
 use tilestore_geometry::Domain;
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::aligned::{AlignedTiling, SingleTile};
 use crate::directional::DirectionalTiling;
@@ -30,7 +30,7 @@ pub trait TilingStrategy {
 /// The closed, serializable set of built-in tiling schemes. An engine stores
 /// the scheme with each MDD object so later insertions (gradual growth) tile
 /// consistently.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Scheme {
     /// Aligned tiling with a tile configuration (includes regular tiling).
     Aligned(AlignedTiling),
@@ -84,6 +84,62 @@ impl TilingStrategy for Scheme {
     }
 }
 
+impl ToJson for Scheme {
+    /// Serializes as an object tagged by a `"kind"` field, with the
+    /// variant's own fields merged in.
+    fn to_json(&self) -> Json {
+        let tag = |kind: &str| ("kind".to_string(), Json::Str(kind.to_string()));
+        match self {
+            Scheme::Aligned(s) => match s.to_json() {
+                Json::Object(mut fields) => {
+                    fields.insert(0, tag("aligned"));
+                    Json::Object(fields)
+                }
+                other => other,
+            },
+            Scheme::SingleTile(_) => Json::Object(vec![tag("single_tile")]),
+            Scheme::Directional(s) => match s.to_json() {
+                Json::Object(mut fields) => {
+                    fields.insert(0, tag("directional"));
+                    Json::Object(fields)
+                }
+                other => other,
+            },
+            Scheme::AreasOfInterest(s) => match s.to_json() {
+                Json::Object(mut fields) => {
+                    fields.insert(0, tag("areas_of_interest"));
+                    Json::Object(fields)
+                }
+                other => other,
+            },
+            Scheme::Statistic(s) => match s.to_json() {
+                Json::Object(mut fields) => {
+                    fields.insert(0, tag("statistic"));
+                    Json::Object(fields)
+                }
+                other => other,
+            },
+        }
+    }
+}
+
+impl FromJson for Scheme {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let kind = v
+            .field("kind")?
+            .as_str()
+            .ok_or_else(|| JsonError::msg("scheme kind must be a string"))?;
+        match kind {
+            "aligned" => AlignedTiling::from_json(v).map(Scheme::Aligned),
+            "single_tile" => Ok(Scheme::SingleTile(SingleTile)),
+            "directional" => DirectionalTiling::from_json(v).map(Scheme::Directional),
+            "areas_of_interest" => AreasOfInterestTiling::from_json(v).map(Scheme::AreasOfInterest),
+            "statistic" => StatisticTiling::from_json(v).map(Scheme::Statistic),
+            other => Err(JsonError::msg(format!("unknown scheme kind {other:?}"))),
+        }
+    }
+}
+
 impl From<AlignedTiling> for Scheme {
     fn from(s: AlignedTiling) -> Self {
         Scheme::Aligned(s)
@@ -127,10 +183,39 @@ mod tests {
     }
 
     #[test]
-    fn scheme_serde_round_trip() {
-        let s = Scheme::default_for(2);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Scheme = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, s);
+    fn scheme_json_round_trip() {
+        use crate::config::TileConfig;
+        use crate::directional::{AxisPartition, SubTiling};
+        use crate::interest::AreasOfInterestTiling;
+        use crate::statistic::{AccessRecord, StatisticTiling};
+
+        let schemes: Vec<Scheme> = vec![
+            Scheme::default_for(2),
+            Scheme::SingleTile(SingleTile),
+            Scheme::Directional(DirectionalTiling {
+                partitions: vec![AxisPartition {
+                    axis: 0,
+                    points: vec![3, 7],
+                }],
+                max_tile_size: 4096,
+                sub_tiling: SubTiling::Aligned("[4,*]".parse::<TileConfig>().unwrap()),
+            }),
+            Scheme::AreasOfInterest(AreasOfInterestTiling {
+                areas: vec!["[0:4,0:4]".parse().unwrap()],
+                max_tile_size: 1024,
+                skip_merge: true,
+            }),
+            Scheme::Statistic(StatisticTiling {
+                accesses: vec![AccessRecord::new("[1:2,3:4]".parse().unwrap(), 5)],
+                distance_threshold: 2,
+                frequency_threshold: 1,
+                max_tile_size: 2048,
+            }),
+        ];
+        for s in schemes {
+            let json = tilestore_testkit::json::to_string(&s);
+            let back: Scheme = tilestore_testkit::json::from_str(&json).unwrap();
+            assert_eq!(back, s, "{json}");
+        }
     }
 }

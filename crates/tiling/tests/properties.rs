@@ -2,207 +2,233 @@
 //! complete partition, and the areas-of-interest guarantee must hold for
 //! arbitrary area sets.
 
-use proptest::prelude::*;
 use tilestore_geometry::Domain;
+use tilestore_testkit::prop::{check, Source};
+use tilestore_testkit::{prop_assert, prop_assert_eq};
 use tilestore_tiling::{
-    AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling,
-    Extent, StatisticTiling, TileConfig, TilingStrategy,
+    AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Extent,
+    StatisticTiling, TileConfig, TilingStrategy,
 };
 
 /// A random domain of dimensionality 1..=3 with modest extents.
-fn domain() -> impl Strategy<Value = Domain> {
-    (1usize..=3).prop_flat_map(|d| {
-        proptest::collection::vec((-50i64..50, 1i64..60), d).prop_map(|bounds| {
-            let bounds: Vec<(i64, i64)> = bounds
-                .into_iter()
-                .map(|(lo, ext)| (lo, lo + ext))
-                .collect();
-            Domain::from_bounds(&bounds).unwrap()
+fn domain(s: &mut Source) -> Domain {
+    let d = s.usize_in(1, 3);
+    let bounds: Vec<(i64, i64)> = (0..d)
+        .map(|_| {
+            let lo = s.i64_in(-50, 49);
+            let ext = s.i64_in(1, 59);
+            (lo, lo + ext)
         })
-    })
+        .collect();
+    Domain::from_bounds(&bounds).unwrap()
 }
 
 /// A random tile configuration matching `dim`, possibly with stars.
-fn config(dim: usize) -> impl Strategy<Value = TileConfig> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1u64..8).prop_map(Extent::Fixed),
-            Just(Extent::Unbounded)
-        ],
-        dim,
-    )
-    .prop_map(|entries| TileConfig::new(entries).unwrap())
+fn config(s: &mut Source, dim: usize) -> TileConfig {
+    let entries: Vec<Extent> = (0..dim)
+        .map(|_| {
+            if s.bool() {
+                Extent::Unbounded
+            } else {
+                Extent::Fixed(s.u64_in(1, 7))
+            }
+        })
+        .collect();
+    TileConfig::new(entries).unwrap()
 }
 
 /// A random subdomain of `dom`.
-fn subdomain(dom: Domain) -> impl Strategy<Value = Domain> {
-    let per_axis: Vec<BoxedStrategy<(i64, i64)>> = dom
+fn subdomain(s: &mut Source, dom: &Domain) -> Domain {
+    let bounds: Vec<(i64, i64)> = dom
         .ranges()
         .iter()
         .map(|r| {
-            let (lo, hi) = (r.lo(), r.hi());
-            (lo..=hi)
-                .prop_flat_map(move |a| (Just(a), a..=hi))
-                .boxed()
+            let a = s.i64_in(r.lo(), r.hi());
+            let b = s.i64_in(a, r.hi());
+            (a, b)
         })
         .collect();
-    per_axis.prop_map(|bounds| Domain::from_bounds(&bounds).unwrap())
+    Domain::from_bounds(&bounds).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn aligned_tiling_is_complete_partition(
-        dom in domain(),
-        max_kb in 1u64..16,
-        cell in 1usize..8,
-    ) {
-        let dim = dom.dim();
-        let strat = AlignedTiling::regular(dim, max_kb * 1024);
-        let spec = strat.partition(&dom, cell).unwrap();
-        prop_assert!(spec.covers(&dom));
-        prop_assert!(spec.max_tile_bytes(cell) <= max_kb * 1024);
-    }
-
-    #[test]
-    fn aligned_with_random_config_is_complete(
-        (dom, cfg) in domain().prop_flat_map(|d| {
-            let dim = d.dim();
-            (Just(d), config(dim))
-        }),
-        max_kb in 1u64..16,
-    ) {
-        let strat = AlignedTiling::new(cfg, max_kb * 1024);
-        let spec = strat.partition(&dom, 2).unwrap();
-        prop_assert!(spec.covers(&dom));
-        prop_assert!(spec.max_tile_bytes(2) <= max_kb * 1024);
-    }
-
-    #[test]
-    fn directional_tiling_respects_cuts(
-        dom in domain(),
-        cuts_seed in proptest::collection::vec(0.1f64..0.9, 1..4),
-        max_kb in 1u64..8,
-    ) {
-        // Derive valid interior cut points on axis 0 from the seed.
-        let r = dom.axis(0);
-        let mut points: Vec<i64> = vec![r.lo()];
-        for s in &cuts_seed {
-            let p = r.lo() + ((r.extent() as f64) * s) as i64;
-            if p > *points.last().unwrap() && p < r.hi() {
-                points.push(p);
-            }
-        }
-        points.push(r.hi());
-        if points.len() < 2 || points.windows(2).any(|w| w[0] >= w[1]) {
-            return Ok(());
-        }
-        let interior: Vec<i64> = points[1..points.len() - 1].to_vec();
-        let strat = DirectionalTiling::new(
-            vec![AxisPartition::new(0, points)],
-            max_kb * 1024,
-        );
-        let spec = strat.partition(&dom, 1).unwrap();
-        prop_assert!(spec.covers(&dom));
-        prop_assert!(spec.max_tile_bytes(1) <= max_kb * 1024);
-        for tile in spec.tiles() {
-            for &cut in &interior {
-                prop_assert!(
-                    !(tile.lo(0) < cut && cut <= tile.hi(0)),
-                    "tile {} crosses cut {}", tile, cut
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn aoi_guarantee_holds_for_random_areas(
-        (dom, areas) in domain().prop_flat_map(|d| {
-            let areas = proptest::collection::vec(subdomain(d.clone()), 1..4);
-            (Just(d), areas)
-        }),
-        max_kb in 1u64..16,
-    ) {
-        let strat = AreasOfInterestTiling::new(areas.clone(), max_kb * 1024);
-        let spec = strat.partition(&dom, 1).unwrap();
-        prop_assert!(spec.covers(&dom));
-        prop_assert!(spec.max_tile_bytes(1) <= max_kb * 1024);
-        // §5.2 guarantee: querying any declared area reads only its bytes.
-        for a in &areas {
-            prop_assert_eq!(spec.bytes_touched(a, 1), a.cells());
-        }
-    }
-
-    #[test]
-    fn statistic_tiling_always_produces_valid_cover(
-        (dom, accesses) in domain().prop_flat_map(|d| {
-            let acc = proptest::collection::vec(
-                (subdomain(d.clone()), 1u64..10),
-                0..5,
-            );
-            (Just(d), acc)
-        }),
-        dist in 0u64..5,
-        freq in 1u64..8,
-        max_kb in 1u64..16,
-    ) {
-        let records: Vec<AccessRecord> = accesses
-            .into_iter()
-            .map(|(r, c)| AccessRecord::new(r, c))
-            .collect();
-        let strat = StatisticTiling::new(records, dist, freq, max_kb * 1024);
-        let spec = strat.partition(&dom, 1).unwrap();
-        prop_assert!(spec.covers(&dom));
-        prop_assert!(spec.max_tile_bytes(1) <= max_kb * 1024);
-    }
+#[test]
+fn aligned_tiling_is_complete_partition() {
+    check(
+        "aligned_tiling_is_complete_partition",
+        64,
+        |s| (domain(s), s.u64_in(1, 15), s.usize_in(1, 7)),
+        |(dom, max_kb, cell)| {
+            let strat = AlignedTiling::regular(dom.dim(), max_kb * 1024);
+            let spec = strat.partition(dom, *cell).unwrap();
+            prop_assert!(spec.covers(dom));
+            prop_assert!(spec.max_tile_bytes(*cell) <= max_kb * 1024);
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn aligned_with_random_config_is_complete() {
+    check(
+        "aligned_with_random_config_is_complete",
+        64,
+        |s| {
+            let dom = domain(s);
+            let cfg = config(s, dom.dim());
+            (dom, cfg, s.u64_in(1, 15))
+        },
+        |(dom, cfg, max_kb)| {
+            let strat = AlignedTiling::new(cfg.clone(), max_kb * 1024);
+            let spec = strat.partition(dom, 2).unwrap();
+            prop_assert!(spec.covers(dom));
+            prop_assert!(spec.max_tile_bytes(2) <= max_kb * 1024);
+            Ok(())
+        },
+    );
+}
 
-    /// The tile-format computation itself: the product never exceeds the
-    /// cell budget, every entry is >= 1, and no entry exceeds the domain
-    /// extent.
-    #[test]
-    fn tile_format_respects_budget_and_extents(
-        dom in domain(),
-        entries in proptest::collection::vec(
-            prop_oneof![
-                (1u64..10).prop_map(Extent::Fixed),
-                Just(Extent::Unbounded),
-            ],
-            1..4,
-        ),
-        cell in 1usize..9,
-        max_kb in 1u64..64,
-    ) {
-        if entries.len() != dom.dim() {
-            return Ok(());
-        }
-        let cfg = TileConfig::new(entries).unwrap();
-        let format = cfg.tile_format(&dom, cell, max_kb * 1024).unwrap();
-        let budget = (max_kb * 1024) / cell as u64;
-        prop_assert!(format.iter().product::<u64>() <= budget.max(1));
-        for (axis, &t) in format.iter().enumerate() {
-            prop_assert!(t >= 1);
-            prop_assert!(t <= dom.extent(axis).max(1));
-        }
-    }
+#[test]
+fn directional_tiling_respects_cuts() {
+    check(
+        "directional_tiling_respects_cuts",
+        64,
+        |s| {
+            let dom = domain(s);
+            let cuts_seed: Vec<f64> = s.vec_of(1, 3, |s| 0.1 + 0.8 * s.f64_unit());
+            (dom, cuts_seed, s.u64_in(1, 7))
+        },
+        |(dom, cuts_seed, max_kb)| {
+            // Derive valid interior cut points on axis 0 from the seed.
+            let r = dom.axis(0);
+            let mut points: Vec<i64> = vec![r.lo()];
+            for s in cuts_seed {
+                let p = r.lo() + ((r.extent() as f64) * s) as i64;
+                if p > *points.last().unwrap() && p < r.hi() {
+                    points.push(p);
+                }
+            }
+            points.push(r.hi());
+            if points.len() < 2 || points.windows(2).any(|w| w[0] >= w[1]) {
+                return Ok(());
+            }
+            let interior: Vec<i64> = points[1..points.len() - 1].to_vec();
+            let strat = DirectionalTiling::new(vec![AxisPartition::new(0, points)], max_kb * 1024);
+            let spec = strat.partition(dom, 1).unwrap();
+            prop_assert!(spec.covers(dom));
+            prop_assert!(spec.max_tile_bytes(1) <= max_kb * 1024);
+            for tile in spec.tiles() {
+                for &cut in &interior {
+                    prop_assert!(
+                        !(tile.lo(0) < cut && cut <= tile.hi(0)),
+                        "tile {} crosses cut {}",
+                        tile,
+                        cut
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Minimal-split formats stay within budget and only ever shrink axes.
-    #[test]
-    fn minimal_split_format_is_sound(
-        extents in proptest::collection::vec(1u64..200, 1..5),
-        budget in 1u64..10_000,
-    ) {
-        let format = tilestore_tiling::minimal_split_format(&extents, budget);
-        prop_assert_eq!(format.len(), extents.len());
-        for (f, e) in format.iter().zip(&extents) {
-            prop_assert!(*f >= 1 && f <= e);
-        }
-        // Either within budget, or every axis is already at 1 cell.
-        let product: u64 = format.iter().product();
-        prop_assert!(product <= budget || format.iter().all(|&f| f == 1));
-    }
+#[test]
+fn aoi_guarantee_holds_for_random_areas() {
+    check(
+        "aoi_guarantee_holds_for_random_areas",
+        64,
+        |s| {
+            let dom = domain(s);
+            let n = s.usize_in(1, 3);
+            let areas: Vec<Domain> = (0..n).map(|_| subdomain(s, &dom)).collect();
+            (dom, areas, s.u64_in(1, 15))
+        },
+        |(dom, areas, max_kb)| {
+            let strat = AreasOfInterestTiling::new(areas.clone(), max_kb * 1024);
+            let spec = strat.partition(dom, 1).unwrap();
+            prop_assert!(spec.covers(dom));
+            prop_assert!(spec.max_tile_bytes(1) <= max_kb * 1024);
+            // §5.2 guarantee: querying any declared area reads only its bytes.
+            for a in areas {
+                prop_assert_eq!(spec.bytes_touched(a, 1), a.cells());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn statistic_tiling_always_produces_valid_cover() {
+    check(
+        "statistic_tiling_always_produces_valid_cover",
+        64,
+        |s| {
+            let dom = domain(s);
+            let n = s.usize_in(0, 4);
+            let records: Vec<AccessRecord> = (0..n)
+                .map(|_| {
+                    let region = subdomain(s, &dom);
+                    AccessRecord::new(region, s.u64_in(1, 9))
+                })
+                .collect();
+            let dist = s.u64_in(0, 4);
+            let freq = s.u64_in(1, 7);
+            (dom, records, dist, freq, s.u64_in(1, 15))
+        },
+        |(dom, records, dist, freq, max_kb)| {
+            let strat = StatisticTiling::new(records.clone(), *dist, *freq, max_kb * 1024);
+            let spec = strat.partition(dom, 1).unwrap();
+            prop_assert!(spec.covers(dom));
+            prop_assert!(spec.max_tile_bytes(1) <= max_kb * 1024);
+            Ok(())
+        },
+    );
+}
+
+/// The tile-format computation itself: the product never exceeds the cell
+/// budget, every entry is >= 1, and no entry exceeds the domain extent.
+#[test]
+fn tile_format_respects_budget_and_extents() {
+    check(
+        "tile_format_respects_budget_and_extents",
+        128,
+        |s| {
+            let dom = domain(s);
+            let cfg = config(s, dom.dim());
+            (dom, cfg, s.usize_in(1, 8), s.u64_in(1, 63))
+        },
+        |(dom, cfg, cell, max_kb)| {
+            let format = cfg.tile_format(dom, *cell, max_kb * 1024).unwrap();
+            let budget = (max_kb * 1024) / *cell as u64;
+            prop_assert!(format.iter().product::<u64>() <= budget.max(1));
+            for (axis, &t) in format.iter().enumerate() {
+                prop_assert!(t >= 1);
+                prop_assert!(t <= dom.extent(axis).max(1));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Minimal-split formats stay within budget and only ever shrink axes.
+#[test]
+fn minimal_split_format_is_sound() {
+    check(
+        "minimal_split_format_is_sound",
+        128,
+        |s| {
+            let extents = s.vec_of(1, 4, |s| s.u64_in(1, 199));
+            (extents, s.u64_in(1, 9_999))
+        },
+        |(extents, budget)| {
+            let format = tilestore_tiling::minimal_split_format(extents, *budget);
+            prop_assert_eq!(format.len(), extents.len());
+            for (f, e) in format.iter().zip(extents) {
+                prop_assert!(*f >= 1 && f <= e);
+            }
+            // Either within budget, or every axis is already at 1 cell.
+            let product: u64 = format.iter().product();
+            prop_assert!(product <= *budget || format.iter().all(|&f| f == 1));
+            Ok(())
+        },
+    );
 }

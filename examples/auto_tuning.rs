@@ -9,9 +9,7 @@
 //! cargo run --release --example auto_tuning
 //! ```
 
-use tilestore::{
-    Array, CellType, CostModel, Database, DefDomain, Domain, MddType, Scheme,
-};
+use tilestore::{Array, CellType, CostModel, Database, DefDomain, Domain, MddType, Scheme};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::in_memory()?;

@@ -5,8 +5,8 @@
 //! ```
 
 use tilestore::{
-    AccessRegion, AlignedTiling, Array, CellType, CostModel, Database, DefDomain, Domain,
-    MddType, Point, Scheme,
+    AccessRegion, AlignedTiling, Array, CellType, CostModel, Database, DefDomain, Domain, MddType,
+    Point, Scheme,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

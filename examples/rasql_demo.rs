@@ -7,8 +7,8 @@
 
 use tilestore::rasql::{execute, Value};
 use tilestore::{
-    AlignedTiling, Array, AxisPartition, CellType, Database, DefDomain, DirectionalTiling,
-    Domain, MddType, Scheme,
+    AlignedTiling, Array, AxisPartition, CellType, Database, DefDomain, DirectionalTiling, Domain,
+    MddType, Scheme,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Value::Count(c) => format!("{c} cells"),
             Value::Bool(b) => format!("{b}"),
         };
-        println!("{q}\n  => {rendered}   [{} tiles read, {} bytes]", stats.tiles_read, stats.io.bytes_read);
+        println!(
+            "{q}\n  => {rendered}   [{} tiles read, {} bytes]",
+            stats.tiles_read, stats.io.bytes_read
+        );
     }
 
     // Parse errors are located precisely.

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Canonical CI gate: hermetic build + full test suite + formatting.
+#
+# The workspace has zero external dependencies (everything lives in
+# crates/testkit), so `--offline` must always succeed — a build that
+# reaches for the network is a regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --check

@@ -36,13 +36,13 @@ pub use tilestore_rasql as rasql;
 
 pub use tilestore_compress::{Codec, CompressionPolicy};
 pub use tilestore_engine::{
-    AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database,
-    DeleteStats, EngineError, InsertStats, MddObject, MddType, QueryStats, QueryTimes,
-    RetileStats, Rgb, UpdateStats,
+    AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database, DeleteStats,
+    EngineError, InsertStats, MddObject, MddType, QueryStats, QueryTimes, RetileStats, Rgb,
+    UpdateStats,
 };
 pub use tilestore_geometry::{AxisRange, DefDomain, Domain, Point};
 pub use tilestore_storage::{BufferPool, CostModel, FilePageStore, IoStats, MemPageStore};
 pub use tilestore_tiling::{
-    AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling,
-    Extent, Scheme, SingleTile, StatisticTiling, TileConfig, TilingSpec, TilingStrategy,
+    AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Extent,
+    Scheme, SingleTile, StatisticTiling, TileConfig, TilingSpec, TilingStrategy,
 };

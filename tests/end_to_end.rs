@@ -12,7 +12,7 @@ fn d(s: &str) -> Domain {
 
 #[test]
 fn file_backed_database_full_lifecycle() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = tilestore_testkit::tempdir().unwrap();
     let image_dom = d("[0:99,0:99]");
     let video_dom = d("[0:9,0:31,0:31]");
 
@@ -68,7 +68,7 @@ fn file_backed_database_full_lifecycle() {
 
 #[test]
 fn retile_on_reopened_database() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = tilestore_testkit::tempdir().unwrap();
     let dom = d("[1:100,1:40]");
     let data = Array::from_fn(dom.clone(), |p| (p[0] * 41 + p[1]) as u32).unwrap();
     {
@@ -124,8 +124,7 @@ fn gradual_growth_over_unlimited_axis() {
     for batch in 0..10i64 {
         let lo = batch * 100;
         let dom = Domain::from_bounds(&[(lo, lo + 99), (0, 9)]).unwrap();
-        let batch_data =
-            Array::from_fn(dom, |p| (p[0] as f64) + (p[1] as f64) / 10.0).unwrap();
+        let batch_data = Array::from_fn(dom, |p| (p[0] as f64) + (p[1] as f64) / 10.0).unwrap();
         db.insert("series", &batch_data).unwrap();
     }
     let obj = db.object("series").unwrap();
@@ -197,8 +196,7 @@ fn concurrent_readers_share_one_database() {
             scope.spawn(move || {
                 for k in 0..16i64 {
                     let lo = (t * 16 + k) % 100;
-                    let region =
-                        Domain::from_bounds(&[(lo, lo + 27), (lo, lo + 27)]).unwrap();
+                    let region = Domain::from_bounds(&[(lo, lo + 27), (lo, lo + 27)]).unwrap();
                     let (out, _) = db.range_query("grid", &region).unwrap();
                     assert_eq!(out, data.extract(&region).unwrap());
                     let (sum, _) = db
@@ -209,6 +207,98 @@ fn concurrent_readers_share_one_database() {
             });
         }
     });
+}
+
+#[test]
+fn all_strategies_roundtrip_same_seeded_dataset() {
+    // One seeded dataset, four tiling strategies: ingest → tile → store
+    // (file-backed) → range-query → update → reopen must agree cell-for-cell
+    // across every strategy.
+    use tilestore::{AccessRecord, AreasOfInterestTiling, StatisticTiling};
+
+    let dom = d("[0:79,0:59]");
+    let mut rng = tilestore_testkit::Rng::seed_from_u64(0x7113_5704);
+    let data = Array::from_fn(dom.clone(), |_| rng.gen_range(0u32..10_000)).unwrap();
+
+    let hot_a = d("[10:39,5:24]");
+    let hot_b = d("[50:79,30:59]");
+    let schemes: Vec<(&str, Scheme)> = vec![
+        (
+            "aligned",
+            Scheme::Aligned(AlignedTiling::regular(2, 4 * 1024)),
+        ),
+        (
+            "directional",
+            Scheme::Directional(DirectionalTiling::new(
+                vec![
+                    AxisPartition::new(0, vec![0, 25, 55, 79]),
+                    AxisPartition::new(1, vec![0, 30, 59]),
+                ],
+                8 * 1024,
+            )),
+        ),
+        (
+            "areas_of_interest",
+            Scheme::AreasOfInterest(AreasOfInterestTiling::new(
+                vec![hot_a.clone(), hot_b.clone()],
+                8 * 1024,
+            )),
+        ),
+        (
+            "statistic",
+            Scheme::Statistic(StatisticTiling::new(
+                vec![
+                    AccessRecord::new(hot_a.clone(), 9),
+                    AccessRecord::new(hot_b.clone(), 7),
+                    AccessRecord::new(d("[0:9,40:49]"), 2),
+                ],
+                8,
+                3,
+                8 * 1024,
+            )),
+        ),
+    ];
+
+    // The update applied after the first reopen, and the shadow model every
+    // strategy must converge to.
+    let patch_dom = d("[20:59,15:44]");
+    let patch = Array::from_fn(patch_dom, |p| (p[0] * 1000 + p[1]) as u32).unwrap();
+    let mut shadow = data.clone();
+    shadow.paste(&patch).unwrap();
+
+    let queries = [d("[0:79,0:59]"), hot_a.clone(), d("[15:64,10:49]")];
+    for (name, scheme) in schemes {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        {
+            let mut db = Database::create_dir(dir.path()).unwrap();
+            db.create_object(
+                "cube",
+                MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+                scheme,
+            )
+            .unwrap();
+            db.insert("cube", &data).unwrap();
+            db.save(dir.path()).unwrap();
+        }
+
+        // Reopen: every query region reads back the ingested cells exactly.
+        let mut db = Database::open_dir(dir.path()).unwrap();
+        assert!(db.object("cube").unwrap().tile_count() >= 1, "{name}");
+        for q in &queries {
+            let (out, _) = db.range_query("cube", q).unwrap();
+            assert_eq!(out, data.extract(q).unwrap(), "{name}: query {q}");
+        }
+
+        // Update, persist, reopen once more: the stored object matches the
+        // shadow model under every strategy.
+        db.update("cube", &patch).unwrap();
+        db.save(dir.path()).unwrap();
+        let db = Database::open_dir(dir.path()).unwrap();
+        for q in &queries {
+            let (out, _) = db.range_query("cube", q).unwrap();
+            assert_eq!(out, shadow.extract(q).unwrap(), "{name}: post-update {q}");
+        }
+    }
 }
 
 #[test]
@@ -249,7 +339,13 @@ fn single_tile_and_sparse_objects() {
         Some(d("[0:10009,0:10009]")),
         "current domain is the closure"
     );
-    assert_eq!(obj.covered_cells(), 200, "storage stays proportional to data");
-    let (probe, _) = db.range_query("sparse", &d("[5000:5001,5000:5001]")).unwrap();
+    assert_eq!(
+        obj.covered_cells(),
+        200,
+        "storage stays proportional to data"
+    );
+    let (probe, _) = db
+        .range_query("sparse", &d("[5000:5001,5000:5001]"))
+        .unwrap();
     assert!(probe.to_cells::<u8>().unwrap().iter().all(|&c| c == 0));
 }

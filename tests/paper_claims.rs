@@ -26,8 +26,7 @@ fn small_cube() -> (SalesCube, Array) {
             .map(|p| {
                 // Truncate each axis's cut points to the shrunken domain.
                 let hi = domain.hi(p.axis);
-                let mut points: Vec<i64> =
-                    p.points.iter().copied().filter(|&x| x < hi).collect();
+                let mut points: Vec<i64> = p.points.iter().copied().filter(|&x| x < hi).collect();
                 points.push(hi);
                 tilestore::AxisPartition::new(p.axis, points)
             })
@@ -241,7 +240,11 @@ fn table2_scheme_inventory_is_constructible_at_full_scale() {
             .scheme
             .partition(&cube.domain, 4)
             .unwrap_or_else(|e| panic!("{} failed: {e}", named.name));
-        assert!(spec.covers(&cube.domain), "{} must cover the cube", named.name);
+        assert!(
+            spec.covers(&cube.domain),
+            "{} must cover the cube",
+            named.name
+        );
         assert!(
             spec.max_tile_bytes(4) <= cap,
             "{}: {} > {}",

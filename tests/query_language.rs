@@ -3,8 +3,8 @@
 
 use tilestore::rasql::{execute, Value};
 use tilestore::{
-    Array, AxisPartition, CellType, CompressionPolicy, Database, DefDomain,
-    DirectionalTiling, Domain, MddType, Scheme,
+    Array, AxisPartition, CellType, CompressionPolicy, Database, DefDomain, DirectionalTiling,
+    Domain, MddType, Scheme,
 };
 
 fn d(s: &str) -> Domain {
@@ -43,7 +43,7 @@ fn build(dir: &std::path::Path) {
 
 #[test]
 fn rasql_over_reopened_compressed_database() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = tilestore_testkit::tempdir().unwrap();
     build(dir.path());
     let db = Database::open_dir(dir.path()).unwrap();
 
@@ -55,7 +55,8 @@ fn rasql_over_reopened_compressed_database() {
     for (t, y, x) in [(55i64, 5i64, 5i64), (65, 5, 5)] {
         let expected = ((t * 7 + y * 3 + x) % 100) as u32;
         assert_eq!(
-            arr.get::<u32>(&tilestore::Point::from_slice(&[t, y, x])).unwrap(),
+            arr.get::<u32>(&tilestore::Point::from_slice(&[t, y, x]))
+                .unwrap(),
             expected
         );
     }
@@ -76,7 +77,9 @@ fn rasql_over_reopened_compressed_database() {
 
     // Induced comparison counted two ways agrees.
     let (count, _) = execute(&db, "SELECT count_cells(sales > 50) FROM sales").unwrap();
-    let Value::Count(n) = count else { panic!("count expected") };
+    let Value::Count(n) = count else {
+        panic!("count expected")
+    };
     let (all, _) = execute(&db, "SELECT sales FROM sales").unwrap();
     let brute = all
         .as_array()
@@ -91,7 +94,7 @@ fn rasql_over_reopened_compressed_database() {
 
 #[test]
 fn section_and_induced_compose_across_crates() {
-    let dir = tempfile::tempdir().unwrap();
+    let dir = tilestore_testkit::tempdir().unwrap();
     build(dir.path());
     let db = Database::open_dir(dir.path()).unwrap();
 
@@ -101,7 +104,8 @@ fn section_and_induced_compose_across_crates() {
     assert_eq!(slab.domain(), &d("[1:60,1:100]"));
     let expected = (((45 * 7 + 10 * 3 + 20) % 100) * 2) as u32;
     assert_eq!(
-        slab.get::<u32>(&tilestore::Point::from_slice(&[10, 20])).unwrap(),
+        slab.get::<u32>(&tilestore::Point::from_slice(&[10, 20]))
+            .unwrap(),
         expected
     );
 
