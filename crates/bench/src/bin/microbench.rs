@@ -1,0 +1,135 @@
+//! Fixed-seed micro-benchmark harness emitting a machine-readable report.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin microbench -- BENCH_PR2.json
+//! ```
+//!
+//! Runs a small deterministic workload set (insert, clustered query, full
+//! scan, statistic re-partitioning) through the testkit bench runner and
+//! writes one JSON document with wall-clock median/p95 per workload plus a
+//! snapshot of the observability metrics accumulated while benching.
+//! `TILESTORE_BENCH_SAMPLES` bounds the per-workload sample count.
+
+use std::time::Duration;
+
+use tilestore_engine::{Array, CellType, Database, MddType};
+use tilestore_geometry::Domain;
+use tilestore_storage::MemPageStore;
+use tilestore_testkit::bench::{Group, Report};
+use tilestore_testkit::{Json, Rng, ToJson};
+use tilestore_tiling::{AccessRecord, AlignedTiling, Scheme, StatisticTiling, TilingStrategy};
+
+/// Fixed seed so every run benches the identical workload.
+const SEED: u64 = 0x1CDE_1999;
+
+/// Side length of the square benchmark array.
+const SIDE: i64 = 128;
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+fn workload_data() -> Array {
+    let dom: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    Array::from_fn(dom, |p| (p[0] * SIDE + p[1]) as u32).unwrap()
+}
+
+fn fresh_db(data: &Array) -> Database<MemPageStore> {
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "bench",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+    )
+    .unwrap();
+    db.insert("bench", data).unwrap();
+    db
+}
+
+/// Deterministic clustered query set: small regions drawn around a hot spot.
+fn clustered_queries(n: usize) -> Vec<Domain> {
+    let mut rng = Rng::seed_from_u64(SEED);
+    (0..n)
+        .map(|_| {
+            let x = 16 + (rng.next_u64() % 8) as i64;
+            let y = 16 + (rng.next_u64() % 8) as i64;
+            format!("[{x}:{},{y}:{}]", x + 23, y + 23).parse().unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let data = workload_data();
+    let queries = clustered_queries(16);
+
+    let mut group = Group::new("microbench");
+    group.sample_size(15);
+
+    let mut workloads: Vec<(&str, Report)> = Vec::new();
+
+    // 1. Insert: tile + store the full array into a fresh database.
+    let r = group.bench("insert_128x128_u32_regular4k", || fresh_db(&data));
+    workloads.push(("insert_128x128_u32_regular4k", r));
+
+    // 2. Clustered range queries against a warm database.
+    let db = fresh_db(&data);
+    let r = group.bench("query_clustered_24x24", || {
+        for q in &queries {
+            db.range_query("bench", q).unwrap();
+        }
+    });
+    workloads.push(("query_clustered_24x24", r));
+
+    // 3. Full scan of the object.
+    let full: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    let r = group.bench("query_full_scan", || {
+        db.range_query("bench", &full).unwrap()
+    });
+    workloads.push(("query_full_scan", r));
+
+    // 4. Statistic partitioning from a recorded-access shaped log (§5.2).
+    let records: Vec<AccessRecord> = queries
+        .iter()
+        .map(|q| AccessRecord::new(q.clone(), 4))
+        .collect();
+    let r = group.bench("statistic_partition", || {
+        let tiling = StatisticTiling::new(records.clone(), 4, 2, 64 * 1024);
+        tiling.partition(&full, 4).unwrap()
+    });
+    workloads.push(("statistic_partition", r));
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("microbench".to_string())),
+        ("seed", SEED.to_json()),
+        (
+            "workloads",
+            Json::Object(
+                workloads
+                    .iter()
+                    .map(|(name, r)| ((*name).to_string(), report_json(r)))
+                    .collect(),
+            ),
+        ),
+        ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+    ]);
+
+    let text = report.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write report");
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -280,8 +280,28 @@ pub fn compress(db: &mut Database<FilePageStore>, name: &str, policy: &str) -> C
     Ok(format!("rewrote tiles: {before} -> {after} physical bytes"))
 }
 
-/// `retile <name> <scheme>`.
+/// `retile <name> <scheme>`; the scheme `--from-log[:<dist>:<freq>:<maxKB>]`
+/// re-tiles from the recorded access log via statistic tiling (§5.4).
 pub fn retile(db: &mut Database<FilePageStore>, name: &str, spec: &str) -> CliResult<String> {
+    if let Some(rest) = spec.strip_prefix("--from-log") {
+        let mut parts = rest.strip_prefix(':').unwrap_or("").split(':');
+        let mut next = |default: u64, what: &str| -> CliResult<u64> {
+            match parts.next() {
+                None | Some("") => Ok(default),
+                Some(v) => v.parse().map_err(|e| format!("bad {what}: {e}")),
+            }
+        };
+        let dist = next(0, "distance threshold")?;
+        let freq = next(1, "frequency threshold")?;
+        let max_kb = next(128, "MaxTileSize")?;
+        let stats = db
+            .auto_retile_from_log(name, dist, freq, max_kb * 1024)
+            .map_err(err)?;
+        return Ok(format!(
+            "retiled from access log: {} -> {} tiles",
+            stats.tiles_before, stats.tiles_after
+        ));
+    }
     let dim = db.object(name).map_err(err)?.mdd_type.dim();
     let scheme = parse_scheme(spec, dim)?;
     let stats = db.retile(name, scheme).map_err(err)?;
@@ -289,6 +309,70 @@ pub fn retile(db: &mut Database<FilePageStore>, name: &str, spec: &str) -> CliRe
         "retiled: {} -> {} tiles",
         stats.tiles_before, stats.tiles_after
     ))
+}
+
+/// `stats` — database-wide I/O counters, per-object tile counts, the
+/// recorded access log size, and the process-wide metric histograms.
+pub fn stats(db: &Database<FilePageStore>) -> CliResult<String> {
+    let mut out = String::new();
+    writeln!(out, "objects:").expect("string write");
+    for name in db.object_names() {
+        let meta = db.object(&name).map_err(err)?;
+        let phys = db.object_physical_bytes(&name).map_err(err)?;
+        writeln!(
+            out,
+            "  {name}: {} tiles, {} logical bytes, {phys} physical bytes",
+            meta.tile_count(),
+            meta.stored_bytes()
+        )
+        .expect("string write");
+    }
+    let io = db.io_stats().snapshot();
+    writeln!(
+        out,
+        "session I/O: {} pages read, {} pages written, {} blobs read, {} blobs written",
+        io.pages_read, io.pages_written, io.blobs_read, io.blobs_written
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "cache: {} hits, {} misses",
+        io.cache_hits, io.cache_misses
+    )
+    .expect("string write");
+    if let Some(rec) = db.recorder() {
+        let total = rec.total_accesses().map_err(err)?;
+        writeln!(out, "access log: {total} recorded accesses").expect("string write");
+    }
+    let snap = tilestore_obs::metrics().snapshot();
+    writeln!(out, "metrics:").expect("string write");
+    for (name, value) in &snap.counters {
+        writeln!(out, "  {name} = {value}").expect("string write");
+    }
+    for (name, h) in &snap.histograms {
+        writeln!(out, "  {name}: {}", h.summary()).expect("string write");
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// `trace <rasql>` — run one query with the tracer enabled and return the
+/// recorded span/event stream as JSON Lines.
+pub fn trace(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
+    let tracer = tilestore_obs::tracer();
+    tracer.enable(4096);
+    let result = tilestore_rasql::execute(db, text);
+    tracer.disable();
+    let jsonl = tracer.drain_jsonl();
+    let (_, stats) = result.map_err(err)?;
+    let mut out = String::new();
+    write!(out, "{jsonl}").expect("string write");
+    write!(
+        out,
+        "[{} tiles, {} pages read, {} ns]",
+        stats.tiles_read, stats.io.pages_read, stats.elapsed_ns
+    )
+    .expect("string write");
+    Ok(out)
 }
 
 /// `delete <name> <domain>` — remove a region's cells (shrinkage).
@@ -394,6 +478,54 @@ mod tests {
         assert!(create(&mut db, "bad", "u128", 1, None).is_err());
         assert!(load(&mut db, "missing", "[0:1]", "zero").is_err());
         assert!(query(&db, "SELECT nope FROM nope").is_err());
+    }
+
+    #[test]
+    fn stats_command_reports_io_and_metrics() {
+        let (_dir, mut db) = fresh();
+        create(&mut db, "m", "u8", 2, Some("regular:4")).unwrap();
+        load(&mut db, "m", "[0:31,0:31]", "checker").unwrap();
+        query(&db, "SELECT m[0:7,0:7] FROM m").unwrap();
+        let out = stats(&db).unwrap();
+        assert!(out.contains("m: "), "{out}");
+        assert!(out.contains("session I/O:"), "{out}");
+        assert!(out.contains("access log: "), "{out}");
+        assert!(out.contains("engine.query_latency_ns"), "{out}");
+        assert!(out.contains("cache:"), "{out}");
+    }
+
+    #[test]
+    fn trace_command_emits_jsonl_spans() {
+        let (_dir, mut db) = fresh();
+        create(&mut db, "t", "u8", 2, Some("regular:4")).unwrap();
+        load(&mut db, "t", "[0:15,0:15]", "gradient").unwrap();
+        let out = trace(&db, "SELECT t[0:3,0:3] FROM t").unwrap();
+        // The query span and at least one blob read must be present
+        // (other tests may interleave extra global events; only containment
+        // is asserted).
+        assert!(out.contains("\"name\":\"query\""), "{out}");
+        assert!(out.contains("span_start"), "{out}");
+        assert!(out.contains("span_end"), "{out}");
+        assert!(out.contains("blob_read"), "{out}");
+        assert!(out.contains("tiles,"), "{out}");
+        assert!(trace(&db, "SELECT nope FROM nope").is_err());
+    }
+
+    #[test]
+    fn retile_from_log_command() {
+        let (_dir, mut db) = fresh();
+        create(&mut db, "m", "u32", 2, Some("regular:16")).unwrap();
+        load(&mut db, "m", "[0:63,0:63]", "gradient").unwrap();
+        for _ in 0..4 {
+            query(&db, "SELECT m[0:7,0:7] FROM m").unwrap();
+        }
+        let msg = retile(&mut db, "m", "--from-log:0:2:64").unwrap();
+        assert!(msg.contains("from access log"), "{msg}");
+        // Defaults apply when thresholds are omitted.
+        query(&db, "SELECT m[8:15,8:15] FROM m").unwrap();
+        let msg = retile(&mut db, "m", "--from-log").unwrap();
+        assert!(msg.contains("tiles"), "{msg}");
+        assert!(retile(&mut db, "m", "--from-log:x").is_err());
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! tilestore <dbdir> load <name> <domain> <pattern>
 //! tilestore <dbdir> query "SELECT obj[0:9,0:9] FROM obj"
 //! tilestore <dbdir> info [name]
+//! tilestore <dbdir> stats
+//! tilestore <dbdir> trace "SELECT obj[0:9,0:9] FROM obj"
 //! tilestore <dbdir> compress <name> <none|selective>
-//! tilestore <dbdir> retile <name> <scheme>
+//! tilestore <dbdir> retile <name> <scheme|--from-log[:<dist>:<freq>:<maxKB>]>
 //! tilestore <dbdir> drop <name>
 //! tilestore <dbdir> repl
 //! ```
@@ -30,8 +32,11 @@ commands:
   load <name> <domain> <pattern>         synthesize and insert data
   query <rasql>                          run a query
   info [name]                            database / object details
+  stats                                  I/O counters, tile counts, metric histograms
+  trace <rasql>                          run a query with tracing, dump JSONL spans
   compress <name> <none|selective>       set policy and rewrite tiles
   retile <name> <scheme>                 re-tile an object
+  retile <name> --from-log[:d:f:kb]      statistic re-tile from the access log
   delete <name> <domain>                 remove a region's cells
   drop <name>                            remove an object
   repl                                   interactive query shell";
@@ -87,6 +92,17 @@ fn run(args: &[String]) -> CliResult<String> {
             let db = commands::open(&dir)?;
             commands::info(&db, args.first().map(String::as_str))
         }
+        "stats" => {
+            let db = commands::open(&dir)?;
+            commands::stats(&db)
+        }
+        "trace" => match args {
+            [text] => {
+                let db = commands::open(&dir)?;
+                commands::trace(&db, text)
+            }
+            _ => Err("trace <rasql>".to_string()),
+        },
         "compress" => match args {
             [name, policy] => with_db(&dir, |db| commands::compress(db, name, policy)),
             _ => Err("compress <name> <none|selective>".to_string()),
@@ -181,6 +197,13 @@ mod tests {
         assert!(out.contains("u8"), "{out}");
         run(&s(&[d, "compress", "img", "selective"])).unwrap();
         run(&s(&[d, "retile", "img", "regular:8"])).unwrap();
+        let out = run(&s(&[d, "stats"])).unwrap();
+        assert!(out.contains("session I/O:"), "{out}");
+        let out = run(&s(&[d, "trace", "SELECT img[0:1,0:1] FROM img"])).unwrap();
+        assert!(out.contains("span_start"), "{out}");
+        assert!(run(&s(&[d, "trace"])).is_err());
+        let out = run(&s(&[d, "retile", "img", "--from-log"])).unwrap();
+        assert!(out.contains("from access log"), "{out}");
         let out = run(&s(&[d, "query", "SELECT img[0:1,0:1] FROM img"])).unwrap();
         assert!(out.contains("array over [0:1,0:1]"), "{out}");
         run(&s(&[d, "drop", "img"])).unwrap();

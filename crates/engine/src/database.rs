@@ -12,12 +12,14 @@
 //! the `t_ix`/`t_o`/`t_cpu` counters of §6 along the way.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use tilestore_compress::{CellContext, CompressionPolicy};
 use tilestore_geometry::Domain;
 use tilestore_index::RPlusTree;
+use tilestore_obs::AccessRecorder;
 use tilestore_storage::{BlobStore, IoStats, MemPageStore, PageStore, DEFAULT_PAGE_SIZE};
-use tilestore_tiling::{Scheme, StatisticTiling, TilingSpec, TilingStrategy};
+use tilestore_tiling::{AccessRecord, Scheme, StatisticTiling, TilingSpec, TilingStrategy};
 
 use crate::access::{AccessLog, AccessRegion};
 use crate::array::Array;
@@ -57,6 +59,7 @@ struct ObjectState {
 pub struct Database<S: PageStore> {
     blobs: BlobStore<S>,
     objects: BTreeMap<String, ObjectState>,
+    recorder: Option<AccessRecorder>,
 }
 
 impl Database<MemPageStore> {
@@ -78,6 +81,7 @@ impl<S: PageStore> Database<S> {
         Database {
             blobs: BlobStore::new(store),
             objects: BTreeMap::new(),
+            recorder: None,
         }
     }
 
@@ -86,7 +90,23 @@ impl<S: PageStore> Database<S> {
         Database {
             blobs,
             objects: BTreeMap::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a persistent access recorder: every executed range query's
+    /// intersected region is appended to its log, so re-tiling can later run
+    /// from the real observed workload ([`Database::auto_retile_from_log`]).
+    /// File-backed databases opened through the persistence layer get one
+    /// automatically.
+    pub fn attach_recorder(&mut self, recorder: AccessRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached access recorder, if any.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&AccessRecorder> {
+        self.recorder.as_ref()
     }
 
     /// Reinstalls a persisted object (catalog restore path).
@@ -238,6 +258,10 @@ impl<S: PageStore> Database<S> {
     /// # Errors
     /// Type/domain validation errors, tiling errors and storage errors.
     pub fn insert(&mut self, name: &str, array: &Array) -> Result<InsertStats> {
+        let _span = tilestore_obs::tracer().span_with("insert", || {
+            format!("object={name} domain={}", array.domain())
+        });
+        let started = Instant::now();
         let state = self
             .objects
             .get_mut(name)
@@ -292,6 +316,7 @@ impl<S: PageStore> Database<S> {
             Some(cur) => cur.hull(array.domain())?,
             None => array.domain().clone(),
         });
+        stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         Ok(stats)
     }
 
@@ -314,6 +339,13 @@ impl<S: PageStore> Database<S> {
             });
         }
         state.log.record(region);
+        if let Some(rec) = &self.recorder {
+            if rec.record(name, &region.to_string()).is_err() {
+                tilestore_obs::metrics()
+                    .counter("engine.recorder_errors")
+                    .inc();
+            }
+        }
         self.execute_range(&state.meta, region)
     }
 
@@ -356,6 +388,9 @@ impl<S: PageStore> Database<S> {
 
     /// Shared query executor: index lookup, tile fetch, composition.
     fn execute_range(&self, meta: &MddObject, region: &Domain) -> Result<(Array, QueryStats)> {
+        let _span = tilestore_obs::tracer()
+            .span_with("query", || format!("object={} region={region}", meta.name));
+        let started = Instant::now();
         let cell_size = meta.cell_size();
         let search = meta.index.search(region);
         let mut result = Array::filled(region.clone(), &meta.mdd_type.cell.default)?;
@@ -375,6 +410,11 @@ impl<S: PageStore> Database<S> {
         }
         stats.io = self.blobs.stats().snapshot().since(&io_before);
         stats.cells_defaulted = region.cells() - stats.cells_copied;
+        stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let hot = tilestore_obs::hot();
+        hot.queries.inc();
+        hot.query_latency_ns.record(stats.elapsed_ns);
+        hot.query_tiles.record(stats.tiles_read);
         Ok((result, stats))
     }
 
@@ -389,6 +429,8 @@ impl<S: PageStore> Database<S> {
     /// [`EngineError::UnknownObject`], [`EngineError::EmptyObject`],
     /// tiling and storage errors.
     pub fn retile(&mut self, name: &str, scheme: Scheme) -> Result<RetileStats> {
+        let _span = tilestore_obs::tracer().span_with("retile", || format!("object={name}"));
+        let started = Instant::now();
         let state = self
             .objects
             .get_mut(name)
@@ -451,6 +493,7 @@ impl<S: PageStore> Database<S> {
         state.meta.tiles = new_tiles;
         state.meta.scheme = scheme;
         stats.tiles_after = state.meta.tiles.len() as u64;
+        stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         Ok(stats)
     }
 
@@ -467,6 +510,46 @@ impl<S: PageStore> Database<S> {
         max_tile_size: u64,
     ) -> Result<RetileStats> {
         let records = self.access_log(name)?.to_records();
+        let scheme = Scheme::Statistic(StatisticTiling::new(
+            records,
+            distance_threshold,
+            frequency_threshold,
+            max_tile_size,
+        ));
+        self.retile(name, scheme)
+    }
+
+    /// Like [`Database::auto_retile`], but driven by the *persistent* access
+    /// log of the attached [`AccessRecorder`] — the observe → re-tile loop
+    /// of §5.4 closed over real recorded history (it survives reopening the
+    /// database, unlike the in-process log). Malformed log lines are skipped.
+    ///
+    /// # Errors
+    /// [`EngineError::NoAccessRecorder`] when no recorder is attached;
+    /// otherwise the errors of [`Database::retile`].
+    pub fn auto_retile_from_log(
+        &mut self,
+        name: &str,
+        distance_threshold: u64,
+        frequency_threshold: u64,
+        max_tile_size: u64,
+    ) -> Result<RetileStats> {
+        self.object(name)?; // surface UnknownObject before recorder errors
+        let recorder = self
+            .recorder
+            .as_ref()
+            .ok_or(EngineError::NoAccessRecorder)?;
+        let records: Vec<AccessRecord> = recorder
+            .entries_for(name)
+            .map_err(|e| EngineError::Catalog(format!("reading access log: {e}")))?
+            .into_iter()
+            .filter_map(|e| {
+                e.region
+                    .parse::<Domain>()
+                    .ok()
+                    .map(|region| AccessRecord::new(region, e.count))
+            })
+            .collect();
         let scheme = Scheme::Statistic(StatisticTiling::new(
             records,
             distance_threshold,

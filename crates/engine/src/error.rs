@@ -56,6 +56,10 @@ pub enum EngineError {
     BadAccessRegion(String),
     /// Catalog (de)serialization failed.
     Catalog(String),
+    /// A log-driven operation was requested but the database has no
+    /// attached access recorder (in-memory databases record only the
+    /// volatile in-process log).
+    NoAccessRecorder,
 }
 
 impl fmt::Display for EngineError {
@@ -85,6 +89,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::BadAccessRegion(s) => write!(f, "bad access region: {s}"),
             EngineError::Catalog(s) => write!(f, "catalog error: {s}"),
+            EngineError::NoAccessRecorder => {
+                write!(f, "no access recorder attached to this database")
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 use std::fs;
 use std::path::Path;
 
+use tilestore_obs::AccessRecorder;
 use tilestore_storage::{BlobDirectory, BlobStore, FilePageStore, PageStore, DEFAULT_PAGE_SIZE};
 use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
@@ -50,6 +51,8 @@ impl FromJson for Catalog {
 pub const PAGES_FILE: &str = "pages.db";
 /// Name of the catalog file inside a database directory.
 pub const CATALOG_FILE: &str = "catalog.json";
+/// Name of the persistent query-access log inside a database directory.
+pub const ACCESS_LOG_FILE: &str = "access.log";
 
 impl<S: PageStore> Database<S> {
     /// Exports the catalog (objects + BLOB directory) for persistence.
@@ -88,7 +91,11 @@ impl Database<FilePageStore> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir).map_err(|e| EngineError::Catalog(e.to_string()))?;
         let store = FilePageStore::create(dir.join(PAGES_FILE), DEFAULT_PAGE_SIZE)?;
-        Ok(Database::with_store(store))
+        let mut db = Database::with_store(store);
+        let recorder = AccessRecorder::open(dir.join(ACCESS_LOG_FILE))
+            .map_err(|e| EngineError::Catalog(format!("opening access log: {e}")))?;
+        db.attach_recorder(recorder);
+        Ok(db)
     }
 
     /// Saves the catalog to the database directory.
@@ -113,7 +120,11 @@ impl Database<FilePageStore> {
         let catalog: Catalog = tilestore_testkit::json::from_str(&json)
             .map_err(|e| EngineError::Catalog(format!("parsing catalog: {e}")))?;
         let store = FilePageStore::open(dir.join(PAGES_FILE), catalog.page_size)?;
-        Ok(Database::from_catalog(store, catalog))
+        let mut db = Database::from_catalog(store, catalog);
+        let recorder = AccessRecorder::open(dir.join(ACCESS_LOG_FILE))
+            .map_err(|e| EngineError::Catalog(format!("opening access log: {e}")))?;
+        db.attach_recorder(recorder);
+        Ok(db)
     }
 }
 
@@ -158,6 +169,89 @@ mod tests {
             one.get::<u32>(&Point::from_slice(&[7, 11])).unwrap(),
             7 * 31 + 11
         );
+    }
+
+    #[test]
+    fn file_backed_db_records_accesses_persistently() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let region: Domain = "[0:4,0:4]".parse().unwrap();
+        {
+            let mut db = Database::create_dir(dir.path()).unwrap();
+            db.create_object(
+                "m",
+                MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+                Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+            )
+            .unwrap();
+            db.insert(
+                "m",
+                &Array::from_fn("[0:19,0:19]".parse().unwrap(), |p| p[0] as u32).unwrap(),
+            )
+            .unwrap();
+            db.range_query("m", &region).unwrap();
+            db.range_query("m", &region).unwrap();
+            db.save(dir.path()).unwrap();
+        }
+        // The log file exists and survives reopening.
+        assert!(dir.path().join(ACCESS_LOG_FILE).exists());
+        let db = Database::open_dir(dir.path()).unwrap();
+        let entries = db.recorder().unwrap().entries_for("m").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].region, "[0:4,0:4]");
+        assert_eq!(entries[0].count, 2);
+    }
+
+    #[test]
+    fn auto_retile_from_log_requires_recorder() {
+        let mut db = Database::in_memory().unwrap();
+        db.create_object(
+            "m",
+            MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+        )
+        .unwrap();
+        db.insert(
+            "m",
+            &Array::from_fn("[0:9,0:9]".parse().unwrap(), |p| p[1] as u32).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            db.auto_retile_from_log("m", 0, 1, 4096),
+            Err(EngineError::NoAccessRecorder)
+        ));
+        // Unknown object is reported first even without a recorder.
+        assert!(matches!(
+            db.auto_retile_from_log("nope", 0, 1, 4096),
+            Err(EngineError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn auto_retile_from_recorded_log_adapts_tiling() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let mut db = Database::create_dir(dir.path()).unwrap();
+        db.create_object(
+            "m",
+            MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+        )
+        .unwrap();
+        let data = Array::from_fn("[0:99,0:99]".parse().unwrap(), |p| {
+            (p[0] * 100 + p[1]) as u32
+        })
+        .unwrap();
+        db.insert("m", &data).unwrap();
+        let hot: Domain = "[10:29,10:29]".parse().unwrap();
+        for _ in 0..8 {
+            db.range_query("m", &hot).unwrap();
+        }
+        let stats = db.auto_retile_from_log("m", 0, 4, 64 * 1024).unwrap();
+        assert!(stats.tiles_after > 0);
+        // The hot region is now exactly one tile: no wasted cells.
+        let (out, qs) = db.range_query("m", &hot).unwrap();
+        assert_eq!(out, data.extract(&hot).unwrap());
+        assert_eq!(qs.cells_processed, hot.cells());
+        assert_eq!(qs.tiles_read, 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Query execution statistics and the paper's time decomposition (§6).
 
 use tilestore_storage::{CostModel, IoSnapshot};
-use tilestore_testkit::{Json, ToJson};
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 /// Counters collected while executing one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,6 +20,8 @@ pub struct QueryStats {
     pub cells_copied: u64,
     /// Cells of the result filled with the default value (uncovered areas).
     pub cells_defaulted: u64,
+    /// Wall-clock execution time of the query in nanoseconds.
+    pub elapsed_ns: u64,
 }
 
 impl QueryStats {
@@ -34,7 +36,10 @@ impl QueryStats {
         let t_ix = model.t_ix(self.index_nodes);
         let t_o = model.t_o(&self.io);
         let useful = self.cells_copied + self.cells_defaulted;
-        let wasted = self.cells_processed - self.cells_copied;
+        // A caller may report more copied than processed cells (e.g. when the
+        // result is composed from overlapping reads); clamp instead of
+        // underflowing.
+        let wasted = self.cells_processed.saturating_sub(self.cells_copied);
         let t_cpu = model.t_cpu(useful, wasted);
         QueryTimes { t_ix, t_o, t_cpu }
     }
@@ -49,7 +54,22 @@ impl ToJson for QueryStats {
             ("cells_processed", self.cells_processed.to_json()),
             ("cells_copied", self.cells_copied.to_json()),
             ("cells_defaulted", self.cells_defaulted.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
         ])
+    }
+}
+
+impl FromJson for QueryStats {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(QueryStats {
+            index_nodes: u64::from_json(v.field("index_nodes")?)?,
+            tiles_read: u64::from_json(v.field("tiles_read")?)?,
+            io: IoSnapshot::from_json(v.field("io")?)?,
+            cells_processed: u64::from_json(v.field("cells_processed")?)?,
+            cells_copied: u64::from_json(v.field("cells_copied")?)?,
+            cells_defaulted: u64::from_json(v.field("cells_defaulted")?)?,
+            elapsed_ns: u64::from_json(v.field("elapsed_ns")?)?,
+        })
     }
 }
 
@@ -101,6 +121,16 @@ impl ToJson for QueryTimes {
     }
 }
 
+impl FromJson for QueryTimes {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(QueryTimes {
+            t_ix: f64::from_json(v.field("t_ix")?)?,
+            t_o: f64::from_json(v.field("t_o")?)?,
+            t_cpu: f64::from_json(v.field("t_cpu")?)?,
+        })
+    }
+}
+
 /// Statistics of one insert (load) operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InsertStats {
@@ -110,6 +140,8 @@ pub struct InsertStats {
     pub bytes_written: u64,
     /// Pages written.
     pub pages_written: u64,
+    /// Wall-clock insert time in nanoseconds.
+    pub elapsed_ns: u64,
 }
 
 impl ToJson for InsertStats {
@@ -118,7 +150,19 @@ impl ToJson for InsertStats {
             ("tiles_created", self.tiles_created.to_json()),
             ("bytes_written", self.bytes_written.to_json()),
             ("pages_written", self.pages_written.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
         ])
+    }
+}
+
+impl FromJson for InsertStats {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(InsertStats {
+            tiles_created: u64::from_json(v.field("tiles_created")?)?,
+            bytes_written: u64::from_json(v.field("bytes_written")?)?,
+            pages_written: u64::from_json(v.field("pages_written")?)?,
+            elapsed_ns: u64::from_json(v.field("elapsed_ns")?)?,
+        })
     }
 }
 
@@ -131,6 +175,8 @@ pub struct RetileStats {
     pub tiles_after: u64,
     /// Payload bytes rewritten.
     pub bytes_rewritten: u64,
+    /// Wall-clock re-tiling time in nanoseconds.
+    pub elapsed_ns: u64,
 }
 
 impl ToJson for RetileStats {
@@ -139,7 +185,19 @@ impl ToJson for RetileStats {
             ("tiles_before", self.tiles_before.to_json()),
             ("tiles_after", self.tiles_after.to_json()),
             ("bytes_rewritten", self.bytes_rewritten.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
         ])
+    }
+}
+
+impl FromJson for RetileStats {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(RetileStats {
+            tiles_before: u64::from_json(v.field("tiles_before")?)?,
+            tiles_after: u64::from_json(v.field("tiles_after")?)?,
+            bytes_rewritten: u64::from_json(v.field("bytes_rewritten")?)?,
+            elapsed_ns: u64::from_json(v.field("elapsed_ns")?)?,
+        })
     }
 }
 
@@ -161,6 +219,7 @@ mod tests {
             cells_processed: 15_000,
             cells_copied: 13_000,
             cells_defaulted: 0,
+            elapsed_ns: 0,
         };
         let m = CostModel::classic_disk();
         let t = stats.times(&m);
@@ -189,5 +248,79 @@ mod tests {
             ..QueryStats::default()
         };
         assert!(a.times(&m).t_cpu > 0.0);
+    }
+
+    #[test]
+    fn more_copied_than_processed_does_not_underflow() {
+        // Regression: `cells_processed - cells_copied` used to panic in
+        // debug builds when a caller reported more copied than processed.
+        let stats = QueryStats {
+            cells_processed: 10,
+            cells_copied: 25,
+            ..QueryStats::default()
+        };
+        let t = stats.times(&CostModel::classic_disk());
+        assert!(t.t_cpu >= 0.0 && t.t_cpu.is_finite());
+    }
+
+    #[test]
+    fn query_stats_json_round_trip() {
+        let stats = QueryStats {
+            index_nodes: 7,
+            tiles_read: 3,
+            io: IoSnapshot {
+                blobs_read: 3,
+                pages_read: 12,
+                bytes_read: 90_000,
+                ..IoSnapshot::default()
+            },
+            cells_processed: 500,
+            cells_copied: 400,
+            cells_defaulted: 10,
+            elapsed_ns: 123_456,
+        };
+        let json = tilestore_testkit::json::to_string(&stats);
+        let back: QueryStats = tilestore_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, stats, "{json}");
+    }
+
+    #[test]
+    fn query_times_json_round_trip() {
+        let t = QueryTimes {
+            t_ix: 0.001,
+            t_o: 0.25,
+            t_cpu: 0.055,
+        };
+        let json = tilestore_testkit::json::to_string(&t);
+        let back: QueryTimes = tilestore_testkit::json::from_str(&json).unwrap();
+        assert!((back.t_ix - t.t_ix).abs() < 1e-12);
+        assert!((back.t_o - t.t_o).abs() < 1e-12);
+        assert!((back.t_cpu - t.t_cpu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_stats_json_round_trip() {
+        let stats = InsertStats {
+            tiles_created: 16,
+            bytes_written: 1 << 20,
+            pages_written: 130,
+            elapsed_ns: 42,
+        };
+        let json = tilestore_testkit::json::to_string(&stats);
+        let back: InsertStats = tilestore_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, stats, "{json}");
+    }
+
+    #[test]
+    fn retile_stats_json_round_trip() {
+        let stats = RetileStats {
+            tiles_before: 64,
+            tiles_after: 9,
+            bytes_rewritten: 2 << 20,
+            elapsed_ns: 7_000_000,
+        };
+        let json = tilestore_testkit::json::to_string(&stats);
+        let back: RetileStats = tilestore_testkit::json::from_str(&json).unwrap();
+        assert_eq!(back, stats, "{json}");
     }
 }

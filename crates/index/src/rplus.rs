@@ -408,6 +408,10 @@ impl RPlusTree {
         let mut hits = Vec::new();
         let mut visited = 0u64;
         self.search_rec(self.root, region, &mut hits, &mut visited);
+        tilestore_obs::hot().index_nodes.record(visited);
+        tilestore_obs::tracer().event("index_search", || {
+            format!("region={region} nodes={visited} hits={}", hits.len())
+        });
         SearchResult {
             hits,
             nodes_visited: visited,

@@ -1,0 +1,148 @@
+//! Observability layer for the tile store: structured tracing spans,
+//! a lock-free metrics registry, and a persistent query-access recorder
+//! that feeds statistic tiling.
+//!
+//! The crate is dependency-free apart from the in-tree testkit (for JSON
+//! serialization). Three facilities:
+//!
+//! - [`trace`]: nestable spans/events in a bounded ring buffer, JSONL export.
+//! - [`metrics`]: atomic counters, gauges and log2-bucket histograms.
+//! - [`recorder`]: an append-only JSONL log of executed query regions,
+//!   persisted alongside the catalog, replayable into `StatisticTiling`.
+//!
+//! Process-wide singletons are exposed through [`metrics()`] and [`tracer()`];
+//! hot paths use the pre-resolved [`hot()`] handles so an instrument update
+//! never takes the registry lock.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use recorder::{AccessRecorder, LoggedAccess};
+pub use trace::{EventKind, SpanGuard, TraceEvent, Tracer};
+
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide metrics registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+/// The process-wide tracer (disabled until [`Tracer::enable`] is called).
+pub fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(Tracer::new)
+}
+
+/// Pre-resolved handles to the hot-path instruments, registered once in the
+/// global registry. Updating through these is purely atomic — no name lookup,
+/// no registry lock — so storage/index/engine code can instrument per-page
+/// and per-tile operations without measurable overhead.
+#[derive(Debug)]
+pub struct HotMetrics {
+    /// Pages read from the backing store.
+    pub pages_read: Arc<Counter>,
+    /// Pages written to the backing store.
+    pub pages_written: Arc<Counter>,
+    /// Blob (tile payload) reads.
+    pub blob_reads: Arc<Counter>,
+    /// Blob (tile payload) writes.
+    pub blob_writes: Arc<Counter>,
+    /// Buffer-pool page hits.
+    pub cache_hits: Arc<Counter>,
+    /// Buffer-pool page misses.
+    pub cache_misses: Arc<Counter>,
+    /// Range queries executed.
+    pub queries: Arc<Counter>,
+    /// End-to-end query latency in nanoseconds.
+    pub query_latency_ns: Arc<Histogram>,
+    /// Tiles touched per query.
+    pub query_tiles: Arc<Histogram>,
+    /// Serialized tile size in bytes.
+    pub tile_bytes: Arc<Histogram>,
+    /// R+-tree nodes visited per index search.
+    pub index_nodes: Arc<Histogram>,
+    /// Tiling partitions computed (any strategy).
+    pub partitions: Arc<Counter>,
+}
+
+impl HotMetrics {
+    fn resolve(reg: &MetricsRegistry) -> Self {
+        HotMetrics {
+            pages_read: reg.counter("storage.pages_read"),
+            pages_written: reg.counter("storage.pages_written"),
+            blob_reads: reg.counter("storage.blob_reads"),
+            blob_writes: reg.counter("storage.blob_writes"),
+            cache_hits: reg.counter("storage.cache_hits"),
+            cache_misses: reg.counter("storage.cache_misses"),
+            queries: reg.counter("engine.queries"),
+            query_latency_ns: reg.histogram("engine.query_latency_ns"),
+            query_tiles: reg.histogram("engine.query_tiles"),
+            tile_bytes: reg.histogram("storage.tile_bytes"),
+            index_nodes: reg.histogram("index.nodes_visited"),
+            partitions: reg.counter("tiling.partitions"),
+        }
+    }
+
+    /// The buffer-pool hit ratio in `[0, 1]` (0 when no lookups yet).
+    #[must_use]
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let hits = self.cache_hits.get();
+        let total = hits + self.cache_misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Pre-resolved hot-path instrument handles backed by [`metrics()`].
+pub fn hot() -> &'static HotMetrics {
+    static HOT: OnceLock<HotMetrics> = OnceLock::new();
+    HOT.get_or_init(|| HotMetrics::resolve(metrics()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_are_shared() {
+        hot().queries.inc();
+        let before = metrics()
+            .snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == "engine.queries")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(before >= 1);
+        hot().queries.inc();
+        let after = metrics()
+            .snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == "engine.queries")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn cache_hit_ratio_bounds() {
+        // Global counters are shared with other tests; only assert bounds.
+        let r = hot().cache_hit_ratio();
+        assert!((0.0..=1.0).contains(&r));
+        hot().cache_hits.inc();
+        assert!(hot().cache_hit_ratio() > 0.0);
+    }
+}

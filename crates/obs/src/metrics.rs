@@ -1,0 +1,534 @@
+//! Lock-free metrics: counters, gauges and fixed log2-bucket histograms,
+//! collected in a [`MetricsRegistry`].
+//!
+//! Every update is a handful of relaxed atomic operations — no locks, no
+//! allocation — so the instruments are safe to hit on the query hot path.
+//! The registry itself uses a mutex only for registration (get-or-create by
+//! name) and snapshotting, never per update: callers cache the returned
+//! `Arc` handles.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tilestore_testkit::{Json, ToJson};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values whose bit length is
+/// `i`, i.e. value 0 → bucket 0, value `v > 0` → bucket `64 - v.leading_zeros()`.
+/// Bucket `i > 0` therefore spans `[2^(i-1), 2^i - 1]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucket histogram of `u64` samples.
+///
+/// Recording is lock-free: one bucket increment plus count/sum/min/max
+/// updates, all relaxed atomics. Quantiles are approximated from the bucket
+/// boundaries (exact to within a factor of 2, like HdrHistogram's coarsest
+/// setting) — good enough to spot latency regressions without per-sample
+/// storage.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a sample (its bit length).
+#[must_use]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Upper bound of bucket `i` (inclusive).
+#[must_use]
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes an immutable summary.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, out) in self.buckets.iter().zip(buckets.iter_mut()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every bucket and statistic.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the inclusive upper bound of the bucket holding
+    /// the `q`-quantile sample (clamped to the observed max).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 - 1.0) * q.clamp(0.0, 1.0)).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} min={} p50={} p95={} max={} mean={:.1}",
+            self.count,
+            self.min,
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.max,
+            self.mean()
+        )
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        // Sparse bucket encoding: [bit_length, count] pairs for non-empty
+        // buckets keeps reports compact.
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| Json::Array(vec![Json::UInt(i as u64), Json::UInt(n)]))
+            .collect();
+        Json::obj(vec![
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+            ("mean", self.mean().to_json()),
+            ("p50", self.quantile(0.5).to_json()),
+            ("p95", self.quantile(0.95).to_json()),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+/// A named collection of metrics. Registration is get-or-create by name;
+/// the returned handles are shared, so repeated lookups observe the same
+/// instrument.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+fn get_or_insert<T: Default>(list: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut list = list.lock().unwrap();
+    if let Some((_, m)) = list.iter().find(|(n, _)| n == name) {
+        return Arc::clone(m);
+    }
+    let m = Arc::new(T::default());
+    list.push((name.to_string(), Arc::clone(&m)));
+    m
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Snapshot of every registered metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Resets every registered metric (instruments stay registered).
+    pub fn reset(&self) {
+        for (_, c) in self.counters.lock().unwrap().iter() {
+            c.reset();
+        }
+        for (_, g) in self.gauges.lock().unwrap().iter() {
+            g.reset();
+        }
+        for (_, h) in self.histograms.lock().unwrap().iter() {
+            h.reset();
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        let obj = |fields: Vec<(String, Json)>| Json::Object(fields);
+        Json::obj(vec![
+            (
+                "counters",
+                obj(self
+                    .counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.to_json()))
+                    .collect()),
+            ),
+            (
+                "gauges",
+                obj(self
+                    .gauges
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.to_json()))
+                    .collect()),
+            ),
+            (
+                "histograms",
+                obj(self
+                    .histograms
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.to_json()))
+                    .collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+        // p50 falls in the bucket of 3 → upper bound 3.
+        assert_eq!(s.quantile(0.5), 3);
+        // Rank 3 of 5 is the sample 100 → bucket upper bound 127.
+        assert_eq!(s.quantile(0.95), 127);
+        // q=1.0 reaches the last bucket, clamped to the observed max.
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!(s.summary().contains("n=5"), "{}", s.summary());
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_reset_clears_all() {
+        let h = Histogram::new();
+        h.record(7);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert!(s.buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_instruments() {
+        let r = MetricsRegistry::new();
+        r.counter("queries").inc();
+        r.counter("queries").inc();
+        assert_eq!(r.counter("queries").get(), 2);
+        r.histogram("latency").record(8);
+        r.gauge("cached").set(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("queries".to_string(), 2)]);
+        assert_eq!(snap.gauges, vec![("cached".to_string(), 3)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        r.reset();
+        assert_eq!(r.counter("queries").get(), 0);
+        assert_eq!(r.histogram("latency").count(), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(3);
+        r.histogram("h").record(5);
+        let json = r.snapshot().to_json().to_string_compact();
+        assert!(json.contains("\"a\":3"), "{json}");
+        assert!(json.contains("\"p95\""), "{json}");
+        // Parses back as valid JSON.
+        assert!(tilestore_testkit::Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        let h = r.histogram("v");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.snapshot().count, 8000);
+    }
+}

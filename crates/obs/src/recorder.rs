@@ -1,0 +1,216 @@
+//! Persistent access recorder: appends each executed query's intersected
+//! domain to a JSONL log file so statistic tiling can later run from real
+//! observed history.
+//!
+//! Each line is a compact JSON object `{"object": <name>, "region": <domain>}`
+//! where the region is the engine's textual domain form (`[lo:hi,lo:hi]`).
+//! The recorder is append-only and flushes after every record, so the log
+//! survives crashes mid-workload and can be read back by any process.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use tilestore_testkit::{Json, ToJson};
+
+/// One aggregated entry read back from an access log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedAccess {
+    /// Name of the stored MDD object.
+    pub object: String,
+    /// Textual form of the accessed region (`[lo:hi,...]`).
+    pub region: String,
+    /// How many times this exact region was accessed.
+    pub count: u64,
+}
+
+/// Appends query accesses to a JSONL file and reads them back aggregated.
+#[derive(Debug)]
+pub struct AccessRecorder {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl AccessRecorder {
+    /// Opens (or creates) the log at `path` in append mode.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(AccessRecorder {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Path of the backing log file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one access of `region` on `object` and flushes.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the write fails.
+    pub fn record(&self, object: &str, region: &str) -> std::io::Result<()> {
+        let line = Json::obj(vec![
+            ("object", Json::Str(object.to_string())),
+            ("region", Json::Str(region.to_string())),
+        ])
+        .to_string_compact();
+        let mut w = self.writer.lock().unwrap();
+        writeln!(w, "{line}")?;
+        w.flush()
+    }
+
+    /// Reads the whole log back, aggregated as (object, region) → count,
+    /// in first-seen order. Malformed lines are skipped.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be read.
+    pub fn entries(&self) -> std::io::Result<Vec<LoggedAccess>> {
+        self.writer.lock().unwrap().flush()?;
+        let file = File::open(&self.path)?;
+        let mut out: Vec<LoggedAccess> = Vec::new();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(v) = Json::parse(&line) else { continue };
+            let (Some(object), Some(region)) = (
+                v.get("object").and_then(Json::as_str),
+                v.get("region").and_then(Json::as_str),
+            ) else {
+                continue;
+            };
+            if let Some(e) = out
+                .iter_mut()
+                .find(|e| e.object == object && e.region == region)
+            {
+                e.count += 1;
+            } else {
+                out.push(LoggedAccess {
+                    object: object.to_string(),
+                    region: region.to_string(),
+                    count: 1,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`AccessRecorder::entries`], restricted to one object.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be read.
+    pub fn entries_for(&self, object: &str) -> std::io::Result<Vec<LoggedAccess>> {
+        Ok(self
+            .entries()?
+            .into_iter()
+            .filter(|e| e.object == object)
+            .collect())
+    }
+
+    /// Total number of recorded accesses (all objects).
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be read.
+    pub fn total_accesses(&self) -> std::io::Result<u64> {
+        Ok(self.entries()?.iter().map(|e| e.count).sum())
+    }
+
+    /// Truncates the log (e.g. after the history has been consumed by a
+    /// re-tiling pass).
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be truncated.
+    pub fn clear(&self) -> std::io::Result<()> {
+        let mut w = self.writer.lock().unwrap();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)?;
+        *w = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+impl ToJson for LoggedAccess {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("object", Json::Str(self.object.clone())),
+            ("region", Json::Str(self.region.clone())),
+            ("count", self.count.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilestore_testkit::tempdir;
+
+    #[test]
+    fn records_and_reads_back_aggregated() {
+        let dir = tempdir().unwrap();
+        let rec = AccessRecorder::open(dir.path().join("access.log")).unwrap();
+        rec.record("m", "[0:9,0:9]").unwrap();
+        rec.record("m", "[0:9,0:9]").unwrap();
+        rec.record("m", "[50:59,50:59]").unwrap();
+        rec.record("other", "[0:9,0:9]").unwrap();
+
+        let entries = rec.entries_for("m").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].region, "[0:9,0:9]");
+        assert_eq!(entries[0].count, 2);
+        assert_eq!(entries[1].region, "[50:59,50:59]");
+        assert_eq!(entries[1].count, 1);
+        assert_eq!(rec.total_accesses().unwrap(), 4);
+    }
+
+    #[test]
+    fn log_survives_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("access.log");
+        {
+            let rec = AccessRecorder::open(&path).unwrap();
+            rec.record("m", "[0:3]").unwrap();
+        }
+        let rec = AccessRecorder::open(&path).unwrap();
+        rec.record("m", "[0:3]").unwrap();
+        let entries = rec.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 2);
+    }
+
+    #[test]
+    fn clear_truncates_and_keeps_recording() {
+        let dir = tempdir().unwrap();
+        let rec = AccessRecorder::open(dir.path().join("access.log")).unwrap();
+        rec.record("m", "[0:3]").unwrap();
+        rec.clear().unwrap();
+        assert!(rec.entries().unwrap().is_empty());
+        rec.record("m", "[4:7]").unwrap();
+        let entries = rec.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].region, "[4:7]");
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("access.log");
+        std::fs::write(&path, "not json\n{\"object\":\"m\"}\n").unwrap();
+        let rec = AccessRecorder::open(&path).unwrap();
+        rec.record("m", "[0:1]").unwrap();
+        let entries = rec.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].region, "[0:1]");
+    }
+}

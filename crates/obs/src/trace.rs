@@ -1,0 +1,389 @@
+//! Structured tracing: nestable spans and point events with monotonic
+//! timestamps, recorded into a bounded ring buffer.
+//!
+//! The recorder is disabled by default. While disabled, entering a span or
+//! emitting an event costs one relaxed atomic load and performs **no
+//! allocation** — detail strings are produced by closures that are only
+//! invoked when recording is on. When the ring buffer is full the oldest
+//! events are overwritten (the drop count is reported), so tracing overhead
+//! is bounded regardless of workload length.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tilestore_testkit::{Json, ToJson};
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span was entered.
+    SpanStart,
+    /// A span was exited; `dur_ns` holds its duration.
+    SpanEnd,
+    /// A point event inside the current span.
+    Event,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic timestamp in nanoseconds since the tracer was created.
+    pub t_ns: u64,
+    /// Start / end / point event.
+    pub kind: EventKind,
+    /// Static name of the span or event.
+    pub name: &'static str,
+    /// Free-form detail (`key=value` pairs by convention; empty when none).
+    pub detail: String,
+    /// Id of the span this event belongs to (the span itself for
+    /// start/end; the enclosing span for point events; 0 = no span).
+    pub span: u64,
+    /// Id of the parent span (0 = root).
+    pub parent: u64,
+    /// Span duration in nanoseconds ([`EventKind::SpanEnd`] only).
+    pub dur_ns: u64,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("t_ns", self.t_ns.to_json()),
+            ("kind", Json::Str(self.kind.as_str().to_string())),
+            ("name", Json::Str(self.name.to_string())),
+            ("span", self.span.to_json()),
+            ("parent", self.parent.to_json()),
+        ];
+        if self.kind == EventKind::SpanEnd {
+            fields.push(("dur_ns", self.dur_ns.to_json()));
+        }
+        if !self.detail.is_empty() {
+            fields.push(("detail", Json::Str(self.detail.clone())));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Bounded event storage.
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, e: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+}
+
+thread_local! {
+    /// Innermost active span of this thread (0 = none).
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A structured trace recorder with a fixed-capacity ring buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    next_span: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer (enable with [`Tracer::enable`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether events are currently recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts recording into a fresh ring buffer of `capacity` events.
+    pub fn enable(&self, capacity: usize) {
+        {
+            let mut ring = self.ring.lock().unwrap();
+            *ring = Ring {
+                events: VecDeque::with_capacity(capacity),
+                capacity,
+                dropped: 0,
+            };
+        }
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording (already-recorded events stay drainable).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since the tracer was created.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Enters a span. The returned guard records the matching end event on
+    /// drop; nesting is tracked per thread. When the tracer is disabled the
+    /// guard is inert and nothing is allocated.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_with(name, String::new)
+    }
+
+    /// Enters a span with a lazily-built detail string (only invoked while
+    /// recording is on).
+    #[must_use]
+    pub fn span_with<F: FnOnce() -> String>(&self, name: &'static str, detail: F) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                tracer: None,
+                name,
+                span: 0,
+                parent: 0,
+                started_ns: 0,
+            };
+        }
+        let span = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|c| c.replace(span));
+        let t_ns = self.now_ns();
+        self.ring.lock().unwrap().push(TraceEvent {
+            t_ns,
+            kind: EventKind::SpanStart,
+            name,
+            detail: detail(),
+            span,
+            parent,
+            dur_ns: 0,
+        });
+        SpanGuard {
+            tracer: Some(self),
+            name,
+            span,
+            parent,
+            started_ns: t_ns,
+        }
+    }
+
+    /// Records a point event in the current span. `detail` is only invoked
+    /// while recording is on, so a disabled tracer performs no allocation.
+    pub fn event<F: FnOnce() -> String>(&self, name: &'static str, detail: F) {
+        if !self.is_enabled() {
+            return;
+        }
+        let span = CURRENT_SPAN.with(Cell::get);
+        let e = TraceEvent {
+            t_ns: self.now_ns(),
+            kind: EventKind::Event,
+            name,
+            detail: detail(),
+            span,
+            parent: span,
+            dur_ns: 0,
+        };
+        self.ring.lock().unwrap().push(e);
+    }
+
+    /// Number of events dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Removes and returns every recorded event, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().events.drain(..).collect()
+    }
+
+    /// Drains and serializes the buffer as JSON Lines (one event object per
+    /// line).
+    #[must_use]
+    pub fn drain_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.drain() {
+            out.push_str(&e.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII guard of an active span; records the end event on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    name: &'static str,
+    span: u64,
+    parent: u64,
+    started_ns: u64,
+}
+
+impl SpanGuard<'_> {
+    /// The span id (0 when the tracer was disabled at entry).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.span
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(tracer) = self.tracer else { return };
+        CURRENT_SPAN.with(|c| c.set(self.parent));
+        let t_ns = tracer.now_ns();
+        tracer.ring.lock().unwrap().push(TraceEvent {
+            t_ns,
+            kind: EventKind::SpanEnd,
+            name: self.name,
+            detail: String::new(),
+            span: self.span,
+            parent: self.parent,
+            dur_ns: t_ns.saturating_sub(self.started_ns),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        {
+            let _g = t.span("query");
+            t.event("tile", || panic!("detail closure must not run"));
+        }
+        assert!(t.drain().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let t = Tracer::new();
+        t.enable(64);
+        {
+            let outer = t.span("query");
+            let outer_id = outer.id();
+            {
+                let inner = t.span_with("blob_read", || "bytes=100".to_string());
+                assert_ne!(inner.id(), outer_id);
+                t.event("page_read", || "page=3".to_string());
+            }
+        }
+        t.disable();
+        let events = t.drain();
+        // start(query), start(blob_read), event(page_read), end(blob_read), end(query)
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn span_event_sequence_is_complete() {
+        let t = Tracer::new();
+        t.enable(64);
+        {
+            let _outer = t.span("query");
+            {
+                let _inner = t.span("blob_read");
+                t.event("page_read", || "page=3".to_string());
+            }
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[0].name, "query");
+        assert_eq!(events[0].parent, 0);
+        assert_eq!(events[1].name, "blob_read");
+        assert_eq!(events[1].parent, events[0].span);
+        assert_eq!(events[2].kind, EventKind::Event);
+        assert_eq!(events[2].span, events[1].span);
+        assert_eq!(events[3].kind, EventKind::SpanEnd);
+        assert_eq!(events[3].name, "blob_read");
+        assert_eq!(events[4].name, "query");
+        // Timestamps are monotone.
+        assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        // The inner span's duration fits inside the outer's.
+        assert!(events[3].dur_ns <= events[4].dur_ns);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_drops_oldest() {
+        let t = Tracer::new();
+        t.enable(4);
+        for _ in 0..10 {
+            t.event("e", String::new);
+        }
+        assert_eq!(t.dropped(), 6);
+        let events = t.drain();
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn jsonl_export_is_parseable_per_line() {
+        let t = Tracer::new();
+        t.enable(16);
+        {
+            let _g = t.span_with("query", || "region=[0:9,0:9]".to_string());
+        }
+        let jsonl = t.drain_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.field("name").unwrap().as_str(), Some("query"));
+        }
+        assert!(jsonl.contains("span_start") && jsonl.contains("span_end"));
+        assert!(jsonl.contains("dur_ns"));
+        assert!(jsonl.contains("region=[0:9,0:9]"));
+    }
+
+    #[test]
+    fn re_enabling_resets_the_buffer() {
+        let t = Tracer::new();
+        t.enable(8);
+        t.event("a", String::new);
+        t.enable(8);
+        t.event("b", String::new);
+        let events = t.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "b");
+    }
+}

@@ -197,6 +197,8 @@ impl<S: PageStore> BlobStore<S> {
     /// # Errors
     /// Backend allocation/write errors.
     pub fn create(&self, data: &[u8]) -> Result<BlobId> {
+        let _span =
+            tilestore_obs::tracer().span_with("blob_create", || format!("bytes={}", data.len()));
         let page_size = self.store.page_size();
         let needed = self.pages_for(data.len() as u64);
         let pages = {
@@ -231,6 +233,9 @@ impl<S: PageStore> BlobStore<S> {
         }
         self.stats.add_pages_written(pages.len() as u64);
         self.stats.add_blob_written(data.len() as u64);
+        let hot = tilestore_obs::hot();
+        hot.blob_writes.inc();
+        hot.tile_bytes.record(data.len() as u64);
         let id = {
             let mut inner = self.inner.lock().unwrap();
             let id = inner.next_id;
@@ -252,6 +257,7 @@ impl<S: PageStore> BlobStore<S> {
     /// # Errors
     /// [`StorageError::UnknownBlob`] or backend read errors.
     pub fn read(&self, id: BlobId) -> Result<Vec<u8>> {
+        let _span = tilestore_obs::tracer().span_with("blob_read", || format!("blob={}", id.0));
         let entry = {
             let inner = self.inner.lock().unwrap();
             inner
@@ -269,6 +275,9 @@ impl<S: PageStore> BlobStore<S> {
         data.truncate(entry.len as usize);
         self.stats.add_pages_read(entry.pages.len() as u64);
         self.stats.add_blob_read(entry.len);
+        let hot = tilestore_obs::hot();
+        hot.blob_reads.inc();
+        hot.tile_bytes.record(entry.len);
         Ok(data)
     }
 
@@ -327,6 +336,9 @@ impl<S: PageStore> BlobStore<S> {
         }
         self.stats.add_pages_written(pages.len() as u64);
         self.stats.add_blob_written(data.len() as u64);
+        let hot = tilestore_obs::hot();
+        hot.blob_writes.inc();
+        hot.tile_bytes.record(data.len() as u64);
         let mut inner = self.inner.lock().unwrap();
         inner.entries.insert(
             id.0,

@@ -103,11 +103,13 @@ impl<S: PageStore> PageStore for BufferPool<S> {
                 buf.copy_from_slice(frame);
                 *last = tick;
                 self.stats.add_cache_hit();
+                tilestore_obs::hot().cache_hits.inc();
                 return Ok(());
             }
         }
         // Miss: fetch outside the lock-held fast path, then install.
         self.stats.add_cache_miss();
+        tilestore_obs::hot().cache_misses.inc();
         self.store.read_page(page, buf)?;
         let mut inner = self.inner.lock().unwrap();
         Self::evict_if_full(&mut inner, self.capacity);

@@ -224,6 +224,8 @@ impl PageStore for FilePageStore {
             .file
             .seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
         inner.file.read_exact(buf)?;
+        tilestore_obs::hot().pages_read.inc();
+        tilestore_obs::tracer().event("page_read", || format!("page={}", page.0));
         Ok(())
     }
 
@@ -240,6 +242,8 @@ impl PageStore for FilePageStore {
             .file
             .seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
         inner.file.write_all(buf)?;
+        tilestore_obs::hot().pages_written.inc();
+        tilestore_obs::tracer().event("page_write", || format!("page={}", page.0));
         Ok(())
     }
 }

@@ -74,13 +74,18 @@ impl TilingStrategy for Scheme {
     }
 
     fn partition(&self, domain: &Domain, cell_size: usize) -> Result<TilingSpec> {
-        match self {
+        let _span = tilestore_obs::tracer()
+            .span_with("tiling_partition", || format!("strategy={}", self.name()));
+        tilestore_obs::hot().partitions.inc();
+        let spec = match self {
             Scheme::Aligned(s) => s.partition(domain, cell_size),
             Scheme::SingleTile(s) => s.partition(domain, cell_size),
             Scheme::Directional(s) => s.partition(domain, cell_size),
             Scheme::AreasOfInterest(s) => s.partition(domain, cell_size),
             Scheme::Statistic(s) => s.partition(domain, cell_size),
-        }
+        }?;
+        tilestore_obs::tracer().event("tiling_done", || format!("tiles={}", spec.len()));
+        Ok(spec)
     }
 }
 

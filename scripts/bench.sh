@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the fixed-seed micro-benchmark harness and writes BENCH_PR2.json
+# (median/p95 per workload plus an observability metrics snapshot) at the
+# repository root. Fully offline; pin the sample count for reproducible
+# wall-clock bounds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+: "${TILESTORE_BENCH_SAMPLES:=15}"
+export TILESTORE_BENCH_SAMPLES
+
+OUT="${1:-BENCH_PR2.json}"
+
+cargo run --release --offline -p tilestore-bench --bin microbench -- "$OUT"
+echo "bench report written to $OUT"

@@ -34,6 +34,10 @@ pub use tilestore_compress as compress;
 /// The RasQL-style query language (re-exported whole).
 pub use tilestore_rasql as rasql;
 
+/// Observability: tracing spans, metrics, the persistent access recorder
+/// (re-exported whole).
+pub use tilestore_obs as obs;
+
 pub use tilestore_compress::{Codec, CompressionPolicy};
 pub use tilestore_engine::{
     AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database, DeleteStats,
@@ -41,6 +45,7 @@ pub use tilestore_engine::{
     UpdateStats,
 };
 pub use tilestore_geometry::{AxisRange, DefDomain, Domain, Point};
+pub use tilestore_obs::{AccessRecorder, MetricsRegistry, Tracer};
 pub use tilestore_storage::{BufferPool, CostModel, FilePageStore, IoStats, MemPageStore};
 pub use tilestore_tiling::{
     AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Extent,

@@ -302,6 +302,75 @@ fn all_strategies_roundtrip_same_seeded_dataset() {
 }
 
 #[test]
+fn observe_then_retile_from_recorded_log_reduces_io() {
+    // The paper's §5.2 feedback loop, end to end through the engine's OWN
+    // recorded access log (no synthetic log): run a clustered workload on a
+    // file-backed database, re-tile from the log the engine wrote, and the
+    // hot region's tile reads and model t_o must drop.
+    use tilestore::CostModel;
+
+    let dir = tilestore_testkit::tempdir().unwrap();
+    let dom = d("[0:99,0:99]");
+    let data = Array::from_fn(dom.clone(), |p| (p[0] * 100 + p[1]) as u32).unwrap();
+    let hot = d("[20:49,20:49]");
+
+    let mut db = Database::create_dir(dir.path()).unwrap();
+    db.create_object(
+        "cube",
+        MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 2048)),
+    )
+    .unwrap();
+    db.insert("cube", &data).unwrap();
+
+    // Clustered workload: the hot region dominates the access log.
+    let mut baseline = None;
+    for _ in 0..10 {
+        let (_, stats) = db.range_query("cube", &hot).unwrap();
+        baseline.get_or_insert(stats);
+    }
+    db.range_query("cube", &d("[80:89,0:9]")).unwrap(); // stray access
+    let baseline = baseline.unwrap();
+    assert!(
+        baseline.tiles_read > 1,
+        "regular tiling fragments the hot region: {baseline:?}"
+    );
+
+    // The engine recorded the workload persistently; re-tile from it.
+    let log = db.recorder().unwrap().entries_for("cube").unwrap();
+    assert!(log
+        .iter()
+        .any(|e| e.region == hot.to_string() && e.count == 10));
+    let stats = db.auto_retile_from_log("cube", 0, 5, 64 * 1024).unwrap();
+    assert!(stats.tiles_after > 0);
+
+    // The hot region now reads fewer tiles, with no wasted cells and a
+    // lower modelled disk time; the data is unchanged.
+    let (out, after) = db.range_query("cube", &hot).unwrap();
+    assert_eq!(out, data.extract(&hot).unwrap());
+    assert!(
+        after.tiles_read < baseline.tiles_read,
+        "tiles {} -> {}",
+        baseline.tiles_read,
+        after.tiles_read
+    );
+    let model = CostModel::classic_disk();
+    assert!(
+        after.times(&model).t_o < baseline.times(&model).t_o,
+        "t_o must drop after log-driven re-tiling"
+    );
+    assert_eq!(after.cells_processed, hot.cells(), "no border waste");
+
+    // Persistence: the adapted tiling and the log survive a reopen.
+    db.save(dir.path()).unwrap();
+    let db2 = Database::open_dir(dir.path()).unwrap();
+    let (out2, again) = db2.range_query("cube", &hot).unwrap();
+    assert_eq!(out2, data.extract(&hot).unwrap());
+    assert_eq!(again.tiles_read, after.tiles_read);
+    assert!(db2.recorder().unwrap().total_accesses().unwrap() >= 11);
+}
+
+#[test]
 fn single_tile_and_sparse_objects() {
     let mut db = Database::in_memory().unwrap();
     // A tiny config object stored as one BLOB.
