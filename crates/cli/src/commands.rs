@@ -391,6 +391,19 @@ pub fn drop_object(db: &mut Database<FilePageStore>, name: &str) -> CliResult<St
     Ok(format!("dropped {name:?}"))
 }
 
+/// `fsck` — audit the database directory: catalog vs page file accounting,
+/// per-BLOB checksum verification, tile reference resolution, interrupted
+/// commits. Read-only; errors when inconsistencies are found (reopening
+/// the database repairs the repairable ones).
+pub fn fsck(dir: &Path) -> CliResult<String> {
+    let report = tilestore_engine::fsck(dir).map_err(err)?;
+    if report.is_clean() {
+        Ok(format!("{report}"))
+    } else {
+        Err(format!("{report}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +539,25 @@ mod tests {
         let msg = retile(&mut db, "m", "--from-log").unwrap();
         assert!(msg.contains("tiles"), "{msg}");
         assert!(retile(&mut db, "m", "--from-log:x").is_err());
+    }
+
+    #[test]
+    fn fsck_reports_clean_and_dirty_directories() {
+        let (dir, mut db) = fresh();
+        create(&mut db, "m", "u8", 2, Some("regular:4")).unwrap();
+        load(&mut db, "m", "[0:15,0:15]", "gradient").unwrap();
+        db.save(dir.path()).unwrap();
+        let out = fsck(dir.path()).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        // A leftover staging file from an interrupted commit is flagged.
+        std::fs::write(
+            dir.path().join(tilestore_engine::CATALOG_TMP_FILE),
+            b"{garbage",
+        )
+        .unwrap();
+        let msg = fsck(dir.path()).unwrap_err();
+        assert!(msg.contains("catalog.json.tmp"), "{msg}");
+        assert!(fsck(&dir.path().join("nope")).is_err());
     }
 
     #[test]

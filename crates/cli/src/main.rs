@@ -11,6 +11,7 @@
 //! tilestore <dbdir> compress <name> <none|selective>
 //! tilestore <dbdir> retile <name> <scheme|--from-log[:<dist>:<freq>:<maxKB>]>
 //! tilestore <dbdir> drop <name>
+//! tilestore <dbdir> fsck
 //! tilestore <dbdir> repl
 //! ```
 //!
@@ -39,6 +40,7 @@ commands:
   retile <name> --from-log[:d:f:kb]      statistic re-tile from the access log
   delete <name> <domain>                 remove a region's cells
   drop <name>                            remove an object
+  fsck                                   audit catalog/page-file consistency
   repl                                   interactive query shell";
 
 fn main() {
@@ -119,6 +121,7 @@ fn run(args: &[String]) -> CliResult<String> {
             [name] => with_db(&dir, |db| commands::drop_object(db, name)),
             _ => Err("drop <name>".to_string()),
         },
+        "fsck" => commands::fsck(&dir),
         "repl" => repl(&dir),
         _ => Err(format!("unknown command {command:?}\n{USAGE}")),
     }
@@ -206,6 +209,8 @@ mod tests {
         assert!(out.contains("from access log"), "{out}");
         let out = run(&s(&[d, "query", "SELECT img[0:1,0:1] FROM img"])).unwrap();
         assert!(out.contains("array over [0:1,0:1]"), "{out}");
+        let out = run(&s(&[d, "fsck"])).unwrap();
+        assert!(out.contains("clean"), "{out}");
         run(&s(&[d, "drop", "img"])).unwrap();
         assert!(run(&s(&[d, "info", "img"])).is_err());
     }

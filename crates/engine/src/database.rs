@@ -12,6 +12,7 @@
 //! the `t_ix`/`t_o`/`t_cpu` counters of §6 along the way.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tilestore_compress::{CellContext, CompressionPolicy};
@@ -60,6 +61,9 @@ pub struct Database<S: PageStore> {
     blobs: BlobStore<S>,
     objects: BTreeMap<String, ObjectState>,
     recorder: Option<AccessRecorder>,
+    /// Epoch of the last durable catalog commit (0 before any commit);
+    /// bumped by `save`, restored by the persistence layer on reopen.
+    commit_epoch: AtomicU64,
 }
 
 impl Database<MemPageStore> {
@@ -82,6 +86,7 @@ impl<S: PageStore> Database<S> {
             blobs: BlobStore::new(store),
             objects: BTreeMap::new(),
             recorder: None,
+            commit_epoch: AtomicU64::new(0),
         }
     }
 
@@ -91,7 +96,21 @@ impl<S: PageStore> Database<S> {
             blobs,
             objects: BTreeMap::new(),
             recorder: None,
+            commit_epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Epoch of the last durable catalog commit, 0 before any commit. Each
+    /// successful `save` bumps it by one; reopening restores the persisted
+    /// value, so a reopened database continues the sequence monotonically.
+    #[must_use]
+    pub fn catalog_epoch(&self) -> u64 {
+        self.commit_epoch.load(Ordering::Acquire)
+    }
+
+    /// Records a durable commit epoch (persistence layer only).
+    pub(crate) fn set_catalog_epoch(&self, epoch: u64) {
+        self.commit_epoch.store(epoch, Ordering::Release);
     }
 
     /// Attaches a persistent access recorder: every executed range query's

@@ -41,5 +41,7 @@ pub use error::{EngineError, Result};
 pub use induce::{induce_map, induce_scalar, BinOp};
 pub use mdd::{MddObject, MddType, TileMeta};
 pub use modify::{DeleteStats, UpdateStats};
-pub use persist::{Catalog, ACCESS_LOG_FILE, CATALOG_FILE, PAGES_FILE};
+pub use persist::{
+    fsck, Catalog, FsckReport, ACCESS_LOG_FILE, CATALOG_FILE, CATALOG_TMP_FILE, PAGES_FILE,
+};
 pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};

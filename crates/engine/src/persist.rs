@@ -4,12 +4,32 @@
 //! `catalog.json` (object metadata, tile directories and the BLOB
 //! directory). The physical storage layout stays transparent to the user
 //! (§5): reopening restores every object, scheme and index exactly.
+//!
+//! # Durability
+//!
+//! [`Database::save`] is the commit point. It syncs the page store, then
+//! publishes the catalog atomically: write `catalog.json.tmp`, fsync it,
+//! rename over `catalog.json`, fsync the directory. A crash at any moment
+//! leaves either the previous committed catalog or the new one — never a
+//! torn mix. Each commit carries a monotonically increasing epoch.
+//!
+//! [`Database::open_dir`] recovers from interrupted commits: a stale
+//! `catalog.json.tmp` is discarded, the page accounting is verified against
+//! the catalog, and orphaned pages (allocated after the last commit, so
+//! referenced by nothing) are reclaimed onto the free list. [`fsck`] runs
+//! the same checks read-only and additionally verifies every BLOB's page
+//! checksums.
 
+use std::collections::BTreeSet;
+use std::fmt;
 use std::fs;
+use std::io::Write;
 use std::path::Path;
 
 use tilestore_obs::AccessRecorder;
-use tilestore_storage::{BlobDirectory, BlobStore, FilePageStore, PageStore, DEFAULT_PAGE_SIZE};
+use tilestore_storage::{
+    BlobDirectory, BlobId, BlobStore, FilePageStore, PageStore, DEFAULT_PAGE_SIZE,
+};
 use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::database::Database;
@@ -21,6 +41,8 @@ use crate::mdd::MddObject;
 pub struct Catalog {
     /// Page size of the page store.
     pub page_size: usize,
+    /// Commit epoch: 0 for a never-saved database, bumped on every save.
+    pub epoch: u64,
     /// BLOB directory of the store.
     pub blobs: BlobDirectory,
     /// All object metadata.
@@ -31,6 +53,7 @@ impl ToJson for Catalog {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("page_size", self.page_size.to_json()),
+            ("epoch", self.epoch.to_json()),
             ("blobs", self.blobs.to_json()),
             ("objects", self.objects.to_json()),
         ])
@@ -41,6 +64,11 @@ impl FromJson for Catalog {
     fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
         Ok(Catalog {
             page_size: usize::from_json(v.field("page_size")?)?,
+            // Catalogs written before epochs existed read as epoch 0.
+            epoch: match v.field("epoch") {
+                Ok(e) => u64::from_json(e)?,
+                Err(_) => 0,
+            },
             blobs: BlobDirectory::from_json(v.field("blobs")?)?,
             objects: Vec::from_json(v.field("objects")?)?,
         })
@@ -51,22 +79,45 @@ impl FromJson for Catalog {
 pub const PAGES_FILE: &str = "pages.db";
 /// Name of the catalog file inside a database directory.
 pub const CATALOG_FILE: &str = "catalog.json";
+/// Scratch name the catalog is staged under before its atomic rename.
+pub const CATALOG_TMP_FILE: &str = "catalog.json.tmp";
 /// Name of the persistent query-access log inside a database directory.
 pub const ACCESS_LOG_FILE: &str = "access.log";
 
+fn catalog_err(context: &str, e: impl fmt::Display) -> EngineError {
+    EngineError::Catalog(format!("{context}: {e}"))
+}
+
+/// Fsyncs a directory so a rename inside it is durable (POSIX keeps the
+/// directory entry volatile otherwise).
+fn fsync_dir(dir: &Path) -> Result<()> {
+    let d = fs::File::open(dir).map_err(|e| catalog_err("opening directory for fsync", e))?;
+    d.sync_all()
+        .map_err(|e| catalog_err("fsyncing directory", e))
+}
+
 impl<S: PageStore> Database<S> {
-    /// Exports the catalog (objects + BLOB directory) for persistence.
-    #[must_use]
-    pub fn catalog(&self) -> Catalog {
-        Catalog {
-            page_size: self.blob_store().page_store().page_size(),
-            blobs: self.blob_store().directory(),
-            objects: self
-                .object_names()
-                .iter()
-                .map(|n| self.object(n).expect("name from listing").clone())
-                .collect(),
+    /// Exports the catalog (objects + BLOB directory) for persistence. The
+    /// epoch is the database's current commit epoch; [`Database::save`]
+    /// stamps the successor epoch at the commit point.
+    ///
+    /// # Errors
+    /// [`EngineError::Catalog`] if an object listed in the name index has
+    /// lost its metadata (internal inconsistency).
+    pub fn catalog(&self) -> Result<Catalog> {
+        let mut objects = Vec::new();
+        for name in self.object_names() {
+            let obj = self
+                .object(&name)
+                .map_err(|_| catalog_err("exporting catalog", format!("object {name} vanished")))?;
+            objects.push(obj.clone());
         }
+        Ok(Catalog {
+            page_size: self.blob_store().page_store().page_size(),
+            epoch: self.catalog_epoch(),
+            blobs: self.blob_store().directory(),
+            objects,
+        })
     }
 
     /// Rebuilds a database from a page store and a previously exported
@@ -78,7 +129,49 @@ impl<S: PageStore> Database<S> {
         for meta in catalog.objects {
             db.restore_object(meta);
         }
+        db.set_catalog_epoch(catalog.epoch);
         db
+    }
+
+    /// Durably commits the catalog to the database directory.
+    ///
+    /// Commit protocol: (1) sync the page store so every page the catalog
+    /// references is on disk, (2) write the catalog to
+    /// [`CATALOG_TMP_FILE`] and fsync it, (3) rename it over
+    /// [`CATALOG_FILE`], (4) fsync the directory. Only after all four steps
+    /// does the epoch advance and the quarantined (freed-since-last-commit)
+    /// pages return to the free list — a crash anywhere in between leaves
+    /// the previous committed state fully intact.
+    ///
+    /// # Errors
+    /// Serialization or file I/O errors; on error nothing is committed.
+    pub fn save<P: AsRef<Path>>(&self, dir: P) -> Result<()> {
+        let _span = tilestore_obs::tracer().span("catalog_commit");
+        let dir = dir.as_ref();
+        // 1. Page data first: the catalog must never point at volatile pages.
+        self.blob_store().page_store().sync()?;
+        // 2. Stage the successor-epoch catalog.
+        let mut catalog = self.catalog()?;
+        catalog.epoch = self.catalog_epoch() + 1;
+        let json = tilestore_testkit::json::to_string(&catalog);
+        let tmp = dir.join(CATALOG_TMP_FILE);
+        {
+            let mut f =
+                fs::File::create(&tmp).map_err(|e| catalog_err("creating catalog.json.tmp", e))?;
+            f.write_all(json.as_bytes())
+                .map_err(|e| catalog_err("writing catalog.json.tmp", e))?;
+            f.sync_all()
+                .map_err(|e| catalog_err("fsyncing catalog.json.tmp", e))?;
+        }
+        // 3 + 4. The atomic commit point.
+        fs::rename(&tmp, dir.join(CATALOG_FILE))
+            .map_err(|e| catalog_err("renaming catalog into place", e))?;
+        fsync_dir(dir)?;
+        // Committed: pages freed before this point can now be reused safely.
+        self.set_catalog_epoch(catalog.epoch);
+        self.blob_store().release_freed_pages();
+        tilestore_obs::hot().catalog_commits.inc();
+        Ok(())
     }
 }
 
@@ -93,39 +186,190 @@ impl Database<FilePageStore> {
         let store = FilePageStore::create(dir.join(PAGES_FILE), DEFAULT_PAGE_SIZE)?;
         let mut db = Database::with_store(store);
         let recorder = AccessRecorder::open(dir.join(ACCESS_LOG_FILE))
-            .map_err(|e| EngineError::Catalog(format!("opening access log: {e}")))?;
+            .map_err(|e| catalog_err("opening access log", e))?;
         db.attach_recorder(recorder);
         Ok(db)
     }
 
-    /// Saves the catalog to the database directory.
+    /// Reopens a database saved with [`Database::save`], recovering from an
+    /// interrupted commit if necessary: a stale [`CATALOG_TMP_FILE`] is
+    /// discarded, the page accounting is cross-checked against the catalog
+    /// (dangling or duplicated page references are rejected as
+    /// unrepairable corruption), and orphaned pages — allocated by work
+    /// that crashed before its commit — are reclaimed onto the free list.
     ///
     /// # Errors
-    /// Serialization or file I/O errors.
-    pub fn save<P: AsRef<Path>>(&self, dir: P) -> Result<()> {
-        let json = tilestore_testkit::json::to_string(&self.catalog());
-        fs::write(dir.as_ref().join(CATALOG_FILE), json)
-            .map_err(|e| EngineError::Catalog(e.to_string()))?;
-        Ok(())
-    }
-
-    /// Reopens a database saved with [`Database::save`].
-    ///
-    /// # Errors
-    /// Missing/corrupt catalog or page-file I/O errors.
+    /// Missing/corrupt catalog, unrepairable page accounting, or page-file
+    /// I/O errors.
     pub fn open_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
         let dir = dir.as_ref();
+        // A leftover tmp is a commit that never reached its rename; the
+        // authoritative catalog is the committed one.
+        let tmp = dir.join(CATALOG_TMP_FILE);
+        if tmp.exists() {
+            fs::remove_file(&tmp).map_err(|e| catalog_err("removing stale catalog.json.tmp", e))?;
+        }
         let json = fs::read_to_string(dir.join(CATALOG_FILE))
-            .map_err(|e| EngineError::Catalog(format!("reading catalog: {e}")))?;
+            .map_err(|e| catalog_err("reading catalog", e))?;
         let catalog: Catalog = tilestore_testkit::json::from_str(&json)
-            .map_err(|e| EngineError::Catalog(format!("parsing catalog: {e}")))?;
+            .map_err(|e| catalog_err("parsing catalog", e))?;
         let store = FilePageStore::open(dir.join(PAGES_FILE), catalog.page_size)?;
         let mut db = Database::from_catalog(store, catalog);
+        // Cross-check the page file against the committed directory.
+        let check = db.blob_store().check_pages();
+        if !check.is_repairable() {
+            return Err(EngineError::Catalog(format!(
+                "page accounting corrupt: {} dangling, {} duplicated page refs",
+                check.dangling.len(),
+                check.duplicated.len()
+            )));
+        }
+        if !check.orphaned.is_empty() {
+            db.blob_store().reclaim_orphans();
+        }
+        // Every tile the catalog lists must resolve to a live BLOB.
+        for name in db.object_names() {
+            for tile in &db.object(&name)?.tiles {
+                db.blob_store().blob_len(tile.blob).map_err(|_| {
+                    EngineError::Catalog(format!(
+                        "object {name} references missing BLOB {}",
+                        tile.blob.0
+                    ))
+                })?;
+            }
+        }
         let recorder = AccessRecorder::open(dir.join(ACCESS_LOG_FILE))
-            .map_err(|e| EngineError::Catalog(format!("opening access log: {e}")))?;
+            .map_err(|e| catalog_err("opening access log", e))?;
         db.attach_recorder(recorder);
         Ok(db)
     }
+}
+
+/// Read-only consistency report for a database directory ([`fsck`]).
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Commit epoch of the on-disk catalog.
+    pub epoch: u64,
+    /// Number of objects in the catalog.
+    pub objects: u64,
+    /// Number of BLOBs in the directory.
+    pub blobs: u64,
+    /// Pages allocated in the page file.
+    pub allocated_pages: u64,
+    /// Pages on the free list.
+    pub free_pages: u64,
+    /// Allocated pages referenced by nothing (reclaimable leak).
+    pub orphaned_pages: Vec<u64>,
+    /// Page references beyond the allocated range (unrepairable).
+    pub dangling_pages: Vec<u64>,
+    /// Pages referenced more than once (unrepairable).
+    pub duplicated_pages: Vec<u64>,
+    /// BLOBs whose pages fail checksum verification (torn/corrupt frames).
+    pub unreadable_blobs: Vec<u64>,
+    /// `(object, blob)` tile references that resolve to no BLOB.
+    pub missing_tile_blobs: Vec<(String, u64)>,
+    /// Whether a stale `catalog.json.tmp` (interrupted commit) is present.
+    pub stale_tmp: bool,
+}
+
+impl FsckReport {
+    /// No inconsistencies of any kind.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.stale_tmp
+            && self.orphaned_pages.is_empty()
+            && self.dangling_pages.is_empty()
+            && self.duplicated_pages.is_empty()
+            && self.unreadable_blobs.is_empty()
+            && self.missing_tile_blobs.is_empty()
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "epoch {}: {} objects, {} blobs, {} pages allocated ({} free)",
+            self.epoch, self.objects, self.blobs, self.allocated_pages, self.free_pages
+        )?;
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        if self.stale_tmp {
+            writeln!(f, "stale catalog.json.tmp (interrupted commit)")?;
+        }
+        if !self.orphaned_pages.is_empty() {
+            writeln!(f, "orphaned pages (reclaimable): {:?}", self.orphaned_pages)?;
+        }
+        if !self.dangling_pages.is_empty() {
+            writeln!(f, "dangling page refs: {:?}", self.dangling_pages)?;
+        }
+        if !self.duplicated_pages.is_empty() {
+            writeln!(f, "duplicated page refs: {:?}", self.duplicated_pages)?;
+        }
+        if !self.unreadable_blobs.is_empty() {
+            writeln!(f, "unreadable blobs: {:?}", self.unreadable_blobs)?;
+        }
+        for (obj, blob) in &self.missing_tile_blobs {
+            writeln!(f, "object {obj} references missing blob {blob}")?;
+        }
+        write!(f, "NOT clean")
+    }
+}
+
+/// Checks a database directory for consistency without modifying it:
+/// catalog parses, page accounting balances, every BLOB's pages pass
+/// checksum verification, every tile reference resolves.
+///
+/// # Errors
+/// Missing/corrupt catalog or page-file I/O errors (a database too damaged
+/// to even inspect).
+pub fn fsck<P: AsRef<Path>>(dir: P) -> Result<FsckReport> {
+    let dir = dir.as_ref();
+    let stale_tmp = dir.join(CATALOG_TMP_FILE).exists();
+    let json = fs::read_to_string(dir.join(CATALOG_FILE))
+        .map_err(|e| catalog_err("reading catalog", e))?;
+    let catalog: Catalog =
+        tilestore_testkit::json::from_str(&json).map_err(|e| catalog_err("parsing catalog", e))?;
+    let Catalog {
+        page_size,
+        epoch,
+        blobs,
+        objects,
+    } = catalog;
+    let blob_ids: BTreeSet<u64> = blobs.blobs().map(|(id, _, _)| id.0).collect();
+    let free_pages = blobs.free_pages().len() as u64;
+    let store = FilePageStore::open(dir.join(PAGES_FILE), page_size)?;
+    let bs = BlobStore::with_directory(store, blobs);
+    let check = bs.check_pages();
+    let mut report = FsckReport {
+        epoch,
+        objects: objects.len() as u64,
+        blobs: blob_ids.len() as u64,
+        allocated_pages: check.allocated,
+        free_pages,
+        orphaned_pages: check.orphaned.iter().map(|p| p.0).collect(),
+        dangling_pages: check.dangling.iter().map(|p| p.0).collect(),
+        duplicated_pages: check.duplicated.iter().map(|p| p.0).collect(),
+        stale_tmp,
+        ..FsckReport::default()
+    };
+    // Full checksum sweep: reading a BLOB verifies every frame it spans.
+    for &id in &blob_ids {
+        if bs.read(BlobId(id)).is_err() {
+            report.unreadable_blobs.push(id);
+        }
+    }
+    for obj in &objects {
+        for tile in &obj.tiles {
+            if !blob_ids.contains(&tile.blob.0) {
+                report
+                    .missing_tile_blobs
+                    .push((obj.name.clone(), tile.blob.0));
+            }
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -169,6 +413,144 @@ mod tests {
             one.get::<u32>(&Point::from_slice(&[7, 11])).unwrap(),
             7 * 31 + 11
         );
+    }
+
+    #[test]
+    fn save_commits_atomically_and_bumps_epoch() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let mut db = Database::create_dir(dir.path()).unwrap();
+        assert_eq!(db.catalog_epoch(), 0);
+        db.create_object(
+            "g",
+            MddType::new(CellType::of::<u8>(), "[0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(1, 512)),
+        )
+        .unwrap();
+        db.insert(
+            "g",
+            &Array::filled("[0:99]".parse().unwrap(), &[3]).unwrap(),
+        )
+        .unwrap();
+        db.save(dir.path()).unwrap();
+        assert_eq!(db.catalog_epoch(), 1);
+        // No staging file survives a successful commit.
+        assert!(!dir.path().join(CATALOG_TMP_FILE).exists());
+        db.save(dir.path()).unwrap();
+        assert_eq!(db.catalog_epoch(), 2);
+        // Reopening continues the epoch sequence.
+        let db = Database::open_dir(dir.path()).unwrap();
+        assert_eq!(db.catalog_epoch(), 2);
+        db.save(dir.path()).unwrap();
+        assert_eq!(db.catalog_epoch(), 3);
+    }
+
+    #[test]
+    fn stale_tmp_from_interrupted_commit_is_discarded() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        {
+            let mut db = Database::create_dir(dir.path()).unwrap();
+            db.create_object(
+                "g",
+                MddType::new(CellType::of::<u8>(), "[0:*]".parse().unwrap()),
+                Scheme::Aligned(AlignedTiling::regular(1, 512)),
+            )
+            .unwrap();
+            db.insert(
+                "g",
+                &Array::filled("[0:49]".parse().unwrap(), &[9]).unwrap(),
+            )
+            .unwrap();
+            db.save(dir.path()).unwrap();
+        }
+        // Simulate a crash between staging and rename: garbage tmp on disk.
+        fs::write(dir.path().join(CATALOG_TMP_FILE), b"{half a cat").unwrap();
+        let report = fsck(dir.path()).unwrap();
+        assert!(report.stale_tmp);
+        assert!(!report.is_clean());
+        let db = Database::open_dir(dir.path()).unwrap();
+        assert!(!dir.path().join(CATALOG_TMP_FILE).exists());
+        let (out, _) = db.range_query("g", &"[0:49]".parse().unwrap()).unwrap();
+        assert!(out.to_cells::<u8>().unwrap().iter().all(|&c| c == 9));
+    }
+
+    #[test]
+    fn truncated_catalog_fails_cleanly() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        {
+            let mut db = Database::create_dir(dir.path()).unwrap();
+            db.create_object(
+                "g",
+                MddType::new(CellType::of::<u8>(), "[0:*]".parse().unwrap()),
+                Scheme::Aligned(AlignedTiling::regular(1, 512)),
+            )
+            .unwrap();
+            db.save(dir.path()).unwrap();
+        }
+        let full = fs::read_to_string(dir.path().join(CATALOG_FILE)).unwrap();
+        fs::write(dir.path().join(CATALOG_FILE), &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            Database::open_dir(dir.path()),
+            Err(EngineError::Catalog(_))
+        ));
+    }
+
+    #[test]
+    fn fsck_reports_clean_database() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let mut db = Database::create_dir(dir.path()).unwrap();
+        db.create_object(
+            "m",
+            MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+        )
+        .unwrap();
+        db.insert(
+            "m",
+            &Array::from_fn("[0:19,0:19]".parse().unwrap(), |p| p[0] as u32).unwrap(),
+        )
+        .unwrap();
+        db.save(dir.path()).unwrap();
+        let report = fsck(dir.path()).unwrap();
+        assert!(report.is_clean(), "dirty: {report}");
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.objects, 1);
+        assert!(report.blobs > 1);
+        assert!(report.allocated_pages > 0);
+        assert!(format!("{report}").contains("clean"));
+    }
+
+    #[test]
+    fn fsck_flags_orphans_after_uncommitted_work() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        {
+            let mut db = Database::create_dir(dir.path()).unwrap();
+            db.create_object(
+                "m",
+                MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+                Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+            )
+            .unwrap();
+            db.insert(
+                "m",
+                &Array::from_fn("[0:9,0:9]".parse().unwrap(), |p| p[1] as u32).unwrap(),
+            )
+            .unwrap();
+            db.save(dir.path()).unwrap();
+            // More inserts after the commit, never saved: their pages are
+            // allocated in the file but referenced by no committed catalog.
+            db.insert(
+                "m",
+                &Array::from_fn("[20:29,0:9]".parse().unwrap(), |p| p[1] as u32).unwrap(),
+            )
+            .unwrap();
+        }
+        let report = fsck(dir.path()).unwrap();
+        assert!(!report.orphaned_pages.is_empty());
+        assert!(!report.is_clean());
+        // Recovery reclaims them; the next commit makes the repair durable.
+        let db = Database::open_dir(dir.path()).unwrap();
+        db.save(dir.path()).unwrap();
+        assert!(fsck(dir.path()).unwrap().is_clean());
     }
 
     #[test]

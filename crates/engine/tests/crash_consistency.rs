@@ -1,0 +1,212 @@
+//! Crash-consistency property tests.
+//!
+//! A [`FaultInjectingPageStore`] crashes a full create → insert → save →
+//! retile → save workload at every page-store operation index (and tears
+//! page writes at a sample of them). After each simulated crash the
+//! directory is reopened through the normal recovery path and must contain
+//! exactly the last committed state: the right catalog epoch, the right
+//! cell contents, no torn catalog, no lost tiles, and — after recovery
+//! recommits — zero `fsck` inconsistencies.
+
+use std::fs;
+use std::path::Path;
+
+use tilestore_engine::{fsck, Array, CellType, Database, MddType, CATALOG_TMP_FILE, PAGES_FILE};
+use tilestore_storage::{
+    FaultInjectingPageStore, FaultPlan, FilePageStore, DEFAULT_PAGE_SIZE, FRAME_HEADER,
+};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+type FaultyDb = Database<FaultInjectingPageStore<FilePageStore>>;
+
+fn data_a() -> Array {
+    Array::from_fn("[0:19,0:19]".parse().unwrap(), |p| {
+        (p[0] * 100 + p[1] + 1) as u32
+    })
+    .unwrap()
+}
+
+fn data_b() -> Array {
+    Array::from_fn("[20:39,0:19]".parse().unwrap(), |p| {
+        (p[0] * 100 + p[1] + 7) as u32
+    })
+    .unwrap()
+}
+
+/// The full committed contents after `commits` successful saves, queried
+/// over the union domain (uncovered cells read the u32 default, 0).
+fn expected_contents(commits: u64) -> Array {
+    let mut full = Array::filled("[0:39,0:19]".parse().unwrap(), &0u32.to_le_bytes()).unwrap();
+    full.paste(&data_a()).unwrap();
+    if commits >= 2 {
+        full.paste(&data_b()).unwrap();
+    }
+    full
+}
+
+/// Opens a fresh fault-wrapped database in `dir` and runs the unfaulted
+/// phase 0: create the object, insert `data_a`, commit (epoch 1).
+fn phase0(dir: &Path) -> FaultyDb {
+    fs::create_dir_all(dir).unwrap();
+    let store = FilePageStore::create(dir.join(PAGES_FILE), DEFAULT_PAGE_SIZE).unwrap();
+    let mut db = Database::with_store(FaultInjectingPageStore::new(store));
+    db.create_object(
+        "m",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+    )
+    .unwrap();
+    db.insert("m", &data_a()).unwrap();
+    db.save(dir).unwrap();
+    db
+}
+
+struct Outcome {
+    /// Successful commits (1 = only phase 0's).
+    commits: u64,
+    /// Operation index right after phase 0 (first faultable op).
+    ops0: u64,
+    /// Operation count after the whole workload (dry runs only).
+    total_ops: u64,
+}
+
+/// Runs the workload with `plan` armed after phase 0, stopping at the
+/// first injected failure as a dead process would.
+fn run_workload(dir: &Path, plan: Option<FaultPlan>) -> Outcome {
+    let mut db = phase0(dir);
+    let ops0 = db.blob_store().page_store().ops();
+    if let Some(plan) = plan {
+        db.blob_store().page_store().set_plan(plan);
+    }
+    let mut out = Outcome {
+        commits: 1,
+        ops0,
+        total_ops: 0,
+    };
+    let crashed = (|| -> Result<(), tilestore_engine::EngineError> {
+        db.insert("m", &data_b())?;
+        db.save(dir)?;
+        out.commits = 2;
+        db.retile("m", Scheme::Aligned(AlignedTiling::regular(2, 2048)))?;
+        db.save(dir)?;
+        out.commits = 3;
+        Ok(())
+    })()
+    .is_err();
+    let _ = crashed; // the outcome, not the error, is what matters
+    out.total_ops = db.blob_store().page_store().ops();
+    out
+}
+
+/// Reopens after a crash and asserts the database is exactly the state of
+/// the last completed commit, then proves recovery converges: one fresh
+/// commit makes fsck fully clean.
+fn assert_recovers(dir: &Path, commits: u64, what: &str) {
+    let db = Database::open_dir(dir)
+        .unwrap_or_else(|e| panic!("{what}: reopen after crash failed: {e}"));
+    assert_eq!(db.catalog_epoch(), commits, "{what}: wrong committed epoch");
+    assert!(
+        !dir.join(CATALOG_TMP_FILE).exists(),
+        "{what}: stale tmp survived recovery"
+    );
+    let region = "[0:39,0:19]".parse().unwrap();
+    let (out, _) = db
+        .range_query("m", &region)
+        .unwrap_or_else(|e| panic!("{what}: committed data unreadable: {e}"));
+    assert_eq!(
+        out,
+        expected_contents(commits),
+        "{what}: lost or torn tiles"
+    );
+    // Recovery reclaimed any orphans in memory; recommitting persists the
+    // repair, after which the directory must audit perfectly clean.
+    db.save(dir)
+        .unwrap_or_else(|e| panic!("{what}: post-recovery save failed: {e}"));
+    let report = fsck(dir).unwrap();
+    assert!(
+        report.is_clean(),
+        "{what}: fsck dirty after recovery: {report}"
+    );
+}
+
+#[test]
+fn crash_at_every_operation_recovers_to_a_committed_state() {
+    // Dry run: learn the operation range of the faulted phase.
+    let dry_dir = tilestore_testkit::tempdir().unwrap();
+    let dry = run_workload(dry_dir.path(), None);
+    assert_eq!(dry.commits, 3, "dry run must complete");
+    assert!(dry.total_ops > dry.ops0, "workload must touch the store");
+    // Crash at every op index (strided only if the workload ever grows
+    // large enough to threaten the test-time budget).
+    let range = dry.total_ops - dry.ops0;
+    let stride = (range / 160).max(1);
+    let mut tested = 0u64;
+    for k in (dry.ops0..dry.total_ops).step_by(stride as usize) {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let out = run_workload(dir.path(), Some(FaultPlan::fail_at(k)));
+        assert!(out.commits < 3, "crash at op {k} did not stop the workload");
+        assert_recovers(dir.path(), out.commits, &format!("crash at op {k}"));
+        tested += 1;
+    }
+    assert!(tested >= 10, "suspiciously few crash points ({tested})");
+}
+
+#[test]
+fn torn_writes_never_corrupt_committed_state() {
+    let dry_dir = tilestore_testkit::tempdir().unwrap();
+    let dry = run_workload(dry_dir.path(), None);
+    // Tear each sampled write mid-frame: header plus half the payload
+    // lands, the rest never does.
+    let torn_bytes = FRAME_HEADER + DEFAULT_PAGE_SIZE / 2;
+    for k in (dry.ops0..dry.total_ops).step_by(3) {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let out = run_workload(dir.path(), Some(FaultPlan::torn_write_at(k, torn_bytes)));
+        // If op k is not a write the plan never fires and the workload
+        // completes; both outcomes must satisfy the recovery property.
+        assert_recovers(dir.path(), out.commits, &format!("torn write at op {k}"));
+    }
+}
+
+#[test]
+fn crash_during_save_leaves_previous_commit_intact() {
+    // The dedicated regression for the old non-atomic save: die inside
+    // save (at its page-store sync), leave a garbage staging file behind,
+    // and reopen — the previous commit must come back untouched.
+    let dir = tilestore_testkit::tempdir().unwrap();
+    let mut db = phase0(dir.path());
+    db.insert("m", &data_b()).unwrap();
+    let next_op = db.blob_store().page_store().ops();
+    db.blob_store()
+        .page_store()
+        .set_plan(FaultPlan::fail_at(next_op));
+    assert!(db.save(dir.path()).is_err(), "save must hit the crash");
+    drop(db);
+    // A crash later in the protocol leaves a half-written staging file.
+    fs::write(dir.path().join(CATALOG_TMP_FILE), b"{\"page_size\": 40").unwrap();
+    let report = fsck(dir.path()).unwrap();
+    assert!(report.stale_tmp && !report.is_clean());
+    assert_recovers(dir.path(), 1, "crash inside save");
+}
+
+#[test]
+fn transient_store_errors_do_not_poison_the_database() {
+    // A one-off I/O failure surfaces as an error but the database stays
+    // usable and the retried commit succeeds.
+    let dir = tilestore_testkit::tempdir().unwrap();
+    let mut db = phase0(dir.path());
+    let next_op = db.blob_store().page_store().ops();
+    db.blob_store()
+        .page_store()
+        .set_plan(FaultPlan::transient(&[next_op]));
+    assert!(db.insert("m", &data_b()).is_err());
+    db.insert("m", &data_b()).unwrap();
+    db.save(dir.path()).unwrap();
+    drop(db);
+    let db = Database::open_dir(dir.path()).unwrap();
+    let (out, _) = db
+        .range_query("m", &"[0:39,0:19]".parse().unwrap())
+        .unwrap();
+    assert_eq!(out, expected_contents(2));
+    db.save(dir.path()).unwrap();
+    assert!(fsck(dir.path()).unwrap().is_clean());
+}

@@ -72,6 +72,12 @@ pub struct HotMetrics {
     pub index_nodes: Arc<Histogram>,
     /// Tiling partitions computed (any strategy).
     pub partitions: Arc<Counter>,
+    /// Durable catalog commits (atomic rename completed).
+    pub catalog_commits: Arc<Counter>,
+    /// Orphaned pages returned to the free list by recovery/fsck.
+    pub orphaned_pages_reclaimed: Arc<Counter>,
+    /// Page frames that failed checksum verification on read.
+    pub checksum_failures: Arc<Counter>,
 }
 
 impl HotMetrics {
@@ -89,6 +95,9 @@ impl HotMetrics {
             tile_bytes: reg.histogram("storage.tile_bytes"),
             index_nodes: reg.histogram("index.nodes_visited"),
             partitions: reg.counter("tiling.partitions"),
+            catalog_commits: reg.counter("engine.catalog_commits"),
+            orphaned_pages_reclaimed: reg.counter("storage.orphaned_pages_reclaimed"),
+            checksum_failures: reg.counter("storage.checksum_failures"),
         }
     }
 

@@ -4,6 +4,17 @@
 //! BLOB" (§5). A BLOB occupies an integral number of pages — which is why
 //! §2 recommends tile sizes approximating multiples of the page size — and
 //! reading a BLOB touches all of its pages.
+//!
+//! # Crash safety
+//!
+//! Pages freed by [`BlobStore::delete`] or replaced by the copy-on-write
+//! [`BlobStore::update`] are *quarantined* rather than immediately reusable:
+//! the last committed catalog may still reference them, so overwriting them
+//! before the next catalog commit would corrupt the committed state. The
+//! engine calls [`BlobStore::release_freed_pages`] once a new catalog is
+//! durably on disk, at which point the quarantined pages join the free list.
+//! The exported [`BlobDirectory`] folds quarantined pages into its free list
+//! because the catalog being written no longer references them.
 
 use std::sync::Mutex;
 
@@ -69,6 +80,27 @@ impl ToJson for BlobDirectory {
     }
 }
 
+impl BlobDirectory {
+    /// Iterates over the stored blobs as `(id, pages, byte length)`.
+    pub fn blobs(&self) -> impl Iterator<Item = (BlobId, &[PageId], u64)> {
+        self.entries
+            .iter()
+            .map(|(id, e)| (*id, e.pages.as_slice(), e.len))
+    }
+
+    /// The free page list.
+    #[must_use]
+    pub fn free_pages(&self) -> &[PageId] {
+        &self.free_pages
+    }
+
+    /// The next blob id to be handed out.
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+}
+
 impl FromJson for BlobDirectory {
     fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
         let entries = v
@@ -106,6 +138,10 @@ pub struct BlobStore<S> {
 struct Directory {
     entries: std::collections::BTreeMap<u64, BlobEntry>,
     free_pages: Vec<PageId>,
+    /// Pages freed since the last catalog commit. Possibly still referenced
+    /// by the committed catalog on disk, so not reusable until
+    /// [`BlobStore::release_freed_pages`] confirms a newer commit.
+    limbo: Vec<PageId>,
     next_id: u64,
 }
 
@@ -133,24 +169,52 @@ impl<S: PageStore> BlobStore<S> {
             inner: Mutex::new(Directory {
                 entries,
                 free_pages: dir.free_pages,
+                limbo: Vec::new(),
                 next_id: dir.next_id,
             }),
         }
     }
 
-    /// Exports the directory for persistence.
+    /// Exports the directory for persistence. Quarantined (freed-but-
+    /// uncommitted) pages are exported as free: the catalog this export
+    /// goes into no longer references them.
     #[must_use]
     pub fn directory(&self) -> BlobDirectory {
         let inner = self.inner.lock().unwrap();
+        let mut free_pages = inner.free_pages.clone();
+        free_pages.extend_from_slice(&inner.limbo);
         BlobDirectory {
             entries: inner
                 .entries
                 .iter()
                 .map(|(&id, e)| (BlobId(id), e.clone()))
                 .collect(),
-            free_pages: inner.free_pages.clone(),
+            free_pages,
             next_id: inner.next_id,
         }
+    }
+
+    /// Promotes every quarantined page to the free list, returning how many
+    /// were released. Call only after a catalog commit is durably on disk —
+    /// from that point no committed state references those pages.
+    pub fn release_freed_pages(&self) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.limbo.len() as u64;
+        let limbo = std::mem::take(&mut inner.limbo);
+        inner.free_pages.extend(limbo);
+        n
+    }
+
+    /// Number of immediately reusable free pages.
+    #[must_use]
+    pub fn free_page_count(&self) -> usize {
+        self.inner.lock().unwrap().free_pages.len()
+    }
+
+    /// Number of pages quarantined until the next catalog commit.
+    #[must_use]
+    pub fn quarantined_page_count(&self) -> usize {
+        self.inner.lock().unwrap().limbo.len()
     }
 
     /// The shared I/O statistics of this store.
@@ -281,76 +345,86 @@ impl<S: PageStore> BlobStore<S> {
         Ok(data)
     }
 
-    /// Overwrites a BLOB with new contents, reusing its pages where the
-    /// page count is unchanged.
+    /// Overwrites a BLOB with new contents, copy-on-write: the new payload
+    /// is written to fresh (or free-listed) pages and the directory entry
+    /// swaps over only when every page landed. On any error the entry and
+    /// the old pages are untouched, and the scratch pages return to the
+    /// free list. The replaced pages are quarantined until the next catalog
+    /// commit ([`BlobStore::release_freed_pages`]).
     ///
     /// # Errors
-    /// [`StorageError::UnknownBlob`] or backend errors.
+    /// [`StorageError::UnknownBlob`] or backend errors; the blob keeps its
+    /// prior contents in every error case.
     pub fn update(&self, id: BlobId, data: &[u8]) -> Result<()> {
-        // Simplest correct strategy: delete + recreate under the same id.
         let page_size = self.store.page_size();
         let needed = self.pages_for(data.len() as u64);
-        let mut pages = {
+        // Check existence and take scratch pages from the free list without
+        // touching the entry itself.
+        let mut new_pages = {
             let mut inner = self.inner.lock().unwrap();
-            let entry = inner
-                .entries
-                .remove(&id.0)
-                .ok_or(StorageError::UnknownBlob { blob: id.0 })?;
-            let mut pages = entry.pages;
-            // Shrink: return surplus pages to the free list.
-            while pages.len() as u64 > needed {
-                let p = pages.pop().expect("len > needed >= 1");
-                inner.free_pages.push(p);
+            if !inner.entries.contains_key(&id.0) {
+                return Err(StorageError::UnknownBlob { blob: id.0 });
+            }
+            let mut pages = Vec::with_capacity(needed as usize);
+            while (pages.len() as u64) < needed {
+                match inner.free_pages.pop() {
+                    Some(p) => pages.push(p),
+                    None => break,
+                }
             }
             pages
         };
-        if (pages.len() as u64) < needed {
-            let extra = {
-                let mut inner = self.inner.lock().unwrap();
-                let mut extra = Vec::new();
-                while (pages.len() + extra.len()) < needed as usize {
-                    match inner.free_pages.pop() {
-                        Some(p) => extra.push(p),
-                        None => break,
-                    }
+        let write_all = |new_pages: &mut Vec<PageId>| -> Result<()> {
+            if (new_pages.len() as u64) < needed {
+                new_pages.extend(self.store.allocate(needed - new_pages.len() as u64)?);
+            }
+            let mut buf = vec![0u8; page_size];
+            for (i, &page) in new_pages.iter().enumerate() {
+                let start = i * page_size;
+                let end = ((i + 1) * page_size).min(data.len());
+                if start < data.len() {
+                    let chunk = &data[start..end];
+                    buf[..chunk.len()].copy_from_slice(chunk);
+                    buf[chunk.len()..].fill(0);
+                } else {
+                    buf.fill(0);
                 }
-                extra
-            };
-            pages.extend(extra);
-            if (pages.len() as u64) < needed {
-                pages.extend(self.store.allocate(needed - pages.len() as u64)?);
+                self.store.write_page(page, &buf)?;
             }
+            Ok(())
+        };
+        if let Err(e) = write_all(&mut new_pages) {
+            // Roll back: the scratch pages never joined the entry, so they
+            // can return to the free pool directly; the directory entry and
+            // the old pages are exactly as before the call.
+            self.inner.lock().unwrap().free_pages.extend(new_pages);
+            return Err(e);
         }
-        let mut buf = vec![0u8; page_size];
-        for (i, &page) in pages.iter().enumerate() {
-            let start = i * page_size;
-            let end = ((i + 1) * page_size).min(data.len());
-            if start < data.len() {
-                let chunk = &data[start..end];
-                buf[..chunk.len()].copy_from_slice(chunk);
-                buf[chunk.len()..].fill(0);
-            } else {
-                buf.fill(0);
-            }
-            self.store.write_page(page, &buf)?;
-        }
-        self.stats.add_pages_written(pages.len() as u64);
+        self.stats.add_pages_written(new_pages.len() as u64);
         self.stats.add_blob_written(data.len() as u64);
         let hot = tilestore_obs::hot();
         hot.blob_writes.inc();
         hot.tile_bytes.record(data.len() as u64);
         let mut inner = self.inner.lock().unwrap();
-        inner.entries.insert(
-            id.0,
-            BlobEntry {
-                pages,
-                len: data.len() as u64,
-            },
-        );
+        let old_pages = match inner.entries.get_mut(&id.0) {
+            Some(entry) => {
+                let old = std::mem::replace(&mut entry.pages, new_pages);
+                entry.len = data.len() as u64;
+                old
+            }
+            None => {
+                // Deleted concurrently: hand the scratch pages back rather
+                // than resurrecting the blob.
+                inner.free_pages.extend(new_pages);
+                return Err(StorageError::UnknownBlob { blob: id.0 });
+            }
+        };
+        inner.limbo.extend(old_pages);
         Ok(())
     }
 
-    /// Deletes a BLOB, returning its pages to the free list.
+    /// Deletes a BLOB. Its pages are quarantined until the next catalog
+    /// commit, then become reusable.
     ///
     /// # Errors
     /// [`StorageError::UnknownBlob`].
@@ -360,8 +434,96 @@ impl<S: PageStore> BlobStore<S> {
             .entries
             .remove(&id.0)
             .ok_or(StorageError::UnknownBlob { blob: id.0 })?;
-        inner.free_pages.extend(entry.pages);
+        inner.limbo.extend(entry.pages);
         Ok(())
+    }
+
+    /// Cross-checks the directory against the page store: every referenced
+    /// page must be inside the allocated range, no page may be referenced
+    /// twice, and every allocated page should be accounted for. Unreferenced
+    /// (orphaned) pages arise when a crash lands between page writes and the
+    /// catalog commit; they are safe to reclaim.
+    #[must_use]
+    pub fn check_pages(&self) -> PageCheck {
+        let inner = self.inner.lock().unwrap();
+        let allocated = self.store.allocated();
+        let mut seen = std::collections::BTreeMap::<u64, u64>::new();
+        let mut dangling = Vec::new();
+        let mut mark = |p: PageId, dangling: &mut Vec<PageId>| {
+            if p.0 >= allocated {
+                dangling.push(p);
+            }
+            *seen.entry(p.0).or_insert(0) += 1;
+        };
+        for e in inner.entries.values() {
+            for &p in &e.pages {
+                mark(p, &mut dangling);
+            }
+        }
+        for &p in inner.free_pages.iter().chain(inner.limbo.iter()) {
+            mark(p, &mut dangling);
+        }
+        let duplicated: Vec<PageId> = seen
+            .iter()
+            .filter(|&(_, &n)| n > 1)
+            .map(|(&p, _)| PageId(p))
+            .collect();
+        let orphaned: Vec<PageId> = (0..allocated)
+            .filter(|p| !seen.contains_key(p))
+            .map(PageId)
+            .collect();
+        PageCheck {
+            allocated,
+            orphaned,
+            dangling,
+            duplicated,
+        }
+    }
+
+    /// Reclaims every orphaned page onto the free list, returning how many
+    /// were recovered. Orphans are pages a crash left allocated but
+    /// unreferenced; the committed catalog never points at them, so reusing
+    /// them is safe.
+    pub fn reclaim_orphans(&self) -> u64 {
+        let orphaned = self.check_pages().orphaned;
+        let n = orphaned.len() as u64;
+        if n > 0 {
+            let mut inner = self.inner.lock().unwrap();
+            inner.free_pages.extend(orphaned);
+            tilestore_obs::hot().orphaned_pages_reclaimed.add(n);
+        }
+        n
+    }
+}
+
+/// Result of [`BlobStore::check_pages`]: how the directory's page
+/// references line up with the page store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageCheck {
+    /// Pages allocated in the backing store.
+    pub allocated: u64,
+    /// Allocated pages referenced by no blob and no free list — leaked by a
+    /// crash between page writes and the catalog commit; reclaimable.
+    pub orphaned: Vec<PageId>,
+    /// Referenced pages outside the allocated range — the catalog is newer
+    /// than the page file (or the file was truncated); not repairable.
+    pub dangling: Vec<PageId>,
+    /// Pages referenced more than once (two blobs, or a blob and the free
+    /// list) — directory corruption; not repairable.
+    pub duplicated: Vec<PageId>,
+}
+
+impl PageCheck {
+    /// True when the directory and page store are fully consistent.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.orphaned.is_empty() && self.dangling.is_empty() && self.duplicated.is_empty()
+    }
+
+    /// True when every inconsistency is a reclaimable orphan.
+    #[must_use]
+    pub fn is_repairable(&self) -> bool {
+        self.dangling.is_empty() && self.duplicated.is_empty()
     }
 }
 
@@ -405,10 +567,15 @@ mod tests {
     }
 
     #[test]
-    fn delete_recycles_pages() {
+    fn delete_recycles_pages_after_commit() {
         let bs = store();
         let a = bs.create(&vec![1u8; 2048]).unwrap(); // 2 pages
         bs.delete(a).unwrap();
+        // Freed pages are quarantined until the next catalog commit: a
+        // create before the commit must not overwrite them.
+        assert_eq!(bs.quarantined_page_count(), 2);
+        assert_eq!(bs.free_page_count(), 0);
+        assert_eq!(bs.release_freed_pages(), 2);
         let before = bs.page_store().allocated();
         let b = bs.create(&vec![2u8; 2048]).unwrap(); // reuses freed pages
         assert_eq!(bs.page_store().allocated(), before);
@@ -425,9 +592,99 @@ mod tests {
         assert_eq!(bs.read(id).unwrap(), vec![2u8; 5000]);
         bs.update(id, &[3u8; 10]).unwrap();
         assert_eq!(bs.read(id).unwrap(), vec![3u8; 10]);
-        // Freed pages are reusable.
+        // Replaced pages become reusable after the commit point.
+        bs.release_freed_pages();
+        let before = bs.page_store().allocated();
         let other = bs.create(&vec![4u8; 4096]).unwrap();
+        assert_eq!(bs.page_store().allocated(), before);
         assert_eq!(bs.read(other).unwrap(), vec![4u8; 4096]);
+    }
+
+    #[test]
+    fn update_failure_keeps_old_contents_and_free_list() {
+        use crate::fault::{FaultInjectingPageStore, FaultPlan};
+        let bs = BlobStore::new(FaultInjectingPageStore::new(
+            MemPageStore::new(1024).unwrap(),
+        ));
+        let old: Vec<u8> = (0..2500).map(|i| (i % 256) as u8).collect();
+        let id = bs.create(&old).unwrap(); // ops 0..=3: allocate + 3 writes
+                                           // Seed the free list so the failed update draws from it.
+        let scratch = bs.create(&vec![9u8; 2048]).unwrap();
+        bs.delete(scratch).unwrap();
+        bs.release_freed_pages();
+        assert_eq!(bs.free_page_count(), 2);
+        // Fail the second page write of the update, transiently.
+        let next_op = bs.page_store().ops();
+        bs.page_store()
+            .set_plan(FaultPlan::transient(&[next_op + 2]));
+        let err = bs.update(id, &vec![7u8; 3000]).unwrap_err();
+        assert!(matches!(err, StorageError::Injected { .. }));
+        // The blob still reads its prior contents; every scratch page (the
+        // two free-listed ones plus the one freshly allocated) returned to
+        // the free list.
+        assert_eq!(bs.read(id).unwrap(), old);
+        assert_eq!(bs.blob_len(id).unwrap(), 2500);
+        assert_eq!(bs.free_page_count(), 3);
+        // A retry then succeeds.
+        bs.update(id, &vec![7u8; 3000]).unwrap();
+        assert_eq!(bs.read(id).unwrap(), vec![7u8; 3000]);
+    }
+
+    #[test]
+    fn update_failure_during_allocation_rolls_back() {
+        use crate::fault::{FaultInjectingPageStore, FaultPlan};
+        let bs = BlobStore::new(FaultInjectingPageStore::new(
+            MemPageStore::new(1024).unwrap(),
+        ));
+        let id = bs.create(&vec![5u8; 1000]).unwrap();
+        let next_op = bs.page_store().ops();
+        // Fail the allocate itself (first op of the growing update).
+        bs.page_store().set_plan(FaultPlan::transient(&[next_op]));
+        assert!(bs.update(id, &vec![6u8; 4000]).is_err());
+        assert_eq!(bs.read(id).unwrap(), vec![5u8; 1000]);
+        assert_eq!(bs.free_page_count(), 0);
+        assert_eq!(bs.quarantined_page_count(), 0);
+    }
+
+    #[test]
+    fn check_pages_reports_and_reclaims_orphans() {
+        let bs = store();
+        let keep = bs.create(&vec![1u8; 3000]).unwrap(); // 3 pages
+        assert!(bs.check_pages().is_clean());
+        // Simulate a crash that left pages allocated but unreferenced: a
+        // directory snapshot taken *before* an extra create, restored over
+        // the same page store.
+        let dir = bs.directory();
+        bs.create(&vec![2u8; 2048]).unwrap(); // 2 more pages, not in `dir`
+        let BlobStore { store: pages, .. } = bs;
+        let bs = BlobStore::with_directory(pages, dir);
+        let check = bs.check_pages();
+        assert_eq!(check.allocated, 5);
+        assert_eq!(check.orphaned, vec![PageId(3), PageId(4)]);
+        assert!(check.dangling.is_empty() && check.duplicated.is_empty());
+        assert!(check.is_repairable() && !check.is_clean());
+        assert_eq!(bs.reclaim_orphans(), 2);
+        assert!(bs.check_pages().is_clean());
+        assert_eq!(bs.free_page_count(), 2);
+        assert_eq!(bs.read(keep).unwrap(), vec![1u8; 3000]);
+    }
+
+    #[test]
+    fn check_pages_flags_dangling_and_duplicates() {
+        let mem = MemPageStore::new(1024).unwrap();
+        // Hand-build a directory referencing page 7 (never allocated) and
+        // page 0 twice.
+        let bs = BlobStore::new(mem);
+        bs.create(&vec![1u8; 512]).unwrap(); // page 0
+        let mut dir = bs.directory();
+        dir.free_pages.push(PageId(0)); // duplicate: live and free
+        dir.free_pages.push(PageId(7)); // dangling
+        let BlobStore { store: pages, .. } = bs;
+        let bs = BlobStore::with_directory(pages, dir);
+        let check = bs.check_pages();
+        assert_eq!(check.dangling, vec![PageId(7)]);
+        assert_eq!(check.duplicated, vec![PageId(0)]);
+        assert!(!check.is_repairable());
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! show (and benchmark) how caching changes the picture, and to serve as the
 //! realistic substrate a DBMS would run on. It wraps any [`PageStore`] and
 //! is itself a [`PageStore`], so the BLOB layer can run with or without it.
+//!
+//! Recency is tracked with a tick-indexed ordered map (`tick → page`)
+//! alongside the frame table, so eviction is an O(log n) pop of the oldest
+//! tick instead of an O(n) scan — a full cache under a miss-heavy scan used
+//! to degrade to O(n²).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 use crate::error::Result;
@@ -24,7 +29,38 @@ pub struct BufferPool<S> {
 struct PoolInner {
     /// page -> (frame payload, LRU tick of last use)
     frames: HashMap<u64, (Box<[u8]>, u64)>,
+    /// LRU tick of last use -> page; the first entry is the eviction victim.
+    /// Invariant: `order` and `frames` hold exactly the same pages, with
+    /// matching ticks (ticks are unique, drawn from a monotonic counter).
+    order: BTreeMap<u64, u64>,
     tick: u64,
+}
+
+impl PoolInner {
+    /// Draws the next recency tick.
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Moves `page` (already cached, at `old_tick`) to `new_tick`.
+    fn touch(&mut self, page: u64, old_tick: u64, new_tick: u64) {
+        self.order.remove(&old_tick);
+        self.order.insert(new_tick, page);
+    }
+
+    /// Installs `page` at `tick`, evicting the least recently used frames
+    /// while the pool is at or above `capacity`.
+    fn install(&mut self, page: u64, payload: Box<[u8]>, tick: u64, capacity: usize) {
+        while self.frames.len() >= capacity {
+            let (&victim_tick, &victim_page) =
+                self.order.iter().next().expect("order tracks frames");
+            self.order.remove(&victim_tick);
+            self.frames.remove(&victim_page);
+        }
+        self.frames.insert(page, (payload, tick));
+        self.order.insert(tick, page);
+    }
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -66,18 +102,7 @@ impl<S: PageStore> BufferPool<S> {
     pub fn clear(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.frames.clear();
-    }
-
-    fn evict_if_full(inner: &mut PoolInner, capacity: usize) {
-        while inner.frames.len() >= capacity {
-            let victim = inner
-                .frames
-                .iter()
-                .min_by_key(|(_, (_, tick))| *tick)
-                .map(|(&page, _)| page)
-                .expect("frames non-empty when len >= capacity >= 1");
-            inner.frames.remove(&victim);
-        }
+        inner.order.clear();
     }
 }
 
@@ -97,11 +122,12 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         {
             let mut inner = self.inner.lock().unwrap();
-            inner.tick += 1;
-            let tick = inner.tick;
+            let tick = inner.next_tick();
             if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
                 buf.copy_from_slice(frame);
+                let old = *last;
                 *last = tick;
+                inner.touch(page.0, old, tick);
                 self.stats.add_cache_hit();
                 tilestore_obs::hot().cache_hits.inc();
                 return Ok(());
@@ -112,12 +138,17 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         tilestore_obs::hot().cache_misses.inc();
         self.store.read_page(page, buf)?;
         let mut inner = self.inner.lock().unwrap();
-        Self::evict_if_full(&mut inner, self.capacity);
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner
-            .frames
-            .insert(page.0, (buf.to_vec().into_boxed_slice(), tick));
+        let tick = inner.next_tick();
+        // A concurrent read may have installed the page while the lock was
+        // released; refresh it instead of double-inserting.
+        if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
+            frame.copy_from_slice(buf);
+            let old = *last;
+            *last = tick;
+            inner.touch(page.0, old, tick);
+            return Ok(());
+        }
+        inner.install(page.0, buf.to_vec().into_boxed_slice(), tick, self.capacity);
         Ok(())
     }
 
@@ -125,13 +156,19 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         // Write-through: the store is always current.
         self.store.write_page(page, buf)?;
         let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = inner.next_tick();
         if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
             frame.copy_from_slice(buf);
+            let old = *last;
             *last = tick;
+            inner.touch(page.0, old, tick);
         }
         Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        // Write-through means no dirty frames: delegate to the store.
+        self.store.sync()
     }
 }
 
@@ -142,6 +179,15 @@ mod tests {
 
     fn pool(capacity: usize) -> BufferPool<MemPageStore> {
         BufferPool::new(MemPageStore::new(1024).unwrap(), capacity).unwrap()
+    }
+
+    /// Checks the `frames`/`order` cross-invariant after a test.
+    fn assert_coherent<S: PageStore>(p: &BufferPool<S>) {
+        let inner = p.inner.lock().unwrap();
+        assert_eq!(inner.frames.len(), inner.order.len());
+        for (&tick, &page) in &inner.order {
+            assert_eq!(inner.frames.get(&page).map(|(_, t)| *t), Some(tick));
+        }
     }
 
     #[test]
@@ -163,6 +209,7 @@ mod tests {
         let s = p.stats().snapshot();
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_hits, 2);
+        assert_coherent(&p);
     }
 
     #[test]
@@ -180,6 +227,40 @@ mod tests {
         assert_eq!(p.stats().snapshot().cache_hits, 1);
         p.read_page(pages[1], &mut buf).unwrap();
         assert_eq!(p.stats().snapshot().cache_misses, 1);
+        assert_coherent(&p);
+    }
+
+    #[test]
+    fn write_refresh_changes_eviction_order() {
+        let p = pool(2);
+        let pages = p.allocate(3).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.read_page(pages[0], &mut buf).unwrap(); // cache: {0}
+        p.read_page(pages[1], &mut buf).unwrap(); // cache: {0,1}
+        p.write_page(pages[0], &vec![1u8; 1024]).unwrap(); // refresh 0
+        p.read_page(pages[2], &mut buf).unwrap(); // evicts 1, not 0
+        p.stats().reset();
+        p.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_hits, 1, "page 0 was refreshed");
+        assert_coherent(&p);
+    }
+
+    #[test]
+    fn eviction_stays_linear_under_scan() {
+        // A miss-heavy scan over a full pool must evict exactly one frame
+        // per miss (O(log n) each), never growing past capacity.
+        let p = pool(8);
+        let pages = p.allocate(64).unwrap();
+        let mut buf = vec![0u8; 1024];
+        for _ in 0..4 {
+            for &pg in &pages {
+                p.read_page(pg, &mut buf).unwrap();
+                assert!(p.cached_frames() <= 8);
+            }
+        }
+        let s = p.stats().snapshot();
+        assert_eq!(s.cache_misses, 256, "pure scan: every access misses");
+        assert_coherent(&p);
     }
 
     #[test]
@@ -209,5 +290,69 @@ mod tests {
         p.stats().reset();
         p.read_page(pages[0], &mut buf).unwrap();
         assert_eq!(p.stats().snapshot().cache_misses, 1);
+        assert_coherent(&p);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stay_consistent() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Every page is filled with a single repeated byte; a torn or stale
+        // frame would surface as a mixed-byte read.
+        let p = pool(8);
+        let pages = p.allocate(32).unwrap();
+        for (i, &pg) in pages.iter().enumerate() {
+            p.write_page(pg, &vec![i as u8; 1024]).unwrap();
+        }
+        let stop = AtomicBool::new(false);
+        let reads_done = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            // One writer cycling the value of every page, keeping the
+            // single-byte-fill invariant.
+            s.spawn(|| {
+                for round in 1u32..=20 {
+                    for (i, &pg) in pages.iter().enumerate() {
+                        let v = (i as u32 + round) as u8;
+                        p.write_page(pg, &vec![v; 1024]).unwrap();
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            });
+            // Four readers hammering random-ish pages.
+            for t in 0..4u64 {
+                let p = &p;
+                let stop = &stop;
+                let reads_done = &reads_done;
+                let pages = &pages;
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 1024];
+                    let mut x = t + 1;
+                    let mut local = 0u64;
+                    while !stop.load(Ordering::Acquire) || local < 200 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let pg = pages[(x >> 33) as usize % pages.len()];
+                        p.read_page(pg, &mut buf).unwrap();
+                        let first = buf[0];
+                        assert!(
+                            buf.iter().all(|&b| b == first),
+                            "torn/stale frame for page {}",
+                            pg.0
+                        );
+                        local += 1;
+                        if local > 100_000 {
+                            break;
+                        }
+                    }
+                    reads_done.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        // Counter consistency: every read was either a hit or a miss.
+        let s = p.stats().snapshot();
+        assert_eq!(
+            s.cache_hits + s.cache_misses,
+            reads_done.load(Ordering::Relaxed)
+        );
+        assert!(p.cached_frames() <= 8);
+        assert_coherent(&p);
     }
 }

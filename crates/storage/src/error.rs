@@ -27,6 +27,26 @@ pub enum StorageError {
     },
     /// Buffer pool capacity of zero frames.
     ZeroCapacity,
+    /// A page frame failed checksum verification on read — the page was
+    /// torn by a crash mid-write or corrupted at rest.
+    ChecksumMismatch {
+        /// The page whose frame is damaged.
+        page: u64,
+    },
+    /// A page frame carries a valid checksum but the wrong page id — a
+    /// misdirected write.
+    MisdirectedPage {
+        /// The page that was requested.
+        expected: u64,
+        /// The page id found in the frame header.
+        found: u64,
+    },
+    /// An artificial failure raised by a fault-injection wrapper (tests
+    /// only); `op` is the global operation index at which it fired.
+    Injected {
+        /// Operation index of the injected fault.
+        op: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -41,6 +61,15 @@ impl fmt::Display for StorageError {
                 write!(f, "bad page size {size} (minimum 512 bytes)")
             }
             StorageError::ZeroCapacity => write!(f, "buffer pool needs at least one frame"),
+            StorageError::ChecksumMismatch { page } => {
+                write!(f, "page {page} failed checksum verification (torn write?)")
+            }
+            StorageError::MisdirectedPage { expected, found } => {
+                write!(f, "page {expected} holds a frame written for page {found}")
+            }
+            StorageError::Injected { op } => {
+                write!(f, "injected fault at operation {op}")
+            }
         }
     }
 }

@@ -1,0 +1,278 @@
+//! Fault injection for crash-consistency testing.
+//!
+//! [`FaultInjectingPageStore`] wraps any [`PageStore`] and fails its
+//! operations according to a [`FaultPlan`]: hard crash after N operations,
+//! a torn (half-landed) page write followed by a crash, or transient
+//! one-off errors. The crash-consistency property tests drive a full
+//! create → insert → save → retile workload with a crash injected at every
+//! operation index and assert the database always reopens into a committed
+//! state.
+//!
+//! This module lives in the storage crate (not `testkit`) because it must
+//! implement the [`PageStore`] trait, which `testkit` cannot depend on
+//! without a dependency cycle.
+
+use std::sync::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PageStore, TornWritable};
+
+/// What faults to inject, expressed over a global operation index counting
+/// every `allocate`/`read_page`/`write_page`/`sync` call in order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Crash point: the operation with this index and every later one fail
+    /// with [`StorageError::Injected`]. Models the process dying — once
+    /// tripped the store never recovers.
+    pub fail_at: Option<u64>,
+    /// Torn-write point: if the operation with this index is a page write,
+    /// only the first `.1` bytes of its physical frame land before the
+    /// store crashes (as with [`FaultPlan::fail_at`]). Models power loss
+    /// mid-`write(2)`.
+    pub torn_write_at: Option<(u64, usize)>,
+    /// Transient faults: these operation indices fail with
+    /// [`StorageError::Injected`] but the store keeps working afterwards.
+    /// Models retriable I/O errors (EINTR, ENOSPC later freed, ...).
+    pub transient: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that never fails.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash at operation index `op`.
+    #[must_use]
+    pub fn fail_at(op: u64) -> Self {
+        FaultPlan {
+            fail_at: Some(op),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Tear the write at operation index `op` after `frame_bytes` bytes,
+    /// then crash.
+    #[must_use]
+    pub fn torn_write_at(op: u64, frame_bytes: usize) -> Self {
+        FaultPlan {
+            torn_write_at: Some((op, frame_bytes)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Fail exactly the given operation indices, transiently.
+    #[must_use]
+    pub fn transient(ops: &[u64]) -> Self {
+        FaultPlan {
+            transient: ops.to_vec(),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    ops: u64,
+    crashed: bool,
+}
+
+/// Outcome of consulting the fault plan for one operation.
+enum Gate {
+    /// Perform the operation normally.
+    Proceed,
+    /// Perform a torn write of this many frame bytes, then report a crash.
+    Torn(usize),
+}
+
+/// A [`PageStore`] wrapper that injects faults according to a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultInjectingPageStore<S> {
+    inner: S,
+    state: Mutex<FaultState>,
+}
+
+impl<S> FaultInjectingPageStore<S> {
+    /// Wraps `inner` with no faults planned.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        FaultInjectingPageStore {
+            inner,
+            state: Mutex::new(FaultState {
+                plan: FaultPlan::none(),
+                ops: 0,
+                crashed: false,
+            }),
+        }
+    }
+
+    /// Wraps `inner` with a fault plan armed.
+    #[must_use]
+    pub fn with_plan(inner: S, plan: FaultPlan) -> Self {
+        let store = FaultInjectingPageStore::new(inner);
+        store.set_plan(plan);
+        store
+    }
+
+    /// Replaces the fault plan (the operation counter keeps running).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut state = self.state.lock().unwrap();
+        state.plan = plan;
+        state.crashed = false;
+    }
+
+    /// Number of operations performed (or attempted) so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// Whether a crash fault has tripped.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consults the plan for the next operation; `is_write` enables the
+    /// torn-write fault.
+    fn gate(&self, is_write: bool) -> Result<Gate> {
+        let mut state = self.state.lock().unwrap();
+        if state.crashed {
+            return Err(StorageError::Injected { op: state.ops });
+        }
+        let op = state.ops;
+        state.ops += 1;
+        if state.plan.transient.contains(&op) {
+            return Err(StorageError::Injected { op });
+        }
+        if let Some((torn_op, bytes)) = state.plan.torn_write_at {
+            if op == torn_op && is_write {
+                state.crashed = true;
+                return Ok(Gate::Torn(bytes));
+            }
+        }
+        if let Some(fail_op) = state.plan.fail_at {
+            if op >= fail_op {
+                state.crashed = true;
+                return Err(StorageError::Injected { op });
+            }
+        }
+        Ok(Gate::Proceed)
+    }
+}
+
+impl<S: PageStore + TornWritable> PageStore for FaultInjectingPageStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn allocated(&self) -> u64 {
+        self.inner.allocated()
+    }
+
+    fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
+        match self.gate(false)? {
+            Gate::Proceed | Gate::Torn(_) => self.inner.allocate(count),
+        }
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        match self.gate(false)? {
+            Gate::Proceed | Gate::Torn(_) => self.inner.read_page(page, buf),
+        }
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
+        match self.gate(true)? {
+            Gate::Proceed => self.inner.write_page(page, buf),
+            Gate::Torn(bytes) => {
+                // The prefix lands, then the "process" dies mid-write.
+                self.inner.partial_write_page(page, buf, bytes)?;
+                Err(StorageError::Injected {
+                    op: self.state.lock().unwrap().ops - 1,
+                })
+            }
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        match self.gate(false)? {
+            Gate::Proceed | Gate::Torn(_) => self.inner.sync(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::MemPageStore;
+
+    fn store(plan: FaultPlan) -> FaultInjectingPageStore<MemPageStore> {
+        FaultInjectingPageStore::with_plan(MemPageStore::new(512).unwrap(), plan)
+    }
+
+    #[test]
+    fn no_plan_is_transparent() {
+        let s = store(FaultPlan::none());
+        let pages = s.allocate(2).unwrap();
+        s.write_page(pages[0], &[1u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        s.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 512]);
+        s.sync().unwrap();
+        assert_eq!(s.ops(), 4);
+        assert!(!s.crashed());
+    }
+
+    #[test]
+    fn crash_is_permanent() {
+        let s = store(FaultPlan::fail_at(1));
+        let pages = s.allocate(1).unwrap(); // op 0: fine
+        let err = s.write_page(pages[0], &[2u8; 512]).unwrap_err(); // op 1: crash
+        assert!(matches!(err, StorageError::Injected { op: 1 }));
+        assert!(s.crashed());
+        // Everything after the crash keeps failing.
+        let mut buf = [0u8; 512];
+        assert!(s.read_page(pages[0], &mut buf).is_err());
+        assert!(s.sync().is_err());
+        assert!(s.allocate(1).is_err());
+        // The write never reached the inner store.
+        s.inner().read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 512]);
+    }
+
+    #[test]
+    fn transient_fault_recovers() {
+        let s = store(FaultPlan::transient(&[1]));
+        let pages = s.allocate(1).unwrap();
+        assert!(s.write_page(pages[0], &[3u8; 512]).is_err());
+        assert!(!s.crashed());
+        // Retry succeeds.
+        s.write_page(pages[0], &[3u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        s.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 512]);
+    }
+
+    #[test]
+    fn torn_write_lands_prefix_then_crashes() {
+        let s = store(FaultPlan::torn_write_at(1, 256));
+        let pages = s.allocate(1).unwrap();
+        let err = s.write_page(pages[0], &[7u8; 512]).unwrap_err();
+        assert!(matches!(err, StorageError::Injected { .. }));
+        assert!(s.crashed());
+        // Half the payload landed in the (unframed) memory store.
+        let mut buf = [0u8; 512];
+        s.inner().read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(&buf[..256], &[7u8; 256][..]);
+        assert_eq!(&buf[256..], &[0u8; 256][..]);
+    }
+}

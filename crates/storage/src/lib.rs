@@ -6,6 +6,11 @@
 //! LRU [`BufferPool`]. Every operation is accounted in [`IoStats`], and
 //! [`CostModel`] converts the counts into the deterministic model seconds
 //! used to reproduce the paper's `t_o` measurements.
+//!
+//! Crash safety: [`FilePageStore`] frames every page with a checksum header
+//! so torn writes are detected on read, pages freed by [`BlobStore`] are
+//! quarantined until the next durable commit, and
+//! [`FaultInjectingPageStore`] lets tests crash the store at any operation.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -14,12 +19,17 @@ mod blob;
 mod buffer;
 mod cost;
 mod error;
+mod fault;
 mod page;
 mod stats;
 
-pub use blob::{BlobDirectory, BlobId, BlobStore};
+pub use blob::{BlobDirectory, BlobId, BlobStore, PageCheck};
 pub use buffer::BufferPool;
 pub use cost::CostModel;
 pub use error::{Result, StorageError};
-pub use page::{FilePageStore, MemPageStore, PageId, PageStore, DEFAULT_PAGE_SIZE, MIN_PAGE_SIZE};
+pub use fault::{FaultInjectingPageStore, FaultPlan};
+pub use page::{
+    FilePageStore, MemPageStore, PageId, PageStore, TornWritable, DEFAULT_PAGE_SIZE, FRAME_HEADER,
+    MIN_PAGE_SIZE,
+};
 pub use stats::{IoSnapshot, IoStats};

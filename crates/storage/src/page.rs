@@ -4,6 +4,14 @@
 //! storage system are to whole pages" (§2). Two backends are provided: a
 //! file-backed store (the normal case) and an in-memory store (tests and
 //! benchmarks that must exclude OS I/O noise).
+//!
+//! # Durability
+//!
+//! [`FilePageStore`] frames every page with a 16-byte header (magic, page
+//! id, CRC-32 of the payload) so a write torn by a crash or a misdirected
+//! write is detected on the next read instead of silently serving garbage.
+//! [`PageStore::sync`] flushes a backend to stable storage; the engine
+//! calls it at commit points before publishing a new catalog.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -11,7 +19,7 @@ use std::path::Path;
 
 use std::sync::Mutex;
 
-use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
+use tilestore_testkit::{crc32, FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Result, StorageError};
 
@@ -20,6 +28,13 @@ pub const DEFAULT_PAGE_SIZE: usize = 8192;
 
 /// Minimum accepted page size.
 pub const MIN_PAGE_SIZE: usize = 512;
+
+/// Bytes of the on-disk frame header a [`FilePageStore`] prepends to every
+/// page: 4-byte magic, 8-byte page id, 4-byte CRC-32 of the payload.
+pub const FRAME_HEADER: usize = 16;
+
+/// Magic bytes opening every written page frame.
+const FRAME_MAGIC: [u8; 4] = *b"TSPG";
 
 /// Identifier of a page within a page store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -57,7 +72,8 @@ pub trait PageStore: Send + Sync {
     /// Reads one page into `buf` (must be exactly `page_size` long).
     ///
     /// # Errors
-    /// [`StorageError::PageOutOfRange`] or backend I/O errors.
+    /// [`StorageError::PageOutOfRange`], [`StorageError::ChecksumMismatch`]
+    /// for a torn/corrupt frame, or backend I/O errors.
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()>;
 
     /// Writes one page from `buf` (must be exactly `page_size` long).
@@ -65,6 +81,27 @@ pub trait PageStore: Send + Sync {
     /// # Errors
     /// [`StorageError::PageOutOfRange`] or backend I/O errors.
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()>;
+
+    /// Flushes every completed write to stable storage. The engine calls
+    /// this at commit points, before publishing a catalog that references
+    /// the written pages.
+    ///
+    /// # Errors
+    /// Backend I/O errors.
+    fn sync(&self) -> Result<()>;
+}
+
+/// Backends that can simulate a write torn by a crash: only a prefix of the
+/// physical frame reaches the medium. Drives the fault-injection harness;
+/// never used by production code paths.
+pub trait TornWritable {
+    /// Writes only the first `frame_bytes` bytes of the physical frame that
+    /// a full [`PageStore::write_page`] of `buf` would produce, leaving the
+    /// rest of the frame as it was.
+    ///
+    /// # Errors
+    /// [`StorageError::PageOutOfRange`] or backend I/O errors.
+    fn partial_write_page(&self, page: PageId, buf: &[u8], frame_bytes: usize) -> Result<()>;
 }
 
 fn check_page_size(size: usize) -> Result<()> {
@@ -139,10 +176,39 @@ impl PageStore for MemPageStore {
         data.copy_from_slice(buf);
         Ok(())
     }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
-/// File-backed page store: pages live at `page_id × page_size` offsets of a
-/// single file.
+impl TornWritable for MemPageStore {
+    /// Memory pages carry no frame header, so a torn write lands the first
+    /// `frame_bytes` payload bytes and keeps the old tail.
+    fn partial_write_page(&self, page: PageId, buf: &[u8], frame_bytes: usize) -> Result<()> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page");
+        let mut pages = self.pages.lock().unwrap();
+        let allocated = pages.len() as u64;
+        let data = pages
+            .get_mut(page.0 as usize)
+            .ok_or(StorageError::PageOutOfRange {
+                page: page.0,
+                allocated,
+            })?;
+        let n = frame_bytes.min(self.page_size);
+        data[..n].copy_from_slice(&buf[..n]);
+        Ok(())
+    }
+}
+
+/// File-backed page store with checksummed frames.
+///
+/// Each page lives at `page_id × (page_size + FRAME_HEADER)` in a single
+/// file, prefixed by a header holding a magic, the page id and a CRC-32 of
+/// the payload. Reads verify the header: an all-zero frame is a
+/// never-written page (reads back as zeroes), anything else must carry a
+/// matching id and checksum or the read fails instead of returning torn
+/// data.
 #[derive(Debug)]
 pub struct FilePageStore {
     page_size: usize,
@@ -153,6 +219,8 @@ pub struct FilePageStore {
 struct FileInner {
     file: File,
     allocated: u64,
+    /// Scratch frame buffer reused across writes (header + payload).
+    scratch: Vec<u8>,
 }
 
 impl FilePageStore {
@@ -170,7 +238,11 @@ impl FilePageStore {
             .open(path)?;
         Ok(FilePageStore {
             page_size,
-            inner: Mutex::new(FileInner { file, allocated: 0 }),
+            inner: Mutex::new(FileInner {
+                file,
+                allocated: 0,
+                scratch: vec![0u8; FRAME_HEADER + page_size],
+            }),
         })
     }
 
@@ -187,9 +259,59 @@ impl FilePageStore {
             page_size,
             inner: Mutex::new(FileInner {
                 file,
-                allocated: len / page_size as u64,
+                allocated: len / Self::frame_size_of(page_size),
+                scratch: vec![0u8; FRAME_HEADER + page_size],
             }),
         })
+    }
+
+    fn frame_size_of(page_size: usize) -> u64 {
+        (FRAME_HEADER + page_size) as u64
+    }
+
+    /// Bytes one page occupies on disk (header + payload).
+    #[must_use]
+    pub fn frame_size(&self) -> u64 {
+        Self::frame_size_of(self.page_size)
+    }
+
+    /// Fills a frame (header + payload) for `page` into `frame`.
+    fn encode_frame(frame: &mut [u8], page: PageId, payload: &[u8]) {
+        frame[0..4].copy_from_slice(&FRAME_MAGIC);
+        frame[4..12].copy_from_slice(&page.0.to_le_bytes());
+        frame[12..16].copy_from_slice(&crc32(payload).to_le_bytes());
+        frame[FRAME_HEADER..].copy_from_slice(payload);
+    }
+
+    /// Verifies a frame read for `page` and copies the payload into `buf`.
+    fn decode_frame(frame: &[u8], page: PageId, buf: &mut [u8]) -> Result<()> {
+        let header = &frame[..FRAME_HEADER];
+        if header.iter().all(|&b| b == 0) {
+            // Never written (fresh allocation): reads back as zeroes. A torn
+            // first write of fewer than 4 bytes also lands here and yields
+            // the pre-write zero state, which is a consistent prior state.
+            buf.fill(0);
+            return Ok(());
+        }
+        if frame[0..4] != FRAME_MAGIC {
+            tilestore_obs::hot().checksum_failures.inc();
+            return Err(StorageError::ChecksumMismatch { page: page.0 });
+        }
+        let stored_id = u64::from_le_bytes(frame[4..12].try_into().expect("8-byte slice"));
+        if stored_id != page.0 {
+            tilestore_obs::hot().checksum_failures.inc();
+            return Err(StorageError::MisdirectedPage {
+                expected: page.0,
+                found: stored_id,
+            });
+        }
+        let stored_crc = u32::from_le_bytes(frame[12..16].try_into().expect("4-byte slice"));
+        if stored_crc != crc32(&frame[FRAME_HEADER..]) {
+            tilestore_obs::hot().checksum_failures.inc();
+            return Err(StorageError::ChecksumMismatch { page: page.0 });
+        }
+        buf.copy_from_slice(&frame[FRAME_HEADER..]);
+        Ok(())
     }
 }
 
@@ -206,7 +328,7 @@ impl PageStore for FilePageStore {
         let mut inner = self.inner.lock().unwrap();
         let first = inner.allocated;
         inner.allocated += count;
-        let new_len = inner.allocated * self.page_size as u64;
+        let new_len = inner.allocated * self.frame_size();
         inner.file.set_len(new_len)?;
         Ok((first..first + count).map(PageId).collect())
     }
@@ -222,8 +344,12 @@ impl PageStore for FilePageStore {
         }
         inner
             .file
-            .seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
-        inner.file.read_exact(buf)?;
+            .seek(SeekFrom::Start(page.0 * self.frame_size()))?;
+        let mut frame = std::mem::take(&mut inner.scratch);
+        let res = inner.file.read_exact(&mut frame);
+        inner.scratch = frame;
+        res?;
+        Self::decode_frame(&inner.scratch, page, buf)?;
         tilestore_obs::hot().pages_read.inc();
         tilestore_obs::tracer().event("page_read", || format!("page={}", page.0));
         Ok(())
@@ -240,10 +366,43 @@ impl PageStore for FilePageStore {
         }
         inner
             .file
-            .seek(SeekFrom::Start(page.0 * self.page_size as u64))?;
-        inner.file.write_all(buf)?;
+            .seek(SeekFrom::Start(page.0 * self.frame_size()))?;
+        let mut frame = std::mem::take(&mut inner.scratch);
+        Self::encode_frame(&mut frame, page, buf);
+        let res = inner.file.write_all(&frame);
+        inner.scratch = frame;
+        res?;
         tilestore_obs::hot().pages_written.inc();
         tilestore_obs::tracer().event("page_write", || format!("page={}", page.0));
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        let inner = self.inner.lock().unwrap();
+        inner.file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl TornWritable for FilePageStore {
+    fn partial_write_page(&self, page: PageId, buf: &[u8], frame_bytes: usize) -> Result<()> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page");
+        let mut inner = self.inner.lock().unwrap();
+        if page.0 >= inner.allocated {
+            return Err(StorageError::PageOutOfRange {
+                page: page.0,
+                allocated: inner.allocated,
+            });
+        }
+        inner
+            .file
+            .seek(SeekFrom::Start(page.0 * self.frame_size()))?;
+        let mut frame = std::mem::take(&mut inner.scratch);
+        Self::encode_frame(&mut frame, page, buf);
+        let n = frame_bytes.min(frame.len());
+        let res = inner.file.write_all(&frame[..n]);
+        inner.scratch = frame;
+        res?;
         Ok(())
     }
 }
@@ -276,6 +435,7 @@ mod tests {
             Err(StorageError::PageOutOfRange { page: 3, .. })
         ));
         assert!(store.write_page(PageId(99), &payload).is_err());
+        store.sync().unwrap();
     }
 
     #[test]
@@ -300,6 +460,7 @@ mod tests {
             let store = FilePageStore::create(&path, 1024).unwrap();
             store.allocate(2).unwrap();
             store.write_page(PageId(1), &payload).unwrap();
+            store.sync().unwrap();
         }
         let store = FilePageStore::open(&path, 1024).unwrap();
         assert_eq!(store.allocated(), 2);
@@ -313,6 +474,72 @@ mod tests {
         assert!(matches!(
             MemPageStore::new(16),
             Err(StorageError::BadPageSize { size: 16 })
+        ));
+    }
+
+    #[test]
+    fn torn_write_detected_by_checksum() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let store = FilePageStore::create(dir.path().join("pages.db"), 512).unwrap();
+        let pages = store.allocate(1).unwrap();
+        let old: Vec<u8> = vec![3u8; 512];
+        store.write_page(pages[0], &old).unwrap();
+        // A rewrite torn half-way through the frame leaves a frame whose
+        // header describes the new payload but whose tail is still old.
+        let new: Vec<u8> = (0..512).map(|i| (i % 256) as u8).collect();
+        store
+            .partial_write_page(pages[0], &new, (FRAME_HEADER + 512) / 2)
+            .unwrap();
+        let mut buf = vec![0u8; 512];
+        assert!(matches!(
+            store.read_page(pages[0], &mut buf),
+            Err(StorageError::ChecksumMismatch { page: 0 })
+        ));
+        // A full rewrite repairs the page.
+        store.write_page(pages[0], &new).unwrap();
+        store.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(buf, new);
+    }
+
+    #[test]
+    fn torn_first_write_reads_as_never_written() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let store = FilePageStore::create(dir.path().join("pages.db"), 512).unwrap();
+        let pages = store.allocate(1).unwrap();
+        // Fewer than 4 header bytes land: header stays all-zero on disk
+        // only if 0 bytes landed; with 2 bytes of magic the frame is
+        // detected as corrupt rather than served.
+        store
+            .partial_write_page(pages[0], &vec![9u8; 512], 2)
+            .unwrap();
+        let mut buf = vec![0u8; 512];
+        assert!(store.read_page(pages[0], &mut buf).is_err());
+    }
+
+    #[test]
+    fn misdirected_write_detected() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let path = dir.path().join("pages.db");
+        let store = FilePageStore::create(&path, 512).unwrap();
+        store.allocate(2).unwrap();
+        store.write_page(PageId(0), &vec![1u8; 512]).unwrap();
+        store.write_page(PageId(1), &vec![2u8; 512]).unwrap();
+        drop(store);
+        // Swap the two frames on disk: checksums are valid but ids do not
+        // match the slots.
+        let mut raw = std::fs::read(&path).unwrap();
+        let fs = FRAME_HEADER + 512;
+        let (a, b) = raw.split_at_mut(fs);
+        a.swap_with_slice(&mut b[..fs]);
+        std::fs::write(&path, &raw).unwrap();
+        let store = FilePageStore::open(&path, 512).unwrap();
+        let mut buf = vec![0u8; 512];
+        assert!(matches!(
+            store.read_page(PageId(0), &mut buf),
+            Err(StorageError::MisdirectedPage {
+                expected: 0,
+                found: 1
+            })
         ));
     }
 }

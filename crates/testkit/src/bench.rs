@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn report_statistics_are_ordered() {
-        let samples: Vec<Duration> = (1..=100).map(|i| Duration::from_micros(i)).collect();
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
         let r = Report::from_samples(samples);
         assert_eq!(r.n, 100);
         assert_eq!(r.min, Duration::from_micros(1));

@@ -14,16 +14,20 @@
 //! * [`json`] — a small JSON value model, parser and printer plus the
 //!   [`ToJson`]/[`FromJson`] traits used by catalog persistence and the
 //!   benchmark reports.
+//! * [`crc`] — CRC-32 (IEEE) for torn-write detection in checksummed page
+//!   frames.
 //! * [`tempdir`] — scoped temporary directories removed on drop.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod crc;
 pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod tempdir;
 
+pub use crc::{crc32, crc32_update};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::Rng;
 pub use tempdir::{tempdir, TempDir};

@@ -9,4 +9,5 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
