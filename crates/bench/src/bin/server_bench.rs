@@ -1,0 +1,212 @@
+//! Serving-layer benchmark emitting a machine-readable report.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin server_bench -- BENCH_PR4.json
+//! ```
+//!
+//! Two experiments over one file-backed database:
+//!
+//! 1. **Serial vs parallel tile fetch** — the same large range query with
+//!    and without an executor attached to the engine. The parallel path
+//!    splits the region into bands and streams tiles through per-task
+//!    scratch buffers straight into the result slab, so it must win even
+//!    on one core. Samples are *paired*: each iteration times one serial
+//!    and one parallel query back to back (two handles on the same
+//!    database files), so CPU-frequency drift between measurement blocks
+//!    cannot masquerade as a speedup or a slowdown.
+//! 2. **Concurrent-client throughput** — the database served over TCP, with
+//!    1 / 4 / 16 clients issuing range queries; per-request latency
+//!    (median/p95 across all clients) and aggregate requests/second.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::Domain;
+use tilestore_server::{serve, Client, RemoteValue, ServerConfig};
+use tilestore_testkit::bench::Report;
+use tilestore_testkit::{tempdir, Json, ToJson};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// Side length of the square benchmark array (u32 cells → 1 MiB total).
+const SIDE: i64 = 512;
+
+/// Queries per client connection in the throughput experiment.
+const QUERIES_PER_CLIENT: usize = 20;
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+/// Paired samples per configuration in the serial-vs-parallel experiment.
+const PAIRED_SAMPLES: usize = 41;
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let dir = tempdir().expect("tempdir");
+    {
+        let mut db = Database::create_dir(dir.path()).expect("create db");
+        db.create_object(
+            "grid",
+            MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 8192)),
+        )
+        .unwrap();
+        let dom: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+        db.insert(
+            "grid",
+            &Array::from_fn(dom.clone(), |p| (p[0] * SIDE + p[1]) as u32).unwrap(),
+        )
+        .unwrap();
+        db.save(dir.path()).expect("save");
+    }
+
+    // --- Experiment 1: serial vs parallel large-range query (paired). ---
+    let region: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    let (serial, parallel, speedup) = {
+        let db_serial = Database::open_dir(dir.path()).expect("open serial handle");
+        let mut db_parallel = Database::open_dir(dir.path()).expect("open parallel handle");
+        db_parallel.attach_executor(Arc::new(ThreadPool::new(3)));
+        for _ in 0..5 {
+            db_serial.range_query("grid", &region).unwrap();
+            db_parallel.range_query("grid", &region).unwrap();
+        }
+        let mut serial_ns = Vec::with_capacity(PAIRED_SAMPLES);
+        let mut parallel_ns = Vec::with_capacity(PAIRED_SAMPLES);
+        let mut ratios = Vec::with_capacity(PAIRED_SAMPLES);
+        for _ in 0..PAIRED_SAMPLES {
+            let t0 = Instant::now();
+            std::hint::black_box(db_serial.range_query("grid", &region).unwrap());
+            let s = t0.elapsed();
+            let t0 = Instant::now();
+            std::hint::black_box(db_parallel.range_query("grid", &region).unwrap());
+            let p = t0.elapsed();
+            serial_ns.push(s);
+            parallel_ns.push(p);
+            ratios.push(s.as_secs_f64() / p.as_secs_f64().max(1e-12));
+        }
+        ratios.sort_by(f64::total_cmp);
+        (
+            Report::from_samples(serial_ns),
+            Report::from_samples(parallel_ns),
+            ratios[ratios.len() / 2],
+        )
+    };
+    println!(
+        "parallel speedup over serial (paired median): {speedup:.2}x \
+         (serial median {:?}, parallel median {:?})",
+        serial.median, parallel.median
+    );
+
+    // --- Experiment 2: concurrent clients over TCP. ---
+    let db = Database::open_dir(dir.path()).expect("reopen for serving");
+    let handle = serve(
+        SharedDatabase::new(db),
+        Some(dir.path().to_path_buf()),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 3,
+            max_inflight: 64,
+            default_deadline_ms: 60_000,
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+
+    let mut concurrency_levels: Vec<(String, Json)> = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        let wall_start = Instant::now();
+        let samples: Vec<Duration> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let mut local = Vec::with_capacity(QUERIES_PER_CLIENT);
+                        for i in 0..QUERIES_PER_CLIENT {
+                            let lo0 = ((t * 31 + i * 13) as i64) % (SIDE - 128);
+                            let lo1 = ((t * 17 + i * 7) as i64) % (SIDE - 128);
+                            let q = format!(
+                                "SELECT grid[{lo0}:{},{lo1}:{}] FROM grid",
+                                lo0 + 127,
+                                lo1 + 127
+                            );
+                            let t0 = Instant::now();
+                            let got = client.query(&q).expect("query");
+                            local.push(t0.elapsed());
+                            assert!(matches!(got, RemoteValue::Array { .. }));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let wall = wall_start.elapsed();
+        let total = samples.len();
+        let report = Report::from_samples(samples);
+        let rps = total as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{clients:>2} clients: {total} queries in {:.3}s ({rps:.1} req/s, median {:?})",
+            wall.as_secs_f64(),
+            report.median
+        );
+        concurrency_levels.push((
+            format!("clients_{clients}"),
+            Json::obj(vec![
+                ("clients", (clients as u64).to_json()),
+                ("requests", (total as u64).to_json()),
+                ("wall_ns", ns(wall)),
+                ("requests_per_sec", Json::Float(rps)),
+                ("latency", report_json(&report)),
+            ]),
+        ));
+    }
+    let mut shutter = Client::connect(addr).expect("connect");
+    shutter.shutdown_server().expect("shutdown");
+    handle.join();
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("server_bench".to_string())),
+        (
+            "array",
+            Json::Str(format!("{SIDE}x{SIDE} u32, regular 8 KiB tiles")),
+        ),
+        (
+            "large_range_query",
+            Json::obj(vec![
+                (
+                    "method",
+                    Json::Str("paired interleaved samples".to_string()),
+                ),
+                ("serial", report_json(&serial)),
+                ("parallel", report_json(&parallel)),
+                ("parallel_speedup_median", Json::Float(speedup)),
+            ]),
+        ),
+        ("concurrency", Json::Object(concurrency_levels)),
+        ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+    ]);
+
+    let text = report.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write report");
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -8,7 +8,7 @@ use tilestore_engine::{Array, CellType, Database, MddType};
 use tilestore_geometry::{DefDomain, Domain};
 use tilestore_rasql::Value;
 use tilestore_storage::{CostModel, FilePageStore};
-use tilestore_tiling::{AlignedTiling, AxisPartition, DirectionalTiling, Scheme, TileConfig};
+use tilestore_tiling::Scheme;
 
 /// Errors surfaced to the CLI user as plain messages.
 pub type CliResult<T> = Result<T, String>;
@@ -46,60 +46,9 @@ pub fn parse_cell_type(name: &str) -> CliResult<CellType> {
 /// `regular:<maxKB>` | `aligned:<config>:<maxKB>` |
 /// `directional:<axis>=p1/p2/...[,<axis>=...]:<maxKB>` | `single`.
 pub fn parse_scheme(spec: &str, dim: usize) -> CliResult<Scheme> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts[0] {
-        "single" => Ok(Scheme::SingleTile(tilestore_tiling::SingleTile)),
-        "regular" => {
-            let kb: u64 = parts
-                .get(1)
-                .unwrap_or(&"128")
-                .parse()
-                .map_err(|e| format!("bad MaxTileSize: {e}"))?;
-            Ok(Scheme::Aligned(AlignedTiling::regular(dim, kb * 1024)))
-        }
-        "aligned" => {
-            let config: TileConfig = parts
-                .get(1)
-                .ok_or("aligned needs a config, e.g. aligned:[*,1]:64")?
-                .parse()
-                .map_err(err)?;
-            let kb: u64 = parts
-                .get(2)
-                .unwrap_or(&"128")
-                .parse()
-                .map_err(|e| format!("bad MaxTileSize: {e}"))?;
-            Ok(Scheme::Aligned(AlignedTiling::new(config, kb * 1024)))
-        }
-        "directional" => {
-            let cuts = parts
-                .get(1)
-                .ok_or("directional needs cuts, e.g. directional:0=1/31/60,1=1/50:64")?;
-            let mut partitions = Vec::new();
-            for axis_spec in cuts.split(',') {
-                let (axis, points) = axis_spec
-                    .split_once('=')
-                    .ok_or_else(|| format!("bad axis spec {axis_spec:?}"))?;
-                let axis: usize = axis.parse().map_err(|e| format!("bad axis: {e}"))?;
-                let points: Result<Vec<i64>, _> = points.split('/').map(str::parse).collect();
-                partitions.push(AxisPartition::new(
-                    axis,
-                    points.map_err(|e| format!("bad cut point: {e}"))?,
-                ));
-            }
-            let kb: u64 = parts
-                .get(2)
-                .unwrap_or(&"128")
-                .parse()
-                .map_err(|e| format!("bad MaxTileSize: {e}"))?;
-            Ok(Scheme::Directional(DirectionalTiling::new(
-                partitions,
-                kb * 1024,
-            )))
-        }
-        other => Err(format!(
-            "unknown scheme {other:?} (expected single, regular, aligned, directional)"
-        )),
-    }
+    // The grammar lives in the tiling crate so the server's retile request
+    // accepts exactly the same specs as the CLI.
+    tilestore_tiling::parse_scheme_spec(spec, dim)
 }
 
 /// `create <name> <celltype> <dim> [scheme]`.
@@ -404,6 +353,117 @@ pub fn fsck(dir: &Path) -> CliResult<String> {
     }
 }
 
+/// `serve <addr>` — serve the database over TCP until a client sends
+/// `shutdown` (or the process is killed). Prints the bound address up
+/// front so scripts can connect to an ephemeral `:0` port.
+pub fn serve(dir: &Path, addr: &str) -> CliResult<String> {
+    use std::io::Write as _;
+    let db = open(dir)?;
+    let shared = tilestore_engine::SharedDatabase::new(db);
+    let handle = tilestore_server::serve(
+        shared,
+        Some(dir.to_path_buf()),
+        addr,
+        tilestore_server::ServerConfig::default(),
+    )
+    .map_err(err)?;
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.join();
+    Ok("server stopped".to_string())
+}
+
+/// `client <addr> <op> [args...]` — remote counterparts of the local
+/// commands, talking to a `serve` instance.
+pub fn client(addr: &str, op: &str, args: &[String]) -> CliResult<String> {
+    use tilestore_server::{Client, RemoteValue};
+    let mut c = Client::connect(addr).map_err(err)?;
+    match (op, args) {
+        ("ping", []) => {
+            c.ping().map_err(err)?;
+            Ok("pong".to_string())
+        }
+        ("query", [q]) => {
+            let mut out = String::new();
+            match c.query(q).map_err(err)? {
+                RemoteValue::Array {
+                    domain,
+                    cell_size,
+                    cells,
+                } => {
+                    writeln!(out, "array over {domain} ({} cells)", domain.cells())
+                        .expect("string write");
+                    if domain.cells() <= 64 && cell_size <= 8 {
+                        for (i, chunk) in cells.chunks(cell_size).enumerate() {
+                            if i > 0 {
+                                out.push(' ');
+                            }
+                            for b in chunk {
+                                write!(out, "{b:02x}").expect("string write");
+                            }
+                        }
+                    }
+                }
+                RemoteValue::Number(n) => write!(out, "{n}").expect("string write"),
+                RemoteValue::Count(n) => write!(out, "{n} cells").expect("string write"),
+                RemoteValue::Bool(b) => write!(out, "{b}").expect("string write"),
+            }
+            Ok(out.trim_end().to_string())
+        }
+        ("load", [name, domain, pattern]) => {
+            let info = c.info(name).map_err(err)?;
+            let cell_size = info
+                .get("cell_size")
+                .and_then(|j| j.as_u64())
+                .ok_or("server info lacks cell_size")? as usize;
+            let domain: Domain = domain.parse().map_err(err)?;
+            let array = synthesize(&domain, cell_size, pattern)?;
+            let stats = c.insert(name, &array).map_err(err)?;
+            Ok(format!(
+                "loaded {domain} as {} tiles",
+                stats
+                    .get("tiles_created")
+                    .and_then(|j| j.as_u64())
+                    .unwrap_or(0)
+            ))
+        }
+        ("retile", [name, scheme]) => {
+            let stats = c.retile(name, scheme).map_err(err)?;
+            Ok(format!(
+                "retiled {name:?}: {} -> {} tiles",
+                stats
+                    .get("tiles_before")
+                    .and_then(|j| j.as_u64())
+                    .unwrap_or(0),
+                stats
+                    .get("tiles_after")
+                    .and_then(|j| j.as_u64())
+                    .unwrap_or(0)
+            ))
+        }
+        ("info", [name]) => Ok(c.info(name).map_err(err)?.to_string_pretty()),
+        ("stats", []) => Ok(c.stats().map_err(err)?.to_string_pretty()),
+        ("fsck", []) => {
+            let report = c.fsck().map_err(err)?;
+            let clean = report.get("clean").and_then(|j| j.as_bool()) == Some(true);
+            if clean {
+                Ok(report.to_string_pretty())
+            } else {
+                Err(report.to_string_pretty())
+            }
+        }
+        ("shutdown", []) => {
+            c.shutdown_server().map_err(err)?;
+            Ok("server shutting down".to_string())
+        }
+        _ => Err(format!(
+            "unknown client op {op:?} (or wrong arguments); ops: ping, query <rasql>, \
+             load <name> <domain> <pattern>, retile <name> <scheme>, info <name>, \
+             stats, fsck, shutdown"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +618,49 @@ mod tests {
         let msg = fsck(dir.path()).unwrap_err();
         assert!(msg.contains("catalog.json.tmp"), "{msg}");
         assert!(fsck(&dir.path().join("nope")).is_err());
+    }
+
+    #[test]
+    fn client_command_round_trip() {
+        let (dir, mut db) = fresh();
+        create(&mut db, "img", "u8", 2, Some("regular:4")).unwrap();
+        load(&mut db, "img", "[0:15,0:15]", "gradient").unwrap();
+        db.save(dir.path()).unwrap();
+        let handle = tilestore_server::serve(
+            tilestore_engine::SharedDatabase::new(db),
+            Some(dir.path().to_path_buf()),
+            "127.0.0.1:0",
+            tilestore_server::ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        assert_eq!(client(&addr, "ping", &[]).unwrap(), "pong");
+        let out = client(
+            &addr,
+            "query",
+            &["SELECT count_cells(img) FROM img".to_string()],
+        )
+        .unwrap();
+        assert!(out.contains("cells"), "{out}");
+        let out = client(
+            &addr,
+            "load",
+            &["img".into(), "[16:31,0:15]".into(), "gradient".into()],
+        )
+        .unwrap();
+        assert!(out.contains("loaded [16:31,0:15]"), "{out}");
+        let out = client(&addr, "retile", &["img".into(), "regular:8".into()]).unwrap();
+        assert!(out.contains("tiles"), "{out}");
+        let out = client(&addr, "info", &["img".into()]).unwrap();
+        assert!(out.contains("covered_cells"), "{out}");
+        let out = client(&addr, "stats", &[]).unwrap();
+        assert!(out.contains("objects"), "{out}");
+        let out = client(&addr, "fsck", &[]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(client(&addr, "bogus", &[]).is_err());
+        client(&addr, "shutdown", &[]).unwrap();
+        handle.join();
+        assert!(tilestore_engine::fsck(dir.path()).unwrap().is_clean());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! tilestore <dbdir> drop <name>
 //! tilestore <dbdir> fsck
 //! tilestore <dbdir> repl
+//! tilestore <dbdir> serve 127.0.0.1:7901
+//! tilestore client 127.0.0.1:7901 query "SELECT obj[0:9,0:9] FROM obj"
 //! ```
 //!
 //! Schemes: `regular:<maxKB>`, `aligned:<config>:<maxKB>` (e.g.
@@ -41,7 +43,12 @@ commands:
   delete <name> <domain>                 remove a region's cells
   drop <name>                            remove an object
   fsck                                   audit catalog/page-file consistency
-  repl                                   interactive query shell";
+  repl                                   interactive query shell
+  serve <addr>                           serve the database over TCP (e.g. 127.0.0.1:7901)
+or, without a <dbdir>:
+  tilestore client <addr> <op> [args...] talk to a serve instance
+    ops: ping | query <rasql> | load <name> <domain> <pattern>
+         | retile <name> <scheme> | info <name> | stats | fsck | shutdown";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +66,13 @@ fn main() {
 }
 
 fn run(args: &[String]) -> CliResult<String> {
+    // `client` takes a server address, not a database directory.
+    if let Some(("client", rest)) = args.split_first().map(|(c, r)| (c.as_str(), r)) {
+        return match rest {
+            [addr, op, op_args @ ..] => commands::client(addr, op, op_args),
+            _ => Err("client <addr> <op> [args...]".to_string()),
+        };
+    }
     let (dir, rest) = match args.split_first() {
         Some((dir, rest)) if !rest.is_empty() => (PathBuf::from(dir), rest),
         _ => return Err(USAGE.to_string()),
@@ -122,6 +136,10 @@ fn run(args: &[String]) -> CliResult<String> {
             _ => Err("drop <name>".to_string()),
         },
         "fsck" => commands::fsck(&dir),
+        "serve" => match args {
+            [addr] => commands::serve(&dir, addr),
+            _ => Err("serve <addr>".to_string()),
+        },
         "repl" => repl(&dir),
         _ => Err(format!("unknown command {command:?}\n{USAGE}")),
     }

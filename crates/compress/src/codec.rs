@@ -202,6 +202,21 @@ pub fn compress(
 /// [`CompressError::Corrupt`] / [`CompressError::UnknownCodec`] /
 /// [`CompressError::LengthMismatch`] on malformed streams.
 pub fn decompress(stream: &[u8], ctx: &CellContext<'_>) -> Result<Vec<u8>> {
+    Ok(decompress_view(stream, ctx)?.into_owned())
+}
+
+/// Like [`decompress`], but borrows the payload of a raw ([`Codec::None`])
+/// stream instead of copying it. The engine's parallel tile-fetch path uses
+/// this to paste uncompressed tiles straight from the read buffer into the
+/// result array.
+///
+/// # Errors
+/// The errors of [`decompress`].
+pub fn decompress_view<'a>(
+    stream: &'a [u8],
+    ctx: &CellContext<'_>,
+) -> Result<std::borrow::Cow<'a, [u8]>> {
+    use std::borrow::Cow;
     let tag = *stream
         .first()
         .ok_or_else(|| CompressError::Corrupt("empty stream".to_string()))?;
@@ -209,7 +224,7 @@ pub fn decompress(stream: &[u8], ctx: &CellContext<'_>) -> Result<Vec<u8>> {
     let mut pos = 1usize;
     let original_len = read_varint(stream, &mut pos)? as usize;
     let body = &stream[pos..];
-    let out = match codec {
+    let out: Cow<'a, [u8]> = match codec {
         Codec::None => {
             if body.len() != original_len {
                 return Err(CompressError::LengthMismatch {
@@ -217,13 +232,14 @@ pub fn decompress(stream: &[u8], ctx: &CellContext<'_>) -> Result<Vec<u8>> {
                     got: body.len() as u64,
                 });
             }
-            body.to_vec()
+            Cow::Borrowed(body)
         }
-        Codec::PackBits => packbits::decode(body, original_len)?,
-        Codec::DeltaPackBits => {
-            delta::inverse(&packbits::decode(body, original_len)?, ctx.cell_size)?
-        }
-        Codec::ChunkOffset => chunk_offset::decode(body, ctx.cell_size)?,
+        Codec::PackBits => Cow::Owned(packbits::decode(body, original_len)?),
+        Codec::DeltaPackBits => Cow::Owned(delta::inverse(
+            &packbits::decode(body, original_len)?,
+            ctx.cell_size,
+        )?),
+        Codec::ChunkOffset => Cow::Owned(chunk_offset::decode(body, ctx.cell_size)?),
     };
     if out.len() != original_len {
         return Err(CompressError::LengthMismatch {

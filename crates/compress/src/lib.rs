@@ -27,7 +27,9 @@ mod error;
 mod packbits;
 mod varint;
 
-pub use codec::{compress, decompress, stream_codec, CellContext, Codec, CompressionPolicy};
+pub use codec::{
+    compress, decompress, decompress_view, stream_codec, CellContext, Codec, CompressionPolicy,
+};
 pub use error::{CompressError, Result};
 
 /// Direct access to the chunk-offset heuristics (density estimation).

@@ -1,7 +1,7 @@
 //! The access model of §5.1 and the access log feeding statistic tiling.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use tilestore_geometry::{AxisRange, Domain};
 use tilestore_tiling::AccessRecord;
@@ -88,6 +88,16 @@ impl AccessRegion {
     }
 }
 
+/// Locks the entry map, recovering from poisoning: a panicking worker
+/// thread must not permanently disable query logging — the log holds plain
+/// aggregated counts, which stay internally consistent even if a panic
+/// interrupted the panicking thread's own update.
+fn lock(
+    m: &Mutex<BTreeMap<String, (Domain, u64)>>,
+) -> MutexGuard<'_, BTreeMap<String, (Domain, u64)>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Per-object log of executed accesses, aggregated by region.
 ///
 /// §5.2: "Statistic tiling automatically calculates areas of interest from
@@ -109,7 +119,7 @@ impl AccessLog {
 
     /// Records one access to `region`.
     pub fn record(&self, region: &Domain) {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = lock(&self.entries);
         entries
             .entry(region.to_string())
             .and_modify(|(_, c)| *c += 1)
@@ -119,21 +129,19 @@ impl AccessLog {
     /// Number of distinct regions recorded.
     #[must_use]
     pub fn distinct_regions(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        lock(&self.entries).len()
     }
 
     /// Total accesses recorded.
     #[must_use]
     pub fn total_accesses(&self) -> u64 {
-        self.entries.lock().unwrap().values().map(|(_, c)| *c).sum()
+        lock(&self.entries).values().map(|(_, c)| *c).sum()
     }
 
     /// Exports the log as tiling [`AccessRecord`]s.
     #[must_use]
     pub fn to_records(&self) -> Vec<AccessRecord> {
-        self.entries
-            .lock()
-            .unwrap()
+        lock(&self.entries)
             .values()
             .map(|(region, count)| AccessRecord::new(region.clone(), *count))
             .collect()
@@ -141,14 +149,14 @@ impl AccessLog {
 
     /// Clears the log.
     pub fn clear(&self) {
-        self.entries.lock().unwrap().clear();
+        lock(&self.entries).clear();
     }
 }
 
 impl Clone for AccessLog {
     fn clone(&self) -> Self {
         AccessLog {
-            entries: Mutex::new(self.entries.lock().unwrap().clone()),
+            entries: Mutex::new(lock(&self.entries).clone()),
         }
     }
 }
@@ -199,6 +207,21 @@ mod tests {
         assert!(AccessRegion::Section(vec![Some(1), Some(2)])
             .resolve(&cur)
             .is_err());
+    }
+
+    #[test]
+    fn log_survives_lock_poisoning() {
+        let log = AccessLog::new();
+        log.record(&d("[0:4,0:4]"));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = log.entries.lock().unwrap();
+            panic!("worker died mid-record");
+        }));
+        assert!(log.entries.is_poisoned());
+        // Logging keeps working after a panicking holder.
+        log.record(&d("[0:4,0:4]"));
+        assert_eq!(log.total_accesses(), 2);
+        assert_eq!(log.distinct_regions(), 1);
     }
 
     #[test]

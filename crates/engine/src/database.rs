@@ -13,13 +13,15 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tilestore_compress::{CellContext, CompressionPolicy};
-use tilestore_geometry::Domain;
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::{copy_region, Domain};
 use tilestore_index::RPlusTree;
 use tilestore_obs::AccessRecorder;
-use tilestore_storage::{BlobStore, IoStats, MemPageStore, PageStore, DEFAULT_PAGE_SIZE};
+use tilestore_storage::{BlobId, BlobStore, IoStats, MemPageStore, PageStore, DEFAULT_PAGE_SIZE};
 use tilestore_tiling::{AccessRecord, Scheme, StatisticTiling, TilingSpec, TilingStrategy};
 
 use crate::access::{AccessLog, AccessRegion};
@@ -61,6 +63,10 @@ pub struct Database<S: PageStore> {
     blobs: BlobStore<S>,
     objects: BTreeMap<String, ObjectState>,
     recorder: Option<AccessRecorder>,
+    /// Optional thread pool: when attached, tile fetch/decode on the query
+    /// path and tile materialization on insert/retile fan out across its
+    /// workers ([`Database::attach_executor`]).
+    executor: Option<Arc<ThreadPool>>,
     /// Epoch of the last durable catalog commit (0 before any commit);
     /// bumped by `save`, restored by the persistence layer on reopen.
     commit_epoch: AtomicU64,
@@ -86,6 +92,7 @@ impl<S: PageStore> Database<S> {
             blobs: BlobStore::new(store),
             objects: BTreeMap::new(),
             recorder: None,
+            executor: None,
             commit_epoch: AtomicU64::new(0),
         }
     }
@@ -96,6 +103,7 @@ impl<S: PageStore> Database<S> {
             blobs,
             objects: BTreeMap::new(),
             recorder: None,
+            executor: None,
             commit_epoch: AtomicU64::new(0),
         }
     }
@@ -126,6 +134,20 @@ impl<S: PageStore> Database<S> {
     #[must_use]
     pub fn recorder(&self) -> Option<&AccessRecorder> {
         self.recorder.as_ref()
+    }
+
+    /// Attaches a thread pool. Queries then scatter tile fetch/decode/clip
+    /// across the pool's workers (the result array is split into disjoint
+    /// bands along axis 0), and insert/retile materialize and compress
+    /// tiles in parallel. Without an executor every path stays serial.
+    pub fn attach_executor(&mut self, pool: Arc<ThreadPool>) {
+        self.executor = Some(pool);
+    }
+
+    /// The attached executor, if any.
+    #[must_use]
+    pub fn executor(&self) -> Option<&Arc<ThreadPool>> {
+        self.executor.as_ref()
     }
 
     /// Reinstalls a persisted object (catalog restore path).
@@ -307,24 +329,53 @@ impl<S: PageStore> Database<S> {
         // Phase 1: the tiling specification.
         let spec = state.meta.scheme.partition(array.domain(), cell_size)?;
 
-        // Phase 2: materialize, store and index the tiles.
+        // Phase 2: materialize, store and index the tiles. With an executor
+        // attached, extraction + compression + BLOB writes scatter across the
+        // pool; indexing stays serial (the R+-tree is not concurrent). A
+        // mid-scatter failure can leave already-written BLOBs unindexed —
+        // they surface as reclaimable orphans, exactly like a crash between
+        // page writes and the catalog commit.
         let io_before = self.blobs.stats().snapshot();
         let mut stats = InsertStats::default();
         let ctx = CellContext {
             cell_size,
             default: &state.meta.mdd_type.cell.default,
         };
-        for tile_domain in spec.tiles() {
-            let tile = array.extract(tile_domain)?;
-            let stream = tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
-                .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
-            let blob = self.blobs.create(&stream)?;
+        let pool = self.executor.as_deref().filter(|_| spec.len() > 1);
+        let created: Vec<(Domain, BlobId)> = if let Some(pool) = pool {
+            let blobs = &self.blobs;
+            let compression = &state.meta.compression;
+            let ctx = &ctx;
+            pool.scatter(
+                spec.tiles().to_vec(),
+                move |_, tile_domain| -> Result<(Domain, BlobId)> {
+                    let tile = array.extract(&tile_domain)?;
+                    let stream = tilestore_compress::compress(compression, tile.bytes(), ctx)
+                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                    let blob = blobs.create(&stream)?;
+                    Ok((tile_domain, blob))
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?
+        } else {
+            let mut created = Vec::with_capacity(spec.len());
+            for tile_domain in spec.tiles() {
+                let tile = array.extract(tile_domain)?;
+                let stream =
+                    tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
+                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                created.push((tile_domain.clone(), self.blobs.create(&stream)?));
+            }
+            created
+        };
+        for (tile_domain, blob) in created {
             let pos = state.meta.tiles.len() as u64;
             state.meta.tiles.push(TileMeta {
                 domain: tile_domain.clone(),
                 blob,
             });
-            state.meta.index.insert(tile_domain.clone(), pos)?;
+            state.meta.index.insert(tile_domain, pos)?;
             stats.tiles_created += 1;
         }
         let io = self.blobs.stats().snapshot().since(&io_before);
@@ -418,14 +469,27 @@ impl<S: PageStore> Database<S> {
             index_nodes: search.nodes_visited,
             ..QueryStats::default()
         };
-        for &pos in &search.hits {
-            let tile = &meta.tiles[pos as usize];
-            let bytes = self.read_tile_payload(meta, tile)?;
-            let tile_array = Array::from_bytes(tile.domain.clone(), cell_size, bytes)?;
-            let copied = result.paste(&tile_array)?;
-            stats.tiles_read += 1;
-            stats.cells_processed += tile.domain.cells();
-            stats.cells_copied += copied;
+        let pool = self
+            .executor
+            .as_deref()
+            .filter(|_| search.hits.len() > 1 && region.extent(0) > 1);
+        if let Some(pool) = pool {
+            stats.cells_copied =
+                self.fetch_tiles_parallel(pool, meta, region, &search.hits, result.bytes_mut())?;
+            for &pos in &search.hits {
+                stats.tiles_read += 1;
+                stats.cells_processed += meta.tiles[pos as usize].domain.cells();
+            }
+        } else {
+            for &pos in &search.hits {
+                let tile = &meta.tiles[pos as usize];
+                let bytes = self.read_tile_payload(meta, tile)?;
+                let tile_array = Array::from_bytes(tile.domain.clone(), cell_size, bytes)?;
+                let copied = result.paste(&tile_array)?;
+                stats.tiles_read += 1;
+                stats.cells_processed += tile.domain.cells();
+                stats.cells_copied += copied;
+            }
         }
         stats.io = self.blobs.stats().snapshot().since(&io_before);
         stats.cells_defaulted = region.cells() - stats.cells_copied;
@@ -435,6 +499,100 @@ impl<S: PageStore> Database<S> {
         hot.query_latency_ns.record(stats.elapsed_ns);
         hot.query_tiles.record(stats.tiles_read);
         Ok((result, stats))
+    }
+
+    /// Parallel tile composition: splits the query region (and the result
+    /// byte buffer) into disjoint contiguous bands along axis 0 and scatters
+    /// one task per band across the pool. Each band fetches the tiles it
+    /// intersects into a reused scratch buffer, decodes them zero-copy where
+    /// the codec allows, and pastes the clipped region straight into its
+    /// slice of the result. Bands partition the region, so every result cell
+    /// is written by exactly one task; band boundaries snap to tile-row
+    /// starts, so with an aligned tiling no tile is fetched twice (a tile
+    /// crossing a cut that could not snap is fetched once per band it
+    /// touches).
+    ///
+    /// Returns the total number of cells copied from tiles.
+    fn fetch_tiles_parallel(
+        &self,
+        pool: &ThreadPool,
+        meta: &MddObject,
+        region: &Domain,
+        hits: &[u64],
+        out: &mut [u8],
+    ) -> Result<u64> {
+        let cell_size = meta.cell_size();
+        let rows = usize::try_from(region.extent(0)).map_err(|_| {
+            EngineError::Catalog(format!("query region too large for this host: {region}"))
+        })?;
+        let slab = out.len() / rows; // bytes per axis-0 index
+        let bands = (pool.workers() + 1).min(rows);
+        let lo0 = region.lo(0);
+        let hi0 = lo0 + rows as i64;
+        // Snap band boundaries to rows where a tile begins: a cut through
+        // the middle of a tile makes both neighbouring bands read it, so
+        // the ideal even split is adjusted to the nearest tile-row start.
+        // With an aligned tiling this eliminates duplicate reads entirely.
+        let mut tile_starts: Vec<i64> = hits
+            .iter()
+            .map(|&pos| meta.tiles[pos as usize].domain.lo(0))
+            .filter(|&s| s > lo0 && s < hi0)
+            .collect();
+        tile_starts.sort_unstable();
+        tile_starts.dedup();
+        let mut cuts: Vec<i64> = vec![lo0];
+        for b in 1..bands {
+            let ideal = lo0 + (rows * b / bands) as i64;
+            let snapped = tile_starts
+                .iter()
+                .copied()
+                .min_by_key(|s| (s - ideal).abs())
+                .unwrap_or(ideal);
+            if snapped > *cuts.last().expect("cuts is non-empty") {
+                cuts.push(snapped);
+            }
+        }
+        cuts.push(hi0);
+        let mut tasks: Vec<(Domain, &mut [u8])> = Vec::with_capacity(cuts.len() - 1);
+        let mut rest = out;
+        for w in cuts.windows(2) {
+            let len = (w[1] - w[0]) as usize;
+            let (head, tail) = rest.split_at_mut(len * slab);
+            rest = tail;
+            let band_range = tilestore_geometry::AxisRange::new(w[0], w[1] - 1)?;
+            tasks.push((region.with_axis(0, band_range)?, head));
+        }
+        let ctx = CellContext {
+            cell_size,
+            default: &meta.mdd_type.cell.default,
+        };
+        let copied = pool.scatter(tasks, |_, (band_dom, band_out)| -> Result<u64> {
+            let mut scratch = Vec::new();
+            let mut copied = 0u64;
+            for &pos in hits {
+                let tile = &meta.tiles[pos as usize];
+                let Some(overlap) = tile.domain.intersection(&band_dom) else {
+                    continue;
+                };
+                let n = self.blobs.read_into(tile.blob, &mut scratch)?;
+                let payload = tilestore_compress::decompress_view(&scratch[..n], &ctx)
+                    .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))?;
+                copied += copy_region(
+                    &tile.domain,
+                    &payload,
+                    &band_dom,
+                    band_out,
+                    &overlap,
+                    cell_size,
+                )?;
+            }
+            Ok(copied)
+        });
+        let mut total = 0u64;
+        for band in copied {
+            total += band?;
+        }
+        Ok(total)
     }
 
     /// Replaces an object's tiling with a new scheme, rewriting the tiles.
@@ -466,32 +624,91 @@ impl<S: PageStore> Database<S> {
             tiles_before: state.meta.tiles.len() as u64,
             ..RetileStats::default()
         };
+        // Materialize the new tiles. With an executor attached, each new
+        // tile (index probe, old-tile fetch, recomposition, compression,
+        // BLOB write) is an independent task; the index/tile-list swap below
+        // stays serial.
         let mut new_tiles: Vec<TileMeta> = Vec::with_capacity(spec.len());
         let default = state.meta.mdd_type.cell.default.clone();
         let ctx = CellContext {
             cell_size,
             default: &default,
         };
-        for tile_domain in spec.tiles() {
-            let hits = state.meta.index.search(tile_domain).hits;
-            if hits.is_empty() {
-                continue; // stays uncovered
+        let pool = self.executor.as_deref().filter(|_| spec.len() > 1);
+        let materialized: Vec<Option<(Domain, BlobId, u64)>> = if let Some(pool) = pool {
+            let blobs = &self.blobs;
+            let meta_ref = &state.meta;
+            let ctx = &ctx;
+            let default = &default;
+            pool.scatter(
+                spec.tiles().to_vec(),
+                move |_, tile_domain| -> Result<Option<(Domain, BlobId, u64)>> {
+                    let hits = meta_ref.index.search(&tile_domain).hits;
+                    if hits.is_empty() {
+                        return Ok(None); // stays uncovered
+                    }
+                    let mut tile = Array::filled(tile_domain.clone(), default)?;
+                    let mut scratch = Vec::new();
+                    for pos in hits {
+                        let old = &meta_ref.tiles[pos as usize];
+                        let Some(overlap) = old.domain.intersection(&tile_domain) else {
+                            continue;
+                        };
+                        let n = blobs.read_into(old.blob, &mut scratch)?;
+                        let payload = tilestore_compress::decompress_view(&scratch[..n], ctx)
+                            .map_err(|e| {
+                                EngineError::Catalog(format!("tile decompression failed: {e}"))
+                            })?;
+                        copy_region(
+                            &old.domain,
+                            &payload,
+                            &tile_domain,
+                            tile.bytes_mut(),
+                            &overlap,
+                            cell_size,
+                        )?;
+                    }
+                    let stream =
+                        tilestore_compress::compress(&meta_ref.compression, tile.bytes(), ctx)
+                            .map_err(|e| {
+                                EngineError::Catalog(format!("compression failed: {e}"))
+                            })?;
+                    let blob = blobs.create(&stream)?;
+                    Ok(Some((tile_domain, blob, tile.size_bytes())))
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?
+        } else {
+            let mut materialized = Vec::with_capacity(spec.len());
+            for tile_domain in spec.tiles() {
+                let hits = state.meta.index.search(tile_domain).hits;
+                if hits.is_empty() {
+                    materialized.push(None); // stays uncovered
+                    continue;
+                }
+                let mut tile = Array::filled(tile_domain.clone(), &default)?;
+                for pos in hits {
+                    let old = &state.meta.tiles[pos as usize];
+                    let stream = self.blobs.read(old.blob)?;
+                    let bytes = tilestore_compress::decompress(&stream, &ctx).map_err(|e| {
+                        EngineError::Catalog(format!("tile decompression failed: {e}"))
+                    })?;
+                    let old_array = Array::from_bytes(old.domain.clone(), cell_size, bytes)?;
+                    tile.paste(&old_array)?;
+                }
+                let stream =
+                    tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
+                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let blob = self.blobs.create(&stream)?;
+                materialized.push(Some((tile_domain.clone(), blob, tile.size_bytes())));
             }
-            let mut tile = Array::filled(tile_domain.clone(), &default)?;
-            for pos in hits {
-                let old = &state.meta.tiles[pos as usize];
-                let stream = self.blobs.read(old.blob)?;
-                let bytes = tilestore_compress::decompress(&stream, &ctx)
-                    .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))?;
-                let old_array = Array::from_bytes(old.domain.clone(), cell_size, bytes)?;
-                tile.paste(&old_array)?;
-            }
-            let stream = tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
-                .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
-            let blob = self.blobs.create(&stream)?;
-            stats.bytes_rewritten += tile.size_bytes();
+            materialized
+        };
+        for (tile_domain, blob, bytes) in materialized.into_iter().flatten() {
+            stats.bytes_rewritten += bytes;
             new_tiles.push(TileMeta {
-                domain: tile_domain.clone(),
+                domain: tile_domain,
                 blob,
             });
         }
@@ -739,6 +956,38 @@ mod tests {
         assert_eq!(qs.cells_processed, hot.cells());
         // Full content still correct.
         let (all, _) = db.range_query("obj", &d("[0:99,0:99]")).unwrap();
+        assert_eq!(all, data);
+    }
+
+    #[test]
+    fn executor_paths_match_serial_results() {
+        let data = checkerboard("[0:59,0:59]");
+        let mut serial = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        serial.insert("obj", &data).unwrap();
+        let mut parallel = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        parallel.attach_executor(Arc::new(ThreadPool::new(3)));
+        parallel.insert("obj", &data).unwrap();
+
+        let region = d("[5:42,7:55]");
+        let (a, sa) = serial.range_query("obj", &region).unwrap();
+        let (b, sb) = parallel.range_query("obj", &region).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sa.tiles_read, sb.tiles_read);
+        assert_eq!(sa.cells_processed, sb.cells_processed);
+        assert_eq!(sa.cells_copied, sb.cells_copied);
+        assert_eq!(sa.cells_defaulted, sb.cells_defaulted);
+
+        // Re-tiling through the pool preserves content too.
+        serial
+            .retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 4096)))
+            .unwrap();
+        parallel
+            .retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 4096)))
+            .unwrap();
+        let (a2, _) = serial.range_query("obj", &region).unwrap();
+        let (b2, _) = parallel.range_query("obj", &region).unwrap();
+        assert_eq!(a2, b2);
+        let (all, _) = parallel.range_query("obj", &d("[0:59,0:59]")).unwrap();
         assert_eq!(all, data);
     }
 

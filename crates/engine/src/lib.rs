@@ -30,6 +30,7 @@ mod induce;
 mod mdd;
 mod modify;
 mod persist;
+mod shared;
 mod stats;
 
 pub use access::{AccessLog, AccessRegion};
@@ -44,4 +45,19 @@ pub use modify::{DeleteStats, UpdateStats};
 pub use persist::{
     fsck, Catalog, FsckReport, ACCESS_LOG_FILE, CATALOG_FILE, CATALOG_TMP_FILE, PAGES_FILE,
 };
+pub use shared::SharedDatabase;
 pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};
+
+/// Compile-time thread-safety assertions. The serving layer shares one
+/// `Database<FilePageStore>` across connection threads and scatters query
+/// work onto executor workers; if a future change drops `Send`/`Sync` on
+/// these types (say, by adding an `Rc` or a raw pointer field), the build
+/// breaks here instead of the server crate failing with an opaque trait
+/// bound error — or worse, compiling against a quietly serialized fallback.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database<tilestore_storage::FilePageStore>>();
+    assert_send_sync::<Database<tilestore_storage::MemPageStore>>();
+    assert_send_sync::<SharedDatabase<tilestore_storage::FilePageStore>>();
+    assert_send_sync::<EngineError>();
+};

@@ -1,0 +1,142 @@
+//! Shared-database wrapper for concurrent serving.
+//!
+//! [`Database`] itself is single-writer: queries take `&self` but inserts,
+//! re-tiles and catalog saves take `&mut self`. A server handling many
+//! connections needs one database shared across threads with reads running
+//! concurrently and writes exclusive — exactly a reader-writer lock.
+//! [`SharedDatabase`] packages that policy so every caller goes through the
+//! same poison-recovering accessors instead of hand-rolling `RwLock` use.
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+use tilestore_storage::PageStore;
+
+use crate::database::Database;
+
+/// A [`Database`] behind an `Arc<RwLock>`: clone-to-share, closure-based
+/// access, poison recovery.
+///
+/// Lock poisoning is deliberately swallowed: a panicking request handler
+/// must not condemn every later request to an error. The engine's internal
+/// invariants are guarded by its own per-structure locks and commit
+/// protocol, not by this outer lock, so the data a poisoned guard exposes
+/// is no worse than what any other thread would have seen.
+pub struct SharedDatabase<S: PageStore> {
+    inner: Arc<RwLock<Database<S>>>,
+}
+
+impl<S: PageStore> Clone for SharedDatabase<S> {
+    fn clone(&self) -> Self {
+        SharedDatabase {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: PageStore> SharedDatabase<S> {
+    /// Wraps a database for shared use.
+    #[must_use]
+    pub fn new(db: Database<S>) -> Self {
+        SharedDatabase {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Runs `f` under the shared (read) lock. Use for queries and any other
+    /// `&Database` access; readers run concurrently.
+    pub fn read<R>(&self, f: impl FnOnce(&Database<S>) -> R) -> R {
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        f(&guard)
+    }
+
+    /// Runs `f` under the exclusive (write) lock. Use for inserts, re-tiles,
+    /// catalog saves and anything else needing `&mut Database`.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Database<S>) -> R) -> R {
+        let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use crate::celltype::CellType;
+    use crate::mdd::MddType;
+    use tilestore_geometry::Domain;
+    use tilestore_tiling::{AlignedTiling, Scheme};
+
+    fn d(s: &str) -> Domain {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn concurrent_readers_with_interleaved_writer() {
+        let shared = SharedDatabase::new(Database::in_memory().unwrap());
+        shared.write(|db| {
+            db.create_object(
+                "obj",
+                MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+                Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+            )
+            .unwrap();
+            db.insert(
+                "obj",
+                &Array::from_fn(d("[0:29,0:29]"), |p| (p[0] * 100 + p[1]) as u32).unwrap(),
+            )
+            .unwrap();
+        });
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let (out, _) = shared
+                            .read(|db| db.range_query("obj", &d("[5:14,5:14]")))
+                            .unwrap();
+                        assert_eq!(out.domain().cells(), 100);
+                    }
+                });
+            }
+            let writer = shared.clone();
+            s.spawn(move || {
+                for i in 0..5u64 {
+                    let lo = 30 + i as i64 * 10;
+                    let dom: Domain = format!("[{lo}:{},0:29]", lo + 9).parse().unwrap();
+                    writer
+                        .write(|db| {
+                            db.insert(
+                                "obj",
+                                &Array::from_fn(dom.clone(), |p| (p[0] * 100 + p[1]) as u32)
+                                    .unwrap(),
+                            )
+                        })
+                        .unwrap();
+                }
+            });
+        });
+        let total = shared.read(|db| db.object("obj").unwrap().current_domain.clone());
+        assert_eq!(total, Some(d("[0:79,0:29]")));
+    }
+
+    #[test]
+    fn survives_a_panicking_writer() {
+        let shared = SharedDatabase::new(Database::in_memory().unwrap());
+        let s2 = shared.clone();
+        let _ = std::thread::spawn(move || {
+            s2.write(|_db| panic!("handler bug"));
+        })
+        .join();
+        // The lock is poisoned but access still works.
+        assert!(shared.read(|db| db.object_names().is_empty()));
+        shared.write(|db| {
+            db.create_object(
+                "after",
+                MddType::new(CellType::of::<u8>(), "[0:*]".parse().unwrap()),
+                Scheme::default_for(1),
+            )
+            .unwrap();
+        });
+        assert_eq!(shared.read(|db| db.object_names().len()), 1);
+    }
+}

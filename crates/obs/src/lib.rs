@@ -120,6 +120,18 @@ pub fn hot() -> &'static HotMetrics {
     HOT.get_or_init(|| HotMetrics::resolve(metrics()))
 }
 
+/// Compile-time thread-safety assertions: every observability facility is
+/// shared across the server's connection threads and the executor's workers,
+/// so losing `Send + Sync` on any of them is a build error, not a runtime
+/// surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MetricsRegistry>();
+    assert_send_sync::<HotMetrics>();
+    assert_send_sync::<Tracer>();
+    assert_send_sync::<AccessRecorder>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

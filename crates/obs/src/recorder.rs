@@ -10,7 +10,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use tilestore_testkit::{Json, ToJson};
 
@@ -30,6 +30,14 @@ pub struct LoggedAccess {
 pub struct AccessRecorder {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+}
+
+/// Locks the writer, recovering from poisoning: one panicking request
+/// handler must not permanently kill query logging for the whole process.
+/// The buffered writer only ever holds whole flushed lines (every `record`
+/// flushes), so the state behind a poisoned lock is still well-formed.
+fn lock(m: &Mutex<BufWriter<File>>) -> MutexGuard<'_, BufWriter<File>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl AccessRecorder {
@@ -62,7 +70,7 @@ impl AccessRecorder {
             ("region", Json::Str(region.to_string())),
         ])
         .to_string_compact();
-        let mut w = self.writer.lock().unwrap();
+        let mut w = lock(&self.writer);
         writeln!(w, "{line}")?;
         w.flush()
     }
@@ -73,7 +81,7 @@ impl AccessRecorder {
     /// # Errors
     /// Returns the underlying I/O error if the file cannot be read.
     pub fn entries(&self) -> std::io::Result<Vec<LoggedAccess>> {
-        self.writer.lock().unwrap().flush()?;
+        lock(&self.writer).flush()?;
         let file = File::open(&self.path)?;
         let mut out: Vec<LoggedAccess> = Vec::new();
         for line in BufReader::new(file).lines() {
@@ -130,7 +138,7 @@ impl AccessRecorder {
     /// # Errors
     /// Returns the underlying I/O error if the file cannot be truncated.
     pub fn clear(&self) -> std::io::Result<()> {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = lock(&self.writer);
         let file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -200,6 +208,23 @@ mod tests {
         let entries = rec.entries().unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].region, "[4:7]");
+    }
+
+    #[test]
+    fn recorder_survives_lock_poisoning() {
+        let dir = tempdir().unwrap();
+        let rec = AccessRecorder::open(dir.path().join("access.log")).unwrap();
+        rec.record("m", "[0:1]").unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = rec.writer.lock().unwrap();
+            panic!("handler died mid-record");
+        }));
+        assert!(rec.writer.is_poisoned());
+        // Recording keeps working after a panicking holder.
+        rec.record("m", "[0:1]").unwrap();
+        let entries = rec.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 2);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! A blocking client for the tilestore wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues requests serially
+//! (the protocol is strictly request/response per connection; open more
+//! clients for concurrency). Typed errors mirror the wire's
+//! [`ErrorCode`](crate::wire::ErrorCode)s so callers can distinguish
+//! "retry later" from "this request is wrong" without string matching.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tilestore_engine::Array;
+use tilestore_geometry::Domain;
+use tilestore_testkit::Json;
+
+use crate::wire::{hex_decode, hex_encode, read_frame, write_frame, ErrorCode};
+
+/// Everything that can go wrong with a remote request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server refused admission; retry after backoff.
+    Busy(String),
+    /// The request's deadline expired server-side.
+    Deadline(String),
+    /// The server is shutting down.
+    Shutdown(String),
+    /// The server rejected the request as malformed.
+    BadRequest(String),
+    /// The engine failed the operation.
+    Engine(String),
+    /// The response violated the wire protocol (bad frame, id mismatch,
+    /// missing fields).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Busy(m) => write!(f, "busy: {m}"),
+            ClientError::Deadline(m) => write!(f, "deadline: {m}"),
+            ClientError::Shutdown(m) => write!(f, "shutdown: {m}"),
+            ClientError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ClientError::Engine(m) => write!(f, "engine: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Client-side result alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A query result decoded from the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteValue {
+    /// A dense array: its domain, per-cell byte width, and raw cell bytes
+    /// (byte-identical to the in-process result).
+    Array {
+        /// Spatial domain of the result.
+        domain: Domain,
+        /// Bytes per cell.
+        cell_size: usize,
+        /// Row-major cell bytes.
+        cells: Vec<u8>,
+    },
+    /// A scalar aggregate, reconstructed bit-exactly from its IEEE-754 bits.
+    Number(f64),
+    /// A counting aggregate.
+    Count(u64),
+    /// A boolean aggregate (`some_cells` / `all_cells`).
+    Bool(bool),
+}
+
+/// A blocking connection to a tilestore server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// Deadline attached to every request, in ms (None = server default).
+    deadline_ms: Option<u64>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            deadline_ms: None,
+        })
+    }
+
+    /// Sets the per-request deadline attached to subsequent requests
+    /// (`Some(0)` forces a deterministic deadline rejection; `None` uses
+    /// the server's default).
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Sends one request object and returns the `result` payload.
+    fn call(&mut self, op: &str, mut fields: Vec<(&str, Json)>) -> ClientResult<Json> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut all = vec![("id", Json::UInt(id)), ("op", Json::Str(op.to_string()))];
+        if let Some(ms) = self.deadline_ms {
+            all.push(("deadline_ms", Json::UInt(ms)));
+        }
+        all.append(&mut fields);
+        let payload = Json::obj(all).to_string_compact();
+        write_frame(&mut self.writer, payload.as_bytes())?;
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))?;
+        let resp = std::str::from_utf8(&frame)
+            .ok()
+            .and_then(|s| Json::parse(s).ok())
+            .ok_or_else(|| ClientError::Protocol("response is not valid JSON".to_string()))?;
+        let got_id = resp.get("id").and_then(Json::as_u64).unwrap_or(0);
+        if got_id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {got_id} does not match request id {id}"
+            )));
+        }
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            return resp
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("ok response without result".to_string()));
+        }
+        let message = resp
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let code = resp
+            .get("error")
+            .and_then(Json::as_str)
+            .and_then(ErrorCode::parse);
+        Err(match code {
+            Some(ErrorCode::Busy) => ClientError::Busy(message),
+            Some(ErrorCode::Deadline) => ClientError::Deadline(message),
+            Some(ErrorCode::Shutdown) => ClientError::Shutdown(message),
+            Some(ErrorCode::BadRequest) => ClientError::BadRequest(message),
+            Some(ErrorCode::Engine) => ClientError::Engine(message),
+            None => ClientError::Protocol(format!("unrecognized error response: {message}")),
+        })
+    }
+
+    /// Round-trip liveness check.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn ping(&mut self) -> ClientResult<()> {
+        let r = self.call("ping", Vec::new())?;
+        if r.as_str() == Some("pong") {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol("ping did not pong".to_string()))
+        }
+    }
+
+    /// Executes a rasql query and decodes the result value.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn query(&mut self, q: &str) -> ClientResult<RemoteValue> {
+        let result = self.call("query", vec![("q", Json::Str(q.to_string()))])?;
+        let value = result
+            .get("value")
+            .ok_or_else(|| ClientError::Protocol("query result lacks value".to_string()))?;
+        decode_value(value)
+    }
+
+    /// Executes a rasql query and returns the raw result JSON (value and
+    /// stats), for callers that want the server-side statistics too.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn query_raw(&mut self, q: &str) -> ClientResult<Json> {
+        self.call("query", vec![("q", Json::Str(q.to_string()))])
+    }
+
+    /// Inserts an array into an object.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn insert(&mut self, object: &str, array: &Array) -> ClientResult<Json> {
+        self.call(
+            "insert",
+            vec![
+                ("object", Json::Str(object.to_string())),
+                ("domain", Json::Str(array.domain().to_string())),
+                ("cells_hex", Json::Str(hex_encode(array.bytes()))),
+            ],
+        )
+    }
+
+    /// Re-tiles an object with a textual scheme spec (see
+    /// `tilestore_tiling::parse_scheme_spec`).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn retile(&mut self, object: &str, scheme_spec: &str) -> ClientResult<Json> {
+        self.call(
+            "retile",
+            vec![
+                ("object", Json::Str(object.to_string())),
+                ("scheme", Json::Str(scheme_spec.to_string())),
+            ],
+        )
+    }
+
+    /// Fetches one object's metadata.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn info(&mut self, object: &str) -> ClientResult<Json> {
+        self.call("info", vec![("object", Json::Str(object.to_string()))])
+    }
+
+    /// Fetches server-wide statistics (objects, I/O, metrics).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn stats(&mut self) -> ClientResult<Json> {
+        self.call("stats", Vec::new())
+    }
+
+    /// Saves and integrity-checks the server's database directory.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn fsck(&mut self) -> ClientResult<Json> {
+        self.call("fsck", Vec::new())
+    }
+
+    /// Asks the server to shut down gracefully (drain, then save).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        self.call("shutdown", Vec::new()).map(|_| ())
+    }
+}
+
+/// Decodes the `value` object of a query response.
+fn decode_value(v: &Json) -> ClientResult<RemoteValue> {
+    let proto = |m: &str| ClientError::Protocol(m.to_string());
+    match v.get("kind").and_then(Json::as_str) {
+        Some("array") => {
+            let domain = v
+                .get("domain")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse::<Domain>().ok())
+                .ok_or_else(|| proto("array value lacks a valid domain"))?;
+            let cell_size =
+                v.get("cell_size")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| proto("array value lacks cell_size"))? as usize;
+            let cells = v
+                .get("cells_hex")
+                .and_then(Json::as_str)
+                .ok_or_else(|| proto("array value lacks cells_hex"))
+                .and_then(|s| hex_decode(s).map_err(ClientError::Protocol))?;
+            Ok(RemoteValue::Array {
+                domain,
+                cell_size,
+                cells,
+            })
+        }
+        Some("number") => {
+            let bits = v
+                .get("bits")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| proto("number value lacks bits"))?;
+            Ok(RemoteValue::Number(f64::from_bits(bits)))
+        }
+        Some("count") => v
+            .get("value")
+            .and_then(Json::as_u64)
+            .map(RemoteValue::Count)
+            .ok_or_else(|| proto("count value lacks value")),
+        Some("bool") => v
+            .get("value")
+            .and_then(Json::as_bool)
+            .map(RemoteValue::Bool)
+            .ok_or_else(|| proto("bool value lacks value")),
+        _ => Err(proto("unknown value kind")),
+    }
+}

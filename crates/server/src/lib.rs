@@ -1,0 +1,29 @@
+//! A zero-dependency network serving layer for tilestore.
+//!
+//! The engine's query path is a library call; this crate puts it behind a
+//! socket so many clients can share one database process. Three layers:
+//!
+//! * [`wire`] — the protocol: `[u32 LE length][compact JSON]` frames, typed
+//!   error codes, hex-encoded cell payloads so array results are
+//!   byte-identical to the in-process path;
+//! * [`server`] — [`serve`] / [`ServerHandle`]: a `std::net` TCP accept
+//!   loop, one session thread per connection, request execution on the
+//!   shared [`ThreadPool`](tilestore_exec::ThreadPool) (the same pool the
+//!   engine scatters tile fetches onto), bounded admission with typed
+//!   `busy` backpressure, per-request deadlines, and graceful shutdown that
+//!   drains in-flight requests and ends with an atomic catalog save;
+//! * [`client`] — [`Client`]: a blocking connection with typed
+//!   [`ClientError`]s and bit-exact value decoding ([`RemoteValue`]).
+//!
+//! Everything is `std` only — no async runtime, no serialization crate.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, ClientResult, RemoteValue};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use wire::{ErrorCode, MAX_FRAME};

@@ -1,0 +1,574 @@
+//! The serving loop: TCP accept, per-connection sessions, pool dispatch.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//! accept thread ──spawns──▶ connection threads ──execute──▶ pool workers
+//!   (nonblocking poll)        (frame parse, admission,        (deadline check,
+//!    joins conns on            deadline stamp, response        engine call —
+//!    shutdown, final save)     write)                          may scatter on
+//!                                                              the same pool)
+//! ```
+//!
+//! The pool attached here is also installed as the database's executor, so a
+//! query admitted by one worker scatters its tile fetches across the same
+//! pool; the scoped scheduler's caller participation makes that nesting safe
+//! even on a single worker.
+//!
+//! **Backpressure**: at most `max_inflight` requests execute at once; the
+//! next one is refused with a typed `busy` response instead of queueing
+//! without bound (a slow consumer learns immediately, instead of timing out
+//! behind an invisible queue).
+//!
+//! **Deadlines**: each request carries (or inherits) a deadline stamped at
+//! receipt; a worker that picks the job up past its deadline answers
+//! `deadline` without touching the engine.
+//!
+//! **Graceful shutdown**: the flag stops the accept loop and makes idle
+//! connections close; a connection mid-request finishes it and writes the
+//! response. The accept thread joins every connection (the drain), then
+//! performs a final atomic catalog save so a clean `fsck` is guaranteed
+//! after shutdown.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tilestore_engine::{Array, SharedDatabase};
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::Domain;
+use tilestore_obs::Counter;
+use tilestore_storage::PageStore;
+use tilestore_testkit::{Json, ToJson};
+
+use crate::wire::{
+    err_response, hex_decode, ok_response, value_to_json, write_frame, ErrorCode, MAX_FRAME,
+};
+
+/// How often blocked reads and the accept loop re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Timeout rounds tolerated for a frame left incomplete after shutdown
+/// began (~5 s) before the connection is dropped.
+const SHUTDOWN_STALL_ROUNDS: u32 = 100;
+
+/// Tuning knobs of a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads in the shared executor pool.
+    pub workers: usize,
+    /// Maximum concurrently executing requests; the next is refused `busy`.
+    pub max_inflight: usize,
+    /// Deadline applied to requests that carry none, in milliseconds
+    /// (0 = no default deadline).
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            max_inflight: 64,
+            default_deadline_ms: 30_000,
+        }
+    }
+}
+
+/// Handle to a running server: its bound address and shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` requests).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown without waiting for the drain.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server to exit (drain + final save). Returns when the
+    /// accept thread has finished; trigger shutdown first (or via a client's
+    /// `shutdown` request) or this blocks until one arrives.
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, save.
+    pub fn shutdown(self) {
+        self.trigger_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Everything a connection thread needs, cheaply cloneable.
+struct ConnCtx<S: PageStore> {
+    db: SharedDatabase<S>,
+    dir: Option<Arc<PathBuf>>,
+    pool: Arc<ThreadPool>,
+    shutdown: Arc<AtomicBool>,
+    inflight: Arc<AtomicUsize>,
+    max_inflight: usize,
+    default_deadline_ms: u64,
+    requests: Arc<Counter>,
+    busy_rejections: Arc<Counter>,
+    deadline_rejections: Arc<Counter>,
+}
+
+impl<S: PageStore> Clone for ConnCtx<S> {
+    fn clone(&self) -> Self {
+        ConnCtx {
+            db: self.db.clone(),
+            dir: self.dir.clone(),
+            pool: Arc::clone(&self.pool),
+            shutdown: Arc::clone(&self.shutdown),
+            inflight: Arc::clone(&self.inflight),
+            max_inflight: self.max_inflight,
+            default_deadline_ms: self.default_deadline_ms,
+            requests: Arc::clone(&self.requests),
+            busy_rejections: Arc::clone(&self.busy_rejections),
+            deadline_rejections: Arc::clone(&self.deadline_rejections),
+        }
+    }
+}
+
+/// Starts serving `db` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port). `dir` is the database directory for the final save and `fsck`
+/// requests; pass `None` for purely in-memory serving.
+///
+/// The configured pool is installed as the database's executor, so queries
+/// served here also parallelize their tile fetches.
+///
+/// # Errors
+/// Socket bind/configuration errors.
+pub fn serve<S: PageStore + 'static>(
+    db: SharedDatabase<S>,
+    dir: Option<PathBuf>,
+    addr: &str,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let pool = Arc::new(ThreadPool::new(config.workers));
+    db.write(|d| d.attach_executor(Arc::clone(&pool)));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let reg = tilestore_obs::metrics();
+    let ctx = ConnCtx {
+        db,
+        dir: dir.map(Arc::new),
+        pool,
+        shutdown: Arc::clone(&shutdown),
+        inflight: Arc::new(AtomicUsize::new(0)),
+        max_inflight: config.max_inflight.max(1),
+        default_deadline_ms: config.default_deadline_ms,
+        requests: reg.counter("server.requests"),
+        busy_rejections: reg.counter("server.busy_rejections"),
+        deadline_rejections: reg.counter("server.deadline_rejections"),
+    };
+    let connections = reg.gauge("server.connections");
+    let save_errors = reg.counter("server.save_errors");
+    let thread = std::thread::Builder::new()
+        .name("tilestore-accept".to_string())
+        .spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !ctx.shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let ctx = ctx.clone();
+                        connections.add(1);
+                        let conn_gauge = Arc::clone(&connections);
+                        let handle = std::thread::Builder::new()
+                            .name("tilestore-conn".to_string())
+                            .spawn(move || {
+                                connection_loop(stream, &ctx);
+                                conn_gauge.add(-1);
+                            });
+                        match handle {
+                            Ok(h) => conns.push(h),
+                            Err(_) => connections.add(-1),
+                        }
+                        // Reap finished sessions so the list stays bounded.
+                        conns.retain(|h| !h.is_finished());
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            // Drain: every session finishes its in-flight request and exits.
+            for h in conns {
+                let _ = h.join();
+            }
+            // Final durable commit so a post-shutdown fsck comes back clean.
+            if let Some(dir) = &ctx.dir {
+                if ctx.db.write(|d| d.save(dir.as_path())).is_err() {
+                    save_errors.inc();
+                }
+            }
+        })?;
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+/// Reads one frame, polling the shutdown flag between read timeouts.
+/// `Ok(None)` means the session should end: peer EOF, or shutdown observed
+/// while no frame was in progress (or a frame stalled past the shutdown
+/// grace period).
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    let mut stalled = 0u32;
+    while filled < 4 {
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(std::io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if filled == 0 {
+                        return Ok(None);
+                    }
+                    stalled += 1;
+                    if stalled > SHUTDOWN_STALL_ROUNDS {
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    let mut stalled = 0u32;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    stalled += 1;
+                    if stalled > SHUTDOWN_STALL_ROUNDS {
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// One client session: read frame → admit → dispatch on the pool → respond.
+fn connection_loop<S: PageStore + 'static>(mut stream: TcpStream, ctx: &ConnCtx<S>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame_interruptible(&mut stream, &ctx.shutdown) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let received = Instant::now();
+        ctx.requests.inc();
+        let response = match std::str::from_utf8(&frame)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Json::parse(s).map_err(|e| e.to_string()))
+        {
+            Ok(req) => dispatch(ctx, &req, received),
+            Err(e) => err_response(0, ErrorCode::BadRequest, &format!("malformed frame: {e}")),
+        };
+        if write_frame(&mut stream, response.to_string_compact().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission + deadline stamping + pool hand-off for one parsed request.
+fn dispatch<S: PageStore + 'static>(ctx: &ConnCtx<S>, req: &Json, received: Instant) -> Json {
+    let id = req.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let Some(op) = req.get("op").and_then(Json::as_str) else {
+        return err_response(id, ErrorCode::BadRequest, "missing op");
+    };
+    // Shutdown is control-plane: always admitted, handled inline so the
+    // response is written before the session starts winding down.
+    if op == "shutdown" {
+        ctx.shutdown.store(true, Ordering::SeqCst);
+        return ok_response(id, Json::Str("shutting down".to_string()));
+    }
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return err_response(id, ErrorCode::Shutdown, "server is shutting down");
+    }
+    // Bounded admission: refuse typed-busy instead of queueing unboundedly.
+    let mut cur = ctx.inflight.load(Ordering::SeqCst);
+    loop {
+        if cur >= ctx.max_inflight {
+            ctx.busy_rejections.inc();
+            return err_response(
+                id,
+                ErrorCode::Busy,
+                &format!("{} requests in flight (limit {})", cur, ctx.max_inflight),
+            );
+        }
+        match ctx
+            .inflight
+            .compare_exchange_weak(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => break,
+            Err(now) => cur = now,
+        }
+    }
+    // A request-supplied deadline always applies (0 expires immediately —
+    // useful for probing load without doing work); the configured default
+    // fills in only when the request carries none, with 0 = no deadline.
+    let req_deadline = req.get("deadline_ms").and_then(Json::as_u64);
+    let deadline_ms = req_deadline.unwrap_or(ctx.default_deadline_ms);
+    let deadline = match req_deadline {
+        Some(ms) => Some(received + Duration::from_millis(ms)),
+        None => (ctx.default_deadline_ms > 0)
+            .then(|| received + Duration::from_millis(ctx.default_deadline_ms)),
+    };
+    let (tx, rx) = mpsc::channel();
+    let job_ctx = ctx.clone();
+    let op_owned = op.to_string();
+    let req_owned = req.clone();
+    ctx.pool.execute(move || {
+        let response = if deadline.is_some_and(|d| Instant::now() >= d) {
+            job_ctx.deadline_rejections.inc();
+            err_response(
+                id,
+                ErrorCode::Deadline,
+                &format!("deadline of {deadline_ms} ms expired before execution"),
+            )
+        } else {
+            let _span =
+                tilestore_obs::tracer().span_with("server_request", || format!("op={op_owned}"));
+            handle_request(&job_ctx, id, &op_owned, &req_owned)
+        };
+        job_ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+        let _ = tx.send(response);
+    });
+    match rx.recv() {
+        Ok(r) => r,
+        Err(_) => err_response(id, ErrorCode::Engine, "worker dropped the request"),
+    }
+}
+
+/// Executes one admitted request against the shared database.
+fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json) -> Json {
+    match op {
+        "ping" => ok_response(id, Json::Str("pong".to_string())),
+        "query" => {
+            let Some(q) = req.get("q").and_then(Json::as_str) else {
+                return err_response(id, ErrorCode::BadRequest, "query needs a `q` string");
+            };
+            match ctx.db.read(|d| tilestore_rasql::execute(d, q)) {
+                Ok((value, stats)) => ok_response(id, value_to_json(&value, &stats)),
+                Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
+            }
+        }
+        "insert" => {
+            let Some(object) = req.get("object").and_then(Json::as_str) else {
+                return err_response(id, ErrorCode::BadRequest, "insert needs an `object`");
+            };
+            let Some(domain) = req
+                .get("domain")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse::<Domain>().ok())
+            else {
+                return err_response(id, ErrorCode::BadRequest, "insert needs a valid `domain`");
+            };
+            let cells = match req.get("cells_hex").and_then(Json::as_str).map(hex_decode) {
+                Some(Ok(c)) => c,
+                Some(Err(e)) => {
+                    return err_response(id, ErrorCode::BadRequest, &format!("bad cells_hex: {e}"));
+                }
+                None => {
+                    return err_response(id, ErrorCode::BadRequest, "insert needs `cells_hex`");
+                }
+            };
+            let count = domain.cells();
+            if count == 0 || cells.is_empty() || !(cells.len() as u64).is_multiple_of(count) {
+                return err_response(
+                    id,
+                    ErrorCode::BadRequest,
+                    &format!("{} bytes do not tile {count} cells", cells.len()),
+                );
+            }
+            let cell_size = (cells.len() as u64 / count) as usize;
+            let array = match Array::from_bytes(domain, cell_size, cells) {
+                Ok(a) => a,
+                Err(e) => return err_response(id, ErrorCode::BadRequest, &e.to_string()),
+            };
+            match ctx.db.write(|d| d.insert(object, &array)) {
+                Ok(stats) => ok_response(id, stats.to_json()),
+                Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
+            }
+        }
+        "retile" => {
+            let Some(object) = req.get("object").and_then(Json::as_str) else {
+                return err_response(id, ErrorCode::BadRequest, "retile needs an `object`");
+            };
+            let Some(spec) = req.get("scheme").and_then(Json::as_str) else {
+                return err_response(id, ErrorCode::BadRequest, "retile needs a `scheme` spec");
+            };
+            let dim = match ctx.db.read(|d| d.object(object).map(|o| o.mdd_type.dim())) {
+                Ok(dim) => dim,
+                Err(e) => return err_response(id, ErrorCode::Engine, &e.to_string()),
+            };
+            let scheme = match tilestore_tiling::parse_scheme_spec(spec, dim) {
+                Ok(s) => s,
+                Err(e) => return err_response(id, ErrorCode::BadRequest, &e),
+            };
+            match ctx.db.write(|d| d.retile(object, scheme)) {
+                Ok(stats) => ok_response(id, stats.to_json()),
+                Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
+            }
+        }
+        "info" => {
+            let Some(object) = req.get("object").and_then(Json::as_str) else {
+                return err_response(id, ErrorCode::BadRequest, "info needs an `object`");
+            };
+            match ctx.db.read(|d| d.object(object).map(object_info)) {
+                Ok(info) => ok_response(id, info),
+                Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
+            }
+        }
+        "stats" => {
+            let objects = ctx.db.read(|d| {
+                d.object_names()
+                    .iter()
+                    .filter_map(|n| d.object(n).ok().map(object_info))
+                    .collect::<Vec<_>>()
+            });
+            let io = ctx.db.read(|d| d.io_stats().snapshot());
+            ok_response(
+                id,
+                Json::obj(vec![
+                    ("objects", Json::Array(objects)),
+                    ("io", io.to_json()),
+                    ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+                ]),
+            )
+        }
+        "fsck" => {
+            let Some(dir) = ctx.dir.as_deref() else {
+                return err_response(
+                    id,
+                    ErrorCode::Engine,
+                    "fsck needs a file-backed database directory",
+                );
+            };
+            if let Err(e) = ctx.db.write(|d| d.save(dir)) {
+                return err_response(id, ErrorCode::Engine, &format!("pre-fsck save: {e}"));
+            }
+            match tilestore_engine::fsck(dir) {
+                Ok(report) => ok_response(id, fsck_to_json(&report)),
+                Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
+            }
+        }
+        other => err_response(id, ErrorCode::BadRequest, &format!("unknown op {other:?}")),
+    }
+}
+
+/// Serializes an object's metadata for `info`/`stats` responses.
+fn object_info(o: &tilestore_engine::MddObject) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(o.name.clone())),
+        ("cell_size", Json::UInt(o.cell_size() as u64)),
+        (
+            "current_domain",
+            o.current_domain
+                .as_ref()
+                .map_or(Json::Null, |d| Json::Str(d.to_string())),
+        ),
+        ("tiles", Json::UInt(o.tiles.len() as u64)),
+        ("covered_cells", Json::UInt(o.covered_cells())),
+        ("scheme", o.scheme.to_json()),
+    ])
+}
+
+/// Serializes an fsck report (the engine type predates the wire layer and
+/// carries no `ToJson` of its own).
+fn fsck_to_json(r: &tilestore_engine::FsckReport) -> Json {
+    Json::obj(vec![
+        ("epoch", Json::UInt(r.epoch)),
+        ("objects", Json::UInt(r.objects)),
+        ("blobs", Json::UInt(r.blobs)),
+        ("allocated_pages", Json::UInt(r.allocated_pages)),
+        ("free_pages", Json::UInt(r.free_pages)),
+        ("orphaned_pages", r.orphaned_pages.to_json()),
+        ("dangling_pages", r.dangling_pages.to_json()),
+        ("duplicated_pages", r.duplicated_pages.to_json()),
+        ("unreadable_blobs", r.unreadable_blobs.to_json()),
+        (
+            "missing_tile_blobs",
+            Json::Array(
+                r.missing_tile_blobs
+                    .iter()
+                    .map(|(o, b)| {
+                        Json::obj(vec![
+                            ("object", Json::Str(o.clone())),
+                            ("blob", Json::UInt(*b)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("stale_tmp", Json::Bool(r.stale_tmp)),
+        ("clean", Json::Bool(r.is_clean())),
+    ])
+}

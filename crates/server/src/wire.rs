@@ -1,0 +1,260 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [u32 little-endian payload length][payload: compact JSON, UTF-8]
+//! ```
+//!
+//! Requests are objects `{"id": n, "op": "...", ...}` with an optional
+//! `"deadline_ms"` budget. Responses echo the id:
+//! `{"id": n, "ok": true, "result": ...}` on success,
+//! `{"id": n, "ok": false, "error": "<code>", "message": "..."}` on failure,
+//! where `<code>` is one of the [`ErrorCode`] names. Array payloads travel
+//! hex-encoded (`cells_hex`) so results compare byte-identically across the
+//! in-process and remote paths and the framing stays pure UTF-8 JSON.
+
+use std::io::{Read, Write};
+
+use tilestore_engine::QueryStats;
+use tilestore_rasql::Value;
+use tilestore_testkit::{Json, ToJson};
+
+/// Upper bound on a frame payload (64 MiB): one query result over the wire.
+/// Larger frames are rejected instead of letting a corrupt length prefix
+/// trigger an absurd allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Typed failure classes a response can carry. Clients match on these to
+/// distinguish "retry later" ([`ErrorCode::Busy`]) from "this request is
+/// wrong" ([`ErrorCode::BadRequest`]) without parsing message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The admission queue is full; retry after backoff.
+    Busy,
+    /// The request's deadline expired before execution started.
+    Deadline,
+    /// The request was malformed (unknown op, missing/invalid fields).
+    BadRequest,
+    /// The engine rejected or failed the operation.
+    Engine,
+    /// The server is shutting down and no longer accepts work.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// The wire name of this code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Engine => "engine",
+            ErrorCode::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name back into a code.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "busy" => ErrorCode::Busy,
+            "deadline" => ErrorCode::Deadline,
+            "bad_request" => ErrorCode::BadRequest,
+            "engine" => ErrorCode::Engine,
+            "shutdown" => ErrorCode::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+/// I/O errors from the underlying stream; `InvalidInput` for an oversized
+/// payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME fits in u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` signals a clean end of stream (the peer
+/// closed between frames).
+///
+/// # Errors
+/// I/O errors; `InvalidData` for an oversized length prefix;
+/// `UnexpectedEof` for a stream cut mid-frame.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Hex-encodes bytes (lowercase, two digits per byte).
+#[must_use]
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string produced by [`hex_encode`].
+///
+/// # Errors
+/// A message naming the offending character or an odd length.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("hex string has odd length {}", s.len()));
+    }
+    let digit = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("bad hex digit {:?}", c as char)),
+        }
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((digit(pair[0])? << 4) | digit(pair[1])?);
+    }
+    Ok(out)
+}
+
+/// Builds a success response.
+#[must_use]
+pub fn ok_response(id: u64, result: Json) -> Json {
+    Json::obj(vec![
+        ("id", Json::UInt(id)),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+}
+
+/// Builds a failure response.
+#[must_use]
+pub fn err_response(id: u64, code: ErrorCode, message: &str) -> Json {
+    Json::obj(vec![
+        ("id", Json::UInt(id)),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(code.as_str().to_string())),
+        ("message", Json::Str(message.to_string())),
+    ])
+}
+
+/// Serializes a rasql result value (with its execution stats) for the wire.
+/// Array cells travel hex-encoded so the remote bytes are exactly the
+/// in-process bytes.
+#[must_use]
+pub fn value_to_json(value: &Value, stats: &QueryStats) -> Json {
+    let v = match value {
+        Value::Array(a) => Json::obj(vec![
+            ("kind", Json::Str("array".to_string())),
+            ("domain", Json::Str(a.domain().to_string())),
+            ("cell_size", Json::UInt(a.cell_size() as u64)),
+            ("cells_hex", Json::Str(hex_encode(a.bytes()))),
+        ]),
+        Value::Number(n) => Json::obj(vec![
+            ("kind", Json::Str("number".to_string())),
+            // Bit-exact transport: JSON floats round-trip through decimal,
+            // so ship the IEEE-754 bits alongside the readable value.
+            ("bits", Json::UInt(n.to_bits())),
+            ("value", Json::Float(*n)),
+        ]),
+        Value::Count(c) => Json::obj(vec![
+            ("kind", Json::Str("count".to_string())),
+            ("value", Json::UInt(*c)),
+        ]),
+        Value::Bool(b) => Json::obj(vec![
+            ("kind", Json::Str("bool".to_string())),
+            ("value", Json::Bool(*b)),
+        ]),
+    };
+    Json::obj(vec![("value", v), ("stats", stats.to_json())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").unwrap();
+        buf.truncate(7);
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+        assert_eq!(hex_decode("00ff10").unwrap(), vec![0, 255, 16]);
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Busy,
+            ErrorCode::Deadline,
+            ErrorCode::BadRequest,
+            ErrorCode::Engine,
+            ErrorCode::Shutdown,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+}

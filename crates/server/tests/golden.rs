@@ -1,0 +1,139 @@
+//! Golden equivalence: every rasql statement answered over the wire must be
+//! byte-identical (arrays) or bit-identical (scalars) to the in-process
+//! result. The in-process baseline runs serially *before* the server
+//! attaches its executor, so this also pins the parallel query path to the
+//! serial one.
+
+use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
+use tilestore_rasql::Value;
+use tilestore_server::{serve, Client, RemoteValue, ServerConfig};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// The statement corpus: every result kind, trims, sections, wildcard
+/// ranges, induced operations, aggregates.
+const GOLDEN: &[&str] = &[
+    "SELECT cube FROM cube",
+    "SELECT cube[2:4, 0:9, 5:7] FROM cube",
+    "SELECT cube[*:*, 3:3, 2:*] FROM cube",
+    "SELECT cube[5, *, 2:3] FROM cube",
+    "SELECT sum_cells(cube[0:3, 0:3, 0:3]) FROM cube",
+    "SELECT avg_cells(cube[1:2, 1:2, 1:2]) FROM cube",
+    "SELECT max_cells(cube) FROM cube",
+    "SELECT min_cells(cube[4:9, 0:5, 1:8]) FROM cube",
+    "SELECT count_cells(cube > 500) FROM cube",
+    "SELECT some_cells(cube > 980) FROM cube",
+    "SELECT all_cells(cube >= 0) FROM cube",
+    "SELECT cube[0:0, 0:0, 0:3] + 1000 FROM cube",
+    "SELECT cube[0:0, 0:0, *] > 4 FROM cube",
+    "SELECT cube[0:0, 1:1, 0:2] * 2 - 10 FROM cube",
+    "SELECT cube[5, *, *] + 0.0 FROM cube",
+    "SELECT sum_cells(cube[0:0, 0:0, *] >= 5) FROM cube",
+];
+
+fn cube_db() -> Database<tilestore_storage::MemPageStore> {
+    let mut db = Database::in_memory().unwrap();
+    db.create_object(
+        "cube",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(3, 2048)),
+    )
+    .unwrap();
+    let cells = Array::from_fn("[0:9,0:9,0:9]".parse().unwrap(), |p| {
+        (p[0] * 100 + p[1] * 10 + p[2]) as u32
+    })
+    .unwrap();
+    db.insert("cube", &cells).unwrap();
+    db
+}
+
+#[test]
+fn every_statement_is_byte_identical_over_the_wire() {
+    let db = cube_db();
+    // In-process baseline, serial path (no executor attached yet).
+    let expected: Vec<Value> = GOLDEN
+        .iter()
+        .map(|q| tilestore_rasql::execute(&db, q).unwrap().0)
+        .collect();
+
+    let shared = SharedDatabase::new(db);
+    let handle = serve(
+        shared,
+        None,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+
+    for (q, want) in GOLDEN.iter().zip(&expected) {
+        let got = client.query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        match (want, &got) {
+            (
+                Value::Array(a),
+                RemoteValue::Array {
+                    domain,
+                    cell_size,
+                    cells,
+                },
+            ) => {
+                assert_eq!(domain, a.domain(), "{q}: domain");
+                assert_eq!(*cell_size, a.cell_size(), "{q}: cell size");
+                assert_eq!(cells, a.bytes(), "{q}: cell bytes");
+            }
+            (Value::Number(n), RemoteValue::Number(m)) => {
+                assert_eq!(n.to_bits(), m.to_bits(), "{q}: number bits");
+            }
+            (Value::Count(c), RemoteValue::Count(d)) => assert_eq!(c, d, "{q}: count"),
+            (Value::Bool(b), RemoteValue::Bool(c)) => assert_eq!(b, c, "{q}: bool"),
+            (want, got) => panic!("{q}: kind mismatch: {want:?} vs {got:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_disconnects() {
+    let shared = SharedDatabase::new(cube_db());
+    let handle = serve(shared, None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let e = client.query("SELECT nothing FROM nowhere").unwrap_err();
+    assert!(matches!(e, tilestore_server::ClientError::Engine(_)), "{e}");
+    let e = client.retile("cube", "bogus:spec").unwrap_err();
+    assert!(
+        matches!(e, tilestore_server::ClientError::BadRequest(_)),
+        "{e}"
+    );
+    let e = client.info("missing").unwrap_err();
+    assert!(matches!(e, tilestore_server::ClientError::Engine(_)), "{e}");
+    // The connection survived all of that.
+    client.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn remote_retile_preserves_query_results() {
+    let shared = SharedDatabase::new(cube_db());
+    let handle = serve(shared, None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let before = client
+        .query("SELECT cube[1:8, 2:7, 0:9] FROM cube")
+        .unwrap();
+    client.retile("cube", "aligned:[*,*,1]:4").unwrap();
+    let after = client
+        .query("SELECT cube[1:8, 2:7, 0:9] FROM cube")
+        .unwrap();
+    assert_eq!(before, after);
+
+    let info = client.info("cube").unwrap();
+    assert_eq!(
+        info.get("covered_cells").and_then(|j| j.as_u64()),
+        Some(1000)
+    );
+    handle.shutdown();
+}

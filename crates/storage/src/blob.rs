@@ -21,7 +21,7 @@ use std::sync::Mutex;
 use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Result, StorageError};
-use crate::page::{PageId, PageStore};
+use crate::page::{lock, PageId, PageStore};
 use crate::stats::IoStats;
 
 /// Identifier of a BLOB within a [`BlobStore`].
@@ -180,7 +180,7 @@ impl<S: PageStore> BlobStore<S> {
     /// goes into no longer references them.
     #[must_use]
     pub fn directory(&self) -> BlobDirectory {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock(&self.inner);
         let mut free_pages = inner.free_pages.clone();
         free_pages.extend_from_slice(&inner.limbo);
         BlobDirectory {
@@ -198,7 +198,7 @@ impl<S: PageStore> BlobStore<S> {
     /// were released. Call only after a catalog commit is durably on disk —
     /// from that point no committed state references those pages.
     pub fn release_freed_pages(&self) -> u64 {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         let n = inner.limbo.len() as u64;
         let limbo = std::mem::take(&mut inner.limbo);
         inner.free_pages.extend(limbo);
@@ -208,13 +208,13 @@ impl<S: PageStore> BlobStore<S> {
     /// Number of immediately reusable free pages.
     #[must_use]
     pub fn free_page_count(&self) -> usize {
-        self.inner.lock().unwrap().free_pages.len()
+        lock(&self.inner).free_pages.len()
     }
 
     /// Number of pages quarantined until the next catalog commit.
     #[must_use]
     pub fn quarantined_page_count(&self) -> usize {
-        self.inner.lock().unwrap().limbo.len()
+        lock(&self.inner).limbo.len()
     }
 
     /// The shared I/O statistics of this store.
@@ -232,7 +232,7 @@ impl<S: PageStore> BlobStore<S> {
     /// Number of live BLOBs.
     #[must_use]
     pub fn blob_count(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        lock(&self.inner).entries.len()
     }
 
     /// Number of pages a BLOB of `len` bytes occupies.
@@ -246,7 +246,7 @@ impl<S: PageStore> BlobStore<S> {
     /// # Errors
     /// [`StorageError::UnknownBlob`].
     pub fn blob_len(&self, id: BlobId) -> Result<u64> {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock(&self.inner);
         inner
             .entries
             .get(&id.0)
@@ -266,7 +266,7 @@ impl<S: PageStore> BlobStore<S> {
         let page_size = self.store.page_size();
         let needed = self.pages_for(data.len() as u64);
         let pages = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock(&self.inner);
             let mut pages = Vec::with_capacity(needed as usize);
             while (pages.len() as u64) < needed {
                 match inner.free_pages.pop() {
@@ -301,7 +301,7 @@ impl<S: PageStore> BlobStore<S> {
         hot.blob_writes.inc();
         hot.tile_bytes.record(data.len() as u64);
         let id = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock(&self.inner);
             let id = inner.next_id;
             inner.next_id += 1;
             inner.entries.insert(
@@ -321,9 +321,22 @@ impl<S: PageStore> BlobStore<S> {
     /// # Errors
     /// [`StorageError::UnknownBlob`] or backend read errors.
     pub fn read(&self, id: BlobId) -> Result<Vec<u8>> {
+        let mut data = Vec::new();
+        self.read_into(id, &mut data)?;
+        Ok(data)
+    }
+
+    /// Reads a whole BLOB into a caller-supplied buffer, returning the
+    /// payload length. The buffer is resized as needed; reusing one buffer
+    /// across calls avoids a fresh zeroed allocation per tile, which matters
+    /// on the parallel query path where each worker reads many tiles.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownBlob`] or backend read errors.
+    pub fn read_into(&self, id: BlobId, data: &mut Vec<u8>) -> Result<usize> {
         let _span = tilestore_obs::tracer().span_with("blob_read", || format!("blob={}", id.0));
         let entry = {
-            let inner = self.inner.lock().unwrap();
+            let inner = lock(&self.inner);
             inner
                 .entries
                 .get(&id.0)
@@ -331,7 +344,7 @@ impl<S: PageStore> BlobStore<S> {
                 .ok_or(StorageError::UnknownBlob { blob: id.0 })?
         };
         let page_size = self.store.page_size();
-        let mut data = vec![0u8; entry.pages.len() * page_size];
+        data.resize(entry.pages.len() * page_size, 0);
         for (i, &page) in entry.pages.iter().enumerate() {
             self.store
                 .read_page(page, &mut data[i * page_size..(i + 1) * page_size])?;
@@ -342,7 +355,7 @@ impl<S: PageStore> BlobStore<S> {
         let hot = tilestore_obs::hot();
         hot.blob_reads.inc();
         hot.tile_bytes.record(entry.len);
-        Ok(data)
+        Ok(entry.len as usize)
     }
 
     /// Overwrites a BLOB with new contents, copy-on-write: the new payload
@@ -361,7 +374,7 @@ impl<S: PageStore> BlobStore<S> {
         // Check existence and take scratch pages from the free list without
         // touching the entry itself.
         let mut new_pages = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock(&self.inner);
             if !inner.entries.contains_key(&id.0) {
                 return Err(StorageError::UnknownBlob { blob: id.0 });
             }
@@ -397,7 +410,7 @@ impl<S: PageStore> BlobStore<S> {
             // Roll back: the scratch pages never joined the entry, so they
             // can return to the free pool directly; the directory entry and
             // the old pages are exactly as before the call.
-            self.inner.lock().unwrap().free_pages.extend(new_pages);
+            lock(&self.inner).free_pages.extend(new_pages);
             return Err(e);
         }
         self.stats.add_pages_written(new_pages.len() as u64);
@@ -405,7 +418,7 @@ impl<S: PageStore> BlobStore<S> {
         let hot = tilestore_obs::hot();
         hot.blob_writes.inc();
         hot.tile_bytes.record(data.len() as u64);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         let old_pages = match inner.entries.get_mut(&id.0) {
             Some(entry) => {
                 let old = std::mem::replace(&mut entry.pages, new_pages);
@@ -429,7 +442,7 @@ impl<S: PageStore> BlobStore<S> {
     /// # Errors
     /// [`StorageError::UnknownBlob`].
     pub fn delete(&self, id: BlobId) -> Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         let entry = inner
             .entries
             .remove(&id.0)
@@ -445,7 +458,7 @@ impl<S: PageStore> BlobStore<S> {
     /// catalog commit; they are safe to reclaim.
     #[must_use]
     pub fn check_pages(&self) -> PageCheck {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock(&self.inner);
         let allocated = self.store.allocated();
         let mut seen = std::collections::BTreeMap::<u64, u64>::new();
         let mut dangling = Vec::new();
@@ -488,7 +501,7 @@ impl<S: PageStore> BlobStore<S> {
         let orphaned = self.check_pages().orphaned;
         let n = orphaned.len() as u64;
         if n > 0 {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock(&self.inner);
             inner.free_pages.extend(orphaned);
             tilestore_obs::hot().orphaned_pages_reclaimed.add(n);
         }

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 use crate::error::Result;
-use crate::page::{PageId, PageStore};
+use crate::page::{lock, PageId, PageStore};
 use crate::stats::IoStats;
 
 /// A write-through LRU page cache.
@@ -95,12 +95,12 @@ impl<S: PageStore> BufferPool<S> {
     /// Number of frames currently cached.
     #[must_use]
     pub fn cached_frames(&self) -> usize {
-        self.inner.lock().unwrap().frames.len()
+        lock(&self.inner).frames.len()
     }
 
     /// Drops every cached frame (cold-start measurements).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         inner.frames.clear();
         inner.order.clear();
     }
@@ -121,7 +121,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock(&self.inner);
             let tick = inner.next_tick();
             if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
                 buf.copy_from_slice(frame);
@@ -137,7 +137,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         self.stats.add_cache_miss();
         tilestore_obs::hot().cache_misses.inc();
         self.store.read_page(page, buf)?;
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         let tick = inner.next_tick();
         // A concurrent read may have installed the page while the lock was
         // released; refresh it instead of double-inserting.
@@ -155,7 +155,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         // Write-through: the store is always current.
         self.store.write_page(page, buf)?;
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         let tick = inner.next_tick();
         if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
             frame.copy_from_slice(buf);
@@ -183,7 +183,7 @@ mod tests {
 
     /// Checks the `frames`/`order` cross-invariant after a test.
     fn assert_coherent<S: PageStore>(p: &BufferPool<S>) {
-        let inner = p.inner.lock().unwrap();
+        let inner = lock(&p.inner);
         assert_eq!(inner.frames.len(), inner.order.len());
         for (&tick, &page) in &inner.order {
             assert_eq!(inner.frames.get(&page).map(|(_, t)| *t), Some(tick));

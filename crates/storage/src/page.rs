@@ -13,15 +13,22 @@
 //! [`PageStore::sync`] flushes a backend to stable storage; the engine
 //! calls it at commit points before publishing a new catalog.
 
+use std::cell::RefCell;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use tilestore_testkit::{crc32, FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Result, StorageError};
+
+/// Locks a mutex, recovering from poisoning: storage must stay usable after
+/// a worker thread panicked while holding a lock (one bad request must not
+/// take the whole store down).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default page size: 8 KiB, typical of late-90s database systems.
 pub const DEFAULT_PAGE_SIZE: usize = 8192;
@@ -138,11 +145,11 @@ impl PageStore for MemPageStore {
     }
 
     fn allocated(&self) -> u64 {
-        self.pages.lock().unwrap().len() as u64
+        lock(&self.pages).len() as u64
     }
 
     fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
-        let mut pages = self.pages.lock().unwrap();
+        let mut pages = lock(&self.pages);
         let first = pages.len() as u64;
         for _ in 0..count {
             pages.push(vec![0u8; self.page_size].into_boxed_slice());
@@ -152,7 +159,7 @@ impl PageStore for MemPageStore {
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let pages = self.pages.lock().unwrap();
+        let pages = lock(&self.pages);
         let data = pages
             .get(page.0 as usize)
             .ok_or(StorageError::PageOutOfRange {
@@ -165,7 +172,7 @@ impl PageStore for MemPageStore {
 
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut pages = self.pages.lock().unwrap();
+        let mut pages = lock(&self.pages);
         let allocated = pages.len() as u64;
         let data = pages
             .get_mut(page.0 as usize)
@@ -187,7 +194,7 @@ impl TornWritable for MemPageStore {
     /// `frame_bytes` payload bytes and keeps the old tail.
     fn partial_write_page(&self, page: PageId, buf: &[u8], frame_bytes: usize) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut pages = self.pages.lock().unwrap();
+        let mut pages = lock(&self.pages);
         let allocated = pages.len() as u64;
         let data = pages
             .get_mut(page.0 as usize)
@@ -209,18 +216,28 @@ impl TornWritable for MemPageStore {
 /// never-written page (reads back as zeroes), anything else must carry a
 /// matching id and checksum or the read fails instead of returning torn
 /// data.
+///
+/// # Concurrency
+///
+/// Reads and writes use positioned I/O (`pread`/`pwrite` on Unix) on a
+/// shared file handle, so concurrent page accesses from the executor's
+/// worker threads proceed without serializing on a lock; only the
+/// allocation counter is mutex-protected. Frame staging buffers are
+/// per-thread.
 #[derive(Debug)]
 pub struct FilePageStore {
     page_size: usize,
-    inner: Mutex<FileInner>,
+    file: File,
+    allocated: Mutex<u64>,
+    /// Serializes the seek+read/write pairs on targets without positioned
+    /// I/O; unused on Unix.
+    #[cfg(not(unix))]
+    io_lock: Mutex<()>,
 }
 
-#[derive(Debug)]
-struct FileInner {
-    file: File,
-    allocated: u64,
-    /// Scratch frame buffer reused across writes (header + payload).
-    scratch: Vec<u8>,
+thread_local! {
+    /// Per-thread frame staging buffer (header + payload), sized on use.
+    static FRAME_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
 impl FilePageStore {
@@ -238,11 +255,10 @@ impl FilePageStore {
             .open(path)?;
         Ok(FilePageStore {
             page_size,
-            inner: Mutex::new(FileInner {
-                file,
-                allocated: 0,
-                scratch: vec![0u8; FRAME_HEADER + page_size],
-            }),
+            file,
+            allocated: Mutex::new(0),
+            #[cfg(not(unix))]
+            io_lock: Mutex::new(()),
         })
     }
 
@@ -257,11 +273,10 @@ impl FilePageStore {
         let len = file.metadata()?.len();
         Ok(FilePageStore {
             page_size,
-            inner: Mutex::new(FileInner {
-                file,
-                allocated: len / Self::frame_size_of(page_size),
-                scratch: vec![0u8; FRAME_HEADER + page_size],
-            }),
+            file,
+            allocated: Mutex::new(len / Self::frame_size_of(page_size)),
+            #[cfg(not(unix))]
+            io_lock: Mutex::new(()),
         })
     }
 
@@ -273,6 +288,58 @@ impl FilePageStore {
     #[must_use]
     pub fn frame_size(&self) -> u64 {
         Self::frame_size_of(self.page_size)
+    }
+
+    /// Fails unless `page` is inside the allocated range.
+    fn check_in_range(&self, page: PageId) -> Result<()> {
+        let allocated = *lock(&self.allocated);
+        if page.0 >= allocated {
+            return Err(StorageError::PageOutOfRange {
+                page: page.0,
+                allocated,
+            });
+        }
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    #[cfg(unix)]
+    fn write_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _io = lock(&self.io_lock);
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _io = lock(&self.io_lock);
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(buf)
+    }
+
+    /// Runs `f` with this thread's staging buffer resized to one frame.
+    fn with_frame_buf<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let frame_len = FRAME_HEADER + self.page_size;
+        FRAME_BUF.with(|b| {
+            let mut buf = b.borrow_mut();
+            buf.resize(frame_len, 0);
+            f(&mut buf[..frame_len])
+        })
     }
 
     /// Fills a frame (header + payload) for `page` into `frame`.
@@ -321,35 +388,26 @@ impl PageStore for FilePageStore {
     }
 
     fn allocated(&self) -> u64 {
-        self.inner.lock().unwrap().allocated
+        *lock(&self.allocated)
     }
 
     fn allocate(&self, count: u64) -> Result<Vec<PageId>> {
-        let mut inner = self.inner.lock().unwrap();
-        let first = inner.allocated;
-        inner.allocated += count;
-        let new_len = inner.allocated * self.frame_size();
-        inner.file.set_len(new_len)?;
+        let mut allocated = lock(&self.allocated);
+        let first = *allocated;
+        *allocated += count;
+        let new_len = *allocated * self.frame_size();
+        self.file.set_len(new_len)?;
         Ok((first..first + count).map(PageId).collect())
     }
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut inner = self.inner.lock().unwrap();
-        if page.0 >= inner.allocated {
-            return Err(StorageError::PageOutOfRange {
-                page: page.0,
-                allocated: inner.allocated,
-            });
-        }
-        inner
-            .file
-            .seek(SeekFrom::Start(page.0 * self.frame_size()))?;
-        let mut frame = std::mem::take(&mut inner.scratch);
-        let res = inner.file.read_exact(&mut frame);
-        inner.scratch = frame;
-        res?;
-        Self::decode_frame(&inner.scratch, page, buf)?;
+        self.check_in_range(page)?;
+        let offset = page.0 * self.frame_size();
+        self.with_frame_buf(|frame| {
+            self.read_at(frame, offset)?;
+            Self::decode_frame(frame, page, buf)
+        })?;
         tilestore_obs::hot().pages_read.inc();
         tilestore_obs::tracer().event("page_read", || format!("page={}", page.0));
         Ok(())
@@ -357,29 +415,19 @@ impl PageStore for FilePageStore {
 
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut inner = self.inner.lock().unwrap();
-        if page.0 >= inner.allocated {
-            return Err(StorageError::PageOutOfRange {
-                page: page.0,
-                allocated: inner.allocated,
-            });
-        }
-        inner
-            .file
-            .seek(SeekFrom::Start(page.0 * self.frame_size()))?;
-        let mut frame = std::mem::take(&mut inner.scratch);
-        Self::encode_frame(&mut frame, page, buf);
-        let res = inner.file.write_all(&frame);
-        inner.scratch = frame;
-        res?;
+        self.check_in_range(page)?;
+        let offset = page.0 * self.frame_size();
+        self.with_frame_buf(|frame| {
+            Self::encode_frame(frame, page, buf);
+            self.write_at(frame, offset)
+        })?;
         tilestore_obs::hot().pages_written.inc();
         tilestore_obs::tracer().event("page_write", || format!("page={}", page.0));
         Ok(())
     }
 
     fn sync(&self) -> Result<()> {
-        let inner = self.inner.lock().unwrap();
-        inner.file.sync_all()?;
+        self.file.sync_all()?;
         Ok(())
     }
 }
@@ -387,22 +435,13 @@ impl PageStore for FilePageStore {
 impl TornWritable for FilePageStore {
     fn partial_write_page(&self, page: PageId, buf: &[u8], frame_bytes: usize) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
-        let mut inner = self.inner.lock().unwrap();
-        if page.0 >= inner.allocated {
-            return Err(StorageError::PageOutOfRange {
-                page: page.0,
-                allocated: inner.allocated,
-            });
-        }
-        inner
-            .file
-            .seek(SeekFrom::Start(page.0 * self.frame_size()))?;
-        let mut frame = std::mem::take(&mut inner.scratch);
-        Self::encode_frame(&mut frame, page, buf);
-        let n = frame_bytes.min(frame.len());
-        let res = inner.file.write_all(&frame[..n]);
-        inner.scratch = frame;
-        res?;
+        self.check_in_range(page)?;
+        let offset = page.0 * self.frame_size();
+        self.with_frame_buf(|frame| {
+            Self::encode_frame(frame, page, buf);
+            let n = frame_bytes.min(frame.len());
+            self.write_at(&frame[..n], offset)
+        })?;
         Ok(())
     }
 }
@@ -439,6 +478,17 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_locks_recover() {
+        let m = Mutex::new(5);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 5);
+    }
+
+    #[test]
     fn mem_store_round_trip() {
         let store = MemPageStore::new(DEFAULT_PAGE_SIZE).unwrap();
         exercise(&store);
@@ -467,6 +517,36 @@ mod tests {
         let mut buf = vec![0u8; 1024];
         store.read_page(PageId(1), &mut buf).unwrap();
         assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn file_store_concurrent_readers_and_writers() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let store = FilePageStore::create(dir.path().join("pages.db"), 512).unwrap();
+        let pages = store.allocate(8).unwrap();
+        for (i, &p) in pages.iter().enumerate() {
+            store.write_page(p, &vec![i as u8; 512]).unwrap();
+        }
+        std::thread::scope(|s| {
+            for (i, &p) in pages.iter().enumerate() {
+                let store = &store;
+                s.spawn(move || {
+                    for round in 0..20u8 {
+                        let mut buf = vec![0u8; 512];
+                        store.read_page(p, &mut buf).unwrap();
+                        assert!(buf.iter().all(|&b| b == buf[0]), "torn page observed");
+                        store
+                            .write_page(p, &vec![(i as u8).wrapping_add(round); 512])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let mut buf = vec![0u8; 512];
+        for (i, &p) in pages.iter().enumerate() {
+            store.read_page(p, &mut buf).unwrap();
+            assert_eq!(buf[0], (i as u8).wrapping_add(19));
+        }
     }
 
     #[test]

@@ -1,25 +1,39 @@
 //! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) for torn-write
 //! detection in the storage layer and any other integrity checking.
 //!
-//! Table-driven, one table built at first use; ~1 byte/cycle is plenty for
-//! page-sized inputs. The algorithm matches zlib's `crc32`, so values can be
-//! cross-checked against external tools.
+//! Slicing-by-16: sixteen derived tables let the inner loop consume 16
+//! bytes per step instead of 1, which matters because the storage layer
+//! checksums every page frame it reads — on a large range query the CRC is
+//! the single biggest CPU cost of the I/O path. The algorithm matches
+//! zlib's `crc32`, so values can be cross-checked against external tools.
 
 use std::sync::OnceLock;
 
 /// Reflected CRC-32 polynomial (IEEE).
 const POLY: u32 = 0xEDB8_8320;
 
-fn table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, slot) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
+/// Bytes consumed per sliced step; one derived table per byte of stride.
+const STRIDE: usize = 16;
+
+fn tables() -> &'static [[u32; 256]; STRIDE] {
+    static TABLES: OnceLock<[[u32; 256]; STRIDE]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; STRIDE];
+        for i in 0..256u32 {
+            let mut c = i;
             for _ in 0..8 {
                 c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
             }
-            *slot = c;
+            t[0][i as usize] = c;
+        }
+        // t[k][b] = CRC of byte b followed by k zero bytes: lets one step
+        // combine 16 table lookups covering 16 input bytes.
+        for i in 0..256 {
+            let mut c = t[0][i];
+            for k in 1..STRIDE {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
         }
         t
     })
@@ -34,10 +48,24 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Continues a CRC-32 computation: `crc32_update(crc32(a), b) == crc32(a ++ b)`.
 #[must_use]
 pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
-    let t = table();
+    let t = tables();
     let mut c = !crc;
-    for &b in data {
-        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    let word =
+        |ch: &[u8], at: usize| u32::from_le_bytes(ch[at..at + 4].try_into().expect("4 bytes"));
+    let mut chunks = data.chunks_exact(STRIDE);
+    for ch in &mut chunks {
+        let w0 = word(ch, 0) ^ c;
+        let (w1, w2, w3) = (word(ch, 4), word(ch, 8), word(ch, 12));
+        let fold = |w: u32, base: usize| {
+            t[base + 3][(w & 0xFF) as usize]
+                ^ t[base + 2][((w >> 8) & 0xFF) as usize]
+                ^ t[base + 1][((w >> 16) & 0xFF) as usize]
+                ^ t[base][(w >> 24) as usize]
+        };
+        c = fold(w0, 12) ^ fold(w1, 8) ^ fold(w2, 4) ^ fold(w3, 0);
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }

@@ -26,6 +26,7 @@ mod config;
 mod directional;
 mod error;
 mod interest;
+mod parse;
 mod spec;
 mod statistic;
 mod strategy;
@@ -38,6 +39,7 @@ pub use directional::{
 };
 pub use error::{Result, TilingError};
 pub use interest::{AreasOfInterestTiling, IntersectCode, MAX_AREAS};
+pub use parse::{parse_scheme_spec, DEFAULT_SPEC_TILE_KB};
 pub use spec::{check_cell_fits, TilingSpec, DEFAULT_MAX_TILE_SIZE};
 pub use statistic::{AccessCluster, AccessRecord, StatisticTiling};
 pub use strategy::{Scheme, TilingStrategy};

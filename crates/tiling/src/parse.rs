@@ -1,0 +1,116 @@
+//! Textual tiling-scheme specifications.
+//!
+//! One compact grammar shared by every surface that accepts a scheme from
+//! the outside world — the CLI's `create`/`retile` commands and the server's
+//! `retile` request:
+//!
+//! ```text
+//! single                          one tile for the whole domain
+//! regular[:<kb>]                  regular aligned tiling, tile cap in KiB
+//! aligned:<config>[:<kb>]        aligned tiling with a TileConfig, e.g. [*,1]
+//! directional:<cuts>[:<kb>]      directional tiling; cuts = 0=1/31/60,1=1/50
+//! ```
+//!
+//! Errors are plain strings aimed at the human who typed the spec.
+
+use crate::aligned::{AlignedTiling, SingleTile};
+use crate::config::TileConfig;
+use crate::directional::{AxisPartition, DirectionalTiling};
+use crate::strategy::Scheme;
+
+/// Default tile-size cap applied when the spec omits `:<kb>`, in KiB.
+pub const DEFAULT_SPEC_TILE_KB: u64 = 128;
+
+/// Parses a textual scheme spec against an object of dimensionality `dim`.
+///
+/// # Errors
+/// A human-readable message naming the malformed component.
+pub fn parse_scheme_spec(spec: &str, dim: usize) -> Result<Scheme, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts[0] {
+        "single" => Ok(Scheme::SingleTile(SingleTile)),
+        "regular" => {
+            let kb = tile_kb(parts.get(1))?;
+            Ok(Scheme::Aligned(AlignedTiling::regular(dim, kb * 1024)))
+        }
+        "aligned" => {
+            let config: TileConfig = parts
+                .get(1)
+                .ok_or("aligned needs a config, e.g. aligned:[*,1]:64")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            let kb = tile_kb(parts.get(2))?;
+            Ok(Scheme::Aligned(AlignedTiling::new(config, kb * 1024)))
+        }
+        "directional" => {
+            let cuts = parts
+                .get(1)
+                .ok_or("directional needs cuts, e.g. directional:0=1/31/60,1=1/50:64")?;
+            let mut partitions = Vec::new();
+            for axis_spec in cuts.split(',') {
+                let (axis, points) = axis_spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad axis spec {axis_spec:?}"))?;
+                let axis: usize = axis.parse().map_err(|e| format!("bad axis: {e}"))?;
+                let points: Result<Vec<i64>, _> = points.split('/').map(str::parse).collect();
+                partitions.push(AxisPartition::new(
+                    axis,
+                    points.map_err(|e| format!("bad cut point: {e}"))?,
+                ));
+            }
+            let kb = tile_kb(parts.get(2))?;
+            Ok(Scheme::Directional(DirectionalTiling::new(
+                partitions,
+                kb * 1024,
+            )))
+        }
+        other => Err(format!(
+            "unknown scheme {other:?} (expected single, regular, aligned, directional)"
+        )),
+    }
+}
+
+fn tile_kb(part: Option<&&str>) -> Result<u64, String> {
+    match part {
+        None => Ok(DEFAULT_SPEC_TILE_KB),
+        Some(s) => s.parse().map_err(|e| format!("bad MaxTileSize: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_every_scheme_kind() {
+        assert!(matches!(
+            parse_scheme_spec("single", 3),
+            Ok(Scheme::SingleTile(_))
+        ));
+        assert!(matches!(
+            parse_scheme_spec("regular:64", 2),
+            Ok(Scheme::Aligned(_))
+        ));
+        assert!(matches!(
+            parse_scheme_spec("regular", 2),
+            Ok(Scheme::Aligned(_))
+        ));
+        assert!(matches!(
+            parse_scheme_spec("aligned:[*,1]:32", 2),
+            Ok(Scheme::Aligned(_))
+        ));
+        assert!(matches!(
+            parse_scheme_spec("directional:0=1/31/60,1=1/50:64", 2),
+            Ok(Scheme::Directional(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_scheme_spec("bogus", 2).is_err());
+        assert!(parse_scheme_spec("aligned", 2).is_err());
+        assert!(parse_scheme_spec("directional", 2).is_err());
+        assert!(parse_scheme_spec("directional:nope:64", 2).is_err());
+        assert!(parse_scheme_spec("regular:notanumber", 2).is_err());
+    }
+}

@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# Runs the fixed-seed micro-benchmark harness and writes BENCH_PR2.json
-# (median/p95 per workload plus an observability metrics snapshot) at the
+# Runs the benchmark harnesses and writes machine-readable reports at the
 # repository root. Fully offline; pin the sample count for reproducible
 # wall-clock bounds.
+#
+#   BENCH_PR2.json — fixed-seed micro-benchmarks (median/p95 per workload
+#                    plus an observability metrics snapshot)
+#   BENCH_PR4.json — serving layer: paired serial-vs-parallel large-range
+#                    query and concurrent-client throughput over TCP
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 : "${TILESTORE_BENCH_SAMPLES:=15}"
 export TILESTORE_BENCH_SAMPLES
 
-OUT="${1:-BENCH_PR2.json}"
+MICRO_OUT="${1:-BENCH_PR2.json}"
+SERVER_OUT="${2:-BENCH_PR4.json}"
 
-cargo run --release --offline -p tilestore-bench --bin microbench -- "$OUT"
-echo "bench report written to $OUT"
+cargo run --release --offline -p tilestore-bench --bin microbench -- "$MICRO_OUT"
+echo "micro-bench report written to $MICRO_OUT"
+
+cargo run --release --offline -p tilestore-bench --bin server_bench -- "$SERVER_OUT"
+echo "server bench report written to $SERVER_OUT"

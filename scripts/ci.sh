@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Canonical CI gate: hermetic build + full test suite + formatting.
+# Canonical CI gate: hermetic build + full test suite + formatting, then an
+# end-to-end smoke test of the TCP serving layer on the loopback interface.
 #
 # The workspace has zero external dependencies (everything lives in
 # crates/testkit), so `--offline` must always succeed — a build that
-# reaches for the network is a regression.
+# reaches for the network is a regression. The smoke test stays offline
+# too: the server binds 127.0.0.1 on an ephemeral port.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,3 +13,41 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# --- Server smoke test: serve a small database, query it over TCP, shut
+# down gracefully through the client, and verify the files stayed clean.
+TILESTORE=target/release/tilestore
+SMOKE_DIR=$(mktemp -d)
+SERVE_LOG="$SMOKE_DIR/serve.log"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+"$TILESTORE" "$SMOKE_DIR/db" init >/dev/null
+"$TILESTORE" "$SMOKE_DIR/db" create img u8 2 'aligned:[*,1]:8' >/dev/null
+"$TILESTORE" "$SMOKE_DIR/db" load img '[0:63,0:63]' gradient >/dev/null
+
+"$TILESTORE" "$SMOKE_DIR/db" serve 127.0.0.1:0 >"$SERVE_LOG" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVE_LOG"; echo "server died during startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] && echo "smoke server on $ADDR" || { echo "server never reported its address"; exit 1; }
+
+"$TILESTORE" client "$ADDR" ping | grep -q pong
+"$TILESTORE" client "$ADDR" query 'SELECT sum_cells(img) FROM img' >/dev/null
+"$TILESTORE" client "$ADDR" query 'SELECT img[0:3,0:3] FROM img' >/dev/null
+"$TILESTORE" client "$ADDR" info img | grep -q '"tiles"'
+"$TILESTORE" client "$ADDR" fsck >/dev/null
+"$TILESTORE" client "$ADDR" shutdown >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+"$TILESTORE" "$SMOKE_DIR/db" fsck >/dev/null
+echo "server smoke test passed"

@@ -38,14 +38,22 @@ pub use tilestore_rasql as rasql;
 /// (re-exported whole).
 pub use tilestore_obs as obs;
 
+/// The scoped fork-join thread-pool executor (re-exported whole).
+pub use tilestore_exec as exec;
+
+/// The TCP serving layer and its blocking client (re-exported whole).
+pub use tilestore_server as server;
+
 pub use tilestore_compress::{Codec, CompressionPolicy};
 pub use tilestore_engine::{
     AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database, DeleteStats,
     EngineError, InsertStats, MddObject, MddType, QueryStats, QueryTimes, RetileStats, Rgb,
-    UpdateStats,
+    SharedDatabase, UpdateStats,
 };
+pub use tilestore_exec::ThreadPool;
 pub use tilestore_geometry::{AxisRange, DefDomain, Domain, Point};
 pub use tilestore_obs::{AccessRecorder, MetricsRegistry, Tracer};
+pub use tilestore_server::{Client, RemoteValue, ServerConfig, ServerHandle};
 pub use tilestore_storage::{BufferPool, CostModel, FilePageStore, IoStats, MemPageStore};
 pub use tilestore_tiling::{
     AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Extent,
