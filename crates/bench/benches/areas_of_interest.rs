@@ -9,7 +9,7 @@ use tilestore_testkit::bench::Group;
 use tilestore_tiling::Scheme;
 
 fn load(anim: &Animation, scheme: Scheme) -> Database<tilestore_storage::MemPageStore> {
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "clip",
         MddType::new(Animation::cell_type(), DefDomain::unlimited(3).unwrap()),

@@ -40,7 +40,7 @@ fn small_cube() -> (SalesCube, Vec<(String, Domain)>) {
 }
 
 fn load(cube: &SalesCube, scheme: Scheme) -> Database<tilestore_storage::MemPageStore> {
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "cube",
         MddType::new(SalesCube::cell_type(), DefDomain::unlimited(3).unwrap()),
@@ -81,7 +81,7 @@ fn bench_load() {
         NamedScheme::directional(64, cube.partitions_3p()),
     ] {
         group.bench(&named.name, || {
-            let mut db = Database::in_memory().unwrap();
+            let db = Database::in_memory().unwrap();
             db.create_object(
                 "cube",
                 MddType::new(SalesCube::cell_type(), DefDomain::unlimited(3).unwrap()),

@@ -45,7 +45,7 @@ fn workload_data() -> Array {
 }
 
 fn fresh_db(data: &Array) -> Database<MemPageStore> {
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "bench",
         MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),

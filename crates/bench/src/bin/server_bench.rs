@@ -56,7 +56,7 @@ fn main() {
     let out_path = std::env::args().nth(1);
     let dir = tempdir().expect("tempdir");
     {
-        let mut db = Database::create_dir(dir.path()).expect("create db");
+        let db = Database::create_dir(dir.path()).expect("create db");
         db.create_object(
             "grid",
             MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -76,8 +76,8 @@ fn main() {
     let region: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
     let (serial, parallel, speedup) = {
         let db_serial = Database::open_dir(dir.path()).expect("open serial handle");
-        let mut db_parallel = Database::open_dir(dir.path()).expect("open parallel handle");
-        db_parallel.attach_executor(Arc::new(ThreadPool::new(3)));
+        let db_parallel = Database::open_dir(dir.path()).expect("open parallel handle");
+        db_parallel.set_executor(Arc::new(ThreadPool::new(3)));
         for _ in 0..5 {
             db_serial.range_query("grid", &region).unwrap();
             db_parallel.range_query("grid", &region).unwrap();

@@ -1,0 +1,217 @@
+//! Reader-latency-under-writer benchmark emitting a machine-readable report.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin snapshot_bench -- BENCH_PR5.json
+//! ```
+//!
+//! Measures what the snapshot-read redesign bought: the latency a reader
+//! sees while a writer continuously re-tiles the same object. Two modes run
+//! the identical workload over identical data:
+//!
+//! * **rwlock baseline** — the database behind a `std::sync::RwLock`, the
+//!   pre-redesign architecture: every query takes the read half, every
+//!   retile takes the write half, so a reader arriving mid-retile waits for
+//!   the whole rewrite;
+//! * **snapshot** — the database used directly: readers acquire an epoch
+//!   snapshot ([`Database::begin_read`]) and never hold a lock across tile
+//!   I/O, while the writer's exclusive section is only the catalog pointer
+//!   swap.
+//!
+//! Samples are paired per mode (one reader thread, one writer thread, same
+//! query region and retile cycle), and each mode reports p50/p95 across
+//! the same number of reader iterations.
+//!
+//! `TILESTORE_BENCH_SAMPLES` scales the reader iteration count
+//! (`samples × 20`, default 300).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+use tilestore_engine::Database;
+use tilestore_engine::{Array, CellType, MddType};
+use tilestore_geometry::Domain;
+use tilestore_storage::MemPageStore;
+use tilestore_testkit::bench::Report;
+use tilestore_testkit::{Json, ToJson};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// Side length of the square benchmark array (u32 cells → 1 MiB total).
+const SIDE: i64 = 512;
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+fn reader_samples() -> usize {
+    std::env::var("TILESTORE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or(300, |n| n.max(1) * 20)
+}
+
+fn build_db() -> Database<MemPageStore> {
+    let db = Database::in_memory().expect("in-memory db");
+    db.create_object(
+        "grid",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 8192)),
+    )
+    .unwrap();
+    let dom: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    db.insert(
+        "grid",
+        &Array::from_fn(dom, |p| (p[0] * SIDE + p[1]) as u32).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// The writer's endless reorganization: alternate between two tile sizes so
+/// every cycle rewrites every tile of the object.
+fn retile_cycle(db: &Database<MemPageStore>, flip: bool) {
+    let kb = if flip { 4096 } else { 8192 };
+    db.retile("grid", Scheme::Aligned(AlignedTiling::regular(2, kb)))
+        .unwrap();
+}
+
+struct ModeResult {
+    report: Report,
+    retiles: u64,
+}
+
+/// One reader sampling a small range query `samples` times while one writer
+/// re-tiles in a loop. `query` is the per-iteration read under measurement.
+fn run_mode<Q, W>(samples: usize, query: Q, retile: W) -> ModeResult
+where
+    Q: Fn(&Domain),
+    W: Fn(bool) + Sync,
+{
+    let region: Domain = "[64:127,64:127]".parse().unwrap();
+    let stop = AtomicBool::new(false);
+    let retiles = AtomicU64::new(0);
+    let mut laps = Vec::with_capacity(samples);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut flip = false;
+            while !stop.load(Ordering::SeqCst) {
+                retile(flip);
+                retiles.fetch_add(1, Ordering::SeqCst);
+                flip = !flip;
+            }
+        });
+        // Warm-up outside the measured window, and wait for the writer to
+        // complete a full cycle so measurement definitely overlaps retiles.
+        for _ in 0..8 {
+            query(&region);
+        }
+        while retiles.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        // Pace the reader so the sampled window spans many retile cycles;
+        // an unpaced loop would finish before the writer rewrites once and
+        // never observe contention.
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            query(&region);
+            laps.push(t0.elapsed());
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+    ModeResult {
+        report: Report::from_samples(laps),
+        retiles: retiles.load(Ordering::SeqCst),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let samples = reader_samples();
+
+    // --- Baseline: the whole database behind one RwLock. ---
+    let baseline = {
+        let db = RwLock::new(build_db());
+        run_mode(
+            samples,
+            |region| {
+                let guard = db.read().unwrap();
+                std::hint::black_box(guard.range_query("grid", region).unwrap());
+            },
+            |flip| retile_cycle(&db.write().unwrap(), flip),
+        )
+    };
+
+    // --- Snapshot reads: same workload, no reader-side lock. ---
+    let snapshot = {
+        let db = build_db();
+        run_mode(
+            samples,
+            |region| {
+                let snap = db.begin_read();
+                std::hint::black_box(snap.range_query("grid", region).unwrap());
+            },
+            |flip| retile_cycle(&db, flip),
+        )
+    };
+
+    let p50_ratio =
+        baseline.report.median.as_secs_f64() / snapshot.report.median.as_secs_f64().max(1e-12);
+    let p95_ratio =
+        baseline.report.p95.as_secs_f64() / snapshot.report.p95.as_secs_f64().max(1e-12);
+    println!(
+        "reader latency under a concurrent retile ({samples} samples/mode):\n\
+         \x20 rwlock baseline: median {:?}, p95 {:?} ({} retiles completed)\n\
+         \x20 snapshot reads:  median {:?}, p95 {:?} ({} retiles completed)\n\
+         \x20 improvement: {p50_ratio:.2}x at p50, {p95_ratio:.2}x at p95",
+        baseline.report.median,
+        baseline.report.p95,
+        baseline.retiles,
+        snapshot.report.median,
+        snapshot.report.p95,
+        snapshot.retiles,
+    );
+
+    let json = Json::obj(vec![
+        ("benchmark", Json::Str("snapshot_reads".to_string())),
+        ("samples_per_mode", samples.to_json()),
+        (
+            "reader_under_writer",
+            Json::obj(vec![
+                (
+                    "rwlock_baseline",
+                    Json::obj(vec![
+                        ("latency", report_json(&baseline.report)),
+                        ("retiles_completed", baseline.retiles.to_json()),
+                    ]),
+                ),
+                (
+                    "snapshot",
+                    Json::obj(vec![
+                        ("latency", report_json(&snapshot.report)),
+                        ("retiles_completed", snapshot.retiles.to_json()),
+                    ]),
+                ),
+                ("p50_improvement", Json::Float(p50_ratio)),
+                ("p95_improvement", Json::Float(p95_ratio)),
+            ]),
+        ),
+        ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+    ]);
+    if let Some(path) = out_path {
+        std::fs::write(&path, json.to_string_pretty()).expect("write report");
+        println!("report written to {path}");
+    } else {
+        println!("{}", json.to_string_pretty());
+    }
+}

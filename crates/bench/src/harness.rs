@@ -142,7 +142,7 @@ impl Experiment<'_> {
     /// # Errors
     /// Engine errors (tiling, storage, query execution).
     pub fn run_scheme(&self, named: &NamedScheme) -> tilestore_engine::Result<SchemeResult> {
-        let mut db = Database::in_memory()?;
+        let db = Database::in_memory()?;
         let dim = self.data.domain().dim();
         db.create_object(
             "workload",
@@ -150,7 +150,7 @@ impl Experiment<'_> {
             named.scheme.clone(),
         )?;
         db.set_compression("workload", self.compression.clone())?;
-        let load = db.insert("workload", self.data)?;
+        let load = db.insert("workload", self.data)?.stats;
         let physical_bytes = db.object_physical_bytes("workload")?;
         let meta = db.object("workload")?;
         let tiles = meta.tile_count();
@@ -162,11 +162,12 @@ impl Experiment<'_> {
             .unwrap_or(0);
         let mut queries = Vec::with_capacity(self.queries.len());
         for q in &self.queries {
-            let (_, stats) = db.range_query("workload", &q.region)?;
+            let q_result = db.range_query("workload", &q.region)?;
+            let stats = q_result.stats;
             queries.push(QueryMeasurement {
                 label: q.label.clone(),
-                stats,
                 times: stats.times(&self.model),
+                stats,
             });
         }
         Ok(SchemeResult {

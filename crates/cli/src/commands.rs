@@ -53,7 +53,7 @@ pub fn parse_scheme(spec: &str, dim: usize) -> CliResult<Scheme> {
 
 /// `create <name> <celltype> <dim> [scheme]`.
 pub fn create(
-    db: &mut Database<FilePageStore>,
+    db: &Database<FilePageStore>,
     name: &str,
     cell: &str,
     dim: usize,
@@ -73,7 +73,7 @@ pub fn create(
 /// `load <name> <domain> <pattern>` — synthesize and insert data.
 /// Patterns: `zero`, `gradient`, `checker`, `random:<seed>`.
 pub fn load(
-    db: &mut Database<FilePageStore>,
+    db: &Database<FilePageStore>,
     name: &str,
     domain: &str,
     pattern: &str,
@@ -128,7 +128,8 @@ fn synthesize(domain: &Domain, cell_size: usize, pattern: &str) -> CliResult<Arr
 
 /// `query <rasql>` — run a query and render the result.
 pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
-    let (value, stats) = tilestore_rasql::execute(db, text).map_err(err)?;
+    let snap = db.begin_read();
+    let (value, stats) = tilestore_rasql::execute(&snap, text).map_err(err)?;
     let model = CostModel::classic_disk();
     let times = stats.times(&model);
     let mut out = String::new();
@@ -151,7 +152,8 @@ pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
     }
     write!(
         out,
-        "[{} tiles, {} pages, {} bytes read; model t_total={:.4}s]",
+        "[epoch {}; {} tiles, {} pages, {} bytes read; model t_total={:.4}s]",
+        snap.epoch(),
         stats.tiles_read,
         stats.io.pages_read,
         stats.io.bytes_read,
@@ -215,7 +217,7 @@ pub fn info(db: &Database<FilePageStore>, name: Option<&str>) -> CliResult<Strin
 }
 
 /// `compress <name> <none|selective>` — set policy and rewrite tiles.
-pub fn compress(db: &mut Database<FilePageStore>, name: &str, policy: &str) -> CliResult<String> {
+pub fn compress(db: &Database<FilePageStore>, name: &str, policy: &str) -> CliResult<String> {
     let policy = match policy {
         "none" => CompressionPolicy::None,
         "selective" => CompressionPolicy::selective_default(),
@@ -231,7 +233,7 @@ pub fn compress(db: &mut Database<FilePageStore>, name: &str, policy: &str) -> C
 
 /// `retile <name> <scheme>`; the scheme `--from-log[:<dist>:<freq>:<maxKB>]`
 /// re-tiles from the recorded access log via statistic tiling (§5.4).
-pub fn retile(db: &mut Database<FilePageStore>, name: &str, spec: &str) -> CliResult<String> {
+pub fn retile(db: &Database<FilePageStore>, name: &str, spec: &str) -> CliResult<String> {
     if let Some(rest) = spec.strip_prefix("--from-log") {
         let mut parts = rest.strip_prefix(':').unwrap_or("").split(':');
         let mut next = |default: u64, what: &str| -> CliResult<u64> {
@@ -309,7 +311,7 @@ pub fn stats(db: &Database<FilePageStore>) -> CliResult<String> {
 pub fn trace(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
     let tracer = tilestore_obs::tracer();
     tracer.enable(4096);
-    let result = tilestore_rasql::execute(db, text);
+    let result = tilestore_rasql::execute(&db.begin_read(), text);
     tracer.disable();
     let jsonl = tracer.drain_jsonl();
     let (_, stats) = result.map_err(err)?;
@@ -325,7 +327,7 @@ pub fn trace(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
 }
 
 /// `delete <name> <domain>` — remove a region's cells (shrinkage).
-pub fn delete(db: &mut Database<FilePageStore>, name: &str, domain: &str) -> CliResult<String> {
+pub fn delete(db: &Database<FilePageStore>, name: &str, domain: &str) -> CliResult<String> {
     let region: Domain = domain.parse().map_err(err)?;
     let stats = db.delete_region(name, &region).map_err(err)?;
     Ok(format!(
@@ -335,7 +337,7 @@ pub fn delete(db: &mut Database<FilePageStore>, name: &str, domain: &str) -> Cli
 }
 
 /// `drop <name>`.
-pub fn drop_object(db: &mut Database<FilePageStore>, name: &str) -> CliResult<String> {
+pub fn drop_object(db: &Database<FilePageStore>, name: &str) -> CliResult<String> {
     db.drop_object(name).map_err(err)?;
     Ok(format!("dropped {name:?}"))
 }
@@ -477,9 +479,9 @@ mod tests {
 
     #[test]
     fn init_create_load_query_cycle() {
-        let (dir, mut db) = fresh();
-        create(&mut db, "img", "u8", 2, Some("regular:4")).unwrap();
-        load(&mut db, "img", "[0:63,0:63]", "gradient").unwrap();
+        let (dir, db) = fresh();
+        create(&db, "img", "u8", 2, Some("regular:4")).unwrap();
+        load(&db, "img", "[0:63,0:63]", "gradient").unwrap();
         let out = query(&db, "SELECT img[0:7,0:7] FROM img").unwrap();
         assert!(out.contains("array over [0:7,0:7]"), "{out}");
         let out = query(&db, "SELECT count_cells(img) FROM img").unwrap();
@@ -493,9 +495,9 @@ mod tests {
 
     #[test]
     fn info_renders_object_details() {
-        let (_dir, mut db) = fresh();
-        create(&mut db, "vol", "f32", 3, None).unwrap();
-        load(&mut db, "vol", "[0:9,0:9,0:9]", "random:7").unwrap();
+        let (_dir, db) = fresh();
+        create(&db, "vol", "f32", 3, None).unwrap();
+        load(&db, "vol", "[0:9,0:9,0:9]", "random:7").unwrap();
         let text = info(&db, Some("vol")).unwrap();
         assert!(text.contains("cell type:     f32"), "{text}");
         assert!(text.contains("current:       [0:9,0:9,0:9]"), "{text}");
@@ -518,46 +520,46 @@ mod tests {
 
     #[test]
     fn compress_and_retile_commands() {
-        let (_dir, mut db) = fresh();
-        create(&mut db, "m", "u32", 2, Some("regular:8")).unwrap();
-        load(&mut db, "m", "[0:63,0:63]", "zero").unwrap();
-        let msg = compress(&mut db, "m", "selective").unwrap();
+        let (_dir, db) = fresh();
+        create(&db, "m", "u32", 2, Some("regular:8")).unwrap();
+        load(&db, "m", "[0:63,0:63]", "zero").unwrap();
+        let msg = compress(&db, "m", "selective").unwrap();
         assert!(msg.contains("->"), "{msg}");
         let phys = db.object_physical_bytes("m").unwrap();
         assert!(phys < 1024, "all-zero object compresses tiny: {phys}");
-        let msg = retile(&mut db, "m", "regular:16").unwrap();
+        let msg = retile(&db, "m", "regular:16").unwrap();
         assert!(msg.contains("tiles"), "{msg}");
-        assert!(compress(&mut db, "m", "lzma").is_err());
+        assert!(compress(&db, "m", "lzma").is_err());
     }
 
     #[test]
     fn delete_command_shrinks_object() {
-        let (_dir, mut db) = fresh();
-        create(&mut db, "m", "u16", 2, Some("regular:2")).unwrap();
-        load(&mut db, "m", "[0:31,0:31]", "gradient").unwrap();
-        let msg = delete(&mut db, "m", "[16:31,0:31]").unwrap();
+        let (_dir, db) = fresh();
+        create(&db, "m", "u16", 2, Some("regular:2")).unwrap();
+        load(&db, "m", "[0:31,0:31]", "gradient").unwrap();
+        let msg = delete(&db, "m", "[16:31,0:31]").unwrap();
         assert!(msg.contains("removed 512 cells"), "{msg}");
         let text = info(&db, Some("m")).unwrap();
         assert!(text.contains("current:       [0:15,0:31]"), "{text}");
-        assert!(delete(&mut db, "m", "not-a-domain").is_err());
+        assert!(delete(&db, "m", "not-a-domain").is_err());
     }
 
     #[test]
     fn drop_and_errors() {
-        let (_dir, mut db) = fresh();
-        create(&mut db, "a", "u8", 1, None).unwrap();
-        drop_object(&mut db, "a").unwrap();
-        assert!(drop_object(&mut db, "a").is_err());
-        assert!(create(&mut db, "bad", "u128", 1, None).is_err());
-        assert!(load(&mut db, "missing", "[0:1]", "zero").is_err());
+        let (_dir, db) = fresh();
+        create(&db, "a", "u8", 1, None).unwrap();
+        drop_object(&db, "a").unwrap();
+        assert!(drop_object(&db, "a").is_err());
+        assert!(create(&db, "bad", "u128", 1, None).is_err());
+        assert!(load(&db, "missing", "[0:1]", "zero").is_err());
         assert!(query(&db, "SELECT nope FROM nope").is_err());
     }
 
     #[test]
     fn stats_command_reports_io_and_metrics() {
-        let (_dir, mut db) = fresh();
-        create(&mut db, "m", "u8", 2, Some("regular:4")).unwrap();
-        load(&mut db, "m", "[0:31,0:31]", "checker").unwrap();
+        let (_dir, db) = fresh();
+        create(&db, "m", "u8", 2, Some("regular:4")).unwrap();
+        load(&db, "m", "[0:31,0:31]", "checker").unwrap();
         query(&db, "SELECT m[0:7,0:7] FROM m").unwrap();
         let out = stats(&db).unwrap();
         assert!(out.contains("m: "), "{out}");
@@ -569,9 +571,9 @@ mod tests {
 
     #[test]
     fn trace_command_emits_jsonl_spans() {
-        let (_dir, mut db) = fresh();
-        create(&mut db, "t", "u8", 2, Some("regular:4")).unwrap();
-        load(&mut db, "t", "[0:15,0:15]", "gradient").unwrap();
+        let (_dir, db) = fresh();
+        create(&db, "t", "u8", 2, Some("regular:4")).unwrap();
+        load(&db, "t", "[0:15,0:15]", "gradient").unwrap();
         let out = trace(&db, "SELECT t[0:3,0:3] FROM t").unwrap();
         // The query span and at least one blob read must be present
         // (other tests may interleave extra global events; only containment
@@ -586,26 +588,26 @@ mod tests {
 
     #[test]
     fn retile_from_log_command() {
-        let (_dir, mut db) = fresh();
-        create(&mut db, "m", "u32", 2, Some("regular:16")).unwrap();
-        load(&mut db, "m", "[0:63,0:63]", "gradient").unwrap();
+        let (_dir, db) = fresh();
+        create(&db, "m", "u32", 2, Some("regular:16")).unwrap();
+        load(&db, "m", "[0:63,0:63]", "gradient").unwrap();
         for _ in 0..4 {
             query(&db, "SELECT m[0:7,0:7] FROM m").unwrap();
         }
-        let msg = retile(&mut db, "m", "--from-log:0:2:64").unwrap();
+        let msg = retile(&db, "m", "--from-log:0:2:64").unwrap();
         assert!(msg.contains("from access log"), "{msg}");
         // Defaults apply when thresholds are omitted.
         query(&db, "SELECT m[8:15,8:15] FROM m").unwrap();
-        let msg = retile(&mut db, "m", "--from-log").unwrap();
+        let msg = retile(&db, "m", "--from-log").unwrap();
         assert!(msg.contains("tiles"), "{msg}");
-        assert!(retile(&mut db, "m", "--from-log:x").is_err());
+        assert!(retile(&db, "m", "--from-log:x").is_err());
     }
 
     #[test]
     fn fsck_reports_clean_and_dirty_directories() {
-        let (dir, mut db) = fresh();
-        create(&mut db, "m", "u8", 2, Some("regular:4")).unwrap();
-        load(&mut db, "m", "[0:15,0:15]", "gradient").unwrap();
+        let (dir, db) = fresh();
+        create(&db, "m", "u8", 2, Some("regular:4")).unwrap();
+        load(&db, "m", "[0:15,0:15]", "gradient").unwrap();
         db.save(dir.path()).unwrap();
         let out = fsck(dir.path()).unwrap();
         assert!(out.contains("clean"), "{out}");
@@ -622,9 +624,9 @@ mod tests {
 
     #[test]
     fn client_command_round_trip() {
-        let (dir, mut db) = fresh();
-        create(&mut db, "img", "u8", 2, Some("regular:4")).unwrap();
-        load(&mut db, "img", "[0:15,0:15]", "gradient").unwrap();
+        let (dir, db) = fresh();
+        create(&db, "img", "u8", 2, Some("regular:4")).unwrap();
+        load(&db, "img", "[0:15,0:15]", "gradient").unwrap();
         db.save(dir.path()).unwrap();
         let handle = tilestore_server::serve(
             tilestore_engine::SharedDatabase::new(db),

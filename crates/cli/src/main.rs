@@ -55,7 +55,13 @@ fn main() {
     match run(&args) {
         Ok(output) => {
             if !output.is_empty() {
-                println!("{output}");
+                // A downstream consumer (`head`, `grep -q`) may close the
+                // pipe before the whole output is written; that is a normal
+                // exit for a filter-style CLI, not an error.
+                let mut stdout = std::io::stdout().lock();
+                if writeln!(stdout, "{output}").is_err() {
+                    std::process::exit(0);
+                }
             }
         }
         Err(message) => {
@@ -145,15 +151,13 @@ fn run(args: &[String]) -> CliResult<String> {
     }
 }
 
-/// Opens, mutates and saves the database around `f`.
+/// Opens the database, runs `f`, and commits the result durably.
 fn with_db<F>(dir: &Path, f: F) -> CliResult<String>
 where
-    F: FnOnce(
-        &mut tilestore_engine::Database<tilestore_storage::FilePageStore>,
-    ) -> CliResult<String>,
+    F: FnOnce(&tilestore_engine::Database<tilestore_storage::FilePageStore>) -> CliResult<String>,
 {
-    let mut db = commands::open(dir)?;
-    let out = f(&mut db)?;
+    let db = commands::open(dir)?;
+    let out = f(&db)?;
     db.save(dir).map_err(|e| e.to_string())?;
     Ok(out)
 }

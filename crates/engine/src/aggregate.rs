@@ -201,8 +201,9 @@ pub fn aggregate_array(
     Ok(acc.finish())
 }
 
-impl<S: PageStore> Database<S> {
-    /// Computes an aggregation over `region`, streaming tile by tile.
+impl<S: PageStore> crate::snapshot::Snapshot<S> {
+    /// Computes an aggregation over `region`, streaming tile by tile
+    /// against this snapshot's catalog.
     ///
     /// # Errors
     /// [`EngineError::UnknownObject`], domain validation errors, numeric
@@ -213,27 +214,28 @@ impl<S: PageStore> Database<S> {
         region: &Domain,
         kind: AggKind,
     ) -> Result<(AggValue, QueryStats)> {
-        let meta = self.object(name)?;
+        let entry = self.catalog.entry(name)?;
+        let meta = &entry.meta;
         if !meta.mdd_type.definition.admits(region) {
             return Err(EngineError::OutsideDefinitionDomain {
                 domain: region.to_string(),
                 definition: meta.mdd_type.definition.to_string(),
             });
         }
-        self.access_log(name)?.record(region);
+        entry.log.record(region);
         let cell_type = meta.mdd_type.cell.clone();
         let cell_size = cell_type.size;
         let mut acc = Accumulator::new(kind);
 
         let search = meta.index.search(region);
-        let io_before = self.io_stats().snapshot();
+        let io_before = self.blobs.stats().snapshot();
         let mut stats = QueryStats {
             index_nodes: search.nodes_visited,
             ..QueryStats::default()
         };
         for &pos in &search.hits {
             let tile = &meta.tiles[pos as usize];
-            let bytes = self.read_tile_payload(meta, tile)?;
+            let bytes = crate::snapshot::read_tile_payload(&self.blobs, meta, tile)?;
             let clip = tile
                 .domain
                 .intersection(region)
@@ -254,8 +256,24 @@ impl<S: PageStore> Database<S> {
         let total = region.cells();
         acc.feed_default(&cell_type, total - covered)?;
         stats.cells_defaulted = total - covered;
-        stats.io = self.io_stats().snapshot().since(&io_before);
+        stats.io = self.blobs.stats().snapshot().since(&io_before);
         Ok((acc.finish(), stats))
+    }
+}
+
+impl<S: PageStore> Database<S> {
+    /// Computes an aggregation over `region` against a fresh snapshot.
+    /// Shorthand for `begin_read().aggregate(..)`.
+    ///
+    /// # Errors
+    /// See [`crate::snapshot::Snapshot::aggregate`].
+    pub fn aggregate(
+        &self,
+        name: &str,
+        region: &Domain,
+        kind: AggKind,
+    ) -> Result<(AggValue, QueryStats)> {
+        self.begin_read().aggregate(name, region, kind)
     }
 }
 
@@ -272,7 +290,7 @@ mod tests {
     }
 
     fn setup() -> Database<tilestore_storage::MemPageStore> {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object(
             "grid",
             MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
@@ -338,7 +356,7 @@ mod tests {
     fn aggregate_matches_materialized_query() {
         let db = setup();
         let region = d("[3:17,2:18]");
-        let (arr, _) = db.range_query("grid", &region).unwrap();
+        let arr = db.range_query("grid", &region).unwrap().array;
         let brute: f64 = arr
             .to_cells::<u32>()
             .unwrap()
@@ -352,7 +370,7 @@ mod tests {
     #[test]
     fn numeric_kinds_reject_rgb() {
         use crate::celltype::Rgb;
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object(
             "img",
             MddType::new(CellType::of::<Rgb>(), DefDomain::unlimited(2).unwrap()),
@@ -375,7 +393,7 @@ mod tests {
     fn aggregate_array_matches_streaming() {
         let db = setup();
         let region = d("[2:9,3:12]");
-        let (arr, _) = db.range_query("grid", &region).unwrap();
+        let arr = db.range_query("grid", &region).unwrap().array;
         let cell = CellType::of::<u32>();
         for kind in [AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max] {
             let (streamed, _) = db.aggregate("grid", &region, kind).unwrap();

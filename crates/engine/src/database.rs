@@ -5,15 +5,19 @@
 //! MDD object index stores the spatial information of the object tiles."
 //!
 //! [`Database`] owns a [`BlobStore`] over any [`PageStore`] (file-backed,
-//! in-memory, or buffer-pooled) and a catalog of [`MddObject`]s. Inserts run
+//! in-memory, or buffer-pooled) and an immutable, `Arc`-swapped catalog of
+//! [`MddObject`]s (see [`crate::snapshot`]). Readers pin the catalog with
+//! [`Database::begin_read`] and execute lock-free against that snapshot;
+//! writers are serialized on an internal mutex, build the successor catalog
+//! copy-on-write, and publish it with one short pointer swap. Inserts run
 //! the object's tiling scheme (phase 1) and then materialize, store and
 //! index the tiles (phase 2). Queries ask the R+-tree for the intersected
 //! tiles, fetch each tile BLOB, and compose the result array, collecting
 //! the `t_ix`/`t_o`/`t_cpu` counters of §6 along the way.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use tilestore_compress::{CellContext, CompressionPolicy};
@@ -26,17 +30,20 @@ use tilestore_tiling::{AccessRecord, Scheme, StatisticTiling, TilingSpec, Tiling
 
 use crate::access::{AccessLog, AccessRegion};
 use crate::array::Array;
+use crate::builder::DatabaseBuilder;
 use crate::error::{EngineError, Result};
 use crate::mdd::{MddObject, MddType, TileMeta};
-use crate::stats::{InsertStats, QueryStats, RetileStats};
-
-/// State of one stored object: persistent metadata plus the runtime log.
-struct ObjectState {
-    meta: MddObject,
-    log: AccessLog,
-}
+use crate::snapshot::{
+    lock_recover, CatalogState, EpochTracker, ObjectEntry, QueryResult, Snapshot, WriteReceipt,
+};
+use crate::stats::{InsertStats, RetileStats};
 
 /// A database of tiled MDD objects over a page store `S`.
+///
+/// Every method takes `&self`: readers go through epoch-stamped snapshots
+/// ([`Database::begin_read`]) and never block behind writers; writers are
+/// serialized internally and only exclude readers for the nanoseconds of
+/// the catalog pointer swap.
 ///
 /// ```
 /// use tilestore_engine::{Array, CellType, Database, MddType};
@@ -44,7 +51,7 @@ struct ObjectState {
 /// use tilestore_tiling::{AlignedTiling, Scheme};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut db = Database::in_memory()?;
+/// let db = Database::in_memory()?;
 /// db.create_object(
 ///     "img",
 ///     MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2)?),
@@ -53,20 +60,32 @@ struct ObjectState {
 /// let domain: Domain = "[0:63,0:63]".parse()?;
 /// db.insert("img", &Array::from_fn(domain, |p| (p[0] + p[1]) as u8)?)?;
 ///
-/// let (crop, stats) = db.range_query("img", &"[8:15,8:15]".parse()?)?;
-/// assert_eq!(crop.domain().cells(), 64);
-/// assert!(stats.tiles_read >= 1);
+/// // Queries execute against an epoch-stamped snapshot; a concurrent
+/// // retile can commit mid-query without disturbing it.
+/// let snap = db.begin_read();
+/// let crop = snap.range_query("img", &"[8:15,8:15]".parse()?)?;
+/// assert_eq!(crop.array.domain().cells(), 64);
+/// assert!(crop.stats.tiles_read >= 1);
+/// assert_eq!(crop.epoch, snap.epoch());
 /// # Ok(())
 /// # }
 /// ```
 pub struct Database<S: PageStore> {
-    blobs: BlobStore<S>,
-    objects: BTreeMap<String, ObjectState>,
-    recorder: Option<AccessRecorder>,
+    blobs: Arc<BlobStore<S>>,
+    /// The current catalog. The mutex is held only for the `Arc` clone on
+    /// read and the pointer swap on publish — never across I/O.
+    catalog: Mutex<Arc<CatalogState>>,
+    tracker: Arc<EpochTracker>,
+    /// Serializes writers. Readers never touch it.
+    writer: Mutex<()>,
+    recorder: Mutex<Option<Arc<AccessRecorder>>>,
     /// Optional thread pool: when attached, tile fetch/decode on the query
     /// path and tile materialization on insert/retile fan out across its
-    /// workers ([`Database::attach_executor`]).
-    executor: Option<Arc<ThreadPool>>,
+    /// workers ([`Database::set_executor`]).
+    executor: Mutex<Option<Arc<ThreadPool>>>,
+    /// Compression policy applied to objects created without an explicit
+    /// one (configured via [`DatabaseBuilder::compression`]).
+    default_compression: CompressionPolicy,
     /// Epoch of the last durable catalog commit (0 before any commit);
     /// bumped by `save`, restored by the persistence layer on reopen.
     commit_epoch: AtomicU64,
@@ -83,27 +102,32 @@ impl Database<MemPageStore> {
 }
 
 impl<S: PageStore> Database<S> {
+    /// A builder unifying construction ([`Database::in_memory`] /
+    /// [`Database::with_store`] / `open_dir`) with the optional recorder,
+    /// executor and default-compression settings.
+    #[must_use]
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::new()
+    }
+
     /// A database over an arbitrary page store (e.g. a
     /// [`tilestore_storage::FilePageStore`] or a
     /// [`tilestore_storage::BufferPool`]).
     #[must_use]
     pub fn with_store(store: S) -> Self {
-        Database {
-            blobs: BlobStore::new(store),
-            objects: BTreeMap::new(),
-            recorder: None,
-            executor: None,
-            commit_epoch: AtomicU64::new(0),
-        }
+        Database::from_blob_store(BlobStore::new(store))
     }
 
     /// A database over a pre-built BLOB store (catalog restore path).
     pub(crate) fn from_blob_store(blobs: BlobStore<S>) -> Self {
         Database {
-            blobs,
-            objects: BTreeMap::new(),
-            recorder: None,
-            executor: None,
+            blobs: Arc::new(blobs),
+            catalog: Mutex::new(Arc::new(CatalogState::empty(0))),
+            tracker: Arc::new(EpochTracker::default()),
+            writer: Mutex::new(()),
+            recorder: Mutex::new(None),
+            executor: Mutex::new(None),
+            default_compression: CompressionPolicy::None,
             commit_epoch: AtomicU64::new(0),
         }
     }
@@ -111,6 +135,8 @@ impl<S: PageStore> Database<S> {
     /// Epoch of the last durable catalog commit, 0 before any commit. Each
     /// successful `save` bumps it by one; reopening restores the persisted
     /// value, so a reopened database continues the sequence monotonically.
+    /// Distinct from the snapshot epoch ([`Snapshot::epoch`]), which every
+    /// in-memory writer commit advances.
     #[must_use]
     pub fn catalog_epoch(&self) -> u64 {
         self.commit_epoch.load(Ordering::Acquire)
@@ -121,44 +147,79 @@ impl<S: PageStore> Database<S> {
         self.commit_epoch.store(epoch, Ordering::Release);
     }
 
+    /// Seeds the snapshot epoch (catalog restore path): a reopened
+    /// database continues the epoch sequence from the persisted value
+    /// instead of restarting at zero.
+    pub(crate) fn set_snapshot_epoch(&self, version: u64) {
+        let mut guard = lock_recover(&self.catalog);
+        *guard = Arc::new(CatalogState {
+            version,
+            objects: guard.objects.clone(),
+        });
+    }
+
+    /// Sets the default compression policy for newly created objects
+    /// (builder path).
+    pub(crate) fn set_default_compression(&mut self, policy: CompressionPolicy) {
+        self.default_compression = policy;
+    }
+
     /// Attaches a persistent access recorder: every executed range query's
     /// intersected region is appended to its log, so re-tiling can later run
     /// from the real observed workload ([`Database::auto_retile_from_log`]).
     /// File-backed databases opened through the persistence layer get one
     /// automatically.
+    pub fn set_recorder(&self, recorder: AccessRecorder) {
+        *lock_recover(&self.recorder) = Some(Arc::new(recorder));
+    }
+
+    /// Deprecated alias of [`Database::set_recorder`] (which takes `&self`).
+    #[deprecated(note = "use `set_recorder` or `DatabaseBuilder::recorder`")]
     pub fn attach_recorder(&mut self, recorder: AccessRecorder) {
-        self.recorder = Some(recorder);
+        self.set_recorder(recorder);
     }
 
     /// The attached access recorder, if any.
     #[must_use]
-    pub fn recorder(&self) -> Option<&AccessRecorder> {
-        self.recorder.as_ref()
+    pub fn recorder(&self) -> Option<Arc<AccessRecorder>> {
+        lock_recover(&self.recorder).clone()
     }
 
     /// Attaches a thread pool. Queries then scatter tile fetch/decode/clip
     /// across the pool's workers (the result array is split into disjoint
     /// bands along axis 0), and insert/retile materialize and compress
     /// tiles in parallel. Without an executor every path stays serial.
+    pub fn set_executor(&self, pool: Arc<ThreadPool>) {
+        *lock_recover(&self.executor) = Some(pool);
+    }
+
+    /// Deprecated alias of [`Database::set_executor`] (which takes `&self`).
+    #[deprecated(note = "use `set_executor` or `DatabaseBuilder::executor`")]
     pub fn attach_executor(&mut self, pool: Arc<ThreadPool>) {
-        self.executor = Some(pool);
+        self.set_executor(pool);
     }
 
     /// The attached executor, if any.
     #[must_use]
-    pub fn executor(&self) -> Option<&Arc<ThreadPool>> {
-        self.executor.as_ref()
+    pub fn executor(&self) -> Option<Arc<ThreadPool>> {
+        lock_recover(&self.executor).clone()
     }
 
     /// Reinstalls a persisted object (catalog restore path).
-    pub(crate) fn restore_object(&mut self, meta: MddObject) {
-        self.objects.insert(
+    pub(crate) fn restore_object(&self, meta: MddObject) {
+        let mut guard = lock_recover(&self.catalog);
+        let mut objects = guard.objects.clone();
+        objects.insert(
             meta.name.clone(),
-            ObjectState {
-                meta,
-                log: AccessLog::new(),
+            ObjectEntry {
+                meta: Arc::new(meta),
+                log: Arc::new(AccessLog::new()),
             },
         );
+        *guard = Arc::new(CatalogState {
+            version: guard.version,
+            objects,
+        });
     }
 
     /// The shared I/O statistics of the underlying BLOB store.
@@ -173,45 +234,118 @@ impl<S: PageStore> Database<S> {
         &self.blobs
     }
 
-    /// Mutable BLOB store access for the modification paths.
-    pub(crate) fn blob_store_mut(&mut self) -> &mut BlobStore<S> {
-        &mut self.blobs
+    /// The current catalog (an `Arc` clone; the lock is held only for the
+    /// clone).
+    pub(crate) fn current_catalog(&self) -> Arc<CatalogState> {
+        Arc::clone(&lock_recover(&self.catalog))
     }
 
-    /// Mutable object metadata (crate-internal).
-    pub(crate) fn object_mut(&mut self, name: &str) -> Result<&mut MddObject> {
-        self.objects
-            .get_mut(name)
-            .map(|s| &mut s.meta)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))
+    /// Takes the writer mutex (crate-internal: `save` serializes against
+    /// writers with it).
+    pub(crate) fn lock_writer(&self) -> MutexGuard<'_, ()> {
+        lock_recover(&self.writer)
+    }
+
+    /// Ids of blobs retired by past writer commits but still readable by
+    /// live snapshots; `save` excludes them from the exported directory.
+    pub(crate) fn pending_retired_blobs(&self) -> BTreeSet<u64> {
+        self.tracker.pending_blobs()
+    }
+
+    /// Begins a read session: pins the current catalog at its epoch and
+    /// returns a [`Snapshot`] that queries it without ever taking a
+    /// database-wide lock. Tiles visible to the snapshot stay readable —
+    /// even across concurrent re-tiles and drops — until it is dropped.
+    #[must_use]
+    pub fn begin_read(&self) -> Snapshot<S> {
+        let catalog = self.current_catalog();
+        self.tracker.acquire(catalog.version);
+        tilestore_obs::hot().snapshots_active.add(1);
+        Snapshot {
+            catalog,
+            blobs: Arc::clone(&self.blobs),
+            tracker: Arc::clone(&self.tracker),
+            executor: self.executor(),
+            recorder: self.recorder(),
+        }
+    }
+
+    /// Publishes a successor catalog, returning its epoch. The catalog
+    /// mutex is held only for the swap itself; the time inside it is
+    /// recorded to the `engine.writer_swap_ns` histogram — that interval
+    /// is the *only* wait a writer can ever impose on readers.
+    pub(crate) fn swap_catalog(&self, objects: BTreeMap<String, ObjectEntry>) -> u64 {
+        let started = Instant::now();
+        let mut guard = lock_recover(&self.catalog);
+        let version = guard.version + 1;
+        *guard = Arc::new(CatalogState { version, objects });
+        drop(guard);
+        tilestore_obs::hot()
+            .writer_swap_ns
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        version
+    }
+
+    /// Hands blobs unreferenced since `epoch` to the tracker and deletes
+    /// whatever is already reclaimable (pages go to the PR-3 quarantine,
+    /// becoming reusable at the next durable commit).
+    pub(crate) fn retire_blobs(&self, epoch: u64, retired: Vec<BlobId>) {
+        for id in self.tracker.retire(epoch, retired) {
+            let _ = self.blobs.delete(id);
+        }
+    }
+
+    /// Installs a new version of one object into a successor catalog and
+    /// publishes it; `retired` lists the blobs the old version referenced
+    /// and the new one does not. Returns the new epoch.
+    pub(crate) fn install_object(
+        &self,
+        current: &CatalogState,
+        name: &str,
+        meta: MddObject,
+        retired: Vec<BlobId>,
+    ) -> u64 {
+        let mut objects = current.objects.clone();
+        let log = objects
+            .get(name)
+            .map(|e| Arc::clone(&e.log))
+            .unwrap_or_else(|| Arc::new(AccessLog::new()));
+        objects.insert(
+            name.to_string(),
+            ObjectEntry {
+                meta: Arc::new(meta),
+                log,
+            },
+        );
+        let epoch = self.swap_catalog(objects);
+        self.retire_blobs(epoch, retired);
+        epoch
     }
 
     /// Names of all stored objects.
     #[must_use]
     pub fn object_names(&self) -> Vec<String> {
-        self.objects.keys().cloned().collect()
+        self.current_catalog().objects.keys().cloned().collect()
     }
 
-    /// Metadata of one object.
+    /// Metadata of one object (as of the current catalog).
     ///
     /// # Errors
     /// [`EngineError::UnknownObject`].
-    pub fn object(&self, name: &str) -> Result<&MddObject> {
-        self.objects
-            .get(name)
-            .map(|s| &s.meta)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))
+    pub fn object(&self, name: &str) -> Result<Arc<MddObject>> {
+        self.current_catalog()
+            .entry(name)
+            .map(|e| Arc::clone(&e.meta))
     }
 
     /// The access log of one object.
     ///
     /// # Errors
     /// [`EngineError::UnknownObject`].
-    pub fn access_log(&self, name: &str) -> Result<&AccessLog> {
-        self.objects
-            .get(name)
-            .map(|s| &s.log)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))
+    pub fn access_log(&self, name: &str) -> Result<Arc<AccessLog>> {
+        self.current_catalog()
+            .entry(name)
+            .map(|e| Arc::clone(&e.log))
     }
 
     /// Sets the per-tile compression policy of an object. Applies to tiles
@@ -221,12 +355,13 @@ impl<S: PageStore> Database<S> {
     ///
     /// # Errors
     /// [`EngineError::UnknownObject`].
-    pub fn set_compression(&mut self, name: &str, policy: CompressionPolicy) -> Result<()> {
-        let state = self
-            .objects
-            .get_mut(name)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
-        state.meta.compression = policy;
+    pub fn set_compression(&self, name: &str, policy: CompressionPolicy) -> Result<()> {
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let entry = cat.entry(name)?;
+        let mut meta = (*entry.meta).clone();
+        meta.compression = policy;
+        self.install_object(&cat, name, meta, Vec::new());
         Ok(())
     }
 
@@ -250,41 +385,41 @@ impl<S: PageStore> Database<S> {
     /// # Errors
     /// [`EngineError::ObjectExists`] for duplicate names;
     /// [`EngineError::Index`] for inconsistent dimensionality.
-    pub fn create_object(&mut self, name: &str, mdd_type: MddType, scheme: Scheme) -> Result<()> {
-        if self.objects.contains_key(name) {
+    pub fn create_object(&self, name: &str, mdd_type: MddType, scheme: Scheme) -> Result<()> {
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        if cat.objects.contains_key(name) {
             return Err(EngineError::ObjectExists(name.to_string()));
         }
         let index = RPlusTree::new(mdd_type.dim())?;
-        self.objects.insert(
-            name.to_string(),
-            ObjectState {
-                meta: MddObject {
-                    name: name.to_string(),
-                    mdd_type,
-                    scheme,
-                    compression: CompressionPolicy::None,
-                    tiles: Vec::new(),
-                    index,
-                    current_domain: None,
-                },
-                log: AccessLog::new(),
-            },
-        );
+        let meta = MddObject {
+            name: name.to_string(),
+            mdd_type,
+            scheme,
+            compression: self.default_compression.clone(),
+            tiles: Vec::new(),
+            index,
+            current_domain: None,
+        };
+        self.install_object(&cat, name, meta, Vec::new());
         Ok(())
     }
 
-    /// Drops an object, freeing its BLOBs.
+    /// Drops an object. Its BLOBs are retired: deleted immediately when no
+    /// snapshot is live, otherwise when the last snapshot that can still
+    /// read them drops.
     ///
     /// # Errors
-    /// [`EngineError::UnknownObject`]; BLOB deletion errors.
-    pub fn drop_object(&mut self, name: &str) -> Result<()> {
-        let state = self
-            .objects
-            .remove(name)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
-        for tile in &state.meta.tiles {
-            self.blobs.delete(tile.blob)?;
-        }
+    /// [`EngineError::UnknownObject`].
+    pub fn drop_object(&self, name: &str) -> Result<()> {
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let entry = cat.entry(name)?;
+        let retired: Vec<BlobId> = entry.meta.tiles.iter().map(|t| t.blob).collect();
+        let mut objects = cat.objects.clone();
+        objects.remove(name);
+        let epoch = self.swap_catalog(objects);
+        self.retire_blobs(epoch, retired);
         Ok(())
     }
 
@@ -298,53 +433,54 @@ impl<S: PageStore> Database<S> {
     ///
     /// # Errors
     /// Type/domain validation errors, tiling errors and storage errors.
-    pub fn insert(&mut self, name: &str, array: &Array) -> Result<InsertStats> {
+    pub fn insert(&self, name: &str, array: &Array) -> Result<WriteReceipt<InsertStats>> {
         let _span = tilestore_obs::tracer().span_with("insert", || {
             format!("object={name} domain={}", array.domain())
         });
         let started = Instant::now();
-        let state = self
-            .objects
-            .get_mut(name)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
-        let cell_size = state.meta.cell_size();
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let entry = cat.entry(name)?;
+        let meta = &entry.meta;
+        let cell_size = meta.cell_size();
         if array.cell_size() != cell_size {
             return Err(EngineError::CellSizeMismatch {
                 expected: cell_size,
                 got: array.cell_size(),
             });
         }
-        if !state.meta.mdd_type.definition.admits(array.domain()) {
+        if !meta.mdd_type.definition.admits(array.domain()) {
             return Err(EngineError::OutsideDefinitionDomain {
                 domain: array.domain().to_string(),
-                definition: state.meta.mdd_type.definition.to_string(),
+                definition: meta.mdd_type.definition.to_string(),
             });
         }
-        if !state.meta.index.search(array.domain()).hits.is_empty() {
+        if !meta.index.search(array.domain()).hits.is_empty() {
             return Err(EngineError::OverlapsExistingTiles {
                 domain: array.domain().to_string(),
             });
         }
 
         // Phase 1: the tiling specification.
-        let spec = state.meta.scheme.partition(array.domain(), cell_size)?;
+        let spec = meta.scheme.partition(array.domain(), cell_size)?;
 
         // Phase 2: materialize, store and index the tiles. With an executor
         // attached, extraction + compression + BLOB writes scatter across the
-        // pool; indexing stays serial (the R+-tree is not concurrent). A
-        // mid-scatter failure can leave already-written BLOBs unindexed —
+        // pool; the catalog update below is a single swap either way. A
+        // mid-scatter failure leaves already-written BLOBs uncommitted —
         // they surface as reclaimable orphans, exactly like a crash between
         // page writes and the catalog commit.
         let io_before = self.blobs.stats().snapshot();
         let mut stats = InsertStats::default();
         let ctx = CellContext {
             cell_size,
-            default: &state.meta.mdd_type.cell.default,
+            default: &meta.mdd_type.cell.default,
         };
-        let pool = self.executor.as_deref().filter(|_| spec.len() > 1);
+        let pool_handle = self.executor();
+        let pool = pool_handle.as_deref().filter(|_| spec.len() > 1);
         let created: Vec<(Domain, BlobId)> = if let Some(pool) = pool {
-            let blobs = &self.blobs;
-            let compression = &state.meta.compression;
+            let blobs: &BlobStore<S> = &self.blobs;
+            let compression = &meta.compression;
             let ctx = &ctx;
             pool.scatter(
                 spec.tiles().to_vec(),
@@ -362,237 +498,57 @@ impl<S: PageStore> Database<S> {
             let mut created = Vec::with_capacity(spec.len());
             for tile_domain in spec.tiles() {
                 let tile = array.extract(tile_domain)?;
-                let stream =
-                    tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
-                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
+                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
                 created.push((tile_domain.clone(), self.blobs.create(&stream)?));
             }
             created
         };
+        let mut new_meta = (**meta).clone();
         for (tile_domain, blob) in created {
-            let pos = state.meta.tiles.len() as u64;
-            state.meta.tiles.push(TileMeta {
+            let pos = new_meta.tiles.len() as u64;
+            new_meta.tiles.push(TileMeta {
                 domain: tile_domain.clone(),
                 blob,
             });
-            state.meta.index.insert(tile_domain, pos)?;
+            new_meta.index.insert(tile_domain, pos)?;
             stats.tiles_created += 1;
         }
         let io = self.blobs.stats().snapshot().since(&io_before);
         stats.bytes_written = io.bytes_written;
         stats.pages_written = io.pages_written;
 
-        state.meta.current_domain = Some(match state.meta.current_domain.take() {
+        new_meta.current_domain = Some(match new_meta.current_domain.take() {
             Some(cur) => cur.hull(array.domain())?,
             None => array.domain().clone(),
         });
+        let epoch = self.install_object(&cat, name, new_meta, Vec::new());
         stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        Ok(stats)
+        Ok(WriteReceipt { stats, epoch })
     }
 
-    /// Executes a range query (§5.1 type (b)): returns the sub-array over
-    /// `region`, with uncovered cells holding the type's default value, plus
-    /// the execution counters.
+    /// Executes a range query (§5.1 type (b)) against a fresh snapshot:
+    /// returns the sub-array over `region` (uncovered cells holding the
+    /// type's default value), the execution counters, and the observed
+    /// epoch. Shorthand for `begin_read().range_query(..)`.
     ///
     /// # Errors
     /// [`EngineError::UnknownObject`], domain validation errors, storage
     /// errors.
-    pub fn range_query(&self, name: &str, region: &Domain) -> Result<(Array, QueryStats)> {
-        let state = self
-            .objects
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
-        if !state.meta.mdd_type.definition.admits(region) {
-            return Err(EngineError::OutsideDefinitionDomain {
-                domain: region.to_string(),
-                definition: state.meta.mdd_type.definition.to_string(),
-            });
-        }
-        state.log.record(region);
-        if let Some(rec) = &self.recorder {
-            if rec.record(name, &region.to_string()).is_err() {
-                tilestore_obs::metrics()
-                    .counter("engine.recorder_errors")
-                    .inc();
-            }
-        }
-        self.execute_range(&state.meta, region)
+    pub fn range_query(&self, name: &str, region: &Domain) -> Result<QueryResult> {
+        self.begin_read().range_query(name, region)
     }
 
-    /// Executes any §5.1 access. Sections (type (d)) come back with the
-    /// fixed axes dropped from the result's dimensionality.
+    /// Executes any §5.1 access against a fresh snapshot. Sections (type
+    /// (d)) come back with the fixed axes dropped from the result's
+    /// dimensionality.
     ///
     /// # Errors
     /// [`EngineError::EmptyObject`] when the object holds no cells (the
     /// access cannot be resolved against a current domain), plus the errors
     /// of [`Database::range_query`].
-    pub fn query(&self, name: &str, access: &AccessRegion) -> Result<(Array, QueryStats)> {
-        let state = self
-            .objects
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
-        let current = state
-            .meta
-            .current_domain
-            .as_ref()
-            .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
-        let (region, fixed_axes) = access.resolve(current)?;
-        let (array, stats) = self.range_query(name, &region)?;
-        if fixed_axes.is_empty() {
-            return Ok((array, stats));
-        }
-        let section_domain = region.project_out(&fixed_axes)?;
-        Ok((array.reshaped(section_domain)?, stats))
-    }
-
-    /// Fetches and decompresses one tile's cell payload.
-    pub(crate) fn read_tile_payload(&self, meta: &MddObject, tile: &TileMeta) -> Result<Vec<u8>> {
-        let stream = self.blobs.read(tile.blob)?;
-        let ctx = CellContext {
-            cell_size: meta.cell_size(),
-            default: &meta.mdd_type.cell.default,
-        };
-        tilestore_compress::decompress(&stream, &ctx)
-            .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))
-    }
-
-    /// Shared query executor: index lookup, tile fetch, composition.
-    fn execute_range(&self, meta: &MddObject, region: &Domain) -> Result<(Array, QueryStats)> {
-        let _span = tilestore_obs::tracer()
-            .span_with("query", || format!("object={} region={region}", meta.name));
-        let started = Instant::now();
-        let cell_size = meta.cell_size();
-        let search = meta.index.search(region);
-        let mut result = Array::filled(region.clone(), &meta.mdd_type.cell.default)?;
-        let io_before = self.blobs.stats().snapshot();
-        let mut stats = QueryStats {
-            index_nodes: search.nodes_visited,
-            ..QueryStats::default()
-        };
-        let pool = self
-            .executor
-            .as_deref()
-            .filter(|_| search.hits.len() > 1 && region.extent(0) > 1);
-        if let Some(pool) = pool {
-            stats.cells_copied =
-                self.fetch_tiles_parallel(pool, meta, region, &search.hits, result.bytes_mut())?;
-            for &pos in &search.hits {
-                stats.tiles_read += 1;
-                stats.cells_processed += meta.tiles[pos as usize].domain.cells();
-            }
-        } else {
-            for &pos in &search.hits {
-                let tile = &meta.tiles[pos as usize];
-                let bytes = self.read_tile_payload(meta, tile)?;
-                let tile_array = Array::from_bytes(tile.domain.clone(), cell_size, bytes)?;
-                let copied = result.paste(&tile_array)?;
-                stats.tiles_read += 1;
-                stats.cells_processed += tile.domain.cells();
-                stats.cells_copied += copied;
-            }
-        }
-        stats.io = self.blobs.stats().snapshot().since(&io_before);
-        stats.cells_defaulted = region.cells() - stats.cells_copied;
-        stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let hot = tilestore_obs::hot();
-        hot.queries.inc();
-        hot.query_latency_ns.record(stats.elapsed_ns);
-        hot.query_tiles.record(stats.tiles_read);
-        Ok((result, stats))
-    }
-
-    /// Parallel tile composition: splits the query region (and the result
-    /// byte buffer) into disjoint contiguous bands along axis 0 and scatters
-    /// one task per band across the pool. Each band fetches the tiles it
-    /// intersects into a reused scratch buffer, decodes them zero-copy where
-    /// the codec allows, and pastes the clipped region straight into its
-    /// slice of the result. Bands partition the region, so every result cell
-    /// is written by exactly one task; band boundaries snap to tile-row
-    /// starts, so with an aligned tiling no tile is fetched twice (a tile
-    /// crossing a cut that could not snap is fetched once per band it
-    /// touches).
-    ///
-    /// Returns the total number of cells copied from tiles.
-    fn fetch_tiles_parallel(
-        &self,
-        pool: &ThreadPool,
-        meta: &MddObject,
-        region: &Domain,
-        hits: &[u64],
-        out: &mut [u8],
-    ) -> Result<u64> {
-        let cell_size = meta.cell_size();
-        let rows = usize::try_from(region.extent(0)).map_err(|_| {
-            EngineError::Catalog(format!("query region too large for this host: {region}"))
-        })?;
-        let slab = out.len() / rows; // bytes per axis-0 index
-        let bands = (pool.workers() + 1).min(rows);
-        let lo0 = region.lo(0);
-        let hi0 = lo0 + rows as i64;
-        // Snap band boundaries to rows where a tile begins: a cut through
-        // the middle of a tile makes both neighbouring bands read it, so
-        // the ideal even split is adjusted to the nearest tile-row start.
-        // With an aligned tiling this eliminates duplicate reads entirely.
-        let mut tile_starts: Vec<i64> = hits
-            .iter()
-            .map(|&pos| meta.tiles[pos as usize].domain.lo(0))
-            .filter(|&s| s > lo0 && s < hi0)
-            .collect();
-        tile_starts.sort_unstable();
-        tile_starts.dedup();
-        let mut cuts: Vec<i64> = vec![lo0];
-        for b in 1..bands {
-            let ideal = lo0 + (rows * b / bands) as i64;
-            let snapped = tile_starts
-                .iter()
-                .copied()
-                .min_by_key(|s| (s - ideal).abs())
-                .unwrap_or(ideal);
-            if snapped > *cuts.last().expect("cuts is non-empty") {
-                cuts.push(snapped);
-            }
-        }
-        cuts.push(hi0);
-        let mut tasks: Vec<(Domain, &mut [u8])> = Vec::with_capacity(cuts.len() - 1);
-        let mut rest = out;
-        for w in cuts.windows(2) {
-            let len = (w[1] - w[0]) as usize;
-            let (head, tail) = rest.split_at_mut(len * slab);
-            rest = tail;
-            let band_range = tilestore_geometry::AxisRange::new(w[0], w[1] - 1)?;
-            tasks.push((region.with_axis(0, band_range)?, head));
-        }
-        let ctx = CellContext {
-            cell_size,
-            default: &meta.mdd_type.cell.default,
-        };
-        let copied = pool.scatter(tasks, |_, (band_dom, band_out)| -> Result<u64> {
-            let mut scratch = Vec::new();
-            let mut copied = 0u64;
-            for &pos in hits {
-                let tile = &meta.tiles[pos as usize];
-                let Some(overlap) = tile.domain.intersection(&band_dom) else {
-                    continue;
-                };
-                let n = self.blobs.read_into(tile.blob, &mut scratch)?;
-                let payload = tilestore_compress::decompress_view(&scratch[..n], &ctx)
-                    .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))?;
-                copied += copy_region(
-                    &tile.domain,
-                    &payload,
-                    &band_dom,
-                    band_out,
-                    &overlap,
-                    cell_size,
-                )?;
-            }
-            Ok(copied)
-        });
-        let mut total = 0u64;
-        for band in copied {
-            total += band?;
-        }
-        Ok(total)
+    pub fn query(&self, name: &str, access: &AccessRegion) -> Result<QueryResult> {
+        self.begin_read().query(name, access)
     }
 
     /// Replaces an object's tiling with a new scheme, rewriting the tiles.
@@ -600,44 +556,45 @@ impl<S: PageStore> Database<S> {
     /// New tiles are materialized from the old ones; new-tiling tiles that
     /// intersect no stored data remain unmaterialized, preserving partial
     /// coverage (a new tile partially covering old data stores default
-    /// values for the uncovered cells it spans).
+    /// values for the uncovered cells it spans). Queries running against a
+    /// snapshot taken before the retile keep reading the *old* tiles; the
+    /// old BLOBs are reclaimed when the last such snapshot drops.
     ///
     /// # Errors
     /// [`EngineError::UnknownObject`], [`EngineError::EmptyObject`],
     /// tiling and storage errors.
-    pub fn retile(&mut self, name: &str, scheme: Scheme) -> Result<RetileStats> {
+    pub fn retile(&self, name: &str, scheme: Scheme) -> Result<WriteReceipt<RetileStats>> {
         let _span = tilestore_obs::tracer().span_with("retile", || format!("object={name}"));
         let started = Instant::now();
-        let state = self
-            .objects
-            .get_mut(name)
-            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))?;
-        let current = state
-            .meta
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let meta = Arc::clone(&cat.entry(name)?.meta);
+        let current = meta
             .current_domain
             .clone()
             .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
-        let cell_size = state.meta.cell_size();
+        let cell_size = meta.cell_size();
         let spec: TilingSpec = scheme.partition(&current, cell_size)?;
 
         let mut stats = RetileStats {
-            tiles_before: state.meta.tiles.len() as u64,
+            tiles_before: meta.tiles.len() as u64,
             ..RetileStats::default()
         };
         // Materialize the new tiles. With an executor attached, each new
         // tile (index probe, old-tile fetch, recomposition, compression,
-        // BLOB write) is an independent task; the index/tile-list swap below
-        // stays serial.
+        // BLOB write) is an independent task; the catalog swap below stays
+        // a single pointer exchange.
         let mut new_tiles: Vec<TileMeta> = Vec::with_capacity(spec.len());
-        let default = state.meta.mdd_type.cell.default.clone();
+        let default = meta.mdd_type.cell.default.clone();
         let ctx = CellContext {
             cell_size,
             default: &default,
         };
-        let pool = self.executor.as_deref().filter(|_| spec.len() > 1);
+        let pool_handle = self.executor();
+        let pool = pool_handle.as_deref().filter(|_| spec.len() > 1);
         let materialized: Vec<Option<(Domain, BlobId, u64)>> = if let Some(pool) = pool {
-            let blobs = &self.blobs;
-            let meta_ref = &state.meta;
+            let blobs: &BlobStore<S> = &self.blobs;
+            let meta_ref: &MddObject = &meta;
             let ctx = &ctx;
             let default = &default;
             pool.scatter(
@@ -682,14 +639,14 @@ impl<S: PageStore> Database<S> {
         } else {
             let mut materialized = Vec::with_capacity(spec.len());
             for tile_domain in spec.tiles() {
-                let hits = state.meta.index.search(tile_domain).hits;
+                let hits = meta.index.search(tile_domain).hits;
                 if hits.is_empty() {
                     materialized.push(None); // stays uncovered
                     continue;
                 }
                 let mut tile = Array::filled(tile_domain.clone(), &default)?;
                 for pos in hits {
-                    let old = &state.meta.tiles[pos as usize];
+                    let old = &meta.tiles[pos as usize];
                     let stream = self.blobs.read(old.blob)?;
                     let bytes = tilestore_compress::decompress(&stream, &ctx).map_err(|e| {
                         EngineError::Catalog(format!("tile decompression failed: {e}"))
@@ -697,9 +654,8 @@ impl<S: PageStore> Database<S> {
                     let old_array = Array::from_bytes(old.domain.clone(), cell_size, bytes)?;
                     tile.paste(&old_array)?;
                 }
-                let stream =
-                    tilestore_compress::compress(&state.meta.compression, tile.bytes(), &ctx)
-                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
+                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
                 let blob = self.blobs.create(&stream)?;
                 materialized.push(Some((tile_domain.clone(), blob, tile.size_bytes())));
             }
@@ -712,25 +668,27 @@ impl<S: PageStore> Database<S> {
                 blob,
             });
         }
-        // Swap in the new tiles and rebuild the index.
-        for old in &state.meta.tiles {
-            self.blobs.delete(old.blob)?;
-        }
+        // Build the successor object: new tiles, rebuilt index, new scheme.
+        // The old tiles are retired, not deleted — live snapshots keep
+        // reading them.
         let entries: Vec<(Domain, u64)> = new_tiles
             .iter()
             .enumerate()
             .map(|(i, t)| (t.domain.clone(), i as u64))
             .collect();
-        state.meta.index = RPlusTree::bulk_load(
-            state.meta.mdd_type.dim(),
+        let mut new_meta = (*meta).clone();
+        new_meta.index = RPlusTree::bulk_load(
+            new_meta.mdd_type.dim(),
             tilestore_index::DEFAULT_FANOUT,
             entries,
         )?;
-        state.meta.tiles = new_tiles;
-        state.meta.scheme = scheme;
-        stats.tiles_after = state.meta.tiles.len() as u64;
+        stats.tiles_after = new_tiles.len() as u64;
+        new_meta.tiles = new_tiles;
+        new_meta.scheme = scheme;
+        let retired: Vec<BlobId> = meta.tiles.iter().map(|t| t.blob).collect();
+        let epoch = self.install_object(&cat, name, new_meta, retired);
         stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        Ok(stats)
+        Ok(WriteReceipt { stats, epoch })
     }
 
     /// Automatic tiling based on access statistics (§5.2): derives a
@@ -739,12 +697,12 @@ impl<S: PageStore> Database<S> {
     /// # Errors
     /// The errors of [`Database::retile`].
     pub fn auto_retile(
-        &mut self,
+        &self,
         name: &str,
         distance_threshold: u64,
         frequency_threshold: u64,
         max_tile_size: u64,
-    ) -> Result<RetileStats> {
+    ) -> Result<WriteReceipt<RetileStats>> {
         let records = self.access_log(name)?.to_records();
         let scheme = Scheme::Statistic(StatisticTiling::new(
             records,
@@ -764,17 +722,14 @@ impl<S: PageStore> Database<S> {
     /// [`EngineError::NoAccessRecorder`] when no recorder is attached;
     /// otherwise the errors of [`Database::retile`].
     pub fn auto_retile_from_log(
-        &mut self,
+        &self,
         name: &str,
         distance_threshold: u64,
         frequency_threshold: u64,
         max_tile_size: u64,
-    ) -> Result<RetileStats> {
+    ) -> Result<WriteReceipt<RetileStats>> {
         self.object(name)?; // surface UnknownObject before recorder errors
-        let recorder = self
-            .recorder
-            .as_ref()
-            .ok_or(EngineError::NoAccessRecorder)?;
+        let recorder = self.recorder().ok_or(EngineError::NoAccessRecorder)?;
         let records: Vec<AccessRecord> = recorder
             .entries_for(name)
             .map_err(|e| EngineError::Catalog(format!("reading access log: {e}")))?
@@ -813,7 +768,7 @@ mod tests {
     }
 
     fn fresh_db_with_object(scheme: Scheme) -> Database<MemPageStore> {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object("obj", u32_type("[0:*,0:*]"), scheme)
             .unwrap();
         db
@@ -825,36 +780,37 @@ mod tests {
 
     #[test]
     fn insert_then_query_round_trips() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
         let data = checkerboard("[0:99,0:99]");
         let ins = db.insert("obj", &data).unwrap();
         assert!(ins.tiles_created > 1);
 
-        let (out, stats) = db.range_query("obj", &d("[10:20,30:45]")).unwrap();
-        assert_eq!(out.domain(), &d("[10:20,30:45]"));
+        let q = db.range_query("obj", &d("[10:20,30:45]")).unwrap();
+        assert_eq!(q.array.domain(), &d("[10:20,30:45]"));
         assert_eq!(
-            out.get::<u32>(&Point::from_slice(&[15, 40])).unwrap(),
+            q.array.get::<u32>(&Point::from_slice(&[15, 40])).unwrap(),
             15040
         );
-        assert!(stats.tiles_read >= 1);
-        assert_eq!(stats.cells_copied, 11 * 16);
-        assert_eq!(stats.cells_defaulted, 0);
-        assert!(stats.io.pages_read > 0);
-        assert!(stats.index_nodes >= 1);
+        assert!(q.stats.tiles_read >= 1);
+        assert_eq!(q.stats.cells_copied, 11 * 16);
+        assert_eq!(q.stats.cells_defaulted, 0);
+        assert!(q.stats.io.pages_read > 0);
+        assert!(q.stats.index_nodes >= 1);
+        assert_eq!(q.epoch, ins.epoch, "no writer ran in between");
     }
 
     #[test]
     fn whole_query_reproduces_input() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
         let data = checkerboard("[0:19,0:19]");
         db.insert("obj", &data).unwrap();
-        let (out, _) = db.query("obj", &AccessRegion::Whole).unwrap();
-        assert_eq!(out, data);
+        let q = db.query("obj", &AccessRegion::Whole).unwrap();
+        assert_eq!(q.array, data);
     }
 
     #[test]
     fn uncovered_cells_read_default() {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         let cell = CellType::with_default("u32", 7u32.to_le_bytes().to_vec());
         db.create_object(
             "obj",
@@ -864,15 +820,18 @@ mod tests {
         .unwrap();
         db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
         // Query beyond the covered area: outside cells get the default 7.
-        let (out, stats) = db.range_query("obj", &d("[5:14,0:9]")).unwrap();
-        assert_eq!(out.get::<u32>(&Point::from_slice(&[9, 9])).unwrap(), 9009);
-        assert_eq!(out.get::<u32>(&Point::from_slice(&[12, 3])).unwrap(), 7);
-        assert_eq!(stats.cells_defaulted, 50);
+        let q = db.range_query("obj", &d("[5:14,0:9]")).unwrap();
+        assert_eq!(
+            q.array.get::<u32>(&Point::from_slice(&[9, 9])).unwrap(),
+            9009
+        );
+        assert_eq!(q.array.get::<u32>(&Point::from_slice(&[12, 3])).unwrap(), 7);
+        assert_eq!(q.stats.cells_defaulted, 50);
     }
 
     #[test]
     fn gradual_growth_updates_current_domain_by_closure() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
         db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
         assert_eq!(
             db.object("obj").unwrap().current_domain,
@@ -885,13 +844,13 @@ mod tests {
             Some(d("[0:29,0:9]"))
         );
         // The gap [10:19] stays uncovered and reads as default (0).
-        let (out, _) = db.range_query("obj", &d("[10:19,0:9]")).unwrap();
-        assert!(out.to_cells::<u32>().unwrap().iter().all(|&c| c == 0));
+        let q = db.range_query("obj", &d("[10:19,0:9]")).unwrap();
+        assert!(q.array.to_cells::<u32>().unwrap().iter().all(|&c| c == 0));
     }
 
     #[test]
     fn overlapping_insert_rejected() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
         db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
         let err = db.insert("obj", &checkerboard("[5:14,5:14]")).unwrap_err();
         assert!(matches!(err, EngineError::OverlapsExistingTiles { .. }));
@@ -899,7 +858,7 @@ mod tests {
 
     #[test]
     fn definition_domain_enforced() {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object("bounded", u32_type("[0:9,0:9]"), Scheme::default_for(2))
             .unwrap();
         let err = db
@@ -911,7 +870,7 @@ mod tests {
 
     #[test]
     fn section_query_drops_fixed_axes() {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object("vol", u32_type("[0:*,0:*,0:*]"), Scheme::default_for(3))
             .unwrap();
         let data = Array::from_fn(d("[0:4,0:4,0:4]"), |p| {
@@ -919,16 +878,19 @@ mod tests {
         })
         .unwrap();
         db.insert("vol", &data).unwrap();
-        let (out, _) = db
+        let q = db
             .query("vol", &AccessRegion::Section(vec![None, Some(3), None]))
             .unwrap();
-        assert_eq!(out.domain(), &d("[0:4,0:4]"));
-        assert_eq!(out.get::<u32>(&Point::from_slice(&[2, 4])).unwrap(), 234);
+        assert_eq!(q.array.domain(), &d("[0:4,0:4]"));
+        assert_eq!(
+            q.array.get::<u32>(&Point::from_slice(&[2, 4])).unwrap(),
+            234
+        );
     }
 
     #[test]
     fn queries_are_logged_for_statistic_tiling() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
         db.insert("obj", &checkerboard("[0:49,0:49]")).unwrap();
         for _ in 0..5 {
             db.range_query("obj", &d("[0:9,0:9]")).unwrap();
@@ -941,7 +903,7 @@ mod tests {
 
     #[test]
     fn auto_retile_adapts_to_hot_region() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
         let data = checkerboard("[0:99,0:99]");
         db.insert("obj", &data).unwrap();
         let hot = d("[10:29,10:29]");
@@ -951,31 +913,31 @@ mod tests {
         let stats = db.auto_retile("obj", 0, 5, 64 * 1024).unwrap();
         assert!(stats.tiles_after > 0);
         // After adaptation the hot query reads exactly its own bytes.
-        let (out, qs) = db.range_query("obj", &hot).unwrap();
-        assert_eq!(out, data.extract(&hot).unwrap());
-        assert_eq!(qs.cells_processed, hot.cells());
+        let q = db.range_query("obj", &hot).unwrap();
+        assert_eq!(q.array, data.extract(&hot).unwrap());
+        assert_eq!(q.stats.cells_processed, hot.cells());
         // Full content still correct.
-        let (all, _) = db.range_query("obj", &d("[0:99,0:99]")).unwrap();
-        assert_eq!(all, data);
+        let all = db.range_query("obj", &d("[0:99,0:99]")).unwrap();
+        assert_eq!(all.array, data);
     }
 
     #[test]
     fn executor_paths_match_serial_results() {
         let data = checkerboard("[0:59,0:59]");
-        let mut serial = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let serial = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
         serial.insert("obj", &data).unwrap();
-        let mut parallel = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
-        parallel.attach_executor(Arc::new(ThreadPool::new(3)));
+        let parallel = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        parallel.set_executor(Arc::new(ThreadPool::new(3)));
         parallel.insert("obj", &data).unwrap();
 
         let region = d("[5:42,7:55]");
-        let (a, sa) = serial.range_query("obj", &region).unwrap();
-        let (b, sb) = parallel.range_query("obj", &region).unwrap();
-        assert_eq!(a, b);
-        assert_eq!(sa.tiles_read, sb.tiles_read);
-        assert_eq!(sa.cells_processed, sb.cells_processed);
-        assert_eq!(sa.cells_copied, sb.cells_copied);
-        assert_eq!(sa.cells_defaulted, sb.cells_defaulted);
+        let a = serial.range_query("obj", &region).unwrap();
+        let b = parallel.range_query("obj", &region).unwrap();
+        assert_eq!(a.array, b.array);
+        assert_eq!(a.stats.tiles_read, b.stats.tiles_read);
+        assert_eq!(a.stats.cells_processed, b.stats.cells_processed);
+        assert_eq!(a.stats.cells_copied, b.stats.cells_copied);
+        assert_eq!(a.stats.cells_defaulted, b.stats.cells_defaulted);
 
         // Re-tiling through the pool preserves content too.
         serial
@@ -984,16 +946,16 @@ mod tests {
         parallel
             .retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 4096)))
             .unwrap();
-        let (a2, _) = serial.range_query("obj", &region).unwrap();
-        let (b2, _) = parallel.range_query("obj", &region).unwrap();
-        assert_eq!(a2, b2);
-        let (all, _) = parallel.range_query("obj", &d("[0:59,0:59]")).unwrap();
-        assert_eq!(all, data);
+        let a2 = serial.range_query("obj", &region).unwrap();
+        let b2 = parallel.range_query("obj", &region).unwrap();
+        assert_eq!(a2.array, b2.array);
+        let all = parallel.range_query("obj", &d("[0:59,0:59]")).unwrap();
+        assert_eq!(all.array, data);
     }
 
     #[test]
     fn retile_preserves_partial_coverage() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 4096)));
         db.insert("obj", &checkerboard("[0:9,0:9]")).unwrap();
         db.insert("obj", &checkerboard("[90:99,90:99]")).unwrap();
         let before = db.object("obj").unwrap().covered_cells();
@@ -1003,13 +965,13 @@ mod tests {
         // The uncovered middle must not have been densified.
         assert!(after < d("[0:99,0:99]").cells(), "object was densified");
         assert!(after >= before);
-        let (out, _) = db.range_query("obj", &d("[0:9,0:9]")).unwrap();
-        assert_eq!(out, checkerboard("[0:9,0:9]"));
+        let q = db.range_query("obj", &d("[0:9,0:9]")).unwrap();
+        assert_eq!(q.array, checkerboard("[0:9,0:9]"));
     }
 
     #[test]
     fn drop_object_frees_blobs() {
-        let mut db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
         db.insert("obj", &checkerboard("[0:19,0:19]")).unwrap();
         assert!(db.blob_store().blob_count() > 0);
         db.drop_object("obj").unwrap();
@@ -1021,7 +983,7 @@ mod tests {
     #[test]
     fn empty_object_behaviour() {
         let db_err = {
-            let mut db = fresh_db_with_object(Scheme::default_for(2));
+            let db = fresh_db_with_object(Scheme::default_for(2));
             let r = db.query("obj", &AccessRegion::Whole);
             assert!(matches!(r, Err(EngineError::EmptyObject(_))));
             db.retile("obj", Scheme::default_for(2))
@@ -1031,7 +993,7 @@ mod tests {
 
     #[test]
     fn duplicate_and_unknown_objects() {
-        let mut db = fresh_db_with_object(Scheme::default_for(2));
+        let db = fresh_db_with_object(Scheme::default_for(2));
         assert!(matches!(
             db.create_object("obj", u32_type("[0:*,0:*]"), Scheme::default_for(2)),
             Err(EngineError::ObjectExists(_))
@@ -1048,7 +1010,7 @@ mod tests {
 
     #[test]
     fn cell_size_mismatch_rejected() {
-        let mut db = fresh_db_with_object(Scheme::default_for(2));
+        let db = fresh_db_with_object(Scheme::default_for(2));
         let bytes = Array::from_cells(d("[0:1,0:1]"), &[1u8, 2, 3, 4]).unwrap();
         assert!(matches!(
             db.insert("obj", &bytes),
@@ -1057,5 +1019,71 @@ mod tests {
                 got: 1
             })
         ));
+    }
+
+    #[test]
+    fn snapshot_isolation_across_a_retile() {
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let data = checkerboard("[0:31,0:31]");
+        let ins = db.insert("obj", &data).unwrap();
+        let blobs_before = db.blob_store().blob_count();
+
+        // Pin a snapshot, then retile underneath it.
+        let snap = db.begin_read();
+        assert_eq!(snap.epoch(), ins.epoch);
+        let receipt = db
+            .retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 4096)))
+            .unwrap();
+        assert!(receipt.epoch > ins.epoch);
+
+        // The old tiles stay readable through the snapshot: both content
+        // and tile count are the pre-retile ones.
+        let q = snap.range_query("obj", &d("[0:31,0:31]")).unwrap();
+        assert_eq!(q.array, data);
+        assert_eq!(q.epoch, ins.epoch);
+        assert_eq!(snap.object("obj").unwrap().tile_count(), blobs_before);
+        // Old + new tiles coexist while the snapshot lives...
+        assert!(db.blob_store().blob_count() > db.object("obj").unwrap().tile_count());
+
+        // ...and a fresh read sees the new epoch and the new tiling.
+        let fresh = db.range_query("obj", &d("[0:31,0:31]")).unwrap();
+        assert_eq!(fresh.epoch, receipt.epoch);
+        assert_eq!(fresh.array, data);
+
+        // Dropping the last old snapshot reclaims the retired blobs.
+        drop(snap);
+        assert_eq!(
+            db.blob_store().blob_count(),
+            db.object("obj").unwrap().tile_count()
+        );
+    }
+
+    #[test]
+    fn snapshot_keeps_dropped_object_readable() {
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let data = checkerboard("[0:15,0:15]");
+        db.insert("obj", &data).unwrap();
+        let snap = db.begin_read();
+        db.drop_object("obj").unwrap();
+        assert!(db.object("obj").is_err(), "current catalog dropped it");
+        let q = snap.range_query("obj", &d("[0:15,0:15]")).unwrap();
+        assert_eq!(q.array, data, "snapshot still reads the dropped object");
+        drop(snap);
+        assert_eq!(db.blob_store().blob_count(), 0);
+    }
+
+    #[test]
+    fn writer_commits_bump_the_epoch_monotonically() {
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        let e0 = db.begin_read().epoch();
+        let ins = db.insert("obj", &checkerboard("[0:15,0:15]")).unwrap();
+        assert!(ins.epoch > e0);
+        let ret = db
+            .retile("obj", Scheme::Aligned(AlignedTiling::regular(2, 4096)))
+            .unwrap();
+        assert!(ret.epoch > ins.epoch);
+        assert_eq!(db.begin_read().epoch(), ret.epoch);
+        // The durable commit epoch is independent: nothing was saved.
+        assert_eq!(db.catalog_epoch(), 0);
     }
 }

@@ -7,6 +7,11 @@
 //! * [`Database`] — catalog of [`MddObject`]s over any page store; insert
 //!   runs the object's tiling [`Scheme`](tilestore_tiling::Scheme)
 //!   (phase 1) and materializes/stores/indexes the tiles (phase 2);
+//! * [`Snapshot`] — epoch-stamped read sessions ([`Database::begin_read`]):
+//!   queries execute against an immutable catalog snapshot and never block
+//!   behind writers; [`QueryResult`] / [`WriteReceipt`] carry the epoch;
+//! * [`DatabaseBuilder`] — unified construction with optional recorder,
+//!   executor and compression default;
 //! * [`Array`] / [`CellValue`] / [`CellType`] — dense array values with
 //!   typed cell access;
 //! * [`AccessRegion`] — the §5.1 access model: whole object, range query,
@@ -23,6 +28,7 @@
 mod access;
 mod aggregate;
 mod array;
+mod builder;
 mod celltype;
 mod database;
 mod error;
@@ -31,11 +37,13 @@ mod mdd;
 mod modify;
 mod persist;
 mod shared;
+mod snapshot;
 mod stats;
 
 pub use access::{AccessLog, AccessRegion};
 pub use aggregate::{aggregate_array, AggKind, AggValue};
 pub use array::Array;
+pub use builder::DatabaseBuilder;
 pub use celltype::{CellType, CellValue, Rgb};
 pub use database::Database;
 pub use error::{EngineError, Result};
@@ -46,6 +54,7 @@ pub use persist::{
     fsck, Catalog, FsckReport, ACCESS_LOG_FILE, CATALOG_FILE, CATALOG_TMP_FILE, PAGES_FILE,
 };
 pub use shared::SharedDatabase;
+pub use snapshot::{QueryResult, Snapshot, WriteReceipt};
 pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};
 
 /// Compile-time thread-safety assertions. The serving layer shares one
@@ -59,5 +68,6 @@ const _: () = {
     assert_send_sync::<Database<tilestore_storage::FilePageStore>>();
     assert_send_sync::<Database<tilestore_storage::MemPageStore>>();
     assert_send_sync::<SharedDatabase<tilestore_storage::FilePageStore>>();
+    assert_send_sync::<Snapshot<tilestore_storage::FilePageStore>>();
     assert_send_sync::<EngineError>();
 };

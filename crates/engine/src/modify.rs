@@ -1,4 +1,4 @@
-//! In-place modification: cell updates and removal of regions.
+//! Modification of stored cells: updates and removal of regions.
 //!
 //! §2: storage management must support "sparsity, growth and shrinkage of
 //! arrays corresponding to the insertion and removal of data".
@@ -11,17 +11,22 @@
 //!   region are dropped; border tiles are split into their remainder boxes
 //!   (arbitrary tiling makes the resulting non-aligned layout legal). The
 //!   current domain *shrinks* to the hull of the remaining tiles.
+//!
+//! Both are copy-on-write: a rewritten or split tile gets a *new* BLOB and
+//! the old one is retired, so snapshots begun before the write keep reading
+//! the old cells (never an in-place overwrite a reader could tear on).
 
 use tilestore_compress::CellContext;
 use tilestore_geometry::{difference, uncovered, Domain};
 use tilestore_index::RPlusTree;
-use tilestore_storage::PageStore;
+use tilestore_storage::{BlobId, PageStore};
 use tilestore_tiling::TilingStrategy;
 
 use crate::array::Array;
 use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::mdd::TileMeta;
+use crate::snapshot::{read_tile_payload, WriteReceipt};
 
 /// Statistics of an [`Database::update`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,79 +54,81 @@ impl<S: PageStore> Database<S> {
     /// Overwrites the cells of `array.domain()` with `array`'s values.
     ///
     /// Unlike [`Database::insert`], overlap with existing tiles is the
-    /// *point*: covered cells are rewritten in place (tile BLOBs are
-    /// re-encoded under the object's compression policy); uncovered parts
-    /// of the region are tiled by the object's scheme and added. The
+    /// *point*: covered cells are rewritten (each touched tile is re-encoded
+    /// into a fresh BLOB under the object's compression policy); uncovered
+    /// parts of the region are tiled by the object's scheme and added. The
     /// current domain grows by closure as with inserts.
     ///
     /// # Errors
     /// Type/domain validation errors, tiling and storage errors.
-    pub fn update(&mut self, name: &str, array: &Array) -> Result<UpdateStats> {
-        let (cell_size, compression, default, scheme, hits) = {
-            let meta = self.object(name)?;
-            if array.cell_size() != meta.cell_size() {
-                return Err(EngineError::CellSizeMismatch {
-                    expected: meta.cell_size(),
-                    got: array.cell_size(),
-                });
-            }
-            if !meta.mdd_type.definition.admits(array.domain()) {
-                return Err(EngineError::OutsideDefinitionDomain {
-                    domain: array.domain().to_string(),
-                    definition: meta.mdd_type.definition.to_string(),
-                });
-            }
-            (
-                meta.cell_size(),
-                meta.compression.clone(),
-                meta.mdd_type.cell.default.clone(),
-                meta.scheme.clone(),
-                meta.index.search(array.domain()).hits,
-            )
-        };
+    pub fn update(&self, name: &str, array: &Array) -> Result<WriteReceipt<UpdateStats>> {
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let meta = &cat.entry(name)?.meta;
+        let cell_size = meta.cell_size();
+        if array.cell_size() != cell_size {
+            return Err(EngineError::CellSizeMismatch {
+                expected: cell_size,
+                got: array.cell_size(),
+            });
+        }
+        if !meta.mdd_type.definition.admits(array.domain()) {
+            return Err(EngineError::OutsideDefinitionDomain {
+                domain: array.domain().to_string(),
+                definition: meta.mdd_type.definition.to_string(),
+            });
+        }
+        let hits = meta.index.search(array.domain()).hits;
         let ctx = CellContext {
             cell_size,
-            default: &default,
+            default: &meta.mdd_type.cell.default,
         };
         let mut stats = UpdateStats::default();
         let mut covered: Vec<Domain> = Vec::with_capacity(hits.len());
+        let mut new_meta = (**meta).clone();
+        let mut retired: Vec<BlobId> = Vec::new();
 
-        // Rewrite intersected tiles.
+        // Rewrite intersected tiles copy-on-write.
         for pos in &hits {
-            let (tile_domain, blob) = {
-                let meta = self.object(name)?;
-                let t = &meta.tiles[*pos as usize];
-                (t.domain.clone(), t.blob)
-            };
-            let meta = self.object(name)?;
-            let payload = self.read_tile_payload(meta, &meta.tiles[*pos as usize])?;
-            let mut tile = Array::from_bytes(tile_domain.clone(), cell_size, payload)?;
+            let old = &meta.tiles[*pos as usize];
+            let payload = read_tile_payload(self.blob_store(), meta, old)?;
+            let mut tile = Array::from_bytes(old.domain.clone(), cell_size, payload)?;
             let updated = tile.paste(array)?;
-            let stream = tilestore_compress::compress(&compression, tile.bytes(), &ctx)
+            let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
                 .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
-            self.blob_store_mut().update(blob, &stream)?;
+            new_meta.tiles[*pos as usize].blob = self.blob_store().create(&stream)?;
+            retired.push(old.blob);
             stats.tiles_rewritten += 1;
             stats.cells_updated += updated;
-            covered.push(tile_domain);
+            covered.push(old.domain.clone());
         }
 
         // Tile and store the previously uncovered remainder.
         let remainder = uncovered(array.domain(), &covered)?;
         for piece in remainder {
-            let spec = scheme.partition(&piece, cell_size)?;
+            let spec = meta.scheme.partition(&piece, cell_size)?;
             for tile_domain in spec.tiles() {
                 let tile = array.extract(tile_domain)?;
-                let stream = tilestore_compress::compress(&compression, tile.bytes(), &ctx)
+                let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
                     .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
-                let blob = self.blob_store_mut().create(&stream)?;
-                self.push_tile(name, tile_domain.clone(), blob)?;
+                let blob = self.blob_store().create(&stream)?;
+                let at = new_meta.tiles.len() as u64;
+                new_meta.tiles.push(TileMeta {
+                    domain: tile_domain.clone(),
+                    blob,
+                });
+                new_meta.index.insert(tile_domain.clone(), at)?;
                 stats.tiles_created += 1;
             }
         }
 
         // Grow the current domain by closure.
-        self.grow_current_domain(name, array.domain())?;
-        Ok(stats)
+        new_meta.current_domain = Some(match new_meta.current_domain.take() {
+            Some(cur) => cur.hull(array.domain())?,
+            None => array.domain().clone(),
+        });
+        let epoch = self.install_object(&cat, name, new_meta, retired);
+        Ok(WriteReceipt { stats, epoch })
     }
 
     /// Removes every stored cell inside `region`. Reading the region
@@ -130,131 +137,86 @@ impl<S: PageStore> Database<S> {
     ///
     /// # Errors
     /// [`EngineError::UnknownObject`]; storage errors.
-    pub fn delete_region(&mut self, name: &str, region: &Domain) -> Result<DeleteStats> {
-        let (cell_size, compression, default, hits) = {
-            let meta = self.object(name)?;
-            (
-                meta.cell_size(),
-                meta.compression.clone(),
-                meta.mdd_type.cell.default.clone(),
-                meta.index.search(region).hits,
-            )
-        };
+    pub fn delete_region(&self, name: &str, region: &Domain) -> Result<WriteReceipt<DeleteStats>> {
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let meta = &cat.entry(name)?.meta;
+        let cell_size = meta.cell_size();
+        let hits = meta.index.search(region).hits;
         let ctx = CellContext {
             cell_size,
-            default: &default,
+            default: &meta.mdd_type.cell.default,
         };
         let mut stats = DeleteStats::default();
         let mut drop_positions: Vec<u64> = Vec::new();
         let mut replacement_tiles: Vec<TileMeta> = Vec::new();
+        let mut retired: Vec<BlobId> = Vec::new();
 
         for pos in &hits {
-            let (tile_domain, blob) = {
-                let meta = self.object(name)?;
-                let t = &meta.tiles[*pos as usize];
-                (t.domain.clone(), t.blob)
-            };
-            if region.contains_domain(&tile_domain) {
+            let old = &meta.tiles[*pos as usize];
+            if region.contains_domain(&old.domain) {
                 // Whole tile vanishes.
-                self.blob_store_mut().delete(blob)?;
+                retired.push(old.blob);
                 stats.tiles_dropped += 1;
-                stats.cells_removed += tile_domain.cells();
+                stats.cells_removed += old.domain.cells();
                 drop_positions.push(*pos);
                 continue;
             }
-            // Border tile: keep only the remainder boxes.
-            let meta = self.object(name)?;
-            let payload = self.read_tile_payload(meta, &meta.tiles[*pos as usize])?;
-            let tile = Array::from_bytes(tile_domain.clone(), cell_size, payload)?;
-            let remainder = difference(&tile_domain, region);
-            for piece in remainder {
+            // Border tile: keep only the remainder boxes, each in a fresh
+            // BLOB; the original stays readable for live snapshots.
+            let payload = read_tile_payload(self.blob_store(), meta, old)?;
+            let tile = Array::from_bytes(old.domain.clone(), cell_size, payload)?;
+            for piece in difference(&old.domain, region) {
                 let part = tile.extract(&piece)?;
-                let stream = tilestore_compress::compress(&compression, part.bytes(), &ctx)
+                let stream = tilestore_compress::compress(&meta.compression, part.bytes(), &ctx)
                     .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
-                let new_blob = self.blob_store_mut().create(&stream)?;
                 replacement_tiles.push(TileMeta {
                     domain: piece,
-                    blob: new_blob,
+                    blob: self.blob_store().create(&stream)?,
                 });
             }
-            self.blob_store_mut().delete(blob)?;
+            retired.push(old.blob);
             stats.tiles_split += 1;
-            stats.cells_removed += tile_domain.intersection(region).map_or(0, |i| i.cells());
+            stats.cells_removed += old.domain.intersection(region).map_or(0, |i| i.cells());
             drop_positions.push(*pos);
         }
 
-        if !drop_positions.is_empty() {
-            self.rebuild_tiles(name, &drop_positions, replacement_tiles)?;
+        if drop_positions.is_empty() {
+            return Ok(WriteReceipt {
+                stats,
+                epoch: cat.version,
+            });
         }
-        Ok(stats)
-    }
-}
 
-// Internal helpers on Database used by the modification paths; kept in this
-// module to keep `database.rs` focused on the §5 core.
-impl<S: PageStore> Database<S> {
-    /// Appends one tile to an object (tile list + index).
-    pub(crate) fn push_tile(
-        &mut self,
-        name: &str,
-        domain: Domain,
-        blob: tilestore_storage::BlobId,
-    ) -> Result<()> {
-        let meta = self.object_mut(name)?;
-        let pos = meta.tiles.len() as u64;
-        meta.tiles.push(TileMeta {
-            domain: domain.clone(),
-            blob,
-        });
-        meta.index.insert(domain, pos)?;
-        Ok(())
-    }
-
-    /// Grows the current domain by closure with `domain`.
-    pub(crate) fn grow_current_domain(&mut self, name: &str, domain: &Domain) -> Result<()> {
-        let meta = self.object_mut(name)?;
-        meta.current_domain = Some(match meta.current_domain.take() {
-            Some(cur) => cur.hull(domain)?,
-            None => domain.clone(),
-        });
-        Ok(())
-    }
-
-    /// Rebuilds the tile list and index after removals, installing
-    /// `replacements`, and recomputes the (possibly shrunken) current
-    /// domain.
-    fn rebuild_tiles(
-        &mut self,
-        name: &str,
-        dropped: &[u64],
-        replacements: Vec<TileMeta>,
-    ) -> Result<()> {
-        let meta = self.object_mut(name)?;
+        // Rebuild the tile list and index without the dropped tiles, with
+        // the replacements appended; the current domain is the hull of what
+        // remains (shrinkage).
         let mut kept: Vec<TileMeta> = meta
             .tiles
-            .drain(..)
+            .iter()
             .enumerate()
-            .filter(|(i, _)| !dropped.contains(&(*i as u64)))
-            .map(|(_, t)| t)
+            .filter(|(i, _)| !drop_positions.contains(&(*i as u64)))
+            .map(|(_, t)| t.clone())
             .collect();
-        kept.extend(replacements);
+        kept.extend(replacement_tiles);
         let entries: Vec<(Domain, u64)> = kept
             .iter()
             .enumerate()
             .map(|(i, t)| (t.domain.clone(), i as u64))
             .collect();
-        meta.index = RPlusTree::bulk_load(
-            meta.mdd_type.dim(),
+        let mut new_meta = (**meta).clone();
+        new_meta.index = RPlusTree::bulk_load(
+            new_meta.mdd_type.dim(),
             tilestore_index::DEFAULT_FANOUT,
             entries,
         )?;
-        // Shrinkage: the current domain is the hull of what remains.
-        meta.current_domain = kept
+        new_meta.current_domain = kept
             .iter()
             .map(|t| t.domain.clone())
             .reduce(|a, b| a.hull(&b).expect("uniform dimensionality"));
-        meta.tiles = kept;
-        Ok(())
+        new_meta.tiles = kept;
+        let epoch = self.install_object(&cat, name, new_meta, retired);
+        Ok(WriteReceipt { stats, epoch })
     }
 }
 
@@ -271,7 +233,7 @@ mod tests {
     }
 
     fn setup() -> Database<tilestore_storage::MemPageStore> {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object(
             "m",
             MddType::new(CellType::of::<u16>(), DefDomain::unlimited(2).unwrap()),
@@ -288,23 +250,26 @@ mod tests {
 
     #[test]
     fn update_overwrites_covered_cells() {
-        let mut db = setup();
+        let db = setup();
         let patch = Array::filled(d("[10:20,10:20]"), &9999u16.to_le_bytes()).unwrap();
         let stats = db.update("m", &patch).unwrap();
         assert!(stats.tiles_rewritten > 0);
         assert_eq!(stats.tiles_created, 0);
         assert_eq!(stats.cells_updated, 121);
-        let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
-        assert_eq!(out.get::<u16>(&Point::from_slice(&[15, 15])).unwrap(), 9999);
+        let q = db.range_query("m", &d("[0:31,0:31]")).unwrap();
         assert_eq!(
-            out.get::<u16>(&Point::from_slice(&[5, 5])).unwrap(),
+            q.array.get::<u16>(&Point::from_slice(&[15, 15])).unwrap(),
+            9999
+        );
+        assert_eq!(
+            q.array.get::<u16>(&Point::from_slice(&[5, 5])).unwrap(),
             5 * 32 + 5
         );
     }
 
     #[test]
     fn update_grows_into_uncovered_space() {
-        let mut db = setup();
+        let db = setup();
         // Patch straddling coverage: half over existing cells, half beyond.
         let patch = Array::filled(d("[24:39,0:15]"), &7u16.to_le_bytes()).unwrap();
         let stats = db.update("m", &patch).unwrap();
@@ -314,13 +279,13 @@ mod tests {
             db.object("m").unwrap().current_domain,
             Some(d("[0:39,0:31]"))
         );
-        let (out, _) = db.range_query("m", &d("[24:39,0:15]")).unwrap();
-        assert!(out.to_cells::<u16>().unwrap().iter().all(|&c| c == 7));
+        let q = db.range_query("m", &d("[24:39,0:15]")).unwrap();
+        assert!(q.array.to_cells::<u16>().unwrap().iter().all(|&c| c == 7));
     }
 
     #[test]
     fn update_validates_type_and_domain() {
-        let mut db = setup();
+        let db = setup();
         let wrong = Array::filled(d("[0:1,0:1]"), &[1u8]).unwrap();
         assert!(matches!(
             db.update("m", &wrong),
@@ -331,33 +296,33 @@ mod tests {
 
     #[test]
     fn delete_whole_tiles_and_read_default() {
-        let mut db = setup();
+        let db = setup();
         let before_blobs = db.blob_store().blob_count();
         let stats = db.delete_region("m", &d("[0:15,0:15]")).unwrap();
         assert!(stats.tiles_dropped > 0);
         assert_eq!(stats.cells_removed, 256);
         assert!(db.blob_store().blob_count() < before_blobs + stats.tiles_split as usize * 4);
-        let (out, _) = db.range_query("m", &d("[0:15,0:15]")).unwrap();
-        assert!(out.to_cells::<u16>().unwrap().iter().all(|&c| c == 0));
+        let q = db.range_query("m", &d("[0:15,0:15]")).unwrap();
+        assert!(q.array.to_cells::<u16>().unwrap().iter().all(|&c| c == 0));
         // Cells outside the deleted region survive.
-        let (out, _) = db.range_query("m", &d("[16:31,0:31]")).unwrap();
+        let q = db.range_query("m", &d("[16:31,0:31]")).unwrap();
         assert_eq!(
-            out.get::<u16>(&Point::from_slice(&[20, 20])).unwrap(),
+            q.array.get::<u16>(&Point::from_slice(&[20, 20])).unwrap(),
             20 * 32 + 20
         );
     }
 
     #[test]
     fn delete_splits_border_tiles() {
-        let mut db = setup();
+        let db = setup();
         // A region not aligned to the 16x16 tile grid.
         let region = d("[5:12,5:26]");
         let stats = db.delete_region("m", &region).unwrap();
         assert!(stats.tiles_split > 0);
         assert_eq!(stats.cells_removed, region.cells());
-        let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
+        let q = db.range_query("m", &d("[0:31,0:31]")).unwrap();
         for p in tilestore_geometry::PointIter::new(d("[0:31,0:31]")) {
-            let got: u16 = out.get(&p).unwrap();
+            let got: u16 = q.array.get(&p).unwrap();
             if region.contains_point(&p) {
                 assert_eq!(got, 0, "deleted cell {p} must read default");
             } else {
@@ -368,7 +333,7 @@ mod tests {
 
     #[test]
     fn delete_shrinks_current_domain() {
-        let mut db = setup();
+        let db = setup();
         db.delete_region("m", &d("[16:31,0:31]")).unwrap();
         assert_eq!(
             db.object("m").unwrap().current_domain,
@@ -388,31 +353,53 @@ mod tests {
 
     #[test]
     fn delete_disjoint_region_is_a_noop() {
-        let mut db = setup();
+        let db = setup();
         let before = db.object("m").unwrap().tile_count();
-        let stats = db.delete_region("m", &d("[100:110,100:110]")).unwrap();
-        assert_eq!(stats, DeleteStats::default());
+        let receipt = db.delete_region("m", &d("[100:110,100:110]")).unwrap();
+        assert_eq!(receipt.stats, DeleteStats::default());
         assert_eq!(db.object("m").unwrap().tile_count(), before);
+        // No catalog swap happened: the epoch is unchanged.
+        assert_eq!(receipt.epoch, db.begin_read().epoch());
     }
 
     #[test]
     fn update_then_delete_with_compression() {
         use tilestore_compress::CompressionPolicy;
-        let mut db = setup();
+        let db = setup();
         db.set_compression("m", CompressionPolicy::selective_default())
             .unwrap();
         let patch = Array::filled(d("[8:23,8:23]"), &0xABCDu16.to_le_bytes()).unwrap();
         db.update("m", &patch).unwrap();
         db.delete_region("m", &d("[0:7,0:31]")).unwrap();
-        let (out, _) = db.range_query("m", &d("[0:31,0:31]")).unwrap();
+        let q = db.range_query("m", &d("[0:31,0:31]")).unwrap();
         assert_eq!(
-            out.get::<u16>(&Point::from_slice(&[10, 10])).unwrap(),
+            q.array.get::<u16>(&Point::from_slice(&[10, 10])).unwrap(),
             0xABCD
         );
-        assert_eq!(out.get::<u16>(&Point::from_slice(&[3, 3])).unwrap(), 0);
+        assert_eq!(q.array.get::<u16>(&Point::from_slice(&[3, 3])).unwrap(), 0);
         assert_eq!(
-            out.get::<u16>(&Point::from_slice(&[30, 3])).unwrap(),
+            q.array.get::<u16>(&Point::from_slice(&[30, 3])).unwrap(),
             30 * 32 + 3
+        );
+    }
+
+    #[test]
+    fn snapshot_reads_pre_update_cells() {
+        let db = setup();
+        let snap = db.begin_read();
+        let patch = Array::filled(d("[0:31,0:31]"), &4242u16.to_le_bytes()).unwrap();
+        db.update("m", &patch).unwrap();
+        // The snapshot still sees the original values; a fresh read sees
+        // the patch.
+        let old = snap.range_query("m", &d("[3:3,4:4]")).unwrap();
+        assert_eq!(
+            old.array.get::<u16>(&Point::from_slice(&[3, 4])).unwrap(),
+            3 * 32 + 4
+        );
+        let new = db.range_query("m", &d("[3:3,4:4]")).unwrap();
+        assert_eq!(
+            new.array.get::<u16>(&Point::from_slice(&[3, 4])).unwrap(),
+            4242
         );
     }
 }

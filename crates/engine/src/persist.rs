@@ -110,12 +110,16 @@ impl<S: PageStore> Database<S> {
             let obj = self
                 .object(&name)
                 .map_err(|_| catalog_err("exporting catalog", format!("object {name} vanished")))?;
-            objects.push(obj.clone());
+            objects.push((*obj).clone());
         }
+        // Blobs retired by past commits but kept alive for live snapshots
+        // must not become durable: export them as free space instead.
         Ok(Catalog {
             page_size: self.blob_store().page_store().page_size(),
             epoch: self.catalog_epoch(),
-            blobs: self.blob_store().directory(),
+            blobs: self
+                .blob_store()
+                .directory_excluding(&self.pending_retired_blobs()),
             objects,
         })
     }
@@ -125,11 +129,14 @@ impl<S: PageStore> Database<S> {
     #[must_use]
     pub fn from_catalog(store: S, catalog: Catalog) -> Self {
         let blobs = BlobStore::with_directory(store, catalog.blobs);
-        let mut db = Database::from_blob_store(blobs);
+        let db = Database::from_blob_store(blobs);
         for meta in catalog.objects {
             db.restore_object(meta);
         }
         db.set_catalog_epoch(catalog.epoch);
+        // Snapshot epochs continue from the durable sequence rather than
+        // restarting at zero on every reopen.
+        db.set_snapshot_epoch(catalog.epoch);
         db
     }
 
@@ -148,6 +155,9 @@ impl<S: PageStore> Database<S> {
     pub fn save<P: AsRef<Path>>(&self, dir: P) -> Result<()> {
         let _span = tilestore_obs::tracer().span("catalog_commit");
         let dir = dir.as_ref();
+        // Serialize against writers: the exported catalog must be one
+        // consistent epoch, not a torn mix across a concurrent commit.
+        let _w = self.lock_writer();
         // 1. Page data first: the catalog must never point at volatile pages.
         self.blob_store().page_store().sync()?;
         // 2. Stage the successor-epoch catalog.
@@ -184,10 +194,10 @@ impl Database<FilePageStore> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir).map_err(|e| EngineError::Catalog(e.to_string()))?;
         let store = FilePageStore::create(dir.join(PAGES_FILE), DEFAULT_PAGE_SIZE)?;
-        let mut db = Database::with_store(store);
+        let db = Database::with_store(store);
         let recorder = AccessRecorder::open(dir.join(ACCESS_LOG_FILE))
             .map_err(|e| catalog_err("opening access log", e))?;
-        db.attach_recorder(recorder);
+        db.set_recorder(recorder);
         Ok(db)
     }
 
@@ -214,7 +224,7 @@ impl Database<FilePageStore> {
         let catalog: Catalog = tilestore_testkit::json::from_str(&json)
             .map_err(|e| catalog_err("parsing catalog", e))?;
         let store = FilePageStore::open(dir.join(PAGES_FILE), catalog.page_size)?;
-        let mut db = Database::from_catalog(store, catalog);
+        let db = Database::from_catalog(store, catalog);
         // Cross-check the page file against the committed directory.
         let check = db.blob_store().check_pages();
         if !check.is_repairable() {
@@ -240,7 +250,7 @@ impl Database<FilePageStore> {
         }
         let recorder = AccessRecorder::open(dir.join(ACCESS_LOG_FILE))
             .map_err(|e| catalog_err("opening access log", e))?;
-        db.attach_recorder(recorder);
+        db.set_recorder(recorder);
         Ok(db)
     }
 }
@@ -388,7 +398,7 @@ mod tests {
         let dom: Domain = "[0:29,0:29]".parse().unwrap();
         let data = Array::from_fn(dom.clone(), |p| (p[0] * 31 + p[1]) as u32).unwrap();
         {
-            let mut db = Database::create_dir(dir.path()).unwrap();
+            let db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
                 "grid",
                 MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -402,15 +412,15 @@ mod tests {
         let obj = db.object("grid").unwrap();
         assert_eq!(obj.current_domain, Some(dom.clone()));
         assert!(obj.tile_count() > 1);
-        let (out, stats) = db.range_query("grid", &dom).unwrap();
-        assert_eq!(out, data);
-        assert!(stats.io.pages_read > 0);
+        let q = db.range_query("grid", &dom).unwrap();
+        assert_eq!(q.array, data);
+        assert!(q.stats.io.pages_read > 0);
         // Point probe through the reopened index.
-        let (one, _) = db
+        let one = db
             .range_query("grid", &"[7:7,11:11]".parse().unwrap())
             .unwrap();
         assert_eq!(
-            one.get::<u32>(&Point::from_slice(&[7, 11])).unwrap(),
+            one.array.get::<u32>(&Point::from_slice(&[7, 11])).unwrap(),
             7 * 31 + 11
         );
     }
@@ -418,7 +428,7 @@ mod tests {
     #[test]
     fn save_commits_atomically_and_bumps_epoch() {
         let dir = tilestore_testkit::tempdir().unwrap();
-        let mut db = Database::create_dir(dir.path()).unwrap();
+        let db = Database::create_dir(dir.path()).unwrap();
         assert_eq!(db.catalog_epoch(), 0);
         db.create_object(
             "g",
@@ -448,7 +458,7 @@ mod tests {
     fn stale_tmp_from_interrupted_commit_is_discarded() {
         let dir = tilestore_testkit::tempdir().unwrap();
         {
-            let mut db = Database::create_dir(dir.path()).unwrap();
+            let db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
                 "g",
                 MddType::new(CellType::of::<u8>(), "[0:*]".parse().unwrap()),
@@ -469,15 +479,15 @@ mod tests {
         assert!(!report.is_clean());
         let db = Database::open_dir(dir.path()).unwrap();
         assert!(!dir.path().join(CATALOG_TMP_FILE).exists());
-        let (out, _) = db.range_query("g", &"[0:49]".parse().unwrap()).unwrap();
-        assert!(out.to_cells::<u8>().unwrap().iter().all(|&c| c == 9));
+        let q = db.range_query("g", &"[0:49]".parse().unwrap()).unwrap();
+        assert!(q.array.to_cells::<u8>().unwrap().iter().all(|&c| c == 9));
     }
 
     #[test]
     fn truncated_catalog_fails_cleanly() {
         let dir = tilestore_testkit::tempdir().unwrap();
         {
-            let mut db = Database::create_dir(dir.path()).unwrap();
+            let db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
                 "g",
                 MddType::new(CellType::of::<u8>(), "[0:*]".parse().unwrap()),
@@ -497,7 +507,7 @@ mod tests {
     #[test]
     fn fsck_reports_clean_database() {
         let dir = tilestore_testkit::tempdir().unwrap();
-        let mut db = Database::create_dir(dir.path()).unwrap();
+        let db = Database::create_dir(dir.path()).unwrap();
         db.create_object(
             "m",
             MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -523,7 +533,7 @@ mod tests {
     fn fsck_flags_orphans_after_uncommitted_work() {
         let dir = tilestore_testkit::tempdir().unwrap();
         {
-            let mut db = Database::create_dir(dir.path()).unwrap();
+            let db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
                 "m",
                 MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -558,7 +568,7 @@ mod tests {
         let dir = tilestore_testkit::tempdir().unwrap();
         let region: Domain = "[0:4,0:4]".parse().unwrap();
         {
-            let mut db = Database::create_dir(dir.path()).unwrap();
+            let db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
                 "m",
                 MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -585,7 +595,7 @@ mod tests {
 
     #[test]
     fn auto_retile_from_log_requires_recorder() {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object(
             "m",
             MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -611,7 +621,7 @@ mod tests {
     #[test]
     fn auto_retile_from_recorded_log_adapts_tiling() {
         let dir = tilestore_testkit::tempdir().unwrap();
-        let mut db = Database::create_dir(dir.path()).unwrap();
+        let db = Database::create_dir(dir.path()).unwrap();
         db.create_object(
             "m",
             MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -630,10 +640,10 @@ mod tests {
         let stats = db.auto_retile_from_log("m", 0, 4, 64 * 1024).unwrap();
         assert!(stats.tiles_after > 0);
         // The hot region is now exactly one tile: no wasted cells.
-        let (out, qs) = db.range_query("m", &hot).unwrap();
-        assert_eq!(out, data.extract(&hot).unwrap());
-        assert_eq!(qs.cells_processed, hot.cells());
-        assert_eq!(qs.tiles_read, 1);
+        let q = db.range_query("m", &hot).unwrap();
+        assert_eq!(q.array, data.extract(&hot).unwrap());
+        assert_eq!(q.stats.cells_processed, hot.cells());
+        assert_eq!(q.stats.tiles_read, 1);
     }
 
     #[test]
@@ -650,7 +660,7 @@ mod tests {
     fn reopened_database_accepts_new_inserts() {
         let dir = tilestore_testkit::tempdir().unwrap();
         {
-            let mut db = Database::create_dir(dir.path()).unwrap();
+            let db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
                 "g",
                 MddType::new(CellType::of::<u8>(), "[0:*,0:*]".parse().unwrap()),
@@ -664,15 +674,51 @@ mod tests {
             .unwrap();
             db.save(dir.path()).unwrap();
         }
-        let mut db = Database::open_dir(dir.path()).unwrap();
+        let db = Database::open_dir(dir.path()).unwrap();
         db.insert(
             "g",
             &Array::filled("[20:29,0:9]".parse().unwrap(), &[2]).unwrap(),
         )
         .unwrap();
-        let (out, _) = db.range_query("g", &"[0:29,0:9]".parse().unwrap()).unwrap();
-        assert_eq!(out.get::<u8>(&Point::from_slice(&[5, 5])).unwrap(), 1);
-        assert_eq!(out.get::<u8>(&Point::from_slice(&[25, 5])).unwrap(), 2);
-        assert_eq!(out.get::<u8>(&Point::from_slice(&[15, 5])).unwrap(), 0);
+        let q = db.range_query("g", &"[0:29,0:9]".parse().unwrap()).unwrap();
+        assert_eq!(q.array.get::<u8>(&Point::from_slice(&[5, 5])).unwrap(), 1);
+        assert_eq!(q.array.get::<u8>(&Point::from_slice(&[25, 5])).unwrap(), 2);
+        assert_eq!(q.array.get::<u8>(&Point::from_slice(&[15, 5])).unwrap(), 0);
+    }
+
+    #[test]
+    fn save_with_live_snapshot_excludes_retired_blobs() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let dom: Domain = "[0:29,0:29]".parse().unwrap();
+        let data = Array::from_fn(dom.clone(), |p| (p[0] * 7 + p[1]) as u32).unwrap();
+        let db = Database::create_dir(dir.path()).unwrap();
+        db.create_object(
+            "m",
+            MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 1024)),
+        )
+        .unwrap();
+        db.insert("m", &data).unwrap();
+        db.save(dir.path()).unwrap();
+
+        // Pin a snapshot, retile underneath it, and commit while the old
+        // tiles are still alive for the snapshot.
+        let snap = db.begin_read();
+        db.retile("m", Scheme::Aligned(AlignedTiling::regular(2, 4096)))
+            .unwrap();
+        db.save(dir.path()).unwrap();
+
+        // The snapshot still reads the old tiles from memory...
+        let q = snap.range_query("m", &dom).unwrap();
+        assert_eq!(q.array, data);
+        // ...but the durable catalog only references the new ones, with
+        // the retired blobs' pages exported as free space: fsck is clean.
+        let report = fsck(dir.path()).unwrap();
+        assert!(report.is_clean(), "dirty: {report}");
+        drop(snap);
+
+        let db = Database::open_dir(dir.path()).unwrap();
+        let q = db.range_query("m", &dom).unwrap();
+        assert_eq!(q.array, data);
     }
 }

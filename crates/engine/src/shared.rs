@@ -1,28 +1,28 @@
-//! Shared-database wrapper for concurrent serving.
+//! Shared-database handle for concurrent serving.
 //!
-//! [`Database`] itself is single-writer: queries take `&self` but inserts,
-//! re-tiles and catalog saves take `&mut self`. A server handling many
-//! connections needs one database shared across threads with reads running
-//! concurrently and writes exclusive — exactly a reader-writer lock.
-//! [`SharedDatabase`] packages that policy so every caller goes through the
-//! same poison-recovering accessors instead of hand-rolling `RwLock` use.
+//! Since every [`Database`] method takes `&self` — readers go through
+//! epoch-stamped snapshots, writers serialize on an internal mutex — a
+//! server needs nothing more than an `Arc` to share one database across
+//! connection threads. [`SharedDatabase`] is that `Arc`, kept as a named
+//! type so the serving layer has a stable vocabulary: `Deref` exposes the
+//! whole engine API and [`SharedDatabase::snapshot`] marks the places where
+//! a request pins a consistent read view.
+//!
+//! The closure-based `read`/`write` accessors of the old `RwLock` wrapper
+//! are gone: queries no longer hold *any* lock across I/O, so there is no
+//! critical section left for a closure to delimit.
 
-use std::sync::{Arc, PoisonError, RwLock};
+use std::ops::Deref;
+use std::sync::Arc;
 
 use tilestore_storage::PageStore;
 
 use crate::database::Database;
+use crate::snapshot::Snapshot;
 
-/// A [`Database`] behind an `Arc<RwLock>`: clone-to-share, closure-based
-/// access, poison recovery.
-///
-/// Lock poisoning is deliberately swallowed: a panicking request handler
-/// must not condemn every later request to an error. The engine's internal
-/// invariants are guarded by its own per-structure locks and commit
-/// protocol, not by this outer lock, so the data a poisoned guard exposes
-/// is no worse than what any other thread would have seen.
+/// A cloneable handle to one shared [`Database`].
 pub struct SharedDatabase<S: PageStore> {
-    inner: Arc<RwLock<Database<S>>>,
+    inner: Arc<Database<S>>,
 }
 
 impl<S: PageStore> Clone for SharedDatabase<S> {
@@ -33,27 +33,28 @@ impl<S: PageStore> Clone for SharedDatabase<S> {
     }
 }
 
+impl<S: PageStore> Deref for SharedDatabase<S> {
+    type Target = Database<S>;
+
+    fn deref(&self) -> &Database<S> {
+        &self.inner
+    }
+}
+
 impl<S: PageStore> SharedDatabase<S> {
     /// Wraps a database for shared use.
     #[must_use]
     pub fn new(db: Database<S>) -> Self {
         SharedDatabase {
-            inner: Arc::new(RwLock::new(db)),
+            inner: Arc::new(db),
         }
     }
 
-    /// Runs `f` under the shared (read) lock. Use for queries and any other
-    /// `&Database` access; readers run concurrently.
-    pub fn read<R>(&self, f: impl FnOnce(&Database<S>) -> R) -> R {
-        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
-        f(&guard)
-    }
-
-    /// Runs `f` under the exclusive (write) lock. Use for inserts, re-tiles,
-    /// catalog saves and anything else needing `&mut Database`.
-    pub fn write<R>(&self, f: impl FnOnce(&mut Database<S>) -> R) -> R {
-        let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
-        f(&mut guard)
+    /// Pins the current catalog epoch and returns a read session; alias of
+    /// [`Database::begin_read`] kept for call-site clarity in servers.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot<S> {
+        self.inner.begin_read()
     }
 }
 
@@ -73,28 +74,29 @@ mod tests {
     #[test]
     fn concurrent_readers_with_interleaved_writer() {
         let shared = SharedDatabase::new(Database::in_memory().unwrap());
-        shared.write(|db| {
-            db.create_object(
+        shared
+            .create_object(
                 "obj",
                 MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
                 Scheme::Aligned(AlignedTiling::regular(2, 1024)),
             )
             .unwrap();
-            db.insert(
+        shared
+            .insert(
                 "obj",
                 &Array::from_fn(d("[0:29,0:29]"), |p| (p[0] * 100 + p[1]) as u32).unwrap(),
             )
             .unwrap();
-        });
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let shared = shared.clone();
                 s.spawn(move || {
                     for _ in 0..25 {
-                        let (out, _) = shared
-                            .read(|db| db.range_query("obj", &d("[5:14,5:14]")))
+                        let q = shared
+                            .snapshot()
+                            .range_query("obj", &d("[5:14,5:14]"))
                             .unwrap();
-                        assert_eq!(out.domain().cells(), 100);
+                        assert_eq!(q.array.domain().cells(), 100);
                     }
                 });
             }
@@ -104,39 +106,34 @@ mod tests {
                     let lo = 30 + i as i64 * 10;
                     let dom: Domain = format!("[{lo}:{},0:29]", lo + 9).parse().unwrap();
                     writer
-                        .write(|db| {
-                            db.insert(
-                                "obj",
-                                &Array::from_fn(dom.clone(), |p| (p[0] * 100 + p[1]) as u32)
-                                    .unwrap(),
-                            )
-                        })
+                        .insert(
+                            "obj",
+                            &Array::from_fn(dom.clone(), |p| (p[0] * 100 + p[1]) as u32).unwrap(),
+                        )
                         .unwrap();
                 }
             });
         });
-        let total = shared.read(|db| db.object("obj").unwrap().current_domain.clone());
+        let total = shared.object("obj").unwrap().current_domain.clone();
         assert_eq!(total, Some(d("[0:79,0:29]")));
     }
 
     #[test]
-    fn survives_a_panicking_writer() {
+    fn snapshots_from_clones_share_one_epoch_sequence() {
         let shared = SharedDatabase::new(Database::in_memory().unwrap());
-        let s2 = shared.clone();
-        let _ = std::thread::spawn(move || {
-            s2.write(|_db| panic!("handler bug"));
-        })
-        .join();
-        // The lock is poisoned but access still works.
-        assert!(shared.read(|db| db.object_names().is_empty()));
-        shared.write(|db| {
-            db.create_object(
-                "after",
+        let other = shared.clone();
+        shared
+            .create_object(
+                "obj",
                 MddType::new(CellType::of::<u8>(), "[0:*]".parse().unwrap()),
                 Scheme::default_for(1),
             )
             .unwrap();
-        });
-        assert_eq!(shared.read(|db| db.object_names().len()), 1);
+        let receipt = shared
+            .insert("obj", &Array::filled(d("[0:9]"), &[1]).unwrap())
+            .unwrap();
+        assert_eq!(other.snapshot().epoch(), receipt.epoch);
+        // Deref exposes the whole engine API on either handle.
+        assert_eq!(other.object_names(), vec!["obj".to_string()]);
     }
 }

@@ -1,0 +1,577 @@
+//! Epoch-based snapshot reads.
+//!
+//! The catalog — object map, tile lists, tile indexes — is an immutable
+//! [`CatalogState`] behind an `Arc`. Readers call `Database::begin_read`
+//! and get a [`Snapshot`]: an `Arc` clone of the catalog plus handles to
+//! the shared BLOB store. From that point a query never takes any
+//! database-wide lock: the snapshot's tile metadata cannot change, and
+//! the pages of its tiles cannot be reclaimed while it lives.
+//!
+//! Writers build a *new* catalog copy-on-write and publish it with a
+//! single pointer swap (see `Database::swap_catalog`), stamping it with
+//! the next epoch. Blobs the new catalog no longer references are not
+//! deleted immediately: they are *retired* into the [`EpochTracker`],
+//! which holds them until the last snapshot whose epoch still sees them
+//! drops. Deletion then feeds the PR-3 page quarantine, so the pages only
+//! become reusable after the next durable commit — the crash-consistency
+//! story is unchanged, snapshots just defer the hand-off.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use tilestore_compress::CellContext;
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::{copy_region, Domain};
+use tilestore_obs::AccessRecorder;
+use tilestore_storage::{BlobId, BlobStore, IoSnapshot, PageStore};
+
+use crate::access::{AccessLog, AccessRegion};
+use crate::array::Array;
+use crate::error::{EngineError, Result};
+use crate::mdd::{MddObject, TileMeta};
+use crate::stats::QueryStats;
+
+/// Locks a mutex, recovering from poisoning. A panicking writer must not
+/// take the whole engine down, but silent recovery hid real bugs: every
+/// recovery now bumps the `engine.lock_poisoned` counter so operators see
+/// that a lock holder died mid-section.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        tilestore_obs::hot().lock_poisoned.inc();
+        poisoned.into_inner()
+    })
+}
+
+/// One object in a catalog snapshot: immutable metadata plus the shared
+/// access log. The log `Arc` is carried from catalog to catalog across
+/// writer swaps (it is internally synchronized), so accesses recorded
+/// through an old snapshot still feed statistic tiling.
+#[derive(Clone)]
+pub(crate) struct ObjectEntry {
+    pub(crate) meta: Arc<MddObject>,
+    pub(crate) log: Arc<AccessLog>,
+}
+
+/// An immutable, versioned catalog: the unit readers pin and writers swap.
+pub(crate) struct CatalogState {
+    /// Snapshot epoch: bumped by every writer swap. Independent of the
+    /// *durable* commit epoch (`Database::catalog_epoch`), which only
+    /// `save` advances; a reopened database seeds this from the persisted
+    /// value so epochs keep growing monotonically across restarts.
+    pub(crate) version: u64,
+    pub(crate) objects: BTreeMap<String, ObjectEntry>,
+}
+
+impl CatalogState {
+    pub(crate) fn empty(version: u64) -> Self {
+        CatalogState {
+            version,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn entry(&self, name: &str) -> Result<&ObjectEntry> {
+        self.objects
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownObject(name.to_string()))
+    }
+}
+
+/// Refcounts of live snapshots per epoch plus the blobs retired by each
+/// writer swap, with the rule that makes deferred reclamation safe: a
+/// blob retired by the swap that produced epoch `N` is readable by
+/// snapshots with epoch `< N`, so it may be deleted once no live snapshot
+/// has an epoch `< N` — equivalently once `min(live epochs) >= N`, or no
+/// snapshot is live at all.
+#[derive(Default)]
+pub(crate) struct EpochTracker {
+    inner: Mutex<TrackerInner>,
+}
+
+#[derive(Default)]
+struct TrackerInner {
+    /// epoch -> number of live snapshots pinned at it.
+    live: BTreeMap<u64, u64>,
+    /// swap epoch -> blobs the swap stopped referencing.
+    retired: BTreeMap<u64, Vec<BlobId>>,
+}
+
+impl TrackerInner {
+    /// Removes and returns every retired set that no live snapshot can
+    /// still read.
+    fn drain_reclaimable(&mut self) -> Vec<BlobId> {
+        let min_live = self.live.keys().next().copied();
+        let keys: Vec<u64> = match min_live {
+            None => self.retired.keys().copied().collect(),
+            Some(m) => self.retired.range(..=m).map(|(&k, _)| k).collect(),
+        };
+        let mut out = Vec::new();
+        for k in keys {
+            if let Some(blobs) = self.retired.remove(&k) {
+                out.extend(blobs);
+            }
+        }
+        out
+    }
+}
+
+impl EpochTracker {
+    /// Registers a new snapshot at `epoch`.
+    pub(crate) fn acquire(&self, epoch: u64) {
+        let mut inner = lock_recover(&self.inner);
+        *inner.live.entry(epoch).or_insert(0) += 1;
+    }
+
+    /// Releases one snapshot at `epoch`, returning the blobs that became
+    /// reclaimable (the caller deletes them from the BLOB store).
+    pub(crate) fn release(&self, epoch: u64) -> Vec<BlobId> {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(count) = inner.live.get_mut(&epoch) {
+            *count -= 1;
+            if *count == 0 {
+                inner.live.remove(&epoch);
+            }
+        }
+        inner.drain_reclaimable()
+    }
+
+    /// Records blobs unreferenced by the swap that produced `epoch`,
+    /// returning any that are immediately reclaimable (no live snapshot
+    /// predates the swap — the common case with no concurrent readers).
+    pub(crate) fn retire(&self, epoch: u64, blobs: Vec<BlobId>) -> Vec<BlobId> {
+        let mut inner = lock_recover(&self.inner);
+        if !blobs.is_empty() {
+            inner.retired.entry(epoch).or_default().extend(blobs);
+        }
+        inner.drain_reclaimable()
+    }
+
+    /// Ids of every retired-but-undeleted blob. `save` excludes these from
+    /// the exported directory: the catalog being written no longer
+    /// references them, so a reopen must see their pages as free even
+    /// though live snapshots keep them readable in memory.
+    pub(crate) fn pending_blobs(&self) -> BTreeSet<u64> {
+        let inner = lock_recover(&self.inner);
+        inner.retired.values().flatten().map(|b| b.0).collect()
+    }
+
+    /// Number of live snapshots (tests/diagnostics).
+    #[cfg(test)]
+    pub(crate) fn live_snapshots(&self) -> u64 {
+        lock_recover(&self.inner).live.values().sum()
+    }
+}
+
+/// A query result: the materialized sub-array, the §6 execution counters,
+/// and the catalog epoch the query observed.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result array (uncovered cells hold the type's default).
+    pub array: Array,
+    /// Execution counters (`t_ix`/`t_o`/`t_cpu` decomposition inputs).
+    pub stats: QueryStats,
+    /// Epoch of the catalog snapshot the query executed against.
+    pub epoch: u64,
+}
+
+/// A write acknowledgement: the operation's statistics plus the catalog
+/// epoch the write produced. Derefs to the statistics, so existing
+/// `receipt.tiles_created`-style field access keeps working.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteReceipt<T> {
+    /// The operation's statistics.
+    pub stats: T,
+    /// Epoch of the catalog the write published.
+    pub epoch: u64,
+}
+
+impl<T> std::ops::Deref for WriteReceipt<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.stats
+    }
+}
+
+/// A consistent read view of the database at one catalog epoch.
+///
+/// Obtained from `Database::begin_read` (or `SharedDatabase::snapshot`).
+/// Queries through a snapshot never block on writers and writers never
+/// block on them: the catalog is immutable, the BLOB store is internally
+/// synchronized, and the tiles this snapshot references are protected
+/// from reclamation until it drops. Holding a snapshot across a writer
+/// commit keeps the *pre-commit* contents readable — drop it promptly on
+/// hot paths so retired tiles can be reclaimed.
+pub struct Snapshot<S: PageStore> {
+    pub(crate) catalog: Arc<CatalogState>,
+    pub(crate) blobs: Arc<BlobStore<S>>,
+    pub(crate) tracker: Arc<EpochTracker>,
+    pub(crate) executor: Option<Arc<ThreadPool>>,
+    pub(crate) recorder: Option<Arc<AccessRecorder>>,
+}
+
+impl<S: PageStore> Drop for Snapshot<S> {
+    fn drop(&mut self) {
+        for id in self.tracker.release(self.catalog.version) {
+            // The blob may legitimately be gone if the store was torn down
+            // around us; reclamation is best-effort by design.
+            let _ = self.blobs.delete(id);
+        }
+        tilestore_obs::hot().snapshots_active.add(-1);
+    }
+}
+
+impl<S: PageStore> Snapshot<S> {
+    /// The catalog epoch this snapshot observes.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.catalog.version
+    }
+
+    /// Names of all objects in this snapshot.
+    #[must_use]
+    pub fn object_names(&self) -> Vec<String> {
+        self.catalog.objects.keys().cloned().collect()
+    }
+
+    /// Metadata of one object as of this snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`].
+    pub fn object(&self, name: &str) -> Result<Arc<MddObject>> {
+        self.catalog.entry(name).map(|e| Arc::clone(&e.meta))
+    }
+
+    /// The (shared, live) access log of one object.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`].
+    pub fn access_log(&self, name: &str) -> Result<Arc<AccessLog>> {
+        self.catalog.entry(name).map(|e| Arc::clone(&e.log))
+    }
+
+    /// A point-in-time snapshot of the shared store's I/O counters. The
+    /// counters are store-wide (concurrent writers advance them too);
+    /// per-query deltas are in [`QueryResult::stats`].
+    #[must_use]
+    pub fn stats(&self) -> IoSnapshot {
+        self.blobs.stats().snapshot()
+    }
+
+    /// Records an executed access for statistic tiling: the in-process
+    /// log always, the persistent recorder when attached.
+    fn record_access(&self, name: &str, entry: &ObjectEntry, region: &Domain) {
+        entry.log.record(region);
+        if let Some(rec) = &self.recorder {
+            if rec.record(name, &region.to_string()).is_err() {
+                tilestore_obs::metrics()
+                    .counter("engine.recorder_errors")
+                    .inc();
+            }
+        }
+    }
+
+    /// Executes a range query (§5.1 type (b)) against this snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`], domain validation errors, storage
+    /// errors.
+    pub fn range_query(&self, name: &str, region: &Domain) -> Result<QueryResult> {
+        let entry = self.catalog.entry(name)?;
+        if !entry.meta.mdd_type.definition.admits(region) {
+            return Err(EngineError::OutsideDefinitionDomain {
+                domain: region.to_string(),
+                definition: entry.meta.mdd_type.definition.to_string(),
+            });
+        }
+        self.record_access(name, entry, region);
+        let (array, stats) =
+            execute_range(&self.blobs, self.executor.as_deref(), &entry.meta, region)?;
+        Ok(QueryResult {
+            array,
+            stats,
+            epoch: self.catalog.version,
+        })
+    }
+
+    /// Executes any §5.1 access against this snapshot. Sections (type (d))
+    /// come back with the fixed axes dropped from the result's
+    /// dimensionality.
+    ///
+    /// # Errors
+    /// [`EngineError::EmptyObject`] when the object holds no cells, plus
+    /// the errors of [`Snapshot::range_query`].
+    pub fn query(&self, name: &str, access: &AccessRegion) -> Result<QueryResult> {
+        let entry = self.catalog.entry(name)?;
+        let current = entry
+            .meta
+            .current_domain
+            .as_ref()
+            .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
+        let (region, fixed_axes) = access.resolve(current)?;
+        let result = self.range_query(name, &region)?;
+        if fixed_axes.is_empty() {
+            return Ok(result);
+        }
+        let section_domain = region.project_out(&fixed_axes)?;
+        Ok(QueryResult {
+            array: result.array.reshaped(section_domain)?,
+            stats: result.stats,
+            epoch: result.epoch,
+        })
+    }
+}
+
+/// Fetches and decompresses one tile's cell payload.
+pub(crate) fn read_tile_payload<S: PageStore>(
+    blobs: &BlobStore<S>,
+    meta: &MddObject,
+    tile: &TileMeta,
+) -> Result<Vec<u8>> {
+    let stream = blobs.read(tile.blob)?;
+    let ctx = CellContext {
+        cell_size: meta.cell_size(),
+        default: &meta.mdd_type.cell.default,
+    };
+    tilestore_compress::decompress(&stream, &ctx)
+        .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))
+}
+
+/// The shared query executor: index lookup, tile fetch, composition.
+/// Operates on immutable metadata plus the internally-synchronized BLOB
+/// store, so it needs no database lock — this is what lets a query run
+/// fully concurrent with writers.
+pub(crate) fn execute_range<S: PageStore>(
+    blobs: &BlobStore<S>,
+    executor: Option<&ThreadPool>,
+    meta: &MddObject,
+    region: &Domain,
+) -> Result<(Array, QueryStats)> {
+    let _span = tilestore_obs::tracer()
+        .span_with("query", || format!("object={} region={region}", meta.name));
+    let started = Instant::now();
+    let cell_size = meta.cell_size();
+    let search = meta.index.search(region);
+    let mut result = Array::filled(region.clone(), &meta.mdd_type.cell.default)?;
+    let io_before = blobs.stats().snapshot();
+    let mut stats = QueryStats {
+        index_nodes: search.nodes_visited,
+        ..QueryStats::default()
+    };
+    let pool = executor.filter(|_| search.hits.len() > 1 && region.extent(0) > 1);
+    if let Some(pool) = pool {
+        stats.cells_copied =
+            fetch_tiles_parallel(blobs, pool, meta, region, &search.hits, result.bytes_mut())?;
+        for &pos in &search.hits {
+            stats.tiles_read += 1;
+            stats.cells_processed += meta.tiles[pos as usize].domain.cells();
+        }
+    } else {
+        for &pos in &search.hits {
+            let tile = &meta.tiles[pos as usize];
+            let bytes = read_tile_payload(blobs, meta, tile)?;
+            let tile_array = Array::from_bytes(tile.domain.clone(), cell_size, bytes)?;
+            let copied = result.paste(&tile_array)?;
+            stats.tiles_read += 1;
+            stats.cells_processed += tile.domain.cells();
+            stats.cells_copied += copied;
+        }
+    }
+    stats.io = blobs.stats().snapshot().since(&io_before);
+    stats.cells_defaulted = region.cells() - stats.cells_copied;
+    stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let hot = tilestore_obs::hot();
+    hot.queries.inc();
+    hot.query_latency_ns.record(stats.elapsed_ns);
+    hot.query_tiles.record(stats.tiles_read);
+    Ok((result, stats))
+}
+
+/// Parallel tile composition: splits the query region (and the result
+/// byte buffer) into disjoint contiguous bands along axis 0 and scatters
+/// one task per band across the pool. Each band fetches the tiles it
+/// intersects into a reused scratch buffer, decodes them zero-copy where
+/// the codec allows, and pastes the clipped region straight into its
+/// slice of the result. Bands partition the region, so every result cell
+/// is written by exactly one task; band boundaries snap to tile-row
+/// starts, so with an aligned tiling no tile is fetched twice (a tile
+/// crossing a cut that could not snap is fetched once per band it
+/// touches).
+///
+/// Returns the total number of cells copied from tiles.
+fn fetch_tiles_parallel<S: PageStore>(
+    blobs: &BlobStore<S>,
+    pool: &ThreadPool,
+    meta: &MddObject,
+    region: &Domain,
+    hits: &[u64],
+    out: &mut [u8],
+) -> Result<u64> {
+    let cell_size = meta.cell_size();
+    let rows = usize::try_from(region.extent(0)).map_err(|_| {
+        EngineError::Catalog(format!("query region too large for this host: {region}"))
+    })?;
+    let slab = out.len() / rows; // bytes per axis-0 index
+    let bands = (pool.workers() + 1).min(rows);
+    let lo0 = region.lo(0);
+    let hi0 = lo0 + rows as i64;
+    // Snap band boundaries to rows where a tile begins: a cut through
+    // the middle of a tile makes both neighbouring bands read it, so
+    // the ideal even split is adjusted to the nearest tile-row start.
+    // With an aligned tiling this eliminates duplicate reads entirely.
+    let mut tile_starts: Vec<i64> = hits
+        .iter()
+        .map(|&pos| meta.tiles[pos as usize].domain.lo(0))
+        .filter(|&s| s > lo0 && s < hi0)
+        .collect();
+    tile_starts.sort_unstable();
+    tile_starts.dedup();
+    let mut cuts: Vec<i64> = vec![lo0];
+    for b in 1..bands {
+        let ideal = lo0 + (rows * b / bands) as i64;
+        let snapped = tile_starts
+            .iter()
+            .copied()
+            .min_by_key(|s| (s - ideal).abs())
+            .unwrap_or(ideal);
+        if snapped > *cuts.last().expect("cuts is non-empty") {
+            cuts.push(snapped);
+        }
+    }
+    cuts.push(hi0);
+    let mut tasks: Vec<(Domain, &mut [u8])> = Vec::with_capacity(cuts.len() - 1);
+    let mut rest = out;
+    for w in cuts.windows(2) {
+        let len = (w[1] - w[0]) as usize;
+        let (head, tail) = rest.split_at_mut(len * slab);
+        rest = tail;
+        let band_range = tilestore_geometry::AxisRange::new(w[0], w[1] - 1)?;
+        tasks.push((region.with_axis(0, band_range)?, head));
+    }
+    let ctx = CellContext {
+        cell_size,
+        default: &meta.mdd_type.cell.default,
+    };
+    let copied = pool.scatter(tasks, |_, (band_dom, band_out)| -> Result<u64> {
+        let mut scratch = Vec::new();
+        let mut copied = 0u64;
+        for &pos in hits {
+            let tile = &meta.tiles[pos as usize];
+            let Some(overlap) = tile.domain.intersection(&band_dom) else {
+                continue;
+            };
+            let n = blobs.read_into(tile.blob, &mut scratch)?;
+            let payload = tilestore_compress::decompress_view(&scratch[..n], &ctx)
+                .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))?;
+            copied += copy_region(
+                &tile.domain,
+                &payload,
+                &band_dom,
+                band_out,
+                &overlap,
+                cell_size,
+            )?;
+        }
+        Ok(copied)
+    });
+    let mut total = 0u64;
+    for band in copied {
+        total += band?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ids: &[u64]) -> Vec<BlobId> {
+        ids.iter().map(|&i| BlobId(i)).collect()
+    }
+
+    #[test]
+    fn retire_with_no_live_snapshots_is_immediate() {
+        let t = EpochTracker::default();
+        assert_eq!(t.retire(1, b(&[10, 11])), b(&[10, 11]));
+        assert!(t.pending_blobs().is_empty());
+    }
+
+    #[test]
+    fn retire_defers_until_the_predating_snapshot_drops() {
+        let t = EpochTracker::default();
+        t.acquire(0); // a snapshot at epoch 0
+                      // A swap to epoch 1 retires blobs the epoch-0 snapshot still reads.
+        assert_eq!(t.retire(1, b(&[7])), Vec::new());
+        assert_eq!(
+            t.pending_blobs(),
+            [7u64].into_iter().collect::<BTreeSet<u64>>()
+        );
+        // A snapshot at the *new* epoch does not keep them alive.
+        t.acquire(1);
+        assert_eq!(t.release(1), Vec::new());
+        // The old snapshot dropping releases the retired set.
+        assert_eq!(t.release(0), b(&[7]));
+        assert!(t.pending_blobs().is_empty());
+    }
+
+    #[test]
+    fn refcounts_nest_per_epoch() {
+        let t = EpochTracker::default();
+        t.acquire(3);
+        t.acquire(3);
+        assert_eq!(t.retire(4, b(&[1])), Vec::new());
+        assert_eq!(t.release(3), Vec::new(), "one of two refs still live");
+        assert_eq!(t.release(3), b(&[1]));
+        assert_eq!(t.live_snapshots(), 0);
+    }
+
+    #[test]
+    fn interleaved_retirements_release_in_epoch_order() {
+        let t = EpochTracker::default();
+        t.acquire(0);
+        assert_eq!(t.retire(1, b(&[1])), Vec::new());
+        t.acquire(1);
+        assert_eq!(t.retire(2, b(&[2])), Vec::new());
+        // Dropping the epoch-0 snapshot frees only the epoch-1 set: the
+        // epoch-1 snapshot still reads blobs retired by the swap to 2.
+        assert_eq!(t.release(0), b(&[1]));
+        assert_eq!(t.pending_blobs().len(), 1);
+        assert_eq!(t.release(1), b(&[2]));
+    }
+
+    #[test]
+    fn write_receipt_derefs_to_stats() {
+        use crate::stats::InsertStats;
+        let receipt = WriteReceipt {
+            stats: InsertStats {
+                tiles_created: 4,
+                ..InsertStats::default()
+            },
+            epoch: 9,
+        };
+        assert_eq!(receipt.tiles_created, 4, "Deref exposes stats fields");
+        assert_eq!(receipt.epoch, 9);
+        assert_eq!(receipt.stats.tiles_created, 4);
+    }
+
+    #[test]
+    fn lock_recover_counts_poisoning() {
+        use std::sync::{Arc, Mutex};
+        let m = Arc::new(Mutex::new(0u32));
+        let poisoner = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = poisoner.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        let before = tilestore_obs::hot().lock_poisoned.get();
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 1, "recovered guard stays usable");
+        assert!(
+            tilestore_obs::hot().lock_poisoned.get() >= before + 2,
+            "every poisoned acquisition bumps engine.lock_poisoned"
+        );
+    }
+}

@@ -11,7 +11,7 @@ fn d(s: &str) -> Domain {
 }
 
 fn db_with(policy: CompressionPolicy) -> Database<tilestore_storage::MemPageStore> {
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "obj",
         MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
@@ -45,11 +45,11 @@ fn compressed_objects_answer_queries_exactly() {
         CompressionPolicy::Fixed(Codec::ChunkOffset),
         CompressionPolicy::selective_default(),
     ] {
-        let mut db = db_with(policy.clone());
+        let db = db_with(policy.clone());
         db.insert("obj", &data).unwrap();
-        let (all, _) = db.range_query("obj", &dom).unwrap();
+        let all = db.range_query("obj", &dom).unwrap().array;
         assert_eq!(all, data, "{policy:?}");
-        let (sub, _) = db.range_query("obj", &d("[50:149,30:59]")).unwrap();
+        let sub = db.range_query("obj", &d("[50:149,30:59]")).unwrap().array;
         assert_eq!(
             sub,
             data.extract(&d("[50:149,30:59]")).unwrap(),
@@ -63,11 +63,11 @@ fn sparse_data_shrinks_physical_storage() {
     let dom = d("[0:199,0:199]");
     let data = sparse_array(&dom);
 
-    let mut raw = db_with(CompressionPolicy::None);
+    let raw = db_with(CompressionPolicy::None);
     raw.insert("obj", &data).unwrap();
     let raw_bytes = raw.object_physical_bytes("obj").unwrap();
 
-    let mut packed = db_with(CompressionPolicy::selective_default());
+    let packed = db_with(CompressionPolicy::selective_default());
     packed.insert("obj", &data).unwrap();
     let packed_bytes = packed.object_physical_bytes("obj").unwrap();
 
@@ -77,8 +77,8 @@ fn sparse_data_shrinks_physical_storage() {
     );
     // And fewer pages are read per query — compression reduces t_o.
     let q = d("[0:99,0:99]");
-    let (_, raw_stats) = raw.range_query("obj", &q).unwrap();
-    let (_, packed_stats) = packed.range_query("obj", &q).unwrap();
+    let raw_stats = raw.range_query("obj", &q).unwrap().stats;
+    let packed_stats = packed.range_query("obj", &q).unwrap().stats;
     assert!(packed_stats.io.pages_read < raw_stats.io.pages_read);
 }
 
@@ -86,7 +86,7 @@ fn sparse_data_shrinks_physical_storage() {
 fn mixed_codecs_within_one_object() {
     // Insert one batch raw, then switch the policy and grow the object:
     // both generations of tiles must read back correctly.
-    let mut db = db_with(CompressionPolicy::None);
+    let db = db_with(CompressionPolicy::None);
     let first = sparse_array(&d("[0:99,0:99]"));
     db.insert("obj", &first).unwrap();
     db.set_compression("obj", CompressionPolicy::selective_default())
@@ -94,9 +94,9 @@ fn mixed_codecs_within_one_object() {
     let second = sparse_array(&d("[200:299,0:99]"));
     db.insert("obj", &second).unwrap();
 
-    let (a, _) = db.range_query("obj", &d("[0:99,0:99]")).unwrap();
+    let a = db.range_query("obj", &d("[0:99,0:99]")).unwrap().array;
     assert_eq!(a, first);
-    let (b, _) = db.range_query("obj", &d("[200:299,0:99]")).unwrap();
+    let b = db.range_query("obj", &d("[200:299,0:99]")).unwrap().array;
     assert_eq!(b, second);
 }
 
@@ -104,7 +104,7 @@ fn mixed_codecs_within_one_object() {
 fn retile_rewrites_under_new_policy() {
     let dom = d("[0:99,0:99]");
     let data = sparse_array(&dom);
-    let mut db = db_with(CompressionPolicy::None);
+    let db = db_with(CompressionPolicy::None);
     db.insert("obj", &data).unwrap();
     let before = db.object_physical_bytes("obj").unwrap();
 
@@ -118,7 +118,7 @@ fn retile_rewrites_under_new_policy() {
         "retile under compression: {after} vs {before}"
     );
 
-    let (out, _) = db.range_query("obj", &dom).unwrap();
+    let out = db.range_query("obj", &dom).unwrap().array;
     assert_eq!(out, data);
 }
 
@@ -128,7 +128,7 @@ fn compression_persists_across_reopen() {
     let dom = d("[0:99,0:99]");
     let data = sparse_array(&dom);
     {
-        let mut db = Database::create_dir(dir.path()).unwrap();
+        let db = Database::create_dir(dir.path()).unwrap();
         db.create_object(
             "obj",
             MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
@@ -141,7 +141,7 @@ fn compression_persists_across_reopen() {
         db.save(dir.path()).unwrap();
     }
     let db = Database::open_dir(dir.path()).unwrap();
-    let (out, _) = db.range_query("obj", &dom).unwrap();
+    let out = db.range_query("obj", &dom).unwrap().array;
     assert_eq!(out, data);
     assert_eq!(
         db.object("obj").unwrap().compression,

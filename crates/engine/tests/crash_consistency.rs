@@ -49,7 +49,7 @@ fn expected_contents(commits: u64) -> Array {
 fn phase0(dir: &Path) -> FaultyDb {
     fs::create_dir_all(dir).unwrap();
     let store = FilePageStore::create(dir.join(PAGES_FILE), DEFAULT_PAGE_SIZE).unwrap();
-    let mut db = Database::with_store(FaultInjectingPageStore::new(store));
+    let db = Database::with_store(FaultInjectingPageStore::new(store));
     db.create_object(
         "m",
         MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -73,7 +73,7 @@ struct Outcome {
 /// Runs the workload with `plan` armed after phase 0, stopping at the
 /// first injected failure as a dead process would.
 fn run_workload(dir: &Path, plan: Option<FaultPlan>) -> Outcome {
-    let mut db = phase0(dir);
+    let db = phase0(dir);
     let ops0 = db.blob_store().page_store().ops();
     if let Some(plan) = plan {
         db.blob_store().page_store().set_plan(plan);
@@ -110,11 +110,11 @@ fn assert_recovers(dir: &Path, commits: u64, what: &str) {
         "{what}: stale tmp survived recovery"
     );
     let region = "[0:39,0:19]".parse().unwrap();
-    let (out, _) = db
+    let q = db
         .range_query("m", &region)
         .unwrap_or_else(|e| panic!("{what}: committed data unreadable: {e}"));
     assert_eq!(
-        out,
+        q.array,
         expected_contents(commits),
         "{what}: lost or torn tiles"
     );
@@ -173,7 +173,7 @@ fn crash_during_save_leaves_previous_commit_intact() {
     // save (at its page-store sync), leave a garbage staging file behind,
     // and reopen — the previous commit must come back untouched.
     let dir = tilestore_testkit::tempdir().unwrap();
-    let mut db = phase0(dir.path());
+    let db = phase0(dir.path());
     db.insert("m", &data_b()).unwrap();
     let next_op = db.blob_store().page_store().ops();
     db.blob_store()
@@ -193,7 +193,7 @@ fn transient_store_errors_do_not_poison_the_database() {
     // A one-off I/O failure surfaces as an error but the database stays
     // usable and the retried commit succeeds.
     let dir = tilestore_testkit::tempdir().unwrap();
-    let mut db = phase0(dir.path());
+    let db = phase0(dir.path());
     let next_op = db.blob_store().page_store().ops();
     db.blob_store()
         .page_store()
@@ -203,10 +203,43 @@ fn transient_store_errors_do_not_poison_the_database() {
     db.save(dir.path()).unwrap();
     drop(db);
     let db = Database::open_dir(dir.path()).unwrap();
-    let (out, _) = db
+    let q = db
         .range_query("m", &"[0:39,0:19]".parse().unwrap())
         .unwrap();
-    assert_eq!(out, expected_contents(2));
+    assert_eq!(q.array, expected_contents(2));
+    db.save(dir.path()).unwrap();
+    assert!(fsck(dir.path()).unwrap().is_clean());
+}
+
+#[test]
+fn crash_with_a_live_snapshot_recovers_cleanly() {
+    // A snapshot pinned at crash time must not leak retired blobs into the
+    // durable state: the commit taken while the snapshot was live exports
+    // them as free space, so recovery finds a clean directory.
+    let dir = tilestore_testkit::tempdir().unwrap();
+    {
+        let db = phase0(dir.path());
+        let snap = db.begin_read();
+        db.retile("m", Scheme::Aligned(AlignedTiling::regular(2, 2048)))
+            .unwrap();
+        db.save(dir.path()).unwrap();
+        // The snapshot still reads pre-retile state right up to the "crash".
+        let q = snap
+            .range_query("m", &"[0:19,0:19]".parse().unwrap())
+            .unwrap();
+        assert_eq!(q.array, data_a());
+        // Process dies here with the snapshot live: no Drop-side reclaim
+        // runs for the retired blobs.
+        std::mem::forget(snap);
+    }
+    let report = fsck(dir.path()).unwrap();
+    assert!(report.is_clean(), "fsck dirty after crash: {report}");
+    let db = Database::open_dir(dir.path()).unwrap();
+    assert_eq!(db.catalog_epoch(), 2);
+    let q = db
+        .range_query("m", &"[0:39,0:19]".parse().unwrap())
+        .unwrap();
+    assert_eq!(q.array, expected_contents(1));
     db.save(dir.path()).unwrap();
     assert!(fsck(dir.path()).unwrap().is_clean());
 }

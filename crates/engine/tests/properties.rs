@@ -94,7 +94,7 @@ fn insert_query_round_trip() {
             (dom, sch, query)
         },
         |(dom, sch, query)| {
-            let mut db = Database::in_memory().unwrap();
+            let db = Database::in_memory().unwrap();
             db.create_object(
                 "obj",
                 MddType::new(
@@ -108,12 +108,12 @@ fn insert_query_round_trip() {
             db.insert("obj", &data).unwrap();
 
             // Querying any subregion returns exactly the original cells.
-            let (out, stats) = db.range_query("obj", query).unwrap();
-            prop_assert_eq!(&out, &data.extract(query).unwrap());
-            prop_assert_eq!(stats.cells_copied, query.cells());
-            prop_assert_eq!(stats.cells_defaulted, 0);
+            let q = db.range_query("obj", query).unwrap();
+            prop_assert_eq!(&q.array, &data.extract(query).unwrap());
+            prop_assert_eq!(q.stats.cells_copied, query.cells());
+            prop_assert_eq!(q.stats.cells_defaulted, 0);
             // Tiles processed cover at least the query.
-            prop_assert!(stats.cells_processed >= query.cells());
+            prop_assert!(q.stats.cells_processed >= query.cells());
             Ok(())
         },
     );
@@ -126,7 +126,7 @@ fn partial_coverage_reads_default_outside() {
         64,
         |s| (domain(s, 2), domain(s, 2)),
         |(dom, probe)| {
-            let mut db = Database::in_memory().unwrap();
+            let db = Database::in_memory().unwrap();
             db.create_object(
                 "obj",
                 MddType::new(
@@ -139,7 +139,7 @@ fn partial_coverage_reads_default_outside() {
             let data = Array::from_fn(dom.clone(), |p| (p[0] + p[1] + 1000) as u16).unwrap();
             db.insert("obj", &data).unwrap();
 
-            let (out, _) = db.range_query("obj", probe).unwrap();
+            let out = db.range_query("obj", probe).unwrap().array;
             let layout = tilestore_geometry::RowMajor::new(probe.clone()).unwrap();
             for p in PointIter::new(probe.clone()).take(512) {
                 let got: u16 = out.get(&p).unwrap();
@@ -172,7 +172,7 @@ fn retile_preserves_content() {
             (dom, s1, s2)
         },
         |(dom, s1, s2)| {
-            let mut db = Database::in_memory().unwrap();
+            let db = Database::in_memory().unwrap();
             db.create_object(
                 "obj",
                 MddType::new(
@@ -185,7 +185,7 @@ fn retile_preserves_content() {
             let data = Array::from_fn(dom.clone(), |p| (p[0] * 3 + p[1]) as u16).unwrap();
             db.insert("obj", &data).unwrap();
             db.retile("obj", s2.clone()).unwrap();
-            let (out, _) = db.range_query("obj", dom).unwrap();
+            let out = db.range_query("obj", dom).unwrap().array;
             prop_assert_eq!(out, data);
             Ok(())
         },
@@ -199,7 +199,7 @@ fn point_queries_agree_with_bulk() {
         64,
         |s| (domain(s, 3), s.next_u64()),
         |(dom, seed)| {
-            let mut db = Database::in_memory().unwrap();
+            let db = Database::in_memory().unwrap();
             db.create_object(
                 "vol",
                 MddType::new(
@@ -226,7 +226,7 @@ fn point_queries_agree_with_bulk() {
                     .collect();
                 let p = Point::new(coords).unwrap();
                 let cell = Domain::cell(&p);
-                let (one, _) = db.range_query("vol", &cell).unwrap();
+                let one = db.range_query("vol", &cell).unwrap().array;
                 prop_assert_eq!(one.get::<u32>(&p).unwrap(), data.get::<u32>(&p).unwrap());
             }
             Ok(())
@@ -247,7 +247,7 @@ fn update_and_delete_match_shadow_model() {
             (base, patches)
         },
         |(base, patches)| {
-            let mut db = Database::in_memory().unwrap();
+            let db = Database::in_memory().unwrap();
             db.create_object(
                 "obj",
                 MddType::new(
@@ -279,7 +279,7 @@ fn update_and_delete_match_shadow_model() {
                 }
             }
 
-            let (out, _) = db.range_query("obj", &world).unwrap();
+            let out = db.range_query("obj", &world).unwrap().array;
             prop_assert_eq!(out, shadow);
             Ok(())
         },

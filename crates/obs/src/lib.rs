@@ -6,7 +6,7 @@
 //! serialization). Three facilities:
 //!
 //! - [`trace`]: nestable spans/events in a bounded ring buffer, JSONL export.
-//! - [`metrics`]: atomic counters, gauges and log2-bucket histograms.
+//! - [`mod@metrics`]: atomic counters, gauges and log2-bucket histograms.
 //! - [`recorder`]: an append-only JSONL log of executed query regions,
 //!   persisted alongside the catalog, replayable into `StatisticTiling`.
 //!
@@ -78,6 +78,13 @@ pub struct HotMetrics {
     pub orphaned_pages_reclaimed: Arc<Counter>,
     /// Page frames that failed checksum verification on read.
     pub checksum_failures: Arc<Counter>,
+    /// Snapshots currently live (begun but not yet dropped).
+    pub snapshots_active: Arc<Gauge>,
+    /// Time writers spend inside the exclusive catalog-pointer swap, in
+    /// nanoseconds — the *only* section readers can ever wait behind.
+    pub writer_swap_ns: Arc<Histogram>,
+    /// Engine mutexes recovered from poisoning (a holder panicked).
+    pub lock_poisoned: Arc<Counter>,
 }
 
 impl HotMetrics {
@@ -98,6 +105,9 @@ impl HotMetrics {
             catalog_commits: reg.counter("engine.catalog_commits"),
             orphaned_pages_reclaimed: reg.counter("storage.orphaned_pages_reclaimed"),
             checksum_failures: reg.counter("storage.checksum_failures"),
+            snapshots_active: reg.gauge("engine.snapshots_active"),
+            writer_swap_ns: reg.histogram("engine.writer_swap_ns"),
+            lock_poisoned: reg.counter("engine.lock_poisoned"),
         }
     }
 

@@ -1,7 +1,7 @@
-//! Query execution against a [`Database`].
+//! Query execution against an engine read [`Snapshot`].
 
 use tilestore_engine::{
-    aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellType, Database, QueryStats,
+    aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellType, QueryStats, Snapshot,
 };
 use tilestore_geometry::{AxisRange, Domain};
 use tilestore_storage::PageStore;
@@ -51,7 +51,12 @@ struct ResolvedAccess {
     fixed_axes: Vec<usize>,
 }
 
-/// Parses and executes a query.
+/// Parses and executes a query against a read snapshot.
+///
+/// The caller owns the snapshot (see
+/// [`Database::begin_read`](tilestore_engine::Database::begin_read)), so one
+/// session can run several statements against a single consistent epoch and
+/// stamp results with [`Snapshot::epoch`].
 ///
 /// ```
 /// use tilestore_engine::{Array, CellType, Database, MddType};
@@ -59,7 +64,7 @@ struct ResolvedAccess {
 /// use tilestore_tiling::Scheme;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut db = Database::in_memory()?;
+/// let db = Database::in_memory()?;
 /// db.create_object(
 ///     "m",
 ///     MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2)?),
@@ -67,7 +72,8 @@ struct ResolvedAccess {
 /// )?;
 /// db.insert("m", &Array::from_fn("[0:9,0:9]".parse()?, |p| p[0] as u32)?)?;
 ///
-/// let (value, _) = tilestore_rasql::execute(&db, "SELECT sum_cells(m) FROM m")?;
+/// let snap = db.begin_read();
+/// let (value, _) = tilestore_rasql::execute(&snap, "SELECT sum_cells(m) FROM m")?;
 /// assert_eq!(value.as_number(), Some(450.0));
 /// # Ok(())
 /// # }
@@ -76,32 +82,35 @@ struct ResolvedAccess {
 /// # Errors
 /// Parse errors, semantic errors (collection mismatch, arity) and engine
 /// errors.
-pub fn execute<S: PageStore>(db: &Database<S>, input: &str) -> Result<(Value, QueryStats)> {
+pub fn execute<S: PageStore>(snap: &Snapshot<S>, input: &str) -> Result<(Value, QueryStats)> {
     let query = parse(input)?;
-    execute_query(db, &query)
+    execute_query(snap, &query)
 }
 
 /// Executes a pre-parsed query.
 ///
 /// # Errors
 /// Semantic and engine errors.
-pub fn execute_query<S: PageStore>(db: &Database<S>, query: &Query) -> Result<(Value, QueryStats)> {
+pub fn execute_query<S: PageStore>(
+    snap: &Snapshot<S>,
+    query: &Query,
+) -> Result<(Value, QueryStats)> {
     match &query.expr {
         Expr::Condense { op, arg } => {
             let kind = condenser_kind(*op);
             if let Expr::Access { .. } = arg.as_ref() {
                 // Plain access: aggregate tile-streaming, no materialization.
-                let access = resolve_access(db, arg, &query.from)?;
-                let (value, stats) = db.aggregate(&access.collection, &access.region, kind)?;
+                let access = resolve_access(snap, arg, &query.from)?;
+                let (value, stats) = snap.aggregate(&access.collection, &access.region, kind)?;
                 return Ok((agg_to_value(value), stats));
             }
             // Induced argument: materialize, then aggregate in memory.
-            let (array, cell, stats) = eval_array(db, arg, &query.from)?;
+            let (array, cell, stats) = eval_array(snap, arg, &query.from)?;
             let value = aggregate_array(&cell, &array, kind)?;
             Ok((agg_to_value(value), stats))
         }
         other => {
-            let (array, _, stats) = eval_array(db, other, &query.from)?;
+            let (array, _, stats) = eval_array(snap, other, &query.from)?;
             Ok((Value::Array(array), stats))
         }
     }
@@ -145,15 +154,16 @@ fn induced_binop(op: InducedOp) -> BinOp {
 /// Evaluates an array-valued expression, returning the array, its cell
 /// type, and the accumulated execution counters.
 fn eval_array<S: PageStore>(
-    db: &Database<S>,
+    snap: &Snapshot<S>,
     expr: &Expr,
     from: &str,
 ) -> Result<(Array, CellType, QueryStats)> {
     match expr {
         Expr::Access { .. } => {
-            let access = resolve_access(db, expr, from)?;
-            let cell = db.object(&access.collection)?.mdd_type.cell.clone();
-            let (array, stats) = db.range_query(&access.collection, &access.region)?;
+            let access = resolve_access(snap, expr, from)?;
+            let cell = snap.object(&access.collection)?.mdd_type.cell.clone();
+            let q = snap.range_query(&access.collection, &access.region)?;
+            let (array, stats) = (q.array, q.stats);
             if access.fixed_axes.is_empty() {
                 return Ok((array, cell, stats));
             }
@@ -165,7 +175,7 @@ fn eval_array<S: PageStore>(
             Ok((reshaped, cell, stats))
         }
         Expr::Induce { lhs, op, rhs } => {
-            let (array, cell, stats) = eval_array(db, lhs, from)?;
+            let (array, cell, stats) = eval_array(snap, lhs, from)?;
             let (result, result_cell) = induce_scalar(&cell, &array, induced_binop(*op), *rhs)?;
             Ok((result, result_cell, stats))
         }
@@ -176,7 +186,7 @@ fn eval_array<S: PageStore>(
 }
 
 fn resolve_access<S: PageStore>(
-    db: &Database<S>,
+    snap: &Snapshot<S>,
     expr: &Expr,
     from: &str,
 ) -> Result<ResolvedAccess> {
@@ -194,7 +204,7 @@ fn resolve_access<S: PageStore>(
             "expression references {collection:?} but FROM names {from:?}"
         )));
     }
-    let meta = db.object(collection)?;
+    let meta = snap.object(collection)?;
     let current = meta.current_domain.clone().ok_or_else(|| {
         QueryError::Engine(tilestore_engine::EngineError::EmptyObject(
             collection.clone(),
@@ -256,8 +266,10 @@ mod tests {
     use tilestore_geometry::{DefDomain, Point};
     use tilestore_tiling::{AlignedTiling, Scheme};
 
+    use tilestore_engine::Database;
+
     fn setup() -> Database<tilestore_storage::MemPageStore> {
-        let mut db = Database::in_memory().unwrap();
+        let db = Database::in_memory().unwrap();
         db.create_object(
             "cube",
             MddType::new(CellType::of::<u32>(), DefDomain::unlimited(3).unwrap()),
@@ -276,6 +288,7 @@ mod tests {
     #[test]
     fn whole_object_select() {
         let db = setup();
+        let db = db.begin_read();
         let (v, _) = execute(&db, "SELECT cube FROM cube").unwrap();
         let arr = v.as_array().unwrap();
         assert_eq!(arr.domain().to_string(), "[0:9,0:9,0:9]");
@@ -284,6 +297,7 @@ mod tests {
     #[test]
     fn trim_select() {
         let db = setup();
+        let db = db.begin_read();
         let (v, stats) = execute(&db, "SELECT cube[2:4, 0:9, 5:7] FROM cube").unwrap();
         let arr = v.as_array().unwrap();
         assert_eq!(arr.domain().to_string(), "[2:4,0:9,5:7]");
@@ -294,6 +308,7 @@ mod tests {
     #[test]
     fn star_bounds_resolve_to_current_domain() {
         let db = setup();
+        let db = db.begin_read();
         let (v, _) = execute(&db, "SELECT cube[*:*, 3:3, 2:*] FROM cube").unwrap();
         assert_eq!(v.as_array().unwrap().domain().to_string(), "[0:9,3:3,2:9]");
     }
@@ -301,6 +316,7 @@ mod tests {
     #[test]
     fn section_drops_axes() {
         let db = setup();
+        let db = db.begin_read();
         let (v, _) = execute(&db, "SELECT cube[5, *, 2:3] FROM cube").unwrap();
         let arr = v.as_array().unwrap();
         assert_eq!(arr.domain().to_string(), "[0:9,2:3]");
@@ -310,6 +326,7 @@ mod tests {
     #[test]
     fn condensers() {
         let db = setup();
+        let db = db.begin_read();
         let (v, _) = execute(&db, "SELECT sum_cells(cube[0:0,0:0,0:9]) FROM cube").unwrap();
         assert_eq!(v.as_number().unwrap(), 45.0);
         let (v, _) = execute(&db, "SELECT avg_cells(cube[0:0,0:0,0:9]) FROM cube").unwrap();
@@ -329,6 +346,7 @@ mod tests {
     #[test]
     fn induced_arithmetic_and_comparison() {
         let db = setup();
+        let db = db.begin_read();
         // cube cell at (x,y,z) = 100x + 10y + z.
         let (v, _) = execute(&db, "SELECT cube[0:0,0:0,0:3] + 1000 FROM cube").unwrap();
         let arr = v.as_array().unwrap();
@@ -365,6 +383,7 @@ mod tests {
     #[test]
     fn semantic_errors() {
         let db = setup();
+        let db = db.begin_read();
         for bad in [
             "SELECT other FROM cube",
             "SELECT cube[0:1] FROM cube",

@@ -21,8 +21,11 @@
 //! "non-default" plays the role RasQL's booleans do). Sections use RasQL
 //! semantics: a single coordinate fixes the axis and drops it from the
 //! result's dimensionality. `*` bounds resolve against the object's current
-//! domain. Aggregations execute tile-streaming via
-//! [`Database::aggregate`](tilestore_engine::Database::aggregate), never
+//! domain. Queries execute against an engine read snapshot
+//! ([`Database::begin_read`](tilestore_engine::Database::begin_read)), so a
+//! session of statements observes one consistent catalog epoch; aggregations
+//! stream tiles via
+//! [`Snapshot::aggregate`](tilestore_engine::Snapshot::aggregate), never
 //! materializing the queried region.
 
 #![warn(missing_docs)]

@@ -9,7 +9,7 @@ use tilestore_testkit::prop_assert_eq;
 use tilestore_tiling::{AlignedTiling, Scheme};
 
 fn tiny_db() -> Database<tilestore_storage::MemPageStore> {
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "m",
         MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2).unwrap()),
@@ -79,7 +79,7 @@ fn token_soup_never_panics() {
         |pieces| {
             let query = pieces.join(" ");
             let db = tiny_db();
-            let _ = execute(&db, &query);
+            let _ = execute(&db.begin_read(), &query);
             Ok(())
         },
     );
@@ -101,6 +101,7 @@ fn generated_trims_execute() {
         },
         |(a_lo, a_ext, b_lo, b_ext)| {
             let db = tiny_db();
+            let snap = db.begin_read();
             let q = format!(
                 "SELECT m[{}:{},{}:{}] FROM m",
                 a_lo,
@@ -108,7 +109,7 @@ fn generated_trims_execute() {
                 b_lo,
                 b_lo + b_ext
             );
-            let (value, _) = execute(&db, &q).unwrap();
+            let (value, _) = execute(&snap, &q).unwrap();
             let arr = value.as_array().unwrap();
             prop_assert_eq!(arr.domain().lo(0), *a_lo);
             prop_assert_eq!(arr.domain().hi(1), b_lo + b_ext);

@@ -3,7 +3,7 @@
 //! One [`Client`] owns one TCP connection and issues requests serially
 //! (the protocol is strictly request/response per connection; open more
 //! clients for concurrency). Typed errors mirror the wire's
-//! [`ErrorCode`](crate::wire::ErrorCode)s so callers can distinguish
+//! [`crate::wire::ErrorCode`]s so callers can distinguish
 //! "retry later" from "this request is wrong" without string matching.
 
 use std::io::{BufReader, BufWriter};

@@ -46,7 +46,8 @@ use tilestore_storage::PageStore;
 use tilestore_testkit::{Json, ToJson};
 
 use crate::wire::{
-    err_response, hex_decode, ok_response, value_to_json, write_frame, ErrorCode, MAX_FRAME,
+    err_response, hex_decode, ok_response, value_to_json, with_epoch, write_frame, ErrorCode,
+    MAX_FRAME,
 };
 
 /// How often blocked reads and the accept loop re-check the shutdown flag.
@@ -174,7 +175,7 @@ pub fn serve<S: PageStore + 'static>(
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let pool = Arc::new(ThreadPool::new(config.workers));
-    db.write(|d| d.attach_executor(Arc::clone(&pool)));
+    db.set_executor(Arc::clone(&pool));
     let shutdown = Arc::new(AtomicBool::new(false));
     let reg = tilestore_obs::metrics();
     let ctx = ConnCtx {
@@ -229,7 +230,7 @@ pub fn serve<S: PageStore + 'static>(
             }
             // Final durable commit so a post-shutdown fsck comes back clean.
             if let Some(dir) = &ctx.dir {
-                if ctx.db.write(|d| d.save(dir.as_path())).is_err() {
+                if ctx.db.save(dir.as_path()).is_err() {
                     save_errors.inc();
                 }
             }
@@ -415,8 +416,12 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
             let Some(q) = req.get("q").and_then(Json::as_str) else {
                 return err_response(id, ErrorCode::BadRequest, "query needs a `q` string");
             };
-            match ctx.db.read(|d| tilestore_rasql::execute(d, q)) {
-                Ok((value, stats)) => ok_response(id, value_to_json(&value, &stats)),
+            // Queries run against an epoch-stamped snapshot: no lock is held
+            // across tile I/O, so a concurrent writer never blocks this
+            // request and the response names the epoch it observed.
+            let snap = ctx.db.snapshot();
+            match tilestore_rasql::execute(&snap, q) {
+                Ok((value, stats)) => ok_response(id, value_to_json(&value, &stats, snap.epoch())),
                 Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
             }
         }
@@ -453,8 +458,8 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
                 Ok(a) => a,
                 Err(e) => return err_response(id, ErrorCode::BadRequest, &e.to_string()),
             };
-            match ctx.db.write(|d| d.insert(object, &array)) {
-                Ok(stats) => ok_response(id, stats.to_json()),
+            match ctx.db.insert(object, &array) {
+                Ok(receipt) => ok_response(id, with_epoch(receipt.stats.to_json(), receipt.epoch)),
                 Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
             }
         }
@@ -465,7 +470,7 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
             let Some(spec) = req.get("scheme").and_then(Json::as_str) else {
                 return err_response(id, ErrorCode::BadRequest, "retile needs a `scheme` spec");
             };
-            let dim = match ctx.db.read(|d| d.object(object).map(|o| o.mdd_type.dim())) {
+            let dim = match ctx.db.object(object).map(|o| o.mdd_type.dim()) {
                 Ok(dim) => dim,
                 Err(e) => return err_response(id, ErrorCode::Engine, &e.to_string()),
             };
@@ -473,8 +478,8 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
                 Ok(s) => s,
                 Err(e) => return err_response(id, ErrorCode::BadRequest, &e),
             };
-            match ctx.db.write(|d| d.retile(object, scheme)) {
-                Ok(stats) => ok_response(id, stats.to_json()),
+            match ctx.db.retile(object, scheme) {
+                Ok(receipt) => ok_response(id, with_epoch(receipt.stats.to_json(), receipt.epoch)),
                 Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
             }
         }
@@ -482,25 +487,27 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
             let Some(object) = req.get("object").and_then(Json::as_str) else {
                 return err_response(id, ErrorCode::BadRequest, "info needs an `object`");
             };
-            match ctx.db.read(|d| d.object(object).map(object_info)) {
-                Ok(info) => ok_response(id, info),
+            match ctx.db.object(object) {
+                Ok(o) => ok_response(id, object_info(&o)),
                 Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
             }
         }
         "stats" => {
-            let objects = ctx.db.read(|d| {
-                d.object_names()
-                    .iter()
-                    .filter_map(|n| d.object(n).ok().map(object_info))
-                    .collect::<Vec<_>>()
-            });
-            let io = ctx.db.read(|d| d.io_stats().snapshot());
+            // One snapshot for the whole report: names, metadata and the
+            // epoch all describe the same catalog state.
+            let snap = ctx.db.snapshot();
+            let objects = snap
+                .object_names()
+                .iter()
+                .filter_map(|n| snap.object(n).ok().map(|o| object_info(&o)))
+                .collect::<Vec<_>>();
             ok_response(
                 id,
                 Json::obj(vec![
                     ("objects", Json::Array(objects)),
-                    ("io", io.to_json()),
+                    ("io", snap.stats().to_json()),
                     ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+                    ("epoch", Json::UInt(snap.epoch())),
                 ]),
             )
         }
@@ -512,7 +519,7 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
                     "fsck needs a file-backed database directory",
                 );
             };
-            if let Err(e) = ctx.db.write(|d| d.save(dir)) {
+            if let Err(e) = ctx.db.save(dir) {
                 return err_response(id, ErrorCode::Engine, &format!("pre-fsck save: {e}"));
             }
             match tilestore_engine::fsck(dir) {

@@ -169,11 +169,22 @@ pub fn err_response(id: u64, code: ErrorCode, message: &str) -> Json {
     ])
 }
 
-/// Serializes a rasql result value (with its execution stats) for the wire.
-/// Array cells travel hex-encoded so the remote bytes are exactly the
-/// in-process bytes.
+/// Stamps the catalog epoch a response was produced at into an object
+/// payload. The field is additive: clients that predate snapshot reads
+/// ignore keys they do not know.
 #[must_use]
-pub fn value_to_json(value: &Value, stats: &QueryStats) -> Json {
+pub fn with_epoch(mut json: Json, epoch: u64) -> Json {
+    if let Json::Object(fields) = &mut json {
+        fields.push(("epoch".to_string(), Json::UInt(epoch)));
+    }
+    json
+}
+
+/// Serializes a rasql result value (with its execution stats and the
+/// snapshot epoch it observed) for the wire. Array cells travel hex-encoded
+/// so the remote bytes are exactly the in-process bytes.
+#[must_use]
+pub fn value_to_json(value: &Value, stats: &QueryStats, epoch: u64) -> Json {
     let v = match value {
         Value::Array(a) => Json::obj(vec![
             ("kind", Json::Str("array".to_string())),
@@ -197,7 +208,11 @@ pub fn value_to_json(value: &Value, stats: &QueryStats) -> Json {
             ("value", Json::Bool(*b)),
         ]),
     };
-    Json::obj(vec![("value", v), ("stats", stats.to_json())])
+    Json::obj(vec![
+        ("value", v),
+        ("stats", stats.to_json()),
+        ("epoch", Json::UInt(epoch)),
+    ])
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ const GOLDEN: &[&str] = &[
 ];
 
 fn cube_db() -> Database<tilestore_storage::MemPageStore> {
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "cube",
         MddType::new(CellType::of::<u32>(), "[0:*,0:*,0:*]".parse().unwrap()),
@@ -52,7 +52,7 @@ fn every_statement_is_byte_identical_over_the_wire() {
     // In-process baseline, serial path (no executor attached yet).
     let expected: Vec<Value> = GOLDEN
         .iter()
-        .map(|q| tilestore_rasql::execute(&db, q).unwrap().0)
+        .map(|q| tilestore_rasql::execute(&db.begin_read(), q).unwrap().0)
         .collect();
 
     let shared = SharedDatabase::new(db);

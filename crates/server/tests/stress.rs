@@ -31,7 +31,7 @@ fn retry_busy<T>(mut f: impl FnMut() -> Result<T, ClientError>) -> Result<T, Cli
 #[test]
 fn concurrent_clients_with_inserts_and_a_retile() {
     let dir = tempdir().unwrap();
-    let mut db = Database::create_dir(dir.path()).unwrap();
+    let db = Database::create_dir(dir.path()).unwrap();
     db.create_object(
         "grid",
         MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
@@ -180,7 +180,7 @@ fn concurrent_clients_with_inserts_and_a_retile() {
 fn admission_limit_refuses_with_typed_busy() {
     // One worker, one slot: while a pipelined burst of whole-object queries
     // holds the slot, a second connection's pings must see typed `busy`.
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "big",
         MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),

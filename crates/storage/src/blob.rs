@@ -180,15 +180,31 @@ impl<S: PageStore> BlobStore<S> {
     /// goes into no longer references them.
     #[must_use]
     pub fn directory(&self) -> BlobDirectory {
+        self.directory_excluding(&std::collections::BTreeSet::new())
+    }
+
+    /// Exports the directory for persistence, treating the blobs in
+    /// `exclude` as already deleted: their entries are omitted and their
+    /// pages exported as free. The engine passes the blobs retired by a
+    /// catalog swap but still pinned by live snapshots — the catalog being
+    /// written no longer references them, so a reopen from this export must
+    /// see their pages as reusable even though the in-memory store keeps
+    /// them readable until the last snapshot drops.
+    #[must_use]
+    pub fn directory_excluding(&self, exclude: &std::collections::BTreeSet<u64>) -> BlobDirectory {
         let inner = lock(&self.inner);
         let mut free_pages = inner.free_pages.clone();
         free_pages.extend_from_slice(&inner.limbo);
+        let mut entries = Vec::with_capacity(inner.entries.len());
+        for (&id, e) in &inner.entries {
+            if exclude.contains(&id) {
+                free_pages.extend_from_slice(&e.pages);
+            } else {
+                entries.push((BlobId(id), e.clone()));
+            }
+        }
         BlobDirectory {
-            entries: inner
-                .entries
-                .iter()
-                .map(|(&id, e)| (BlobId(id), e.clone()))
-                .collect(),
+            entries,
             free_pages,
             next_id: inner.next_id,
         }
@@ -345,10 +361,23 @@ impl<S: PageStore> BlobStore<S> {
         };
         let page_size = self.store.page_size();
         data.resize(entry.pages.len() * page_size, 0);
-        for (i, &page) in entry.pages.iter().enumerate() {
-            self.store
-                .read_page(page, &mut data[i * page_size..(i + 1) * page_size])?;
+        // Pin the whole tile for the duration of the read: a caching store
+        // must not evict an earlier page of this blob while a later one is
+        // still being fetched. Unpin on every exit path, including errors.
+        for &page in &entry.pages {
+            self.store.pin_page(page);
         }
+        let read_all: Result<()> = (|| {
+            for (i, &page) in entry.pages.iter().enumerate() {
+                self.store
+                    .read_page(page, &mut data[i * page_size..(i + 1) * page_size])?;
+            }
+            Ok(())
+        })();
+        for &page in &entry.pages {
+            self.store.unpin_page(page);
+        }
+        read_all?;
         data.truncate(entry.len as usize);
         self.stats.add_pages_read(entry.pages.len() as u64);
         self.stats.add_blob_read(entry.len);
@@ -714,6 +743,27 @@ mod tests {
         // Fresh ids don't collide with restored ones.
         let id2 = bs2.create(&[1, 2, 3]).unwrap();
         assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn directory_excluding_frees_retired_blobs_in_the_export() {
+        let bs = store();
+        let keep = bs.create(&vec![1u8; 2048]).unwrap(); // pages 0,1
+        let retired = bs.create(&vec![2u8; 1024]).unwrap(); // page 2
+        let exclude: std::collections::BTreeSet<u64> = [retired.0].into_iter().collect();
+        let dir = bs.directory_excluding(&exclude);
+        // The export omits the retired blob and frees its pages...
+        assert_eq!(dir.blobs().count(), 1);
+        assert_eq!(dir.blobs().next().unwrap().0, keep);
+        assert_eq!(dir.free_pages(), &[PageId(2)]);
+        // ...while the in-memory store still serves it to live snapshots.
+        assert_eq!(bs.read(retired).unwrap(), vec![2u8; 1024]);
+        // A reopen from the export sees a clean page accounting.
+        let BlobStore { store: pages, .. } = bs;
+        let bs2 = BlobStore::with_directory(pages, dir);
+        assert!(bs2.check_pages().is_clean());
+        assert_eq!(bs2.read(keep).unwrap(), vec![1u8; 2048]);
+        assert!(bs2.read(retired).is_err());
     }
 
     #[test]

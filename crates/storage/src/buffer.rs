@@ -33,6 +33,10 @@ struct PoolInner {
     /// Invariant: `order` and `frames` hold exactly the same pages, with
     /// matching ticks (ticks are unique, drawn from a monotonic counter).
     order: BTreeMap<u64, u64>,
+    /// page -> pin count. Pinned pages are exempt from eviction; the BLOB
+    /// layer pins a tile's pages for the duration of the tile read so a
+    /// concurrent scan cannot evict a frame out from under a reader.
+    pins: HashMap<u64, u32>,
     tick: u64,
 }
 
@@ -49,14 +53,24 @@ impl PoolInner {
         self.order.insert(new_tick, page);
     }
 
-    /// Installs `page` at `tick`, evicting the least recently used frames
-    /// while the pool is at or above `capacity`.
+    /// Installs `page` at `tick`, evicting the least recently used
+    /// *unpinned* frames while the pool is at or above `capacity`. When
+    /// every cached frame is pinned the pool temporarily exceeds capacity
+    /// rather than dropping a frame a reader is still using.
     fn install(&mut self, page: u64, payload: Box<[u8]>, tick: u64, capacity: usize) {
         while self.frames.len() >= capacity {
-            let (&victim_tick, &victim_page) =
-                self.order.iter().next().expect("order tracks frames");
-            self.order.remove(&victim_tick);
-            self.frames.remove(&victim_page);
+            let victim = self
+                .order
+                .iter()
+                .map(|(&t, &p)| (t, p))
+                .find(|(_, p)| !self.pins.contains_key(p));
+            match victim {
+                Some((victim_tick, victim_page)) => {
+                    self.order.remove(&victim_tick);
+                    self.frames.remove(&victim_page);
+                }
+                None => break,
+            }
         }
         self.frames.insert(page, (payload, tick));
         self.order.insert(tick, page);
@@ -98,11 +112,18 @@ impl<S: PageStore> BufferPool<S> {
         lock(&self.inner).frames.len()
     }
 
-    /// Drops every cached frame (cold-start measurements).
+    /// Drops every cached frame (cold-start measurements). Pins survive: a
+    /// pinned page simply re-enters the pool on its next read.
     pub fn clear(&self) {
         let mut inner = lock(&self.inner);
         inner.frames.clear();
         inner.order.clear();
+    }
+
+    /// Number of pages currently pinned (with any positive pin count).
+    #[must_use]
+    pub fn pinned_pages(&self) -> usize {
+        lock(&self.inner).pins.len()
     }
 }
 
@@ -169,6 +190,21 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     fn sync(&self) -> Result<()> {
         // Write-through means no dirty frames: delegate to the store.
         self.store.sync()
+    }
+
+    fn pin_page(&self, page: PageId) {
+        let mut inner = lock(&self.inner);
+        *inner.pins.entry(page.0).or_insert(0) += 1;
+    }
+
+    fn unpin_page(&self, page: PageId) {
+        let mut inner = lock(&self.inner);
+        if let Some(count) = inner.pins.get_mut(&page.0) {
+            *count -= 1;
+            if *count == 0 {
+                inner.pins.remove(&page.0);
+            }
+        }
     }
 }
 
@@ -290,6 +326,72 @@ mod tests {
         p.stats().reset();
         p.read_page(pages[0], &mut buf).unwrap();
         assert_eq!(p.stats().snapshot().cache_misses, 1);
+        assert_coherent(&p);
+    }
+
+    #[test]
+    fn pinned_frames_survive_a_miss_heavy_scan() {
+        let p = pool(2);
+        let pages = p.allocate(6).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.write_page(pages[0], &vec![7u8; 1024]).unwrap();
+        p.read_page(pages[0], &mut buf).unwrap(); // install frame 0
+        p.pin_page(pages[0]);
+        assert_eq!(p.pinned_pages(), 1);
+        // A scan over 5 other pages would normally evict frame 0 (LRU);
+        // the pin must keep it resident.
+        for &pg in &pages[1..] {
+            p.read_page(pg, &mut buf).unwrap();
+        }
+        p.stats().reset();
+        p.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_hits, 1, "pinned frame evicted");
+        assert_eq!(buf, vec![7u8; 1024]);
+        // Pins nest: one unpin of a doubly-pinned page keeps it protected.
+        p.pin_page(pages[0]);
+        p.unpin_page(pages[0]);
+        for &pg in &pages[1..] {
+            p.read_page(pg, &mut buf).unwrap();
+        }
+        p.stats().reset();
+        p.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_hits, 1);
+        // After the last unpin it becomes evictable again.
+        p.unpin_page(pages[0]);
+        assert_eq!(p.pinned_pages(), 0);
+        for &pg in &pages[1..] {
+            p.read_page(pg, &mut buf).unwrap();
+        }
+        p.stats().reset();
+        p.read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_misses, 1);
+        assert_coherent(&p);
+    }
+
+    #[test]
+    fn fully_pinned_pool_overflows_instead_of_evicting() {
+        let p = pool(2);
+        let pages = p.allocate(3).unwrap();
+        let mut buf = vec![0u8; 1024];
+        p.read_page(pages[0], &mut buf).unwrap();
+        p.read_page(pages[1], &mut buf).unwrap();
+        p.pin_page(pages[0]);
+        p.pin_page(pages[1]);
+        // Capacity is 2 and both frames are pinned: the third page must
+        // still be cacheable (temporarily exceeding capacity) rather than
+        // dropping a pinned frame.
+        p.read_page(pages[2], &mut buf).unwrap();
+        assert_eq!(p.cached_frames(), 3);
+        p.stats().reset();
+        p.read_page(pages[0], &mut buf).unwrap();
+        p.read_page(pages[1], &mut buf).unwrap();
+        assert_eq!(p.stats().snapshot().cache_hits, 2);
+        p.unpin_page(pages[0]);
+        p.unpin_page(pages[1]);
+        // The next install drains the overflow back under capacity.
+        let extra = p.allocate(1).unwrap();
+        p.read_page(extra[0], &mut buf).unwrap();
+        assert!(p.cached_frames() <= 2);
         assert_coherent(&p);
     }
 

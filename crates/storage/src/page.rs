@@ -96,6 +96,16 @@ pub trait PageStore: Send + Sync {
     /// # Errors
     /// Backend I/O errors.
     fn sync(&self) -> Result<()>;
+
+    /// Pins a page: a caching store must keep its frame resident (exempt
+    /// from eviction) until a matching [`PageStore::unpin_page`]. Pins
+    /// nest. Non-caching backends need no bookkeeping — the default is a
+    /// no-op. The BLOB layer pins every page of a tile for the duration of
+    /// the tile read, so a concurrent scan cannot evict a frame mid-read.
+    fn pin_page(&self, _page: PageId) {}
+
+    /// Releases one pin taken by [`PageStore::pin_page`].
+    fn unpin_page(&self, _page: PageId) {}
 }
 
 /// Backends that can simulate a write torn by a crash: only a prefix of the

@@ -9,14 +9,14 @@
 //! * [`prop`] — a minimal property-testing harness with configurable case
 //!   counts, deterministic per-property seeds, failing-seed reporting and
 //!   greedy input shrinking over the recorded random-choice tape.
-//! * [`bench`] — a wall-clock micro-benchmark runner (warmup + N timed
+//! * [`mod@bench`] — a wall-clock micro-benchmark runner (warmup + N timed
 //!   iterations, median/p95 report) for `harness = false` bench targets.
 //! * [`json`] — a small JSON value model, parser and printer plus the
 //!   [`ToJson`]/[`FromJson`] traits used by catalog persistence and the
 //!   benchmark reports.
 //! * [`crc`] — CRC-32 (IEEE) for torn-write detection in checksummed page
 //!   frames.
-//! * [`tempdir`] — scoped temporary directories removed on drop.
+//! * [`mod@tempdir`] — scoped temporary directories removed on drop.
 
 #![warn(missing_docs)]
 

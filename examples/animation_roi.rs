@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let head: Domain = "[0:59,80:120,25:60]".parse()?;
     let body: Domain = "[0:59,70:159,25:105]".parse()?;
 
-    let mut db = Database::in_memory()?;
+    let db = Database::in_memory()?;
     db.create_object(
         "clip",
         MddType::new(CellType::of::<Rgb>(), DefDomain::unlimited(3)?),
@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fetch the head box: the §5.2 guarantee says we read exactly its
     // bytes, never a byte of background.
-    let (head_pixels, stats) = db.range_query("clip", &head)?;
+    let __q = db.range_query("clip", &head)?;
+    let (head_pixels, stats) = (__q.array, __q.stats);
     assert_eq!(stats.cells_processed, head.cells(), "zero waste");
     assert_eq!(stats.cells_copied, head.cells());
     println!(
@@ -65,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The body fetch overlaps the head area; the IntersectCode machinery
     // keeps tiles from crossing either boundary, so it is also waste-free.
-    let (_, stats) = db.range_query("clip", &body)?;
+    let stats = { db.range_query("clip", &body)? }.stats;
     assert_eq!(stats.cells_processed, body.cells(), "zero waste");
     println!(
         "body fetch: {} read for a {} region — zero waste, {} tiles",
@@ -77,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An unexpected access (a single frame) still works — it just pays for
     // the adapted layout by reading parts of several elongated tiles.
     let frame0: Domain = "[0:0,0:159,0:119]".parse()?;
-    let (_, stats) = db.range_query("clip", &frame0)?;
+    let stats = { db.range_query("clip", &frame0)? }.stats;
     println!(
         "unexpected single-frame fetch: {} read for a {} region ({} tiles)",
         human(stats.io.bytes_read),

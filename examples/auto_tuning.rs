@@ -12,7 +12,7 @@
 use tilestore::{Array, CellType, CostModel, Database, DefDomain, Domain, MddType, Scheme};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::in_memory()?;
+    let db = Database::in_memory()?;
     let domain: Domain = "[0:511,0:511]".parse()?;
     db.create_object(
         "map",
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.range_query("map", &noise)?; // once: below the frequency threshold
 
     let model = CostModel::classic_disk();
-    let (_, before) = db.range_query("map", &hot_a)?;
+    let before = { db.range_query("map", &hot_a)? }.stats;
     println!(
         "before tuning: hot query reads {} bytes in {} tiles (t_totalcpu {:.4}s)",
         before.io.bytes_read,
@@ -66,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         retile.tiles_before, retile.tiles_after, retile.bytes_rewritten
     );
 
-    let (out, after) = db.range_query("map", &hot_a)?;
+    let __q = db.range_query("map", &hot_a)?;
+    let (out, after) = (__q.array, __q.stats);
     println!(
         "after tuning:  hot query reads {} bytes in {} tiles (t_totalcpu {:.4}s)",
         after.io.bytes_read,

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Load the same data under directional and regular tiling side by side.
     let data = Array::from_fn(domain.clone(), |p| ((p[0] * p[2]) % 50) as u32)?;
 
-    let mut directional = Database::in_memory()?;
+    let directional = Database::in_memory()?;
     directional.create_object(
         "sales",
         mdd_type.clone(),
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     directional.insert("sales", &data)?;
 
-    let mut regular = Database::in_memory()?;
+    let regular = Database::in_memory()?;
     regular.create_object(
         "sales",
         mdd_type,
@@ -80,7 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CostModel::classic_disk();
 
     for (name, db) in [("directional", &directional), ("regular", &regular)] {
-        let (cells, stats) = db.range_query("sales", &march_class2_district2)?;
+        let __q = db.range_query("sales", &march_class2_district2)?;
+        let (cells, stats) = (__q.array, __q.stats);
         let times = stats.times(&model);
         println!(
             "{name:>12}: total={} bytes_read={} tiles={} t_totalcpu={:.3}s",
@@ -93,13 +94,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The directional query reads exactly the category block; the regular
     // one drags in border-tile data.
-    let (_, dir_stats) = directional.range_query("sales", &march_class2_district2)?;
+    let dir_stats = { directional.range_query("sales", &march_class2_district2)? }.stats;
     assert_eq!(
         dir_stats.cells_processed,
         march_class2_district2.cells(),
         "directional tiling reads exactly the queried cells for category-aligned queries"
     );
-    let (_, reg_stats) = regular.range_query("sales", &march_class2_district2)?;
+    let reg_stats = { regular.range_query("sales", &march_class2_district2)? }.stats;
     assert!(reg_stats.io.bytes_read > dir_stats.io.bytes_read);
     println!(
         "category-aligned query: directional reads exactly {} bytes; regular reads {:.1}x that",

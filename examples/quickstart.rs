@@ -12,7 +12,7 @@ use tilestore::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An in-memory database (use Database::create_dir for a file-backed
     //    one).
-    let mut db = Database::in_memory()?;
+    let db = Database::in_memory()?;
 
     // 2. Declare an MDD type: 1-byte grayscale cells, unlimited 2-D
     //    definition domain — instances can grow in any direction.
@@ -40,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Range query: a 64x64 crop. The R+-tree finds the intersected
     //    tiles; only those are fetched.
     let crop: Domain = "[96:159,96:159]".parse()?;
-    let (sub, qstats) = db.range_query("image", &crop)?;
+    let __q = db.range_query("image", &crop)?;
+    let (sub, qstats) = (__q.array, __q.stats);
     assert_eq!(sub.domain(), &crop);
     assert_eq!(
         sub.get::<u8>(&Point::from_slice(&[100, 130]))?,
@@ -63,13 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 7. Other access types of §5.1: a full row (partial range query) and
     //    a single column as a 1-D section.
-    let (row, _) = db.query(
-        "image",
-        &AccessRegion::Partial(vec![Some(tilestore::AxisRange::new(42, 42)?), None]),
-    )?;
+    let row = {
+        db.query(
+            "image",
+            &AccessRegion::Partial(vec![Some(tilestore::AxisRange::new(42, 42)?), None]),
+        )?
+    }
+    .array;
     println!("row 42 has domain {}", row.domain());
 
-    let (column, _) = db.query("image", &AccessRegion::Section(vec![None, Some(7)]))?;
+    let column = { db.query("image", &AccessRegion::Section(vec![None, Some(7)]))? }.array;
     println!(
         "column 7 as a section has dimensionality {} (domain {})",
         column.domain().dim(),

@@ -12,7 +12,7 @@ use tilestore::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::in_memory()?;
+    let db = Database::in_memory()?;
 
     // A quarterly sales cube: 90 days x 60 products x 100 stores, tiled
     // along category boundaries.
@@ -62,8 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT avg_cells(sales[1:30, *, *] * 2 - 1) FROM sales",
     ];
 
+    // One snapshot serves the whole demo: every statement reads the same
+    // catalog epoch even if a writer were running concurrently.
+    let snap = db.begin_read();
     for q in queries {
-        let (value, stats) = execute(&db, q)?;
+        let (value, stats) = execute(&snap, q)?;
         let rendered = match &value {
             Value::Array(a) => format!("array over {} ({} cells)", a.domain(), a.domain().cells()),
             Value::Number(n) => format!("{n}"),
@@ -77,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Parse errors are located precisely.
-    let err = execute(&db, "SELECT sales[1:2 FROM sales").unwrap_err();
+    let err = execute(&snap, "SELECT sales[1:2 FROM sales").unwrap_err();
     println!("\nbad query rejected: {err}");
 
     Ok(())

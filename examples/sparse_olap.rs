@@ -17,7 +17,7 @@ use tilestore::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::in_memory()?;
+    let db = Database::in_memory()?;
     db.create_object(
         "sales",
         MddType::new(CellType::of::<u32>(), DefDomain::unlimited(3)?),
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT sum_cells(sales[91:181, *, *]) FROM sales", // unsold quarter
         "SELECT count_cells(sales[182:273, 42:59, 51:99]) FROM sales",
     ] {
-        let (value, stats) = execute(&db, q)?;
+        let (value, stats) = execute(&db.begin_read(), q)?;
         println!(
             "{q}\n  => {value:?}   [{} tiles read, {} physical bytes]",
             stats.tiles_read, stats.io.bytes_read
@@ -83,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The unsold quarter reads zero tiles — partial coverage at work.
-    let (_, stats) = execute(&db, "SELECT sum_cells(sales[91:181, *, *]) FROM sales")?;
+    let (_, stats) = execute(
+        &db.begin_read(),
+        "SELECT sum_cells(sales[91:181, *, *]) FROM sales",
+    )?;
     assert_eq!(stats.tiles_read, 0);
     assert_eq!(stats.io.bytes_read, 0);
     println!("\nunsold quarter answered without touching storage");

@@ -7,6 +7,8 @@
 #                    plus an observability metrics snapshot)
 #   BENCH_PR4.json — serving layer: paired serial-vs-parallel large-range
 #                    query and concurrent-client throughput over TCP
+#   BENCH_PR5.json — snapshot reads: reader p50/p95 latency while a writer
+#                    continuously re-tiles, RwLock baseline vs snapshots
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,9 +17,13 @@ export TILESTORE_BENCH_SAMPLES
 
 MICRO_OUT="${1:-BENCH_PR2.json}"
 SERVER_OUT="${2:-BENCH_PR4.json}"
+SNAPSHOT_OUT="${3:-BENCH_PR5.json}"
 
 cargo run --release --offline -p tilestore-bench --bin microbench -- "$MICRO_OUT"
 echo "micro-bench report written to $MICRO_OUT"
 
 cargo run --release --offline -p tilestore-bench --bin server_bench -- "$SERVER_OUT"
 echo "server bench report written to $SERVER_OUT"
+
+cargo run --release --offline -p tilestore-bench --bin snapshot_bench -- "$SNAPSHOT_OUT"
+echo "snapshot bench report written to $SNAPSHOT_OUT"

@@ -13,6 +13,7 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 # --- Server smoke test: serve a small database, query it over TCP, shut
 # down gracefully through the client, and verify the files stayed clean.

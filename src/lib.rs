@@ -46,9 +46,9 @@ pub use tilestore_server as server;
 
 pub use tilestore_compress::{Codec, CompressionPolicy};
 pub use tilestore_engine::{
-    AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database, DeleteStats,
-    EngineError, InsertStats, MddObject, MddType, QueryStats, QueryTimes, RetileStats, Rgb,
-    SharedDatabase, UpdateStats,
+    AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database,
+    DatabaseBuilder, DeleteStats, EngineError, InsertStats, MddObject, MddType, QueryResult,
+    QueryStats, QueryTimes, RetileStats, Rgb, SharedDatabase, Snapshot, UpdateStats, WriteReceipt,
 };
 pub use tilestore_exec::ThreadPool;
 pub use tilestore_geometry::{AxisRange, DefDomain, Domain, Point};

@@ -17,7 +17,7 @@ fn file_backed_database_full_lifecycle() {
     let video_dom = d("[0:9,0:31,0:31]");
 
     {
-        let mut db = Database::create_dir(dir.path()).unwrap();
+        let db = Database::create_dir(dir.path()).unwrap();
 
         // Two objects with different dimensionalities and cell types in the
         // same database (the §2 "integrated support" requirement).
@@ -52,13 +52,16 @@ fn file_backed_database_full_lifecycle() {
     let db = Database::open_dir(dir.path()).unwrap();
     assert_eq!(db.object_names(), vec!["image", "video"]);
 
-    let (img, stats) = db.range_query("image", &d("[40:59,40:59]")).unwrap();
+    let __q = db.range_query("image", &d("[40:59,40:59]")).unwrap();
+    let (img, stats) = (__q.array, __q.stats);
     assert_eq!(img.get::<u16>(&Point::from_slice(&[50, 50])).unwrap(), 5050);
     assert!(stats.io.pages_read > 0, "data came from the page file");
 
-    let (frame, _) = db
-        .query("video", &AccessRegion::Section(vec![Some(3), None, None]))
-        .unwrap();
+    let frame = {
+        db.query("video", &AccessRegion::Section(vec![Some(3), None, None]))
+            .unwrap()
+    }
+    .array;
     assert_eq!(frame.domain(), &d("[0:31,0:31]"));
     assert_eq!(
         frame.get::<Rgb>(&Point::from_slice(&[5, 6])).unwrap(),
@@ -72,7 +75,7 @@ fn retile_on_reopened_database() {
     let dom = d("[1:100,1:40]");
     let data = Array::from_fn(dom.clone(), |p| (p[0] * 41 + p[1]) as u32).unwrap();
     {
-        let mut db = Database::create_dir(dir.path()).unwrap();
+        let db = Database::create_dir(dir.path()).unwrap();
         db.create_object(
             "grid",
             MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
@@ -82,7 +85,7 @@ fn retile_on_reopened_database() {
         db.insert("grid", &data).unwrap();
         db.save(dir.path()).unwrap();
     }
-    let mut db = Database::open_dir(dir.path()).unwrap();
+    let db = Database::open_dir(dir.path()).unwrap();
     let before = db.object("grid").unwrap().tile_count();
     db.retile(
         "grid",
@@ -93,12 +96,12 @@ fn retile_on_reopened_database() {
     )
     .unwrap();
     assert_ne!(db.object("grid").unwrap().tile_count(), before);
-    let (out, _) = db.range_query("grid", &dom).unwrap();
+    let out = { db.range_query("grid", &dom).unwrap() }.array;
     assert_eq!(out, data);
     // Persist the retiled state and read it back once more.
     db.save(dir.path()).unwrap();
     let db2 = Database::open_dir(dir.path()).unwrap();
-    let (out2, _) = db2.range_query("grid", &dom).unwrap();
+    let out2 = { db2.range_query("grid", &dom).unwrap() }.array;
     assert_eq!(out2, data);
 }
 
@@ -106,7 +109,7 @@ fn retile_on_reopened_database() {
 fn gradual_growth_over_unlimited_axis() {
     // A time series growing along an unlimited axis, as §3's unlimited
     // definition domains are designed for.
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "series",
         MddType::new(
@@ -131,7 +134,7 @@ fn gradual_growth_over_unlimited_axis() {
     assert_eq!(obj.current_domain, Some(d("[0:999,0:9]")));
 
     // A query spanning several batches stitches them seamlessly.
-    let (out, _) = db.range_query("series", &d("[250:749,3:5]")).unwrap();
+    let out = { db.range_query("series", &d("[250:749,3:5]")).unwrap() }.array;
     assert_eq!(
         out.get::<f64>(&Point::from_slice(&[500, 4])).unwrap(),
         500.4
@@ -149,7 +152,7 @@ fn buffer_pooled_database_serves_hot_queries_from_cache() {
 
     let store = MemPageStore::new(4096).unwrap();
     let pool = BufferPool::new(store, 256).unwrap();
-    let mut db = Database::with_store(pool);
+    let db = Database::with_store(pool);
     db.create_object(
         "img",
         MddType::new(CellType::of::<u8>(), DefDomain::unlimited(2).unwrap()),
@@ -177,7 +180,7 @@ fn concurrent_readers_share_one_database() {
     // many threads may read one database concurrently.
     use std::sync::Arc;
 
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     db.create_object(
         "grid",
         MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
@@ -197,7 +200,7 @@ fn concurrent_readers_share_one_database() {
                 for k in 0..16i64 {
                     let lo = (t * 16 + k) % 100;
                     let region = Domain::from_bounds(&[(lo, lo + 27), (lo, lo + 27)]).unwrap();
-                    let (out, _) = db.range_query("grid", &region).unwrap();
+                    let out = { db.range_query("grid", &region).unwrap() }.array;
                     assert_eq!(out, data.extract(&region).unwrap());
                     let (sum, _) = db
                         .aggregate("grid", &region, tilestore::AggKind::Sum)
@@ -270,7 +273,7 @@ fn all_strategies_roundtrip_same_seeded_dataset() {
     for (name, scheme) in schemes {
         let dir = tilestore_testkit::tempdir().unwrap();
         {
-            let mut db = Database::create_dir(dir.path()).unwrap();
+            let db = Database::create_dir(dir.path()).unwrap();
             db.create_object(
                 "cube",
                 MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
@@ -282,10 +285,10 @@ fn all_strategies_roundtrip_same_seeded_dataset() {
         }
 
         // Reopen: every query region reads back the ingested cells exactly.
-        let mut db = Database::open_dir(dir.path()).unwrap();
+        let db = Database::open_dir(dir.path()).unwrap();
         assert!(db.object("cube").unwrap().tile_count() >= 1, "{name}");
         for q in &queries {
-            let (out, _) = db.range_query("cube", q).unwrap();
+            let out = { db.range_query("cube", q).unwrap() }.array;
             assert_eq!(out, data.extract(q).unwrap(), "{name}: query {q}");
         }
 
@@ -295,7 +298,7 @@ fn all_strategies_roundtrip_same_seeded_dataset() {
         db.save(dir.path()).unwrap();
         let db = Database::open_dir(dir.path()).unwrap();
         for q in &queries {
-            let (out, _) = db.range_query("cube", q).unwrap();
+            let out = { db.range_query("cube", q).unwrap() }.array;
             assert_eq!(out, shadow.extract(q).unwrap(), "{name}: post-update {q}");
         }
     }
@@ -314,7 +317,7 @@ fn observe_then_retile_from_recorded_log_reduces_io() {
     let data = Array::from_fn(dom.clone(), |p| (p[0] * 100 + p[1]) as u32).unwrap();
     let hot = d("[20:49,20:49]");
 
-    let mut db = Database::create_dir(dir.path()).unwrap();
+    let db = Database::create_dir(dir.path()).unwrap();
     db.create_object(
         "cube",
         MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
@@ -326,7 +329,7 @@ fn observe_then_retile_from_recorded_log_reduces_io() {
     // Clustered workload: the hot region dominates the access log.
     let mut baseline = None;
     for _ in 0..10 {
-        let (_, stats) = db.range_query("cube", &hot).unwrap();
+        let stats = { db.range_query("cube", &hot).unwrap() }.stats;
         baseline.get_or_insert(stats);
     }
     db.range_query("cube", &d("[80:89,0:9]")).unwrap(); // stray access
@@ -346,7 +349,8 @@ fn observe_then_retile_from_recorded_log_reduces_io() {
 
     // The hot region now reads fewer tiles, with no wasted cells and a
     // lower modelled disk time; the data is unchanged.
-    let (out, after) = db.range_query("cube", &hot).unwrap();
+    let __q = db.range_query("cube", &hot).unwrap();
+    let (out, after) = (__q.array, __q.stats);
     assert_eq!(out, data.extract(&hot).unwrap());
     assert!(
         after.tiles_read < baseline.tiles_read,
@@ -364,7 +368,8 @@ fn observe_then_retile_from_recorded_log_reduces_io() {
     // Persistence: the adapted tiling and the log survive a reopen.
     db.save(dir.path()).unwrap();
     let db2 = Database::open_dir(dir.path()).unwrap();
-    let (out2, again) = db2.range_query("cube", &hot).unwrap();
+    let __q = db2.range_query("cube", &hot).unwrap();
+    let (out2, again) = (__q.array, __q.stats);
     assert_eq!(out2, data.extract(&hot).unwrap());
     assert_eq!(again.tiles_read, after.tiles_read);
     assert!(db2.recorder().unwrap().total_accesses().unwrap() >= 11);
@@ -372,7 +377,7 @@ fn observe_then_retile_from_recorded_log_reduces_io() {
 
 #[test]
 fn single_tile_and_sparse_objects() {
-    let mut db = Database::in_memory().unwrap();
+    let db = Database::in_memory().unwrap();
     // A tiny config object stored as one BLOB.
     db.create_object(
         "config",
@@ -413,8 +418,10 @@ fn single_tile_and_sparse_objects() {
         200,
         "storage stays proportional to data"
     );
-    let (probe, _) = db
-        .range_query("sparse", &d("[5000:5001,5000:5001]"))
-        .unwrap();
+    let probe = {
+        db.range_query("sparse", &d("[5000:5001,5000:5001]"))
+            .unwrap()
+    }
+    .array;
     assert!(probe.to_cells::<u8>().unwrap().iter().all(|&c| c == 0));
 }

@@ -14,7 +14,7 @@ fn d(s: &str) -> Domain {
 /// Builds a quarter-year sales cube with category cuts, selective
 /// compression, loaded in two growth steps.
 fn build(dir: &std::path::Path) {
-    let mut db = Database::create_dir(dir).unwrap();
+    let db = Database::create_dir(dir).unwrap();
     db.create_object(
         "sales",
         MddType::new(CellType::of::<u32>(), DefDomain::unlimited(3).unwrap()),
@@ -48,7 +48,11 @@ fn rasql_over_reopened_compressed_database() {
     let db = Database::open_dir(dir.path()).unwrap();
 
     // Trim spanning the growth boundary.
-    let (v, stats) = execute(&db, "SELECT sales[55:65, 1:10, 1:10] FROM sales").unwrap();
+    let (v, stats) = execute(
+        &db.begin_read(),
+        "SELECT sales[55:65, 1:10, 1:10] FROM sales",
+    )
+    .unwrap();
     let arr = v.as_array().unwrap();
     assert_eq!(arr.domain(), &d("[55:65,1:10,1:10]"));
     // Spot check a cell on each side of the boundary.
@@ -63,8 +67,12 @@ fn rasql_over_reopened_compressed_database() {
     assert!(stats.io.bytes_read > 0, "data decompressed from disk");
 
     // Streaming condenser equals materialize-and-fold.
-    let (sum, _) = execute(&db, "SELECT sum_cells(sales[1:30, 1:26, *]) FROM sales").unwrap();
-    let (block, _) = execute(&db, "SELECT sales[1:30, 1:26, *] FROM sales").unwrap();
+    let (sum, _) = execute(
+        &db.begin_read(),
+        "SELECT sum_cells(sales[1:30, 1:26, *]) FROM sales",
+    )
+    .unwrap();
+    let (block, _) = execute(&db.begin_read(), "SELECT sales[1:30, 1:26, *] FROM sales").unwrap();
     let brute: f64 = block
         .as_array()
         .unwrap()
@@ -76,11 +84,15 @@ fn rasql_over_reopened_compressed_database() {
     assert_eq!(sum.as_number().unwrap(), brute);
 
     // Induced comparison counted two ways agrees.
-    let (count, _) = execute(&db, "SELECT count_cells(sales > 50) FROM sales").unwrap();
+    let (count, _) = execute(
+        &db.begin_read(),
+        "SELECT count_cells(sales > 50) FROM sales",
+    )
+    .unwrap();
     let Value::Count(n) = count else {
         panic!("count expected")
     };
-    let (all, _) = execute(&db, "SELECT sales FROM sales").unwrap();
+    let (all, _) = execute(&db.begin_read(), "SELECT sales FROM sales").unwrap();
     let brute = all
         .as_array()
         .unwrap()
@@ -99,7 +111,7 @@ fn section_and_induced_compose_across_crates() {
     let db = Database::open_dir(dir.path()).unwrap();
 
     // Day 45 as a 2-D slab, doubled.
-    let (v, _) = execute(&db, "SELECT sales[45, *, *] * 2 FROM sales").unwrap();
+    let (v, _) = execute(&db.begin_read(), "SELECT sales[45, *, *] * 2 FROM sales").unwrap();
     let slab = v.as_array().unwrap();
     assert_eq!(slab.domain(), &d("[1:60,1:100]"));
     let expected = (((45 * 7 + 10 * 3 + 20) % 100) * 2) as u32;
@@ -110,7 +122,15 @@ fn section_and_induced_compose_across_crates() {
     );
 
     // avg over the section must match avg over the equivalent 3-D trim.
-    let (a, _) = execute(&db, "SELECT avg_cells(sales[45, *, *]) FROM sales").unwrap();
-    let (b, _) = execute(&db, "SELECT avg_cells(sales[45:45, *, *]) FROM sales").unwrap();
+    let (a, _) = execute(
+        &db.begin_read(),
+        "SELECT avg_cells(sales[45, *, *]) FROM sales",
+    )
+    .unwrap();
+    let (b, _) = execute(
+        &db.begin_read(),
+        "SELECT avg_cells(sales[45:45, *, *]) FROM sales",
+    )
+    .unwrap();
     assert!((a.as_number().unwrap() - b.as_number().unwrap()).abs() < 1e-9);
 }
