@@ -1,0 +1,213 @@
+//! Value-predicate pruning benchmark emitting a machine-readable report.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin predicate_bench -- BENCH_PR6.json
+//! ```
+//!
+//! A 256×256 u32 array holds low-valued background cells plus two small
+//! clusters of hot (≥ 10⁶) cells, so a sparse `>= HOT` predicate touches
+//! only the handful of tiles overlapping the clusters. The report pairs a
+//! full-scan baseline (no predicate) with the pruned masked read over the
+//! same region and records both raw counters (`tiles_read`, I/O) and the
+//! §6 modelled retrieval time `t_o`, together with the reduction ratios —
+//! the pruning win the synopsis/bitmap index exists for. Wall-clock
+//! medians for the baseline, the pruned read, and pruned aggregates ride
+//! along. `TILESTORE_BENCH_SAMPLES` bounds the per-workload sample count.
+
+use std::time::Duration;
+
+use tilestore_engine::{
+    AggKind, Array, CellPredicate, CellType, Database, MddType, PredOp, QueryStats,
+};
+use tilestore_geometry::Domain;
+use tilestore_storage::{CostModel, MemPageStore};
+use tilestore_testkit::bench::{Group, Report};
+use tilestore_testkit::{Json, Rng, ToJson};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// Fixed seed so every run benches the identical workload.
+const SEED: u64 = 0x1CDE_1999;
+
+/// Side length of the square benchmark array.
+const SIDE: i64 = 256;
+
+/// Hot cells sit at or above this value; background stays below 1000.
+const HOT: u32 = 1_000_000;
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+fn hot_regions() -> Vec<Domain> {
+    vec![
+        "[40:47,40:47]".parse().unwrap(),
+        "[200:207,96:103]".parse().unwrap(),
+    ]
+}
+
+/// Background cells stay under 1000; the two hot clusters carry `HOT`-range
+/// values, so `>= HOT` is a sparse predicate with strong spatial locality.
+fn workload_data() -> Array {
+    let dom: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    let hot = hot_regions();
+    Array::from_fn(dom, |p| {
+        if hot.iter().any(|h| h.contains_point(p)) {
+            HOT + (p[0] + p[1]) as u32
+        } else {
+            ((p[0] * 7 + p[1] * 13) % 997) as u32
+        }
+    })
+    .unwrap()
+}
+
+fn fresh_db(data: &Array) -> Database<MemPageStore> {
+    let db = Database::in_memory().unwrap();
+    db.create_object(
+        "bench",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+    )
+    .unwrap();
+    db.insert("bench", data).unwrap();
+    db
+}
+
+/// Deterministic clustered query set: small regions drawn around the first
+/// hot cluster, so pruned aggregates mix hot and cold tiles.
+fn clustered_queries(n: usize) -> Vec<Domain> {
+    let mut rng = Rng::seed_from_u64(SEED);
+    (0..n)
+        .map(|_| {
+            let x = 24 + (rng.next_u64() % 16) as i64;
+            let y = 24 + (rng.next_u64() % 16) as i64;
+            format!("[{x}:{},{y}:{}]", x + 39, y + 39).parse().unwrap()
+        })
+        .collect()
+}
+
+fn stats_json(s: &QueryStats, model: &CostModel) -> Json {
+    Json::obj(vec![
+        ("tiles_read", s.tiles_read.to_json()),
+        ("tiles_pruned", s.tiles_pruned.to_json()),
+        ("blobs_read", s.io.blobs_read.to_json()),
+        ("pages_read", s.io.pages_read.to_json()),
+        ("bytes_read", s.io.bytes_read.to_json()),
+        ("t_o_model_s", s.times(model).t_o.to_json()),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let data = workload_data();
+    let full: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    let pred = CellPredicate {
+        op: PredOp::Ge,
+        literal: f64::from(HOT),
+    };
+    let model = CostModel::classic_disk();
+
+    // --- Counter comparison on cold databases (one store each, so cache
+    // warm-up from one run cannot flatter the other).
+    let baseline_stats = fresh_db(&data).range_query("bench", &full).unwrap().stats;
+    let pruned_db = fresh_db(&data);
+    let pruned_q = pruned_db
+        .range_query_where("bench", &full, Some(&pred))
+        .unwrap();
+    let pruned_stats = pruned_q.stats;
+    // Sanity: the pruned masked read equals masking the source in memory.
+    let masked = Array::from_fn(full.clone(), |p| {
+        let v: u32 = data.get(p).unwrap();
+        if f64::from(v) >= f64::from(HOT) {
+            v
+        } else {
+            0
+        }
+    })
+    .unwrap();
+    assert_eq!(pruned_q.array, masked, "pruned read must stay exact");
+
+    let tiles_ratio = baseline_stats.tiles_read as f64 / pruned_stats.tiles_read.max(1) as f64;
+    let t_o_base = baseline_stats.times(&model).t_o;
+    let t_o_pruned = pruned_stats.times(&model).t_o;
+    let t_o_ratio = t_o_base / t_o_pruned.max(f64::MIN_POSITIVE);
+    assert!(
+        tiles_ratio >= 2.0 && t_o_ratio >= 2.0,
+        "sparse-predicate pruning win regressed below 2x: \
+         tiles {tiles_ratio:.2}x, t_o {t_o_ratio:.2}x"
+    );
+
+    // --- Wall-clock workloads.
+    let mut group = Group::new("predicate_bench");
+    group.sample_size(15);
+    let mut workloads: Vec<(&str, Report)> = Vec::new();
+
+    let db = fresh_db(&data);
+    let r = group.bench("full_scan_baseline", || {
+        db.range_query("bench", &full).unwrap()
+    });
+    workloads.push(("full_scan_baseline", r));
+
+    let r = group.bench("sparse_predicate_read", || {
+        db.range_query_where("bench", &full, Some(&pred)).unwrap()
+    });
+    workloads.push(("sparse_predicate_read", r));
+
+    let snap = db.begin_read();
+    let r = group.bench("sparse_predicate_count", || {
+        snap.aggregate_where("bench", &full, AggKind::CountNonDefault, Some(&pred))
+            .unwrap()
+    });
+    workloads.push(("sparse_predicate_count", r));
+
+    let queries = clustered_queries(16);
+    let r = group.bench("clustered_predicate_max", || {
+        for q in &queries {
+            snap.aggregate_where("bench", q, AggKind::Max, Some(&pred))
+                .unwrap();
+        }
+    });
+    workloads.push(("clustered_predicate_max", r));
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("predicate_bench".to_string())),
+        ("seed", SEED.to_json()),
+        (
+            "pruning",
+            Json::obj(vec![
+                ("baseline", stats_json(&baseline_stats, &model)),
+                ("pruned", stats_json(&pruned_stats, &model)),
+                ("tiles_read_ratio", tiles_ratio.to_json()),
+                ("t_o_ratio", t_o_ratio.to_json()),
+            ]),
+        ),
+        (
+            "workloads",
+            Json::Object(
+                workloads
+                    .iter()
+                    .map(|(name, r)| ((*name).to_string(), report_json(r)))
+                    .collect(),
+            ),
+        ),
+        ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+    ]);
+
+    let text = report.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write report");
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -152,9 +152,10 @@ pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
     }
     write!(
         out,
-        "[epoch {}; {} tiles, {} pages, {} bytes read; model t_total={:.4}s]",
+        "[epoch {}; {} tiles, {} pruned, {} pages, {} bytes read; model t_total={:.4}s]",
         snap.epoch(),
         stats.tiles_read,
+        stats.tiles_pruned,
         stats.io.pages_read,
         stats.io.bytes_read,
         times.total_cpu()
@@ -491,6 +492,22 @@ mod tests {
         let db2 = open(dir.path()).unwrap();
         let out = query(&db2, "SELECT max_cells(img) FROM img").unwrap();
         assert!(out.contains('\n'), "{out}");
+    }
+
+    #[test]
+    fn query_where_clause_reports_pruned_tiles() {
+        let (_dir, db) = fresh();
+        create(&db, "img", "u8", 2, Some("regular:1")).unwrap();
+        load(&db, "img", "[0:63,0:63]", "gradient").unwrap();
+        // Gradient u8 cells never exceed 250, so every tile is pruned by
+        // its synopsis and no cell survives the mask.
+        let out = query(&db, "SELECT count_cells(img) FROM img WHERE img > 250").unwrap();
+        assert!(out.starts_with("0 cells"), "{out}");
+        assert!(out.contains("pruned"), "{out}");
+        assert!(!out.contains(" 0 pruned"), "{out}");
+        // The trailer also appears (with zero pruned) on plain queries.
+        let out = query(&db, "SELECT count_cells(img) FROM img").unwrap();
+        assert!(out.contains(" pruned,"), "{out}");
     }
 
     #[test]

@@ -25,12 +25,14 @@ mod codec;
 mod delta;
 mod error;
 mod packbits;
+mod synopsis;
 mod varint;
 
 pub use codec::{
     compress, decompress, decompress_view, stream_codec, CellContext, Codec, CompressionPolicy,
 };
 pub use error::{CompressError, Result};
+pub use synopsis::{compress_with_scan, scan_cells, CellScan, NULL_MASK_CHUNKS};
 
 /// Direct access to the chunk-offset heuristics (density estimation).
 pub mod sparse {

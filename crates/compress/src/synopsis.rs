@@ -1,0 +1,140 @@
+//! Byte-level cell scanning, run during tile encode.
+//!
+//! The encoder already walks every cell of a tile payload to pick a codec;
+//! [`scan_cells`] makes that walk produce the type-agnostic half of a tile
+//! synopsis — cell count, non-default count and a coarse null mask — so the
+//! engine can build its per-tile statistics without a second pass over the
+//! decompressed bytes. [`compress_with_scan`] bundles both steps.
+
+use crate::codec::{compress, CellContext, CompressionPolicy};
+use crate::error::Result;
+
+/// Number of chunks the null mask divides a tile's cells into.
+pub const NULL_MASK_CHUNKS: u64 = 64;
+
+/// The byte-level scan of one tile payload.
+///
+/// "Null" here means a cell holding the type's default value — the partial
+/// cover convention of §8: cells never written read as the default, so a
+/// default-valued cell is indistinguishable from an absent one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellScan {
+    /// Total number of cells in the payload.
+    pub cells: u64,
+    /// Cells whose bytes differ from the type's default value.
+    pub non_default: u64,
+    /// Coarse presence-of-nulls mask: the payload's cells are split into
+    /// [`NULL_MASK_CHUNKS`] equal-width chunks (in storage order) and bit
+    /// `k` is set iff chunk `k` contains at least one default-valued cell.
+    /// Invariant: the mask is zero iff `non_default == cells`.
+    pub null_mask: u64,
+}
+
+/// Scans `payload` cell by cell against the type's default value.
+///
+/// Trailing bytes that do not fill a whole cell are ignored (the engine
+/// validates payload sizes before they get here).
+#[must_use]
+pub fn scan_cells(payload: &[u8], ctx: &CellContext<'_>) -> CellScan {
+    let size = ctx.cell_size.max(1);
+    let cells = (payload.len() / size) as u64;
+    let mut scan = CellScan {
+        cells,
+        ..CellScan::default()
+    };
+    if cells == 0 {
+        return scan;
+    }
+    for (i, cell) in payload.chunks_exact(size).enumerate() {
+        if cell == ctx.default {
+            // Chunk index scales the cell position into [0, NULL_MASK_CHUNKS).
+            let chunk = (i as u64 * NULL_MASK_CHUNKS) / cells;
+            scan.null_mask |= 1 << chunk.min(NULL_MASK_CHUNKS - 1);
+        } else {
+            scan.non_default += 1;
+        }
+    }
+    scan
+}
+
+/// Compresses a tile payload and returns the stream together with the
+/// byte-level scan gathered from the same bytes.
+///
+/// # Errors
+/// Whatever [`compress`] reports for the chosen policy.
+pub fn compress_with_scan(
+    policy: &CompressionPolicy,
+    payload: &[u8],
+    ctx: &CellContext<'_>,
+) -> Result<(Vec<u8>, CellScan)> {
+    let scan = scan_cells(payload, ctx);
+    let stream = compress(policy, payload, ctx)?;
+    Ok((stream, scan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decompress;
+
+    fn ctx(default: &[u8]) -> CellContext<'_> {
+        CellContext {
+            cell_size: default.len(),
+            default,
+        }
+    }
+
+    #[test]
+    fn scan_counts_default_and_non_default_cells() {
+        let default = [0u8, 0];
+        let payload: Vec<u8> = [[0u8, 0], [1, 0], [0, 0], [2, 3]].concat();
+        let scan = scan_cells(&payload, &ctx(&default));
+        assert_eq!(scan.cells, 4);
+        assert_eq!(scan.non_default, 2);
+        assert_ne!(scan.null_mask, 0);
+    }
+
+    #[test]
+    fn null_mask_zero_iff_fully_covered() {
+        let default = [0u8];
+        let full: Vec<u8> = (1u8..=100).collect();
+        let scan = scan_cells(&full, &ctx(&default));
+        assert_eq!(scan.non_default, scan.cells);
+        assert_eq!(scan.null_mask, 0);
+
+        let mut holey = full;
+        holey[42] = 0;
+        let scan = scan_cells(&holey, &ctx(&default));
+        assert_eq!(scan.non_default, scan.cells - 1);
+        assert_ne!(scan.null_mask, 0);
+        assert_eq!(scan.null_mask.count_ones(), 1);
+    }
+
+    #[test]
+    fn null_mask_localizes_defaults() {
+        let default = [0u8];
+        // Defaults only in the first quarter → only low mask bits set.
+        let mut payload = vec![1u8; 256];
+        payload[0] = 0;
+        payload[10] = 0;
+        let scan = scan_cells(&payload, &ctx(&default));
+        assert_eq!(scan.null_mask & !0xFFFF, 0, "mask {:b}", scan.null_mask);
+    }
+
+    #[test]
+    fn empty_payload_scans_clean() {
+        let scan = scan_cells(&[], &ctx(&[0u8; 4]));
+        assert_eq!(scan, CellScan::default());
+    }
+
+    #[test]
+    fn compress_with_scan_matches_separate_calls() {
+        let default = [0u8; 2];
+        let payload: Vec<u8> = (0u8..200).collect();
+        let c = ctx(&default);
+        let policy = CompressionPolicy::selective_default();
+        let (stream, scan) = compress_with_scan(&policy, &payload, &c).unwrap();
+        assert_eq!(scan, scan_cells(&payload, &c));
+        assert_eq!(decompress(&stream, &c).unwrap(), payload);
+    }
+}

@@ -13,7 +13,9 @@ use tilestore_storage::PageStore;
 use crate::celltype::CellType;
 use crate::database::Database;
 use crate::error::{EngineError, Result};
+use crate::predicate::CellPredicate;
 use crate::stats::QueryStats;
+use crate::synopsis::TileSynopsis;
 
 /// The aggregation kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +153,33 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Folds a whole tile's synopsis into the accumulator without touching
+    /// the payload — the short-circuit for min/max/count/some/all over
+    /// tiles fully contained in the queried region. Callers must ensure
+    /// the synopsis is numeric when the kind needs extrema.
+    fn feed_synopsis(&mut self, syn: &TileSynopsis) {
+        self.cells += syn.cells();
+        self.non_default += syn.non_default();
+        if self.needs_numeric() {
+            if let (Some(min), Some(max)) = (syn.min(), syn.max()) {
+                self.min = self.min.min(min);
+                self.max = self.max.max(max);
+            }
+        }
+    }
+
+    /// Whether [`Accumulator::feed_synopsis`] computes the same result as
+    /// streaming `syn`'s tile cell by cell: sums stream unconditionally
+    /// (their value depends on fold order for floats), extrema need the
+    /// numeric half of the synopsis.
+    fn accepts_synopsis(&self, syn: &TileSynopsis) -> bool {
+        match self.kind {
+            AggKind::Sum | AggKind::Avg => false,
+            AggKind::Min | AggKind::Max => syn.is_numeric(),
+            AggKind::CountNonDefault | AggKind::SomeNonDefault | AggKind::AllNonDefault => true,
+        }
+    }
+
     /// Feeds `count` copies of the default value (uncovered areas).
     fn feed_default(&mut self, cell_type: &CellType, count: u64) -> Result<()> {
         if count == 0 {
@@ -214,6 +243,28 @@ impl<S: PageStore> crate::snapshot::Snapshot<S> {
         region: &Domain,
         kind: AggKind,
     ) -> Result<(AggValue, QueryStats)> {
+        self.aggregate_where(name, region, kind, None)
+    }
+
+    /// Computes an aggregation with an optional cell-value predicate:
+    /// cells failing `cell <op> literal` contribute the type's default
+    /// value, matching the masked-select semantics of
+    /// [`crate::Snapshot::range_query_where`]. Tiles the synopsis or
+    /// bitmap index proves cannot match are folded in as all-default
+    /// without fetching their blobs; without a predicate, min/max/count/
+    /// some/all over tiles fully contained in `region` short-circuit on
+    /// the synopsis alone. Both count in [`QueryStats::tiles_pruned`].
+    ///
+    /// # Errors
+    /// The errors of [`crate::Snapshot::aggregate`]; a predicate over a
+    /// non-numeric cell type is rejected up front.
+    pub fn aggregate_where(
+        &self,
+        name: &str,
+        region: &Domain,
+        kind: AggKind,
+        predicate: Option<&CellPredicate>,
+    ) -> Result<(AggValue, QueryStats)> {
         let entry = self.catalog.entry(name)?;
         let meta = &entry.meta;
         if !meta.mdd_type.definition.admits(region) {
@@ -222,12 +273,16 @@ impl<S: PageStore> crate::snapshot::Snapshot<S> {
                 definition: meta.mdd_type.definition.to_string(),
             });
         }
+        if predicate.is_some() {
+            decode_numeric(&meta.mdd_type.cell, &meta.mdd_type.cell.default)?;
+        }
         entry.log.record(region);
         let cell_type = meta.mdd_type.cell.clone();
         let cell_size = cell_type.size;
         let mut acc = Accumulator::new(kind);
 
         let search = meta.index.search(region);
+        let candidates = predicate.map(CellPredicate::candidate_bins);
         let io_before = self.blobs.stats().snapshot();
         let mut stats = QueryStats {
             index_nodes: search.nodes_visited,
@@ -235,16 +290,43 @@ impl<S: PageStore> crate::snapshot::Snapshot<S> {
         };
         for &pos in &search.hits {
             let tile = &meta.tiles[pos as usize];
-            let bytes = crate::snapshot::read_tile_payload(&self.blobs, meta, tile)?;
             let clip = tile
                 .domain
                 .intersection(region)
                 .expect("index returned an intersecting tile");
+            if let (Some(p), Some(bins)) = (predicate, candidates) {
+                let by_bitmap = meta
+                    .value_index
+                    .as_ref()
+                    .is_some_and(|ix| ix.tile_mask(pos as usize) & bins == 0);
+                let by_synopsis = tile.synopsis.as_ref().is_some_and(|s| p.prunes_tile(s));
+                if by_bitmap || by_synopsis {
+                    // No cell matches: the whole clip reads as default.
+                    acc.feed_default(&cell_type, clip.cells())?;
+                    stats.tiles_pruned += 1;
+                    continue;
+                }
+            } else if region.contains_domain(&tile.domain) {
+                if let Some(syn) = &tile.synopsis {
+                    if acc.accepts_synopsis(syn) {
+                        acc.feed_synopsis(syn);
+                        stats.tiles_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let bytes = crate::snapshot::read_tile_payload(&self.blobs, meta, tile)?;
             for run in RunIter::new(&tile.domain, &clip)? {
                 let start = run.outer_offset as usize * cell_size;
                 for k in 0..run.len as usize {
                     let at = start + k * cell_size;
-                    acc.feed(&cell_type, &bytes[at..at + cell_size])?;
+                    let cell = &bytes[at..at + cell_size];
+                    match predicate {
+                        Some(p) if !p.matches(decode_numeric(&cell_type, cell)?) => {
+                            acc.feed(&cell_type, &cell_type.default)?;
+                        }
+                        _ => acc.feed(&cell_type, cell)?,
+                    }
                 }
             }
             stats.tiles_read += 1;
@@ -257,6 +339,7 @@ impl<S: PageStore> crate::snapshot::Snapshot<S> {
         acc.feed_default(&cell_type, total - covered)?;
         stats.cells_defaulted = total - covered;
         stats.io = self.blobs.stats().snapshot().since(&io_before);
+        tilestore_obs::hot().tiles_pruned.add(stats.tiles_pruned);
         Ok((acc.finish(), stats))
     }
 }
@@ -274,6 +357,22 @@ impl<S: PageStore> Database<S> {
         kind: AggKind,
     ) -> Result<(AggValue, QueryStats)> {
         self.begin_read().aggregate(name, region, kind)
+    }
+
+    /// Computes a predicate-masked aggregation against a fresh snapshot.
+    /// Shorthand for `begin_read().aggregate_where(..)`.
+    ///
+    /// # Errors
+    /// See [`crate::snapshot::Snapshot::aggregate_where`].
+    pub fn aggregate_where(
+        &self,
+        name: &str,
+        region: &Domain,
+        kind: AggKind,
+        predicate: Option<&CellPredicate>,
+    ) -> Result<(AggValue, QueryStats)> {
+        self.begin_read()
+            .aggregate_where(name, region, kind, predicate)
     }
 }
 

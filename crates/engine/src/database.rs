@@ -37,6 +37,7 @@ use crate::snapshot::{
     lock_recover, CatalogState, EpochTracker, ObjectEntry, QueryResult, Snapshot, WriteReceipt,
 };
 use crate::stats::{InsertStats, RetileStats};
+use crate::synopsis::TileSynopsis;
 
 /// A database of tiled MDD objects over a page store `S`.
 ///
@@ -322,6 +323,20 @@ impl<S: PageStore> Database<S> {
         epoch
     }
 
+    /// Rebuilds `meta`'s value-bitmap index from its tile synopses, writes
+    /// it as a fresh blob (the persistent form), and returns the previous
+    /// bitmap blob for retirement, if one existed. Objects with no tiles
+    /// keep no bitmap blob.
+    pub(crate) fn refresh_value_index(&self, meta: &mut MddObject) -> Result<Option<BlobId>> {
+        let old = meta.value_index_blob.take();
+        meta.rebuild_value_index();
+        if !meta.tiles.is_empty() {
+            let bytes = meta.value_index.as_ref().expect("just rebuilt").to_bytes();
+            meta.value_index_blob = Some(self.blobs.create(&bytes)?);
+        }
+        Ok(old)
+    }
+
     /// Names of all stored objects.
     #[must_use]
     pub fn object_names(&self) -> Vec<String> {
@@ -400,6 +415,8 @@ impl<S: PageStore> Database<S> {
             tiles: Vec::new(),
             index,
             current_domain: None,
+            value_index_blob: None,
+            value_index: None,
         };
         self.install_object(&cat, name, meta, Vec::new());
         Ok(())
@@ -415,7 +432,8 @@ impl<S: PageStore> Database<S> {
         let _w = self.lock_writer();
         let cat = self.current_catalog();
         let entry = cat.entry(name)?;
-        let retired: Vec<BlobId> = entry.meta.tiles.iter().map(|t| t.blob).collect();
+        let mut retired: Vec<BlobId> = entry.meta.tiles.iter().map(|t| t.blob).collect();
+        retired.extend(entry.meta.value_index_blob);
         let mut objects = cat.objects.clone();
         objects.remove(name);
         let epoch = self.swap_catalog(objects);
@@ -478,18 +496,24 @@ impl<S: PageStore> Database<S> {
         };
         let pool_handle = self.executor();
         let pool = pool_handle.as_deref().filter(|_| spec.len() > 1);
-        let created: Vec<(Domain, BlobId)> = if let Some(pool) = pool {
+        let cell_type = &meta.mdd_type.cell;
+        let created: Vec<(Domain, BlobId, TileSynopsis)> = if let Some(pool) = pool {
             let blobs: &BlobStore<S> = &self.blobs;
             let compression = &meta.compression;
             let ctx = &ctx;
             pool.scatter(
                 spec.tiles().to_vec(),
-                move |_, tile_domain| -> Result<(Domain, BlobId)> {
+                move |_, tile_domain| -> Result<(Domain, BlobId, TileSynopsis)> {
                     let tile = array.extract(&tile_domain)?;
-                    let stream = tilestore_compress::compress(compression, tile.bytes(), ctx)
-                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                    // The encoder's byte scan doubles as the synopsis base.
+                    let (stream, scan) =
+                        tilestore_compress::compress_with_scan(compression, tile.bytes(), ctx)
+                            .map_err(|e| {
+                                EngineError::Catalog(format!("compression failed: {e}"))
+                            })?;
+                    let synopsis = TileSynopsis::from_scan(cell_type, tile.bytes(), scan);
                     let blob = blobs.create(&stream)?;
-                    Ok((tile_domain, blob))
+                    Ok((tile_domain, blob, synopsis))
                 },
             )
             .into_iter()
@@ -498,22 +522,29 @@ impl<S: PageStore> Database<S> {
             let mut created = Vec::with_capacity(spec.len());
             for tile_domain in spec.tiles() {
                 let tile = array.extract(tile_domain)?;
-                let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
-                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
-                created.push((tile_domain.clone(), self.blobs.create(&stream)?));
+                let (stream, scan) =
+                    tilestore_compress::compress_with_scan(&meta.compression, tile.bytes(), &ctx)
+                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let synopsis = TileSynopsis::from_scan(cell_type, tile.bytes(), scan);
+                created.push((tile_domain.clone(), self.blobs.create(&stream)?, synopsis));
             }
             created
         };
         let mut new_meta = (**meta).clone();
-        for (tile_domain, blob) in created {
+        for (tile_domain, blob, synopsis) in created {
             let pos = new_meta.tiles.len() as u64;
             new_meta.tiles.push(TileMeta {
                 domain: tile_domain.clone(),
                 blob,
+                synopsis: Some(synopsis),
             });
             new_meta.index.insert(tile_domain, pos)?;
             stats.tiles_created += 1;
         }
+        let retired: Vec<BlobId> = self
+            .refresh_value_index(&mut new_meta)?
+            .into_iter()
+            .collect();
         let io = self.blobs.stats().snapshot().since(&io_before);
         stats.bytes_written = io.bytes_written;
         stats.pages_written = io.pages_written;
@@ -522,7 +553,7 @@ impl<S: PageStore> Database<S> {
             Some(cur) => cur.hull(array.domain())?,
             None => array.domain().clone(),
         });
-        let epoch = self.install_object(&cat, name, new_meta, Vec::new());
+        let epoch = self.install_object(&cat, name, new_meta, retired);
         stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         Ok(WriteReceipt { stats, epoch })
     }
@@ -537,6 +568,20 @@ impl<S: PageStore> Database<S> {
     /// errors.
     pub fn range_query(&self, name: &str, region: &Domain) -> Result<QueryResult> {
         self.begin_read().range_query(name, region)
+    }
+
+    /// Executes a predicate-masked range query against a fresh snapshot.
+    /// Shorthand for `begin_read().range_query_where(..)`.
+    ///
+    /// # Errors
+    /// See [`crate::Snapshot::range_query_where`].
+    pub fn range_query_where(
+        &self,
+        name: &str,
+        region: &Domain,
+        predicate: Option<&crate::CellPredicate>,
+    ) -> Result<QueryResult> {
+        self.begin_read().range_query_where(name, region, predicate)
     }
 
     /// Executes any §5.1 access against a fresh snapshot. Sections (type
@@ -592,14 +637,15 @@ impl<S: PageStore> Database<S> {
         };
         let pool_handle = self.executor();
         let pool = pool_handle.as_deref().filter(|_| spec.len() > 1);
-        let materialized: Vec<Option<(Domain, BlobId, u64)>> = if let Some(pool) = pool {
+        type Materialized = (Domain, BlobId, u64, TileSynopsis);
+        let materialized: Vec<Option<Materialized>> = if let Some(pool) = pool {
             let blobs: &BlobStore<S> = &self.blobs;
             let meta_ref: &MddObject = &meta;
             let ctx = &ctx;
             let default = &default;
             pool.scatter(
                 spec.tiles().to_vec(),
-                move |_, tile_domain| -> Result<Option<(Domain, BlobId, u64)>> {
+                move |_, tile_domain| -> Result<Option<Materialized>> {
                     let hits = meta_ref.index.search(&tile_domain).hits;
                     if hits.is_empty() {
                         return Ok(None); // stays uncovered
@@ -625,13 +671,16 @@ impl<S: PageStore> Database<S> {
                             cell_size,
                         )?;
                     }
-                    let stream =
-                        tilestore_compress::compress(&meta_ref.compression, tile.bytes(), ctx)
-                            .map_err(|e| {
-                                EngineError::Catalog(format!("compression failed: {e}"))
-                            })?;
+                    let (stream, scan) = tilestore_compress::compress_with_scan(
+                        &meta_ref.compression,
+                        tile.bytes(),
+                        ctx,
+                    )
+                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                    let synopsis =
+                        TileSynopsis::from_scan(&meta_ref.mdd_type.cell, tile.bytes(), scan);
                     let blob = blobs.create(&stream)?;
-                    Ok(Some((tile_domain, blob, tile.size_bytes())))
+                    Ok(Some((tile_domain, blob, tile.size_bytes(), synopsis)))
                 },
             )
             .into_iter()
@@ -654,18 +703,26 @@ impl<S: PageStore> Database<S> {
                     let old_array = Array::from_bytes(old.domain.clone(), cell_size, bytes)?;
                     tile.paste(&old_array)?;
                 }
-                let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
-                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let (stream, scan) =
+                    tilestore_compress::compress_with_scan(&meta.compression, tile.bytes(), &ctx)
+                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let synopsis = TileSynopsis::from_scan(&meta.mdd_type.cell, tile.bytes(), scan);
                 let blob = self.blobs.create(&stream)?;
-                materialized.push(Some((tile_domain.clone(), blob, tile.size_bytes())));
+                materialized.push(Some((
+                    tile_domain.clone(),
+                    blob,
+                    tile.size_bytes(),
+                    synopsis,
+                )));
             }
             materialized
         };
-        for (tile_domain, blob, bytes) in materialized.into_iter().flatten() {
+        for (tile_domain, blob, bytes, synopsis) in materialized.into_iter().flatten() {
             stats.bytes_rewritten += bytes;
             new_tiles.push(TileMeta {
                 domain: tile_domain,
                 blob,
+                synopsis: Some(synopsis),
             });
         }
         // Build the successor object: new tiles, rebuilt index, new scheme.
@@ -685,7 +742,8 @@ impl<S: PageStore> Database<S> {
         stats.tiles_after = new_tiles.len() as u64;
         new_meta.tiles = new_tiles;
         new_meta.scheme = scheme;
-        let retired: Vec<BlobId> = meta.tiles.iter().map(|t| t.blob).collect();
+        let mut retired: Vec<BlobId> = meta.tiles.iter().map(|t| t.blob).collect();
+        retired.extend(self.refresh_value_index(&mut new_meta)?);
         let epoch = self.install_object(&cat, name, new_meta, retired);
         stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         Ok(WriteReceipt { stats, epoch })
@@ -1037,11 +1095,12 @@ mod tests {
         assert!(receipt.epoch > ins.epoch);
 
         // The old tiles stay readable through the snapshot: both content
-        // and tile count are the pre-retile ones.
+        // and tile count are the pre-retile ones (one of the blobs is the
+        // object's value-bitmap index, not a tile).
         let q = snap.range_query("obj", &d("[0:31,0:31]")).unwrap();
         assert_eq!(q.array, data);
         assert_eq!(q.epoch, ins.epoch);
-        assert_eq!(snap.object("obj").unwrap().tile_count(), blobs_before);
+        assert_eq!(snap.object("obj").unwrap().tile_count(), blobs_before - 1);
         // Old + new tiles coexist while the snapshot lives...
         assert!(db.blob_store().blob_count() > db.object("obj").unwrap().tile_count());
 
@@ -1050,11 +1109,12 @@ mod tests {
         assert_eq!(fresh.epoch, receipt.epoch);
         assert_eq!(fresh.array, data);
 
-        // Dropping the last old snapshot reclaims the retired blobs.
+        // Dropping the last old snapshot reclaims the retired blobs; what
+        // remains is the new tiles plus the value-bitmap blob.
         drop(snap);
         assert_eq!(
             db.blob_store().blob_count(),
-            db.object("obj").unwrap().tile_count()
+            db.object("obj").unwrap().tile_count() + 1
         );
     }
 

@@ -36,9 +36,11 @@ mod induce;
 mod mdd;
 mod modify;
 mod persist;
+mod predicate;
 mod shared;
 mod snapshot;
 mod stats;
+mod synopsis;
 
 pub use access::{AccessLog, AccessRegion};
 pub use aggregate::{aggregate_array, AggKind, AggValue};
@@ -53,9 +55,11 @@ pub use modify::{DeleteStats, UpdateStats};
 pub use persist::{
     fsck, Catalog, FsckReport, ACCESS_LOG_FILE, CATALOG_FILE, CATALOG_TMP_FILE, PAGES_FILE,
 };
+pub use predicate::{CellPredicate, PredOp};
 pub use shared::SharedDatabase;
 pub use snapshot::{QueryResult, Snapshot, WriteReceipt};
 pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};
+pub use synopsis::TileSynopsis;
 
 /// Compile-time thread-safety assertions. The serving layer shares one
 /// `Database<FilePageStore>` across connection threads and scatters query

@@ -2,12 +2,13 @@
 
 use tilestore_compress::CompressionPolicy;
 use tilestore_geometry::{DefDomain, Domain};
-use tilestore_index::RPlusTree;
+use tilestore_index::{BitmapIndex, RPlusTree};
 use tilestore_storage::BlobId;
 use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 use tilestore_tiling::Scheme;
 
 use crate::celltype::CellType;
+use crate::synopsis::TileSynopsis;
 
 /// The type of an MDD object: base (cell) type plus definition domain (§3).
 #[derive(Debug, Clone, PartialEq)]
@@ -57,14 +58,23 @@ pub struct TileMeta {
     pub domain: Domain,
     /// The BLOB storing the tile's cells (row-major within the domain).
     pub blob: BlobId,
+    /// Value statistics of the payload. `None` only for tiles written by
+    /// databases predating synopses; those are rebuilt lazily on open.
+    pub synopsis: Option<TileSynopsis>,
 }
 
 impl ToJson for TileMeta {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("domain", self.domain.to_json()),
             ("blob", self.blob.to_json()),
-        ])
+        ];
+        // Written only when present, so old readers are untouched by it
+        // and a missing field round-trips as missing.
+        if let Some(syn) = &self.synopsis {
+            fields.push(("synopsis", syn.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -73,6 +83,10 @@ impl FromJson for TileMeta {
         Ok(TileMeta {
             domain: Domain::from_json(v.field("domain")?)?,
             blob: BlobId::from_json(v.field("blob")?)?,
+            synopsis: match v.get("synopsis") {
+                Some(s) => Some(TileSynopsis::from_json(s)?),
+                None => None,
+            },
         })
     }
 }
@@ -101,11 +115,18 @@ pub struct MddObject {
     pub index: RPlusTree,
     /// Current spatial domain (`None` while empty).
     pub current_domain: Option<Domain>,
+    /// BLOB holding the serialized value-bitmap index, when one has been
+    /// written. Retired and rewritten whenever the tile set changes.
+    pub value_index_blob: Option<BlobId>,
+    /// In-memory copy of the value-bitmap index (loaded from
+    /// [`MddObject::value_index_blob`] on open, rebuilt on writes). Not
+    /// serialized with the catalog — the blob is the persistent form.
+    pub value_index: Option<BitmapIndex>,
 }
 
 impl ToJson for MddObject {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("name", self.name.to_json()),
             ("mdd_type", self.mdd_type.to_json()),
             ("scheme", self.scheme.to_json()),
@@ -113,7 +134,11 @@ impl ToJson for MddObject {
             ("tiles", self.tiles.to_json()),
             ("index", self.index.to_json()),
             ("current_domain", self.current_domain.to_json()),
-        ])
+        ];
+        if let Some(blob) = self.value_index_blob {
+            fields.push(("value_index_blob", blob.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -124,6 +149,12 @@ impl FromJson for MddObject {
             Some(c) => CompressionPolicy::from_json(c)?,
             None => CompressionPolicy::default(),
         };
+        // Likewise for the value index (predates nothing it needs: the
+        // in-memory copy is loaded from the blob by the open path).
+        let value_index_blob = match v.get("value_index_blob") {
+            Some(b) => Some(BlobId::from_json(b)?),
+            None => None,
+        };
         Ok(MddObject {
             name: String::from_json(v.field("name")?)?,
             mdd_type: MddType::from_json(v.field("mdd_type")?)?,
@@ -132,6 +163,8 @@ impl FromJson for MddObject {
             tiles: Vec::from_json(v.field("tiles")?)?,
             index: RPlusTree::from_json(v.field("index")?)?,
             current_domain: Option::from_json(v.field("current_domain")?)?,
+            value_index_blob,
+            value_index: None,
         })
     }
 }
@@ -160,6 +193,18 @@ impl MddObject {
     #[must_use]
     pub fn tile_count(&self) -> usize {
         self.tiles.len()
+    }
+
+    /// Rebuilds the in-memory value-bitmap index from the tiles' synopses.
+    /// A tile without a synopsis contributes the all-ones "unknown" mask,
+    /// which never prunes.
+    pub fn rebuild_value_index(&mut self) {
+        let masks = self
+            .tiles
+            .iter()
+            .map(|t| t.synopsis.map_or(!0, |s| s.bins()))
+            .collect();
+        self.value_index = Some(BitmapIndex::from_masks(masks));
     }
 }
 

@@ -27,6 +27,7 @@ use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::mdd::TileMeta;
 use crate::snapshot::{read_tile_payload, WriteReceipt};
+use crate::synopsis::TileSynopsis;
 
 /// Statistics of an [`Database::update`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -79,9 +80,10 @@ impl<S: PageStore> Database<S> {
             });
         }
         let hits = meta.index.search(array.domain()).hits;
+        let cell_type = &meta.mdd_type.cell;
         let ctx = CellContext {
             cell_size,
-            default: &meta.mdd_type.cell.default,
+            default: &cell_type.default,
         };
         let mut stats = UpdateStats::default();
         let mut covered: Vec<Domain> = Vec::with_capacity(hits.len());
@@ -94,9 +96,12 @@ impl<S: PageStore> Database<S> {
             let payload = read_tile_payload(self.blob_store(), meta, old)?;
             let mut tile = Array::from_bytes(old.domain.clone(), cell_size, payload)?;
             let updated = tile.paste(array)?;
-            let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
-                .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+            let (stream, scan) =
+                tilestore_compress::compress_with_scan(&meta.compression, tile.bytes(), &ctx)
+                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
             new_meta.tiles[*pos as usize].blob = self.blob_store().create(&stream)?;
+            new_meta.tiles[*pos as usize].synopsis =
+                Some(TileSynopsis::from_scan(cell_type, tile.bytes(), scan));
             retired.push(old.blob);
             stats.tiles_rewritten += 1;
             stats.cells_updated += updated;
@@ -109,13 +114,15 @@ impl<S: PageStore> Database<S> {
             let spec = meta.scheme.partition(&piece, cell_size)?;
             for tile_domain in spec.tiles() {
                 let tile = array.extract(tile_domain)?;
-                let stream = tilestore_compress::compress(&meta.compression, tile.bytes(), &ctx)
-                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let (stream, scan) =
+                    tilestore_compress::compress_with_scan(&meta.compression, tile.bytes(), &ctx)
+                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
                 let blob = self.blob_store().create(&stream)?;
                 let at = new_meta.tiles.len() as u64;
                 new_meta.tiles.push(TileMeta {
                     domain: tile_domain.clone(),
                     blob,
+                    synopsis: Some(TileSynopsis::from_scan(cell_type, tile.bytes(), scan)),
                 });
                 new_meta.index.insert(tile_domain.clone(), at)?;
                 stats.tiles_created += 1;
@@ -127,6 +134,7 @@ impl<S: PageStore> Database<S> {
             Some(cur) => cur.hull(array.domain())?,
             None => array.domain().clone(),
         });
+        retired.extend(self.refresh_value_index(&mut new_meta)?);
         let epoch = self.install_object(&cat, name, new_meta, retired);
         Ok(WriteReceipt { stats, epoch })
     }
@@ -143,9 +151,10 @@ impl<S: PageStore> Database<S> {
         let meta = &cat.entry(name)?.meta;
         let cell_size = meta.cell_size();
         let hits = meta.index.search(region).hits;
+        let cell_type = &meta.mdd_type.cell;
         let ctx = CellContext {
             cell_size,
-            default: &meta.mdd_type.cell.default,
+            default: &cell_type.default,
         };
         let mut stats = DeleteStats::default();
         let mut drop_positions: Vec<u64> = Vec::new();
@@ -168,11 +177,13 @@ impl<S: PageStore> Database<S> {
             let tile = Array::from_bytes(old.domain.clone(), cell_size, payload)?;
             for piece in difference(&old.domain, region) {
                 let part = tile.extract(&piece)?;
-                let stream = tilestore_compress::compress(&meta.compression, part.bytes(), &ctx)
-                    .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
+                let (stream, scan) =
+                    tilestore_compress::compress_with_scan(&meta.compression, part.bytes(), &ctx)
+                        .map_err(|e| EngineError::Catalog(format!("compression failed: {e}")))?;
                 replacement_tiles.push(TileMeta {
                     domain: piece,
                     blob: self.blob_store().create(&stream)?,
+                    synopsis: Some(TileSynopsis::from_scan(cell_type, part.bytes(), scan)),
                 });
             }
             retired.push(old.blob);
@@ -215,6 +226,7 @@ impl<S: PageStore> Database<S> {
             .map(|t| t.domain.clone())
             .reduce(|a, b| a.hull(&b).expect("uniform dimensionality"));
         new_meta.tiles = kept;
+        retired.extend(self.refresh_value_index(&mut new_meta)?);
         let epoch = self.install_object(&cat, name, new_meta, retired);
         Ok(WriteReceipt { stats, epoch })
     }

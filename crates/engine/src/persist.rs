@@ -26,6 +26,7 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
+use tilestore_index::BitmapIndex;
 use tilestore_obs::AccessRecorder;
 use tilestore_storage::{
     BlobDirectory, BlobId, BlobStore, FilePageStore, PageStore, DEFAULT_PAGE_SIZE,
@@ -35,6 +36,8 @@ use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::mdd::MddObject;
+use crate::snapshot::read_tile_payload;
+use crate::synopsis::TileSynopsis;
 
 /// Serializable catalog of a whole database.
 #[derive(Debug)]
@@ -130,7 +133,8 @@ impl<S: PageStore> Database<S> {
     pub fn from_catalog(store: S, catalog: Catalog) -> Self {
         let blobs = BlobStore::with_directory(store, catalog.blobs);
         let db = Database::from_blob_store(blobs);
-        for meta in catalog.objects {
+        for mut meta in catalog.objects {
+            db.hydrate_value_index(&mut meta);
             db.restore_object(meta);
         }
         db.set_catalog_epoch(catalog.epoch);
@@ -138,6 +142,55 @@ impl<S: PageStore> Database<S> {
         // restarting at zero on every reopen.
         db.set_snapshot_epoch(catalog.epoch);
         db
+    }
+
+    /// Hydrates the synopses and value-bitmap index of a restored object.
+    ///
+    /// Catalogs written before synopses existed lack them; the payloads are
+    /// rescanned once here (lazy rebuild on first open) so every opened
+    /// database prunes. The stored bitmap blob is used when it matches the
+    /// tile set; otherwise it is rebuilt from the synopses and re-staged
+    /// best-effort — the next [`Database::save`] makes it durable. The
+    /// common reopen path (synopses present, blob intact) stays read-only.
+    fn hydrate_value_index(&self, meta: &mut MddObject) {
+        let mut rescanned: Vec<(usize, TileSynopsis)> = Vec::new();
+        for (i, tile) in meta.tiles.iter().enumerate() {
+            if tile.synopsis.is_none() {
+                if let Ok(payload) = read_tile_payload(self.blob_store(), meta, tile) {
+                    rescanned.push((i, TileSynopsis::scan(&meta.mdd_type.cell, &payload)));
+                }
+            }
+        }
+        let rescan = !rescanned.is_empty();
+        for (i, syn) in rescanned {
+            meta.tiles[i].synopsis = Some(syn);
+        }
+        if !rescan {
+            if let Some(blob) = meta.value_index_blob {
+                let loaded = self
+                    .blob_store()
+                    .read(blob)
+                    .ok()
+                    .and_then(|bytes| BitmapIndex::from_bytes(&bytes).ok())
+                    .filter(|ix| ix.len() == meta.tiles.len());
+                if let Some(ix) = loaded {
+                    meta.value_index = Some(ix);
+                    return;
+                }
+            }
+        }
+        // Missing, unreadable or stale bitmap: rebuild from the synopses.
+        // No snapshot can exist this early, so the superseded blob is
+        // deleted directly instead of epoch-retired.
+        if let Some(stale) = meta.value_index_blob.take() {
+            let _ = self.blob_store().delete(stale);
+        }
+        meta.rebuild_value_index();
+        if !meta.tiles.is_empty() {
+            if let Some(ix) = &meta.value_index {
+                meta.value_index_blob = self.blob_store().create(&ix.to_bytes()).ok();
+            }
+        }
     }
 
     /// Durably commits the catalog to the database directory.
@@ -278,6 +331,9 @@ pub struct FsckReport {
     pub unreadable_blobs: Vec<u64>,
     /// `(object, blob)` tile references that resolve to no BLOB.
     pub missing_tile_blobs: Vec<(String, u64)>,
+    /// `(object, blob)` value-bitmap-index references that resolve to no
+    /// BLOB (dangling index blob).
+    pub missing_index_blobs: Vec<(String, u64)>,
     /// Whether a stale `catalog.json.tmp` (interrupted commit) is present.
     pub stale_tmp: bool,
 }
@@ -292,6 +348,7 @@ impl FsckReport {
             && self.duplicated_pages.is_empty()
             && self.unreadable_blobs.is_empty()
             && self.missing_tile_blobs.is_empty()
+            && self.missing_index_blobs.is_empty()
     }
 }
 
@@ -322,6 +379,9 @@ impl fmt::Display for FsckReport {
         }
         for (obj, blob) in &self.missing_tile_blobs {
             writeln!(f, "object {obj} references missing blob {blob}")?;
+        }
+        for (obj, blob) in &self.missing_index_blobs {
+            writeln!(f, "object {obj} references missing index blob {blob}")?;
         }
         write!(f, "NOT clean")
     }
@@ -376,6 +436,11 @@ pub fn fsck<P: AsRef<Path>>(dir: P) -> Result<FsckReport> {
                 report
                     .missing_tile_blobs
                     .push((obj.name.clone(), tile.blob.0));
+            }
+        }
+        if let Some(blob) = obj.value_index_blob {
+            if !blob_ids.contains(&blob.0) {
+                report.missing_index_blobs.push((obj.name.clone(), blob.0));
             }
         }
     }

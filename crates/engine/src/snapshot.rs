@@ -30,6 +30,7 @@ use crate::access::{AccessLog, AccessRegion};
 use crate::array::Array;
 use crate::error::{EngineError, Result};
 use crate::mdd::{MddObject, TileMeta};
+use crate::predicate::CellPredicate;
 use crate::stats::QueryStats;
 
 /// Locks a mutex, recovering from poisoning. A panicking writer must not
@@ -278,7 +279,35 @@ impl<S: PageStore> Snapshot<S> {
     /// [`EngineError::UnknownObject`], domain validation errors, storage
     /// errors.
     pub fn range_query(&self, name: &str, region: &Domain) -> Result<QueryResult> {
+        self.range_query_where(name, region, None)
+    }
+
+    /// Executes a range query with an optional cell-value predicate:
+    /// cells failing `cell <op> literal` read as the type's default value
+    /// (masked select). Tiles the synopsis or value-bitmap index *proves*
+    /// cannot hold a matching cell are never fetched — their blobs stay
+    /// untouched and they count in [`QueryStats::tiles_pruned`]; pruning
+    /// is conservative, so the result is byte-identical to masking a full
+    /// scan.
+    ///
+    /// # Errors
+    /// The errors of [`Snapshot::range_query`]; additionally a predicate
+    /// over a non-numeric cell type is rejected up front.
+    pub fn range_query_where(
+        &self,
+        name: &str,
+        region: &Domain,
+        predicate: Option<&CellPredicate>,
+    ) -> Result<QueryResult> {
         let entry = self.catalog.entry(name)?;
+        if predicate.is_some() {
+            // A predicate compares numerically; reject Rgb-style cells here
+            // rather than failing mid-scan.
+            crate::aggregate::decode_numeric(
+                &entry.meta.mdd_type.cell,
+                &entry.meta.mdd_type.cell.default,
+            )?;
+        }
         if !entry.meta.mdd_type.definition.admits(region) {
             return Err(EngineError::OutsideDefinitionDomain {
                 domain: region.to_string(),
@@ -286,8 +315,13 @@ impl<S: PageStore> Snapshot<S> {
             });
         }
         self.record_access(name, entry, region);
-        let (array, stats) =
-            execute_range(&self.blobs, self.executor.as_deref(), &entry.meta, region)?;
+        let (array, stats) = execute_range(
+            &self.blobs,
+            self.executor.as_deref(),
+            &entry.meta,
+            region,
+            predicate,
+        )?;
         Ok(QueryResult {
             array,
             stats,
@@ -303,6 +337,21 @@ impl<S: PageStore> Snapshot<S> {
     /// [`EngineError::EmptyObject`] when the object holds no cells, plus
     /// the errors of [`Snapshot::range_query`].
     pub fn query(&self, name: &str, access: &AccessRegion) -> Result<QueryResult> {
+        self.query_where(name, access, None)
+    }
+
+    /// Executes any §5.1 access with an optional cell-value predicate (see
+    /// [`Snapshot::range_query_where`] for the masked-select semantics).
+    ///
+    /// # Errors
+    /// The errors of [`Snapshot::query`]; a predicate over a non-numeric
+    /// cell type is rejected up front.
+    pub fn query_where(
+        &self,
+        name: &str,
+        access: &AccessRegion,
+        predicate: Option<&CellPredicate>,
+    ) -> Result<QueryResult> {
         let entry = self.catalog.entry(name)?;
         let current = entry
             .meta
@@ -310,7 +359,7 @@ impl<S: PageStore> Snapshot<S> {
             .as_ref()
             .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
         let (region, fixed_axes) = access.resolve(current)?;
-        let result = self.range_query(name, &region)?;
+        let result = self.range_query_where(name, &region, predicate)?;
         if fixed_axes.is_empty() {
             return Ok(result);
         }
@@ -347,6 +396,7 @@ pub(crate) fn execute_range<S: PageStore>(
     executor: Option<&ThreadPool>,
     meta: &MddObject,
     region: &Domain,
+    predicate: Option<&CellPredicate>,
 ) -> Result<(Array, QueryStats)> {
     let _span = tilestore_obs::tracer()
         .span_with("query", || format!("object={} region={region}", meta.name));
@@ -359,18 +409,48 @@ pub(crate) fn execute_range<S: PageStore>(
         index_nodes: search.nodes_visited,
         ..QueryStats::default()
     };
-    let pool = executor.filter(|_| search.hits.len() > 1 && region.extent(0) > 1);
+    // Value-predicate pruning: drop every hit the bitmap index or its
+    // synopsis proves cannot hold a matching cell. A pruned tile is
+    // equivalent to an all-default tile, and the result is pre-filled with
+    // the default, so skipping it changes nothing.
+    let mut hits = search.hits;
+    if let Some(p) = predicate {
+        let candidates = p.candidate_bins();
+        let before = hits.len();
+        hits.retain(|&pos| {
+            let tile = &meta.tiles[pos as usize];
+            let by_bitmap = meta
+                .value_index
+                .as_ref()
+                .is_some_and(|ix| ix.tile_mask(pos as usize) & candidates == 0);
+            let by_synopsis = tile.synopsis.as_ref().is_some_and(|s| p.prunes_tile(s));
+            !(by_bitmap || by_synopsis)
+        });
+        stats.tiles_pruned = (before - hits.len()) as u64;
+    }
+    let pool = executor.filter(|_| hits.len() > 1 && region.extent(0) > 1);
     if let Some(pool) = pool {
-        stats.cells_copied =
-            fetch_tiles_parallel(blobs, pool, meta, region, &search.hits, result.bytes_mut())?;
-        for &pos in &search.hits {
+        let band_stats = fetch_tiles_parallel(
+            blobs,
+            pool,
+            meta,
+            region,
+            &hits,
+            predicate,
+            result.bytes_mut(),
+        )?;
+        stats.merge(&band_stats);
+        for &pos in &hits {
             stats.tiles_read += 1;
             stats.cells_processed += meta.tiles[pos as usize].domain.cells();
         }
     } else {
-        for &pos in &search.hits {
+        for &pos in &hits {
             let tile = &meta.tiles[pos as usize];
-            let bytes = read_tile_payload(blobs, meta, tile)?;
+            let mut bytes = read_tile_payload(blobs, meta, tile)?;
+            if let Some(p) = predicate {
+                p.mask_payload(&meta.mdd_type.cell, &mut bytes)?;
+            }
             let tile_array = Array::from_bytes(tile.domain.clone(), cell_size, bytes)?;
             let copied = result.paste(&tile_array)?;
             stats.tiles_read += 1;
@@ -385,6 +465,7 @@ pub(crate) fn execute_range<S: PageStore>(
     hot.queries.inc();
     hot.query_latency_ns.record(stats.elapsed_ns);
     hot.query_tiles.record(stats.tiles_read);
+    hot.tiles_pruned.add(stats.tiles_pruned);
     Ok((result, stats))
 }
 
@@ -399,15 +480,18 @@ pub(crate) fn execute_range<S: PageStore>(
 /// crossing a cut that could not snap is fetched once per band it
 /// touches).
 ///
-/// Returns the total number of cells copied from tiles.
+/// Returns the per-band statistics merged (saturating) into one
+/// [`QueryStats`]; only the per-cell counters are populated — the caller
+/// owns tile counts, I/O deltas and timing.
 fn fetch_tiles_parallel<S: PageStore>(
     blobs: &BlobStore<S>,
     pool: &ThreadPool,
     meta: &MddObject,
     region: &Domain,
     hits: &[u64],
+    predicate: Option<&CellPredicate>,
     out: &mut [u8],
-) -> Result<u64> {
+) -> Result<QueryStats> {
     let cell_size = meta.cell_size();
     let rows = usize::try_from(region.extent(0)).map_err(|_| {
         EngineError::Catalog(format!("query region too large for this host: {region}"))
@@ -453,9 +537,10 @@ fn fetch_tiles_parallel<S: PageStore>(
         cell_size,
         default: &meta.mdd_type.cell.default,
     };
-    let copied = pool.scatter(tasks, |_, (band_dom, band_out)| -> Result<u64> {
+    let bands = pool.scatter(tasks, |_, (band_dom, band_out)| -> Result<QueryStats> {
         let mut scratch = Vec::new();
-        let mut copied = 0u64;
+        let mut masked = Vec::new();
+        let mut band = QueryStats::default();
         for &pos in hits {
             let tile = &meta.tiles[pos as usize];
             let Some(overlap) = tile.domain.intersection(&band_dom) else {
@@ -464,22 +549,28 @@ fn fetch_tiles_parallel<S: PageStore>(
             let n = blobs.read_into(tile.blob, &mut scratch)?;
             let payload = tilestore_compress::decompress_view(&scratch[..n], &ctx)
                 .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))?;
-            copied += copy_region(
-                &tile.domain,
-                &payload,
-                &band_dom,
-                band_out,
-                &overlap,
-                cell_size,
-            )?;
+            let src: &[u8] = match predicate {
+                // Masked select: failing cells become the default before
+                // the band copy. The view may alias the shared scratch,
+                // so the rewrite goes through an owned buffer.
+                Some(p) => {
+                    masked.clear();
+                    masked.extend_from_slice(&payload);
+                    p.mask_payload(&meta.mdd_type.cell, &mut masked)?;
+                    &masked
+                }
+                None => &payload,
+            };
+            band.cells_copied +=
+                copy_region(&tile.domain, src, &band_dom, band_out, &overlap, cell_size)?;
         }
-        Ok(copied)
+        Ok(band)
     });
-    let mut total = 0u64;
-    for band in copied {
-        total += band?;
+    let mut merged = QueryStats::default();
+    for band in bands {
+        merged.merge(&band?);
     }
-    Ok(total)
+    Ok(merged)
 }
 
 #[cfg(test)]

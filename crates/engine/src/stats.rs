@@ -10,6 +10,10 @@ pub struct QueryStats {
     pub index_nodes: u64,
     /// Tiles fetched from storage.
     pub tiles_read: u64,
+    /// Intersecting tiles skipped because their synopsis/bitmap proved the
+    /// query's value predicate false (or a condenser was answered from the
+    /// synopsis alone) — their blobs were never read.
+    pub tiles_pruned: u64,
     /// I/O performed while fetching tiles.
     pub io: IoSnapshot,
     /// Cells of fetched tiles handled during post-processing — the basis of
@@ -43,6 +47,30 @@ impl QueryStats {
         let t_cpu = model.t_cpu(useful, wasted);
         QueryTimes { t_ix, t_o, t_cpu }
     }
+
+    /// Folds another stats record into this one with saturating counter
+    /// arithmetic, for combining per-band records of a parallel fetch.
+    /// Saturation matters because bands observe a shared I/O stats source:
+    /// a counter torn across bands could otherwise wrap on subtraction and
+    /// the merged sum overflow.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.index_nodes = self.index_nodes.saturating_add(other.index_nodes);
+        self.tiles_read = self.tiles_read.saturating_add(other.tiles_read);
+        self.tiles_pruned = self.tiles_pruned.saturating_add(other.tiles_pruned);
+        self.cells_processed = self.cells_processed.saturating_add(other.cells_processed);
+        self.cells_copied = self.cells_copied.saturating_add(other.cells_copied);
+        self.cells_defaulted = self.cells_defaulted.saturating_add(other.cells_defaulted);
+        self.elapsed_ns = self.elapsed_ns.saturating_add(other.elapsed_ns);
+        let (a, b) = (&mut self.io, &other.io);
+        a.pages_read = a.pages_read.saturating_add(b.pages_read);
+        a.pages_written = a.pages_written.saturating_add(b.pages_written);
+        a.blobs_read = a.blobs_read.saturating_add(b.blobs_read);
+        a.blobs_written = a.blobs_written.saturating_add(b.blobs_written);
+        a.bytes_read = a.bytes_read.saturating_add(b.bytes_read);
+        a.bytes_written = a.bytes_written.saturating_add(b.bytes_written);
+        a.cache_hits = a.cache_hits.saturating_add(b.cache_hits);
+        a.cache_misses = a.cache_misses.saturating_add(b.cache_misses);
+    }
 }
 
 impl ToJson for QueryStats {
@@ -50,6 +78,7 @@ impl ToJson for QueryStats {
         Json::obj(vec![
             ("index_nodes", self.index_nodes.to_json()),
             ("tiles_read", self.tiles_read.to_json()),
+            ("tiles_pruned", self.tiles_pruned.to_json()),
             ("io", self.io.to_json()),
             ("cells_processed", self.cells_processed.to_json()),
             ("cells_copied", self.cells_copied.to_json()),
@@ -64,6 +93,11 @@ impl FromJson for QueryStats {
         Ok(QueryStats {
             index_nodes: u64::from_json(v.field("index_nodes")?)?,
             tiles_read: u64::from_json(v.field("tiles_read")?)?,
+            // Absent in records written before pruning existed.
+            tiles_pruned: match v.get("tiles_pruned") {
+                Some(t) => u64::from_json(t)?,
+                None => 0,
+            },
             io: IoSnapshot::from_json(v.field("io")?)?,
             cells_processed: u64::from_json(v.field("cells_processed")?)?,
             cells_copied: u64::from_json(v.field("cells_copied")?)?,
@@ -210,6 +244,7 @@ mod tests {
         let stats = QueryStats {
             index_nodes: 10,
             tiles_read: 2,
+            tiles_pruned: 0,
             io: IoSnapshot {
                 blobs_read: 2,
                 pages_read: 8,
@@ -268,6 +303,7 @@ mod tests {
         let stats = QueryStats {
             index_nodes: 7,
             tiles_read: 3,
+            tiles_pruned: 5,
             io: IoSnapshot {
                 blobs_read: 3,
                 pages_read: 12,
@@ -282,6 +318,72 @@ mod tests {
         let json = tilestore_testkit::json::to_string(&stats);
         let back: QueryStats = tilestore_testkit::json::from_str(&json).unwrap();
         assert_eq!(back, stats, "{json}");
+    }
+
+    #[test]
+    fn query_stats_without_pruning_field_still_parse() {
+        // A stats record serialized before `tiles_pruned` existed.
+        let json = QueryStats::default().to_json();
+        let Json::Object(mut fields) = json else {
+            panic!("stats serialize as an object")
+        };
+        fields.retain(|(k, _)| k != "tiles_pruned");
+        let back = QueryStats::from_json(&Json::Object(fields)).unwrap();
+        assert_eq!(back.tiles_pruned, 0);
+    }
+
+    #[test]
+    fn merge_adds_every_counter_saturating() {
+        let mut a = QueryStats {
+            index_nodes: 1,
+            tiles_read: 2,
+            tiles_pruned: u64::MAX,
+            io: IoSnapshot {
+                pages_read: 4,
+                bytes_read: 100,
+                cache_hits: 1,
+                ..IoSnapshot::default()
+            },
+            cells_processed: 10,
+            cells_copied: 8,
+            cells_defaulted: 1,
+            elapsed_ns: 5,
+        };
+        let b = QueryStats {
+            index_nodes: 2,
+            tiles_read: 3,
+            tiles_pruned: 7,
+            io: IoSnapshot {
+                pages_read: 1,
+                pages_written: 2,
+                blobs_read: 3,
+                blobs_written: 4,
+                bytes_read: 5,
+                bytes_written: 6,
+                cache_hits: 7,
+                cache_misses: 8,
+            },
+            cells_processed: 20,
+            cells_copied: 16,
+            cells_defaulted: 2,
+            elapsed_ns: 9,
+        };
+        a.merge(&b);
+        assert_eq!(a.index_nodes, 3);
+        assert_eq!(a.tiles_read, 5);
+        assert_eq!(a.tiles_pruned, u64::MAX, "saturates instead of wrapping");
+        assert_eq!(a.cells_processed, 30);
+        assert_eq!(a.cells_copied, 24);
+        assert_eq!(a.cells_defaulted, 3);
+        assert_eq!(a.elapsed_ns, 14);
+        assert_eq!(a.io.pages_read, 5);
+        assert_eq!(a.io.pages_written, 2);
+        assert_eq!(a.io.blobs_read, 3);
+        assert_eq!(a.io.blobs_written, 4);
+        assert_eq!(a.io.bytes_read, 105);
+        assert_eq!(a.io.bytes_written, 6);
+        assert_eq!(a.io.cache_hits, 8);
+        assert_eq!(a.io.cache_misses, 8);
     }
 
     #[test]

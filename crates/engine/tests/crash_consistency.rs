@@ -11,7 +11,10 @@
 use std::fs;
 use std::path::Path;
 
-use tilestore_engine::{fsck, Array, CellType, Database, MddType, CATALOG_TMP_FILE, PAGES_FILE};
+use tilestore_engine::{
+    fsck, Array, CellPredicate, CellType, Database, MddType, PredOp, CATALOG_FILE,
+    CATALOG_TMP_FILE, PAGES_FILE,
+};
 use tilestore_storage::{
     FaultInjectingPageStore, FaultPlan, FilePageStore, DEFAULT_PAGE_SIZE, FRAME_HEADER,
 };
@@ -118,6 +121,10 @@ fn assert_recovers(dir: &Path, commits: u64, what: &str) {
         expected_contents(commits),
         "{what}: lost or torn tiles"
     );
+    // The synopsis/bitmap-index surface must also survive the crash: a
+    // pruned masked read agrees byte-for-byte with masking the recovered
+    // contents in plain code.
+    assert_predicate_reads_clean(&db, &region, commits, what);
     // Recovery reclaimed any orphans in memory; recommitting persists the
     // repair, after which the directory must audit perfectly clean.
     db.save(dir)
@@ -127,6 +134,37 @@ fn assert_recovers(dir: &Path, commits: u64, what: &str) {
         report.is_clean(),
         "{what}: fsck dirty after recovery: {report}"
     );
+    assert!(
+        report.missing_index_blobs.is_empty(),
+        "{what}: dangling bitmap-index blob: {report}"
+    );
+}
+
+/// Runs `WHERE m >= 2000` through the recovered database and checks the
+/// result against masking [`expected_contents`] cell-by-cell.
+fn assert_predicate_reads_clean<S: tilestore_storage::PageStore>(
+    db: &Database<S>,
+    region: &tilestore_geometry::Domain,
+    commits: u64,
+    what: &str,
+) {
+    let pred = CellPredicate {
+        op: PredOp::Ge,
+        literal: 2000.0,
+    };
+    let full = expected_contents(commits);
+    let masked_bytes: Vec<u8> = full
+        .to_cells::<u32>()
+        .unwrap()
+        .into_iter()
+        .map(|v| if f64::from(v) >= 2000.0 { v } else { 0 })
+        .flat_map(u32::to_le_bytes)
+        .collect();
+    let masked = Array::from_bytes(region.clone(), 4, masked_bytes).unwrap();
+    let q = db
+        .range_query_where("m", region, Some(&pred))
+        .unwrap_or_else(|e| panic!("{what}: predicate read failed after recovery: {e}"));
+    assert_eq!(q.array, masked, "{what}: predicate read diverged");
 }
 
 #[test]
@@ -209,6 +247,92 @@ fn transient_store_errors_do_not_poison_the_database() {
     assert_eq!(q.array, expected_contents(2));
     db.save(dir.path()).unwrap();
     assert!(fsck(dir.path()).unwrap().is_clean());
+}
+
+/// Removes every `"key": value` member from a JSON text, where the value
+/// is an object or a bare number (the only shapes the stripped fields
+/// take). The member is never first in its object, so the preceding comma
+/// is removed with it.
+fn strip_json_members(text: &str, key: &str) -> String {
+    let needle = format!("\"{key}\"");
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find(&needle) {
+        let b = rest.as_bytes();
+        let mut start = pos;
+        while start > 0 && (b[start - 1] as char).is_whitespace() {
+            start -= 1;
+        }
+        assert_eq!(b[start - 1], b',', "member must follow a comma");
+        start -= 1;
+        let mut k = pos + needle.len();
+        while (b[k] as char).is_whitespace() {
+            k += 1;
+        }
+        assert_eq!(b[k], b':');
+        k += 1;
+        while (b[k] as char).is_whitespace() {
+            k += 1;
+        }
+        if b[k] == b'{' {
+            let mut depth = 1;
+            k += 1;
+            while depth > 0 {
+                match b[k] {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        } else {
+            while b[k].is_ascii_digit() {
+                k += 1;
+            }
+        }
+        out.push_str(&rest[..start]);
+        rest = &rest[k..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn pre_synopsis_catalogs_hydrate_and_prune_on_open() {
+    // A catalog written before synopses existed has no "synopsis" tile
+    // fields and no "value_index_blob"; opening it must rescan payloads,
+    // rebuild the bitmap index, and leave a directory that commits clean.
+    let dir = tilestore_testkit::tempdir().unwrap();
+    {
+        let db = phase0(dir.path());
+        db.insert("m", &data_b()).unwrap();
+        db.save(dir.path()).unwrap();
+    }
+    let path = dir.path().join(CATALOG_FILE);
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"synopsis\""), "modern catalog has synopses");
+    assert!(text.contains("\"value_index_blob\""));
+    let stripped = strip_json_members(&strip_json_members(&text, "synopsis"), "value_index_blob");
+    assert!(!stripped.contains("synopsis") && !stripped.contains("value_index_blob"));
+    fs::write(&path, stripped).unwrap();
+
+    // The old bitmap blob is now an orphan in the page file; open must
+    // still succeed and rebuild the whole value-index surface.
+    let db = Database::open_dir(dir.path()).unwrap();
+    let region = "[0:39,0:19]".parse().unwrap();
+    assert_predicate_reads_clean(&db, &region, 2, "pre-synopsis catalog");
+    // Rebuilt synopses actually prune: every tile of data_a tops out at
+    // 1920 < 2000, so a `>= 2000` read skips at least one tile.
+    let pred = CellPredicate {
+        op: PredOp::Ge,
+        literal: 2000.0,
+    };
+    let q = db.range_query_where("m", &region, Some(&pred)).unwrap();
+    assert!(q.stats.tiles_pruned > 0, "stats: {:?}", q.stats);
+    db.save(dir.path()).unwrap();
+    let report = fsck(dir.path()).unwrap();
+    assert!(report.is_clean(), "fsck dirty after hydration: {report}");
+    assert!(report.missing_index_blobs.is_empty());
 }
 
 #[test]

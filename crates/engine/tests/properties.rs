@@ -2,7 +2,9 @@
 //! tiling scheme and any query region, `insert` followed by `range_query`
 //! returns exactly the original cells (default value outside coverage).
 
-use tilestore_engine::{Array, CellType, Database, MddType};
+use tilestore_engine::{
+    AggKind, AggValue, Array, CellPredicate, CellType, Database, MddType, PredOp, TileSynopsis,
+};
 use tilestore_geometry::{Domain, Point, PointIter};
 use tilestore_testkit::prop::{check, Source};
 use tilestore_testkit::{prop_assert, prop_assert_eq};
@@ -232,6 +234,187 @@ fn point_queries_agree_with_bulk() {
             Ok(())
         },
     );
+}
+
+/// A random cell predicate whose literal lands in and around the value
+/// range the data functions below produce (u16 cells, so 0..=65535 after
+/// wrapping), with occasional fractional literals that no cell equals.
+fn cell_predicate(s: &mut Source) -> CellPredicate {
+    let op = [
+        PredOp::Gt,
+        PredOp::Ge,
+        PredOp::Lt,
+        PredOp::Le,
+        PredOp::Eq,
+        PredOp::Ne,
+    ][s.usize_in(0, 5)];
+    let literal = match s.usize_in(0, 2) {
+        // A value the data function actually produces somewhere.
+        0 => (s.i64_in(-25, 25) * 131 + s.i64_in(-25, 25) * 7) as u16 as f64,
+        // Anywhere in (and slightly outside) the representable range.
+        1 => s.i64_in(-100, 66_000) as f64,
+        // Fractional: equality can never hold, comparisons still split.
+        _ => s.i64_in(0, 5_000) as f64 + 0.5,
+    };
+    CellPredicate { op, literal }
+}
+
+/// Predicate pushdown must be pure optimization: for any array, tiling and
+/// predicate, the pruned masked read is byte-identical to masking a full
+/// scan cell-by-cell, and filtered aggregates agree with the masked array.
+#[test]
+fn predicate_pruning_matches_full_scan() {
+    check(
+        "predicate_pruning_matches_full_scan",
+        64,
+        |s| {
+            let dom = domain(s, 2);
+            let sch = scheme(s, &dom);
+            let query = subdomain(s, &dom);
+            let pred = cell_predicate(s);
+            (dom, sch, query, pred)
+        },
+        |(dom, sch, query, pred)| {
+            let db = Database::in_memory().unwrap();
+            db.create_object(
+                "obj",
+                MddType::new(
+                    CellType::of::<u16>(),
+                    tilestore_geometry::DefDomain::unlimited(2).unwrap(),
+                ),
+                sch.clone(),
+            )
+            .unwrap();
+            let value = |p: &Point| (p[0] * 131 + p[1] * 7) as u16;
+            let data = Array::from_fn(dom.clone(), &value).unwrap();
+            db.insert("obj", &data).unwrap();
+
+            // The reference result: a full scan masked cell-by-cell in
+            // plain test code (failing cells read as the default, 0).
+            let expected = Array::from_fn(query.clone(), |p| {
+                let v = value(p);
+                if pred.matches(f64::from(v)) {
+                    v
+                } else {
+                    0
+                }
+            })
+            .unwrap();
+
+            let q = db.range_query_where("obj", query, Some(pred)).unwrap();
+            prop_assert_eq!(&q.array, &expected);
+            let total_tiles = db.object("obj").unwrap().tile_count() as u64;
+            prop_assert!(
+                q.stats.tiles_pruned + q.stats.tiles_read <= total_tiles,
+                "pruned {} + read {} > {} tiles",
+                q.stats.tiles_pruned,
+                q.stats.tiles_read,
+                total_tiles
+            );
+
+            // Filtered aggregates agree with the masked reference array.
+            let cells: Vec<u16> = expected.to_cells().unwrap();
+            let snap = db.begin_read();
+            let (count, _) = snap
+                .aggregate_where("obj", query, AggKind::CountNonDefault, Some(pred))
+                .unwrap();
+            prop_assert_eq!(
+                count,
+                AggValue::Count(cells.iter().filter(|&&v| v != 0).count() as u64)
+            );
+            let (sum, _) = snap
+                .aggregate_where("obj", query, AggKind::Sum, Some(pred))
+                .unwrap();
+            let expect_sum: f64 = cells.iter().map(|&v| f64::from(v)).sum();
+            prop_assert_eq!(sum, AggValue::Number(expect_sum));
+            let (max, _) = snap
+                .aggregate_where("obj", query, AggKind::Max, Some(pred))
+                .unwrap();
+            let expect_max = cells.iter().copied().max().map(f64::from).unwrap();
+            prop_assert_eq!(max, AggValue::Number(expect_max));
+            Ok(())
+        },
+    );
+}
+
+/// Every tile of every object must carry a synopsis that agrees exactly
+/// with a fresh scan of its payload, and the bitmap index must mirror the
+/// per-tile bin masks — across insert, update, delete and retile.
+#[test]
+fn synopses_stay_consistent_under_mutation() {
+    check(
+        "synopses_stay_consistent_under_mutation",
+        48,
+        |s| {
+            let base = domain(s, 2);
+            let patches = s.vec_of(1, 4, |s| (domain(s, 2), s.u16(), s.bool()));
+            let final_scheme = scheme(s, &base);
+            (base, patches, final_scheme)
+        },
+        |(base, patches, final_scheme)| {
+            let db = Database::in_memory().unwrap();
+            db.create_object(
+                "obj",
+                MddType::new(
+                    CellType::of::<u16>(),
+                    tilestore_geometry::DefDomain::unlimited(2).unwrap(),
+                ),
+                Scheme::Aligned(AlignedTiling::regular(2, 512)),
+            )
+            .unwrap();
+            let initial = Array::from_fn(base.clone(), |p| (p[0] * 31 + p[1] + 1) as u16).unwrap();
+            db.insert("obj", &initial).unwrap();
+            assert_synopses_consistent(&db)?;
+
+            for (region, value, is_delete) in patches {
+                if *is_delete {
+                    db.delete_region("obj", region).unwrap();
+                } else {
+                    let patch = Array::filled(region.clone(), &value.to_le_bytes()).unwrap();
+                    db.update("obj", &patch).unwrap();
+                }
+                assert_synopses_consistent(&db)?;
+            }
+            db.retile("obj", final_scheme.clone()).unwrap();
+            assert_synopses_consistent(&db)
+        },
+    );
+}
+
+fn assert_synopses_consistent(
+    db: &Database<tilestore_storage::MemPageStore>,
+) -> Result<(), String> {
+    let meta = db.object("obj").unwrap();
+    let mut or_of_masks = 0u64;
+    for (i, tile) in meta.tiles.iter().enumerate() {
+        let Some(syn) = &tile.synopsis else {
+            return Err(format!("tile {i} over {} has no synopsis", tile.domain));
+        };
+        prop_assert_eq!(syn.cells(), tile.domain.cells());
+        prop_assert!(syn.non_default() <= syn.cells());
+        // null_mask is zero exactly when no cell holds the default.
+        prop_assert_eq!(syn.null_mask() == 0, syn.non_default() == syn.cells());
+        prop_assert!(syn.is_numeric() && !syn.has_nan());
+        if syn.cells() > 0 {
+            prop_assert!(syn.min().unwrap() <= syn.max().unwrap());
+        }
+        // The stored synopsis agrees exactly with a fresh scan of the
+        // tile's cells (a range query of the tile domain returns them in
+        // storage order).
+        let payload = db.range_query("obj", &tile.domain).unwrap().array;
+        let fresh = TileSynopsis::scan(&meta.mdd_type.cell, payload.bytes());
+        prop_assert_eq!(*syn, fresh, "tile {} over {}", i, tile.domain);
+        or_of_masks |= syn.bins();
+    }
+    let Some(ix) = &meta.value_index else {
+        return Err("object has no bitmap value index".to_string());
+    };
+    prop_assert_eq!(ix.len(), meta.tiles.len());
+    prop_assert_eq!(ix.summary(), or_of_masks);
+    for (i, tile) in meta.tiles.iter().enumerate() {
+        prop_assert_eq!(ix.tile_mask(i), tile.synopsis.as_ref().unwrap().bins());
+    }
+    Ok(())
 }
 
 /// Update/delete model check: the stored object must always agree with

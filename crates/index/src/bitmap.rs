@@ -1,0 +1,250 @@
+//! Hierarchical bitmap index over binned cell values.
+//!
+//! The R+-tree answers "which tiles intersect this *region*"; this
+//! structure answers the orthogonal question "which tiles can possibly
+//! contain a cell with this *value*" (Krčál, Ho & Holub: hierarchical
+//! bitmap indexing for range and membership queries on arrays). Cell
+//! values are mapped into [`BINS`] coarse value bins by the monotone
+//! [`value_bin`] function; each tile keeps a 64-bit membership mask of the
+//! bins its cells fall into, and a summary mask — the OR of every tile
+//! mask — sits on top so a predicate that matches no bin of the whole
+//! object prunes all tiles with a single AND.
+
+use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
+
+use crate::error::{IndexError, Result};
+
+/// Number of value bins (one bit each in a tile mask).
+pub const BINS: u32 = 64;
+
+/// Maps a cell value to its bin, or `None` for NaN (NaN fails every
+/// comparison predicate, so it never needs to make a tile a candidate).
+///
+/// The binning is monotone (`v <= w` implies `value_bin(v) <= value_bin(w)`)
+/// and value-independent, so masks can be built tile-by-tile in one pass
+/// with no cross-tile coordination:
+///
+/// * bins 0..=25 — negative values by descending magnitude (bin 0 holds
+///   `v <= -2^25`, bin 25 holds `-2^-6 < v < 0`... approximately: the
+///   exponent of `-v` is clamped to `[-6, 25]`);
+/// * bin 31 — exactly zero;
+/// * bins 32..=63 — positive values by ascending magnitude (exponent of
+///   `v` clamped to `[-6, 25]`, so bin 63 holds `v >= 2^25`).
+#[must_use]
+pub fn value_bin(v: f64) -> Option<u32> {
+    if v.is_nan() {
+        return None;
+    }
+    Some(if v == 0.0 {
+        31
+    } else if v > 0.0 {
+        let e = v.log2().floor().clamp(-6.0, 25.0) as i64;
+        (32 + (e + 6)) as u32
+    } else {
+        let e = (-v).log2().floor().clamp(-6.0, 25.0) as i64;
+        (25 - e) as u32
+    })
+}
+
+/// Mask of every bin that could hold a value `>= v` (or `> v` — the bin
+/// granularity cannot distinguish the two, so both use the closed form).
+#[must_use]
+pub fn bins_ge(v: f64) -> u64 {
+    match value_bin(v) {
+        // All bits from bin(v) upward.
+        Some(b) => !0u64 << b,
+        None => 0,
+    }
+}
+
+/// Mask of every bin that could hold a value `<= v` (or `< v`).
+#[must_use]
+pub fn bins_le(v: f64) -> u64 {
+    match value_bin(v) {
+        // All bits from 0 through bin(v).
+        Some(b) if b == BINS - 1 => !0u64,
+        Some(b) => (1u64 << (b + 1)) - 1,
+        None => 0,
+    }
+}
+
+/// Mask of the single bin holding `v`.
+#[must_use]
+pub fn bins_eq(v: f64) -> u64 {
+    match value_bin(v) {
+        Some(b) => 1u64 << b,
+        None => 0,
+    }
+}
+
+/// Two-level bitmap index: a per-tile bin-membership mask (indexed by the
+/// tile's position in the object's tile list) under a summary mask that is
+/// the OR of all tile masks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitmapIndex {
+    summary: u64,
+    tile_masks: Vec<u64>,
+}
+
+impl BitmapIndex {
+    /// Builds the index from per-tile masks (position-aligned with the
+    /// object's tile list).
+    #[must_use]
+    pub fn from_masks(tile_masks: Vec<u64>) -> Self {
+        let summary = tile_masks.iter().fold(0, |acc, m| acc | m);
+        BitmapIndex {
+            summary,
+            tile_masks,
+        }
+    }
+
+    /// The OR of every tile mask — the top level of the hierarchy. A
+    /// predicate whose candidate bins miss this mask matches no tile.
+    #[must_use]
+    pub fn summary(&self) -> u64 {
+        self.summary
+    }
+
+    /// Number of tile masks held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tile_masks.len()
+    }
+
+    /// Whether the index holds no tile masks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tile_masks.is_empty()
+    }
+
+    /// The bin mask of the tile at `pos`. Out-of-range positions return the
+    /// all-ones mask — "unknown", which never prunes — so a stale index can
+    /// only cost performance, never correctness.
+    #[must_use]
+    pub fn tile_mask(&self, pos: usize) -> u64 {
+        self.tile_masks.get(pos).copied().unwrap_or(!0)
+    }
+
+    /// Serializes the index for blob storage.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_json().to_string_compact().into_bytes()
+    }
+
+    /// Deserializes an index written by [`BitmapIndex::to_bytes`].
+    ///
+    /// # Errors
+    /// [`IndexError::Corrupt`] on malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| IndexError::Corrupt(format!("bitmap index not UTF-8: {e}")))?;
+        let json = Json::parse(text)
+            .map_err(|e| IndexError::Corrupt(format!("bitmap index JSON: {e}")))?;
+        Self::from_json(&json).map_err(|e| IndexError::Corrupt(format!("bitmap index shape: {e}")))
+    }
+}
+
+impl ToJson for BitmapIndex {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("summary", self.summary.to_json()),
+            ("tile_masks", self.tile_masks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BitmapIndex {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(BitmapIndex {
+            summary: u64::from_json(v.field("summary")?)?,
+            tile_masks: Vec::from_json(v.field("tile_masks")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_monotone() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e12,
+            -40_000_000.0,
+            -33_554_432.0,
+            -1000.0,
+            -1.5,
+            -1.0,
+            -0.01,
+            -1e-9,
+            0.0,
+            1e-9,
+            0.01,
+            0.015_625,
+            1.0,
+            1.5,
+            1000.0,
+            33_554_432.0,
+            40_000_000.0,
+            1e12,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            let (a, b) = (value_bin(w[0]).unwrap(), value_bin(w[1]).unwrap());
+            assert!(a <= b, "bin({}) = {a} > bin({}) = {b}", w[0], w[1]);
+        }
+        for v in samples {
+            assert!(value_bin(v).unwrap() < BINS);
+        }
+        assert_eq!(value_bin(0.0), Some(31));
+        assert_eq!(value_bin(f64::NAN), None);
+    }
+
+    #[test]
+    fn candidate_masks_cover_their_values() {
+        for &v in &[-100.0, -0.5, 0.0, 0.5, 7.0, 1e9] {
+            let bin = value_bin(v).unwrap();
+            assert_ne!(bins_ge(v) & (1 << bin), 0, "ge misses bin of {v}");
+            assert_ne!(bins_le(v) & (1 << bin), 0, "le misses bin of {v}");
+            assert_eq!(bins_eq(v), 1 << bin);
+            // ge and le together cover everything and overlap only at v's bin.
+            assert_eq!(bins_ge(v) | bins_le(v), !0);
+            assert_eq!(bins_ge(v) & bins_le(v), 1 << bin);
+        }
+        // NaN matches nothing.
+        assert_eq!(bins_ge(f64::NAN), 0);
+        assert_eq!(bins_le(f64::NAN), 0);
+        assert_eq!(bins_eq(f64::NAN), 0);
+    }
+
+    #[test]
+    fn summary_is_or_of_tile_masks() {
+        let idx = BitmapIndex::from_masks(vec![0b0011, 0b0100, 0]);
+        assert_eq!(idx.summary(), 0b0111);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.tile_mask(0), 0b0011);
+        assert_eq!(idx.tile_mask(2), 0);
+        // Out of range is conservatively "unknown".
+        assert_eq!(idx.tile_mask(3), !0);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let idx = BitmapIndex::from_masks(vec![u64::MAX, 0, 0xDEAD_BEEF]);
+        let back = BitmapIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back, idx);
+        assert!(BitmapIndex::from_bytes(b"\xff\xfe").is_err());
+        assert!(BitmapIndex::from_bytes(b"{\"summary\": 1}").is_err());
+        assert!(BitmapIndex::from_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    fn empty_index_is_empty() {
+        let idx = BitmapIndex::from_masks(Vec::new());
+        assert!(idx.is_empty());
+        assert_eq!(idx.summary(), 0);
+        let back = BitmapIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back, idx);
+    }
+}

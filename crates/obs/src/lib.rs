@@ -85,6 +85,9 @@ pub struct HotMetrics {
     pub writer_swap_ns: Arc<Histogram>,
     /// Engine mutexes recovered from poisoning (a holder panicked).
     pub lock_poisoned: Arc<Counter>,
+    /// Tiles skipped by synopsis/bitmap value-predicate pruning (their
+    /// blobs were never fetched).
+    pub tiles_pruned: Arc<Counter>,
 }
 
 impl HotMetrics {
@@ -108,6 +111,7 @@ impl HotMetrics {
             snapshots_active: reg.gauge("engine.snapshots_active"),
             writer_swap_ns: reg.histogram("engine.writer_swap_ns"),
             lock_poisoned: reg.counter("engine.lock_poisoned"),
+            tiles_pruned: reg.counter("engine.tiles_pruned"),
         }
     }
 

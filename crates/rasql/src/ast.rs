@@ -107,11 +107,28 @@ pub enum Expr {
     },
 }
 
-/// A full query: `SELECT expr FROM collection`.
+/// The `WHERE collection <op> literal` clause: a cell-value predicate.
+/// Cells failing the comparison read as the type's default value (masked
+/// select), and the planner prunes tiles the synopsis/bitmap index proves
+/// cannot match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The collection whose cells are compared (must match `FROM`).
+    pub collection: String,
+    /// The comparison; the parser only admits `>`, `>=`, `<`, `<=`, `=`,
+    /// `!=` here.
+    pub op: InducedOp,
+    /// The scalar literal compared against.
+    pub literal: f64,
+}
+
+/// A full query: `SELECT expr FROM collection [WHERE collection op literal]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// The selected expression.
     pub expr: Expr,
     /// The collection named in `FROM`.
     pub from: String,
+    /// The optional cell-value predicate.
+    pub predicate: Option<Predicate>,
 }

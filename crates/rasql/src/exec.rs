@@ -1,12 +1,13 @@
 //! Query execution against an engine read [`Snapshot`].
 
 use tilestore_engine::{
-    aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellType, QueryStats, Snapshot,
+    aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellPredicate, CellType,
+    PredOp, QueryStats, Snapshot,
 };
 use tilestore_geometry::{AxisRange, Domain};
 use tilestore_storage::PageStore;
 
-use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Query};
+use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Predicate, Query};
 use crate::error::{QueryError, Result};
 use crate::parser::parse;
 
@@ -95,25 +96,63 @@ pub fn execute_query<S: PageStore>(
     snap: &Snapshot<S>,
     query: &Query,
 ) -> Result<(Value, QueryStats)> {
+    let predicate = query
+        .predicate
+        .as_ref()
+        .map(|p| resolve_predicate(p, &query.from))
+        .transpose()?;
     match &query.expr {
         Expr::Condense { op, arg } => {
             let kind = condenser_kind(*op);
             if let Expr::Access { .. } = arg.as_ref() {
                 // Plain access: aggregate tile-streaming, no materialization.
                 let access = resolve_access(snap, arg, &query.from)?;
-                let (value, stats) = snap.aggregate(&access.collection, &access.region, kind)?;
+                let (value, stats) = snap.aggregate_where(
+                    &access.collection,
+                    &access.region,
+                    kind,
+                    predicate.as_ref(),
+                )?;
                 return Ok((agg_to_value(value), stats));
             }
             // Induced argument: materialize, then aggregate in memory.
-            let (array, cell, stats) = eval_array(snap, arg, &query.from)?;
+            let (array, cell, stats) = eval_array(snap, arg, &query.from, predicate.as_ref())?;
             let value = aggregate_array(&cell, &array, kind)?;
             Ok((agg_to_value(value), stats))
         }
         other => {
-            let (array, _, stats) = eval_array(snap, other, &query.from)?;
+            let (array, _, stats) = eval_array(snap, other, &query.from, predicate.as_ref())?;
             Ok((Value::Array(array), stats))
         }
     }
+}
+
+/// Checks a parsed `WHERE` clause against the `FROM` collection and lowers
+/// it to the engine's [`CellPredicate`].
+fn resolve_predicate(p: &Predicate, from: &str) -> Result<CellPredicate> {
+    if p.collection != from {
+        return Err(QueryError::Semantic(format!(
+            "WHERE references {:?} but FROM names {from:?}",
+            p.collection
+        )));
+    }
+    let op = match p.op {
+        InducedOp::Gt => PredOp::Gt,
+        InducedOp::Ge => PredOp::Ge,
+        InducedOp::Lt => PredOp::Lt,
+        InducedOp::Le => PredOp::Le,
+        InducedOp::Eq => PredOp::Eq,
+        InducedOp::Ne => PredOp::Ne,
+        other => {
+            return Err(QueryError::Semantic(format!(
+                "WHERE requires a comparison operator, found {other:?}"
+            )))
+        }
+    };
+    Ok(CellPredicate {
+        op,
+        literal: p.literal,
+    })
 }
 
 fn condenser_kind(op: Condenser) -> AggKind {
@@ -157,12 +196,13 @@ fn eval_array<S: PageStore>(
     snap: &Snapshot<S>,
     expr: &Expr,
     from: &str,
+    predicate: Option<&CellPredicate>,
 ) -> Result<(Array, CellType, QueryStats)> {
     match expr {
         Expr::Access { .. } => {
             let access = resolve_access(snap, expr, from)?;
             let cell = snap.object(&access.collection)?.mdd_type.cell.clone();
-            let q = snap.range_query(&access.collection, &access.region)?;
+            let q = snap.range_query_where(&access.collection, &access.region, predicate)?;
             let (array, stats) = (q.array, q.stats);
             if access.fixed_axes.is_empty() {
                 return Ok((array, cell, stats));
@@ -175,7 +215,7 @@ fn eval_array<S: PageStore>(
             Ok((reshaped, cell, stats))
         }
         Expr::Induce { lhs, op, rhs } => {
-            let (array, cell, stats) = eval_array(snap, lhs, from)?;
+            let (array, cell, stats) = eval_array(snap, lhs, from, predicate)?;
             let (result, result_cell) = induce_scalar(&cell, &array, induced_binop(*op), *rhs)?;
             Ok((result, result_cell, stats))
         }
@@ -378,6 +418,70 @@ mod tests {
         // sum over comparison mask = count of true cells.
         let (v, _) = execute(&db, "SELECT sum_cells(cube[0:0,0:0,*] >= 5) FROM cube").unwrap();
         assert_eq!(v.as_number().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn where_clause_masks_selected_cells() {
+        let db = setup();
+        let snap = db.begin_read();
+        // Cell (0,0,z) holds z; failing cells read as the default (0).
+        let (v, _) = execute(&snap, "SELECT cube[0:0,0:0,*] FROM cube WHERE cube > 4").unwrap();
+        assert_eq!(
+            v.as_array().unwrap().to_cells::<u32>().unwrap(),
+            vec![0, 0, 0, 0, 0, 5, 6, 7, 8, 9]
+        );
+        // Induced ops apply after masking.
+        let (v, _) = execute(
+            &snap,
+            "SELECT cube[0:0,0:0,0:3] + 1000 FROM cube WHERE cube >= 2",
+        )
+        .unwrap();
+        assert_eq!(
+            v.as_array().unwrap().to_cells::<u32>().unwrap(),
+            vec![1000, 1000, 1002, 1003]
+        );
+    }
+
+    #[test]
+    fn where_clause_filters_aggregates() {
+        let db = setup();
+        let snap = db.begin_read();
+        let (v, _) = execute(&snap, "SELECT count_cells(cube) FROM cube WHERE cube > 500").unwrap();
+        assert_eq!(v, Value::Count(499)); // values 501..=999 occur once each
+        let (v, _) = execute(&snap, "SELECT sum_cells(cube) FROM cube WHERE cube >= 998").unwrap();
+        assert_eq!(v.as_number().unwrap(), 998.0 + 999.0);
+        // Masked-out cells read as the default, so the global max is the
+        // largest surviving value.
+        let (v, _) = execute(&snap, "SELECT max_cells(cube) FROM cube WHERE cube < 100").unwrap();
+        assert_eq!(v.as_number().unwrap(), 99.0);
+        let (v, _) = execute(&snap, "SELECT some_cells(cube) FROM cube WHERE cube > 2000").unwrap();
+        assert_eq!(v, Value::Bool(false));
+    }
+
+    #[test]
+    fn where_clause_prunes_tiles() {
+        let db = setup();
+        let snap = db.begin_read();
+        // Only the top band of values survives; tiles whose synopsis proves
+        // max < 901 are never fetched.
+        let (v, stats) =
+            execute(&snap, "SELECT count_cells(cube) FROM cube WHERE cube > 900").unwrap();
+        assert_eq!(v, Value::Count(99)); // values 901..=999
+        assert!(stats.tiles_pruned > 0, "stats: {stats:?}");
+        let (v, stats) = execute(&snap, "SELECT cube FROM cube WHERE cube > 900").unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.get::<u32>(&Point::from_slice(&[9, 5, 5])).unwrap(), 955);
+        assert_eq!(arr.get::<u32>(&Point::from_slice(&[1, 5, 5])).unwrap(), 0);
+        assert!(stats.tiles_pruned > 0, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn where_clause_semantic_errors() {
+        let db = setup();
+        let snap = db.begin_read();
+        // WHERE must reference the FROM collection.
+        assert!(execute(&snap, "SELECT cube FROM cube WHERE other > 1").is_err());
+        assert!(execute(&snap, "SELECT sum_cells(cube) FROM cube WHERE other > 1").is_err());
     }
 
     #[test]

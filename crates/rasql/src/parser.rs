@@ -1,18 +1,19 @@
 //! Recursive-descent parser for the query language.
 //!
 //! ```text
-//! query     := SELECT expr FROM ident
+//! query     := SELECT expr FROM ident (WHERE ident cmpop scalar)?
 //! expr      := operand (binop scalar)*   -- induced ops, left-associative
 //! operand   := ident '(' expr ')'        -- condensers (sum_cells, …)
 //!            | ident subscript?
-//! binop     := '+' | '-' | '*' | '/' | '>' | '>=' | '<' | '<=' | '=' | '!='
+//! binop     := '+' | '-' | '*' | '/' | cmpop
+//! cmpop     := '>' | '>=' | '<' | '<=' | '=' | '!='
 //! scalar    := ['-'] (INT | FLOAT)
 //! subscript := '[' axis (',' axis)* ']'
 //! axis      := bound ':' bound | signed_int | '*'
 //! bound     := signed_int | '*'
 //! ```
 
-use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Query};
+use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Predicate, Query};
 use crate::error::{QueryError, Result};
 use crate::token::{tokenize, Token, TokenKind};
 
@@ -92,7 +93,46 @@ impl Parser {
         let expr = self.expr()?;
         self.expect(&TokenKind::From, "FROM")?;
         let from = self.ident("collection name")?;
-        Ok(Query { expr, from })
+        let predicate = if self.peek() == Some(&TokenKind::Where) {
+            self.pos += 1;
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            expr,
+            from,
+            predicate,
+        })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let collection = self.ident("collection name after WHERE")?;
+        let op = match self.peek().and_then(induced_op) {
+            Some(
+                op @ (InducedOp::Gt
+                | InducedOp::Ge
+                | InducedOp::Lt
+                | InducedOp::Le
+                | InducedOp::Eq
+                | InducedOp::Ne),
+            ) => {
+                self.pos += 1;
+                op
+            }
+            _ => {
+                return self.err(format!(
+                    "expected a comparison (>, >=, <, <=, =, !=) after WHERE, found {:?}",
+                    self.peek()
+                ))
+            }
+        };
+        let literal = self.scalar()?;
+        Ok(Predicate {
+            collection,
+            op,
+            literal,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr> {
@@ -329,6 +369,41 @@ mod tests {
     }
 
     #[test]
+    fn where_clause_parses_comparisons() {
+        let q = parse("SELECT img FROM img WHERE img > 100").unwrap();
+        assert_eq!(
+            q.predicate,
+            Some(Predicate {
+                collection: "img".into(),
+                op: InducedOp::Gt,
+                literal: 100.0
+            })
+        );
+        // Negative and fractional literals; every comparison op.
+        let q = parse("SELECT img FROM img where img <= -2.5").unwrap();
+        let p = q.predicate.unwrap();
+        assert_eq!(p.op, InducedOp::Le);
+        assert_eq!(p.literal, -2.5);
+        for (text, op) in [
+            (">", InducedOp::Gt),
+            (">=", InducedOp::Ge),
+            ("<", InducedOp::Lt),
+            ("<=", InducedOp::Le),
+            ("=", InducedOp::Eq),
+            ("!=", InducedOp::Ne),
+        ] {
+            let q = parse(&format!("SELECT img FROM img WHERE img {text} 7")).unwrap();
+            assert_eq!(q.predicate.unwrap().op, op, "{text}");
+        }
+        // A query without WHERE carries no predicate.
+        assert_eq!(parse("SELECT img FROM img").unwrap().predicate, None);
+        // Condensers compose with WHERE.
+        let q = parse("SELECT sum_cells(img[0:9,0:9]) FROM img WHERE img > 3").unwrap();
+        assert!(matches!(q.expr, Expr::Condense { .. }));
+        assert!(q.predicate.is_some());
+    }
+
+    #[test]
     fn syntax_errors_are_located() {
         for bad in [
             "img FROM img",
@@ -341,6 +416,12 @@ mod tests {
             "SELECT img FROM img extra",
             "SELECT img + FROM img",
             "SELECT img > > 1 FROM img",
+            "SELECT img FROM img WHERE",
+            "SELECT img FROM img WHERE img",
+            "SELECT img FROM img WHERE img + 1",
+            "SELECT img FROM img WHERE img > ",
+            "SELECT img FROM img WHERE > 1",
+            "SELECT img FROM img WHERE img > 1 extra",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }

@@ -18,6 +18,8 @@ pub enum TokenKind {
     Select,
     /// `FROM` keyword (case-insensitive).
     From,
+    /// `WHERE` keyword (case-insensitive).
+    Where,
     /// An identifier (collection or function name).
     Ident(String),
     /// An integer literal (possibly negative).
@@ -234,6 +236,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let kind = match word.to_ascii_lowercase().as_str() {
                     "select" => TokenKind::Select,
                     "from" => TokenKind::From,
+                    "where" => TokenKind::Where,
                     _ => TokenKind::Ident(word.to_string()),
                 };
                 tokens.push(Token { at: start, kind });
@@ -274,6 +277,10 @@ mod tests {
         );
         assert_eq!(kinds("select")[0], TokenKind::Select);
         assert_eq!(kinds("FrOm")[0], TokenKind::From);
+        assert_eq!(kinds("WHERE")[0], TokenKind::Where);
+        assert_eq!(kinds("wHeRe")[0], TokenKind::Where);
+        // A word merely containing the keyword stays an identifier.
+        assert_eq!(kinds("wherever")[0], TokenKind::Ident("wherever".into()));
     }
 
     #[test]

@@ -28,6 +28,16 @@ const GOLDEN: &[&str] = &[
     "SELECT cube[0:0, 1:1, 0:2] * 2 - 10 FROM cube",
     "SELECT cube[5, *, *] + 0.0 FROM cube",
     "SELECT sum_cells(cube[0:0, 0:0, *] >= 5) FROM cube",
+    // WHERE value predicates: masked reads and pruned aggregates.
+    "SELECT cube FROM cube WHERE cube > 900",
+    "SELECT cube[2:4, 0:9, 5:7] FROM cube WHERE cube <= 300",
+    "SELECT cube[0:0, 0:0, *] + 1 FROM cube WHERE cube >= 5",
+    "SELECT count_cells(cube) FROM cube WHERE cube > 500",
+    "SELECT sum_cells(cube) FROM cube WHERE cube >= 998",
+    "SELECT max_cells(cube) FROM cube WHERE cube < 100",
+    "SELECT min_cells(cube[4:9, 0:5, 1:8]) FROM cube WHERE cube != 455",
+    "SELECT some_cells(cube) FROM cube WHERE cube > 2000",
+    "SELECT all_cells(cube) FROM cube WHERE cube = 7",
 ];
 
 fn cube_db() -> Database<tilestore_storage::MemPageStore> {
@@ -112,6 +122,39 @@ fn malformed_requests_get_typed_errors_not_disconnects() {
     assert!(matches!(e, tilestore_server::ClientError::Engine(_)), "{e}");
     // The connection survived all of that.
     client.ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn pinned_epoch_predicate_results_survive_concurrent_retile() {
+    // A read session pinned before a retile must keep answering value-
+    // predicate queries from its own epoch's tiles, synopses and bitmap
+    // index — byte-identically — while the server rewrites the object.
+    let shared = SharedDatabase::new(cube_db());
+    let handle = serve(shared.clone(), None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let q = "SELECT cube FROM cube WHERE cube > 500";
+    let pinned = shared.snapshot();
+    let before = tilestore_rasql::execute(&pinned, q).unwrap().0;
+    client.retile("cube", "aligned:[*,*,1]:4").unwrap();
+    let after = tilestore_rasql::execute(&pinned, q).unwrap().0;
+    match (&before, &after) {
+        (Value::Array(a), Value::Array(b)) => {
+            assert_eq!(a.domain(), b.domain());
+            assert_eq!(a.bytes(), b.bytes(), "pinned epoch changed under retile");
+        }
+        other => panic!("expected arrays, got {other:?}"),
+    }
+    // A fresh snapshot over the retiled tiles holds the same cells, and
+    // the aggregate agrees across epochs too.
+    let fresh = tilestore_rasql::execute(&shared.snapshot(), q).unwrap().0;
+    assert_eq!(before, fresh);
+    let agg = "SELECT count_cells(cube) FROM cube WHERE cube > 500";
+    let a = tilestore_rasql::execute(&pinned, agg).unwrap().0;
+    let b = tilestore_rasql::execute(&shared.snapshot(), agg).unwrap().0;
+    assert_eq!(a, Value::Count(499));
+    assert_eq!(a, b);
     handle.shutdown();
 }
 

@@ -9,6 +9,9 @@
 #                    query and concurrent-client throughput over TCP
 #   BENCH_PR5.json — snapshot reads: reader p50/p95 latency while a writer
 #                    continuously re-tiles, RwLock baseline vs snapshots
+#   BENCH_PR6.json — value-predicate pruning: sparse-predicate read vs the
+#                    full-scan baseline (tiles_read and modelled t_o
+#                    reduction ratios, plus wall-clock medians)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +21,7 @@ export TILESTORE_BENCH_SAMPLES
 MICRO_OUT="${1:-BENCH_PR2.json}"
 SERVER_OUT="${2:-BENCH_PR4.json}"
 SNAPSHOT_OUT="${3:-BENCH_PR5.json}"
+PREDICATE_OUT="${4:-BENCH_PR6.json}"
 
 cargo run --release --offline -p tilestore-bench --bin microbench -- "$MICRO_OUT"
 echo "micro-bench report written to $MICRO_OUT"
@@ -27,3 +31,6 @@ echo "server bench report written to $SERVER_OUT"
 
 cargo run --release --offline -p tilestore-bench --bin snapshot_bench -- "$SNAPSHOT_OUT"
 echo "snapshot bench report written to $SNAPSHOT_OUT"
+
+cargo run --release --offline -p tilestore-bench --bin predicate_bench -- "$PREDICATE_OUT"
+echo "predicate bench report written to $PREDICATE_OUT"

@@ -45,10 +45,12 @@ done
 "$TILESTORE" client "$ADDR" ping | grep -q pong
 "$TILESTORE" client "$ADDR" query 'SELECT sum_cells(img) FROM img' >/dev/null
 "$TILESTORE" client "$ADDR" query 'SELECT img[0:3,0:3] FROM img' >/dev/null
+"$TILESTORE" client "$ADDR" query 'SELECT count_cells(img) FROM img WHERE img > 200' >/dev/null
 "$TILESTORE" client "$ADDR" info img | grep -q '"tiles"'
 "$TILESTORE" client "$ADDR" fsck >/dev/null
 "$TILESTORE" client "$ADDR" shutdown >/dev/null
 wait "$SERVER_PID"
 SERVER_PID=""
+"$TILESTORE" "$SMOKE_DIR/db" query 'SELECT max_cells(img) FROM img WHERE img < 100' | grep -q pruned
 "$TILESTORE" "$SMOKE_DIR/db" fsck >/dev/null
 echo "server smoke test passed"
