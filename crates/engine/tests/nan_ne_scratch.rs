@@ -1,0 +1,23 @@
+use tilestore_engine::{CellPredicate, CellType, PredOp, TileSynopsis};
+
+#[test]
+fn all_nan_tile_ne_should_not_prune() {
+    let cell = CellType::of::<f64>();
+    let mut payload = Vec::new();
+    for _ in 0..4 {
+        payload.extend_from_slice(&f64::NAN.to_le_bytes());
+    }
+    let syn = TileSynopsis::scan(&cell, &payload);
+    assert!(syn.has_nan());
+    assert_eq!(syn.bins(), 0);
+    let p = CellPredicate {
+        op: PredOp::Ne,
+        literal: 0.0,
+    };
+    // NaN != 0.0 is true, so every cell matches and pruning is unsound.
+    assert!(p.matches(f64::NAN));
+    assert!(
+        !p.prunes_tile(&syn),
+        "BUG REPRODUCED: all-NaN tile pruned under !="
+    );
+}
