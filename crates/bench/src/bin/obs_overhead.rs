@@ -1,0 +1,143 @@
+//! Observability overhead benchmark emitting a machine-readable report.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin obs_overhead -- BENCH_PR7.json
+//! ```
+//!
+//! Two questions the PR's tracing/EXPLAIN surfaces raise:
+//!
+//! 1. What does instrumentation cost when it is *on*? The same query
+//!    workload runs with the tracer disabled (the default: one relaxed
+//!    atomic load per span site) and enabled inside a request scope (the
+//!    server's configuration when a client asks for `trace: true`), and
+//!    the report pairs the two distributions with their median ratio.
+//! 2. What does `EXPLAIN ANALYZE` cost over just executing the statement?
+//!    ANALYZE plans first and then executes, so its overhead is one extra
+//!    planner walk over the candidate tiles.
+//!
+//! `TILESTORE_BENCH_SAMPLES` bounds the per-workload sample count.
+
+use std::time::Duration;
+
+use tilestore_engine::{Array, CellType, Database, MddType};
+use tilestore_geometry::Domain;
+use tilestore_storage::MemPageStore;
+use tilestore_testkit::bench::{Group, Report};
+use tilestore_testkit::{Json, ToJson};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// Side length of the square benchmark array.
+const SIDE: i64 = 128;
+
+/// The workload: a masked aggregate that touches synopses, the bitmap
+/// index and a handful of fetched tiles — every span site on the read path.
+const STMT: &str = "SELECT count_cells(bench) FROM bench WHERE bench > 9000";
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+fn ratio(on: &Report, off: &Report) -> f64 {
+    on.median.as_nanos() as f64 / (off.median.as_nanos() as f64).max(1.0)
+}
+
+fn bench_db() -> Database<MemPageStore> {
+    let db = Database::in_memory().unwrap();
+    db.create_object(
+        "bench",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 2048)),
+    )
+    .unwrap();
+    let dom: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    db.insert(
+        "bench",
+        &Array::from_fn(dom, |p| ((p[0] * 71 + p[1] * 31) % 9973) as u32).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let db = bench_db();
+    let snap = db.begin_read();
+    let tracer = tilestore_obs::tracer();
+
+    let mut group = Group::new("obs_overhead");
+    group.sample_size(25);
+
+    // --- Tracing off: the default server state.
+    tracer.disable();
+    let off = group.bench("query_tracing_off", || {
+        tilestore_rasql::execute(&snap, STMT).unwrap()
+    });
+
+    // --- Tracing on, inside a request scope: what a `trace: true` request
+    // pays. Draining per sample mirrors the server, which extracts each
+    // request's events from the ring before responding.
+    tracer.enable(4096);
+    let on = group.bench("query_tracing_on", || {
+        let _scope = tilestore_obs::request_scope(42);
+        let out = tilestore_rasql::execute(&snap, STMT).unwrap();
+        let _ = tracer.take_request_jsonl(42);
+        out
+    });
+    tracer.disable();
+    let _ = tracer.drain_jsonl();
+
+    // --- EXPLAIN ANALYZE vs plain execution of the same statement.
+    let plain = group.bench("execute_plain", || {
+        tilestore_rasql::execute(&snap, STMT).unwrap()
+    });
+    let analyze_stmt = format!("EXPLAIN ANALYZE {STMT}");
+    let analyzed = group.bench("explain_analyze", || {
+        tilestore_rasql::execute_statement(&snap, &analyze_stmt).unwrap()
+    });
+    let explain_stmt = format!("EXPLAIN {STMT}");
+    let plan_only = group.bench("explain_plan_only", || {
+        tilestore_rasql::execute_statement(&snap, &explain_stmt).unwrap()
+    });
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("obs_overhead".to_string())),
+        ("statement", Json::Str(STMT.to_string())),
+        (
+            "tracing",
+            Json::obj(vec![
+                ("off", report_json(&off)),
+                ("on", report_json(&on)),
+                ("median_overhead_ratio", ratio(&on, &off).to_json()),
+            ]),
+        ),
+        (
+            "explain",
+            Json::obj(vec![
+                ("execute_plain", report_json(&plain)),
+                ("explain_analyze", report_json(&analyzed)),
+                ("explain_plan_only", report_json(&plan_only)),
+                ("analyze_overhead_ratio", ratio(&analyzed, &plain).to_json()),
+            ]),
+        ),
+        ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+    ]);
+
+    let text = report.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write report");
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

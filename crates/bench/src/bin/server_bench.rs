@@ -119,6 +119,7 @@ fn main() {
             workers: 3,
             max_inflight: 64,
             default_deadline_ms: 60_000,
+            ..ServerConfig::default()
         },
     )
     .expect("serve");

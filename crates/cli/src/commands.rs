@@ -164,6 +164,84 @@ pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
     Ok(out)
 }
 
+/// `explain <rasql>` — print the planner's per-tile decisions without (or,
+/// with `EXPLAIN ANALYZE`, alongside) executing the statement. A bare query
+/// is wrapped as `EXPLAIN <query>`; a statement that already starts with
+/// `EXPLAIN` runs as written.
+pub fn explain(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
+    let stmt = normalize_explain(text);
+    let snap = db.begin_read();
+    match tilestore_rasql::execute_statement(&snap, &stmt).map_err(err)? {
+        tilestore_rasql::StatementResult::Explain(report) => Ok(render_explain(&report)),
+        tilestore_rasql::StatementResult::Value(..) => {
+            Err("statement executed instead of explaining; prefix it with EXPLAIN".to_string())
+        }
+    }
+}
+
+fn normalize_explain(text: &str) -> String {
+    let head = text.trim_start();
+    let already = head
+        .get(..7)
+        .is_some_and(|w| w.eq_ignore_ascii_case("explain"))
+        && head[7..].starts_with(char::is_whitespace);
+    if already {
+        text.to_string()
+    } else {
+        format!("EXPLAIN {text}")
+    }
+}
+
+/// Human-readable rendering of an EXPLAIN report: one line per candidate
+/// tile with the decision and the rule that fired, then the totals (and the
+/// measured counters when the statement was ANALYZEd).
+fn render_explain(report: &tilestore_rasql::ExplainReport) -> String {
+    let plan = &report.plan;
+    let mut out = String::new();
+    write!(out, "object {} region {}", plan.object, plan.region).expect("string write");
+    if let Some(p) = &plan.predicate {
+        write!(out, " where {p}").expect("string write");
+    }
+    if let Some(c) = plan.condenser {
+        write!(out, " condense {c}").expect("string write");
+    }
+    writeln!(out, " [epoch {}]", plan.epoch).expect("string write");
+    for t in &plan.tiles {
+        writeln!(
+            out,
+            "  tile {:>4} {:<24} {:<10} {}",
+            t.tile,
+            t.domain,
+            t.decision.as_str(),
+            t.rule
+        )
+        .expect("string write");
+    }
+    write!(
+        out,
+        "{} candidates via {} index nodes: {} fetched, {} pruned",
+        plan.tiles.len(),
+        plan.index_nodes,
+        plan.fetched(),
+        plan.pruned()
+    )
+    .expect("string write");
+    if let Some(a) = &report.analyze {
+        write!(
+            out,
+            "\nanalyze: {} tiles read, {} pruned, {} pages, {} cache hits, {} misses, {:.3} ms",
+            a.stats.tiles_read,
+            a.stats.tiles_pruned,
+            a.stats.io.pages_read,
+            a.stats.io.cache_hits,
+            a.stats.io.cache_misses,
+            a.elapsed_ns as f64 / 1e6
+        )
+        .expect("string write");
+    }
+    out
+}
+
 /// Renders a tiny array as hex rows (debug aid).
 fn render_small(a: &Array) -> String {
     let mut out = String::new();
@@ -356,20 +434,20 @@ pub fn fsck(dir: &Path) -> CliResult<String> {
     }
 }
 
-/// `serve <addr>` — serve the database over TCP until a client sends
-/// `shutdown` (or the process is killed). Prints the bound address up
-/// front so scripts can connect to an ephemeral `:0` port.
-pub fn serve(dir: &Path, addr: &str) -> CliResult<String> {
+/// `serve <addr> [slow-ms]` — serve the database over TCP until a client
+/// sends `shutdown` (or the process is killed). Prints the bound address up
+/// front so scripts can connect to an ephemeral `:0` port. `slow-ms`
+/// overrides the slow-query-log threshold (0 logs every statement).
+pub fn serve(dir: &Path, addr: &str, slow_ms: Option<u64>) -> CliResult<String> {
     use std::io::Write as _;
     let db = open(dir)?;
     let shared = tilestore_engine::SharedDatabase::new(db);
-    let handle = tilestore_server::serve(
-        shared,
-        Some(dir.to_path_buf()),
-        addr,
-        tilestore_server::ServerConfig::default(),
-    )
-    .map_err(err)?;
+    let mut config = tilestore_server::ServerConfig::default();
+    if let Some(ms) = slow_ms {
+        config.slow_query_ms = ms;
+    }
+    let handle =
+        tilestore_server::serve(shared, Some(dir.to_path_buf()), addr, config).map_err(err)?;
     println!("listening on {}", handle.addr());
     std::io::stdout().flush().ok();
     handle.join();
@@ -410,6 +488,67 @@ pub fn client(addr: &str, op: &str, args: &[String]) -> CliResult<String> {
                 RemoteValue::Number(n) => write!(out, "{n}").expect("string write"),
                 RemoteValue::Count(n) => write!(out, "{n} cells").expect("string write"),
                 RemoteValue::Bool(b) => write!(out, "{b}").expect("string write"),
+            }
+            let mut out = out.trim_end().to_string();
+            write!(out, "\n[request {}]", c.last_request_id()).expect("string write");
+            Ok(out)
+        }
+        ("explain", args @ ([_] | [_, _])) => {
+            let analyze = match args {
+                [_, flag] if flag.as_str() == "--analyze" => true,
+                [_] => false,
+                _ => return Err("explain <rasql> [--analyze]".to_string()),
+            };
+            let report = c.explain(&args[0], analyze).map_err(err)?;
+            let mut out = report.to_string_pretty();
+            write!(out, "\n[request {}]", c.last_request_id()).expect("string write");
+            Ok(out)
+        }
+        ("metrics", []) => Ok(c.metrics().map_err(err)?.to_string_pretty()),
+        ("health", []) => {
+            let report = c.health().map_err(err)?;
+            let ok = report.get("status").and_then(|j| j.as_str()) == Some("ok");
+            if ok {
+                Ok(report.to_string_pretty())
+            } else {
+                Err(report.to_string_pretty())
+            }
+        }
+        ("top", args @ ([] | [_])) => {
+            let limit = match args {
+                [n] => n.parse().map_err(|e| format!("bad limit: {e}"))?,
+                _ => 16,
+            };
+            let slow = c.slow_queries(limit).map_err(err)?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "slow queries (threshold {} ms, {} recorded), newest first:",
+                slow.get("threshold_ms")
+                    .and_then(|j| j.as_u64())
+                    .unwrap_or(0),
+                slow.get("count").and_then(|j| j.as_u64()).unwrap_or(0)
+            )
+            .expect("string write");
+            let entries = match slow.get("entries") {
+                Some(tilestore_testkit::Json::Array(items)) => items.as_slice(),
+                _ => &[],
+            };
+            for e in entries {
+                let get = |k: &str| e.get(k).and_then(|j| j.as_u64()).unwrap_or(0);
+                writeln!(
+                    out,
+                    "  req {:>6}  {:>9.3} ms  epoch {:>3}  {} tiles  {}",
+                    get("request_id"),
+                    get("elapsed_ns") as f64 / 1e6,
+                    get("epoch"),
+                    e.get("stats")
+                        .and_then(|s| s.get("tiles_read"))
+                        .and_then(|j| j.as_u64())
+                        .unwrap_or(0),
+                    e.get("statement").and_then(|j| j.as_str()).unwrap_or("?")
+                )
+                .expect("string write");
             }
             Ok(out.trim_end().to_string())
         }
@@ -461,8 +600,9 @@ pub fn client(addr: &str, op: &str, args: &[String]) -> CliResult<String> {
         }
         _ => Err(format!(
             "unknown client op {op:?} (or wrong arguments); ops: ping, query <rasql>, \
-             load <name> <domain> <pattern>, retile <name> <scheme>, info <name>, \
-             stats, fsck, shutdown"
+             explain <rasql> [--analyze], load <name> <domain> <pattern>, \
+             retile <name> <scheme>, info <name>, stats, metrics, health, \
+             top [limit], fsck, shutdown"
         )),
     }
 }
@@ -508,6 +648,29 @@ mod tests {
         // The trailer also appears (with zero pruned) on plain queries.
         let out = query(&db, "SELECT count_cells(img) FROM img").unwrap();
         assert!(out.contains(" pruned,"), "{out}");
+    }
+
+    #[test]
+    fn explain_command_renders_tile_decisions() {
+        let (_dir, db) = fresh();
+        create(&db, "img", "u8", 2, Some("regular:1")).unwrap();
+        load(&db, "img", "[0:63,0:63]", "gradient").unwrap();
+        // A bare query is wrapped as EXPLAIN; gradient u8 never exceeds
+        // 250, so every tile is pruned by its synopsis extrema.
+        let out = explain(&db, "SELECT count_cells(img) FROM img WHERE img > 250").unwrap();
+        assert!(out.contains("prune"), "{out}");
+        assert!(out.contains("0 fetched"), "{out}");
+        assert!(out.contains("tile"), "{out}");
+        // A full EXPLAIN ANALYZE statement runs as written and reports the
+        // measured counters alongside the plan.
+        let out = explain(
+            &db,
+            "EXPLAIN ANALYZE SELECT count_cells(img) FROM img WHERE img > 250",
+        )
+        .unwrap();
+        assert!(out.contains("analyze:"), "{out}");
+        // Induced expressions carry no tile plan.
+        assert!(explain(&db, "SELECT img + 1 FROM img").is_err());
     }
 
     #[test]
@@ -676,6 +839,30 @@ mod tests {
         assert!(out.contains("objects"), "{out}");
         let out = client(&addr, "fsck", &[]).unwrap();
         assert!(out.contains("clean"), "{out}");
+        let out = client(
+            &addr,
+            "explain",
+            &["SELECT count_cells(img) FROM img WHERE img > 250".to_string()],
+        )
+        .unwrap();
+        assert!(out.contains("plan"), "{out}");
+        assert!(out.contains("[request "), "{out}");
+        let out = client(
+            &addr,
+            "explain",
+            &[
+                "SELECT count_cells(img) FROM img".to_string(),
+                "--analyze".to_string(),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("analyze"), "{out}");
+        let out = client(&addr, "metrics", &[]).unwrap();
+        assert!(out.contains("engine.queries"), "{out}");
+        let out = client(&addr, "health", &[]).unwrap();
+        assert!(out.contains("\"ok\""), "{out}");
+        let out = client(&addr, "top", &["4".to_string()]).unwrap();
+        assert!(out.contains("slow queries"), "{out}");
         assert!(client(&addr, "bogus", &[]).is_err());
         client(&addr, "shutdown", &[]).unwrap();
         handle.join();

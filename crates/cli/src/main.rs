@@ -34,6 +34,7 @@ commands:
   create <name> <celltype> <dim> [scheme]
   load <name> <domain> <pattern>         synthesize and insert data
   query <rasql>                          run a query
+  explain <rasql>                        per-tile planner decisions (EXPLAIN ANALYZE executes too)
   info [name]                            database / object details
   stats                                  I/O counters, tile counts, metric histograms
   trace <rasql>                          run a query with tracing, dump JSONL spans
@@ -44,11 +45,14 @@ commands:
   drop <name>                            remove an object
   fsck                                   audit catalog/page-file consistency
   repl                                   interactive query shell
-  serve <addr>                           serve the database over TCP (e.g. 127.0.0.1:7901)
+  serve <addr> [slow-ms]                 serve the database over TCP (e.g. 127.0.0.1:7901);
+                                         slow-ms sets the slow-query-log threshold (0 = all)
 or, without a <dbdir>:
   tilestore client <addr> <op> [args...] talk to a serve instance
-    ops: ping | query <rasql> | load <name> <domain> <pattern>
-         | retile <name> <scheme> | info <name> | stats | fsck | shutdown";
+    ops: ping | query <rasql> | explain <rasql> [--analyze]
+         | load <name> <domain> <pattern> | retile <name> <scheme>
+         | info <name> | stats | metrics | health | top [limit]
+         | fsck | shutdown";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -110,6 +114,13 @@ fn run(args: &[String]) -> CliResult<String> {
             }
             _ => Err("query <rasql>".to_string()),
         },
+        "explain" => match args {
+            [text] => {
+                let db = commands::open(&dir)?;
+                commands::explain(&db, text)
+            }
+            _ => Err("explain <rasql>".to_string()),
+        },
         "info" => {
             let db = commands::open(&dir)?;
             commands::info(&db, args.first().map(String::as_str))
@@ -143,8 +154,12 @@ fn run(args: &[String]) -> CliResult<String> {
         },
         "fsck" => commands::fsck(&dir),
         "serve" => match args {
-            [addr] => commands::serve(&dir, addr),
-            _ => Err("serve <addr>".to_string()),
+            [addr] => commands::serve(&dir, addr, None),
+            [addr, slow] => {
+                let ms = slow.parse().map_err(|e| format!("bad slow-ms: {e}"))?;
+                commands::serve(&dir, addr, Some(ms))
+            }
+            _ => Err("serve <addr> [slow-ms]".to_string()),
         },
         "repl" => repl(&dir),
         _ => Err(format!("unknown command {command:?}\n{USAGE}")),
@@ -218,6 +233,14 @@ mod tests {
         run(&s(&[d, "load", "img", "[0:31,0:31]", "gradient"])).unwrap();
         let out = run(&s(&[d, "query", "SELECT count_cells(img) FROM img"])).unwrap();
         assert!(out.contains("cells"), "{out}");
+        let out = run(&s(&[
+            d,
+            "explain",
+            "SELECT count_cells(img) FROM img WHERE img > 250",
+        ]))
+        .unwrap();
+        assert!(out.contains("fetched"), "{out}");
+        assert!(run(&s(&[d, "explain"])).is_err());
         let out = run(&s(&[d, "info", "img"])).unwrap();
         assert!(out.contains("u8"), "{out}");
         run(&s(&[d, "compress", "img", "selective"])).unwrap();

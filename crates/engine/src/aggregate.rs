@@ -37,6 +37,34 @@ pub enum AggKind {
     AllNonDefault,
 }
 
+impl AggKind {
+    /// Stable short name used in EXPLAIN reports and diagnostics.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggKind::Sum => "sum",
+            AggKind::Avg => "avg",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+            AggKind::CountNonDefault => "count",
+            AggKind::SomeNonDefault => "some",
+            AggKind::AllNonDefault => "all",
+        }
+    }
+}
+
+/// Whether an aggregation of `kind` over a fully-contained tile can be
+/// answered from its synopsis alone (the planner's short-circuit rule;
+/// see [`Accumulator::accepts_synopsis`] — shared with EXPLAIN so the
+/// report and the executor can never disagree).
+pub(crate) fn kind_accepts_synopsis(kind: AggKind, syn: &TileSynopsis) -> bool {
+    match kind {
+        AggKind::Sum | AggKind::Avg => false,
+        AggKind::Min | AggKind::Max => syn.is_numeric(),
+        AggKind::CountNonDefault | AggKind::SomeNonDefault | AggKind::AllNonDefault => true,
+    }
+}
+
 /// Result of an aggregation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AggValue {
@@ -173,11 +201,7 @@ impl Accumulator {
     /// (their value depends on fold order for floats), extrema need the
     /// numeric half of the synopsis.
     fn accepts_synopsis(&self, syn: &TileSynopsis) -> bool {
-        match self.kind {
-            AggKind::Sum | AggKind::Avg => false,
-            AggKind::Min | AggKind::Max => syn.is_numeric(),
-            AggKind::CountNonDefault | AggKind::SomeNonDefault | AggKind::AllNonDefault => true,
-        }
+        kind_accepts_synopsis(self.kind, syn)
     }
 
     /// Feeds `count` copies of the default value (uncovered areas).
@@ -276,6 +300,10 @@ impl<S: PageStore> crate::snapshot::Snapshot<S> {
         if predicate.is_some() {
             decode_numeric(&meta.mdd_type.cell, &meta.mdd_type.cell.default)?;
         }
+        let _req = self.request_scope();
+        let _span = tilestore_obs::tracer().span_with("aggregate", || {
+            format!("object={name} region={region} kind={}", kind.as_str())
+        });
         entry.log.record(region);
         let cell_type = meta.mdd_type.cell.clone();
         let cell_size = cell_type.size;
@@ -295,10 +323,11 @@ impl<S: PageStore> crate::snapshot::Snapshot<S> {
                 .intersection(region)
                 .expect("index returned an intersecting tile");
             if let (Some(p), Some(bins)) = (predicate, candidates) {
-                let by_bitmap = meta
-                    .value_index
-                    .as_ref()
-                    .is_some_and(|ix| ix.tile_mask(pos as usize) & bins == 0);
+                let by_bitmap = p.bins_can_prune()
+                    && meta
+                        .value_index
+                        .as_ref()
+                        .is_some_and(|ix| ix.tile_mask(pos as usize) & bins == 0);
                 let by_synopsis = tile.synopsis.as_ref().is_some_and(|s| p.prunes_tile(s));
                 if by_bitmap || by_synopsis {
                     // No cell matches: the whole clip reads as default.

@@ -268,6 +268,7 @@ impl<S: PageStore> Database<S> {
             tracker: Arc::clone(&self.tracker),
             executor: self.executor(),
             recorder: self.recorder(),
+            request: std::sync::atomic::AtomicU64::new(0),
         }
     }
 

@@ -32,6 +32,7 @@ mod builder;
 mod celltype;
 mod database;
 mod error;
+mod explain;
 mod induce;
 mod mdd;
 mod modify;
@@ -49,13 +50,14 @@ pub use builder::DatabaseBuilder;
 pub use celltype::{CellType, CellValue, Rgb};
 pub use database::Database;
 pub use error::{EngineError, Result};
+pub use explain::{ExplainPlan, TileDecision, TilePlan};
 pub use induce::{induce_map, induce_scalar, BinOp};
 pub use mdd::{MddObject, MddType, TileMeta};
 pub use modify::{DeleteStats, UpdateStats};
 pub use persist::{
     fsck, Catalog, FsckReport, ACCESS_LOG_FILE, CATALOG_FILE, CATALOG_TMP_FILE, PAGES_FILE,
 };
-pub use predicate::{CellPredicate, PredOp};
+pub use predicate::{CellPredicate, PredOp, PruneRule};
 pub use shared::SharedDatabase;
 pub use snapshot::{QueryResult, Snapshot, WriteReceipt};
 pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};

@@ -45,6 +45,32 @@ impl std::fmt::Display for PredOp {
     }
 }
 
+/// Which synopsis rule proved a tile holds no matching cell (the planner's
+/// pruning decision, decomposed for EXPLAIN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneRule {
+    /// The synopsis records zero cells — nothing can match.
+    EmptyTile,
+    /// The predicate's satisfiable range lies entirely outside the tile's
+    /// `[min, max]` extrema.
+    Extrema,
+    /// The predicate's candidate value bins are disjoint from the tile's
+    /// synopsis bin mask.
+    SynopsisBins,
+}
+
+impl PruneRule {
+    /// Stable short name used in EXPLAIN reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PruneRule::EmptyTile => "empty-tile",
+            PruneRule::Extrema => "extrema",
+            PruneRule::SynopsisBins => "synopsis-bins",
+        }
+    }
+}
+
 /// A value predicate `cell <op> literal` over a numeric cell type.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellPredicate {
@@ -89,17 +115,36 @@ impl CellPredicate {
         }
     }
 
+    /// Whether bin disjointness (synopsis bins or the bitmap index) may
+    /// prune under this operator. `!=` admits every candidate bin, so
+    /// disjointness could only ever fire on a tile with *no* binned cells
+    /// — and NaN cells live in no bin yet satisfy `!=`, so firing there
+    /// would drop matching cells (the PR 6 all-NaN reproduction).
+    #[must_use]
+    pub fn bins_can_prune(&self) -> bool {
+        self.op != PredOp::Ne
+    }
+
     /// Whether the synopsis *proves* no cell of the tile satisfies the
     /// predicate. Conservative: non-numeric synopses never prune, and NaN
     /// cells (excluded from the extrema) block the only rule they could
     /// break (`!=`, which NaN always satisfies).
     #[must_use]
     pub fn prunes_tile(&self, syn: &TileSynopsis) -> bool {
+        self.prune_rule(syn).is_some()
+    }
+
+    /// Which pruning rule (if any) proves the tile holds no matching cell.
+    /// This is [`CellPredicate::prunes_tile`] decomposed for EXPLAIN: the
+    /// rules are checked in the same order the planner applies them, so the
+    /// returned rule is the one that actually fires.
+    #[must_use]
+    pub fn prune_rule(&self, syn: &TileSynopsis) -> Option<PruneRule> {
         let (Some(min), Some(max)) = (syn.min(), syn.max()) else {
-            return false;
+            return None;
         };
         if syn.cells() == 0 {
-            return true;
+            return Some(PruneRule::EmptyTile);
         }
         let l = self.literal;
         let by_extrema = match self.op {
@@ -110,7 +155,27 @@ impl CellPredicate {
             PredOp::Eq => l < min || l > max,
             PredOp::Ne => !syn.has_nan() && min == max && min == l,
         };
-        by_extrema || self.candidate_bins() & syn.bins() == 0
+        if by_extrema {
+            return Some(PruneRule::Extrema);
+        }
+        if self.bins_can_prune() && self.candidate_bins() & syn.bins() == 0 {
+            return Some(PruneRule::SynopsisBins);
+        }
+        None
+    }
+
+    /// The extrema comparison `prune_rule` applies for this operator, as a
+    /// static rule string for EXPLAIN output.
+    #[must_use]
+    pub fn extrema_rule(&self) -> &'static str {
+        match self.op {
+            PredOp::Gt => "max <= literal",
+            PredOp::Ge => "max < literal",
+            PredOp::Lt => "min >= literal",
+            PredOp::Le => "min > literal",
+            PredOp::Eq => "literal outside [min, max]",
+            PredOp::Ne => "constant tile == literal, no NaN",
+        }
     }
 
     /// Rewrites every cell of a decoded payload that fails the predicate

@@ -17,6 +17,7 @@
 //! story is unchanged, snapshots just defer the hand-off.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -210,6 +211,9 @@ pub struct Snapshot<S: PageStore> {
     pub(crate) tracker: Arc<EpochTracker>,
     pub(crate) executor: Option<Arc<ThreadPool>>,
     pub(crate) recorder: Option<Arc<AccessRecorder>>,
+    /// Request id queries through this snapshot are attributed to (0 =
+    /// none). Atomic so the serving layer can stamp a shared snapshot.
+    pub(crate) request: AtomicU64,
 }
 
 impl<S: PageStore> Drop for Snapshot<S> {
@@ -228,6 +232,29 @@ impl<S: PageStore> Snapshot<S> {
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.catalog.version
+    }
+
+    /// Tags every query executed through this snapshot with `request_id`:
+    /// all spans and events it produces — including those recorded on
+    /// executor worker threads — carry the id, so one request's span tree
+    /// can be exported from the shared trace ring.
+    pub fn set_request_id(&self, request_id: u64) {
+        self.request.store(request_id, Ordering::Relaxed);
+    }
+
+    /// The request id set by [`Snapshot::set_request_id`] (0 = none).
+    #[must_use]
+    pub fn request_id(&self) -> u64 {
+        self.request.load(Ordering::Relaxed)
+    }
+
+    /// Enters the tracer's request scope when this snapshot carries a
+    /// request id, so engine spans below the caller get tagged. With no id
+    /// set the ambient scope (e.g. one the server already entered) is left
+    /// untouched.
+    pub(crate) fn request_scope(&self) -> Option<tilestore_obs::RequestScope> {
+        let rid = self.request_id();
+        (rid != 0).then(|| tilestore_obs::request_scope(rid))
     }
 
     /// Names of all objects in this snapshot.
@@ -314,6 +341,7 @@ impl<S: PageStore> Snapshot<S> {
                 definition: entry.meta.mdd_type.definition.to_string(),
             });
         }
+        let _req = self.request_scope();
         self.record_access(name, entry, region);
         let (array, stats) = execute_range(
             &self.blobs,
@@ -419,10 +447,11 @@ pub(crate) fn execute_range<S: PageStore>(
         let before = hits.len();
         hits.retain(|&pos| {
             let tile = &meta.tiles[pos as usize];
-            let by_bitmap = meta
-                .value_index
-                .as_ref()
-                .is_some_and(|ix| ix.tile_mask(pos as usize) & candidates == 0);
+            let by_bitmap = p.bins_can_prune()
+                && meta
+                    .value_index
+                    .as_ref()
+                    .is_some_and(|ix| ix.tile_mask(pos as usize) & candidates == 0);
             let by_synopsis = tile.synopsis.as_ref().is_some_and(|s| p.prunes_tile(s));
             !(by_bitmap || by_synopsis)
         });
@@ -537,7 +566,11 @@ fn fetch_tiles_parallel<S: PageStore>(
         cell_size,
         default: &meta.mdd_type.cell.default,
     };
+    // Workers run on their own threads: re-enter the caller's request
+    // scope so per-band spans stay attributed to the request.
+    let rid = tilestore_obs::current_request_id();
     let bands = pool.scatter(tasks, |_, (band_dom, band_out)| -> Result<QueryStats> {
+        let _req = tilestore_obs::request_scope(rid);
         let mut scratch = Vec::new();
         let mut masked = Vec::new();
         let mut band = QueryStats::default();

@@ -337,6 +337,118 @@ fn predicate_pruning_matches_full_scan() {
     );
 }
 
+/// Regression (PR 6): an all-NaN tile must not be pruned under `!=` — NaN
+/// satisfies every `!=` comparison, so pruning would drop matching cells.
+/// The synopsis excludes NaN from its extrema and bins, which makes the
+/// `has_nan` flag the only thing blocking the constant-tile rule.
+#[test]
+fn all_nan_tile_ne_is_never_pruned() {
+    let cell = CellType::of::<f64>();
+    let mut payload = Vec::new();
+    for _ in 0..4 {
+        payload.extend_from_slice(&f64::NAN.to_le_bytes());
+    }
+    let syn = TileSynopsis::scan(&cell, &payload);
+    assert!(syn.has_nan());
+    assert_eq!(syn.bins(), 0);
+    let p = CellPredicate {
+        op: PredOp::Ne,
+        literal: 0.0,
+    };
+    // NaN != 0.0 is true, so every cell matches and pruning is unsound.
+    assert!(p.matches(f64::NAN));
+    assert!(!p.prunes_tile(&syn), "all-NaN tile pruned under !=");
+    assert!(p.prune_rule(&syn).is_none());
+}
+
+/// EXPLAIN must be the executor's decision procedure, not a description of
+/// it: for any array, tiling, region and predicate, the report's fetched
+/// and pruned tile counts reconcile exactly with the executed statement's
+/// `tiles_read` / `tiles_pruned` counters — for masked range reads and for
+/// every condenser kind.
+#[test]
+fn explain_reconciles_with_executor_counters() {
+    check(
+        "explain_reconciles_with_executor_counters",
+        64,
+        |s| {
+            let dom = domain(s, 2);
+            let sch = scheme(s, &dom);
+            let query = subdomain(s, &dom);
+            let pred = cell_predicate(s);
+            let with_pred = s.bool();
+            let kind = s.usize_in(0, 6);
+            (dom, sch, query, pred, with_pred, kind)
+        },
+        |(dom, sch, query, pred, with_pred, kind)| {
+            let db = Database::in_memory().unwrap();
+            db.create_object(
+                "obj",
+                MddType::new(
+                    CellType::of::<u16>(),
+                    tilestore_geometry::DefDomain::unlimited(2).unwrap(),
+                ),
+                sch.clone(),
+            )
+            .unwrap();
+            let data = Array::from_fn(dom.clone(), |p| (p[0] * 131 + p[1] * 7) as u16).unwrap();
+            db.insert("obj", &data).unwrap();
+            let snap = db.begin_read();
+            let predicate = with_pred.then_some(pred);
+
+            // Range read: plan first, then execute, same snapshot.
+            let plan = snap.explain_range("obj", query, predicate).unwrap();
+            let q = snap.range_query_where("obj", query, predicate).unwrap();
+            prop_assert_eq!(
+                plan.fetched(),
+                q.stats.tiles_read,
+                "range fetched mismatch: {:?}",
+                plan
+            );
+            prop_assert_eq!(
+                plan.pruned(),
+                q.stats.tiles_pruned,
+                "range pruned mismatch: {:?}",
+                plan
+            );
+            prop_assert_eq!(
+                plan.tiles.len() as u64,
+                q.stats.tiles_read + q.stats.tiles_pruned
+            );
+
+            // Condenser: the aggregate path adds the synopsis short-circuit.
+            let agg = [
+                AggKind::Sum,
+                AggKind::Avg,
+                AggKind::Min,
+                AggKind::Max,
+                AggKind::CountNonDefault,
+                AggKind::SomeNonDefault,
+                AggKind::AllNonDefault,
+            ][*kind];
+            let plan = snap
+                .explain_aggregate("obj", query, agg, predicate)
+                .unwrap();
+            let (_, stats) = snap.aggregate_where("obj", query, agg, predicate).unwrap();
+            prop_assert_eq!(
+                plan.fetched(),
+                stats.tiles_read,
+                "{:?} fetched mismatch: {:?}",
+                agg,
+                plan
+            );
+            prop_assert_eq!(
+                plan.pruned(),
+                stats.tiles_pruned,
+                "{:?} pruned mismatch: {:?}",
+                agg,
+                plan
+            );
+            Ok(())
+        },
+    );
+}
+
 /// Every tile of every object must carry a synopsis that agrees exactly
 /// with a fresh scan of its payload, and the bitmap index must mirror the
 /// per-tile bin masks — across insert, update, delete and retile.

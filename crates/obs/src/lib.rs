@@ -25,8 +25,10 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
 };
-pub use recorder::{AccessRecorder, LoggedAccess};
-pub use trace::{EventKind, SpanGuard, TraceEvent, Tracer};
+pub use recorder::{AccessRecorder, LoggedAccess, DEFAULT_SEGMENT_BYTES, MAX_SEGMENTS};
+pub use trace::{
+    current_request_id, request_scope, EventKind, RequestScope, SpanGuard, TraceEvent, Tracer,
+};
 
 use std::sync::{Arc, OnceLock};
 

@@ -263,6 +263,7 @@ impl ToJson for HistogramSnapshot {
             ("mean", self.mean().to_json()),
             ("p50", self.quantile(0.5).to_json()),
             ("p95", self.quantile(0.95).to_json()),
+            ("p99", self.quantile(0.99).to_json()),
             ("buckets", Json::Array(buckets)),
         ])
     }
@@ -507,6 +508,7 @@ mod tests {
         let json = r.snapshot().to_json().to_string_compact();
         assert!(json.contains("\"a\":3"), "{json}");
         assert!(json.contains("\"p95\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
         // Parses back as valid JSON.
         assert!(tilestore_testkit::Json::parse(&json).is_ok());
     }

@@ -55,6 +55,8 @@ pub struct TraceEvent {
     pub parent: u64,
     /// Span duration in nanoseconds ([`EventKind::SpanEnd`] only).
     pub dur_ns: u64,
+    /// Request id this event was recorded under (0 = no request scope).
+    pub request: u64,
 }
 
 impl ToJson for TraceEvent {
@@ -68,6 +70,9 @@ impl ToJson for TraceEvent {
         ];
         if self.kind == EventKind::SpanEnd {
             fields.push(("dur_ns", self.dur_ns.to_json()));
+        }
+        if self.request != 0 {
+            fields.push(("req", self.request.to_json()));
         }
         if !self.detail.is_empty() {
             fields.push(("detail", Json::Str(self.detail.clone())));
@@ -101,6 +106,41 @@ impl Ring {
 thread_local! {
     /// Innermost active span of this thread (0 = none).
     static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+    /// Request id the current thread is working on behalf of (0 = none).
+    /// Executor workers re-enter the scope explicitly when they pick up a
+    /// request's sub-task, so fan-out keeps the attribution.
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request id the calling thread is currently scoped to (0 = none).
+#[must_use]
+pub fn current_request_id() -> u64 {
+    CURRENT_REQUEST.with(Cell::get)
+}
+
+/// RAII guard of a request scope; restores the previous id on drop.
+///
+/// Entering a scope is one thread-local swap — no allocation, no atomics —
+/// so it is safe to wrap around every server request and every executor
+/// sub-task regardless of whether tracing is enabled.
+#[derive(Debug)]
+pub struct RequestScope {
+    previous: u64,
+}
+
+/// Scopes the calling thread to `request_id`: every span/event recorded
+/// until the guard drops is tagged with it.
+#[must_use]
+pub fn request_scope(request_id: u64) -> RequestScope {
+    RequestScope {
+        previous: CURRENT_REQUEST.with(|c| c.replace(request_id)),
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|c| c.set(self.previous));
+    }
 }
 
 /// A structured trace recorder with a fixed-capacity ring buffer.
@@ -192,6 +232,7 @@ impl Tracer {
             span,
             parent,
             dur_ns: 0,
+            request: current_request_id(),
         });
         SpanGuard {
             tracer: Some(self),
@@ -217,6 +258,7 @@ impl Tracer {
             span,
             parent: span,
             dur_ns: 0,
+            request: current_request_id(),
         };
         self.ring.lock().unwrap().push(e);
     }
@@ -239,6 +281,36 @@ impl Tracer {
     pub fn drain_jsonl(&self) -> String {
         let mut out = String::new();
         for e in self.drain() {
+            out.push_str(&e.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Removes and returns only the events recorded under `request_id`,
+    /// oldest first. Other requests' events stay in the ring, so concurrent
+    /// per-request exports don't steal each other's spans.
+    #[must_use]
+    pub fn take_request(&self, request_id: u64) -> Vec<TraceEvent> {
+        let mut ring = self.ring.lock().unwrap();
+        let mut taken = Vec::new();
+        ring.events.retain(|e| {
+            if e.request == request_id {
+                taken.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
+    /// [`Tracer::take_request`] serialized as JSON Lines — the span tree of
+    /// one request, ready to append to a per-request trace file.
+    #[must_use]
+    pub fn take_request_jsonl(&self, request_id: u64) -> String {
+        let mut out = String::new();
+        for e in self.take_request(request_id) {
             out.push_str(&e.to_json().to_string_compact());
             out.push('\n');
         }
@@ -277,6 +349,7 @@ impl Drop for SpanGuard<'_> {
             span: self.span,
             parent: self.parent,
             dur_ns: t_ns.saturating_sub(self.started_ns),
+            request: current_request_id(),
         });
     }
 }
@@ -373,6 +446,55 @@ mod tests {
         assert!(jsonl.contains("span_start") && jsonl.contains("span_end"));
         assert!(jsonl.contains("dur_ns"));
         assert!(jsonl.contains("region=[0:9,0:9]"));
+    }
+
+    #[test]
+    fn request_scope_tags_events_and_nests() {
+        let t = Tracer::new();
+        t.enable(64);
+        assert_eq!(current_request_id(), 0);
+        {
+            let _r = request_scope(7);
+            assert_eq!(current_request_id(), 7);
+            let _g = t.span("query");
+            t.event("tile", String::new);
+            {
+                let _inner = request_scope(9);
+                assert_eq!(current_request_id(), 9);
+            }
+            assert_eq!(current_request_id(), 7);
+        }
+        assert_eq!(current_request_id(), 0);
+        let events = t.drain();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.request == 7));
+        let json = events[0].to_json().to_string_compact();
+        assert!(json.contains("\"req\":7"), "{json}");
+    }
+
+    #[test]
+    fn take_request_leaves_other_requests_in_the_ring() {
+        let t = Tracer::new();
+        t.enable(64);
+        {
+            let _r = request_scope(1);
+            t.event("a", String::new);
+        }
+        {
+            let _r = request_scope(2);
+            t.event("b", String::new);
+        }
+        t.event("untagged", String::new);
+        let jsonl = t.take_request_jsonl(1);
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"req\":1"), "{jsonl}");
+        // Request 2 and the untagged event survived the selective drain.
+        let rest = t.drain();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].request, 2);
+        assert_eq!(rest[1].request, 0);
+        // Untagged events never serialize a req field.
+        assert!(!rest[1].to_json().to_string_compact().contains("req"));
     }
 
     #[test]

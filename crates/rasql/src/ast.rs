@@ -132,3 +132,19 @@ pub struct Query {
     /// The optional cell-value predicate.
     pub predicate: Option<Predicate>,
 }
+
+/// A top-level statement: a query to run, or a request for the planner's
+/// report on one (`EXPLAIN <query>` / `EXPLAIN ANALYZE <query>`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain query.
+    Query(Query),
+    /// `EXPLAIN [ANALYZE] <query>` — report per-tile planner decisions;
+    /// with `analyze`, also execute and attach the actual counters.
+    Explain {
+        /// The statement being explained.
+        query: Query,
+        /// Whether to execute the query and attach measured statistics.
+        analyze: bool,
+    },
+}

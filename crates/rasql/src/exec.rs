@@ -2,14 +2,15 @@
 
 use tilestore_engine::{
     aggregate_array, induce_scalar, AggKind, AggValue, Array, BinOp, CellPredicate, CellType,
-    PredOp, QueryStats, Snapshot,
+    ExplainPlan, PredOp, QueryStats, Snapshot,
 };
 use tilestore_geometry::{AxisRange, Domain};
 use tilestore_storage::PageStore;
+use tilestore_testkit::{Json, ToJson};
 
-use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Predicate, Query};
+use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Predicate, Query, Statement};
 use crate::error::{QueryError, Result};
-use crate::parser::parse;
+use crate::parser::{parse, parse_statement};
 
 /// The result value of a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +43,57 @@ impl Value {
             _ => None,
         }
     }
+}
+
+/// Measured execution attached to an `EXPLAIN ANALYZE` report.
+#[derive(Debug, Clone)]
+pub struct AnalyzeInfo {
+    /// The executor's counters for the analyzed run.
+    pub stats: QueryStats,
+    /// Wall-clock time of the whole statement (parse excluded) in
+    /// nanoseconds — a superset of `stats.elapsed_ns`, which only covers
+    /// the engine-side fetch.
+    pub elapsed_ns: u64,
+}
+
+impl ToJson for AnalyzeInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stats", self.stats.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
+            ("cache_hits", self.stats.io.cache_hits.to_json()),
+            ("cache_misses", self.stats.io.cache_misses.to_json()),
+        ])
+    }
+}
+
+/// The result of an `EXPLAIN [ANALYZE]` statement: the planner's per-tile
+/// report, plus measured execution when `ANALYZE` was requested.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The planner's per-tile decisions.
+    pub plan: ExplainPlan,
+    /// Measured execution; `None` for plain `EXPLAIN`.
+    pub analyze: Option<AnalyzeInfo>,
+}
+
+impl ToJson for ExplainReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("plan", self.plan.to_json())];
+        if let Some(a) = &self.analyze {
+            fields.push(("analyze", a.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// The result of executing a top-level [`Statement`].
+#[derive(Debug, Clone)]
+pub enum StatementResult {
+    /// A plain query's value and counters.
+    Value(Value, QueryStats),
+    /// An `EXPLAIN [ANALYZE]` report.
+    Explain(ExplainReport),
 }
 
 /// Resolved form of an access: the concrete region plus the axes a section
@@ -124,6 +176,72 @@ pub fn execute_query<S: PageStore>(
             let (array, _, stats) = eval_array(snap, other, &query.from, predicate.as_ref())?;
             Ok((Value::Array(array), stats))
         }
+    }
+}
+
+/// Parses and executes a top-level statement: a plain query, or
+/// `EXPLAIN [ANALYZE] <query>`.
+///
+/// EXPLAIN is restricted to statements the tile planner sees whole: a plain
+/// access (`SELECT obj[..]`) or a condenser over one
+/// (`SELECT sum_cells(obj[..])`), optionally with a `WHERE` predicate.
+/// Induced expressions post-process a fetched array and have no per-tile
+/// plan, so explaining them is a semantic error.
+///
+/// # Errors
+/// Parse errors, semantic errors and engine errors.
+pub fn execute_statement<S: PageStore>(snap: &Snapshot<S>, input: &str) -> Result<StatementResult> {
+    match parse_statement(input)? {
+        Statement::Query(query) => {
+            let (value, stats) = execute_query(snap, &query)?;
+            Ok(StatementResult::Value(value, stats))
+        }
+        Statement::Explain { query, analyze } => {
+            let plan = explain_query(snap, &query)?;
+            let analyze = if analyze {
+                let started = std::time::Instant::now();
+                let (_, stats) = execute_query(snap, &query)?;
+                Some(AnalyzeInfo {
+                    stats,
+                    elapsed_ns: started.elapsed().as_nanos() as u64,
+                })
+            } else {
+                None
+            };
+            Ok(StatementResult::Explain(ExplainReport { plan, analyze }))
+        }
+    }
+}
+
+/// Builds the planner report for a pre-parsed query without executing it.
+///
+/// # Errors
+/// Semantic errors (including unsupported EXPLAIN shapes) and engine errors.
+pub fn explain_query<S: PageStore>(snap: &Snapshot<S>, query: &Query) -> Result<ExplainPlan> {
+    let predicate = query
+        .predicate
+        .as_ref()
+        .map(|p| resolve_predicate(p, &query.from))
+        .transpose()?;
+    match &query.expr {
+        Expr::Access { .. } => {
+            let access = resolve_access(snap, &query.expr, &query.from)?;
+            Ok(snap.explain_range(&access.collection, &access.region, predicate.as_ref())?)
+        }
+        Expr::Condense { op, arg } if matches!(arg.as_ref(), Expr::Access { .. }) => {
+            let access = resolve_access(snap, arg, &query.from)?;
+            Ok(snap.explain_aggregate(
+                &access.collection,
+                &access.region,
+                condenser_kind(*op),
+                predicate.as_ref(),
+            )?)
+        }
+        _ => Err(QueryError::Semantic(
+            "EXPLAIN supports a plain access or a condenser over one; induced \
+             expressions are post-processing and have no tile plan"
+                .to_string(),
+        )),
     }
 }
 
@@ -482,6 +600,84 @@ mod tests {
         // WHERE must reference the FROM collection.
         assert!(execute(&snap, "SELECT cube FROM cube WHERE other > 1").is_err());
         assert!(execute(&snap, "SELECT sum_cells(cube) FROM cube WHERE other > 1").is_err());
+    }
+
+    #[test]
+    fn explain_reports_reconcile_with_execution() {
+        let db = setup();
+        let snap = db.begin_read();
+        let stmt = "SELECT cube FROM cube WHERE cube > 900";
+        let StatementResult::Explain(report) =
+            execute_statement(&snap, &format!("EXPLAIN {stmt}")).unwrap()
+        else {
+            panic!("expected explain result");
+        };
+        assert!(report.analyze.is_none());
+        assert!(report.plan.pruned() > 0, "{:?}", report.plan);
+        let (_, stats) = execute(&snap, stmt).unwrap();
+        assert_eq!(report.plan.fetched(), stats.tiles_read);
+        assert_eq!(report.plan.pruned(), stats.tiles_pruned);
+
+        // ANALYZE attaches the measured counters of the same statement.
+        let StatementResult::Explain(report) =
+            execute_statement(&snap, &format!("EXPLAIN ANALYZE {stmt}")).unwrap()
+        else {
+            panic!("expected explain result");
+        };
+        let analyze = report.analyze.expect("analyze info");
+        assert_eq!(analyze.stats.tiles_read, report.plan.fetched());
+        assert_eq!(analyze.stats.tiles_pruned, report.plan.pruned());
+
+        // Condensers explain through the aggregate planner.
+        let StatementResult::Explain(report) =
+            execute_statement(&snap, "EXPLAIN SELECT max_cells(cube) FROM cube").unwrap()
+        else {
+            panic!("expected explain result");
+        };
+        assert_eq!(report.plan.condenser, Some("max"));
+        let (_, stats) = execute(&snap, "SELECT max_cells(cube) FROM cube").unwrap();
+        assert_eq!(report.plan.fetched(), stats.tiles_read);
+        assert_eq!(report.plan.pruned(), stats.tiles_pruned);
+
+        // A plain statement routes through the value path.
+        let StatementResult::Value(v, _) = execute_statement(&snap, stmt).unwrap() else {
+            panic!("expected value result");
+        };
+        assert!(v.as_array().is_some());
+    }
+
+    #[test]
+    fn explain_report_serializes_to_json() {
+        let db = setup();
+        let snap = db.begin_read();
+        let StatementResult::Explain(report) = execute_statement(
+            &snap,
+            "EXPLAIN ANALYZE SELECT count_cells(cube) FROM cube WHERE cube > 900",
+        )
+        .unwrap() else {
+            panic!("expected explain result");
+        };
+        let json = report.to_json().to_string_compact();
+        for key in ["\"plan\"", "\"analyze\"", "\"stats\"", "\"cache_hits\""] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        assert!(tilestore_testkit::Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn explain_rejects_unplannable_shapes() {
+        let db = setup();
+        let snap = db.begin_read();
+        for bad in [
+            // Induced expressions have no tile plan.
+            "EXPLAIN SELECT cube + 1 FROM cube",
+            "EXPLAIN SELECT count_cells(cube > 100) FROM cube",
+            // Validation errors still surface through EXPLAIN.
+            "EXPLAIN SELECT nope FROM nope",
+            "EXPLAIN SELECT cube FROM cube WHERE other > 1",
+        ] {
+            assert!(execute_statement(&snap, bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -37,8 +37,11 @@ mod exec;
 mod parser;
 mod token;
 
-pub use ast::{AxisSelect, Condenser, Expr, InducedOp, Query};
+pub use ast::{AxisSelect, Condenser, Expr, InducedOp, Query, Statement};
 pub use error::{QueryError, Result};
-pub use exec::{execute, execute_query, Value};
-pub use parser::parse;
+pub use exec::{
+    execute, execute_query, execute_statement, explain_query, AnalyzeInfo, ExplainReport,
+    StatementResult, Value,
+};
+pub use parser::{parse, parse_statement};
 pub use token::{tokenize, Token, TokenKind};

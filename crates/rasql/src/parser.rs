@@ -1,6 +1,7 @@
 //! Recursive-descent parser for the query language.
 //!
 //! ```text
+//! statement := EXPLAIN ANALYZE? query | query
 //! query     := SELECT expr FROM ident (WHERE ident cmpop scalar)?
 //! expr      := operand (binop scalar)*   -- induced ops, left-associative
 //! operand   := ident '(' expr ')'        -- condensers (sum_cells, …)
@@ -13,7 +14,7 @@
 //! bound     := signed_int | '*'
 //! ```
 
-use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Predicate, Query};
+use crate::ast::{AxisSelect, Condenser, Expr, InducedOp, Predicate, Query, Statement};
 use crate::error::{QueryError, Result};
 use crate::token::{tokenize, Token, TokenKind};
 
@@ -31,6 +32,22 @@ pub fn parse(input: &str) -> Result<Query> {
     let query = p.query()?;
     p.expect_end()?;
     Ok(query)
+}
+
+/// Parses a top-level statement: a query, or `EXPLAIN [ANALYZE] <query>`.
+///
+/// # Errors
+/// [`QueryError::Lex`] / [`QueryError::Parse`] / [`QueryError::Semantic`].
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let statement = p.statement()?;
+    p.expect_end()?;
+    Ok(statement)
 }
 
 struct Parser {
@@ -86,6 +103,23 @@ impl Parser {
                 self.err(format!("expected {what}, found {other:?}"))
             }
         }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek() == Some(&TokenKind::Explain) {
+            self.pos += 1;
+            let analyze = if self.peek() == Some(&TokenKind::Analyze) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            };
+            return Ok(Statement::Explain {
+                query: self.query()?,
+                analyze,
+            });
+        }
+        Ok(Statement::Query(self.query()?))
     }
 
     fn query(&mut self) -> Result<Query> {
@@ -401,6 +435,34 @@ mod tests {
         let q = parse("SELECT sum_cells(img[0:9,0:9]) FROM img WHERE img > 3").unwrap();
         assert!(matches!(q.expr, Expr::Condense { .. }));
         assert!(q.predicate.is_some());
+    }
+
+    #[test]
+    fn explain_statements_parse() {
+        let s = parse_statement("EXPLAIN SELECT img FROM img").unwrap();
+        let Statement::Explain { query, analyze } = s else {
+            panic!("expected explain");
+        };
+        assert!(!analyze);
+        assert_eq!(query.from, "img");
+
+        let s = parse_statement("explain analyze SELECT img FROM img WHERE img > 1").unwrap();
+        let Statement::Explain { query, analyze } = s else {
+            panic!("expected explain");
+        };
+        assert!(analyze);
+        assert!(query.predicate.is_some());
+
+        // A plain query parses as Statement::Query.
+        let s = parse_statement("SELECT img FROM img").unwrap();
+        assert!(matches!(s, Statement::Query(_)));
+
+        // ANALYZE only follows EXPLAIN; EXPLAIN needs a query after it.
+        assert!(parse_statement("ANALYZE SELECT img FROM img").is_err());
+        assert!(parse_statement("EXPLAIN").is_err());
+        assert!(parse_statement("EXPLAIN EXPLAIN SELECT img FROM img").is_err());
+        // `parse` (query entry point) rejects EXPLAIN statements.
+        assert!(parse("EXPLAIN SELECT img FROM img").is_err());
     }
 
     #[test]

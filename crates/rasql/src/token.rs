@@ -20,6 +20,10 @@ pub enum TokenKind {
     From,
     /// `WHERE` keyword (case-insensitive).
     Where,
+    /// `EXPLAIN` keyword (case-insensitive).
+    Explain,
+    /// `ANALYZE` keyword (case-insensitive).
+    Analyze,
     /// An identifier (collection or function name).
     Ident(String),
     /// An integer literal (possibly negative).
@@ -237,6 +241,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     "select" => TokenKind::Select,
                     "from" => TokenKind::From,
                     "where" => TokenKind::Where,
+                    "explain" => TokenKind::Explain,
+                    "analyze" => TokenKind::Analyze,
                     _ => TokenKind::Ident(word.to_string()),
                 };
                 tokens.push(Token { at: start, kind });
@@ -281,6 +287,10 @@ mod tests {
         assert_eq!(kinds("wHeRe")[0], TokenKind::Where);
         // A word merely containing the keyword stays an identifier.
         assert_eq!(kinds("wherever")[0], TokenKind::Ident("wherever".into()));
+        assert_eq!(kinds("EXPLAIN")[0], TokenKind::Explain);
+        assert_eq!(kinds("explain")[0], TokenKind::Explain);
+        assert_eq!(kinds("AnAlYzE")[0], TokenKind::Analyze);
+        assert_eq!(kinds("analyzer")[0], TokenKind::Ident("analyzer".into()));
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub struct Client {
     next_id: u64,
     /// Deadline attached to every request, in ms (None = server default).
     deadline_ms: Option<u64>,
+    /// The server-assigned request id echoed on the last response (0 until
+    /// a response carried one).
+    last_request_id: u64,
 }
 
 impl Client {
@@ -104,6 +107,7 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 1,
             deadline_ms: None,
+            last_request_id: 0,
         })
     }
 
@@ -112,6 +116,16 @@ impl Client {
     /// the server's default).
     pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
         self.deadline_ms = deadline_ms;
+    }
+
+    /// The request id the server assigned to (and echoed on) the most
+    /// recent response; `0` before the first response. Request ids tag
+    /// every trace span and slow-query entry the request produced
+    /// server-side, so this is the correlation key for `top` and exported
+    /// trace JSONL.
+    #[must_use]
+    pub fn last_request_id(&self) -> u64 {
+        self.last_request_id
     }
 
     /// Sends one request object and returns the `result` payload.
@@ -131,6 +145,9 @@ impl Client {
             .ok()
             .and_then(|s| Json::parse(s).ok())
             .ok_or_else(|| ClientError::Protocol("response is not valid JSON".to_string()))?;
+        if let Some(rid) = resp.get("request_id").and_then(Json::as_u64) {
+            self.last_request_id = rid;
+        }
         let got_id = resp.get("id").and_then(Json::as_u64).unwrap_or(0);
         if got_id != id {
             return Err(ClientError::Protocol(format!(
@@ -248,6 +265,46 @@ impl Client {
     /// Any [`ClientError`].
     pub fn fsck(&mut self) -> ClientResult<Json> {
         self.call("fsck", Vec::new())
+    }
+
+    /// Fetches the full live metrics registry (counters, gauges and
+    /// histogram snapshots with p50/p95/p99).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn metrics(&mut self) -> ClientResult<Json> {
+        self.call("metrics", Vec::new())
+    }
+
+    /// Fetches the server's health report (status, epoch, active
+    /// snapshots, in-flight requests, failure counters).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn health(&mut self) -> ClientResult<Json> {
+        self.call("health", Vec::new())
+    }
+
+    /// Fetches the most recent slow-query entries (newest first).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn slow_queries(&mut self, limit: usize) -> ClientResult<Json> {
+        self.call("slow", vec![("limit", Json::UInt(limit as u64))])
+    }
+
+    /// Runs `EXPLAIN [ANALYZE] <query>` server-side and returns the raw
+    /// report JSON (`plan` and, with `analyze`, measured statistics).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn explain(&mut self, query: &str, analyze: bool) -> ClientResult<Json> {
+        let stmt = if analyze {
+            format!("EXPLAIN ANALYZE {query}")
+        } else {
+            format!("EXPLAIN {query}")
+        };
+        self.call("query", vec![("q", Json::Str(stmt))])
     }
 
     /// Asks the server to shut down gracefully (drain, then save).

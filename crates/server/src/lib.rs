@@ -22,8 +22,10 @@
 
 pub mod client;
 pub mod server;
+pub mod slowlog;
 pub mod wire;
 
 pub use client::{Client, ClientError, ClientResult, RemoteValue};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use slowlog::{SlowQueryEntry, SlowQueryLog};
 pub use wire::{ErrorCode, MAX_FRAME};

@@ -33,7 +33,7 @@
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -45,9 +45,10 @@ use tilestore_obs::Counter;
 use tilestore_storage::PageStore;
 use tilestore_testkit::{Json, ToJson};
 
+use crate::slowlog::{SlowQueryEntry, SlowQueryLog};
 use crate::wire::{
-    err_response, hex_decode, ok_response, value_to_json, with_epoch, write_frame, ErrorCode,
-    MAX_FRAME,
+    err_response, hex_decode, ok_response, value_to_json, with_epoch, with_request_id, write_frame,
+    ErrorCode, MAX_FRAME,
 };
 
 /// How often blocked reads and the accept loop re-check the shutdown flag.
@@ -67,6 +68,10 @@ pub struct ServerConfig {
     /// Deadline applied to requests that carry none, in milliseconds
     /// (0 = no default deadline).
     pub default_deadline_ms: u64,
+    /// Statements whose wall-clock time (admission to completion) reaches
+    /// this many milliseconds land in the slow-query log (`0` logs every
+    /// statement).
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +82,7 @@ impl Default for ServerConfig {
                 .unwrap_or(1),
             max_inflight: 64,
             default_deadline_ms: 30_000,
+            slow_query_ms: 500,
         }
     }
 }
@@ -137,6 +143,10 @@ struct ConnCtx<S: PageStore> {
     requests: Arc<Counter>,
     busy_rejections: Arc<Counter>,
     deadline_rejections: Arc<Counter>,
+    /// Monotonic request-id source, shared by every connection so ids are
+    /// unique server-wide within a process lifetime.
+    next_request: Arc<AtomicU64>,
+    slow_log: Arc<SlowQueryLog>,
 }
 
 impl<S: PageStore> Clone for ConnCtx<S> {
@@ -152,6 +162,8 @@ impl<S: PageStore> Clone for ConnCtx<S> {
             requests: Arc::clone(&self.requests),
             busy_rejections: Arc::clone(&self.busy_rejections),
             deadline_rejections: Arc::clone(&self.deadline_rejections),
+            next_request: Arc::clone(&self.next_request),
+            slow_log: Arc::clone(&self.slow_log),
         }
     }
 }
@@ -178,6 +190,7 @@ pub fn serve<S: PageStore + 'static>(
     db.set_executor(Arc::clone(&pool));
     let shutdown = Arc::new(AtomicBool::new(false));
     let reg = tilestore_obs::metrics();
+    let slow_log = Arc::new(SlowQueryLog::new(config.slow_query_ms, dir.as_deref()));
     let ctx = ConnCtx {
         db,
         dir: dir.map(Arc::new),
@@ -189,6 +202,8 @@ pub fn serve<S: PageStore + 'static>(
         requests: reg.counter("server.requests"),
         busy_rejections: reg.counter("server.busy_rejections"),
         deadline_rejections: reg.counter("server.deadline_rejections"),
+        next_request: Arc::new(AtomicU64::new(1)),
+        slow_log,
     };
     let connections = reg.gauge("server.connections");
     let save_errors = reg.counter("server.save_errors");
@@ -344,24 +359,39 @@ fn dispatch<S: PageStore + 'static>(ctx: &ConnCtx<S>, req: &Json, received: Inst
     let Some(op) = req.get("op").and_then(Json::as_str) else {
         return err_response(id, ErrorCode::BadRequest, "missing op");
     };
+    // Every admitted request gets a server-wide request id for tracing and
+    // the slow-query log; a client that supplies a nonzero `request_id`
+    // (e.g. to correlate across services) keeps it. The id is echoed on
+    // every response, including refusals.
+    let rid = req
+        .get("request_id")
+        .and_then(Json::as_u64)
+        .filter(|&r| r != 0)
+        .unwrap_or_else(|| ctx.next_request.fetch_add(1, Ordering::Relaxed));
     // Shutdown is control-plane: always admitted, handled inline so the
     // response is written before the session starts winding down.
     if op == "shutdown" {
         ctx.shutdown.store(true, Ordering::SeqCst);
-        return ok_response(id, Json::Str("shutting down".to_string()));
+        return with_request_id(ok_response(id, Json::Str("shutting down".to_string())), rid);
     }
     if ctx.shutdown.load(Ordering::SeqCst) {
-        return err_response(id, ErrorCode::Shutdown, "server is shutting down");
+        return with_request_id(
+            err_response(id, ErrorCode::Shutdown, "server is shutting down"),
+            rid,
+        );
     }
     // Bounded admission: refuse typed-busy instead of queueing unboundedly.
     let mut cur = ctx.inflight.load(Ordering::SeqCst);
     loop {
         if cur >= ctx.max_inflight {
             ctx.busy_rejections.inc();
-            return err_response(
-                id,
-                ErrorCode::Busy,
-                &format!("{} requests in flight (limit {})", cur, ctx.max_inflight),
+            return with_request_id(
+                err_response(
+                    id,
+                    ErrorCode::Busy,
+                    &format!("{} requests in flight (limit {})", cur, ctx.max_inflight),
+                ),
+                rid,
             );
         }
         match ctx
@@ -382,6 +412,12 @@ fn dispatch<S: PageStore + 'static>(ctx: &ConnCtx<S>, req: &Json, received: Inst
         None => (ctx.default_deadline_ms > 0)
             .then(|| received + Duration::from_millis(ctx.default_deadline_ms)),
     };
+    // When the request asks for its span tree back, make sure the tracer is
+    // collecting (it stays enabled afterwards; the ring is bounded).
+    let want_trace = req.get("trace").and_then(Json::as_bool) == Some(true);
+    if want_trace && !tilestore_obs::tracer().is_enabled() {
+        tilestore_obs::tracer().enable(4096);
+    }
     let (tx, rx) = mpsc::channel();
     let job_ctx = ctx.clone();
     let op_owned = op.to_string();
@@ -395,21 +431,39 @@ fn dispatch<S: PageStore + 'static>(ctx: &ConnCtx<S>, req: &Json, received: Inst
                 &format!("deadline of {deadline_ms} ms expired before execution"),
             )
         } else {
-            let _span =
-                tilestore_obs::tracer().span_with("server_request", || format!("op={op_owned}"));
-            handle_request(&job_ctx, id, &op_owned, &req_owned)
+            // The worker enters the request's trace scope: every span and
+            // event below — including tile fetches scattered further onto
+            // the pool — carries this request id.
+            let _scope = tilestore_obs::request_scope(rid);
+            let _span = tilestore_obs::tracer()
+                .span_with("request", || format!("op={op_owned} request_id={rid}"));
+            handle_request(&job_ctx, id, rid, &op_owned, &req_owned, received)
         };
         job_ctx.inflight.fetch_sub(1, Ordering::SeqCst);
         let _ = tx.send(response);
     });
-    match rx.recv() {
+    let mut response = match rx.recv() {
         Ok(r) => r,
         Err(_) => err_response(id, ErrorCode::Engine, "worker dropped the request"),
+    };
+    if want_trace {
+        let jsonl = tilestore_obs::tracer().take_request_jsonl(rid);
+        if let Json::Object(fields) = &mut response {
+            fields.push(("trace".to_string(), Json::Str(jsonl)));
+        }
     }
+    with_request_id(response, rid)
 }
 
 /// Executes one admitted request against the shared database.
-fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json) -> Json {
+fn handle_request<S: PageStore>(
+    ctx: &ConnCtx<S>,
+    id: u64,
+    rid: u64,
+    op: &str,
+    req: &Json,
+    received: Instant,
+) -> Json {
     match op {
         "ping" => ok_response(id, Json::Str("pong".to_string())),
         "query" => {
@@ -418,12 +472,49 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
             };
             // Queries run against an epoch-stamped snapshot: no lock is held
             // across tile I/O, so a concurrent writer never blocks this
-            // request and the response names the epoch it observed.
+            // request and the response names the epoch it observed. The
+            // snapshot carries the request id so engine-side spans (and the
+            // scattered tile fetches) stay attributed to this request.
             let snap = ctx.db.snapshot();
-            match tilestore_rasql::execute(&snap, q) {
-                Ok((value, stats)) => ok_response(id, value_to_json(&value, &stats, snap.epoch())),
+            snap.set_request_id(rid);
+            match tilestore_rasql::execute_statement(&snap, q) {
+                Ok(tilestore_rasql::StatementResult::Value(value, stats)) => {
+                    observe_slow(ctx, rid, q, snap.epoch(), received, Some(stats));
+                    ok_response(id, value_to_json(&value, &stats, snap.epoch()))
+                }
+                Ok(tilestore_rasql::StatementResult::Explain(report)) => {
+                    let stats = report.analyze.as_ref().map(|a| a.stats);
+                    observe_slow(ctx, rid, q, snap.epoch(), received, stats);
+                    ok_response(id, with_epoch(report.to_json(), snap.epoch()))
+                }
                 Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
             }
+        }
+        "metrics" => {
+            // The full registry with histogram percentiles — the live ops
+            // plane behind `tilestore top`.
+            ok_response(id, tilestore_obs::metrics().snapshot().to_json())
+        }
+        "health" => ok_response(id, health_report(ctx)),
+        "slow" => {
+            let limit = req
+                .get("limit")
+                .and_then(Json::as_u64)
+                .map_or(16, |l| l as usize);
+            let entries = ctx
+                .slow_log
+                .recent(limit)
+                .iter()
+                .map(ToJson::to_json)
+                .collect::<Vec<_>>();
+            ok_response(
+                id,
+                Json::obj(vec![
+                    ("threshold_ms", Json::UInt(ctx.slow_log.threshold_ms())),
+                    ("count", Json::UInt(ctx.slow_log.len() as u64)),
+                    ("entries", Json::Array(entries)),
+                ]),
+            )
         }
         "insert" => {
             let Some(object) = req.get("object").and_then(Json::as_str) else {
@@ -529,6 +620,58 @@ fn handle_request<S: PageStore>(ctx: &ConnCtx<S>, id: u64, op: &str, req: &Json)
         }
         other => err_response(id, ErrorCode::BadRequest, &format!("unknown op {other:?}")),
     }
+}
+
+/// Feeds one finished statement to the slow-query log.
+fn observe_slow<S: PageStore>(
+    ctx: &ConnCtx<S>,
+    rid: u64,
+    statement: &str,
+    epoch: u64,
+    received: Instant,
+    stats: Option<tilestore_engine::QueryStats>,
+) {
+    let elapsed = received.elapsed();
+    ctx.slow_log.observe(
+        elapsed,
+        SlowQueryEntry {
+            request_id: rid,
+            statement: statement.to_string(),
+            epoch,
+            elapsed_ns: elapsed.as_nanos() as u64,
+            stats,
+        },
+    );
+}
+
+/// Builds the `health` response: a cheap liveness report (no blob I/O) that
+/// surfaces the counters an unhealthy store would move.
+fn health_report<S: PageStore>(ctx: &ConnCtx<S>) -> Json {
+    let reg = tilestore_obs::metrics();
+    let checksum_failures = reg.counter("storage.checksum_failures").get();
+    let lock_poisoned = reg.counter("engine.lock_poisoned").get();
+    let status = if checksum_failures == 0 && lock_poisoned == 0 {
+        "ok"
+    } else {
+        "degraded"
+    };
+    let epoch = ctx.db.snapshot().epoch();
+    // Read the gauge after the epoch probe's snapshot is dropped so the
+    // report does not count its own probe.
+    let snapshots_active = reg.gauge("engine.snapshots_active").get();
+    Json::obj(vec![
+        ("status", Json::Str(status.to_string())),
+        ("epoch", Json::UInt(epoch)),
+        ("snapshots_active", Json::Int(snapshots_active)),
+        (
+            "inflight",
+            Json::UInt(ctx.inflight.load(Ordering::SeqCst) as u64),
+        ),
+        ("checksum_failures", Json::UInt(checksum_failures)),
+        ("lock_poisoned", Json::UInt(lock_poisoned)),
+        ("slow_queries", Json::UInt(ctx.slow_log.len() as u64)),
+        ("durable", Json::Bool(ctx.dir.is_some())),
+    ])
 }
 
 /// Serializes an object's metadata for `info`/`stats` responses.

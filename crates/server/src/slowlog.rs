@@ -1,0 +1,212 @@
+//! Server-side slow-query log.
+//!
+//! Every statement whose wall-clock time (admission to completion) reaches
+//! the configured threshold is recorded twice: in a bounded in-memory ring
+//! served live over the wire (`slow` op / `tilestore top`), and — for
+//! file-backed databases — appended as one JSON line to
+//! `<dir>/slow_queries.log`. The file is size-capped like the access log:
+//! when the live segment exceeds the cap it is rotated to
+//! `slow_queries.log.1` (replacing the previous rotation), so the log can
+//! never grow without bound.
+
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tilestore_engine::QueryStats;
+use tilestore_testkit::{Json, ToJson};
+
+/// Entries kept in the in-memory ring (oldest dropped first).
+pub const RING_CAPACITY: usize = 128;
+
+/// Size cap of the live `slow_queries.log` segment before rotation.
+pub const MAX_LOG_BYTES: u64 = 1 << 20;
+
+/// One slow statement, as recorded at completion.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    /// The request id the statement executed under.
+    pub request_id: u64,
+    /// The statement text as received.
+    pub statement: String,
+    /// Catalog epoch the statement observed.
+    pub epoch: u64,
+    /// Wall-clock time from admission to completion, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// The executor's counters, when the statement produced them (plain
+    /// `EXPLAIN` does not execute, so it carries none).
+    pub stats: Option<QueryStats>,
+}
+
+impl ToJson for SlowQueryEntry {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("request_id", self.request_id.to_json()),
+            ("statement", Json::Str(self.statement.clone())),
+            ("epoch", self.epoch.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
+        ];
+        if let Some(stats) = &self.stats {
+            fields.push(("stats", stats.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// A bounded slow-query log: in-memory ring + optional rotated JSONL file.
+pub struct SlowQueryLog {
+    threshold: Duration,
+    ring: Mutex<VecDeque<SlowQueryEntry>>,
+    file: Option<PathBuf>,
+}
+
+impl SlowQueryLog {
+    /// Creates a log with the given threshold in milliseconds (`0` records
+    /// every statement — useful for smoke tests and traffic audits). Pass
+    /// the database directory to also persist entries to
+    /// `slow_queries.log`; `None` keeps the log purely in memory.
+    #[must_use]
+    pub fn new(threshold_ms: u64, dir: Option<&Path>) -> Self {
+        SlowQueryLog {
+            threshold: Duration::from_millis(threshold_ms),
+            ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+            file: dir.map(|d| d.join("slow_queries.log")),
+        }
+    }
+
+    /// The configured threshold in milliseconds.
+    #[must_use]
+    pub fn threshold_ms(&self) -> u64 {
+        self.threshold.as_millis() as u64
+    }
+
+    /// Records `entry` if `elapsed` reaches the threshold. Returns whether
+    /// the entry was recorded.
+    pub fn observe(&self, elapsed: Duration, entry: SlowQueryEntry) -> bool {
+        if elapsed < self.threshold {
+            return false;
+        }
+        let line = entry.to_json().to_string_compact();
+        {
+            let mut ring = self
+                .ring
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if ring.len() >= RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(entry);
+        }
+        if let Some(path) = &self.file {
+            // Log persistence must never fail a request; errors are dropped.
+            let _ = self.append_line(path, &line);
+        }
+        true
+    }
+
+    fn append_line(&self, path: &Path, line: &str) -> std::io::Result<()> {
+        if std::fs::metadata(path).is_ok_and(|m| m.len() + line.len() as u64 + 1 > MAX_LOG_BYTES) {
+            let rotated = path.with_extension("log.1");
+            let _ = std::fs::rename(path, rotated);
+        }
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(line.as_bytes())?;
+        f.write_all(b"\n")
+    }
+
+    /// Entries currently in the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the ring holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent `limit` entries, newest first.
+    #[must_use]
+    pub fn recent(&self, limit: usize) -> Vec<SlowQueryEntry> {
+        let ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ring.iter().rev().take(limit).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, elapsed_ns: u64) -> SlowQueryEntry {
+        SlowQueryEntry {
+            request_id: id,
+            statement: format!("SELECT q{id} FROM q{id}"),
+            epoch: 3,
+            elapsed_ns,
+            stats: None,
+        }
+    }
+
+    #[test]
+    fn threshold_filters_fast_statements() {
+        let log = SlowQueryLog::new(10, None);
+        assert!(!log.observe(Duration::from_millis(9), entry(1, 9_000_000)));
+        assert!(log.observe(Duration::from_millis(10), entry(2, 10_000_000)));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.recent(8)[0].request_id, 2);
+    }
+
+    #[test]
+    fn zero_threshold_records_everything_and_ring_is_bounded() {
+        let log = SlowQueryLog::new(0, None);
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            assert!(log.observe(Duration::ZERO, entry(i, 1)));
+        }
+        assert_eq!(log.len(), RING_CAPACITY);
+        let recent = log.recent(2);
+        // Newest first; the oldest ten were dropped.
+        assert_eq!(recent[0].request_id, RING_CAPACITY as u64 + 9);
+        assert_eq!(recent[1].request_id, RING_CAPACITY as u64 + 8);
+    }
+
+    #[test]
+    fn entries_persist_as_jsonl_and_the_file_rotates() {
+        let tmp = tilestore_testkit::tempdir().unwrap();
+        let log = SlowQueryLog::new(0, Some(tmp.path()));
+        let mut e = entry(7, 42);
+        e.stats = Some(QueryStats {
+            tiles_read: 2,
+            tiles_pruned: 5,
+            ..QueryStats::default()
+        });
+        log.observe(Duration::ZERO, e);
+        let text = std::fs::read_to_string(tmp.path().join("slow_queries.log")).unwrap();
+        let parsed = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed.get("request_id").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("tiles_pruned"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+
+        // Force a rotation by pre-filling the live file past the cap.
+        let live = tmp.path().join("slow_queries.log");
+        std::fs::write(&live, vec![b'x'; MAX_LOG_BYTES as usize]).unwrap();
+        log.observe(Duration::ZERO, entry(8, 1));
+        let rotated = tmp.path().join("slow_queries.log.1");
+        assert!(rotated.exists(), "live segment rotates at the cap");
+        assert!(std::fs::metadata(&live).unwrap().len() < MAX_LOG_BYTES);
+    }
+}

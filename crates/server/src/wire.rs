@@ -180,6 +180,18 @@ pub fn with_epoch(mut json: Json, epoch: u64) -> Json {
     json
 }
 
+/// Tags a response with the server-assigned request id. The field is
+/// additive and sits beside `id`/`ok`/`result`, so payload comparisons on
+/// `result` (e.g. the golden wire-vs-inprocess corpus) are unaffected and
+/// older clients simply ignore it.
+#[must_use]
+pub fn with_request_id(mut json: Json, request_id: u64) -> Json {
+    if let Json::Object(fields) = &mut json {
+        fields.push(("request_id".to_string(), Json::UInt(request_id)));
+    }
+    json
+}
+
 /// Serializes a rasql result value (with its execution stats and the
 /// snapshot epoch it observed) for the wire. Array cells travel hex-encoded
 /// so the remote bytes are exactly the in-process bytes.

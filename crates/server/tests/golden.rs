@@ -5,8 +5,9 @@
 //! serial one.
 
 use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
-use tilestore_rasql::Value;
+use tilestore_rasql::{StatementResult, Value};
 use tilestore_server::{serve, Client, RemoteValue, ServerConfig};
+use tilestore_testkit::{Json, ToJson};
 use tilestore_tiling::{AlignedTiling, Scheme};
 
 /// The statement corpus: every result kind, trims, sections, wildcard
@@ -101,6 +102,90 @@ fn every_statement_is_byte_identical_over_the_wire() {
             (Value::Bool(b), RemoteValue::Bool(c)) => assert_eq!(b, c, "{q}: bool"),
             (want, got) => panic!("{q}: kind mismatch: {want:?} vs {got:?}"),
         }
+    }
+    handle.shutdown();
+}
+
+/// EXPLAIN-able subset of the corpus: plain accesses and condensers over
+/// one (induced expressions carry no tile plan).
+const GOLDEN_EXPLAIN: &[&str] = &[
+    "SELECT cube FROM cube",
+    "SELECT cube[2:4, 0:9, 5:7] FROM cube",
+    "SELECT max_cells(cube) FROM cube",
+    "SELECT cube FROM cube WHERE cube > 900",
+    "SELECT count_cells(cube) FROM cube WHERE cube > 500",
+    "SELECT sum_cells(cube) FROM cube WHERE cube >= 998",
+    "SELECT min_cells(cube[4:9, 0:5, 1:8]) FROM cube WHERE cube != 455",
+];
+
+#[test]
+fn explain_plans_match_in_process_and_reconcile_with_execution() {
+    let db = cube_db();
+    // In-process baseline plans, before the server attaches its executor.
+    let expected: Vec<String> = GOLDEN_EXPLAIN
+        .iter()
+        .map(|q| {
+            let snap = db.begin_read();
+            let StatementResult::Explain(report) =
+                tilestore_rasql::execute_statement(&snap, &format!("EXPLAIN {q}")).unwrap()
+            else {
+                panic!("{q}: expected explain result");
+            };
+            report.plan.to_json().to_string_compact()
+        })
+        .collect();
+
+    let shared = SharedDatabase::new(db);
+    let handle = serve(
+        shared,
+        None,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    for (q, want) in GOLDEN_EXPLAIN.iter().zip(&expected) {
+        let got = client
+            .explain(q, false)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        let plan = got.get("plan").unwrap_or_else(|| panic!("{q}: no plan"));
+        assert_eq!(
+            plan.to_string_compact(),
+            *want,
+            "{q}: wire plan differs from in-process plan"
+        );
+        assert!(got.get("analyze").is_none(), "{q}: plain EXPLAIN executes");
+        assert!(
+            client.last_request_id() > 0,
+            "{q}: response lacks request id"
+        );
+
+        // ANALYZE executes: the measured counters must reconcile with the
+        // plan the same response carries.
+        let got = client
+            .explain(q, true)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        let plan = got.get("plan").unwrap();
+        let fetched = plan.get("fetched").and_then(Json::as_u64).unwrap();
+        let pruned = plan.get("pruned").and_then(Json::as_u64).unwrap();
+        let stats = got
+            .get("analyze")
+            .and_then(|a| a.get("stats"))
+            .unwrap_or_else(|| panic!("{q}: analyze carries no stats"));
+        assert_eq!(
+            stats.get("tiles_read").and_then(Json::as_u64),
+            Some(fetched),
+            "{q}: tiles_read != plan.fetched"
+        );
+        assert_eq!(
+            stats.get("tiles_pruned").and_then(Json::as_u64),
+            Some(pruned),
+            "{q}: tiles_pruned != plan.pruned"
+        );
     }
     handle.shutdown();
 }

@@ -1,0 +1,163 @@
+//! The live ops plane: `metrics`, `health` and `slow` over the wire, plus
+//! request-id echo and per-request trace export.
+
+use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
+use tilestore_server::{serve, Client, ServerConfig};
+use tilestore_testkit::Json;
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+fn grid_db() -> Database<tilestore_storage::MemPageStore> {
+    let db = Database::in_memory().unwrap();
+    db.create_object(
+        "grid",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 256)),
+    )
+    .unwrap();
+    db.insert(
+        "grid",
+        &Array::from_fn("[0:15,0:15]".parse().unwrap(), |p| {
+            (p[0] * 16 + p[1]) as u32
+        })
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn metrics_health_and_slow_log_are_live_over_the_wire() {
+    let handle = serve(
+        SharedDatabase::new(grid_db()),
+        None,
+        "127.0.0.1:0",
+        ServerConfig {
+            // Threshold 0: every statement lands in the slow-query log, so
+            // the test observes entries deterministically.
+            slow_query_ms: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Request ids are echoed on every response and increase monotonically
+    // for server-assigned ids.
+    client.ping().unwrap();
+    let first = client.last_request_id();
+    assert!(first > 0, "ping response lacks a request id");
+    client.ping().unwrap();
+    assert!(client.last_request_id() > first);
+
+    // Run a query, then check all three ops observe it.
+    let stmt = "SELECT count_cells(grid) FROM grid WHERE grid > 200";
+    client.query(stmt).unwrap();
+    let query_rid = client.last_request_id();
+
+    let metrics = client.metrics().unwrap();
+    let queries = metrics
+        .get("counters")
+        .and_then(|c| c.get("engine.queries"))
+        .and_then(Json::as_u64)
+        .expect("metrics carry engine.queries");
+    assert!(queries >= 1, "engine.queries = {queries}");
+    // Histogram snapshots expose the percentile shape.
+    let latency = metrics
+        .get("histograms")
+        .and_then(|h| h.get("engine.query_latency_ns"))
+        .expect("metrics carry the query latency histogram");
+    for key in ["p50", "p95", "p99", "count", "mean"] {
+        assert!(latency.get(key).is_some(), "{key} missing from {latency:?}");
+    }
+
+    let health = client.health().unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(health.get("epoch").and_then(Json::as_u64).is_some());
+    assert!(health.get("snapshots_active").is_some());
+    assert_eq!(
+        health.get("checksum_failures").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(health.get("durable").and_then(Json::as_bool), Some(false));
+
+    let slow = client.slow_queries(8).unwrap();
+    assert_eq!(slow.get("threshold_ms").and_then(Json::as_u64), Some(0));
+    let entries = match slow.get("entries") {
+        Some(Json::Array(items)) => items.clone(),
+        other => panic!("slow entries missing: {other:?}"),
+    };
+    assert!(!entries.is_empty());
+    // Newest first; the query we just ran is in there with its request id,
+    // statement, epoch and stats.
+    let ours = entries
+        .iter()
+        .find(|e| e.get("request_id").and_then(Json::as_u64) == Some(query_rid))
+        .unwrap_or_else(|| panic!("no slow entry for request {query_rid}: {entries:?}"));
+    assert_eq!(ours.get("statement").and_then(Json::as_str), Some(stmt));
+    assert!(ours.get("epoch").and_then(Json::as_u64).is_some());
+    assert!(
+        ours.get("stats")
+            .and_then(|s| s.get("tiles_read"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "slow entry carries executor stats"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn client_supplied_request_ids_are_honored_and_traces_export() {
+    let handle = serve(
+        SharedDatabase::new(grid_db()),
+        None,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    // Raw frames so the test controls the request object exactly.
+    use std::io::{BufReader, BufWriter};
+    use std::net::TcpStream;
+    use tilestore_server::wire::{read_frame, write_frame};
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut r = BufReader::new(stream.try_clone().unwrap());
+    let mut w = BufWriter::new(stream);
+    let mut call = |payload: &str| -> Json {
+        write_frame(&mut w, payload.as_bytes()).unwrap();
+        let frame = read_frame(&mut r).unwrap().unwrap();
+        Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap()
+    };
+
+    // A nonzero client-supplied request id is kept and echoed.
+    let resp = call(r#"{"id":1,"op":"ping","request_id":777001}"#);
+    assert_eq!(resp.get("request_id").and_then(Json::as_u64), Some(777001));
+
+    // `trace: true` returns the request's span tree as JSONL, tagged with
+    // the request id.
+    let resp = call(
+        r#"{"id":2,"op":"query","q":"SELECT grid FROM grid WHERE grid > 200","request_id":777002,"trace":true}"#,
+    );
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let trace = resp
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("response carries trace JSONL");
+    let mut saw_query_span = false;
+    for line in trace.lines() {
+        let event = Json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+        assert_eq!(
+            event.get("req").and_then(Json::as_u64),
+            Some(777002),
+            "{line}"
+        );
+        if event.get("name").and_then(Json::as_str) == Some("query") {
+            saw_query_span = true;
+        }
+    }
+    assert!(saw_query_span, "trace lacks the engine query span: {trace}");
+
+    // A later untraced request from another id does not inherit the events.
+    let resp = call(r#"{"id":3,"op":"ping"}"#);
+    assert!(resp.get("trace").is_none());
+    handle.shutdown();
+}

@@ -54,6 +54,7 @@ fn concurrent_clients_with_inserts_and_a_retile() {
             workers: 3,
             max_inflight: 4, // small on purpose: admission refusals must occur
             default_deadline_ms: 30_000,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -200,6 +201,7 @@ fn admission_limit_refuses_with_typed_busy() {
             workers: 1,
             max_inflight: 1,
             default_deadline_ms: 0,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

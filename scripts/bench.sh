@@ -12,6 +12,9 @@
 #   BENCH_PR6.json — value-predicate pruning: sparse-predicate read vs the
 #                    full-scan baseline (tiles_read and modelled t_o
 #                    reduction ratios, plus wall-clock medians)
+#   BENCH_PR7.json — observability overhead: the same workload with the
+#                    tracer off vs on under a request scope, and EXPLAIN
+#                    ANALYZE vs plain execution
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,7 @@ MICRO_OUT="${1:-BENCH_PR2.json}"
 SERVER_OUT="${2:-BENCH_PR4.json}"
 SNAPSHOT_OUT="${3:-BENCH_PR5.json}"
 PREDICATE_OUT="${4:-BENCH_PR6.json}"
+OBS_OUT="${5:-BENCH_PR7.json}"
 
 cargo run --release --offline -p tilestore-bench --bin microbench -- "$MICRO_OUT"
 echo "micro-bench report written to $MICRO_OUT"
@@ -34,3 +38,6 @@ echo "snapshot bench report written to $SNAPSHOT_OUT"
 
 cargo run --release --offline -p tilestore-bench --bin predicate_bench -- "$PREDICATE_OUT"
 echo "predicate bench report written to $PREDICATE_OUT"
+
+cargo run --release --offline -p tilestore-bench --bin obs_overhead -- "$OBS_OUT"
+echo "observability overhead report written to $OBS_OUT"

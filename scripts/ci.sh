@@ -31,7 +31,9 @@ trap cleanup EXIT
 "$TILESTORE" "$SMOKE_DIR/db" create img u8 2 'aligned:[*,1]:8' >/dev/null
 "$TILESTORE" "$SMOKE_DIR/db" load img '[0:63,0:63]' gradient >/dev/null
 
-"$TILESTORE" "$SMOKE_DIR/db" serve 127.0.0.1:0 >"$SERVE_LOG" &
+# Slow-query threshold 0: every statement lands in the slow log, so the
+# ops-plane checks below observe entries deterministically.
+"$TILESTORE" "$SMOKE_DIR/db" serve 127.0.0.1:0 0 >"$SERVE_LOG" &
 SERVER_PID=$!
 ADDR=""
 for _ in $(seq 1 100); do
@@ -48,6 +50,16 @@ done
 "$TILESTORE" client "$ADDR" query 'SELECT count_cells(img) FROM img WHERE img > 200' >/dev/null
 "$TILESTORE" client "$ADDR" info img | grep -q '"tiles"'
 "$TILESTORE" client "$ADDR" fsck >/dev/null
+# --- Ops plane: the planner report, the metrics snapshot with percentile
+# summaries, the health check, and a slow-query entry for a statement the
+# smoke test just ran (threshold 0 records everything).
+"$TILESTORE" client "$ADDR" explain 'SELECT count_cells(img) FROM img WHERE img > 200' | grep -q '"plan"'
+"$TILESTORE" client "$ADDR" explain 'SELECT sum_cells(img) FROM img' --analyze | grep -q '"analyze"'
+"$TILESTORE" client "$ADDR" metrics | grep -q 'engine.queries'
+"$TILESTORE" client "$ADDR" metrics | grep -q '"p99"'
+"$TILESTORE" client "$ADDR" health | grep -q '"status": "ok"'
+"$TILESTORE" client "$ADDR" top | grep -q 'count_cells'
+test -s "$SMOKE_DIR/db/slow_queries.log"
 "$TILESTORE" client "$ADDR" shutdown >/dev/null
 wait "$SERVER_PID"
 SERVER_PID=""
