@@ -1,0 +1,367 @@
+//! PR-8 benchmark: sharded buffer pool + word-wide codec kernels.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin pool_codec_bench -- BENCH_PR8.json
+//! ```
+//!
+//! Two experiments, each reported as a paired before/after:
+//!
+//! 1. **Concurrent-client throughput** — the same file-backed database
+//!    served over TCP at 1 / 4 / 16 clients, once over a bare
+//!    `FilePageStore` (the pre-PR-8 serving path: every page read is a file
+//!    read plus a CRC-32 frame verification) and once over the sharded
+//!    `CachedFileStore` buffer pool (`Database::open_dir`), where a warm
+//!    working set is served from shard-local frames.
+//! 2. **Codec throughput** — PackBits encode/decode and delta
+//!    forward/inverse in MB/s, scalar reference vs the word-wide kernels,
+//!    on the constant-run and ramp workloads the tile codecs exist for.
+//!    The kernels are byte-identical (property-pinned); only speed differs.
+
+use std::time::{Duration, Instant};
+
+use tilestore_compress::{delta, packbits};
+use tilestore_engine::{
+    Array, Catalog, CellType, Database, MddType, SharedDatabase, CATALOG_FILE, PAGES_FILE,
+};
+use tilestore_geometry::Domain;
+use tilestore_server::{serve, Client, RemoteValue, ServerConfig};
+use tilestore_storage::FilePageStore;
+use tilestore_testkit::bench::Report;
+use tilestore_testkit::{tempdir, Json, ToJson};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// Side length of the square benchmark array (u32 cells → 1 MiB total).
+const SIDE: i64 = 512;
+
+/// Queries per client connection in the throughput experiment.
+const QUERIES_PER_CLIENT: usize = 20;
+
+/// Payload size for the codec experiment.
+const CODEC_BYTES: usize = 1 << 22; // 4 MiB
+
+/// Timed repetitions per codec measurement (median reported).
+const CODEC_SAMPLES: usize = 9;
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+/// Medians a timed closure and converts to MB/s over `bytes`.
+fn mbps(bytes: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm
+    let mut samples = Vec::with_capacity(CODEC_SAMPLES);
+    for _ in 0..CODEC_SAMPLES {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    bytes as f64 / 1e6 / median.as_secs_f64().max(1e-12)
+}
+
+/// Runs the 1/4/16-client throughput ladder against an already-serving
+/// address, returning `(levels-json, rps-per-level)`.
+fn throughput_ladder(addr: std::net::SocketAddr) -> (Vec<(String, Json)>, Vec<f64>) {
+    let mut levels: Vec<(String, Json)> = Vec::new();
+    let mut rps_all = Vec::new();
+    for &clients in &[1usize, 4, 16] {
+        let wall_start = Instant::now();
+        let samples: Vec<Duration> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let mut local = Vec::with_capacity(QUERIES_PER_CLIENT);
+                        for i in 0..QUERIES_PER_CLIENT {
+                            let lo0 = ((t * 31 + i * 13) as i64) % (SIDE - 128);
+                            let lo1 = ((t * 17 + i * 7) as i64) % (SIDE - 128);
+                            let q = format!(
+                                "SELECT grid[{lo0}:{},{lo1}:{}] FROM grid",
+                                lo0 + 127,
+                                lo1 + 127
+                            );
+                            let t0 = Instant::now();
+                            let got = client.query(&q).expect("query");
+                            local.push(t0.elapsed());
+                            assert!(matches!(got, RemoteValue::Array { .. }));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let wall = wall_start.elapsed();
+        let total = samples.len();
+        let report = Report::from_samples(samples);
+        let rps = total as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "  {clients:>2} clients: {total} queries in {:.3}s ({rps:.1} req/s, median {:?})",
+            wall.as_secs_f64(),
+            report.median
+        );
+        rps_all.push(rps);
+        levels.push((
+            format!("clients_{clients}"),
+            Json::obj(vec![
+                ("clients", (clients as u64).to_json()),
+                ("requests", (total as u64).to_json()),
+                ("wall_ns", ns(wall)),
+                ("requests_per_sec", Json::Float(rps)),
+                ("latency", report_json(&report)),
+            ]),
+        ));
+    }
+    (levels, rps_all)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let dir = tempdir().expect("tempdir");
+    {
+        let db = Database::create_dir(dir.path()).expect("create db");
+        db.create_object(
+            "grid",
+            MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 8192)),
+        )
+        .unwrap();
+        let dom: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+        db.insert(
+            "grid",
+            &Array::from_fn(dom.clone(), |p| (p[0] * SIDE + p[1]) as u32).unwrap(),
+        )
+        .unwrap();
+        db.save(dir.path()).expect("save");
+    }
+    let config = ServerConfig {
+        workers: 3,
+        max_inflight: 64,
+        default_deadline_ms: 60_000,
+        ..ServerConfig::default()
+    };
+
+    // --- Experiment 1a: throughput over the bare FilePageStore (before). ---
+    println!("serving over bare FilePageStore (uncached):");
+    let (before_levels, before_rps) = {
+        let json = std::fs::read_to_string(dir.path().join(CATALOG_FILE)).expect("read catalog");
+        let catalog: Catalog = tilestore_testkit::json::from_str(&json).expect("parse catalog");
+        let store =
+            FilePageStore::open(dir.path().join(PAGES_FILE), catalog.page_size).expect("open");
+        let db = Database::from_catalog(store, catalog);
+        let handle = serve(
+            SharedDatabase::new(db),
+            Some(dir.path().to_path_buf()),
+            "127.0.0.1:0",
+            config.clone(),
+        )
+        .expect("serve uncached");
+        let addr = handle.addr();
+        let out = throughput_ladder(addr);
+        let mut shutter = Client::connect(addr).expect("connect");
+        shutter.shutdown_server().expect("shutdown");
+        handle.join();
+        out
+    };
+
+    // --- Experiment 1b: throughput over the sharded buffer pool (after). ---
+    println!("serving over the sharded CachedFileStore:");
+    let (after_levels, after_rps) = {
+        let db = Database::open_dir(dir.path()).expect("reopen cached");
+        let shards = db.blob_store().page_store().shard_count();
+        println!("  pool: {shards} shards");
+        let handle = serve(
+            SharedDatabase::new(db),
+            Some(dir.path().to_path_buf()),
+            "127.0.0.1:0",
+            config,
+        )
+        .expect("serve cached");
+        let addr = handle.addr();
+        let out = throughput_ladder(addr);
+        let mut shutter = Client::connect(addr).expect("connect");
+        shutter.shutdown_server().expect("shutdown");
+        handle.join();
+        out
+    };
+    let speedup_16 = after_rps[2] / before_rps[2].max(1e-9);
+    println!(
+        "16-client throughput: {:.1} -> {:.1} req/s ({speedup_16:.2}x)",
+        before_rps[2], after_rps[2]
+    );
+    // When the PR-4 serving baseline is on disk (bench.sh runs from the repo
+    // root), record the cross-PR speedup the acceptance gate reads.
+    let pr4_16 = std::fs::read_to_string("BENCH_PR4.json")
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|j| {
+            j.get("concurrency")?
+                .get("clients_16")?
+                .get("requests_per_sec")?
+                .as_f64()
+        });
+    if let Some(pr4) = pr4_16 {
+        println!(
+            "vs BENCH_PR4 16-client baseline {pr4:.1} req/s: {:.2}x",
+            after_rps[2] / pr4
+        );
+    }
+
+    // --- Experiment 2: codec MB/s, scalar vs word-wide. ---
+    // Constant run: the flat-background case PackBits targets.
+    let constant = vec![7u8; CODEC_BYTES];
+    // Ramp: strictly rising bytes — an all-literal stream for PackBits, and
+    // (as a u16 ramp) the smooth-gradient case the delta shuffle targets.
+    let ramp: Vec<u8> = (0..CODEC_BYTES).map(|i| (i % 251) as u8).collect();
+    let ramp_u16: Vec<u8> = (0..CODEC_BYTES / 2)
+        .flat_map(|v| (v as u16).to_le_bytes())
+        .collect();
+
+    let mut codec_json: Vec<(String, Json)> = Vec::new();
+    let mut pack_pairs: Vec<(&str, f64, f64)> = Vec::new();
+    for (name, data) in [("constant_run", &constant), ("ramp", &ramp)] {
+        let encoded = packbits::encode(data);
+        let enc_scalar = mbps(data.len(), || {
+            std::hint::black_box(packbits::scalar::encode(std::hint::black_box(data)));
+        });
+        let enc_fast = mbps(data.len(), || {
+            std::hint::black_box(packbits::encode(std::hint::black_box(data)));
+        });
+        let dec_scalar = mbps(data.len(), || {
+            std::hint::black_box(
+                packbits::scalar::decode(std::hint::black_box(&encoded), data.len()).unwrap(),
+            );
+        });
+        let dec_fast = mbps(data.len(), || {
+            std::hint::black_box(
+                packbits::decode(std::hint::black_box(&encoded), data.len()).unwrap(),
+            );
+        });
+        // Round-trip MB/s: bytes over the summed encode+decode time.
+        let rt_scalar = 1.0 / (1.0 / enc_scalar + 1.0 / dec_scalar);
+        let rt_fast = 1.0 / (1.0 / enc_fast + 1.0 / dec_fast);
+        println!(
+            "packbits {name}: encode {enc_scalar:.0} -> {enc_fast:.0} MB/s, \
+             decode {dec_scalar:.0} -> {dec_fast:.0} MB/s, \
+             round-trip {rt_scalar:.0} -> {rt_fast:.0} MB/s ({:.2}x)",
+            rt_fast / rt_scalar
+        );
+        pack_pairs.push((name, rt_scalar, rt_fast));
+        codec_json.push((
+            format!("packbits_{name}"),
+            Json::obj(vec![
+                ("bytes", (data.len() as u64).to_json()),
+                ("encode_scalar_mbps", Json::Float(enc_scalar)),
+                ("encode_word_wide_mbps", Json::Float(enc_fast)),
+                ("decode_scalar_mbps", Json::Float(dec_scalar)),
+                ("decode_word_wide_mbps", Json::Float(dec_fast)),
+                ("round_trip_scalar_mbps", Json::Float(rt_scalar)),
+                ("round_trip_word_wide_mbps", Json::Float(rt_fast)),
+                ("round_trip_speedup", Json::Float(rt_fast / rt_scalar)),
+            ]),
+        ));
+    }
+    for (name, data, cell_size) in [
+        ("ramp_u16", &ramp_u16, 2usize),
+        ("ramp_u64", &ramp_u16, 8usize),
+    ] {
+        let deltas = delta::forward(data, cell_size).unwrap();
+        let fwd_scalar = mbps(data.len(), || {
+            std::hint::black_box(
+                delta::scalar::forward(std::hint::black_box(data), cell_size).unwrap(),
+            );
+        });
+        let fwd_fast = mbps(data.len(), || {
+            std::hint::black_box(delta::forward(std::hint::black_box(data), cell_size).unwrap());
+        });
+        let inv_scalar = mbps(data.len(), || {
+            std::hint::black_box(
+                delta::scalar::inverse(std::hint::black_box(&deltas), cell_size).unwrap(),
+            );
+        });
+        let inv_fast = mbps(data.len(), || {
+            std::hint::black_box(delta::inverse(std::hint::black_box(&deltas), cell_size).unwrap());
+        });
+        println!(
+            "delta {name} (cell {cell_size}): forward {fwd_scalar:.0} -> {fwd_fast:.0} MB/s, \
+             inverse {inv_scalar:.0} -> {inv_fast:.0} MB/s"
+        );
+        codec_json.push((
+            format!("delta_{name}"),
+            Json::obj(vec![
+                ("bytes", (data.len() as u64).to_json()),
+                ("cell_size", (cell_size as u64).to_json()),
+                ("forward_scalar_mbps", Json::Float(fwd_scalar)),
+                ("forward_blocked_mbps", Json::Float(fwd_fast)),
+                ("inverse_scalar_mbps", Json::Float(inv_scalar)),
+                ("inverse_blocked_mbps", Json::Float(inv_fast)),
+                (
+                    "forward_speedup",
+                    Json::Float(fwd_fast / fwd_scalar.max(1e-9)),
+                ),
+                (
+                    "inverse_speedup",
+                    Json::Float(inv_fast / inv_scalar.max(1e-9)),
+                ),
+            ]),
+        ));
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("pool_codec_bench".to_string())),
+        (
+            "array",
+            Json::Str(format!("{SIDE}x{SIDE} u32, regular 8 KiB tiles")),
+        ),
+        (
+            "concurrency",
+            Json::obj(vec![
+                ("before_uncached_file_store", Json::Object(before_levels)),
+                ("after_sharded_pool", Json::Object(after_levels)),
+                ("speedup_16_clients", Json::Float(speedup_16)),
+                (
+                    "pr4_baseline_16_clients_rps",
+                    pr4_16.map_or(Json::Null, Json::Float),
+                ),
+                (
+                    "speedup_16_clients_vs_pr4",
+                    pr4_16.map_or(Json::Null, |pr4| Json::Float(after_rps[2] / pr4)),
+                ),
+            ]),
+        ),
+        ("codecs", Json::Object(codec_json)),
+        ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+    ]);
+
+    // Guardrails mirroring the PR acceptance: the word-wide kernels must be
+    // at least 2x on both PackBits workloads.
+    for (name, rt_scalar, rt_fast) in &pack_pairs {
+        assert!(
+            rt_fast >= &(2.0 * rt_scalar),
+            "packbits {name}: round-trip {rt_fast:.0} MB/s < 2x scalar {rt_scalar:.0} MB/s"
+        );
+    }
+
+    let text = report.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write report");
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -4,10 +4,11 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use tilestore_compress::CompressionPolicy;
+use tilestore_engine::CachedFileStore;
 use tilestore_engine::{Array, CellType, Database, MddType};
 use tilestore_geometry::{DefDomain, Domain};
 use tilestore_rasql::Value;
-use tilestore_storage::{CostModel, FilePageStore};
+use tilestore_storage::CostModel;
 use tilestore_tiling::Scheme;
 
 /// Errors surfaced to the CLI user as plain messages.
@@ -18,7 +19,7 @@ fn err<E: std::fmt::Display>(e: E) -> String {
 }
 
 /// Opens an existing database directory.
-pub fn open(dir: &Path) -> CliResult<Database<FilePageStore>> {
+pub fn open(dir: &Path) -> CliResult<Database<CachedFileStore>> {
     Database::open_dir(dir).map_err(err)
 }
 
@@ -53,7 +54,7 @@ pub fn parse_scheme(spec: &str, dim: usize) -> CliResult<Scheme> {
 
 /// `create <name> <celltype> <dim> [scheme]`.
 pub fn create(
-    db: &Database<FilePageStore>,
+    db: &Database<CachedFileStore>,
     name: &str,
     cell: &str,
     dim: usize,
@@ -73,7 +74,7 @@ pub fn create(
 /// `load <name> <domain> <pattern>` — synthesize and insert data.
 /// Patterns: `zero`, `gradient`, `checker`, `random:<seed>`.
 pub fn load(
-    db: &Database<FilePageStore>,
+    db: &Database<CachedFileStore>,
     name: &str,
     domain: &str,
     pattern: &str,
@@ -127,7 +128,7 @@ fn synthesize(domain: &Domain, cell_size: usize, pattern: &str) -> CliResult<Arr
 }
 
 /// `query <rasql>` — run a query and render the result.
-pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
+pub fn query(db: &Database<CachedFileStore>, text: &str) -> CliResult<String> {
     let snap = db.begin_read();
     let (value, stats) = tilestore_rasql::execute(&snap, text).map_err(err)?;
     let model = CostModel::classic_disk();
@@ -168,7 +169,7 @@ pub fn query(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
 /// with `EXPLAIN ANALYZE`, alongside) executing the statement. A bare query
 /// is wrapped as `EXPLAIN <query>`; a statement that already starts with
 /// `EXPLAIN` runs as written.
-pub fn explain(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
+pub fn explain(db: &Database<CachedFileStore>, text: &str) -> CliResult<String> {
     let stmt = normalize_explain(text);
     let snap = db.begin_read();
     match tilestore_rasql::execute_statement(&snap, &stmt).map_err(err)? {
@@ -257,7 +258,7 @@ fn render_small(a: &Array) -> String {
 }
 
 /// `info` / `info <name>`.
-pub fn info(db: &Database<FilePageStore>, name: Option<&str>) -> CliResult<String> {
+pub fn info(db: &Database<CachedFileStore>, name: Option<&str>) -> CliResult<String> {
     let mut out = String::new();
     match name {
         None => {
@@ -296,7 +297,7 @@ pub fn info(db: &Database<FilePageStore>, name: Option<&str>) -> CliResult<Strin
 }
 
 /// `compress <name> <none|selective>` — set policy and rewrite tiles.
-pub fn compress(db: &Database<FilePageStore>, name: &str, policy: &str) -> CliResult<String> {
+pub fn compress(db: &Database<CachedFileStore>, name: &str, policy: &str) -> CliResult<String> {
     let policy = match policy {
         "none" => CompressionPolicy::None,
         "selective" => CompressionPolicy::selective_default(),
@@ -312,7 +313,7 @@ pub fn compress(db: &Database<FilePageStore>, name: &str, policy: &str) -> CliRe
 
 /// `retile <name> <scheme>`; the scheme `--from-log[:<dist>:<freq>:<maxKB>]`
 /// re-tiles from the recorded access log via statistic tiling (§5.4).
-pub fn retile(db: &Database<FilePageStore>, name: &str, spec: &str) -> CliResult<String> {
+pub fn retile(db: &Database<CachedFileStore>, name: &str, spec: &str) -> CliResult<String> {
     if let Some(rest) = spec.strip_prefix("--from-log") {
         let mut parts = rest.strip_prefix(':').unwrap_or("").split(':');
         let mut next = |default: u64, what: &str| -> CliResult<u64> {
@@ -343,7 +344,7 @@ pub fn retile(db: &Database<FilePageStore>, name: &str, spec: &str) -> CliResult
 
 /// `stats` — database-wide I/O counters, per-object tile counts, the
 /// recorded access log size, and the process-wide metric histograms.
-pub fn stats(db: &Database<FilePageStore>) -> CliResult<String> {
+pub fn stats(db: &Database<CachedFileStore>) -> CliResult<String> {
     let mut out = String::new();
     writeln!(out, "objects:").expect("string write");
     for name in db.object_names() {
@@ -387,7 +388,7 @@ pub fn stats(db: &Database<FilePageStore>) -> CliResult<String> {
 
 /// `trace <rasql>` — run one query with the tracer enabled and return the
 /// recorded span/event stream as JSON Lines.
-pub fn trace(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
+pub fn trace(db: &Database<CachedFileStore>, text: &str) -> CliResult<String> {
     let tracer = tilestore_obs::tracer();
     tracer.enable(4096);
     let result = tilestore_rasql::execute(&db.begin_read(), text);
@@ -406,7 +407,7 @@ pub fn trace(db: &Database<FilePageStore>, text: &str) -> CliResult<String> {
 }
 
 /// `delete <name> <domain>` — remove a region's cells (shrinkage).
-pub fn delete(db: &Database<FilePageStore>, name: &str, domain: &str) -> CliResult<String> {
+pub fn delete(db: &Database<CachedFileStore>, name: &str, domain: &str) -> CliResult<String> {
     let region: Domain = domain.parse().map_err(err)?;
     let stats = db.delete_region(name, &region).map_err(err)?;
     Ok(format!(
@@ -416,7 +417,7 @@ pub fn delete(db: &Database<FilePageStore>, name: &str, domain: &str) -> CliResu
 }
 
 /// `drop <name>`.
-pub fn drop_object(db: &Database<FilePageStore>, name: &str) -> CliResult<String> {
+pub fn drop_object(db: &Database<CachedFileStore>, name: &str) -> CliResult<String> {
     db.drop_object(name).map_err(err)?;
     Ok(format!("dropped {name:?}"))
 }
@@ -611,7 +612,7 @@ pub fn client(addr: &str, op: &str, args: &[String]) -> CliResult<String> {
 mod tests {
     use super::*;
 
-    fn fresh() -> (tilestore_testkit::TempDir, Database<FilePageStore>) {
+    fn fresh() -> (tilestore_testkit::TempDir, Database<CachedFileStore>) {
         let dir = tilestore_testkit::tempdir().unwrap();
         init(dir.path()).unwrap();
         let db = open(dir.path()).unwrap();

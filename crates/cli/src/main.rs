@@ -169,7 +169,7 @@ fn run(args: &[String]) -> CliResult<String> {
 /// Opens the database, runs `f`, and commits the result durably.
 fn with_db<F>(dir: &Path, f: F) -> CliResult<String>
 where
-    F: FnOnce(&tilestore_engine::Database<tilestore_storage::FilePageStore>) -> CliResult<String>,
+    F: FnOnce(&tilestore_engine::Database<tilestore_engine::CachedFileStore>) -> CliResult<String>,
 {
     let db = commands::open(dir)?;
     let out = f(&db)?;

@@ -22,9 +22,9 @@
 
 mod chunk_offset;
 mod codec;
-mod delta;
+pub mod delta;
 mod error;
-mod packbits;
+pub mod packbits;
 mod synopsis;
 mod varint;
 

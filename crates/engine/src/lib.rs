@@ -55,7 +55,8 @@ pub use induce::{induce_map, induce_scalar, BinOp};
 pub use mdd::{MddObject, MddType, TileMeta};
 pub use modify::{DeleteStats, UpdateStats};
 pub use persist::{
-    fsck, Catalog, FsckReport, ACCESS_LOG_FILE, CATALOG_FILE, CATALOG_TMP_FILE, PAGES_FILE,
+    fsck, CachedFileStore, Catalog, FsckReport, ACCESS_LOG_FILE, CATALOG_FILE, CATALOG_TMP_FILE,
+    DEFAULT_CACHE_PAGES, PAGES_FILE,
 };
 pub use predicate::{CellPredicate, PredOp, PruneRule};
 pub use shared::SharedDatabase;
@@ -64,7 +65,7 @@ pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};
 pub use synopsis::TileSynopsis;
 
 /// Compile-time thread-safety assertions. The serving layer shares one
-/// `Database<FilePageStore>` across connection threads and scatters query
+/// `Database<CachedFileStore>` across connection threads and scatters query
 /// work onto executor workers; if a future change drops `Send`/`Sync` on
 /// these types (say, by adding an `Rc` or a raw pointer field), the build
 /// breaks here instead of the server crate failing with an opaque trait
@@ -73,7 +74,10 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Database<tilestore_storage::FilePageStore>>();
     assert_send_sync::<Database<tilestore_storage::MemPageStore>>();
+    assert_send_sync::<Database<CachedFileStore>>();
     assert_send_sync::<SharedDatabase<tilestore_storage::FilePageStore>>();
+    assert_send_sync::<SharedDatabase<CachedFileStore>>();
     assert_send_sync::<Snapshot<tilestore_storage::FilePageStore>>();
+    assert_send_sync::<Snapshot<CachedFileStore>>();
     assert_send_sync::<EngineError>();
 };

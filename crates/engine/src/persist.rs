@@ -29,7 +29,8 @@ use std::path::Path;
 use tilestore_index::BitmapIndex;
 use tilestore_obs::AccessRecorder;
 use tilestore_storage::{
-    BlobDirectory, BlobId, BlobStore, FilePageStore, PageStore, DEFAULT_PAGE_SIZE,
+    BlobDirectory, BlobId, BlobStore, BufferPool, FilePageStore, PageStore, DEFAULT_PAGE_SIZE,
+    DEFAULT_SHARDS,
 };
 use tilestore_testkit::{FromJson, Json, JsonError, ToJson};
 
@@ -238,16 +239,42 @@ impl<S: PageStore> Database<S> {
     }
 }
 
-impl Database<FilePageStore> {
-    /// Creates a new file-backed database in `dir` (created if missing).
+/// The page store file-backed databases serve from: a sharded write-through
+/// [`BufferPool`] over the checksummed [`FilePageStore`]. Cache hits skip
+/// both the file read and the per-page CRC-32 frame verification, which is
+/// what lifts multi-client serving throughput; the shards keep concurrent
+/// readers off one global mutex.
+pub type CachedFileStore = BufferPool<FilePageStore>;
+
+/// Default buffer-pool size for file-backed databases, in pages (8 MiB at
+/// the default 8 KiB page size).
+pub const DEFAULT_CACHE_PAGES: usize = 1024;
+
+impl Database<CachedFileStore> {
+    /// Creates a new file-backed database in `dir` (created if missing),
+    /// served through a [`CachedFileStore`] with [`DEFAULT_CACHE_PAGES`]
+    /// frames across [`DEFAULT_SHARDS`] shards.
     ///
     /// # Errors
     /// Directory/file I/O errors.
     pub fn create_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        Database::create_dir_with_cache(dir, DEFAULT_CACHE_PAGES, DEFAULT_SHARDS)
+    }
+
+    /// [`Database::create_dir`] with an explicit buffer-pool geometry
+    /// (`cache_pages` total frames split across `cache_shards` shards).
+    ///
+    /// # Errors
+    /// Directory/file I/O errors.
+    pub fn create_dir_with_cache<P: AsRef<Path>>(
+        dir: P,
+        cache_pages: usize,
+        cache_shards: usize,
+    ) -> Result<Self> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir).map_err(|e| EngineError::Catalog(e.to_string()))?;
         let store = FilePageStore::create(dir.join(PAGES_FILE), DEFAULT_PAGE_SIZE)?;
-        let db = Database::with_store(store);
+        let db = Database::with_store(BufferPool::with_shards(store, cache_pages, cache_shards)?);
         let recorder = AccessRecorder::open(dir.join(ACCESS_LOG_FILE))
             .map_err(|e| catalog_err("opening access log", e))?;
         db.set_recorder(recorder);
@@ -265,6 +292,19 @@ impl Database<FilePageStore> {
     /// Missing/corrupt catalog, unrepairable page accounting, or page-file
     /// I/O errors.
     pub fn open_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        Database::open_dir_with_cache(dir, DEFAULT_CACHE_PAGES, DEFAULT_SHARDS)
+    }
+
+    /// [`Database::open_dir`] with an explicit buffer-pool geometry
+    /// (`cache_pages` total frames split across `cache_shards` shards).
+    ///
+    /// # Errors
+    /// As [`Database::open_dir`].
+    pub fn open_dir_with_cache<P: AsRef<Path>>(
+        dir: P,
+        cache_pages: usize,
+        cache_shards: usize,
+    ) -> Result<Self> {
         let dir = dir.as_ref();
         // A leftover tmp is a commit that never reached its rename; the
         // authoritative catalog is the committed one.
@@ -277,7 +317,10 @@ impl Database<FilePageStore> {
         let catalog: Catalog = tilestore_testkit::json::from_str(&json)
             .map_err(|e| catalog_err("parsing catalog", e))?;
         let store = FilePageStore::open(dir.join(PAGES_FILE), catalog.page_size)?;
-        let db = Database::from_catalog(store, catalog);
+        let db = Database::from_catalog(
+            BufferPool::with_shards(store, cache_pages, cache_shards)?,
+            catalog,
+        );
         // Cross-check the page file against the committed directory.
         let check = db.blob_store().check_pages();
         if !check.is_repairable() {

@@ -509,6 +509,13 @@ pub(crate) fn execute_range<S: PageStore>(
 /// crossing a cut that could not snap is fetched once per band it
 /// touches).
 ///
+/// Each band's tile fetch goes through `BlobStore::read_into`, which
+/// issues one batched `read_pages` per tile: against a sharded buffer
+/// pool that is one lock acquisition per shard touched (hits served under
+/// it, misses read straight into the band's scratch buffer), so band
+/// workers hold different shard locks instead of convoying on a global
+/// pool mutex three times per page.
+///
 /// Returns the per-band statistics merged (saturating) into one
 /// [`QueryStats`]; only the per-cell counters are populated — the caller
 /// owns tile counts, I/O deltas and timing.

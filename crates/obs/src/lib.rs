@@ -90,6 +90,12 @@ pub struct HotMetrics {
     /// Tiles skipped by synopsis/bitmap value-predicate pruning (their
     /// blobs were never fetched).
     pub tiles_pruned: Arc<Counter>,
+    /// Buffer-pool shard lock acquisitions that had to block because
+    /// another thread held the shard (`try_lock` failed first).
+    pub pool_shard_contention: Arc<Counter>,
+    /// `unpin_page` calls with no outstanding pin — a pin-leak or
+    /// double-unpin upstream (asserts in debug builds).
+    pub pin_underflow: Arc<Counter>,
 }
 
 impl HotMetrics {
@@ -114,6 +120,8 @@ impl HotMetrics {
             writer_swap_ns: reg.histogram("engine.writer_swap_ns"),
             lock_poisoned: reg.counter("engine.lock_poisoned"),
             tiles_pruned: reg.counter("engine.tiles_pruned"),
+            pool_shard_contention: reg.counter("pool.shard_contention"),
+            pin_underflow: reg.counter("engine.pin_underflow"),
         }
     }
 

@@ -112,16 +112,46 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// Both hex digits of every byte value, precomputed so [`hex_encode`] is one
+/// table load and one two-byte store per input byte instead of two
+/// nibble-shift/char-push round trips. Array tiles ship as hex on the wire,
+/// so this runs over the full payload of every array response.
+const HEX_PAIRS: [[u8; 2]; 256] = {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut t = [[0u8; 2]; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = [DIGITS[b >> 4], DIGITS[b & 0xf]];
+        b += 1;
+    }
+    t
+};
+
+/// Value of every ASCII hex digit, or `0xFF` for non-digits, so
+/// [`hex_decode`]'s per-pair work is two loads and a range check.
+const HEX_VALUES: [u8; 256] = {
+    let mut t = [0xFFu8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = match b as u8 {
+            c @ b'0'..=b'9' => c - b'0',
+            c @ b'a'..=b'f' => c - b'a' + 10,
+            c @ b'A'..=b'F' => c - b'A' + 10,
+            _ => 0xFF,
+        };
+        b += 1;
+    }
+    t
+};
+
 /// Hex-encodes bytes (lowercase, two digits per byte).
 #[must_use]
 pub fn hex_encode(bytes: &[u8]) -> String {
-    const DIGITS: &[u8; 16] = b"0123456789abcdef";
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for &b in bytes {
-        out.push(DIGITS[(b >> 4) as usize] as char);
-        out.push(DIGITS[(b & 0xf) as usize] as char);
+    let mut out = vec![0u8; bytes.len() * 2];
+    for (pair, &b) in out.chunks_exact_mut(2).zip(bytes) {
+        pair.copy_from_slice(&HEX_PAIRS[b as usize]);
     }
-    out
+    String::from_utf8(out).expect("hex digits are ASCII")
 }
 
 /// Decodes a hex string produced by [`hex_encode`].
@@ -132,18 +162,23 @@ pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
     if !s.len().is_multiple_of(2) {
         return Err(format!("hex string has odd length {}", s.len()));
     }
-    let digit = |c: u8| -> Result<u8, String> {
-        match c {
-            b'0'..=b'9' => Ok(c - b'0'),
-            b'a'..=b'f' => Ok(c - b'a' + 10),
-            b'A'..=b'F' => Ok(c - b'A' + 10),
-            _ => Err(format!("bad hex digit {:?}", c as char)),
-        }
-    };
     let bytes = s.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len() / 2);
-    for pair in bytes.chunks_exact(2) {
-        out.push((digit(pair[0])? << 4) | digit(pair[1])?);
+    let mut out = vec![0u8; bytes.len() / 2];
+    // Valid digit values fit in the low nibble, so a running OR keeps the
+    // high bit clear exactly when every digit was valid — one branch per
+    // call instead of one per pair; the offender is re-found only on error.
+    let mut acc = 0u8;
+    for (b, pair) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+        let (hi, lo) = (HEX_VALUES[pair[0] as usize], HEX_VALUES[pair[1] as usize]);
+        acc |= hi | lo;
+        *b = (hi << 4) | lo;
+    }
+    if acc & 0x80 != 0 {
+        let bad = bytes
+            .iter()
+            .find(|&&c| HEX_VALUES[c as usize] == 0xFF)
+            .expect("a bad digit set the accumulator");
+        return Err(format!("bad hex digit {:?}", *bad as char));
     }
     Ok(out)
 }
@@ -269,6 +304,16 @@ mod tests {
         assert!(hex_decode("abc").is_err());
         assert!(hex_decode("zz").is_err());
         assert_eq!(hex_decode("00ff10").unwrap(), vec![0, 255, 16]);
+    }
+
+    #[test]
+    fn hex_decode_names_the_first_bad_digit() {
+        // The table-driven decoder defers validation to one accumulator
+        // check; the error must still point at the offending character.
+        assert_eq!(hex_decode("00g0").unwrap_err(), "bad hex digit 'g'");
+        assert_eq!(hex_decode("0G").unwrap_err(), "bad hex digit 'G'");
+        assert!(hex_decode("ABCDEF").is_ok(), "uppercase digits decode");
+        assert_eq!(hex_decode("aAbB").unwrap(), vec![0xAA, 0xBB]);
     }
 
     #[test]

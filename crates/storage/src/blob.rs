@@ -361,23 +361,11 @@ impl<S: PageStore> BlobStore<S> {
         };
         let page_size = self.store.page_size();
         data.resize(entry.pages.len() * page_size, 0);
-        // Pin the whole tile for the duration of the read: a caching store
-        // must not evict an earlier page of this blob while a later one is
-        // still being fetched. Unpin on every exit path, including errors.
-        for &page in &entry.pages {
-            self.store.pin_page(page);
-        }
-        let read_all: Result<()> = (|| {
-            for (i, &page) in entry.pages.iter().enumerate() {
-                self.store
-                    .read_page(page, &mut data[i * page_size..(i + 1) * page_size])?;
-            }
-            Ok(())
-        })();
-        for &page in &entry.pages {
-            self.store.unpin_page(page);
-        }
-        read_all?;
+        // One batched read: a caching store serves all hits in a shard under
+        // a single lock acquisition and copies misses straight into `data`,
+        // so no pinning window exists and band-parallel tile fetches stop
+        // convoying on per-page pin/read/unpin lock traffic.
+        self.store.read_pages(&entry.pages, data)?;
         data.truncate(entry.len as usize);
         self.stats.add_pages_read(entry.pages.len() as u64);
         self.stats.add_blob_read(entry.len);

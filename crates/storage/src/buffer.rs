@@ -1,28 +1,60 @@
-//! LRU buffer pool over a page store.
+//! Sharded LRU buffer pool over a page store.
 //!
 //! The paper measures cold-cache retrieval times (`t_o`); the pool exists to
 //! show (and benchmark) how caching changes the picture, and to serve as the
 //! realistic substrate a DBMS would run on. It wraps any [`PageStore`] and
 //! is itself a [`PageStore`], so the BLOB layer can run with or without it.
 //!
-//! Recency is tracked with a tick-indexed ordered map (`tick → page`)
-//! alongside the frame table, so eviction is an O(log n) pop of the oldest
-//! tick instead of an O(n) scan — a full cache under a miss-heavy scan used
-//! to degrade to O(n²).
+//! # Sharding
+//!
+//! The frame table is split into `N` shards (a power of two), each with its
+//! own mutex, LRU state, pin table and `capacity / N` frames. A page maps to
+//! a shard by a Fibonacci hash of its id, so concurrent readers touching
+//! different pages contend on different locks instead of funnelling through
+//! one global mutex. Within a shard, recency is tracked with a tick-indexed
+//! ordered map (`tick → page`), so eviction is an O(log n) pop of the oldest
+//! tick instead of an O(n) scan.
+//!
+//! # Freshness invariant
+//!
+//! The pool is write-through, and it guarantees: **after `write_page(p, new)`
+//! returns, no read of `p` observes bytes older than `new`**. The miss path
+//! fetches from the store outside the lock; each shard keeps a write-version
+//! counter, sampled when the miss starts, and the fetched bytes are installed
+//! only if no write landed on the shard in between — otherwise the (possibly
+//! stale) fetch is discarded and the frame table is left untouched. This is
+//! conservative (a write to a *different* page in the same shard also voids
+//! the install), which costs at most a re-fetch, never staleness.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+
+use tilestore_obs::Counter;
 
 use crate::error::Result;
 use crate::page::{lock, PageId, PageStore};
 use crate::stats::IoStats;
 
-/// A write-through LRU page cache.
+/// Default number of shards, clamped down so every shard holds ≥ 1 frame.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// A write-through, sharded LRU page cache.
 pub struct BufferPool<S> {
     store: S,
-    capacity: usize,
     stats: IoStats,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: u64,
+}
+
+/// One lock domain of the pool: its own LRU state and frame budget.
+struct Shard {
+    capacity: usize,
     inner: Mutex<PoolInner>,
+    /// Per-shard cache counters (`pool.shard<i>.cache_hits` / `_misses`),
+    /// pre-resolved so the hot path never takes the registry lock.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 #[derive(Debug, Default)]
@@ -38,6 +70,10 @@ struct PoolInner {
     /// concurrent scan cannot evict a frame out from under a reader.
     pins: HashMap<u64, u32>,
     tick: u64,
+    /// Bumped by every `write_page` that maps to this shard. A miss samples
+    /// it before fetching; if it moved by install time the fetched bytes may
+    /// predate a completed write and are discarded.
+    writes: u64,
 }
 
 impl PoolInner {
@@ -54,8 +90,8 @@ impl PoolInner {
     }
 
     /// Installs `page` at `tick`, evicting the least recently used
-    /// *unpinned* frames while the pool is at or above `capacity`. When
-    /// every cached frame is pinned the pool temporarily exceeds capacity
+    /// *unpinned* frames while the shard is at or above `capacity`. When
+    /// every cached frame is pinned the shard temporarily exceeds capacity
     /// rather than dropping a frame a reader is still using.
     fn install(&mut self, page: u64, payload: Box<[u8]>, tick: u64, capacity: usize) {
         while self.frames.len() >= capacity {
@@ -77,21 +113,73 @@ impl PoolInner {
     }
 }
 
+/// Largest power of two `<= n` (`n >= 1`).
+fn floor_pow2(n: usize) -> usize {
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
 impl<S: PageStore> BufferPool<S> {
-    /// Wraps `store` with an LRU cache of `capacity` frames.
+    /// Wraps `store` with an LRU cache of `capacity` frames, split across
+    /// [`DEFAULT_SHARDS`] shards (fewer when `capacity` is small).
     ///
     /// # Errors
     /// [`crate::StorageError::ZeroCapacity`] when `capacity == 0`.
     pub fn new(store: S, capacity: usize) -> Result<Self> {
+        BufferPool::with_shards(store, capacity, DEFAULT_SHARDS)
+    }
+
+    /// Wraps `store` with an LRU cache of `capacity` frames split across
+    /// `shards` lock domains. The shard count is rounded down to a power of
+    /// two and clamped to `[1, capacity]` so every shard owns at least one
+    /// frame; `capacity` splits evenly with any remainder going to the
+    /// lowest-numbered shards, so the totals always add up to `capacity`.
+    ///
+    /// # Errors
+    /// [`crate::StorageError::ZeroCapacity`] when `capacity == 0`.
+    pub fn with_shards(store: S, capacity: usize, shards: usize) -> Result<Self> {
         if capacity == 0 {
             return Err(crate::error::StorageError::ZeroCapacity);
         }
+        let n = floor_pow2(shards.max(1)).min(floor_pow2(capacity));
+        let reg = tilestore_obs::metrics();
+        let shards: Vec<Shard> = (0..n)
+            .map(|i| Shard {
+                capacity: capacity / n + usize::from(i < capacity % n),
+                inner: Mutex::new(PoolInner::default()),
+                hits: reg.counter(&format!("pool.shard{i}.cache_hits")),
+                misses: reg.counter(&format!("pool.shard{i}.cache_misses")),
+            })
+            .collect();
         Ok(BufferPool {
             store,
-            capacity,
             stats: IoStats::new(),
-            inner: Mutex::new(PoolInner::default()),
+            shards: shards.into_boxed_slice(),
+            mask: (n - 1) as u64,
         })
+    }
+
+    /// The shard a page id maps to. Fibonacci hashing spreads the sequential
+    /// page ids a tile occupies across shards, so one tile read touches
+    /// several lock domains instead of hammering one.
+    fn shard_index(&self, page: u64) -> usize {
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33 & self.mask) as usize
+    }
+
+    fn shard(&self, page: u64) -> &Shard {
+        &self.shards[self.shard_index(page)]
+    }
+
+    /// Locks a shard, counting contention: a failed `try_lock` bumps
+    /// `pool.shard_contention` before falling back to a blocking acquire.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, PoolInner> {
+        match shard.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                tilestore_obs::hot().pool_shard_contention.inc();
+                lock(&shard.inner)
+            }
+        }
     }
 
     /// Cache hit/miss statistics.
@@ -106,24 +194,35 @@ impl<S: PageStore> BufferPool<S> {
         &self.store
     }
 
-    /// Number of frames currently cached.
+    /// Number of lock shards the frame table is split across.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of frames currently cached, across all shards.
     #[must_use]
     pub fn cached_frames(&self) -> usize {
-        lock(&self.inner).frames.len()
+        self.shards
+            .iter()
+            .map(|s| lock(&s.inner).frames.len())
+            .sum()
     }
 
     /// Drops every cached frame (cold-start measurements). Pins survive: a
     /// pinned page simply re-enters the pool on its next read.
     pub fn clear(&self) {
-        let mut inner = lock(&self.inner);
-        inner.frames.clear();
-        inner.order.clear();
+        for shard in &self.shards {
+            let mut inner = lock(&shard.inner);
+            inner.frames.clear();
+            inner.order.clear();
+        }
     }
 
     /// Number of pages currently pinned (with any positive pin count).
     #[must_use]
     pub fn pinned_pages(&self) -> usize {
-        lock(&self.inner).pins.len()
+        self.shards.iter().map(|s| lock(&s.inner).pins.len()).sum()
     }
 }
 
@@ -141,8 +240,9 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     }
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
-        {
-            let mut inner = lock(&self.inner);
+        let shard = self.shard(page.0);
+        let miss_version = {
+            let mut inner = self.lock_shard(shard);
             let tick = inner.next_tick();
             if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
                 buf.copy_from_slice(frame);
@@ -150,33 +250,137 @@ impl<S: PageStore> PageStore for BufferPool<S> {
                 *last = tick;
                 inner.touch(page.0, old, tick);
                 self.stats.add_cache_hit();
+                shard.hits.inc();
                 tilestore_obs::hot().cache_hits.inc();
                 return Ok(());
             }
-        }
-        // Miss: fetch outside the lock-held fast path, then install.
+            inner.writes
+        };
+        // Miss: fetch outside the lock, then install under a version guard.
         self.stats.add_cache_miss();
+        shard.misses.inc();
         tilestore_obs::hot().cache_misses.inc();
         self.store.read_page(page, buf)?;
-        let mut inner = lock(&self.inner);
+        let mut inner = self.lock_shard(shard);
+        if inner.writes != miss_version {
+            // A write landed on this shard while the fetch was in flight,
+            // so the fetched bytes may predate a write that has already
+            // returned to its caller. Installing them would leave the cache
+            // permanently stale; hand them to the caller (the read merely
+            // overlapped the write) but leave the frame table alone.
+            return Ok(());
+        }
         let tick = inner.next_tick();
-        // A concurrent read may have installed the page while the lock was
-        // released; refresh it instead of double-inserting.
-        if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
-            frame.copy_from_slice(buf);
+        if let Some((_, last)) = inner.frames.get_mut(&page.0) {
+            // A concurrent miss installed the page first. Its bytes are as
+            // fresh as ours (same unmoved write version): just touch.
             let old = *last;
             *last = tick;
             inner.touch(page.0, old, tick);
             return Ok(());
         }
-        inner.install(page.0, buf.to_vec().into_boxed_slice(), tick, self.capacity);
+        inner.install(
+            page.0,
+            buf.to_vec().into_boxed_slice(),
+            tick,
+            shard.capacity,
+        );
+        Ok(())
+    }
+
+    fn read_pages(&self, pages: &[PageId], buf: &mut [u8]) -> Result<()> {
+        let ps = self.store.page_size();
+        assert_eq!(buf.len(), pages.len() * ps, "buffer/pages length mismatch");
+        // Pass 1: group by shard and serve hits under one lock acquisition
+        // per shard — the convoy-killer for band-parallel tile fetches,
+        // which used to take three pool locks (pin, read, unpin) per page.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &page) in pages.iter().enumerate() {
+            by_shard[self.shard_index(page.0)].push(i);
+        }
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut versions = vec![0u64; self.shards.len()];
+        for (si, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[si];
+            let mut hits = 0u64;
+            let misses_before = miss_idx.len();
+            {
+                let mut inner = self.lock_shard(shard);
+                for &i in idxs {
+                    let tick = inner.next_tick();
+                    if let Some((frame, last)) = inner.frames.get_mut(&pages[i].0) {
+                        buf[i * ps..(i + 1) * ps].copy_from_slice(frame);
+                        let old = *last;
+                        *last = tick;
+                        inner.touch(pages[i].0, old, tick);
+                        hits += 1;
+                    } else {
+                        miss_idx.push(i);
+                    }
+                }
+                versions[si] = inner.writes;
+            }
+            let misses = (miss_idx.len() - misses_before) as u64;
+            if hits > 0 {
+                self.stats.add_cache_hits(hits);
+                shard.hits.add(hits);
+                tilestore_obs::hot().cache_hits.add(hits);
+            }
+            if misses > 0 {
+                self.stats.add_cache_misses(misses);
+                shard.misses.add(misses);
+                tilestore_obs::hot().cache_misses.add(misses);
+            }
+        }
+        if miss_idx.is_empty() {
+            return Ok(());
+        }
+        // Pass 2: fetch misses from the store straight into the caller's
+        // buffer. The bytes never transit the cache, so no pinning is needed
+        // to protect them from eviction.
+        for &i in &miss_idx {
+            self.store
+                .read_page(pages[i], &mut buf[i * ps..(i + 1) * ps])?;
+        }
+        // Pass 3: install the fetched frames, one lock per shard, each
+        // guarded by that shard's write version sampled in pass 1.
+        let mut installs: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for &i in &miss_idx {
+            installs[self.shard_index(pages[i].0)].push(i);
+        }
+        for (si, idxs) in installs.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[si];
+            let mut inner = self.lock_shard(shard);
+            if inner.writes != versions[si] {
+                continue; // see read_page: the fetch may predate a write
+            }
+            for &i in idxs {
+                let tick = inner.next_tick();
+                if let Some((_, last)) = inner.frames.get_mut(&pages[i].0) {
+                    let old = *last;
+                    *last = tick;
+                    inner.touch(pages[i].0, old, tick);
+                    continue;
+                }
+                let payload = buf[i * ps..(i + 1) * ps].to_vec().into_boxed_slice();
+                inner.install(pages[i].0, payload, tick, shard.capacity);
+            }
+        }
         Ok(())
     }
 
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         // Write-through: the store is always current.
         self.store.write_page(page, buf)?;
-        let mut inner = lock(&self.inner);
+        let shard = self.shard(page.0);
+        let mut inner = self.lock_shard(shard);
+        inner.writes += 1;
         let tick = inner.next_tick();
         if let Some((frame, last)) = inner.frames.get_mut(&page.0) {
             frame.copy_from_slice(buf);
@@ -193,17 +397,23 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     }
 
     fn pin_page(&self, page: PageId) {
-        let mut inner = lock(&self.inner);
+        let mut inner = self.lock_shard(self.shard(page.0));
         *inner.pins.entry(page.0).or_insert(0) += 1;
     }
 
     fn unpin_page(&self, page: PageId) {
-        let mut inner = lock(&self.inner);
+        let mut inner = self.lock_shard(self.shard(page.0));
         if let Some(count) = inner.pins.get_mut(&page.0) {
             *count -= 1;
             if *count == 0 {
                 inner.pins.remove(&page.0);
             }
+        } else {
+            drop(inner);
+            // A pin-leak or double-unpin upstream: loud in debug builds,
+            // counted in release so it surfaces in the ops plane.
+            debug_assert!(false, "unpin_page({}) without a matching pin", page.0);
+            tilestore_obs::hot().pin_underflow.inc();
         }
     }
 }
@@ -213,22 +423,58 @@ mod tests {
     use super::*;
     use crate::page::MemPageStore;
 
+    /// Single-shard pool: the tests below that pin an exact global LRU
+    /// order need one lock domain; sharded behavior has its own tests.
     fn pool(capacity: usize) -> BufferPool<MemPageStore> {
-        BufferPool::new(MemPageStore::new(1024).unwrap(), capacity).unwrap()
+        BufferPool::with_shards(MemPageStore::new(1024).unwrap(), capacity, 1).unwrap()
     }
 
-    /// Checks the `frames`/`order` cross-invariant after a test.
+    /// Checks the `frames`/`order` cross-invariant on every shard.
     fn assert_coherent<S: PageStore>(p: &BufferPool<S>) {
-        let inner = lock(&p.inner);
-        assert_eq!(inner.frames.len(), inner.order.len());
-        for (&tick, &page) in &inner.order {
-            assert_eq!(inner.frames.get(&page).map(|(_, t)| *t), Some(tick));
+        for shard in p.shards.iter() {
+            let inner = lock(&shard.inner);
+            assert_eq!(inner.frames.len(), inner.order.len());
+            for (&tick, &page) in &inner.order {
+                assert_eq!(inner.frames.get(&page).map(|(_, t)| *t), Some(tick));
+            }
         }
     }
 
     #[test]
     fn zero_capacity_rejected() {
         assert!(BufferPool::new(MemPageStore::new(1024).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_capacity_splits_exactly() {
+        let mk = |cap, shards| {
+            BufferPool::with_shards(MemPageStore::new(1024).unwrap(), cap, shards).unwrap()
+        };
+        // Rounded down to a power of two, clamped so each shard has ≥ 1 frame.
+        assert_eq!(mk(64, 7).shard_count(), 4);
+        assert_eq!(mk(64, 16).shard_count(), 16);
+        assert_eq!(mk(3, 16).shard_count(), 2);
+        assert_eq!(mk(1, 16).shard_count(), 1);
+        assert_eq!(mk(5, 0).shard_count(), 1);
+        // Capacities sum to the requested total, remainder to low shards.
+        let p = mk(11, 4);
+        let caps: Vec<usize> = p.shards.iter().map(|s| s.capacity).collect();
+        assert_eq!(caps, vec![3, 3, 3, 2]);
+        assert_eq!(caps.iter().sum::<usize>(), 11);
+    }
+
+    #[test]
+    fn sharded_pool_never_exceeds_total_capacity() {
+        let p = BufferPool::with_shards(MemPageStore::new(1024).unwrap(), 8, 4).unwrap();
+        let pages = p.allocate(64).unwrap();
+        let mut buf = vec![0u8; 1024];
+        for _ in 0..3 {
+            for &pg in &pages {
+                p.read_page(pg, &mut buf).unwrap();
+                assert!(p.cached_frames() <= 8);
+            }
+        }
+        assert_coherent(&p);
     }
 
     #[test]
@@ -330,6 +576,40 @@ mod tests {
     }
 
     #[test]
+    fn batch_read_pages_matches_per_page_reads() {
+        let p = BufferPool::with_shards(MemPageStore::new(1024).unwrap(), 8, 4).unwrap();
+        let pages = p.allocate(12).unwrap();
+        for (i, &pg) in pages.iter().enumerate() {
+            p.write_page(pg, &vec![i as u8 + 1; 1024]).unwrap();
+        }
+        // Warm a subset so the batch mixes hits and misses.
+        let mut one = vec![0u8; 1024];
+        for &pg in &pages[..4] {
+            p.read_page(pg, &mut one).unwrap();
+        }
+        p.stats().reset();
+        let mut buf = vec![0u8; 12 * 1024];
+        p.read_pages(&pages, &mut buf).unwrap();
+        for (i, chunk) in buf.chunks(1024).enumerate() {
+            assert_eq!(chunk, &vec![i as u8 + 1; 1024][..], "page {i}");
+        }
+        let s = p.stats().snapshot();
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.cache_misses, 8);
+        // Whatever survived eviction (capacity is 8 < 12 pages) now hits;
+        // every page is exactly one hit or one miss either way.
+        let resident = p.cached_frames() as u64;
+        assert!(resident > 0 && resident <= 8);
+        p.stats().reset();
+        p.read_pages(&pages, &mut buf).unwrap();
+        let s = p.stats().snapshot();
+        assert_eq!(s.cache_hits, resident);
+        assert_eq!(s.cache_hits + s.cache_misses, 12);
+        assert!(p.cached_frames() <= 8);
+        assert_coherent(&p);
+    }
+
+    #[test]
     fn pinned_frames_survive_a_miss_heavy_scan() {
         let p = pool(2);
         let pages = p.allocate(6).unwrap();
@@ -396,11 +676,23 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "without a matching pin"))]
+    fn unpin_without_pin_is_loud() {
+        let p = pool(2);
+        let pages = p.allocate(1).unwrap();
+        let before = tilestore_obs::hot().pin_underflow.get();
+        p.unpin_page(pages[0]);
+        // Release builds reach here and must have counted the underflow.
+        assert!(tilestore_obs::hot().pin_underflow.get() > before);
+    }
+
+    #[test]
     fn concurrent_readers_and_writer_stay_consistent() {
         use std::sync::atomic::{AtomicBool, Ordering};
         // Every page is filled with a single repeated byte; a torn or stale
-        // frame would surface as a mixed-byte read.
-        let p = pool(8);
+        // frame would surface as a mixed-byte read. Runs on the default
+        // sharded layout so cross-shard locking is exercised.
+        let p = BufferPool::new(MemPageStore::new(1024).unwrap(), 8).unwrap();
         let pages = p.allocate(32).unwrap();
         for (i, &pg) in pages.iter().enumerate() {
             p.write_page(pg, &vec![i as u8; 1024]).unwrap();

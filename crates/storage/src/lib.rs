@@ -24,7 +24,7 @@ mod page;
 mod stats;
 
 pub use blob::{BlobDirectory, BlobId, BlobStore, PageCheck};
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, DEFAULT_SHARDS};
 pub use cost::CostModel;
 pub use error::{Result, StorageError};
 pub use fault::{FaultInjectingPageStore, FaultPlan};

@@ -83,6 +83,24 @@ pub trait PageStore: Send + Sync {
     /// for a torn/corrupt frame, or backend I/O errors.
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()>;
 
+    /// Reads `pages.len()` pages into `buf`, which must be exactly
+    /// `pages.len() * page_size` long; page `i` lands at offset
+    /// `i * page_size`. The default delegates to [`PageStore::read_page`]
+    /// per page; caching stores override it to batch their locking (the
+    /// buffer pool serves all hits in a shard under one lock acquisition).
+    ///
+    /// # Errors
+    /// As [`PageStore::read_page`]; on error the buffer contents are
+    /// unspecified.
+    fn read_pages(&self, pages: &[PageId], buf: &mut [u8]) -> Result<()> {
+        let ps = self.page_size();
+        assert_eq!(buf.len(), pages.len() * ps, "buffer/pages length mismatch");
+        for (i, &page) in pages.iter().enumerate() {
+            self.read_page(page, &mut buf[i * ps..(i + 1) * ps])?;
+        }
+        Ok(())
+    }
+
     /// Writes one page from `buf` (must be exactly `page_size` long).
     ///
     /// # Errors

@@ -126,9 +126,19 @@ impl IoStats {
         self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` buffer-pool hits (batch read paths).
+    pub fn add_cache_hits(&self, n: u64) {
+        self.inner.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records a buffer-pool miss.
     pub fn add_cache_miss(&self) {
         self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` buffer-pool misses (batch read paths).
+    pub fn add_cache_misses(&self, n: u64) {
+        self.inner.cache_misses.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes a snapshot of all counters.

@@ -141,9 +141,30 @@ impl Json {
     /// Compact serialization.
     #[must_use]
     pub fn to_string_compact(&self) -> String {
-        let mut out = String::new();
+        // Seeding capacity from the embedded string payloads avoids the
+        // doubling-growth copies that otherwise dominate serialization of
+        // responses carrying large (e.g. hex tile) strings.
+        let mut out = String::with_capacity(self.size_hint() + 64);
         write_json(self, &mut out, None, 0);
         out
+    }
+
+    /// A lower bound on the serialized size: string/key bytes plus
+    /// punctuation, ignoring escapes and number widths.
+    fn size_hint(&self) -> usize {
+        match self {
+            Json::Null | Json::Bool(_) => 5,
+            Json::Int(_) | Json::UInt(_) | Json::Float(_) => 8,
+            Json::Str(s) => s.len() + 2,
+            Json::Array(items) => items.iter().map(|i| i.size_hint() + 1).sum::<usize>() + 2,
+            Json::Object(fields) => {
+                fields
+                    .iter()
+                    .map(|(k, v)| k.len() + 4 + v.size_hint())
+                    .sum::<usize>()
+                    + 2
+            }
+        }
     }
 
     /// Pretty serialization (two-space indent).
@@ -248,23 +269,61 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     }
 }
 
+/// Flags each byte of `x` that JSON source treats specially inside a string:
+/// `"` (0x22), `\` (0x5C), or a control byte (< 0x20). The result is nonzero
+/// iff any byte of the word needs attention; used by both the serializer
+/// (bytes that need escaping) and the parser (bytes that end the fast path).
+#[inline]
+fn special_string_bytes(x: u64) -> u64 {
+    const LSB: u64 = 0x0101_0101_0101_0101;
+    const MSB: u64 = 0x8080_8080_8080_8080;
+    let zero = |w: u64| w.wrapping_sub(LSB) & !w & MSB;
+    let quote = zero(x ^ (LSB * u64::from(b'"')));
+    let backslash = zero(x ^ (LSB * u64::from(b'\\')));
+    // v < 0x20 exactly: the subtraction borrows for v < 0x20 or v >= 0xA0,
+    // and `!x` clears the false positives with the high bit already set.
+    let control = x.wrapping_sub(LSB * 0x20) & !x & MSB;
+    quote | backslash | control
+}
+
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    // Copy maximal runs that need no escaping in one `push_str` each,
+    // skipping eight clean bytes per word probe; only quotes, backslashes
+    // and control bytes drop to per-character handling. Multi-byte UTF-8
+    // passes through untouched (every byte is >= 0x80), so scanning raw
+    // bytes is safe and run boundaries stay on char boundaries.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if i + 8 <= bytes.len() {
+            let w = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+            let mask = special_string_bytes(w);
+            if mask == 0 {
+                i += 8;
+                continue;
             }
-            c => out.push(c),
+            i += (mask.trailing_zeros() / 8) as usize;
         }
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                0x08 => out.push_str("\\b"),
+                0x0C => out.push_str("\\f"),
+                c => out.push_str(&format!("\\u{c:04x}")),
+            }
+            start = i + 1;
+        }
+        i += 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -395,7 +454,20 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             let start = self.pos;
-            // Fast path: a run of plain bytes.
+            // Fast path: a run of plain bytes, probed a word at a time.
+            while self.pos + 8 <= self.bytes.len() {
+                let w = u64::from_le_bytes(
+                    self.bytes[self.pos..self.pos + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                let mask = special_string_bytes(w);
+                if mask != 0 {
+                    self.pos += (mask.trailing_zeros() / 8) as usize;
+                    break;
+                }
+                self.pos += 8;
+            }
             while let Some(&b) = self.bytes.get(self.pos) {
                 if b == b'"' || b == b'\\' || b < 0x20 {
                     break;
@@ -757,6 +829,30 @@ mod tests {
         // Explicit \u escapes, including a surrogate pair.
         let parsed = Json::parse(r#""A😀""#).unwrap();
         assert_eq!(parsed.as_str(), Some("A\u{1F600}"));
+    }
+
+    #[test]
+    fn escapes_round_trip_at_every_word_offset() {
+        // The serializer and parser probe strings eight bytes at a time;
+        // walk a special character across every offset within and beyond a
+        // word so both the SWAR probe and the scalar tail see it.
+        for special in ['"', '\\', '\n', '\u{0001}'] {
+            for offset in 0..20 {
+                let mut s = "x".repeat(offset);
+                s.push(special);
+                s.push_str(&"y".repeat(19 - (offset + 1).min(19)));
+                let text = Json::Str(s.clone()).to_string_compact();
+                assert_eq!(
+                    Json::parse(&text).unwrap().as_str(),
+                    Some(s.as_str()),
+                    "special {special:?} at offset {offset}"
+                );
+            }
+        }
+        // A long clean string exercises the multi-word fast path.
+        let long = "abcdefgh".repeat(512);
+        let text = Json::Str(long.clone()).to_string_compact();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(long.as_str()));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 #   BENCH_PR7.json — observability overhead: the same workload with the
 #                    tracer off vs on under a request scope, and EXPLAIN
 #                    ANALYZE vs plain execution
+#   BENCH_PR8.json — sharded buffer pool + word-wide codec kernels: paired
+#                    1/4/16-client throughput over a bare FilePageStore vs
+#                    the sharded cache, and PackBits/delta MB/s scalar vs
+#                    word-wide on constant-run and ramp payloads
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +30,7 @@ SERVER_OUT="${2:-BENCH_PR4.json}"
 SNAPSHOT_OUT="${3:-BENCH_PR5.json}"
 PREDICATE_OUT="${4:-BENCH_PR6.json}"
 OBS_OUT="${5:-BENCH_PR7.json}"
+POOL_OUT="${6:-BENCH_PR8.json}"
 
 cargo run --release --offline -p tilestore-bench --bin microbench -- "$MICRO_OUT"
 echo "micro-bench report written to $MICRO_OUT"
@@ -41,3 +46,6 @@ echo "predicate bench report written to $PREDICATE_OUT"
 
 cargo run --release --offline -p tilestore-bench --bin obs_overhead -- "$OBS_OUT"
 echo "observability overhead report written to $OBS_OUT"
+
+cargo run --release --offline -p tilestore-bench --bin pool_codec_bench -- "$POOL_OUT"
+echo "buffer-pool/codec bench report written to $POOL_OUT"

@@ -11,6 +11,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# The buffer-pool concurrency suite (stale-frame race repro + cross-shard
+# freshness property) is the regression gate for the sharded cache; run it
+# by name so a filtered or partial test invocation can never skip it.
+cargo test -q --offline -p tilestore-storage --test concurrency
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
