@@ -1,0 +1,249 @@
+//! PR-9 benchmark: sharded scatter-gather serving.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin cluster_bench -- BENCH_PR9.json
+//! ```
+//!
+//! The same 512×512 u32 array as BENCH_PR8, partitioned row-wise over
+//! 1 / 2 / 4 file-backed engine shards behind one `serve_cluster` endpoint,
+//! is hammered by 16 concurrent wire clients with a serving-style read mix:
+//! small seam-straddling range reads (16×16 cells) interleaved with scalar
+//! aggregates (`sum_cells` over a 32×32 window). A plain single-engine
+//! `serve` runs the identical workload first as the in-report control.
+//!
+//! The report records requests/sec per shard count plus the ratio against
+//! the BENCH_PR8 single-engine 16-client figure (2396 req/s, 128×128-cell
+//! reads). The PR-8 workload moves 64 KiB per response; this one moves
+//! ~1 KiB — the mix a coordinator actually sees when many users each pull
+//! small windows — so the cross-report ratio compares serving paths, not
+//! payload sizes. The like-for-like number is `engine_single` below.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tilestore_cluster::{serve_cluster, ClusterConfig, Coordinator, ShardBackend, ShardMap};
+use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::{DefDomain, Domain};
+use tilestore_server::{serve, Client, RemoteValue, ServerConfig};
+use tilestore_testkit::bench::Report;
+use tilestore_testkit::{tempdir, Json, ToJson};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// Side length of the square benchmark array (u32 cells → 1 MiB total).
+const SIDE: i64 = 512;
+
+/// Concurrent wire clients, matching the BENCH_PR8 top rung.
+const CLIENTS: usize = 16;
+
+/// Queries per client connection.
+const QUERIES_PER_CLIENT: usize = 25;
+
+/// 16-client single-engine requests/sec recorded in BENCH_PR8 (sharded
+/// buffer pool, 128×128-cell reads).
+const PR8_BASELINE_RPS: f64 = 2396.39;
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+fn grid() -> Array {
+    let dom: Domain = format!("[0:{},0:{}]", SIDE - 1, SIDE - 1).parse().unwrap();
+    Array::from_fn(dom, |p| (p[0] * SIDE + p[1]) as u32).unwrap()
+}
+
+fn mdd_type() -> MddType {
+    MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap())
+}
+
+fn scheme() -> Scheme {
+    Scheme::Aligned(AlignedTiling::regular(2, 8192))
+}
+
+/// The i-th query for client `t`: mostly 16×16 range reads whose row
+/// window is chosen to straddle the 2- and 4-shard seams (rows 128, 256,
+/// 384), every fourth an aggregate over a 32×32 window.
+fn statement(t: usize, i: usize) -> String {
+    let seam = [128i64, 256, 384][(t + i) % 3];
+    let lo0 = (seam - 8 + ((t * 7 + i * 3) as i64 % 17) - 8).clamp(0, SIDE - 33);
+    let lo1 = ((t * 31 + i * 13) as i64 * 11) % (SIDE - 33);
+    if i % 4 == 3 {
+        format!(
+            "SELECT sum_cells(grid[{lo0}:{},{lo1}:{}]) FROM grid",
+            lo0 + 31,
+            lo1 + 31
+        )
+    } else {
+        format!(
+            "SELECT grid[{lo0}:{},{lo1}:{}] FROM grid",
+            lo0 + 15,
+            lo1 + 15
+        )
+    }
+}
+
+/// Runs the 16-client workload against an already-serving address.
+fn hammer(addr: std::net::SocketAddr) -> Json {
+    let wall_start = Instant::now();
+    let samples: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut local = Vec::with_capacity(QUERIES_PER_CLIENT);
+                    for i in 0..QUERIES_PER_CLIENT {
+                        let q = statement(t, i);
+                        let t0 = Instant::now();
+                        let got = client.query(&q).expect("query");
+                        local.push(t0.elapsed());
+                        assert!(matches!(
+                            got,
+                            RemoteValue::Array { .. } | RemoteValue::Number(_)
+                        ));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall = wall_start.elapsed();
+    let total = samples.len();
+    let report = Report::from_samples(samples);
+    let rps = total as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "  {CLIENTS} clients: {total} queries in {:.3}s ({rps:.1} req/s, median {:?})",
+        wall.as_secs_f64(),
+        report.median
+    );
+    Json::obj(vec![
+        ("clients", (CLIENTS as u64).to_json()),
+        ("requests", (total as u64).to_json()),
+        ("wall_ns", ns(wall)),
+        ("requests_per_sec", Json::Float(rps)),
+        (
+            "speedup_vs_pr8_baseline",
+            Json::Float(rps / PR8_BASELINE_RPS),
+        ),
+        ("latency", report_json(&report)),
+    ])
+}
+
+/// One cluster run: `shards` file-backed engines behind `serve_cluster`.
+fn cluster_run(shards: usize) -> Json {
+    let dir = tempdir().expect("tempdir");
+    let map = ShardMap::even(0, shards, 0, SIDE as u64 / shards as u64).expect("map");
+    let backends = (0..shards)
+        .map(|k| {
+            let shard_dir = dir.path().join(format!("shard-{k}"));
+            let db = Database::create_dir(&shard_dir).expect("create shard");
+            ShardBackend::Local(SharedDatabase::new(db))
+        })
+        .collect();
+    let coord = Coordinator::new(map, backends, Arc::new(ThreadPool::new(2))).expect("coord");
+    coord.create_object("grid", mdd_type(), scheme()).unwrap();
+    coord.insert("grid", &grid()).unwrap();
+    coord.save_local(dir.path()).unwrap();
+
+    println!("cluster, {shards} shard(s):");
+    let handle = serve_cluster(
+        Arc::new(coord),
+        Some(dir.path().to_path_buf()),
+        "127.0.0.1:0",
+        ClusterConfig::default(),
+    )
+    .expect("serve cluster");
+    let out = hammer(handle.addr());
+    handle.shutdown();
+    out
+}
+
+/// Control: one plain engine behind the ordinary `serve`, same workload.
+fn single_engine_run() -> Json {
+    let dir = tempdir().expect("tempdir");
+    {
+        let db = Database::create_dir(dir.path()).expect("create db");
+        db.create_object("grid", mdd_type(), scheme()).unwrap();
+        db.insert("grid", &grid()).unwrap();
+        db.save(dir.path()).expect("save");
+    }
+    let db = Database::open_dir(dir.path()).expect("reopen");
+    println!("single engine (plain serve):");
+    let handle = serve(
+        SharedDatabase::new(db),
+        Some(dir.path().to_path_buf()),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 3,
+            max_inflight: 64,
+            default_deadline_ms: 60_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+    let out = hammer(addr);
+    let mut shutter = Client::connect(addr).expect("connect");
+    shutter.shutdown_server().expect("shutdown");
+    handle.join();
+    out
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+
+    let engine_single = single_engine_run();
+    let mut cluster_levels: Vec<(String, Json)> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        cluster_levels.push((format!("shards_{shards}"), cluster_run(shards)));
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("cluster_bench".into())),
+        (
+            "array",
+            Json::Str("512x512 u32, regular 8 KiB tiles, row-sharded".into()),
+        ),
+        (
+            "workload",
+            Json::Str(
+                "16 clients x 25 queries: 16x16-cell seam-straddling range \
+                 reads, every 4th a sum_cells over a 32x32 window"
+                    .into(),
+            ),
+        ),
+        ("pr8_baseline_rps", Json::Float(PR8_BASELINE_RPS)),
+        (
+            "pr8_baseline_note",
+            Json::Str(
+                "BENCH_PR8 clients_16 figure (128x128-cell reads); \
+                 engine_single below is the same-workload control"
+                    .into(),
+            ),
+        ),
+        ("engine_single", engine_single),
+        ("cluster", Json::Object(cluster_levels)),
+    ]);
+
+    let rendered = report.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{rendered}\n")).expect("write report");
+            println!("report written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

@@ -595,6 +595,15 @@ pub fn client(addr: &str, op: &str, args: &[String]) -> CliResult<String> {
                 Err(report.to_string_pretty())
             }
         }
+        ("cluster", []) => {
+            // Served by `serve_cluster` endpoints; single servers have no
+            // cluster section in their health report.
+            let report = c.health().map_err(err)?;
+            match report.get("cluster") {
+                Some(cluster) => Ok(cluster.to_string_pretty()),
+                None => Err("server is not a cluster coordinator".to_string()),
+            }
+        }
         ("shutdown", []) => {
             c.shutdown_server().map_err(err)?;
             Ok("server shutting down".to_string())
@@ -603,9 +612,248 @@ pub fn client(addr: &str, op: &str, args: &[String]) -> CliResult<String> {
             "unknown client op {op:?} (or wrong arguments); ops: ping, query <rasql>, \
              explain <rasql> [--analyze], load <name> <domain> <pattern>, \
              retile <name> <scheme>, info <name>, stats, metrics, health, \
-             top [limit], fsck, shutdown"
+             cluster, top [limit], fsck, shutdown"
         )),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster commands: a database directory containing `cluster.json` is a
+// sharded store — N ordinary shard databases under `shard-<k>/` plus the
+// shard map. All data commands route through a local Coordinator so the
+// same CLI verbs work unchanged.
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use tilestore_cluster::{
+    serve_cluster, ClusterConfig, ClusterManifest, ClusterStatement, Coordinator, RemoteShard,
+    ShardBackend, ShardMap,
+};
+use tilestore_engine::SharedDatabase;
+use tilestore_exec::ThreadPool;
+
+/// Whether `dir` is a cluster root (holds a `cluster.json` manifest).
+pub fn is_cluster(dir: &Path) -> bool {
+    ClusterManifest::exists(dir)
+}
+
+/// `cluster-init <shards> [axis] [slab]` — create a cluster root: a shard
+/// map cutting `axis` into even slabs of `slab` cells starting at 0, plus
+/// one fresh shard database per sub-domain.
+pub fn cluster_init(dir: &Path, shards: usize, axis: usize, slab: u64) -> CliResult<String> {
+    if is_cluster(dir) {
+        return Err(format!("{} is already a cluster root", dir.display()));
+    }
+    std::fs::create_dir_all(dir).map_err(err)?;
+    let map = ShardMap::even(axis, shards, 0, slab).map_err(err)?;
+    for k in 0..shards {
+        let shard_dir = ClusterManifest::shard_dir(dir, k);
+        let db = Database::create_dir(&shard_dir).map_err(err)?;
+        db.save(&shard_dir).map_err(err)?;
+    }
+    let manifest = ClusterManifest { map };
+    manifest.save(dir).map_err(err)?;
+    Ok(format!(
+        "created cluster at {} ({shards} shards, axis {axis}, slab {slab})",
+        dir.display()
+    ))
+}
+
+/// Opens a cluster root as a coordinator over local shard databases.
+pub fn open_cluster(dir: &Path) -> CliResult<Coordinator<CachedFileStore>> {
+    let manifest = ClusterManifest::load(dir).map_err(err)?;
+    let mut backends = Vec::with_capacity(manifest.map.shards());
+    for k in 0..manifest.map.shards() {
+        let shard_dir = ClusterManifest::shard_dir(dir, k);
+        let db = Database::open_dir(&shard_dir)
+            .map_err(|e| format!("shard {k} ({}): {e}", shard_dir.display()))?;
+        backends.push(ShardBackend::Local(SharedDatabase::new(db)));
+    }
+    Coordinator::new(manifest.map, backends, Arc::new(ThreadPool::new(2))).map_err(err)
+}
+
+/// `create` on a cluster root: broadcast to every shard.
+pub fn cluster_create(
+    coord: &Coordinator<CachedFileStore>,
+    name: &str,
+    cell: &str,
+    dim: usize,
+    scheme: Option<&str>,
+) -> CliResult<String> {
+    let cell = parse_cell_type(cell)?;
+    let scheme = match scheme {
+        Some(spec) => parse_scheme(spec, dim)?,
+        None => Scheme::default_for(dim),
+    };
+    let def = DefDomain::unlimited(dim).map_err(err)?;
+    coord
+        .create_object(name, MddType::new(cell, def), scheme)
+        .map_err(err)?;
+    Ok(format!(
+        "created object {name:?} ({dim}-D) on {} shards",
+        coord.shards()
+    ))
+}
+
+/// `load` on a cluster root: each shard receives its clip of the array.
+pub fn cluster_load(
+    coord: &Coordinator<CachedFileStore>,
+    name: &str,
+    domain: &str,
+    pattern: &str,
+) -> CliResult<String> {
+    let domain: Domain = domain.parse().map_err(err)?;
+    let info = coord.info(name).map_err(err)?;
+    let cell_size = info
+        .get("cell_size")
+        .and_then(|j| j.as_u64())
+        .ok_or("cluster info lacks cell_size")? as usize;
+    let array = synthesize(&domain, cell_size, pattern)?;
+    let write = coord.insert(name, &array).map_err(err)?;
+    let merged = write.merged();
+    Ok(format!(
+        "loaded {} across {} shard(s) as {} tiles",
+        domain,
+        write.per_shard.len(),
+        merged.tiles_created
+    ))
+}
+
+/// `query` on a cluster root: scatter, gather, and render with the merged
+/// counters and the pinned epoch set.
+pub fn cluster_query(coord: &Coordinator<CachedFileStore>, text: &str) -> CliResult<String> {
+    match coord.execute(text).map_err(err)? {
+        ClusterStatement::Explain(report) => Ok(report.render()),
+        ClusterStatement::Value(v) => {
+            let mut out = String::new();
+            match &v.value {
+                Value::Array(a) => {
+                    writeln!(
+                        out,
+                        "array over {} ({} cells)",
+                        a.domain(),
+                        a.domain().cells()
+                    )
+                    .expect("string write");
+                    if a.domain().cells() <= 64 && a.cell_size() <= 8 {
+                        writeln!(out, "{}", render_small(a)).expect("string write");
+                    }
+                }
+                Value::Number(n) => writeln!(out, "{n}").expect("string write"),
+                Value::Count(c) => writeln!(out, "{c} cells").expect("string write"),
+                Value::Bool(b) => writeln!(out, "{b}").expect("string write"),
+            }
+            let epochs: Vec<String> = v
+                .epochs
+                .iter()
+                .map(|e| format!("{}@{}", e.shard, e.epoch))
+                .collect();
+            write!(
+                out,
+                "[epochs {}; {} tiles, {} pruned, {} bytes read]",
+                epochs.join(" "),
+                v.stats.tiles_read,
+                v.stats.tiles_pruned,
+                v.stats.io.bytes_read
+            )
+            .expect("string write");
+            Ok(out)
+        }
+    }
+}
+
+/// `explain` on a cluster root (wraps bare queries like the local command).
+pub fn cluster_explain(coord: &Coordinator<CachedFileStore>, text: &str) -> CliResult<String> {
+    let stmt = normalize_explain(text);
+    match coord.execute(&stmt).map_err(err)? {
+        ClusterStatement::Explain(report) => Ok(report.render()),
+        ClusterStatement::Value(..) => {
+            Err("statement executed instead of explaining; prefix it with EXPLAIN".to_string())
+        }
+    }
+}
+
+/// `info` / `info <name>` on a cluster root.
+pub fn cluster_info(coord: &Coordinator<CachedFileStore>, name: Option<&str>) -> CliResult<String> {
+    match name {
+        Some(name) => Ok(coord.info(name).map_err(err)?.to_string_pretty()),
+        None => {
+            let mut out = String::new();
+            writeln!(
+                out,
+                "objects: {}",
+                coord.object_names().map_err(err)?.join(", ")
+            )
+            .expect("string write");
+            write!(out, "{}", coord.status().to_string_pretty()).expect("string write");
+            Ok(out)
+        }
+    }
+}
+
+/// `retile <name> <scheme>` on a cluster root: every shard re-tiles its
+/// sub-domain under one write gate.
+pub fn cluster_retile(
+    coord: &Coordinator<CachedFileStore>,
+    name: &str,
+    spec: &str,
+) -> CliResult<String> {
+    let write = coord.retile(name, spec).map_err(err)?;
+    let merged = write.merged();
+    Ok(format!(
+        "retiled on {} shard(s): {} -> {} tiles",
+        write.per_shard.len(),
+        merged.tiles_before,
+        merged.tiles_after
+    ))
+}
+
+/// `serve <addr>` on a cluster root: scatter-gather serving over the
+/// ordinary wire protocol, backed by the local shard databases.
+pub fn cluster_serve(dir: &Path, addr: &str) -> CliResult<String> {
+    use std::io::Write as _;
+    let coord = open_cluster(dir)?;
+    let handle = serve_cluster(
+        Arc::new(coord),
+        Some(dir.to_path_buf()),
+        addr,
+        ClusterConfig::default(),
+    )
+    .map_err(err)?;
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.join();
+    Ok("cluster server stopped".to_string())
+}
+
+/// `cluster-serve <addr> <shard-addr,...>` — coordinator over REMOTE shard
+/// servers: the manifest in `dir` supplies the shard map, each listed
+/// address is an ordinary `tilestore serve` instance holding that shard's
+/// sub-domain.
+pub fn cluster_serve_remote(dir: &Path, addr: &str, shard_addrs: &str) -> CliResult<String> {
+    use std::io::Write as _;
+    let manifest = ClusterManifest::load(dir).map_err(err)?;
+    let addrs: Vec<&str> = shard_addrs.split(',').filter(|a| !a.is_empty()).collect();
+    if addrs.len() != manifest.map.shards() {
+        return Err(format!(
+            "map has {} shards but {} address(es) given",
+            manifest.map.shards(),
+            addrs.len()
+        ));
+    }
+    let backends: Vec<ShardBackend<CachedFileStore>> = addrs
+        .iter()
+        .map(|a| ShardBackend::Remote(RemoteShard::new((*a).to_string())))
+        .collect();
+    let coord =
+        Coordinator::new(manifest.map, backends, Arc::new(ThreadPool::new(2))).map_err(err)?;
+    let handle =
+        serve_cluster(Arc::new(coord), None, addr, ClusterConfig::default()).map_err(err)?;
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.join();
+    Ok("cluster server stopped".to_string())
 }
 
 #[cfg(test)]

@@ -47,12 +47,19 @@ commands:
   repl                                   interactive query shell
   serve <addr> [slow-ms]                 serve the database over TCP (e.g. 127.0.0.1:7901);
                                          slow-ms sets the slow-query-log threshold (0 = all)
+cluster commands (a <dbdir> holding cluster.json routes the verbs above
+through a scatter-gather coordinator over its shard-<k>/ databases):
+  cluster-init <shards> [axis] [slab]    create a sharded store: shard map +
+                                         one shard database per sub-domain
+  serve <addr>                           serve the whole cluster (local shards)
+  cluster-serve <addr> <a0,a1,...>       coordinator over remote shard servers
+                                         (each a plain `tilestore ... serve`)
 or, without a <dbdir>:
   tilestore client <addr> <op> [args...] talk to a serve instance
     ops: ping | query <rasql> | explain <rasql> [--analyze]
          | load <name> <domain> <pattern> | retile <name> <scheme>
-         | info <name> | stats | metrics | health | top [limit]
-         | fsck | shutdown";
+         | info <name> | stats | metrics | health | cluster
+         | top [limit] | fsck | shutdown";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +96,29 @@ fn run(args: &[String]) -> CliResult<String> {
     };
     let command = rest[0].as_str();
     let args = &rest[1..];
+    if command == "cluster-init" {
+        let (shards, axis, slab) = match args {
+            [n] => (n, None, None),
+            [n, a] => (n, Some(a), None),
+            [n, a, s] => (n, Some(a), Some(s)),
+            _ => return Err("cluster-init <shards> [axis] [slab]".to_string()),
+        };
+        let shards: usize = shards
+            .parse()
+            .map_err(|e| format!("bad shard count: {e}"))?;
+        let axis: usize = axis
+            .map_or(Ok(0), |a| a.parse())
+            .map_err(|e| format!("bad axis: {e}"))?;
+        let slab: u64 = slab
+            .map_or(Ok(64), |s| s.parse())
+            .map_err(|e| format!("bad slab: {e}"))?;
+        return commands::cluster_init(&dir, shards, axis, slab);
+    }
+    // A directory holding a cluster manifest routes data commands through
+    // the scatter-gather coordinator; the verbs stay identical.
+    if commands::is_cluster(&dir) {
+        return run_cluster(&dir, command, args);
+    }
     match command {
         "init" => commands::init(&dir),
         "create" => {
@@ -164,6 +194,77 @@ fn run(args: &[String]) -> CliResult<String> {
         "repl" => repl(&dir),
         _ => Err(format!("unknown command {command:?}\n{USAGE}")),
     }
+}
+
+/// Command dispatch for a cluster root (a directory with `cluster.json`).
+fn run_cluster(dir: &Path, command: &str, args: &[String]) -> CliResult<String> {
+    match command {
+        "create" => {
+            let (name, cell, dim) = match args {
+                [n, c, d, ..] => (n.as_str(), c.as_str(), d),
+                _ => return Err("create <name> <celltype> <dim> [scheme]".to_string()),
+            };
+            let dim: usize = dim.parse().map_err(|e| format!("bad dim: {e}"))?;
+            with_cluster(dir, |coord| {
+                commands::cluster_create(coord, name, cell, dim, args.get(3).map(String::as_str))
+            })
+        }
+        "load" => match args {
+            [name, domain, pattern] => with_cluster(dir, |coord| {
+                commands::cluster_load(coord, name, domain, pattern)
+            }),
+            _ => Err("load <name> <domain> <pattern>".to_string()),
+        },
+        "query" => match args {
+            [text] => {
+                let coord = commands::open_cluster(dir)?;
+                commands::cluster_query(&coord, text)
+            }
+            _ => Err("query <rasql>".to_string()),
+        },
+        "explain" => match args {
+            [text] => {
+                let coord = commands::open_cluster(dir)?;
+                commands::cluster_explain(&coord, text)
+            }
+            _ => Err("explain <rasql>".to_string()),
+        },
+        "info" => {
+            let coord = commands::open_cluster(dir)?;
+            commands::cluster_info(&coord, args.first().map(String::as_str))
+        }
+        "retile" => match args {
+            [name, scheme] => {
+                with_cluster(dir, |coord| commands::cluster_retile(coord, name, scheme))
+            }
+            _ => Err("retile <name> <scheme>".to_string()),
+        },
+        "serve" => match args {
+            [addr] => commands::cluster_serve(dir, addr),
+            _ => Err("serve <addr>".to_string()),
+        },
+        "cluster-serve" => match args {
+            [addr, shard_addrs] => commands::cluster_serve_remote(dir, addr, shard_addrs),
+            _ => Err("cluster-serve <addr> <shard-addr,shard-addr,...>".to_string()),
+        },
+        other => Err(format!(
+            "command {other:?} is not available on a cluster root \
+             (supported: create, load, query, explain, info, retile, serve, cluster-serve)"
+        )),
+    }
+}
+
+/// Opens the cluster, runs `f`, and commits every shard durably.
+fn with_cluster<F>(dir: &Path, f: F) -> CliResult<String>
+where
+    F: FnOnce(
+        &tilestore_cluster::Coordinator<tilestore_engine::CachedFileStore>,
+    ) -> CliResult<String>,
+{
+    let coord = commands::open_cluster(dir)?;
+    let out = f(&coord)?;
+    coord.save_local(dir).map_err(|e| e.to_string())?;
+    Ok(out)
 }
 
 /// Opens the database, runs `f`, and commits the result durably.
@@ -258,6 +359,49 @@ mod tests {
         assert!(out.contains("clean"), "{out}");
         run(&s(&[d, "drop", "img"])).unwrap();
         assert!(run(&s(&[d, "info", "img"])).is_err());
+    }
+
+    #[test]
+    fn cluster_command_cycle() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let root = dir.path().join("cluster");
+        let d = root.to_str().unwrap();
+        // Two shards split on axis 0 at row 16: [0:15] and [16:...].
+        let out = run(&s(&[d, "cluster-init", "2", "0", "16"])).unwrap();
+        assert!(out.contains("2 shards"), "{out}");
+        // Re-initialising an existing cluster root must fail.
+        assert!(run(&s(&[d, "cluster-init", "2"])).is_err());
+        run(&s(&[d, "create", "img", "u32", "2", "regular:4"])).unwrap();
+        run(&s(&[d, "load", "img", "[0:31,0:31]", "gradient"])).unwrap();
+        let out = run(&s(&[d, "query", "SELECT count_cells(img) FROM img"])).unwrap();
+        assert!(out.contains("1024 cells"), "{out}");
+        assert!(out.contains("epochs"), "{out}");
+        // A seam-straddling trim comes back stitched into one slab.
+        let out = run(&s(&[d, "query", "SELECT img[14:17, 2:5] FROM img"])).unwrap();
+        assert!(out.contains("array over [14:17,2:5]"), "{out}");
+        let out = run(&s(&[d, "explain", "SELECT img FROM img"])).unwrap();
+        assert!(out.contains("shard 0"), "{out}");
+        assert!(out.contains("shard 1"), "{out}");
+        let out = run(&s(&[d, "info", "img"])).unwrap();
+        assert!(out.contains("[0:31,0:31]"), "{out}");
+        let out = run(&s(&[d, "info"])).unwrap();
+        assert!(out.contains("img"), "{out}");
+        let out = run(&s(&[d, "retile", "img", "regular:8"])).unwrap();
+        assert!(out.contains("2 shard(s)"), "{out}");
+        let out = run(&s(&[d, "query", "SELECT sum_cells(img) FROM img"])).unwrap();
+        assert!(out.contains("epochs"), "{out}");
+        // Data commands that bypass the coordinator are rejected on a
+        // cluster root.
+        assert!(run(&s(&[d, "trace", "SELECT img FROM img"])).is_err());
+        assert!(run(&s(&[d, "fsck"])).is_err());
+        // The answers survive reopening from disk.
+        let out = run(&s(&[
+            d,
+            "query",
+            "SELECT count_cells(img > 100000) FROM img",
+        ]))
+        .unwrap();
+        assert!(out.contains("cells"), "{out}");
     }
 
     #[test]

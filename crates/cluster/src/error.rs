@@ -1,0 +1,87 @@
+//! Typed failures of the cluster layer.
+
+use tilestore_rasql::QueryError;
+
+/// Everything that can go wrong coordinating a sharded operation.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The cluster configuration is invalid (bad shard map, manifest
+    /// mismatch, unsupported backend for the operation).
+    Config(String),
+    /// Query-layer failure surfaced by the local execution path (parse,
+    /// semantic, or engine errors).
+    Query(QueryError),
+    /// A shard's engine rejected or failed the operation (reported over the
+    /// wire for remote shards).
+    Remote {
+        /// The shard that reported the failure.
+        shard: usize,
+        /// The shard's error message.
+        message: String,
+    },
+    /// A shard could not be reached (connect failure, connection reset,
+    /// shard shutdown, or exhausted retries). The partial-failure contract:
+    /// this surfaces promptly and names the shard instead of hanging the
+    /// whole request.
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: usize,
+        /// Where the shard lives (`local` or its address).
+        addr: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The request's deadline expired at a shard.
+    Deadline {
+        /// The shard that timed out.
+        shard: usize,
+        /// The shard's deadline message.
+        detail: String,
+    },
+    /// Filesystem failure reading or writing the cluster manifest.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(m) => write!(f, "cluster config: {m}"),
+            ClusterError::Query(e) => write!(f, "{e}"),
+            ClusterError::Remote { shard, message } => {
+                write!(f, "shard {shard}: {message}")
+            }
+            ClusterError::ShardUnavailable {
+                shard,
+                addr,
+                detail,
+            } => write!(f, "shard {shard} ({addr}) unavailable: {detail}"),
+            ClusterError::Deadline { shard, detail } => {
+                write!(f, "shard {shard} deadline: {detail}")
+            }
+            ClusterError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<QueryError> for ClusterError {
+    fn from(e: QueryError) -> Self {
+        ClusterError::Query(e)
+    }
+}
+
+impl From<tilestore_engine::EngineError> for ClusterError {
+    fn from(e: tilestore_engine::EngineError) -> Self {
+        ClusterError::Query(QueryError::Engine(e))
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// Cluster-side result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

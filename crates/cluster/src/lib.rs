@@ -1,0 +1,44 @@
+//! Sharded scatter-gather serving: one logical store over N engine shards.
+//!
+//! The paper treats a tiling as an arbitrary, workload-driven decomposition
+//! of an array's domain. This crate lifts that idea one level: a
+//! [`ShardMap`] is a tiling spec used as a **partitioning function**,
+//! cutting all of cell space into per-shard slabs so each shard's engine
+//! stores and tiles only its own sub-domain. A [`Coordinator`] makes N
+//! such engines answer as one:
+//!
+//! * **Reads** run the "agree on epochs" handshake — one snapshot pinned
+//!   per shard at a single consistency point — then scatter the clipped
+//!   query across shards on the
+//!   [`ThreadPool`](tilestore_exec::ThreadPool), gather the sub-results,
+//!   and stitch them into one slab (clips partition the region exactly) or
+//!   recombine aggregates condenser-correctly (`sum`/`count` add,
+//!   `min`/`max` fold, `avg` travels as per-shard sums).
+//! * **Writes** route each cell to its owning shard under an exclusive
+//!   gate, so shard epochs advance together from a reader's point of view.
+//! * **Backends** are [`ShardBackend::Local`] (N in-process engines,
+//!   phase 1) or [`ShardBackend::Remote`] (ordinary tilestore servers
+//!   reached over the existing wire protocol with connection reuse,
+//!   inherited deadlines, and typed `shard_unavailable` failures naming
+//!   the broken shard — phase 2).
+//! * **Serving**: [`serve_cluster`] exposes the coordinator behind the
+//!   same wire protocol as a single server, so rasql clients need not know
+//!   the store is sharded.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod backend;
+mod coordinator;
+mod error;
+mod serve;
+mod shard_map;
+
+pub use backend::{PinnedObject, RemoteShard, ShardBackend, ShardExplainCounts, ShardPin};
+pub use coordinator::{
+    epochs_json, ClusterExplain, ClusterStatement, ClusterValue, ClusterWrite, Coordinator,
+    ShardEpoch, ShardPlan,
+};
+pub use error::{ClusterError, Result};
+pub use serve::{serve_cluster, ClusterConfig, ClusterHandle};
+pub use shard_map::{ClusterManifest, ShardMap, MANIFEST_FILE};

@@ -1,0 +1,175 @@
+//! The cluster serve endpoint speaks the ordinary wire protocol: a stock
+//! [`Client`] pointed at `serve_cluster` cannot tell it is talking to N
+//! shards instead of one engine — except for the additive `shard_epochs`
+//! field in query responses and the `cluster` op.
+
+use std::sync::Arc;
+
+use tilestore_cluster::{serve_cluster, ClusterConfig, Coordinator, ShardBackend, ShardMap};
+use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::DefDomain;
+use tilestore_server::{Client, RemoteValue};
+use tilestore_storage::MemPageStore;
+use tilestore_testkit::Json;
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+fn cube() -> Array {
+    Array::from_fn("[0:9,0:9]".parse().unwrap(), |p| (p[0] * 10 + p[1]) as u32).unwrap()
+}
+
+fn cluster_endpoint() -> (tilestore_cluster::ClusterHandle, Database<MemPageStore>) {
+    let map = ShardMap::new(0, vec![3, 6]).unwrap();
+    let backends = (0..3)
+        .map(|_| ShardBackend::Local(SharedDatabase::new(Database::in_memory().unwrap())))
+        .collect();
+    let coord = Coordinator::new(map, backends, Arc::new(ThreadPool::new(2))).unwrap();
+    coord
+        .create_object(
+            "cube",
+            MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 256)),
+        )
+        .unwrap();
+    coord.insert("cube", &cube()).unwrap();
+    let handle = serve_cluster(
+        Arc::new(coord),
+        None,
+        "127.0.0.1:0",
+        ClusterConfig::default(),
+    )
+    .unwrap();
+
+    let single = Database::in_memory().unwrap();
+    single
+        .create_object(
+            "cube",
+            MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 256)),
+        )
+        .unwrap();
+    single.insert("cube", &cube()).unwrap();
+    (handle, single)
+}
+
+#[test]
+fn wire_clients_see_one_logical_store() {
+    let (handle, single) = cluster_endpoint();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+
+    for q in [
+        "SELECT cube FROM cube",
+        "SELECT cube[2:7, 1:4] FROM cube",
+        "SELECT sum_cells(cube) FROM cube",
+        "SELECT avg_cells(cube[1:8, 0:9]) FROM cube",
+        "SELECT count_cells(cube > 50) FROM cube",
+        "SELECT cube[4:5, *] FROM cube WHERE cube >= 41",
+    ] {
+        let want = tilestore_rasql::execute(&single.begin_read(), q).unwrap().0;
+        match (client.query(q).unwrap(), want) {
+            (
+                RemoteValue::Array {
+                    domain,
+                    cells,
+                    cell_size,
+                },
+                tilestore_rasql::Value::Array(a),
+            ) => {
+                assert_eq!(&domain, a.domain(), "{q}");
+                assert_eq!(cell_size, a.cell_size(), "{q}");
+                assert_eq!(cells, a.bytes(), "{q}");
+            }
+            (RemoteValue::Number(n), tilestore_rasql::Value::Number(m)) => {
+                assert_eq!(n.to_bits(), m.to_bits(), "{q}");
+            }
+            (RemoteValue::Count(c), tilestore_rasql::Value::Count(d)) => {
+                assert_eq!(c, d, "{q}")
+            }
+            (RemoteValue::Bool(b), tilestore_rasql::Value::Bool(c)) => {
+                assert_eq!(b, c, "{q}")
+            }
+            (got, want) => panic!("{q}: kind mismatch {got:?} vs {want:?}"),
+        }
+    }
+
+    // Raw responses expose the per-shard epoch vector.
+    let raw = client
+        .query_raw("SELECT sum_cells(cube) FROM cube")
+        .unwrap();
+    let epochs = raw.get("shard_epochs").and_then(Json::as_array).unwrap();
+    assert_eq!(epochs.len(), 3);
+
+    // EXPLAIN through the wire reports the per-shard plan.
+    let raw = client.query_raw("EXPLAIN SELECT cube FROM cube").unwrap();
+    let shards = raw.get("shards").and_then(Json::as_array).unwrap();
+    assert_eq!(shards.len(), 3);
+    for s in shards {
+        assert!(s.get("shard").and_then(Json::as_u64).is_some());
+        assert!(s.get("epoch").and_then(Json::as_u64).is_some());
+        assert!(s.get("sub_domain").is_some());
+    }
+
+    // info / stats / health / cluster report the merged view.
+    let info = client.info("cube").unwrap();
+    assert_eq!(
+        info.get("current_domain").and_then(Json::as_str),
+        Some("[0:9,0:9]")
+    );
+    let health = client.health().unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    let stats = client.stats().unwrap();
+    let members = stats
+        .get("cluster")
+        .and_then(|c| c.get("members"))
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(members.len(), 3);
+
+    handle.shutdown();
+}
+
+#[test]
+fn wire_writes_route_through_the_coordinator() {
+    let (handle, single) = cluster_endpoint();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Grow the array through the wire; the stripe lands on shard 2 only.
+    let stripe = Array::from_fn("[10:10,0:9]".parse().unwrap(), |p| {
+        (p[0] * 10 + p[1]) as u32
+    })
+    .unwrap();
+    single.insert("cube", &stripe).unwrap();
+    let resp = client.insert("cube", &stripe).unwrap();
+    assert!(resp.get("epoch").and_then(Json::as_u64).is_some());
+
+    let want = tilestore_rasql::execute(&single.begin_read(), "SELECT cube FROM cube")
+        .unwrap()
+        .0;
+    let RemoteValue::Array { domain, cells, .. } = client.query("SELECT cube FROM cube").unwrap()
+    else {
+        panic!("expected array");
+    };
+    let tilestore_rasql::Value::Array(a) = want else {
+        panic!("expected array")
+    };
+    assert_eq!(&domain, a.domain());
+    assert_eq!(cells, a.bytes());
+
+    // Retile through the wire, then re-check a seam-straddling read.
+    client.retile("cube", "aligned:[*,1]:1").unwrap();
+    let RemoteValue::Array { cells, .. } = client.query("SELECT cube[2:8, 3:6] FROM cube").unwrap()
+    else {
+        panic!("expected array");
+    };
+    let tilestore_rasql::Value::Array(b) =
+        tilestore_rasql::execute(&single.begin_read(), "SELECT cube[2:8, 3:6] FROM cube")
+            .unwrap()
+            .0
+    else {
+        panic!("expected array");
+    };
+    assert_eq!(cells, b.bytes());
+
+    handle.shutdown();
+}

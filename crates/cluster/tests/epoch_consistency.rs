@@ -1,0 +1,187 @@
+//! Epoch-agreement under concurrent writes: every cross-shard read pins one
+//! snapshot per shard at a single consistency point, so a query racing a
+//! cluster write (or a retile on one shard) observes either the entire old
+//! state or the entire new state — never a mix.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use tilestore_cluster::{ClusterStatement, Coordinator, ShardBackend, ShardMap};
+use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::{DefDomain, Domain};
+use tilestore_rasql::Value;
+use tilestore_storage::MemPageStore;
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+const SHARDS: usize = 4;
+const WRITES: u32 = 24;
+
+fn filled(value: u32) -> Array {
+    Array::from_fn("[0:7,0:7]".parse().unwrap(), |_| value).unwrap()
+}
+
+/// A full-height one-column stripe at `x = k`, valued `k` everywhere. It
+/// spans all four row-slabs, so inserting it advances every shard's epoch
+/// in one cluster commit.
+fn stripe(k: u32) -> Array {
+    let domain: Domain = format!("[0:7,{k}:{k}]").parse().unwrap();
+    Array::from_fn(domain, |_| k).unwrap()
+}
+
+fn build() -> (Coordinator<MemPageStore>, Vec<SharedDatabase<MemPageStore>>) {
+    let map = ShardMap::new(0, vec![2, 4, 6]).unwrap();
+    let dbs: Vec<SharedDatabase<MemPageStore>> = (0..SHARDS)
+        .map(|_| SharedDatabase::new(Database::in_memory().unwrap()))
+        .collect();
+    let backends = dbs
+        .iter()
+        .map(|db| ShardBackend::Local(db.clone()))
+        .collect();
+    let coord = Coordinator::new(map, backends, Arc::new(ThreadPool::new(2))).unwrap();
+    coord
+        .create_object(
+            "a",
+            MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap()),
+            Scheme::Aligned(AlignedTiling::regular(2, 64)),
+        )
+        .unwrap();
+    (coord, dbs)
+}
+
+/// A writer grows the array one full-height stripe per commit (stripe `k`
+/// is valued `k`) while a reader streams full-array queries. Because every
+/// stripe spans all four shards, a torn epoch set would pin some shard
+/// before stripe `k` and another after it, and the gathered slab would show
+/// default zeros inside a column that the hull says exists. The epoch
+/// vector of every answer must equal the vector some single write produced.
+#[test]
+fn concurrent_cluster_writes_never_tear_the_epoch_set() {
+    let (coord, dbs) = build();
+    let w0 = coord.insert("a", &stripe(0)).unwrap();
+    let baseline_snapshots: Vec<u64> = dbs.iter().map(|db| db.live_snapshots()).collect();
+
+    // stripe -> epoch vector recorded by the writer after each commit.
+    type EpochLog = Arc<Mutex<Vec<(u32, Vec<u64>)>>>;
+    let recorded: EpochLog = Arc::new(Mutex::new(vec![(
+        0,
+        w0.per_shard.iter().map(|(_, e, _)| *e).collect(),
+    )]));
+    let done = AtomicBool::new(false);
+
+    let observed: Mutex<Vec<(u32, Vec<u64>)>> = Mutex::new(Vec::new());
+    thread::scope(|s| {
+        let coord = &coord;
+        let recorded = Arc::clone(&recorded);
+        let done = &done;
+        s.spawn(move || {
+            for k in 1..=WRITES {
+                let w = coord.insert("a", &stripe(k)).unwrap();
+                recorded
+                    .lock()
+                    .unwrap()
+                    .push((k, w.per_shard.iter().map(|(_, e, _)| *e).collect()));
+            }
+            done.store(true, Ordering::Release);
+        });
+        let check = |expect_final: Option<u32>| {
+            let ClusterStatement::Value(got) = coord.execute("SELECT a FROM a").unwrap() else {
+                panic!("unexpected explain");
+            };
+            let Value::Array(a) = &got.value else {
+                panic!("expected array");
+            };
+            // Hull is [0:7, 0:k] for the pinned write k; cell (y, x) == x.
+            let k = a.domain().hi(1) as u32;
+            if let Some(want) = expect_final {
+                assert_eq!(k, want, "final read missed the last write");
+            }
+            let cells: Vec<u32> = a
+                .bytes()
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for (i, &c) in cells.iter().enumerate() {
+                let x = (i as u32) % (k + 1);
+                assert_eq!(c, x, "torn read at cell {i}: hull says stripe {x} exists");
+            }
+            let epochs: Vec<u64> = got.epochs.iter().map(|e| e.epoch).collect();
+            observed.lock().unwrap().push((k, epochs));
+        };
+        while !done.load(Ordering::Acquire) {
+            check(None);
+            thread::yield_now();
+        }
+        check(Some(WRITES));
+    });
+
+    let recorded = recorded.lock().unwrap();
+    for (k, epochs) in observed.lock().unwrap().iter() {
+        let want = &recorded.iter().find(|(rk, _)| rk == k).unwrap().1;
+        assert_eq!(
+            epochs, want,
+            "stripe {k} answered with epoch set {epochs:?}, write committed {want:?}"
+        );
+    }
+    // The handshake releases every pin: no snapshot leaks on any shard.
+    for (db, base) in dbs.iter().zip(&baseline_snapshots) {
+        assert_eq!(db.live_snapshots(), *base);
+    }
+}
+
+/// A retile on ONE shard (directly on its engine, bypassing the coordinator)
+/// moves tiles around without changing cells. Concurrent cluster queries must
+/// keep answering correctly: each pins a snapshot per shard, so the rewrite
+/// on shard 2 is invisible mid-query, and only shard 2's epoch advances.
+#[test]
+fn query_concurrent_with_single_shard_retile_observes_one_consistent_epoch_set() {
+    let (coord, dbs) = build();
+    coord.insert("a", &filled(7)).unwrap();
+
+    let victim = dbs[2].clone();
+    thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..WRITES {
+                let spec = if i % 2 == 0 {
+                    "aligned:[*,1]:1"
+                } else {
+                    "regular:1"
+                };
+                let scheme = tilestore_tiling::parse_scheme_spec(spec, 2).expect("scheme");
+                victim.retile("a", scheme).unwrap();
+            }
+        });
+        let mut last_victim_epoch = 0u64;
+        let mut steady: Option<Vec<u64>> = None;
+        for _ in 0..WRITES {
+            let ClusterStatement::Value(got) = coord.execute("SELECT sum_cells(a) FROM a").unwrap()
+            else {
+                panic!("unexpected explain");
+            };
+            let Value::Number(n) = got.value else {
+                panic!("expected number")
+            };
+            // 8*8 cells of 7 regardless of how any shard is tiled.
+            assert_eq!(n.to_bits(), (64.0f64 * 7.0).to_bits());
+            let epochs: Vec<u64> = got.epochs.iter().map(|e| e.epoch).collect();
+            assert_eq!(epochs.len(), SHARDS);
+            // Only the retiled shard moves; the others hold their epoch.
+            assert!(epochs[2] >= last_victim_epoch, "epoch went backwards");
+            last_victim_epoch = epochs[2];
+            let others: Vec<u64> = epochs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 2)
+                .map(|(_, e)| *e)
+                .collect();
+            match &steady {
+                Some(s) => assert_eq!(s, &others, "untouched shard epoch moved"),
+                None => steady = Some(others),
+            }
+        }
+    });
+    for db in &dbs {
+        assert_eq!(db.live_snapshots(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Partial-failure semantics over remote shards: when one shard dies
+//! mid-scatter the coordinator reports a typed `shard_unavailable` error
+//! naming the broken shard within the request deadline, and the epoch
+//! handshake releases every pin it took — surviving shards end with
+//! `live_snapshots` back at baseline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tilestore_cluster::{
+    ClusterError, ClusterStatement, Coordinator, RemoteShard, ShardBackend, ShardMap,
+};
+use tilestore_engine::{Array, CellType, Database, MddType, SharedDatabase};
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::DefDomain;
+use tilestore_rasql::Value;
+use tilestore_server::{serve, ServerConfig};
+use tilestore_storage::MemPageStore;
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+fn mdd() -> MddType {
+    MddType::new(CellType::of::<u32>(), DefDomain::unlimited(2).unwrap())
+}
+
+fn seed(db: &SharedDatabase<MemPageStore>, lo: i64, hi: i64) {
+    db.create_object("a", mdd(), Scheme::Aligned(AlignedTiling::regular(2, 64)))
+        .unwrap();
+    let domain = format!("[{lo}:{hi},0:7]").parse().unwrap();
+    db.insert(
+        "a",
+        &Array::from_fn(domain, |p| (p[0] * 10 + p[1]) as u32).unwrap(),
+    )
+    .unwrap();
+}
+
+#[test]
+fn killed_shard_yields_shard_unavailable_and_leaks_no_pins() {
+    // Two real servers on loopback, rows 0..=3 on shard 0, rows 4..=7 on
+    // shard 1 — exactly what a cluster insert through the map would place.
+    let db0 = SharedDatabase::new(Database::in_memory().unwrap());
+    let db1 = SharedDatabase::new(Database::in_memory().unwrap());
+    seed(&db0, 0, 3);
+    seed(&db1, 4, 7);
+    let srv0 = serve(db0.clone(), None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let srv1 = serve(db1.clone(), None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let map = ShardMap::new(0, vec![4]).unwrap();
+    let backends = vec![
+        ShardBackend::Remote(RemoteShard::new(srv0.addr().to_string())),
+        ShardBackend::Remote(RemoteShard::new(srv1.addr().to_string())),
+    ];
+    let coord =
+        Coordinator::<MemPageStore>::new(map, backends, Arc::new(ThreadPool::new(2))).unwrap();
+
+    // Healthy cluster first: a seam-straddling query answers correctly.
+    let ClusterStatement::Value(got) = coord
+        .execute_with("SELECT a[2:5, 1:3] FROM a", Some(5_000))
+        .unwrap()
+    else {
+        panic!("unexpected explain");
+    };
+    let Value::Array(a) = &got.value else {
+        panic!("expected array")
+    };
+    assert_eq!(a.domain().to_string(), "[2:5,1:3]");
+    for (i, chunk) in a.bytes().chunks_exact(4).enumerate() {
+        let (x, y) = (2 + (i as i64) / 3, 1 + (i as i64) % 3);
+        assert_eq!(
+            u32::from_le_bytes(chunk.try_into().unwrap()),
+            (x * 10 + y) as u32
+        );
+    }
+    assert_eq!(got.epochs.len(), 2);
+
+    let baseline0 = db0.live_snapshots();
+    let baseline1 = db1.live_snapshots();
+
+    // Kill shard 1 and query again: the coordinator must fail fast with a
+    // typed error naming the dead shard, well inside the deadline.
+    srv1.shutdown();
+    let started = Instant::now();
+    let err = coord
+        .execute_with("SELECT a[2:5, 1:3] FROM a", Some(10_000))
+        .unwrap_err();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "error took longer than the deadline"
+    );
+    match &err {
+        ClusterError::ShardUnavailable { shard, .. } => assert_eq!(*shard, 1),
+        other => panic!("expected shard_unavailable, got {other}"),
+    }
+    let rendered = err.to_string();
+    assert!(rendered.contains("shard 1"), "{rendered}");
+
+    // The handshake released shard 0's pin even though shard 1 broke: no
+    // snapshot leaked on the survivor (retries may take a moment to settle).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db0.live_snapshots() > baseline0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(db0.live_snapshots(), baseline0, "leaked pin on survivor");
+
+    // The epoch handshake pins every shard (the hull of the object lives
+    // across all of them), so follow-up queries keep failing fast with the
+    // same typed error — now on the connection-refused path, since the dead
+    // shard's pooled connection is gone — and still leak nothing.
+    let started = Instant::now();
+    let err = coord
+        .execute_with("SELECT sum_cells(a[0:3, 0:7]) FROM a", Some(10_000))
+        .unwrap_err();
+    assert!(started.elapsed() < Duration::from_secs(10));
+    match &err {
+        ClusterError::ShardUnavailable { shard, .. } => assert_eq!(*shard, 1),
+        other => panic!("expected shard_unavailable, got {other}"),
+    }
+    assert_eq!(db0.live_snapshots(), baseline0, "leaked pin on survivor");
+
+    srv0.shutdown();
+    let _ = baseline1;
+}
+
+#[test]
+fn remote_and_local_backends_agree() {
+    // The same data served two ways — one remote pair, one local pair —
+    // answers identically, proving the rewrite/clip path is backend-blind.
+    let db0 = SharedDatabase::new(Database::in_memory().unwrap());
+    let db1 = SharedDatabase::new(Database::in_memory().unwrap());
+    seed(&db0, 0, 3);
+    seed(&db1, 4, 7);
+    let srv0 = serve(db0.clone(), None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let srv1 = serve(db1.clone(), None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let pool = Arc::new(ThreadPool::new(2));
+    let remote = Coordinator::<MemPageStore>::new(
+        ShardMap::new(0, vec![4]).unwrap(),
+        vec![
+            ShardBackend::Remote(RemoteShard::new(srv0.addr().to_string())),
+            ShardBackend::Remote(RemoteShard::new(srv1.addr().to_string())),
+        ],
+        Arc::clone(&pool),
+    )
+    .unwrap();
+    let local = Coordinator::new(
+        ShardMap::new(0, vec![4]).unwrap(),
+        vec![
+            ShardBackend::Local(db0.clone()),
+            ShardBackend::Local(db1.clone()),
+        ],
+        pool,
+    )
+    .unwrap();
+
+    for q in [
+        "SELECT a FROM a",
+        "SELECT a[1:6, 2:5] FROM a",
+        "SELECT a[3:4, 0:7] + 5 FROM a",
+        "SELECT avg_cells(a) FROM a",
+        "SELECT max_cells(a[0:7, 3:3]) FROM a",
+        "SELECT count_cells(a > 40) FROM a",
+        "SELECT a FROM a WHERE a >= 31",
+        "SELECT min_cells(a) FROM a WHERE a != 0",
+    ] {
+        let ClusterStatement::Value(r) = remote.execute_with(q, Some(5_000)).unwrap() else {
+            panic!("{q}: unexpected explain");
+        };
+        let ClusterStatement::Value(l) = local.execute(q).unwrap() else {
+            panic!("{q}: unexpected explain");
+        };
+        match (&r.value, &l.value) {
+            (Value::Array(a), Value::Array(b)) => {
+                assert_eq!(a.domain(), b.domain(), "{q}");
+                assert_eq!(a.bytes(), b.bytes(), "{q}");
+            }
+            (Value::Number(n), Value::Number(m)) => {
+                assert_eq!(n.to_bits(), m.to_bits(), "{q}");
+            }
+            (Value::Count(c), Value::Count(d)) => assert_eq!(c, d, "{q}"),
+            (Value::Bool(b), Value::Bool(c)) => assert_eq!(b, c, "{q}"),
+            (a, b) => panic!("{q}: kind mismatch {a:?} vs {b:?}"),
+        }
+        assert_eq!(r.epochs.len(), 2, "{q}");
+    }
+
+    // Remote EXPLAIN carries per-shard counts from the live servers.
+    let ClusterStatement::Explain(report) = remote
+        .execute_with("EXPLAIN SELECT a FROM a", Some(5_000))
+        .unwrap()
+    else {
+        panic!("expected explain");
+    };
+    assert_eq!(report.shards.len(), 2);
+    assert!(report.fetched() > 0);
+    assert!(report.shards.iter().all(|s| s.sub_domain.is_some()));
+
+    // No pins left behind on either server by any of the above.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while (db0.live_snapshots() > 0 || db1.live_snapshots() > 0) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!((db0.live_snapshots(), db1.live_snapshots()), (0, 0));
+
+    srv0.shutdown();
+    srv1.shutdown();
+}

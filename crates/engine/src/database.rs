@@ -253,6 +253,16 @@ impl<S: PageStore> Database<S> {
         self.tracker.pending_blobs()
     }
 
+    /// Number of read snapshots currently alive against this database.
+    /// The cluster serving layer uses this as its snapshot-pinning surface:
+    /// after a coordinator unpins (or a coordinator connection dies), a
+    /// shard's count must return to its baseline — any other outcome is a
+    /// leaked pin that would block blob reclamation forever.
+    #[must_use]
+    pub fn live_snapshots(&self) -> u64 {
+        self.tracker.live_snapshots()
+    }
+
     /// Begins a read session: pins the current catalog at its epoch and
     /// returns a [`Snapshot`] that queries it without ever taking a
     /// database-wide lock. Tiles visible to the snapshot stay readable —

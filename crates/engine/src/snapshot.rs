@@ -158,8 +158,9 @@ impl EpochTracker {
         inner.retired.values().flatten().map(|b| b.0).collect()
     }
 
-    /// Number of live snapshots (tests/diagnostics).
-    #[cfg(test)]
+    /// Number of live snapshots. This is the cluster coordinator's pinning
+    /// surface: fault-injection tests assert a shard's count returns to
+    /// baseline after a partial failure (no leaked pinned snapshots).
     pub(crate) fn live_snapshots(&self) -> u64 {
         lock_recover(&self.inner).live.values().sum()
     }

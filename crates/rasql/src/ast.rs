@@ -37,6 +37,20 @@ pub enum Condenser {
 }
 
 impl Condenser {
+    /// The surface-syntax function name (inverse of [`Condenser::from_name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Condenser::Sum => "sum_cells",
+            Condenser::Avg => "avg_cells",
+            Condenser::Min => "min_cells",
+            Condenser::Max => "max_cells",
+            Condenser::Count => "count_cells",
+            Condenser::Some => "some_cells",
+            Condenser::All => "all_cells",
+        }
+    }
+
     /// Parses a function name.
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
@@ -147,4 +161,135 @@ pub enum Statement {
         /// Whether to execute the query and attach measured statistics.
         analyze: bool,
     },
+}
+
+// ---------------------------------------------------------------------------
+// Surface-syntax rendering. The cluster coordinator rewrites a parsed query
+// (clipping the subscript to a shard's owned sub-domain) and ships the result
+// back through the wire protocol as text, so every AST node must print in a
+// form [`crate::parse_statement`] accepts and that round-trips to an equal
+// AST. Scalars rely on Rust's shortest-round-trip `f64` formatting.
+
+impl std::fmt::Display for AxisSelect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn bound(f: &mut std::fmt::Formatter<'_>, b: Option<i64>) -> std::fmt::Result {
+            match b {
+                Some(v) => write!(f, "{v}"),
+                None => write!(f, "*"),
+            }
+        }
+        match self {
+            AxisSelect::Range { lo, hi } => {
+                bound(f, *lo)?;
+                write!(f, ":")?;
+                bound(f, *hi)
+            }
+            AxisSelect::Point(c) => write!(f, "{c}"),
+            AxisSelect::All => write!(f, "*"),
+        }
+    }
+}
+
+impl std::fmt::Display for Condenser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl InducedOp {
+    /// The surface-syntax operator symbol.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            InducedOp::Add => "+",
+            InducedOp::Sub => "-",
+            InducedOp::Mul => "*",
+            InducedOp::Div => "/",
+            InducedOp::Gt => ">",
+            InducedOp::Ge => ">=",
+            InducedOp::Lt => "<",
+            InducedOp::Le => "<=",
+            InducedOp::Eq => "=",
+            InducedOp::Ne => "!=",
+        }
+    }
+}
+
+impl std::fmt::Display for InducedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Formats a scalar literal so the tokenizer reads it back as one token:
+/// negative values print with a leading `-` the parser folds into the
+/// literal, and non-finite values (unreachable from parsed queries) fall
+/// back to `0` rather than printing unparseable text.
+fn fmt_scalar(f: &mut std::fmt::Formatter<'_>, v: f64) -> std::fmt::Result {
+    if v.is_finite() {
+        write!(f, "{v}")
+    } else {
+        write!(f, "0")
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Access {
+                collection,
+                subscript,
+            } => {
+                write!(f, "{collection}")?;
+                if let Some(axes) = subscript {
+                    write!(f, "[")?;
+                    for (i, a) in axes.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            Expr::Condense { op, arg } => write!(f, "{op}({arg})"),
+            Expr::Induce { lhs, op, rhs } => {
+                write!(f, "{lhs} {op} ")?;
+                fmt_scalar(f, *rhs)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} ", self.collection, self.op)?;
+        fmt_scalar(f, self.literal)
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT {} FROM {}", self.expr, self.from)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Statement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::Explain { query, analyze } => {
+                if *analyze {
+                    write!(f, "EXPLAIN ANALYZE {query}")
+                } else {
+                    write!(f, "EXPLAIN {query}")
+                }
+            }
+        }
+    }
 }

@@ -37,7 +37,7 @@ mod exec;
 mod parser;
 mod token;
 
-pub use ast::{AxisSelect, Condenser, Expr, InducedOp, Query, Statement};
+pub use ast::{AxisSelect, Condenser, Expr, InducedOp, Predicate, Query, Statement};
 pub use error::{QueryError, Result};
 pub use exec::{
     execute, execute_query, execute_statement, explain_query, AnalyzeInfo, ExplainReport,

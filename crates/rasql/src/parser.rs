@@ -488,4 +488,34 @@ mod tests {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
     }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        // The cluster coordinator rewrites parsed statements and re-serializes
+        // them over the wire, so Display output must parse back to an equal
+        // AST — including negative bounds, stars, sections, induced chains,
+        // fractional/negative scalars, predicates and EXPLAIN variants.
+        for text in [
+            "SELECT img FROM img",
+            "SELECT cube[0:99, *, 7, 2:*] FROM cube",
+            "SELECT m[-10:-1] FROM m",
+            "SELECT m[*:5, -3:*] FROM m",
+            "SELECT img + 10 FROM img",
+            "SELECT img[0:9, 0:9] > 2.5 FROM img",
+            "SELECT img * 2 - -3 FROM img",
+            "SELECT count_cells(img > 100) FROM img",
+            "SELECT avg_cells(cube[0:9, 0:9]) FROM cube",
+            "SELECT sum_cells(img) FROM img WHERE img > 3",
+            "SELECT img FROM img WHERE img <= -2.5",
+            "SELECT min_cells(cube[2, *, 0:4]) FROM cube WHERE cube != 0.5",
+            "EXPLAIN SELECT img FROM img WHERE img > 1",
+            "EXPLAIN ANALYZE SELECT max_cells(cube[0:3, 1:2, *]) FROM cube",
+        ] {
+            let stmt = parse_statement(text).unwrap();
+            let printed = stmt.to_string();
+            let reparsed = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("{printed:?} failed to re-parse: {e}"));
+            assert_eq!(stmt, reparsed, "round-trip changed {text:?} → {printed:?}");
+        }
+    }
 }

@@ -7,11 +7,12 @@
 //! "retry later" from "this request is wrong" without string matching.
 
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use tilestore_engine::Array;
 use tilestore_geometry::Domain;
-use tilestore_testkit::Json;
+use tilestore_testkit::{Json, Rng};
 
 use crate::wire::{hex_decode, hex_encode, read_frame, write_frame, ErrorCode};
 
@@ -30,6 +31,9 @@ pub enum ClientError {
     BadRequest(String),
     /// The engine failed the operation.
     Engine(String),
+    /// A cluster coordinator could not reach one of its shards; the message
+    /// names the failed shard.
+    ShardUnavailable(String),
     /// The response violated the wire protocol (bad frame, id mismatch,
     /// missing fields).
     Protocol(String),
@@ -44,6 +48,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Shutdown(m) => write!(f, "shutdown: {m}"),
             ClientError::BadRequest(m) => write!(f, "bad request: {m}"),
             ClientError::Engine(m) => write!(f, "engine: {m}"),
+            ClientError::ShardUnavailable(m) => write!(f, "shard unavailable: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
         }
     }
@@ -81,16 +86,67 @@ pub enum RemoteValue {
     Bool(bool),
 }
 
+/// Retry behaviour for transient failures ([`ClientError::Busy`] and
+/// transport errors). Off by default: retries re-send the request, which is
+/// only safe when the caller knows the operation is idempotent (reads,
+/// metadata) or tolerates re-execution. Delays grow exponentially from
+/// `base_delay_ms` and are jittered by the deterministic testkit PRNG so a
+/// thundering herd of clients desynchronizes without any wall-clock
+/// dependence in tests.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries attempted after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Seed for the jitter PRNG.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            seed: 0x7269_6c65,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (1-based):
+    /// exponential growth capped at `max_delay_ms`, then scaled by a uniform
+    /// factor in `[0.5, 1.0]` so synchronized clients spread out.
+    fn delay(&self, attempt: u32, rng: &mut Rng) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+            .min(self.max_delay_ms)
+            .max(1);
+        let jittered = exp / 2 + rng.gen_range(0..=exp / 2);
+        Duration::from_millis(jittered)
+    }
+}
+
 /// A blocking connection to a tilestore server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The server's address, kept for transparent reconnects.
+    addr: SocketAddr,
     next_id: u64,
     /// Deadline attached to every request, in ms (None = server default).
     deadline_ms: Option<u64>,
     /// The server-assigned request id echoed on the last response (0 until
     /// a response carried one).
     last_request_id: u64,
+    /// Transparent retry/reconnect policy; `None` surfaces every failure.
+    retry: Option<RetryPolicy>,
+    /// Jitter source for retry backoff.
+    rng: Rng,
 }
 
 impl Client {
@@ -101,13 +157,17 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
+            addr: peer,
             next_id: 1,
             deadline_ms: None,
             last_request_id: 0,
+            retry: None,
+            rng: Rng::seed_from_u64(RetryPolicy::default().seed),
         })
     }
 
@@ -116,6 +176,30 @@ impl Client {
     /// the server's default).
     pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
         self.deadline_ms = deadline_ms;
+    }
+
+    /// Enables (or with `None` disables) transparent retry: `busy`
+    /// responses are retried after jittered backoff on the same connection,
+    /// and transport failures (connection reset, server restart) trigger a
+    /// reconnect to the original address before the retry. Bounded by the
+    /// policy's `max_retries`; the final error surfaces unchanged.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        if let Some(p) = &policy {
+            self.rng = Rng::seed_from_u64(p.seed);
+        }
+        self.retry = policy;
+    }
+
+    /// Drops the current connection and dials the original address again.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn reconnect(&mut self) -> ClientResult<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
+        Ok(())
     }
 
     /// The request id the server assigned to (and echoed on) the most
@@ -128,19 +212,59 @@ impl Client {
         self.last_request_id
     }
 
-    /// Sends one request object and returns the `result` payload.
-    fn call(&mut self, op: &str, mut fields: Vec<(&str, Json)>) -> ClientResult<Json> {
+    /// Sends one request object and returns the `result` payload, applying
+    /// the retry policy (if any): `busy` retries on the same connection,
+    /// transport errors reconnect first. Non-transient failures (bad
+    /// request, engine, deadline, shutdown) surface immediately.
+    fn call(&mut self, op: &str, fields: Vec<(&str, Json)>) -> ClientResult<Json> {
+        let Some(policy) = self.retry.clone() else {
+            return self.call_once(op, &fields);
+        };
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call_once(op, &fields) {
+                Ok(v) => return Ok(v),
+                Err(e @ (ClientError::Busy(_) | ClientError::Io(_)))
+                    if attempt < policy.max_retries =>
+                {
+                    e
+                }
+                Err(e) => return Err(e),
+            };
+            attempt += 1;
+            std::thread::sleep(policy.delay(attempt, &mut self.rng));
+            if matches!(err, ClientError::Io(_)) {
+                // Reconnect failures burn a retry each; the last one's error
+                // is what the caller sees.
+                if let Err(re) = self.reconnect() {
+                    if attempt >= policy.max_retries {
+                        return Err(re);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One request/response exchange, no retries.
+    fn call_once(&mut self, op: &str, fields: &[(&str, Json)]) -> ClientResult<Json> {
         let id = self.next_id;
         self.next_id += 1;
         let mut all = vec![("id", Json::UInt(id)), ("op", Json::Str(op.to_string()))];
         if let Some(ms) = self.deadline_ms {
             all.push(("deadline_ms", Json::UInt(ms)));
         }
-        all.append(&mut fields);
+        all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
         let payload = Json::obj(all).to_string_compact();
         write_frame(&mut self.writer, payload.as_bytes())?;
-        let frame = read_frame(&mut self.reader)?
-            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))?;
+        let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+            // A clean close between frames is a transport failure from the
+            // caller's perspective: the request got no answer. Classifying
+            // it as `Io` lets the retry policy reconnect.
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "server closed the connection",
+            ))
+        })?;
         let resp = std::str::from_utf8(&frame)
             .ok()
             .and_then(|s| Json::parse(s).ok())
@@ -175,6 +299,7 @@ impl Client {
             Some(ErrorCode::Shutdown) => ClientError::Shutdown(message),
             Some(ErrorCode::BadRequest) => ClientError::BadRequest(message),
             Some(ErrorCode::Engine) => ClientError::Engine(message),
+            Some(ErrorCode::ShardUnavailable) => ClientError::ShardUnavailable(message),
             None => ClientError::Protocol(format!("unrecognized error response: {message}")),
         })
     }
@@ -305,6 +430,61 @@ impl Client {
             format!("EXPLAIN {query}")
         };
         self.call("query", vec![("q", Json::Str(stmt))])
+    }
+
+    /// Pins the server's current snapshot, returning `(pin id, epoch)`. The
+    /// snapshot stays readable server-side — across concurrent writes and
+    /// re-tiles — until [`Client::unpin`] or this connection closes. This is
+    /// the per-shard half of the cluster's epoch-agreement handshake.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn pin(&mut self) -> ClientResult<(u64, u64)> {
+        let r = self.call("pin", Vec::new())?;
+        let pin = r
+            .get("pin")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("pin response lacks pin id".to_string()))?;
+        let epoch = r
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("pin response lacks epoch".to_string()))?;
+        Ok((pin, epoch))
+    }
+
+    /// Releases a pinned snapshot.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn unpin(&mut self, pin: u64) -> ClientResult<()> {
+        self.call("unpin", vec![("pin", Json::UInt(pin))])
+            .map(|_| ())
+    }
+
+    /// Executes a rasql query against a pinned snapshot, returning the raw
+    /// result JSON (value, stats and the pinned epoch).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn query_pinned_raw(&mut self, q: &str, pin: u64) -> ClientResult<Json> {
+        self.call(
+            "query",
+            vec![("q", Json::Str(q.to_string())), ("pin", Json::UInt(pin))],
+        )
+    }
+
+    /// Fetches one object's metadata as seen by a pinned snapshot.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn info_pinned(&mut self, object: &str, pin: u64) -> ClientResult<Json> {
+        self.call(
+            "info",
+            vec![
+                ("object", Json::Str(object.to_string())),
+                ("pin", Json::UInt(pin)),
+            ],
+        )
     }
 
     /// Asks the server to shut down gracefully (drain, then save).

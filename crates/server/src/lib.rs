@@ -25,7 +25,7 @@ pub mod server;
 pub mod slowlog;
 pub mod wire;
 
-pub use client::{Client, ClientError, ClientResult, RemoteValue};
+pub use client::{Client, ClientError, ClientResult, RemoteValue, RetryPolicy};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use slowlog::{SlowQueryEntry, SlowQueryLog};
 pub use wire::{ErrorCode, MAX_FRAME};

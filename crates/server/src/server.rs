@@ -30,15 +30,16 @@
 //! performs a final atomic catalog save so a clean `fsck` is guaranteed
 //! after shutdown.
 
+use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tilestore_engine::{Array, SharedDatabase};
+use tilestore_engine::{Array, SharedDatabase, Snapshot};
 use tilestore_exec::ThreadPool;
 use tilestore_geometry::Domain;
 use tilestore_obs::Counter;
@@ -131,6 +132,61 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Upper bound on snapshots one connection may hold pinned at once. A
+/// cluster coordinator pins one snapshot per in-flight cross-shard read, so
+/// this bounds a misbehaving (or leaking) coordinator's hold on blob
+/// reclamation without affecting well-behaved ones.
+const MAX_PINS_PER_CONNECTION: usize = 64;
+
+/// Snapshots a connection has pinned via the `pin` op, keyed by the
+/// server-assigned pin id. The table is **per connection** and dropped with
+/// it, so a coordinator that dies mid-scatter releases every pin on this
+/// shard the moment its TCP session ends — `snapshots_active` returns to
+/// baseline without any distributed garbage collection.
+struct PinTable<S: PageStore> {
+    next: AtomicU64,
+    pins: Mutex<BTreeMap<u64, Arc<Snapshot<S>>>>,
+}
+
+impl<S: PageStore> PinTable<S> {
+    fn new() -> Self {
+        PinTable {
+            next: AtomicU64::new(1),
+            pins: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Pins `snap`, returning its id, or `None` at the per-connection cap.
+    fn insert(&self, snap: Snapshot<S>) -> Option<u64> {
+        let mut pins = self
+            .pins
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if pins.len() >= MAX_PINS_PER_CONNECTION {
+            return None;
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        pins.insert(id, Arc::new(snap));
+        Some(id)
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<Snapshot<S>>> {
+        self.pins
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&id)
+            .cloned()
+    }
+
+    fn remove(&self, id: u64) -> bool {
+        self.pins
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&id)
+            .is_some()
+    }
+}
+
 /// Everything a connection thread needs, cheaply cloneable.
 struct ConnCtx<S: PageStore> {
     db: SharedDatabase<S>,
@@ -147,6 +203,9 @@ struct ConnCtx<S: PageStore> {
     /// unique server-wide within a process lifetime.
     next_request: Arc<AtomicU64>,
     slow_log: Arc<SlowQueryLog>,
+    /// This connection's pinned snapshots. Replaced with a fresh table for
+    /// every accepted connection; clones made for pool dispatch share it.
+    pins: Arc<PinTable<S>>,
 }
 
 impl<S: PageStore> Clone for ConnCtx<S> {
@@ -164,6 +223,7 @@ impl<S: PageStore> Clone for ConnCtx<S> {
             deadline_rejections: Arc::clone(&self.deadline_rejections),
             next_request: Arc::clone(&self.next_request),
             slow_log: Arc::clone(&self.slow_log),
+            pins: Arc::clone(&self.pins),
         }
     }
 }
@@ -204,6 +264,7 @@ pub fn serve<S: PageStore + 'static>(
         deadline_rejections: reg.counter("server.deadline_rejections"),
         next_request: Arc::new(AtomicU64::new(1)),
         slow_log,
+        pins: Arc::new(PinTable::new()),
     };
     let connections = reg.gauge("server.connections");
     let save_errors = reg.counter("server.save_errors");
@@ -214,7 +275,11 @@ pub fn serve<S: PageStore + 'static>(
             while !ctx.shutdown.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        let ctx = ctx.clone();
+                        let mut ctx = ctx.clone();
+                        // Pins are per-connection state: a fresh table here
+                        // means a dying coordinator's pins unwind with its
+                        // session instead of outliving it.
+                        ctx.pins = Arc::new(PinTable::new());
                         connections.add(1);
                         let conn_gauge = Arc::clone(&connections);
                         let handle = std::thread::Builder::new()
@@ -474,8 +539,24 @@ fn handle_request<S: PageStore>(
             // across tile I/O, so a concurrent writer never blocks this
             // request and the response names the epoch it observed. The
             // snapshot carries the request id so engine-side spans (and the
-            // scattered tile fetches) stay attributed to this request.
-            let snap = ctx.db.snapshot();
+            // scattered tile fetches) stay attributed to this request. A
+            // request naming a `pin` executes against that previously pinned
+            // snapshot instead — the cluster coordinator's epoch-agreement
+            // path, where every shard must answer from the epoch pinned at
+            // the consistency point, not from "now".
+            let snap = match req.get("pin").and_then(Json::as_u64) {
+                Some(pin) => match ctx.pins.get(pin) {
+                    Some(s) => s,
+                    None => {
+                        return err_response(
+                            id,
+                            ErrorCode::BadRequest,
+                            &format!("unknown pin {pin}"),
+                        );
+                    }
+                },
+                None => Arc::new(ctx.db.snapshot()),
+            };
             snap.set_request_id(rid);
             match tilestore_rasql::execute_statement(&snap, q) {
                 Ok(tilestore_rasql::StatementResult::Value(value, stats)) => {
@@ -578,9 +659,49 @@ fn handle_request<S: PageStore>(
             let Some(object) = req.get("object").and_then(Json::as_str) else {
                 return err_response(id, ErrorCode::BadRequest, "info needs an `object`");
             };
+            // With a `pin`, metadata comes from the pinned snapshot so a
+            // coordinator resolving `*` bounds sees the same catalog state
+            // its queries will execute against.
+            if let Some(pin) = req.get("pin").and_then(Json::as_u64) {
+                let Some(snap) = ctx.pins.get(pin) else {
+                    return err_response(id, ErrorCode::BadRequest, &format!("unknown pin {pin}"));
+                };
+                return match snap.object(object) {
+                    Ok(o) => ok_response(id, with_epoch(object_info(&o), snap.epoch())),
+                    Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
+                };
+            }
             match ctx.db.object(object) {
                 Ok(o) => ok_response(id, object_info(&o)),
                 Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
+            }
+        }
+        "pin" => {
+            // The epoch-agreement handshake: pin the current snapshot and
+            // report its epoch. The snapshot stays alive (holding its epoch's
+            // blobs readable) until `unpin` or the end of this connection.
+            let snap = ctx.db.snapshot();
+            let epoch = snap.epoch();
+            match ctx.pins.insert(snap) {
+                Some(pin) => ok_response(
+                    id,
+                    Json::obj(vec![("pin", Json::UInt(pin)), ("epoch", Json::UInt(epoch))]),
+                ),
+                None => err_response(
+                    id,
+                    ErrorCode::Busy,
+                    &format!("connection holds {MAX_PINS_PER_CONNECTION} pins (limit)"),
+                ),
+            }
+        }
+        "unpin" => {
+            let Some(pin) = req.get("pin").and_then(Json::as_u64) else {
+                return err_response(id, ErrorCode::BadRequest, "unpin needs a `pin` id");
+            };
+            if ctx.pins.remove(pin) {
+                ok_response(id, Json::Str("unpinned".to_string()))
+            } else {
+                err_response(id, ErrorCode::BadRequest, &format!("unknown pin {pin}"))
             }
         }
         "stats" => {
@@ -688,6 +809,10 @@ fn object_info(o: &tilestore_engine::MddObject) -> Json {
         ("tiles", Json::UInt(o.tiles.len() as u64)),
         ("covered_cells", Json::UInt(o.covered_cells())),
         ("scheme", o.scheme.to_json()),
+        // Additive: the full MDD type, so a cluster coordinator resolving
+        // queries against remote shards knows the cell type (and its
+        // default value) without a second protocol round.
+        ("mdd_type", o.mdd_type.to_json()),
     ])
 }
 

@@ -40,6 +40,10 @@ pub enum ErrorCode {
     Engine,
     /// The server is shutting down and no longer accepts work.
     Shutdown,
+    /// A cluster coordinator could not reach one of its shards; the message
+    /// names the failed shard. Typed so a partial failure surfaces as a
+    /// prompt, identifiable error instead of a hung request.
+    ShardUnavailable,
 }
 
 impl ErrorCode {
@@ -52,6 +56,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::Engine => "engine",
             ErrorCode::Shutdown => "shutdown",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
         }
     }
 
@@ -64,6 +69,7 @@ impl ErrorCode {
             "bad_request" => ErrorCode::BadRequest,
             "engine" => ErrorCode::Engine,
             "shutdown" => ErrorCode::Shutdown,
+            "shard_unavailable" => ErrorCode::ShardUnavailable,
             _ => return None,
         })
     }
@@ -324,6 +330,7 @@ mod tests {
             ErrorCode::BadRequest,
             ErrorCode::Engine,
             ErrorCode::Shutdown,
+            ErrorCode::ShardUnavailable,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }

@@ -1,0 +1,134 @@
+//! Transparent reconnect-with-backoff: a [`Client`] with a [`RetryPolicy`]
+//! rides out `busy` responses and dropped connections against a flapping
+//! loopback server; without a policy the same failures surface immediately.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tilestore_server::wire::{err_response, ok_response, read_frame, write_frame, ErrorCode};
+use tilestore_server::{Client, ClientError, RetryPolicy};
+use tilestore_testkit::Json;
+
+/// A hand-rolled frame server that misbehaves on purpose. For each
+/// accepted connection it serves requests; the shared `failures` counter
+/// decides how the next request is (mis)treated.
+enum Flap {
+    /// Answer `busy` while failures remain, then answer normally.
+    Busy,
+    /// Drop the connection (mid-request) while failures remain.
+    Drop,
+}
+
+fn flapping_server(mode: Flap, failures: u32) -> (std::net::SocketAddr, Arc<AtomicU32>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let remaining = Arc::new(AtomicU32::new(failures));
+    let served = Arc::clone(&remaining);
+    thread::spawn(move || {
+        // Serve connections until the test process exits; each connection
+        // handles frames sequentially like the real server.
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            stream.set_nodelay(true).ok();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            while let Ok(Some(frame)) = read_frame(&mut reader) {
+                let req = Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+                let id = req.get("id").and_then(Json::as_u64).unwrap_or(0);
+                let fail = served
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok();
+                if fail {
+                    match mode {
+                        Flap::Busy => {
+                            let resp = err_response(id, ErrorCode::Busy, "simulated overload");
+                            write_frame(&mut writer, resp.to_string_compact().as_bytes()).unwrap();
+                            continue;
+                        }
+                        // Kill the connection without answering: the client
+                        // sees a reset (or a clean close mid-request).
+                        Flap::Drop => break,
+                    }
+                }
+                let resp = ok_response(id, Json::Str("pong".to_string()));
+                write_frame(&mut writer, resp.to_string_compact().as_bytes()).unwrap();
+            }
+        }
+    });
+    (addr, remaining)
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 5,
+        base_delay_ms: 2,
+        max_delay_ms: 20,
+        seed: 0xDEAD_BEEF,
+    }
+}
+
+#[test]
+fn busy_responses_are_retried_with_backoff() {
+    let (addr, remaining) = flapping_server(Flap::Busy, 3);
+    let mut client = Client::connect(addr).unwrap();
+    client.set_retry(Some(fast_policy()));
+    let started = Instant::now();
+    client
+        .ping()
+        .expect("retries should ride out 3 busy responses");
+    // Three retries with jittered exponential backoff take a measurable,
+    // bounded amount of time: at least base/2 * (1+2+4), at most the cap.
+    assert!(started.elapsed() >= Duration::from_millis(3));
+    assert!(started.elapsed() < Duration::from_secs(2));
+    assert_eq!(remaining.load(Ordering::SeqCst), 0);
+    // The connection is healthy afterwards.
+    client.ping().unwrap();
+}
+
+#[test]
+fn dropped_connections_trigger_reconnect() {
+    let (addr, _) = flapping_server(Flap::Drop, 2);
+    let mut client = Client::connect(addr).unwrap();
+    client.set_retry(Some(fast_policy()));
+    // Two consecutive drops (each on a fresh connection) are absorbed by
+    // reconnect-and-retry; the third attempt succeeds.
+    client
+        .ping()
+        .expect("reconnect should ride out dropped connections");
+    client.ping().unwrap();
+}
+
+#[test]
+fn without_a_policy_failures_surface_immediately() {
+    let (addr, _) = flapping_server(Flap::Busy, 1);
+    let mut client = Client::connect(addr).unwrap();
+    match client.ping() {
+        Err(ClientError::Busy(_)) => {}
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    let (addr, _) = flapping_server(Flap::Drop, 1);
+    let mut client = Client::connect(addr).unwrap();
+    match client.ping() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected io, got {other:?}"),
+    }
+}
+
+#[test]
+fn retries_are_bounded_by_the_policy() {
+    // More failures than max_retries: the final error surfaces unchanged.
+    let (addr, remaining) = flapping_server(Flap::Busy, 100);
+    let mut client = Client::connect(addr).unwrap();
+    client.set_retry(Some(fast_policy()));
+    match client.ping() {
+        Err(ClientError::Busy(_)) => {}
+        other => panic!("expected busy after exhausting retries, got {other:?}"),
+    }
+    // 1 initial attempt + 5 retries.
+    assert_eq!(remaining.load(Ordering::SeqCst), 100 - 6);
+}

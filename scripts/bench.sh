@@ -19,6 +19,10 @@
 #                    1/4/16-client throughput over a bare FilePageStore vs
 #                    the sharded cache, and PackBits/delta MB/s scalar vs
 #                    word-wide on constant-run and ramp payloads
+#   BENCH_PR9.json — scatter-gather cluster serving: 16-client read-mix
+#                    throughput over 1/2/4 local shards behind one
+#                    coordinator endpoint vs a plain single-engine serve,
+#                    with the ratio against the BENCH_PR8 16-client figure
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +35,7 @@ SNAPSHOT_OUT="${3:-BENCH_PR5.json}"
 PREDICATE_OUT="${4:-BENCH_PR6.json}"
 OBS_OUT="${5:-BENCH_PR7.json}"
 POOL_OUT="${6:-BENCH_PR8.json}"
+CLUSTER_OUT="${7:-BENCH_PR9.json}"
 
 cargo run --release --offline -p tilestore-bench --bin microbench -- "$MICRO_OUT"
 echo "micro-bench report written to $MICRO_OUT"
@@ -49,3 +54,6 @@ echo "observability overhead report written to $OBS_OUT"
 
 cargo run --release --offline -p tilestore-bench --bin pool_codec_bench -- "$POOL_OUT"
 echo "buffer-pool/codec bench report written to $POOL_OUT"
+
+cargo run --release --offline -p tilestore-bench --bin cluster_bench -- "$CLUSTER_OUT"
+echo "cluster bench report written to $CLUSTER_OUT"

@@ -25,11 +25,29 @@ TILESTORE=target/release/tilestore
 SMOKE_DIR=$(mktemp -d)
 SERVE_LOG="$SMOKE_DIR/serve.log"
 SERVER_PID=""
+SHARD0_PID=""
+SHARD1_PID=""
+COORD_PID=""
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    for pid in "$SERVER_PID" "$SHARD0_PID" "$SHARD1_PID" "$COORD_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
+
+# Polls a serve log for the bound address; dies if the process exits first.
+wait_addr() {
+    local log=$1 pid=$2 addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$log")
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; echo "server died during startup" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "server never reported its address" >&2
+    return 1
+}
 
 "$TILESTORE" "$SMOKE_DIR/db" init >/dev/null
 "$TILESTORE" "$SMOKE_DIR/db" create img u8 2 'aligned:[*,1]:8' >/dev/null
@@ -39,14 +57,8 @@ trap cleanup EXIT
 # ops-plane checks below observe entries deterministically.
 "$TILESTORE" "$SMOKE_DIR/db" serve 127.0.0.1:0 0 >"$SERVE_LOG" &
 SERVER_PID=$!
-ADDR=""
-for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/^listening on //p' "$SERVE_LOG")
-    [ -n "$ADDR" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVE_LOG"; echo "server died during startup"; exit 1; }
-    sleep 0.1
-done
-[ -n "$ADDR" ] && echo "smoke server on $ADDR" || { echo "server never reported its address"; exit 1; }
+ADDR=$(wait_addr "$SERVE_LOG" "$SERVER_PID")
+echo "smoke server on $ADDR"
 
 "$TILESTORE" client "$ADDR" ping | grep -q pong
 "$TILESTORE" client "$ADDR" query 'SELECT sum_cells(img) FROM img' >/dev/null
@@ -70,3 +82,41 @@ SERVER_PID=""
 "$TILESTORE" "$SMOKE_DIR/db" query 'SELECT max_cells(img) FROM img WHERE img < 100' | grep -q pruned
 "$TILESTORE" "$SMOKE_DIR/db" fsck >/dev/null
 echo "server smoke test passed"
+
+# --- Cluster smoke test: a 2-shard store split at row 16, each shard
+# served by its own process, with a scatter-gather coordinator in front.
+# A seam-straddling query must come back as one stitched slab carrying the
+# per-shard epoch vector.
+CLUSTER="$SMOKE_DIR/cluster"
+"$TILESTORE" "$CLUSTER" cluster-init 2 0 16 >/dev/null
+"$TILESTORE" "$CLUSTER" create img u32 2 'regular:4' >/dev/null
+"$TILESTORE" "$CLUSTER" load img '[0:31,0:31]' gradient >/dev/null
+# The coordinator answers directly over local shards first.
+"$TILESTORE" "$CLUSTER" query 'SELECT img[14:17,2:5] FROM img' | grep -q 'array over \[14:17,2:5\]'
+"$TILESTORE" "$CLUSTER" explain 'SELECT img FROM img' | grep -q 'shard 1'
+
+# Each shard directory is a plain database; serve the two shards as
+# independent processes, then the coordinator over their addresses.
+"$TILESTORE" "$CLUSTER/shard-0" serve 127.0.0.1:0 >"$SMOKE_DIR/shard0.log" &
+SHARD0_PID=$!
+"$TILESTORE" "$CLUSTER/shard-1" serve 127.0.0.1:0 >"$SMOKE_DIR/shard1.log" &
+SHARD1_PID=$!
+SHARD0_ADDR=$(wait_addr "$SMOKE_DIR/shard0.log" "$SHARD0_PID")
+SHARD1_ADDR=$(wait_addr "$SMOKE_DIR/shard1.log" "$SHARD1_PID")
+"$TILESTORE" "$CLUSTER" cluster-serve 127.0.0.1:0 "$SHARD0_ADDR,$SHARD1_ADDR" >"$SMOKE_DIR/coord.log" &
+COORD_PID=$!
+COORD_ADDR=$(wait_addr "$SMOKE_DIR/coord.log" "$COORD_PID")
+echo "cluster coordinator on $COORD_ADDR (shards $SHARD0_ADDR, $SHARD1_ADDR)"
+
+"$TILESTORE" client "$COORD_ADDR" ping | grep -q pong
+# Seam-straddling read through the full remote scatter-gather path.
+"$TILESTORE" client "$COORD_ADDR" query 'SELECT img[14:17,2:5] FROM img' >/dev/null
+"$TILESTORE" client "$COORD_ADDR" query 'SELECT sum_cells(img) FROM img' >/dev/null
+"$TILESTORE" client "$COORD_ADDR" explain 'SELECT img FROM img' | grep -q '"shard"'
+"$TILESTORE" client "$COORD_ADDR" cluster | grep -q '"shards": 2'
+kill "$COORD_PID" 2>/dev/null; wait "$COORD_PID" 2>/dev/null || true
+COORD_PID=""
+for pid in "$SHARD0_PID" "$SHARD1_PID"; do kill "$pid" 2>/dev/null; wait "$pid" 2>/dev/null || true; done
+SHARD0_PID=""
+SHARD1_PID=""
+echo "cluster smoke test passed"

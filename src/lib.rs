@@ -44,6 +44,10 @@ pub use tilestore_exec as exec;
 /// The TCP serving layer and its blocking client (re-exported whole).
 pub use tilestore_server as server;
 
+/// Sharded scatter-gather serving: shard map, coordinator, cluster serve
+/// endpoint (re-exported whole).
+pub use tilestore_cluster as cluster;
+
 pub use tilestore_compress::{Codec, CompressionPolicy};
 pub use tilestore_engine::{
     AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database,
