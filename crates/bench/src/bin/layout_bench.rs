@@ -1,0 +1,220 @@
+//! Physical-layout benchmark: scattered insertion vs `defrag`, emitting a
+//! machine-readable report.
+//!
+//! ```text
+//! cargo run -p tilestore-bench --release --bin layout_bench -- BENCH_PR10.json
+//! ```
+//!
+//! A 512×512 u32 array is inserted one 32×32 tile at a time in a shuffled
+//! order, so consecutive blob ids — and therefore consecutive disk pages —
+//! belong to spatially scattered tiles. A quadrant range query then touches
+//! 64 tiles strewn across the whole page file. After `defrag` rewrites the
+//! blobs in centroid Z-order, the same quadrant's tiles sit on consecutive
+//! pages and the batched read path folds them into a handful of positioned
+//! reads. The report pairs the two cold reads and records the raw run
+//! counters plus the §6 modelled retrieval time under the seek-dominated
+//! cost model (`t_o_coalesced`), where the layout win lives. Wall-clock
+//! medians for both layouts ride along (a deliberately undersized buffer
+//! pool keeps repeat queries hitting the disk path).
+//! `TILESTORE_BENCH_SAMPLES` bounds the per-workload sample count.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tilestore_engine::{Array, CellType, Database, DatabaseBuilder, MddType, QueryStats};
+use tilestore_exec::ThreadPool;
+use tilestore_geometry::Domain;
+use tilestore_storage::{CostModel, IoSnapshot};
+use tilestore_testkit::bench::{Group, Report};
+use tilestore_testkit::{Json, Rng, ToJson};
+use tilestore_tiling::{AlignedTiling, Scheme};
+
+/// Fixed seed so every run benches the identical shuffled insertion order.
+const SEED: u64 = 0x1CDE_1999;
+
+/// Side length of the square benchmark array, in cells.
+const SIDE: i64 = 512;
+
+/// Side length of one tile, in cells (32×32 u32 = one 4 KiB page).
+const TILE: i64 = 32;
+
+/// Frames in the reopened buffer pool — smaller than the quadrant's working
+/// set, so wall-clock samples keep exercising the positioned-read path.
+const CACHE_PAGES: usize = 32;
+
+fn ns(d: Duration) -> Json {
+    Json::UInt(d.as_nanos() as u64)
+}
+
+fn report_json(r: &Report) -> Json {
+    Json::obj(vec![
+        ("n", r.n.to_json()),
+        ("min_ns", ns(r.min)),
+        ("median_ns", ns(r.median)),
+        ("p95_ns", ns(r.p95)),
+        ("max_ns", ns(r.max)),
+    ])
+}
+
+/// The tile grid in shuffled order: every 32×32 tile domain exactly once.
+fn shuffled_tiles() -> Vec<Domain> {
+    let per_axis = SIDE / TILE;
+    let mut tiles: Vec<Domain> = (0..per_axis * per_axis)
+        .map(|i| {
+            let (r, c) = (i / per_axis * TILE, i % per_axis * TILE);
+            format!("[{r}:{},{c}:{}]", r + TILE - 1, c + TILE - 1)
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    let mut rng = Rng::seed_from_u64(SEED);
+    for i in (1..tiles.len()).rev() {
+        tiles.swap(i, (rng.next_u64() % (i as u64 + 1)) as usize);
+    }
+    tiles
+}
+
+fn cell_fill(dom: Domain) -> Array {
+    Array::from_fn(dom, |p| ((p[0] * 7 + p[1] * 13) % 100_003) as u32).unwrap()
+}
+
+/// Builds the scattered database on disk and saves it.
+fn build(dir: &Path) {
+    let db = DatabaseBuilder::new().create_dir(dir).unwrap();
+    db.create_object(
+        "bench",
+        MddType::new(CellType::of::<u32>(), "[0:*,0:*]".parse().unwrap()),
+        Scheme::Aligned(AlignedTiling::regular(2, 4096)),
+    )
+    .unwrap();
+    for dom in shuffled_tiles() {
+        db.insert("bench", &cell_fill(dom)).unwrap();
+    }
+    db.save(dir).unwrap();
+}
+
+/// Reopens the directory with a cold, undersized pool and an executor so
+/// queries take the batched parallel band path.
+fn reopen(dir: &Path) -> Database<tilestore_engine::CachedFileStore> {
+    DatabaseBuilder::new()
+        .executor(Arc::new(ThreadPool::new(2)))
+        .cache_pages(CACHE_PAGES)
+        .open_dir(dir)
+        .unwrap()
+}
+
+/// Positioned reads the §6 coalesced model charges a seek for.
+fn positioned(io: &IoSnapshot) -> u64 {
+    io.pages_read - io.pages_read_run + io.runs_coalesced
+}
+
+fn stats_json(s: &QueryStats, model: &CostModel) -> Json {
+    Json::obj(vec![
+        ("tiles_read", s.tiles_read.to_json()),
+        ("pages_read", s.io.pages_read.to_json()),
+        ("pages_read_run", s.io.pages_read_run.to_json()),
+        ("runs_coalesced", s.io.runs_coalesced.to_json()),
+        ("readahead_bytes", s.io.readahead_bytes.to_json()),
+        ("positioned_reads", positioned(&s.io).to_json()),
+        (
+            "t_o_coalesced_model_s",
+            model.t_o_coalesced(&s.io).to_json(),
+        ),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let tmp = tilestore_testkit::tempdir().expect("tempdir");
+    let dir = tmp.path().join("layout");
+    build(&dir);
+
+    let quadrant: Domain = format!("[0:{q},0:{q}]", q = SIDE / 2 - 1).parse().unwrap();
+    let model = CostModel::seek_dominated();
+
+    // --- Cold quadrant read over the scattered layout.
+    let frag_db = reopen(&dir);
+    let frag = frag_db.range_query("bench", &quadrant).unwrap();
+
+    // --- Defragment (full rewrite, one atomic commit), reopen cold, reread.
+    let receipt = frag_db.defrag("bench").unwrap();
+    assert!(receipt.stats.bytes_rewritten > 0, "defrag must rewrite");
+    frag_db.save(&dir).unwrap();
+    drop(frag_db);
+    let defrag_db = reopen(&dir);
+    let defragged = defrag_db.range_query("bench", &quadrant).unwrap();
+    assert_eq!(frag.array, defragged.array, "defrag must not change a cell");
+
+    let t_o_frag = model.t_o_coalesced(&frag.stats.io);
+    let t_o_defrag = model.t_o_coalesced(&defragged.stats.io);
+    let ratio = t_o_frag / t_o_defrag.max(f64::MIN_POSITIVE);
+    assert!(
+        defragged.stats.io.runs_coalesced > 0,
+        "defragged read must coalesce runs: {:?}",
+        defragged.stats.io
+    );
+    assert!(
+        positioned(&defragged.stats.io) < positioned(&frag.stats.io),
+        "defrag must cut positioned reads: {} -> {}",
+        positioned(&frag.stats.io),
+        positioned(&defragged.stats.io)
+    );
+    assert!(
+        ratio >= 1.5,
+        "modelled layout win regressed below 1.5x: {ratio:.2}x \
+         (fragmented {t_o_frag:.4}s, defragged {t_o_defrag:.4}s)"
+    );
+
+    // --- Wall-clock: the same quadrant against each layout. The pool is
+    // smaller than the working set, so samples keep paying real reads.
+    let mut group = Group::new("layout_bench");
+    group.sample_size(15);
+    let mut workloads: Vec<(&str, Report)> = Vec::new();
+
+    let frag_dir = tmp.path().join("layout_frag");
+    build(&frag_dir);
+    let frag_db = reopen(&frag_dir);
+    let r = group.bench("quadrant_scattered", || {
+        frag_db.range_query("bench", &quadrant).unwrap()
+    });
+    workloads.push(("quadrant_scattered", r));
+
+    let r = group.bench("quadrant_defragged", || {
+        defrag_db.range_query("bench", &quadrant).unwrap()
+    });
+    workloads.push(("quadrant_defragged", r));
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("layout_bench".to_string())),
+        ("seed", SEED.to_json()),
+        (
+            "layout",
+            Json::obj(vec![
+                ("fragmented", stats_json(&frag.stats, &model)),
+                ("defragged", stats_json(&defragged.stats, &model)),
+                ("bytes_rewritten", receipt.stats.bytes_rewritten.to_json()),
+                ("t_o_coalesced_ratio", ratio.to_json()),
+            ]),
+        ),
+        (
+            "workloads",
+            Json::Object(
+                workloads
+                    .iter()
+                    .map(|(name, r)| ((*name).to_string(), report_json(r)))
+                    .collect(),
+            ),
+        ),
+        ("metrics", tilestore_obs::metrics().snapshot().to_json()),
+    ]);
+
+    let text = report.to_string_pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{text}\n")).expect("write report");
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}

@@ -9,7 +9,7 @@ use tilestore_engine::{Array, CellType, Database, MddType};
 use tilestore_geometry::{DefDomain, Domain};
 use tilestore_rasql::Value;
 use tilestore_storage::CostModel;
-use tilestore_tiling::Scheme;
+use tilestore_tiling::{RetileSpec, Scheme};
 
 /// Errors surfaced to the CLI user as plain messages.
 pub type CliResult<T> = Result<T, String>;
@@ -311,35 +311,62 @@ pub fn compress(db: &Database<CachedFileStore>, name: &str, policy: &str) -> Cli
     Ok(format!("rewrote tiles: {before} -> {after} physical bytes"))
 }
 
-/// `retile <name> <scheme>`; the scheme `--from-log[:<dist>:<freq>:<maxKB>]`
-/// re-tiles from the recorded access log via statistic tiling (§5.4).
+/// `retile <name> <spec>` where the spec follows the shared
+/// [`tilestore_tiling::RETILE_USAGE`] grammar: a scheme,
+/// `--from-log[:<dist>:<freq>:<maxKB>]` (statistic tiling over the
+/// recorded access log, §5.4), or `--defrag[:<budgetKB>]` (curve-ordered
+/// physical compaction; a budget paces it in bounded commits).
 pub fn retile(db: &Database<CachedFileStore>, name: &str, spec: &str) -> CliResult<String> {
-    if let Some(rest) = spec.strip_prefix("--from-log") {
-        let mut parts = rest.strip_prefix(':').unwrap_or("").split(':');
-        let mut next = |default: u64, what: &str| -> CliResult<u64> {
-            match parts.next() {
-                None | Some("") => Ok(default),
-                Some(v) => v.parse().map_err(|e| format!("bad {what}: {e}")),
+    match tilestore_tiling::parse_retile_spec(spec)? {
+        RetileSpec::FromLog {
+            distance,
+            frequency,
+            max_tile_bytes,
+        } => {
+            let stats = db
+                .auto_retile_from_log(name, distance, frequency, max_tile_bytes)
+                .map_err(err)?;
+            Ok(format!(
+                "retiled from access log: {} -> {} tiles",
+                stats.tiles_before, stats.tiles_after
+            ))
+        }
+        RetileSpec::Defrag { budget_bytes: None } => {
+            let stats = db.defrag(name).map_err(err)?.stats;
+            Ok(format!(
+                "defragmented: {} tiles, {} bytes rewritten",
+                stats.tiles_after, stats.bytes_rewritten
+            ))
+        }
+        RetileSpec::Defrag {
+            budget_bytes: Some(budget),
+        } => {
+            let mut steps = 0u64;
+            let mut bytes = 0u64;
+            let mut tiles = 0u64;
+            loop {
+                let step = db.defrag_step(name, budget).map_err(err)?.stats;
+                steps += 1;
+                bytes += step.bytes_moved;
+                tiles += step.tiles_moved;
+                if step.tiles_remaining == 0 {
+                    break;
+                }
             }
-        };
-        let dist = next(0, "distance threshold")?;
-        let freq = next(1, "frequency threshold")?;
-        let max_kb = next(128, "MaxTileSize")?;
-        let stats = db
-            .auto_retile_from_log(name, dist, freq, max_kb * 1024)
-            .map_err(err)?;
-        return Ok(format!(
-            "retiled from access log: {} -> {} tiles",
-            stats.tiles_before, stats.tiles_after
-        ));
+            Ok(format!(
+                "defragmented in {steps} paced step(s): {tiles} tiles moved, {bytes} bytes rewritten"
+            ))
+        }
+        RetileSpec::Scheme(spec) => {
+            let dim = db.object(name).map_err(err)?.mdd_type.dim();
+            let scheme = parse_scheme(&spec, dim)?;
+            let stats = db.retile(name, scheme).map_err(err)?;
+            Ok(format!(
+                "retiled: {} -> {} tiles",
+                stats.tiles_before, stats.tiles_after
+            ))
+        }
     }
-    let dim = db.object(name).map_err(err)?.mdd_type.dim();
-    let scheme = parse_scheme(spec, dim)?;
-    let stats = db.retile(name, scheme).map_err(err)?;
-    Ok(format!(
-        "retiled: {} -> {} tiles",
-        stats.tiles_before, stats.tiles_after
-    ))
 }
 
 /// `stats` — database-wide I/O counters, per-object tile counts, the
@@ -792,15 +819,29 @@ pub fn cluster_info(coord: &Coordinator<CachedFileStore>, name: Option<&str>) ->
     }
 }
 
-/// `retile <name> <scheme>` on a cluster root: every shard re-tiles its
-/// sub-domain under one write gate.
+/// `retile <name> <spec>` on a cluster root: same grammar as the
+/// single-node command; every shard re-tiles (or defragments) its
+/// sub-domain under one write gate. `--from-log` surfaces the
+/// coordinator's typed unsupported error.
 pub fn cluster_retile(
     coord: &Coordinator<CachedFileStore>,
     name: &str,
     spec: &str,
 ) -> CliResult<String> {
+    let defrag = matches!(
+        tilestore_tiling::parse_retile_spec(spec),
+        Ok(RetileSpec::Defrag { .. })
+    );
     let write = coord.retile(name, spec).map_err(err)?;
     let merged = write.merged();
+    if defrag {
+        return Ok(format!(
+            "defragmented on {} shard(s): {} tiles, {} bytes rewritten",
+            write.per_shard.len(),
+            merged.tiles_after,
+            merged.bytes_rewritten
+        ));
+    }
     Ok(format!(
         "retiled on {} shard(s): {} -> {} tiles",
         write.per_shard.len(),

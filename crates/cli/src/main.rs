@@ -9,7 +9,7 @@
 //! tilestore <dbdir> stats
 //! tilestore <dbdir> trace "SELECT obj[0:9,0:9] FROM obj"
 //! tilestore <dbdir> compress <name> <none|selective>
-//! tilestore <dbdir> retile <name> <scheme|--from-log[:<dist>:<freq>:<maxKB>]>
+//! tilestore <dbdir> retile <name> <scheme | --from-log[:<dist>:<freq>:<maxKB>] | --defrag[:<budgetKB>]>
 //! tilestore <dbdir> drop <name>
 //! tilestore <dbdir> fsck
 //! tilestore <dbdir> repl
@@ -41,6 +41,8 @@ commands:
   compress <name> <none|selective>       set policy and rewrite tiles
   retile <name> <scheme>                 re-tile an object
   retile <name> --from-log[:d:f:kb]      statistic re-tile from the access log
+  retile <name> --defrag[:budgetKB]      rewrite tile BLOBs onto contiguous pages in
+                                         Z-order (budget paces the rewrite in steps)
   delete <name> <domain>                 remove a region's cells
   drop <name>                            remove an object
   fsck                                   audit catalog/page-file consistency
@@ -57,7 +59,7 @@ through a scatter-gather coordinator over its shard-<k>/ databases):
 or, without a <dbdir>:
   tilestore client <addr> <op> [args...] talk to a serve instance
     ops: ping | query <rasql> | explain <rasql> [--analyze]
-         | load <name> <domain> <pattern> | retile <name> <scheme>
+         | load <name> <domain> <pattern> | retile <name> <spec>
          | info <name> | stats | metrics | health | cluster
          | top [limit] | fsck | shutdown";
 
@@ -171,8 +173,8 @@ fn run(args: &[String]) -> CliResult<String> {
             _ => Err("compress <name> <none|selective>".to_string()),
         },
         "retile" => match args {
-            [name, scheme] => with_db(&dir, |db| commands::retile(db, name, scheme)),
-            _ => Err("retile <name> <scheme>".to_string()),
+            [name, spec] => with_db(&dir, |db| commands::retile(db, name, spec)),
+            _ => Err(format!("retile <name> {}", tilestore_tiling::RETILE_USAGE)),
         },
         "delete" => match args {
             [name, domain] => with_db(&dir, |db| commands::delete(db, name, domain)),
@@ -234,10 +236,8 @@ fn run_cluster(dir: &Path, command: &str, args: &[String]) -> CliResult<String> 
             commands::cluster_info(&coord, args.first().map(String::as_str))
         }
         "retile" => match args {
-            [name, scheme] => {
-                with_cluster(dir, |coord| commands::cluster_retile(coord, name, scheme))
-            }
-            _ => Err("retile <name> <scheme>".to_string()),
+            [name, spec] => with_cluster(dir, |coord| commands::cluster_retile(coord, name, spec)),
+            _ => Err(format!("retile <name> {}", tilestore_tiling::RETILE_USAGE)),
         },
         "serve" => match args {
             [addr] => commands::cluster_serve(dir, addr),
@@ -353,6 +353,11 @@ mod tests {
         assert!(run(&s(&[d, "trace"])).is_err());
         let out = run(&s(&[d, "retile", "img", "--from-log"])).unwrap();
         assert!(out.contains("from access log"), "{out}");
+        // Defrag shares the retile grammar: full rewrite, then a paced one.
+        let out = run(&s(&[d, "retile", "img", "--defrag"])).unwrap();
+        assert!(out.contains("defragmented"), "{out}");
+        let out = run(&s(&[d, "retile", "img", "--defrag:2"])).unwrap();
+        assert!(out.contains("defragmented"), "{out}");
         let out = run(&s(&[d, "query", "SELECT img[0:1,0:1] FROM img"])).unwrap();
         assert!(out.contains("array over [0:1,0:1]"), "{out}");
         let out = run(&s(&[d, "fsck"])).unwrap();
@@ -388,6 +393,12 @@ mod tests {
         assert!(out.contains("img"), "{out}");
         let out = run(&s(&[d, "retile", "img", "regular:8"])).unwrap();
         assert!(out.contains("2 shard(s)"), "{out}");
+        // The cluster path shares the retile grammar: defrag works per
+        // shard, --from-log is a typed unsupported error.
+        let out = run(&s(&[d, "retile", "img", "--defrag"])).unwrap();
+        assert!(out.contains("defragmented on 2 shard(s)"), "{out}");
+        let e = run(&s(&[d, "retile", "img", "--from-log"])).unwrap_err();
+        assert!(e.contains("unsupported in cluster mode"), "{e}");
         let out = run(&s(&[d, "query", "SELECT sum_cells(img) FROM img"])).unwrap();
         assert!(out.contains("epochs"), "{out}");
         // Data commands that bypass the coordinator are rejected on a
@@ -414,5 +425,9 @@ mod tests {
         assert!(run(&s(&[d, "frobnicate"])).is_err());
         assert!(run(&s(&[d, "create", "x"])).is_err());
         assert!(run(&s(&[d, "load", "x"])).is_err());
+        // The retile usage string advertises the full shared grammar.
+        let e = run(&s(&[d, "retile", "x"])).unwrap_err();
+        assert!(e.contains("--defrag"), "{e}");
+        assert!(e.contains("--from-log"), "{e}");
     }
 }

@@ -33,7 +33,7 @@ use tilestore_rasql::{
 use tilestore_server::ClientError;
 use tilestore_storage::PageStore;
 use tilestore_testkit::json::{FromJson, Json, ToJson};
-use tilestore_tiling::Scheme;
+use tilestore_tiling::{RetileSpec, Scheme};
 
 use crate::backend::{
     map_client_error, pin_shard, shard_retry_seed, PinnedObject, ShardBackend, ShardExplainCounts,
@@ -637,23 +637,47 @@ impl<S: PageStore> Coordinator<S> {
 
     /// Pushes a re-tiling spec to every shard (each re-tiles its own
     /// sub-domain), under the exclusive gate so the epoch advance is
-    /// cluster-consistent.
+    /// cluster-consistent. Accepts the same grammar as the single-node
+    /// `retile` command ([`tilestore_tiling::RETILE_USAGE`]): an explicit
+    /// scheme or `--defrag[:<budgetKB>]`. `--from-log` is rejected with
+    /// [`ClusterError::Unsupported`] — access logs are per-shard and a
+    /// cross-shard merge does not exist yet.
     ///
     /// # Errors
-    /// Shard failures, bad specs.
+    /// Shard failures, bad specs, [`ClusterError::Unsupported`] for
+    /// `--from-log`.
     pub fn retile(&self, object: &str, spec: &str) -> Result<ClusterWrite<RetileStats>> {
+        let parsed = tilestore_tiling::parse_retile_spec(spec).map_err(ClusterError::Config)?;
+        if matches!(parsed, RetileSpec::FromLog { .. }) {
+            return Err(ClusterError::Unsupported {
+                op: "retile --from-log".to_string(),
+                detail: "access logs are per-shard; retile with an explicit scheme or run \
+                         --from-log on each shard server directly"
+                    .to_string(),
+            });
+        }
         let _g = self.gate.write().expect("cluster gate poisoned");
         let mut per_shard = Vec::new();
         for k in 0..self.backends.len() {
             match &self.backends[k] {
                 ShardBackend::Local(db) => {
-                    let dim = db.object(object)?.mdd_type.dim();
-                    let scheme: Scheme = tilestore_tiling::parse_scheme_spec(spec, dim)
-                        .map_err(ClusterError::Config)?;
                     // Shards whose sub-domain holds no data yet have nothing
                     // to rewrite; skip them instead of failing the cluster.
-                    match db.retile(object, scheme) {
-                        Ok(receipt) => per_shard.push((k, receipt.epoch, receipt.stats)),
+                    let applied = match &parsed {
+                        RetileSpec::Defrag { budget_bytes } => {
+                            Self::defrag_local(db, object, *budget_bytes)
+                        }
+                        RetileSpec::Scheme(_) => {
+                            let dim = db.object(object)?.mdd_type.dim();
+                            let scheme: Scheme = tilestore_tiling::parse_scheme_spec(spec, dim)
+                                .map_err(ClusterError::Config)?;
+                            db.retile(object, scheme)
+                                .map(|receipt| (receipt.epoch, receipt.stats))
+                        }
+                        RetileSpec::FromLog { .. } => unreachable!("rejected above"),
+                    };
+                    match applied {
+                        Ok((epoch, stats)) => per_shard.push((k, epoch, stats)),
                         Err(tilestore_engine::EngineError::EmptyObject(_)) => {}
                         Err(e) => return Err(e.into()),
                     }
@@ -678,6 +702,34 @@ impl<S: PageStore> Coordinator<S> {
             }
         }
         Ok(ClusterWrite { per_shard })
+    }
+
+    /// Runs a (possibly budget-paced) defrag on one local shard and
+    /// normalises both pacing modes to `(epoch, RetileStats)` so the
+    /// cluster write report has one shape.
+    fn defrag_local(
+        db: &tilestore_engine::SharedDatabase<S>,
+        object: &str,
+        budget_bytes: Option<u64>,
+    ) -> std::result::Result<(u64, RetileStats), tilestore_engine::EngineError> {
+        let Some(budget) = budget_bytes else {
+            let receipt = db.defrag(object)?;
+            return Ok((receipt.epoch, receipt.stats));
+        };
+        let tiles = db.object(object)?.tiles.len() as u64;
+        let mut stats = RetileStats {
+            tiles_before: tiles,
+            tiles_after: tiles,
+            ..RetileStats::default()
+        };
+        loop {
+            let step = db.defrag_step(object, budget)?;
+            stats.bytes_rewritten += step.stats.bytes_moved;
+            stats.elapsed_ns = stats.elapsed_ns.saturating_add(step.stats.elapsed_ns);
+            if step.stats.tiles_remaining == 0 {
+                return Ok((step.epoch, stats));
+            }
+        }
     }
 
     /// Creates an object on every **local** shard. Remote shards are

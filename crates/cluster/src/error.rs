@@ -31,6 +31,16 @@ pub enum ClusterError {
         /// What went wrong.
         detail: String,
     },
+    /// The operation is valid on a single node but has no cluster-wide
+    /// implementation (e.g. `retile --from-log`, which would need a merged
+    /// cross-shard access log). Typed so callers can distinguish "never
+    /// works here" from a transient shard failure.
+    Unsupported {
+        /// The operation that was requested.
+        op: String,
+        /// Why it cannot run across shards.
+        detail: String,
+    },
     /// The request's deadline expired at a shard.
     Deadline {
         /// The shard that timed out.
@@ -55,6 +65,9 @@ impl std::fmt::Display for ClusterError {
                 addr,
                 detail,
             } => write!(f, "shard {shard} ({addr}) unavailable: {detail}"),
+            ClusterError::Unsupported { op, detail } => {
+                write!(f, "{op} is unsupported in cluster mode: {detail}")
+            }
             ClusterError::Deadline { shard, detail } => {
                 write!(f, "shard {shard} deadline: {detail}")
             }

@@ -254,7 +254,7 @@ fn cluster_err(id: u64, e: &ClusterError) -> Json {
     let code = match e {
         ClusterError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
         ClusterError::Deadline { .. } => ErrorCode::Deadline,
-        ClusterError::Config(_) => ErrorCode::BadRequest,
+        ClusterError::Config(_) | ClusterError::Unsupported { .. } => ErrorCode::BadRequest,
         ClusterError::Query(q) => match q {
             tilestore_rasql::QueryError::Engine(_) => ErrorCode::Engine,
             _ => ErrorCode::BadRequest,

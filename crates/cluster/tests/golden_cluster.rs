@@ -256,3 +256,55 @@ fn cluster_retile_preserves_answers() {
         assert_same(&format!("{q} (retiled)"), &want, &got.value);
     }
 }
+
+#[test]
+fn cluster_defrag_preserves_answers_on_every_shard() {
+    // Defrag flows through the shared retile grammar: each owning shard
+    // compacts its own page file, empty tail shards are skipped, and the
+    // whole corpus still answers byte-identically. A budget-paced pass
+    // afterwards converges immediately and changes nothing either.
+    let single = single_engine();
+    let coord = cluster(4);
+    let w = coord.retile("cube", "--defrag").unwrap();
+    assert_eq!(
+        w.per_shard.len(),
+        4,
+        "every data-owning shard reports a defrag"
+    );
+    for q in GOLDEN {
+        let want = tilestore_rasql::execute(&single.begin_read(), q).unwrap().0;
+        let ClusterStatement::Value(got) = coord.execute(q).unwrap() else {
+            panic!("{q}: unexpected explain");
+        };
+        assert_same(&format!("{q} (defragged)"), &want, &got.value);
+    }
+    let w = coord.retile("cube", "--defrag:1").unwrap();
+    assert_eq!(w.per_shard.len(), 4);
+    for q in GOLDEN {
+        let want = tilestore_rasql::execute(&single.begin_read(), q).unwrap().0;
+        let ClusterStatement::Value(got) = coord.execute(q).unwrap() else {
+            panic!("{q}: unexpected explain");
+        };
+        assert_same(&format!("{q} (paced defrag)"), &want, &got.value);
+    }
+}
+
+#[test]
+fn cluster_from_log_is_a_typed_unsupported_error() {
+    let coord = cluster(2);
+    let e = match coord.retile("cube", "--from-log") {
+        Ok(_) => panic!("--from-log must be rejected in cluster mode"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(e, tilestore_cluster::ClusterError::Unsupported { .. }),
+        "{e}"
+    );
+    assert!(e.to_string().contains("unsupported in cluster mode"), "{e}");
+    // The cluster still answers after the rejected verb.
+    let ClusterStatement::Value(v) = coord.execute("SELECT max_cells(cube) FROM cube").unwrap()
+    else {
+        panic!("unexpected explain");
+    };
+    assert_eq!(v.value, Value::Number(999.0));
+}

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use tilestore_compress::{CellContext, CompressionPolicy};
 use tilestore_exec::ThreadPool;
-use tilestore_geometry::{copy_region, Domain};
+use tilestore_geometry::{copy_region, morton_centroid_key, Domain};
 use tilestore_index::RPlusTree;
 use tilestore_obs::AccessRecorder;
 use tilestore_storage::{BlobId, BlobStore, IoStats, MemPageStore, PageStore, DEFAULT_PAGE_SIZE};
@@ -36,7 +36,7 @@ use crate::mdd::{MddObject, MddType, TileMeta};
 use crate::snapshot::{
     lock_recover, CatalogState, EpochTracker, ObjectEntry, QueryResult, Snapshot, WriteReceipt,
 };
-use crate::stats::{InsertStats, RetileStats};
+use crate::stats::{DefragStep, InsertStats, RetileStats};
 use crate::synopsis::TileSynopsis;
 
 /// A database of tiled MDD objects over a page store `S`.
@@ -174,12 +174,6 @@ impl<S: PageStore> Database<S> {
         *lock_recover(&self.recorder) = Some(Arc::new(recorder));
     }
 
-    /// Deprecated alias of [`Database::set_recorder`] (which takes `&self`).
-    #[deprecated(note = "use `set_recorder` or `DatabaseBuilder::recorder`")]
-    pub fn attach_recorder(&mut self, recorder: AccessRecorder) {
-        self.set_recorder(recorder);
-    }
-
     /// The attached access recorder, if any.
     #[must_use]
     pub fn recorder(&self) -> Option<Arc<AccessRecorder>> {
@@ -192,12 +186,6 @@ impl<S: PageStore> Database<S> {
     /// tiles in parallel. Without an executor every path stays serial.
     pub fn set_executor(&self, pool: Arc<ThreadPool>) {
         *lock_recover(&self.executor) = Some(pool);
-    }
-
-    /// Deprecated alias of [`Database::set_executor`] (which takes `&self`).
-    #[deprecated(note = "use `set_executor` or `DatabaseBuilder::executor`")]
-    pub fn attach_executor(&mut self, pool: Arc<ThreadPool>) {
-        self.set_executor(pool);
     }
 
     /// The attached executor, if any.
@@ -760,6 +748,143 @@ impl<S: PageStore> Database<S> {
         Ok(WriteReceipt { stats, epoch })
     }
 
+    /// Rewrites an object's tile BLOBs onto physically contiguous pages in
+    /// Z-order of their bounding-box centroids, without changing the tiling
+    /// or any cell. Tile payloads are copied byte-for-byte (no decompress/
+    /// recompress), so every object remains bit-identical; only the
+    /// directory's page mapping changes. After a defrag, a range query's
+    /// curve-adjacent tiles sit on consecutive pages and the batch read
+    /// path coalesces them into single positioned reads.
+    ///
+    /// One atomic commit: live snapshots keep reading the old placement,
+    /// and the displaced blobs are quarantined and reclaimed through the
+    /// usual epoch-deferred path. Already-defragmented objects commit
+    /// nothing and return the current epoch.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`], [`EngineError::EmptyObject`],
+    /// storage errors.
+    pub fn defrag(&self, name: &str) -> Result<WriteReceipt<RetileStats>> {
+        let _span = tilestore_obs::tracer().span_with("defrag", || format!("object={name}"));
+        let started = Instant::now();
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let meta = Arc::clone(&cat.entry(name)?.meta);
+        meta.current_domain
+            .as_ref()
+            .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
+        let order = curve_order(&meta.tiles);
+        let mut stats = RetileStats {
+            tiles_before: meta.tiles.len() as u64,
+            tiles_after: meta.tiles.len() as u64,
+            ..RetileStats::default()
+        };
+        if self.contiguous_prefix(&meta.tiles, &order)? == order.len() {
+            stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            return Ok(WriteReceipt {
+                stats,
+                epoch: cat.version,
+            });
+        }
+        let mut new_meta = (*meta).clone();
+        let mut retired = Vec::with_capacity(order.len());
+        let mut scratch = Vec::new();
+        for &pos in &order {
+            let old = meta.tiles[pos].blob;
+            let len = self.blobs.read_into(old, &mut scratch)?;
+            new_meta.tiles[pos].blob = self.blobs.create_contiguous(&scratch[..len])?;
+            retired.push(old);
+            stats.bytes_rewritten += len as u64;
+        }
+        let epoch = self.install_object(&cat, name, new_meta, retired);
+        stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Ok(WriteReceipt { stats, epoch })
+    }
+
+    /// One budget-paced step of [`Database::defrag`]: rewrites at most
+    /// `budget_bytes` worth of tiles (always at least two, so tiny budgets
+    /// still converge) and commits, so background compaction never holds
+    /// the writer lock or doubles disk usage for longer than one step.
+    ///
+    /// Steps are resumable without side state: each step finds the longest
+    /// curve-order prefix already contiguous at the allocation frontier and
+    /// extends it. `tiles_remaining == 0` in the returned stats means the
+    /// object is fully defragmented.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownObject`], [`EngineError::EmptyObject`],
+    /// storage errors.
+    pub fn defrag_step(&self, name: &str, budget_bytes: u64) -> Result<WriteReceipt<DefragStep>> {
+        let _span = tilestore_obs::tracer().span_with("defrag_step", || format!("object={name}"));
+        let started = Instant::now();
+        let _w = self.lock_writer();
+        let cat = self.current_catalog();
+        let meta = Arc::clone(&cat.entry(name)?.meta);
+        meta.current_domain
+            .as_ref()
+            .ok_or_else(|| EngineError::EmptyObject(name.to_string()))?;
+        let order = curve_order(&meta.tiles);
+        let n = order.len();
+        let chain = self.contiguous_prefix(&meta.tiles, &order)?;
+        let mut stats = DefragStep::default();
+        if chain == n {
+            stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            return Ok(WriteReceipt {
+                stats,
+                epoch: cat.version,
+            });
+        }
+        // Resume after the already-contiguous prefix only when it ends at
+        // the allocation frontier — only there can the next contiguous
+        // create extend it. Otherwise (first step, or another writer
+        // allocated in between) start over from the curve origin.
+        let start = if chain > 0 {
+            let last = self
+                .blobs
+                .blob_placement(meta.tiles[order[chain - 1]].blob)?;
+            if last.first_page.0 + last.pages == self.blobs.page_store().allocated() {
+                chain
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        let mut new_meta = (*meta).clone();
+        let mut retired = Vec::new();
+        let mut scratch = Vec::new();
+        let mut end = start;
+        while end < n && (stats.tiles_moved < 2 || stats.bytes_moved < budget_bytes) {
+            let pos = order[end];
+            let old = meta.tiles[pos].blob;
+            let len = self.blobs.read_into(old, &mut scratch)?;
+            new_meta.tiles[pos].blob = self.blobs.create_contiguous(&scratch[..len])?;
+            retired.push(old);
+            stats.tiles_moved += 1;
+            stats.bytes_moved += len as u64;
+            end += 1;
+        }
+        stats.tiles_remaining = (n - end) as u64;
+        let epoch = self.install_object(&cat, name, new_meta, retired);
+        stats.elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Ok(WriteReceipt { stats, epoch })
+    }
+
+    /// Longest prefix of `order` whose blobs are each physically contiguous
+    /// and laid end-to-end in curve order — already-defragmented tiles a
+    /// compaction step can skip.
+    fn contiguous_prefix(&self, tiles: &[TileMeta], order: &[usize]) -> Result<usize> {
+        let mut prev_end: Option<u64> = None;
+        for (k, &pos) in order.iter().enumerate() {
+            let p = self.blobs.blob_placement(tiles[pos].blob)?;
+            if p.runs != 1 || prev_end.is_some_and(|e| e != p.first_page.0) {
+                return Ok(k);
+            }
+            prev_end = Some(p.first_page.0 + p.pages);
+        }
+        Ok(order.len())
+    }
+
     /// Automatic tiling based on access statistics (§5.2): derives a
     /// [`StatisticTiling`] from the object's access log and re-tiles.
     ///
@@ -818,6 +943,22 @@ impl<S: PageStore> Database<S> {
         ));
         self.retile(name, scheme)
     }
+}
+
+/// Tile positions sorted by the Morton key of each tile's bounding-box
+/// centroid, relative to the hull of all tiles — the physical placement
+/// order the defragmenter writes.
+fn curve_order(tiles: &[TileMeta]) -> Vec<usize> {
+    let Some(first) = tiles.first() else {
+        return Vec::new();
+    };
+    let hull = tiles.iter().skip(1).fold(first.domain.clone(), |acc, t| {
+        acc.hull(&t.domain).expect("uniform dimensionality")
+    });
+    let origin = hull.lowest();
+    let mut order: Vec<usize> = (0..tiles.len()).collect();
+    order.sort_by_key(|&i| morton_centroid_key(&tiles[i].domain, &origin));
+    order
 }
 
 #[cfg(test)]
@@ -1123,6 +1264,113 @@ mod tests {
         // Dropping the last old snapshot reclaims the retired blobs; what
         // remains is the new tiles plus the value-bitmap blob.
         drop(snap);
+        assert_eq!(
+            db.blob_store().blob_count(),
+            db.object("obj").unwrap().tile_count() + 1
+        );
+    }
+
+    /// Inserts row-bands one at a time so consecutive blob ids belong to
+    /// spatially scattered tiles — the worst case for physical locality.
+    /// Carries an executor so queries exercise the batched band read path.
+    fn scattered_db() -> Database<MemPageStore> {
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        db.set_executor(Arc::new(ThreadPool::new(2)));
+        // Reverse row order: later rows get earlier pages.
+        for row in (0..4).rev() {
+            let lo = row * 16;
+            let dom = format!("[{}:{},0:63]", lo, lo + 15);
+            db.insert("obj", &checkerboard(&dom)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn defrag_preserves_contents_and_coalesces_reads() {
+        let db = scattered_db();
+        let before = db.range_query("obj", &d("[0:63,0:63]")).unwrap();
+        let meta_before = db.object("obj").unwrap();
+        let receipt = db.defrag("obj").unwrap();
+        assert_eq!(receipt.stats.tiles_before, receipt.stats.tiles_after);
+        assert!(receipt.stats.bytes_rewritten > 0);
+        let after = db.range_query("obj", &d("[0:63,0:63]")).unwrap();
+        assert_eq!(after.array, before.array, "defrag must not change a cell");
+        // Tiling unchanged: same tile count, same domains, new blobs.
+        let meta_after = db.object("obj").unwrap();
+        assert_eq!(meta_before.tiles.len(), meta_after.tiles.len());
+        for (a, b) in meta_before.tiles.iter().zip(&meta_after.tiles) {
+            assert_eq!(a.domain, b.domain);
+        }
+        // Every blob is now contiguous, and the full-object read coalesces
+        // into physical runs.
+        for t in &meta_after.tiles {
+            assert_eq!(db.blob_store().blob_placement(t.blob).unwrap().runs, 1);
+        }
+        db.io_stats().reset();
+        let _ = db.range_query("obj", &d("[0:63,0:63]")).unwrap();
+        let io = db.io_stats().snapshot();
+        assert!(
+            io.runs_coalesced > 0 && io.runs_coalesced < io.pages_read,
+            "expected coalesced runs, got {io:?}"
+        );
+        // Idempotent: a second defrag finds everything in place and
+        // commits nothing.
+        let epoch = db.begin_read().epoch();
+        let again = db.defrag("obj").unwrap();
+        assert_eq!(again.epoch, epoch);
+        assert_eq!(again.stats.bytes_rewritten, 0);
+    }
+
+    #[test]
+    fn defrag_step_converges_under_tiny_budget() {
+        let db = scattered_db();
+        let before = db.range_query("obj", &d("[0:63,0:63]")).unwrap();
+        let mut steps = 0;
+        loop {
+            // A 1-byte budget still moves at least two tiles per step.
+            let receipt = db.defrag_step("obj", 1).unwrap();
+            steps += 1;
+            assert!(steps < 100, "defrag_step failed to converge");
+            if receipt.stats.tiles_remaining == 0 {
+                break;
+            }
+            assert!(receipt.stats.tiles_moved >= 2);
+        }
+        assert!(steps > 1, "tiny budget should need several steps");
+        let after = db.range_query("obj", &d("[0:63,0:63]")).unwrap();
+        assert_eq!(after.array, before.array);
+        for t in &db.object("obj").unwrap().tiles {
+            assert_eq!(db.blob_store().blob_placement(t.blob).unwrap().runs, 1);
+        }
+        // Converged: the next step is a no-op at the same epoch.
+        let epoch = db.begin_read().epoch();
+        let done = db.defrag_step("obj", 1).unwrap();
+        assert_eq!(done.stats.tiles_moved, 0);
+        assert_eq!(done.stats.tiles_remaining, 0);
+        assert_eq!(done.epoch, epoch);
+    }
+
+    #[test]
+    fn defrag_empty_object_reports_empty() {
+        let db = fresh_db_with_object(Scheme::Aligned(AlignedTiling::regular(2, 1024)));
+        assert!(matches!(db.defrag("obj"), Err(EngineError::EmptyObject(_))));
+        assert!(matches!(
+            db.defrag_step("obj", 1 << 20),
+            Err(EngineError::EmptyObject(_))
+        ));
+        assert!(db.defrag("nope").is_err());
+    }
+
+    #[test]
+    fn snapshot_survives_defrag_and_reads_old_placement() {
+        let db = scattered_db();
+        let snap = db.begin_read();
+        let receipt = db.defrag("obj").unwrap();
+        let q = snap.range_query("obj", &d("[0:63,0:63]")).unwrap();
+        assert_eq!(q.array, checkerboard("[0:63,0:63]"));
+        assert!(q.epoch < receipt.epoch, "snapshot pinned the old epoch");
+        drop(snap);
+        // Old blobs reclaimed: tiles + value-bitmap blob remain.
         assert_eq!(
             db.blob_store().blob_count(),
             db.object("obj").unwrap().tile_count() + 1

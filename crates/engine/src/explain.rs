@@ -24,6 +24,10 @@ use tilestore_testkit::{Json, ToJson};
 pub enum TileDecision {
     /// The tile's blob is fetched and its cells processed.
     Fetched,
+    /// The tile's blob is fetched, and its pages are physically adjacent
+    /// to the previously fetched tile's, so the batch read path folds it
+    /// into the predecessor's positioned read instead of seeking.
+    FetchCoalesced,
     /// Skipped: the bitmap index's per-tile mask is disjoint from the
     /// predicate's candidate bins.
     BitmapPrune,
@@ -40,6 +44,7 @@ impl TileDecision {
     pub fn as_str(self) -> &'static str {
         match self {
             TileDecision::Fetched => "fetched",
+            TileDecision::FetchCoalesced => "fetch-coalesced",
             TileDecision::BitmapPrune => "bitmap-prune",
             TileDecision::SynopsisPrune => "synopsis-prune",
             TileDecision::SynopsisCondense => "synopsis-condense",
@@ -47,10 +52,11 @@ impl TileDecision {
     }
 
     /// Whether this decision counts in `QueryStats::tiles_pruned` (every
-    /// decision that avoids fetching the blob does).
+    /// decision that avoids fetching the blob does; a coalesced fetch is
+    /// still a fetch).
     #[must_use]
     pub fn is_pruned(self) -> bool {
-        !matches!(self, TileDecision::Fetched)
+        !matches!(self, TileDecision::Fetched | TileDecision::FetchCoalesced)
     }
 }
 
@@ -99,12 +105,14 @@ pub struct ExplainPlan {
 }
 
 impl ExplainPlan {
-    /// Number of tiles whose blobs will be fetched (= `tiles_read`).
+    /// Number of tiles whose blobs will be fetched (= `tiles_read`),
+    /// whether by their own positioned read or coalesced into a
+    /// neighbour's.
     #[must_use]
     pub fn fetched(&self) -> u64 {
         self.tiles
             .iter()
-            .filter(|t| t.decision == TileDecision::Fetched)
+            .filter(|t| !t.decision.is_pruned())
             .count() as u64
     }
 
@@ -137,6 +145,38 @@ impl ToJson for ExplainPlan {
             Json::Array(self.tiles.iter().map(ToJson::to_json).collect()),
         ));
         Json::obj(fields)
+    }
+}
+
+/// Upgrades `Fetched` decisions to `FetchCoalesced` where the tile's pages
+/// physically follow the previously fetched tile's — mirroring the run
+/// grouping of the batch read path, which sorts a plan by first page and
+/// folds adjacent contiguous blobs into one positioned read. After a
+/// defrag, curve-adjacent tiles report `fetch-coalesced` here.
+fn mark_coalesced<S: PageStore>(
+    blobs: &tilestore_storage::BlobStore<S>,
+    meta: &MddObject,
+    tiles: &mut [TilePlan],
+) {
+    let mut fetched: Vec<(usize, tilestore_storage::BlobPlacement)> = tiles
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.decision.is_pruned())
+        .filter_map(|(i, t)| {
+            blobs
+                .blob_placement(meta.tiles[t.tile as usize].blob)
+                .ok()
+                .map(|p| (i, p))
+        })
+        .collect();
+    fetched.sort_by_key(|&(_, p)| p.first_page.0);
+    for k in 1..fetched.len() {
+        let (prev, cur) = (fetched[k - 1].1, fetched[k].1);
+        if prev.runs == 1 && prev.first_page.0 + prev.pages == cur.first_page.0 {
+            let i = fetched[k].0;
+            tiles[i].decision = TileDecision::FetchCoalesced;
+            tiles[i].rule = "pages adjacent to previous fetch; folded into its read".to_string();
+        }
     }
 }
 
@@ -240,6 +280,7 @@ impl<S: PageStore> Snapshot<S> {
                 rule,
             });
         }
+        mark_coalesced(&self.blobs, &meta, &mut tiles);
         Ok(ExplainPlan {
             object: name.to_string(),
             region: region.to_string(),
@@ -299,6 +340,7 @@ impl<S: PageStore> Snapshot<S> {
                 rule,
             });
         }
+        mark_coalesced(&self.blobs, &meta, &mut tiles);
         Ok(ExplainPlan {
             object: name.to_string(),
             region: region.to_string(),

@@ -61,7 +61,7 @@ pub use persist::{
 pub use predicate::{CellPredicate, PredOp, PruneRule};
 pub use shared::SharedDatabase;
 pub use snapshot::{QueryResult, Snapshot, WriteReceipt};
-pub use stats::{InsertStats, QueryStats, QueryTimes, RetileStats};
+pub use stats::{DefragStep, InsertStats, QueryStats, QueryTimes, RetileStats};
 pub use synopsis::TileSynopsis;
 
 /// Compile-time thread-safety assertions. The serving layer shares one

@@ -401,6 +401,11 @@ impl<S: PageStore> Snapshot<S> {
     }
 }
 
+/// Upper bound on the bytes one band stages per batched tile read. Large
+/// enough that a defragmented range query coalesces many tiles into each
+/// positioned read, small enough that band scratch buffers stay bounded.
+const READAHEAD_BATCH_BYTES: usize = 4 << 20;
+
 /// Fetches and decompresses one tile's cell payload.
 pub(crate) fn read_tile_payload<S: PageStore>(
     blobs: &BlobStore<S>,
@@ -510,12 +515,17 @@ pub(crate) fn execute_range<S: PageStore>(
 /// crossing a cut that could not snap is fetched once per band it
 /// touches).
 ///
-/// Each band's tile fetch goes through `BlobStore::read_into`, which
-/// issues one batched `read_pages` per tile: against a sharded buffer
-/// pool that is one lock acquisition per shard touched (hits served under
-/// it, misses read straight into the band's scratch buffer), so band
-/// workers hold different shard locks instead of convoying on a global
-/// pool mutex three times per page.
+/// Each band sorts its tile plan by physical position (the blob's first
+/// page) and fetches it in batches through `BlobStore::read_batch`, which
+/// concatenates the page lists into one `read_pages` call: tiles the
+/// defragmenter laid on consecutive pages coalesce into single positioned
+/// reads — even across blob boundaries — and against a sharded buffer
+/// pool each batch is one lock acquisition per shard touched (hits served
+/// under it, misses read straight into the band's scratch buffer), so
+/// band workers hold different shard locks instead of convoying on a
+/// global pool mutex three times per page. Batches are capped at
+/// [`READAHEAD_BATCH_BYTES`] so a band never stages more than a bounded
+/// scratch buffer regardless of query size.
 ///
 /// Returns the per-band statistics merged (saturating) into one
 /// [`QueryStats`]; only the per-cell counters are populated — the caller
@@ -577,33 +587,59 @@ fn fetch_tiles_parallel<S: PageStore>(
     // Workers run on their own threads: re-enter the caller's request
     // scope so per-band spans stay attributed to the request.
     let rid = tilestore_obs::current_request_id();
+    let page_size = blobs.page_store().page_size();
+    let batch_pages = (READAHEAD_BATCH_BYTES / page_size).max(1) as u64;
     let bands = pool.scatter(tasks, |_, (band_dom, band_out)| -> Result<QueryStats> {
         let _req = tilestore_obs::request_scope(rid);
         let mut scratch = Vec::new();
         let mut masked = Vec::new();
         let mut band = QueryStats::default();
+        // Physical plan: the band's intersecting tiles ordered by their
+        // blob's first page, so adjacent placements land next to each
+        // other in the batch and coalesce.
+        let mut plan = Vec::new();
         for &pos in hits {
             let tile = &meta.tiles[pos as usize];
             let Some(overlap) = tile.domain.intersection(&band_dom) else {
                 continue;
             };
-            let n = blobs.read_into(tile.blob, &mut scratch)?;
-            let payload = tilestore_compress::decompress_view(&scratch[..n], &ctx)
-                .map_err(|e| EngineError::Catalog(format!("tile decompression failed: {e}")))?;
-            let src: &[u8] = match predicate {
-                // Masked select: failing cells become the default before
-                // the band copy. The view may alias the shared scratch,
-                // so the rewrite goes through an owned buffer.
-                Some(p) => {
-                    masked.clear();
-                    masked.extend_from_slice(&payload);
-                    p.mask_payload(&meta.mdd_type.cell, &mut masked)?;
-                    &masked
-                }
-                None => &payload,
-            };
-            band.cells_copied +=
-                copy_region(&tile.domain, src, &band_dom, band_out, &overlap, cell_size)?;
+            let placement = blobs.blob_placement(tile.blob)?;
+            plan.push((tile, overlap, placement));
+        }
+        plan.sort_by_key(|&(_, _, p)| p.first_page.0);
+        let mut i = 0;
+        while i < plan.len() {
+            // Greedy batch under the readahead cap (always ≥ 1 tile).
+            let mut j = i;
+            let mut pages = 0u64;
+            while j < plan.len() && (j == i || pages + plan[j].2.pages <= batch_pages) {
+                pages += plan[j].2.pages;
+                j += 1;
+            }
+            let ids: Vec<tilestore_storage::BlobId> =
+                plan[i..j].iter().map(|(t, _, _)| t.blob).collect();
+            let ranges = blobs.read_batch(&ids, &mut scratch)?;
+            for ((tile, overlap, _), &(off, len)) in plan[i..j].iter().zip(&ranges) {
+                let payload = tilestore_compress::decompress_view(&scratch[off..off + len], &ctx)
+                    .map_err(|e| {
+                    EngineError::Catalog(format!("tile decompression failed: {e}"))
+                })?;
+                let src: &[u8] = match predicate {
+                    // Masked select: failing cells become the default
+                    // before the band copy. The view may alias the shared
+                    // scratch, so the rewrite goes through an owned buffer.
+                    Some(p) => {
+                        masked.clear();
+                        masked.extend_from_slice(&payload);
+                        p.mask_payload(&meta.mdd_type.cell, &mut masked)?;
+                        &masked
+                    }
+                    None => &payload,
+                };
+                band.cells_copied +=
+                    copy_region(&tile.domain, src, &band_dom, band_out, overlap, cell_size)?;
+            }
+            i = j;
         }
         Ok(band)
     });

@@ -70,6 +70,9 @@ impl QueryStats {
         a.bytes_written = a.bytes_written.saturating_add(b.bytes_written);
         a.cache_hits = a.cache_hits.saturating_add(b.cache_hits);
         a.cache_misses = a.cache_misses.saturating_add(b.cache_misses);
+        a.runs_coalesced = a.runs_coalesced.saturating_add(b.runs_coalesced);
+        a.pages_read_run = a.pages_read_run.saturating_add(b.pages_read_run);
+        a.readahead_bytes = a.readahead_bytes.saturating_add(b.readahead_bytes);
     }
 }
 
@@ -235,6 +238,43 @@ impl FromJson for RetileStats {
     }
 }
 
+/// Statistics of one paced defragmentation step
+/// ([`crate::Database::defrag_step`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefragStep {
+    /// Tiles rewritten onto contiguous pages in this step.
+    pub tiles_moved: u64,
+    /// Payload bytes rewritten in this step.
+    pub bytes_moved: u64,
+    /// Tiles after this step's rewrite window that are not yet known to sit
+    /// in curve order; 0 means the object is fully defragmented.
+    pub tiles_remaining: u64,
+    /// Wall-clock time of the step in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl ToJson for DefragStep {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tiles_moved", self.tiles_moved.to_json()),
+            ("bytes_moved", self.bytes_moved.to_json()),
+            ("tiles_remaining", self.tiles_remaining.to_json()),
+            ("elapsed_ns", self.elapsed_ns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DefragStep {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(DefragStep {
+            tiles_moved: u64::from_json(v.field("tiles_moved")?)?,
+            bytes_moved: u64::from_json(v.field("bytes_moved")?)?,
+            tiles_remaining: u64::from_json(v.field("tiles_remaining")?)?,
+            elapsed_ns: u64::from_json(v.field("elapsed_ns")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +402,9 @@ mod tests {
                 bytes_written: 6,
                 cache_hits: 7,
                 cache_misses: 8,
+                runs_coalesced: 9,
+                pages_read_run: 10,
+                readahead_bytes: 11,
             },
             cells_processed: 20,
             cells_copied: 16,
@@ -384,6 +427,9 @@ mod tests {
         assert_eq!(a.io.bytes_written, 6);
         assert_eq!(a.io.cache_hits, 8);
         assert_eq!(a.io.cache_misses, 8);
+        assert_eq!(a.io.runs_coalesced, 9);
+        assert_eq!(a.io.pages_read_run, 10);
+        assert_eq!(a.io.readahead_bytes, 11);
     }
 
     #[test]

@@ -189,6 +189,60 @@ fn crash_at_every_operation_recovers_to_a_committed_state() {
     assert!(tested >= 10, "suspiciously few crash points ({tested})");
 }
 
+/// Like [`run_workload`] but the faulted phase ends in compaction: insert
+/// `data_b`, save (commit 2), `defrag` (full blob rewrite in centroid
+/// curve order), save (commit 3).
+fn run_defrag_workload(dir: &Path, plan: Option<FaultPlan>) -> Outcome {
+    let db = phase0(dir);
+    let ops0 = db.blob_store().page_store().ops();
+    if let Some(plan) = plan {
+        db.blob_store().page_store().set_plan(plan);
+    }
+    let mut out = Outcome {
+        commits: 1,
+        ops0,
+        total_ops: 0,
+    };
+    let _ = (|| -> Result<(), tilestore_engine::EngineError> {
+        db.insert("m", &data_b())?;
+        db.save(dir)?;
+        out.commits = 2;
+        let receipt = db.defrag("m")?;
+        // The two inserts left an index blob between the tile groups, so
+        // the curve prefix is broken and the defrag must really rewrite.
+        assert!(
+            receipt.stats.bytes_rewritten > 0,
+            "defrag workload found nothing to compact"
+        );
+        db.save(dir)?;
+        out.commits = 3;
+        Ok(())
+    })();
+    out.total_ops = db.blob_store().page_store().ops();
+    out
+}
+
+#[test]
+fn crash_at_every_defrag_operation_recovers_to_a_committed_state() {
+    // The compaction commit swaps every tile's placement and quarantines
+    // the displaced blobs; a crash anywhere in that protocol must leave
+    // the last committed contents readable and the directory repairable.
+    let dry_dir = tilestore_testkit::tempdir().unwrap();
+    let dry = run_defrag_workload(dry_dir.path(), None);
+    assert_eq!(dry.commits, 3, "dry run must complete");
+    let range = dry.total_ops - dry.ops0;
+    let stride = (range / 160).max(1);
+    let mut tested = 0u64;
+    for k in (dry.ops0..dry.total_ops).step_by(stride as usize) {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let out = run_defrag_workload(dir.path(), Some(FaultPlan::fail_at(k)));
+        assert!(out.commits < 3, "crash at op {k} did not stop the workload");
+        assert_recovers(dir.path(), out.commits, &format!("defrag crash at op {k}"));
+        tested += 1;
+    }
+    assert!(tested >= 10, "suspiciously few crash points ({tested})");
+}
+
 #[test]
 fn torn_writes_never_corrupt_committed_state() {
     let dry_dir = tilestore_testkit::tempdir().unwrap();

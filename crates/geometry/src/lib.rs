@@ -42,4 +42,4 @@ pub use grid::GridIter;
 pub use iter::{copy_region, fill_region, PointIter, Run, RunIter};
 pub use order::RowMajor;
 pub use point::Point;
-pub use zorder::{morton_key, sort_by_zorder};
+pub use zorder::{morton_centroid_key, morton_key, sort_by_centroid_zorder, sort_by_zorder};

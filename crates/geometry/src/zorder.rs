@@ -57,6 +57,41 @@ pub fn sort_by_zorder<T, F: Fn(&T) -> &Domain>(items: &mut [T], domain_of: F) {
     items.sort_by_key(|t| morton_key(&domain_of(t).lowest(), &origin));
 }
 
+/// Morton key of `domain`'s bounding-box centroid, relative to `origin`.
+///
+/// For arbitrary (irregular) tilings the lowest corner is a poor locality
+/// proxy — a long thin tile and its small neighbour can share a corner yet
+/// cover very different regions — so physical placement keys on the
+/// centroid instead. Midpoints round down, which keeps keys deterministic.
+#[must_use]
+pub fn morton_centroid_key(domain: &Domain, origin: &Point) -> u64 {
+    let mid: Vec<i64> = (0..domain.dim())
+        .map(|a| {
+            let (lo, hi) = (domain.lo(a), domain.hi(a));
+            // Average without overflow for extreme bounds.
+            lo + (hi - lo) / 2
+        })
+        .collect();
+    morton_key(&Point::from_slice(&mid), origin)
+}
+
+/// Sorts domains by the Morton key of their bounding-box centroids
+/// (relative to the hull of all inputs) — the on-disk placement order used
+/// by the defragmenter. Stable, deterministic.
+pub fn sort_by_centroid_zorder<T, F: Fn(&T) -> &Domain>(items: &mut [T], domain_of: F) {
+    let Some(first) = items.first() else {
+        return;
+    };
+    let hull = items
+        .iter()
+        .skip(1)
+        .fold(domain_of(first).clone(), |acc, t| {
+            acc.hull(domain_of(t)).expect("uniform dimensionality")
+        });
+    let origin = hull.lowest();
+    items.sort_by_key(|t| morton_centroid_key(domain_of(t), &origin));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +153,41 @@ mod tests {
         sort_by_zorder(&mut empty, |d| d);
         let mut one = vec![blocks[0].clone()];
         sort_by_zorder(&mut one, |d| d);
+    }
+
+    #[test]
+    fn centroid_key_distinguishes_tiles_sharing_a_corner() {
+        let o = p(&[0, 0]);
+        // A long thin tile and a small tile share the lowest corner (0,0):
+        // corner keys tie, centroid keys don't.
+        let thin = Domain::from_bounds(&[(0, 63), (0, 1)]).unwrap();
+        let small = Domain::from_bounds(&[(0, 3), (0, 3)]).unwrap();
+        assert_eq!(
+            morton_key(&thin.lowest(), &o),
+            morton_key(&small.lowest(), &o)
+        );
+        assert_ne!(
+            morton_centroid_key(&thin, &o),
+            morton_centroid_key(&small, &o)
+        );
+    }
+
+    #[test]
+    fn sort_by_centroid_zorder_groups_neighbours() {
+        let mut blocks: Vec<Domain> = Vec::new();
+        for x in 0..4i64 {
+            for y in 0..4i64 {
+                blocks.push(
+                    Domain::from_bounds(&[(x * 10, x * 10 + 9), (y * 10, y * 10 + 9)]).unwrap(),
+                );
+            }
+        }
+        sort_by_centroid_zorder(&mut blocks, |d| d);
+        for b in &blocks[..4] {
+            assert!(b.lo(0) < 20 && b.lo(1) < 20, "block {b} not in quadrant");
+        }
+        let mut empty: Vec<Domain> = Vec::new();
+        sort_by_centroid_zorder(&mut empty, |d| d);
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct HotMetrics {
     /// `unpin_page` calls with no outstanding pin — a pin-leak or
     /// double-unpin upstream (asserts in debug builds).
     pub pin_underflow: Arc<Counter>,
+    /// Physically consecutive page runs fetched with one positioned read
+    /// instead of one read per page.
+    pub runs_coalesced: Arc<Counter>,
+    /// Payload bytes fetched by coalesced run reads.
+    pub readahead_bytes: Arc<Counter>,
 }
 
 impl HotMetrics {
@@ -122,6 +127,8 @@ impl HotMetrics {
             tiles_pruned: reg.counter("engine.tiles_pruned"),
             pool_shard_contention: reg.counter("pool.shard_contention"),
             pin_underflow: reg.counter("engine.pin_underflow"),
+            runs_coalesced: reg.counter("io.runs_coalesced"),
+            readahead_bytes: reg.counter("io.readahead_bytes"),
         }
     }
 

@@ -642,16 +642,39 @@ fn handle_request<S: PageStore>(
             let Some(spec) = req.get("scheme").and_then(Json::as_str) else {
                 return err_response(id, ErrorCode::BadRequest, "retile needs a `scheme` spec");
             };
-            let dim = match ctx.db.object(object).map(|o| o.mdd_type.dim()) {
-                Ok(dim) => dim,
-                Err(e) => return err_response(id, ErrorCode::Engine, &e.to_string()),
-            };
-            let scheme = match tilestore_tiling::parse_scheme_spec(spec, dim) {
-                Ok(s) => s,
+            // Same grammar as the CLI: scheme | --from-log[:..] | --defrag[:..].
+            let parsed = match tilestore_tiling::parse_retile_spec(spec) {
+                Ok(p) => p,
                 Err(e) => return err_response(id, ErrorCode::BadRequest, &e),
             };
-            match ctx.db.retile(object, scheme) {
-                Ok(receipt) => ok_response(id, with_epoch(receipt.stats.to_json(), receipt.epoch)),
+            let applied = match parsed {
+                tilestore_tiling::RetileSpec::Defrag { budget_bytes } => {
+                    defrag_to_retile_stats(&ctx.db, object, budget_bytes)
+                }
+                tilestore_tiling::RetileSpec::FromLog {
+                    distance,
+                    frequency,
+                    max_tile_bytes,
+                } => ctx
+                    .db
+                    .auto_retile_from_log(object, distance, frequency, max_tile_bytes)
+                    .map(|receipt| (receipt.epoch, receipt.stats)),
+                tilestore_tiling::RetileSpec::Scheme(_) => {
+                    let dim = match ctx.db.object(object).map(|o| o.mdd_type.dim()) {
+                        Ok(dim) => dim,
+                        Err(e) => return err_response(id, ErrorCode::Engine, &e.to_string()),
+                    };
+                    let scheme = match tilestore_tiling::parse_scheme_spec(spec, dim) {
+                        Ok(s) => s,
+                        Err(e) => return err_response(id, ErrorCode::BadRequest, &e),
+                    };
+                    ctx.db
+                        .retile(object, scheme)
+                        .map(|receipt| (receipt.epoch, receipt.stats))
+                }
+            };
+            match applied {
+                Ok((epoch, stats)) => ok_response(id, with_epoch(stats.to_json(), epoch)),
                 Err(e) => err_response(id, ErrorCode::Engine, &e.to_string()),
             }
         }
@@ -793,6 +816,34 @@ fn health_report<S: PageStore>(ctx: &ConnCtx<S>) -> Json {
         ("slow_queries", Json::UInt(ctx.slow_log.len() as u64)),
         ("durable", Json::Bool(ctx.dir.is_some())),
     ])
+}
+
+/// Runs `retile --defrag[:<budgetKB>]` for the wire handler, folding a
+/// budget-paced step loop into one [`RetileStats`]-shaped report so the
+/// response schema matches the other retile verbs.
+fn defrag_to_retile_stats<S: PageStore>(
+    db: &SharedDatabase<S>,
+    object: &str,
+    budget_bytes: Option<u64>,
+) -> tilestore_engine::Result<(u64, tilestore_engine::RetileStats)> {
+    let Some(budget) = budget_bytes else {
+        let receipt = db.defrag(object)?;
+        return Ok((receipt.epoch, receipt.stats));
+    };
+    let tiles = db.object(object)?.tiles.len() as u64;
+    let mut stats = tilestore_engine::RetileStats {
+        tiles_before: tiles,
+        tiles_after: tiles,
+        ..tilestore_engine::RetileStats::default()
+    };
+    loop {
+        let step = db.defrag_step(object, budget)?;
+        stats.bytes_rewritten += step.stats.bytes_moved;
+        stats.elapsed_ns = stats.elapsed_ns.saturating_add(step.stats.elapsed_ns);
+        if step.stats.tiles_remaining == 0 {
+            return Ok((step.epoch, stats));
+        }
+    }
 }
 
 /// Serializes an object's metadata for `info`/`stats` responses.

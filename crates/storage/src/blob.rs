@@ -47,6 +47,21 @@ struct BlobEntry {
     len: u64,
 }
 
+/// Physical placement of a BLOB on the page store, as reported by
+/// [`BlobStore::blob_placement`]. Read planners sort tile fetches by
+/// `first_page` so physically adjacent blobs coalesce into single
+/// positioned reads; `runs == 1` means the blob itself is contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobPlacement {
+    /// The page holding the first payload bytes of the BLOB.
+    pub first_page: PageId,
+    /// Number of pages the BLOB occupies.
+    pub pages: u64,
+    /// Number of maximal physically consecutive page runs the BLOB's pages
+    /// form in payload order (1 = fully contiguous).
+    pub runs: u64,
+}
+
 /// Serializable directory of a [`BlobStore`] — persisted by the engine so a
 /// database can be reopened.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -365,14 +380,136 @@ impl<S: PageStore> BlobStore<S> {
         // a single lock acquisition and copies misses straight into `data`,
         // so no pinning window exists and band-parallel tile fetches stop
         // convoying on per-page pin/read/unpin lock traffic.
-        self.store.read_pages(&entry.pages, data)?;
+        let run = self.store.read_pages(&entry.pages, data)?;
         data.truncate(entry.len as usize);
         self.stats.add_pages_read(entry.pages.len() as u64);
         self.stats.add_blob_read(entry.len);
+        self.stats.add_run_read(run);
         let hot = tilestore_obs::hot();
         hot.blob_reads.inc();
         hot.tile_bytes.record(entry.len);
         Ok(entry.len as usize)
+    }
+
+    /// Physical placement of a BLOB: its first page, page count, and how
+    /// many physically consecutive runs its pages form. Planners sort tile
+    /// fetches by `first_page` so curve-ordered neighbours coalesce.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownBlob`].
+    pub fn blob_placement(&self, id: BlobId) -> Result<BlobPlacement> {
+        let inner = lock(&self.inner);
+        let entry = inner
+            .entries
+            .get(&id.0)
+            .ok_or(StorageError::UnknownBlob { blob: id.0 })?;
+        let mut runs = 0u64;
+        for (i, p) in entry.pages.iter().enumerate() {
+            if i == 0 || p.0 != entry.pages[i - 1].0 + 1 {
+                runs += 1;
+            }
+        }
+        Ok(BlobPlacement {
+            first_page: entry.pages[0],
+            pages: entry.pages.len() as u64,
+            runs,
+        })
+    }
+
+    /// Reads several BLOBs with one batched page read, returning each
+    /// BLOB's payload as a `(offset, len)` byte range into `out` (in the
+    /// order of `ids`). The page lists are concatenated before the read, so
+    /// blobs that sit on physically consecutive pages — the invariant the
+    /// defragmenter establishes — coalesce into single positioned reads
+    /// even across blob boundaries.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownBlob`] (no pages are read) or backend read
+    /// errors.
+    pub fn read_batch(&self, ids: &[BlobId], out: &mut Vec<u8>) -> Result<Vec<(usize, usize)>> {
+        let _span =
+            tilestore_obs::tracer().span_with("blob_read_batch", || format!("blobs={}", ids.len()));
+        let page_size = self.store.page_size();
+        // Snapshot the entries up front so the batch sees one consistent
+        // directory state and unknown ids fail before any I/O.
+        let entries = {
+            let inner = lock(&self.inner);
+            ids.iter()
+                .map(|id| {
+                    inner
+                        .entries
+                        .get(&id.0)
+                        .cloned()
+                        .ok_or(StorageError::UnknownBlob { blob: id.0 })
+                })
+                .collect::<Result<Vec<_>>>()?
+        };
+        let mut pages = Vec::with_capacity(entries.iter().map(|e| e.pages.len()).sum());
+        let mut ranges = Vec::with_capacity(entries.len());
+        for e in &entries {
+            ranges.push((pages.len() * page_size, e.len as usize));
+            pages.extend_from_slice(&e.pages);
+        }
+        out.resize(pages.len() * page_size, 0);
+        let run = self.store.read_pages(&pages, out)?;
+        self.stats.add_pages_read(pages.len() as u64);
+        self.stats.add_run_read(run);
+        let hot = tilestore_obs::hot();
+        for e in &entries {
+            self.stats.add_blob_read(e.len);
+            hot.blob_reads.inc();
+            hot.tile_bytes.record(e.len);
+        }
+        Ok(ranges)
+    }
+
+    /// Creates a BLOB like [`BlobStore::create`], but on freshly allocated,
+    /// physically consecutive pages — the free list is never consulted. The
+    /// defragmenter uses this to rewrite an object's tiles in curve order at
+    /// the end of the file, where consecutive creates yield consecutive page
+    /// runs; the displaced pages are quarantined by the usual delete path
+    /// and reclaimed after the commit.
+    ///
+    /// # Errors
+    /// Backend allocation/write errors.
+    pub fn create_contiguous(&self, data: &[u8]) -> Result<BlobId> {
+        let _span = tilestore_obs::tracer()
+            .span_with("blob_create_contiguous", || format!("bytes={}", data.len()));
+        let page_size = self.store.page_size();
+        let needed = self.pages_for(data.len() as u64);
+        let pages = self.store.allocate(needed)?;
+        let mut buf = vec![0u8; page_size];
+        for (i, &page) in pages.iter().enumerate() {
+            let start = i * page_size;
+            let end = ((i + 1) * page_size).min(data.len());
+            if start < data.len() {
+                let chunk = &data[start..end];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                buf[chunk.len()..].fill(0);
+            } else {
+                buf.fill(0);
+            }
+            self.store.write_page(page, &buf)?;
+        }
+        self.stats.add_pages_written(pages.len() as u64);
+        self.stats.add_blob_written(data.len() as u64);
+        let hot = tilestore_obs::hot();
+        hot.blob_writes.inc();
+        hot.tile_bytes.record(data.len() as u64);
+        let id = {
+            let mut inner = lock(&self.inner);
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.entries.insert(
+                id,
+                BlobEntry {
+                    pages,
+                    len: data.len() as u64,
+                },
+            );
+            BlobId(id)
+        };
+        Ok(id)
     }
 
     /// Overwrites a BLOB with new contents, copy-on-write: the new payload
@@ -586,6 +723,78 @@ mod tests {
         assert_eq!(s.pages_read, 3);
         assert_eq!(s.blobs_read, 1);
         assert_eq!(s.bytes_read, 2500);
+    }
+
+    #[test]
+    fn placement_reports_runs() {
+        let bs = store();
+        let a = bs.create(&vec![1u8; 2048]).unwrap(); // pages 0,1
+        let b = bs.create(&vec![2u8; 1024]).unwrap(); // page 2
+        let p = bs.blob_placement(a).unwrap();
+        assert_eq!(p.first_page, PageId(0));
+        assert_eq!(p.pages, 2);
+        assert_eq!(p.runs, 1);
+        // Free the middle blob, then create a 2-page blob: it draws page 2
+        // from the free list plus a fresh page 3 — still one run here, so
+        // fragment it for real with a free page that is not adjacent.
+        bs.delete(b).unwrap();
+        bs.release_freed_pages();
+        let c = bs.create(&vec![3u8; 2048]).unwrap(); // pages 2,3 (contiguous)
+        assert_eq!(bs.blob_placement(c).unwrap().runs, 1);
+        bs.delete(a).unwrap();
+        bs.release_freed_pages();
+        // Free list now holds pages 0,1 (popped from the back: 1 then 0),
+        // so this blob's payload order is 1,0 — two runs.
+        let d = bs.create(&vec![4u8; 2048]).unwrap();
+        let p = bs.blob_placement(d).unwrap();
+        assert_eq!(p.first_page, PageId(1));
+        assert_eq!(p.runs, 2);
+        assert!(bs.blob_placement(BlobId(99)).is_err());
+    }
+
+    #[test]
+    fn read_batch_returns_each_payload_and_coalesces() {
+        let bs = store();
+        let payloads: Vec<Vec<u8>> = (0..4u8)
+            .map(|i| vec![i; 700 + 400 * i as usize]) // 1..=3 pages each
+            .collect();
+        let ids: Vec<BlobId> = payloads.iter().map(|p| bs.create(p).unwrap()).collect();
+        bs.stats().reset();
+        let mut out = Vec::new();
+        let ranges = bs.read_batch(&ids, &mut out).unwrap();
+        assert_eq!(ranges.len(), 4);
+        for (i, &(off, len)) in ranges.iter().enumerate() {
+            assert_eq!(&out[off..off + len], payloads[i].as_slice());
+        }
+        let s = bs.stats().snapshot();
+        assert_eq!(s.blobs_read, 4);
+        let total_pages: u64 = payloads.iter().map(|p| bs.pages_for(p.len() as u64)).sum();
+        assert_eq!(s.pages_read, total_pages);
+        // Sequential creates land on consecutive pages, so the whole batch
+        // is one physical run.
+        assert_eq!(s.runs_coalesced, 1);
+        assert_eq!(s.pages_read_run, total_pages);
+        // An unknown id fails the whole batch before any I/O.
+        bs.stats().reset();
+        assert!(bs.read_batch(&[ids[0], BlobId(99)], &mut out).is_err());
+        assert_eq!(bs.stats().snapshot().pages_read, 0);
+    }
+
+    #[test]
+    fn create_contiguous_skips_the_free_list() {
+        let bs = store();
+        let a = bs.create(&vec![1u8; 2048]).unwrap();
+        bs.delete(a).unwrap();
+        bs.release_freed_pages();
+        assert_eq!(bs.free_page_count(), 2);
+        let data: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
+        let id = bs.create_contiguous(&data).unwrap();
+        // The free pages were left alone; fresh pages were appended.
+        assert_eq!(bs.free_page_count(), 2);
+        let p = bs.blob_placement(id).unwrap();
+        assert_eq!(p.first_page, PageId(2));
+        assert_eq!(p.runs, 1);
+        assert_eq!(bs.read(id).unwrap(), data);
     }
 
     #[test]

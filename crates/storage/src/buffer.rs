@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use tilestore_obs::Counter;
 
 use crate::error::Result;
-use crate::page::{lock, PageId, PageStore};
+use crate::page::{lock, PageId, PageStore, RunRead};
 use crate::stats::IoStats;
 
 /// Default number of shards, clamped down so every shard holds ≥ 1 frame.
@@ -288,7 +288,18 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         Ok(())
     }
 
-    fn read_pages(&self, pages: &[PageId], buf: &mut [u8]) -> Result<()> {
+    fn run_read_supported(&self) -> bool {
+        self.store.run_read_supported()
+    }
+
+    /// Delegates to the store: run reads bypass the cache (write-through
+    /// keeps the store current, and nothing is installed, so the stale-frame
+    /// guard is not involved).
+    fn read_page_run(&self, first: PageId, count: usize, buf: &mut [u8]) -> Result<()> {
+        self.store.read_page_run(first, count, buf)
+    }
+
+    fn read_pages(&self, pages: &[PageId], buf: &mut [u8]) -> Result<RunRead> {
         let ps = self.store.page_size();
         assert_eq!(buf.len(), pages.len() * ps, "buffer/pages length mismatch");
         // Pass 1: group by shard and serve hits under one lock acquisition
@@ -336,14 +347,50 @@ impl<S: PageStore> PageStore for BufferPool<S> {
             }
         }
         if miss_idx.is_empty() {
-            return Ok(());
+            return Ok(RunRead::default());
         }
         // Pass 2: fetch misses from the store straight into the caller's
         // buffer. The bytes never transit the cache, so no pinning is needed
-        // to protect them from eviction.
-        for &i in &miss_idx {
-            self.store
-                .read_page(pages[i], &mut buf[i * ps..(i + 1) * ps])?;
+        // to protect them from eviction. Misses that are consecutive both in
+        // the caller's order and in page id have physically adjacent frames
+        // and a contiguous destination slice — fetch each such run with one
+        // positioned read. Coalescing only changes how the miss bytes are
+        // fetched; the pass-1 version sample and the pass-3 install guard
+        // are untouched, so the stale-frame invariant holds as before.
+        miss_idx.sort_unstable();
+        let coalesce = self.store.run_read_supported();
+        let mut run = RunRead::default();
+        let mut k = 0;
+        while k < miss_idx.len() {
+            let start = miss_idx[k];
+            let mut len = 1;
+            while coalesce
+                && k + len < miss_idx.len()
+                && miss_idx[k + len] == start + len
+                && pages[start + len].0 == pages[start].0 + len as u64
+            {
+                len += 1;
+            }
+            if len > 1 {
+                self.store.read_page_run(
+                    pages[start],
+                    len,
+                    &mut buf[start * ps..(start + len) * ps],
+                )?;
+                run.runs_coalesced += 1;
+                run.pages_in_runs += len as u64;
+                run.readahead_bytes += (len * ps) as u64;
+            } else {
+                self.store
+                    .read_page(pages[start], &mut buf[start * ps..(start + 1) * ps])?;
+            }
+            k += len;
+        }
+        if run.runs_coalesced > 0 {
+            self.stats.add_run_read(run);
+            let hot = tilestore_obs::hot();
+            hot.runs_coalesced.add(run.runs_coalesced);
+            hot.readahead_bytes.add(run.readahead_bytes);
         }
         // Pass 3: install the fetched frames, one lock per shard, each
         // guarded by that shard's write version sampled in pass 1.
@@ -372,7 +419,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
                 inner.install(pages[i].0, payload, tick, shard.capacity);
             }
         }
-        Ok(())
+        Ok(run)
     }
 
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {

@@ -83,6 +83,19 @@ impl CostModel {
         io.blobs_read as f64 * self.seek_s + io.pages_read as f64 * self.page_transfer_s
     }
 
+    /// Tile-retrieval cost `t_o` when coalesced run reads are accounted:
+    /// each coalesced run costs one positioning operation regardless of how
+    /// many blobs it spans, while pages read one at a time keep their
+    /// per-page seek. Transfers are unchanged — coalescing removes
+    /// positioning cost, not data volume. With no coalesced runs this
+    /// reduces to charging a seek per page read singly, an upper bound on
+    /// [`CostModel::t_o`]'s per-blob charge, so compare like with like.
+    #[must_use]
+    pub fn t_o_coalesced(&self, io: &IoSnapshot) -> f64 {
+        let positioned = io.pages_read - io.pages_read_run + io.runs_coalesced;
+        positioned as f64 * self.seek_s + io.pages_read as f64 * self.page_transfer_s
+    }
+
     /// Index-access cost `t_ix` for `nodes` visited index nodes.
     #[must_use]
     pub fn t_ix(&self, nodes: u64) -> f64 {
@@ -160,6 +173,27 @@ mod tests {
             ..IoSnapshot::default()
         };
         assert!(m.t_o(&few) < m.t_o(&many));
+    }
+
+    #[test]
+    fn coalesced_runs_pay_one_seek_each() {
+        let m = CostModel::seek_dominated();
+        // 100 pages fetched as scattered singles vs. as 4 coalesced runs.
+        let scattered = IoSnapshot {
+            pages_read: 100,
+            ..IoSnapshot::default()
+        };
+        let coalesced = IoSnapshot {
+            pages_read: 100,
+            runs_coalesced: 4,
+            pages_read_run: 100,
+            ..IoSnapshot::default()
+        };
+        let expected_scattered = 100.0 * 8.0e-3 + 100.0 * 0.1e-3;
+        let expected_coalesced = 4.0 * 8.0e-3 + 100.0 * 0.1e-3;
+        assert!((m.t_o_coalesced(&scattered) - expected_scattered).abs() < 1e-12);
+        assert!((m.t_o_coalesced(&coalesced) - expected_coalesced).abs() < 1e-12);
+        assert!(m.t_o_coalesced(&coalesced) < m.t_o_coalesced(&scattered) / 1.5);
     }
 
     #[test]

@@ -59,6 +59,30 @@ impl FromJson for PageId {
     }
 }
 
+/// Accounting for one batch read: how many physically consecutive page
+/// runs were fetched with a single positioned read each, how many pages
+/// those runs covered, and the payload bytes they transferred. Callers
+/// fold it into their [`crate::IoStats`] so per-query counters can prove
+/// coalescing happened (not just that latency moved).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunRead {
+    /// Multi-page runs served by one positioned read each.
+    pub runs_coalesced: u64,
+    /// Pages covered by those runs.
+    pub pages_in_runs: u64,
+    /// Payload bytes fetched by those runs.
+    pub readahead_bytes: u64,
+}
+
+impl RunRead {
+    /// Folds another batch's accounting into this one.
+    pub fn merge(&mut self, other: RunRead) {
+        self.runs_coalesced += other.runs_coalesced;
+        self.pages_in_runs += other.pages_in_runs;
+        self.readahead_bytes += other.readahead_bytes;
+    }
+}
+
 /// A store of fixed-size pages.
 ///
 /// Implementations must be internally synchronized: `&self` methods may be
@@ -83,22 +107,76 @@ pub trait PageStore: Send + Sync {
     /// for a torn/corrupt frame, or backend I/O errors.
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()>;
 
-    /// Reads `pages.len()` pages into `buf`, which must be exactly
-    /// `pages.len() * page_size` long; page `i` lands at offset
-    /// `i * page_size`. The default delegates to [`PageStore::read_page`]
-    /// per page; caching stores override it to batch their locking (the
-    /// buffer pool serves all hits in a shard under one lock acquisition).
+    /// Whether consecutively numbered pages are physically adjacent in this
+    /// backend and [`PageStore::read_page_run`] fetches such a run with one
+    /// physical read. Batch readers only claim `runs_coalesced` credit over
+    /// backends that return `true`; the default is `false`.
+    fn run_read_supported(&self) -> bool {
+        false
+    }
+
+    /// Reads `count` consecutively numbered pages starting at `first` into
+    /// `buf` (exactly `count * page_size` long). Backends whose page ids map
+    /// to adjacent physical locations override this with a single positioned
+    /// read; the default falls back to one [`PageStore::read_page`] per page.
     ///
     /// # Errors
     /// As [`PageStore::read_page`]; on error the buffer contents are
     /// unspecified.
-    fn read_pages(&self, pages: &[PageId], buf: &mut [u8]) -> Result<()> {
+    fn read_page_run(&self, first: PageId, count: usize, buf: &mut [u8]) -> Result<()> {
         let ps = self.page_size();
-        assert_eq!(buf.len(), pages.len() * ps, "buffer/pages length mismatch");
-        for (i, &page) in pages.iter().enumerate() {
+        assert_eq!(buf.len(), count * ps, "buffer/run length mismatch");
+        for i in 0..count {
+            let page = PageId(first.0 + i as u64);
             self.read_page(page, &mut buf[i * ps..(i + 1) * ps])?;
         }
         Ok(())
+    }
+
+    /// Reads `pages.len()` pages into `buf`, which must be exactly
+    /// `pages.len() * page_size` long; page `i` lands at offset
+    /// `i * page_size`. The default groups maximal runs of consecutively
+    /// numbered pages and fetches each with one [`PageStore::read_page_run`]
+    /// call when the backend supports it; caching stores override the whole
+    /// method to batch their locking (the buffer pool serves all hits in a
+    /// shard under one lock acquisition). Returns the run accounting so
+    /// callers can record how much of the batch was coalesced.
+    ///
+    /// # Errors
+    /// As [`PageStore::read_page`]; on error the buffer contents are
+    /// unspecified.
+    fn read_pages(&self, pages: &[PageId], buf: &mut [u8]) -> Result<RunRead> {
+        let ps = self.page_size();
+        assert_eq!(buf.len(), pages.len() * ps, "buffer/pages length mismatch");
+        let mut run = RunRead::default();
+        if !self.run_read_supported() {
+            for (i, &page) in pages.iter().enumerate() {
+                self.read_page(page, &mut buf[i * ps..(i + 1) * ps])?;
+            }
+            return Ok(run);
+        }
+        let mut i = 0;
+        while i < pages.len() {
+            let mut j = i + 1;
+            while j < pages.len() && pages[j].0 == pages[j - 1].0 + 1 {
+                j += 1;
+            }
+            if j - i > 1 {
+                self.read_page_run(pages[i], j - i, &mut buf[i * ps..j * ps])?;
+                run.runs_coalesced += 1;
+                run.pages_in_runs += (j - i) as u64;
+                run.readahead_bytes += ((j - i) * ps) as u64;
+            } else {
+                self.read_page(pages[i], &mut buf[i * ps..(i + 1) * ps])?;
+            }
+            i = j;
+        }
+        if run.runs_coalesced > 0 {
+            let hot = tilestore_obs::hot();
+            hot.runs_coalesced.add(run.runs_coalesced);
+            hot.readahead_bytes.add(run.readahead_bytes);
+        }
+        Ok(run)
     }
 
     /// Writes one page from `buf` (must be exactly `page_size` long).
@@ -195,6 +273,26 @@ impl PageStore for MemPageStore {
                 allocated: pages.len() as u64,
             })?;
         buf.copy_from_slice(data);
+        Ok(())
+    }
+
+    fn run_read_supported(&self) -> bool {
+        true
+    }
+
+    /// Consecutive ids are adjacent vector slots: one lock acquisition
+    /// serves the whole run.
+    fn read_page_run(&self, first: PageId, count: usize, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(buf.len(), count * self.page_size, "buffer/run mismatch");
+        let pages = lock(&self.pages);
+        for i in 0..count {
+            let id = first.0 + i as u64;
+            let data = pages.get(id as usize).ok_or(StorageError::PageOutOfRange {
+                page: id,
+                allocated: pages.len() as u64,
+            })?;
+            buf[i * self.page_size..(i + 1) * self.page_size].copy_from_slice(data);
+        }
         Ok(())
     }
 
@@ -441,6 +539,39 @@ impl PageStore for FilePageStore {
         Ok(())
     }
 
+    fn run_read_supported(&self) -> bool {
+        true
+    }
+
+    /// Frames of consecutive page ids are adjacent in the file, so the
+    /// whole run arrives with one positioned read; each frame is then
+    /// verified exactly as a single-page read would.
+    fn read_page_run(&self, first: PageId, count: usize, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(buf.len(), count * self.page_size, "buffer/run mismatch");
+        if count == 0 {
+            return Ok(());
+        }
+        self.check_in_range(PageId(first.0 + count as u64 - 1))?;
+        let fs = self.frame_size() as usize;
+        // The thread-local staging buffer holds exactly one frame; a run
+        // needs its own scratch.
+        let mut frames = vec![0u8; count * fs];
+        self.read_at(&mut frames, first.0 * self.frame_size())?;
+        for i in 0..count {
+            let page = PageId(first.0 + i as u64);
+            Self::decode_frame(
+                &frames[i * fs..(i + 1) * fs],
+                page,
+                &mut buf[i * self.page_size..(i + 1) * self.page_size],
+            )?;
+        }
+        tilestore_obs::hot().pages_read.add(count as u64);
+        tilestore_obs::tracer().event("page_run_read", || {
+            format!("first={} count={count}", first.0)
+        });
+        Ok(())
+    }
+
     fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         assert_eq!(buf.len(), self.page_size, "buffer must be one page");
         self.check_in_range(page)?;
@@ -575,6 +706,82 @@ mod tests {
             store.read_page(p, &mut buf).unwrap();
             assert_eq!(buf[0], (i as u8).wrapping_add(19));
         }
+    }
+
+    /// A batch with consecutive runs, a lone page, and a reversed pair:
+    /// results must match per-page reads, and only the true runs coalesce.
+    fn exercise_runs(store: &dyn PageStore) {
+        let ps = store.page_size();
+        let pages = store.allocate(8).unwrap();
+        for (i, &p) in pages.iter().enumerate() {
+            store.write_page(p, &vec![i as u8 + 1; ps]).unwrap();
+        }
+        // [0,1,2] run, [5] single, [4,3] not a run (descending).
+        let batch = [
+            PageId(0),
+            PageId(1),
+            PageId(2),
+            PageId(5),
+            PageId(4),
+            PageId(3),
+        ];
+        let mut buf = vec![0u8; batch.len() * ps];
+        let run = store.read_pages(&batch, &mut buf).unwrap();
+        for (i, &p) in batch.iter().enumerate() {
+            assert!(
+                buf[i * ps..(i + 1) * ps]
+                    .iter()
+                    .all(|&b| b == p.0 as u8 + 1),
+                "page {} landed wrong",
+                p.0
+            );
+        }
+        if store.run_read_supported() {
+            assert_eq!(run.runs_coalesced, 1, "exactly the [0,1,2] run");
+            assert_eq!(run.pages_in_runs, 3);
+            assert_eq!(run.readahead_bytes, 3 * ps as u64);
+        } else {
+            assert_eq!(run, RunRead::default());
+        }
+        // A run straight through read_page_run, plus out-of-range checks.
+        let mut buf = vec![0u8; 2 * ps];
+        store.read_page_run(PageId(6), 2, &mut buf).unwrap();
+        assert!(buf[..ps].iter().all(|&b| b == 7));
+        assert!(buf[ps..].iter().all(|&b| b == 8));
+        assert!(store.read_page_run(PageId(7), 2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn mem_store_coalesces_runs() {
+        let store = MemPageStore::new(512).unwrap();
+        exercise_runs(&store);
+    }
+
+    #[test]
+    fn file_store_coalesces_runs() {
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let store = FilePageStore::create(dir.path().join("pages.db"), 512).unwrap();
+        exercise_runs(&store);
+    }
+
+    #[test]
+    fn run_read_verifies_every_frame() {
+        // A frame torn in the middle of a run must fail the whole batch,
+        // exactly as a single-page read of that page would.
+        let dir = tilestore_testkit::tempdir().unwrap();
+        let store = FilePageStore::create(dir.path().join("pages.db"), 512).unwrap();
+        let pages = store.allocate(3).unwrap();
+        for &p in &pages {
+            store.write_page(p, &vec![5u8; 512]).unwrap();
+        }
+        store
+            .partial_write_page(pages[1], &vec![6u8; 512], (FRAME_HEADER + 512) / 2)
+            .unwrap();
+        let mut buf = vec![0u8; 3 * 512];
+        assert!(matches!(
+            store.read_page_run(PageId(0), 3, &mut buf),
+            Err(StorageError::ChecksumMismatch { page: 1 })
+        ));
     }
 
     #[test]

@@ -21,6 +21,9 @@ struct Counters {
     bytes_written: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    runs_coalesced: AtomicU64,
+    pages_read_run: AtomicU64,
+    readahead_bytes: AtomicU64,
 }
 
 /// An immutable snapshot of [`IoStats`].
@@ -43,6 +46,14 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     /// Buffer-pool misses.
     pub cache_misses: u64,
+    /// Physically consecutive page runs fetched with a single positioned
+    /// read instead of one read per page.
+    pub runs_coalesced: u64,
+    /// Pages that arrived via coalesced runs. Pages read one at a time are
+    /// `pages_read - pages_read_run`.
+    pub pages_read_run: u64,
+    /// Payload bytes fetched by coalesced runs.
+    pub readahead_bytes: u64,
 }
 
 impl IoSnapshot {
@@ -58,6 +69,9 @@ impl IoSnapshot {
             bytes_written: self.bytes_written - earlier.bytes_written,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            runs_coalesced: self.runs_coalesced - earlier.runs_coalesced,
+            pages_read_run: self.pages_read_run - earlier.pages_read_run,
+            readahead_bytes: self.readahead_bytes - earlier.readahead_bytes,
         }
     }
 }
@@ -73,6 +87,9 @@ impl ToJson for IoSnapshot {
             ("bytes_written", self.bytes_written.to_json()),
             ("cache_hits", self.cache_hits.to_json()),
             ("cache_misses", self.cache_misses.to_json()),
+            ("runs_coalesced", self.runs_coalesced.to_json()),
+            ("pages_read_run", self.pages_read_run.to_json()),
+            ("readahead_bytes", self.readahead_bytes.to_json()),
         ])
     }
 }
@@ -88,6 +105,20 @@ impl FromJson for IoSnapshot {
             bytes_written: u64::from_json(v.field("bytes_written")?)?,
             cache_hits: u64::from_json(v.field("cache_hits")?)?,
             cache_misses: u64::from_json(v.field("cache_misses")?)?,
+            // Run counters postdate persisted stats from older builds;
+            // absent fields read as zero.
+            runs_coalesced: match v.get("runs_coalesced") {
+                Some(j) => u64::from_json(j)?,
+                None => 0,
+            },
+            pages_read_run: match v.get("pages_read_run") {
+                Some(j) => u64::from_json(j)?,
+                None => 0,
+            },
+            readahead_bytes: match v.get("readahead_bytes") {
+                Some(j) => u64::from_json(j)?,
+                None => 0,
+            },
         })
     }
 }
@@ -141,6 +172,24 @@ impl IoStats {
         self.inner.cache_misses.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records the run accounting of one batch read: how many coalesced
+    /// runs it issued, how many pages they covered, and the payload bytes
+    /// they fetched.
+    pub fn add_run_read(&self, run: crate::page::RunRead) {
+        if run.runs_coalesced == 0 {
+            return;
+        }
+        self.inner
+            .runs_coalesced
+            .fetch_add(run.runs_coalesced, Ordering::Relaxed);
+        self.inner
+            .pages_read_run
+            .fetch_add(run.pages_in_runs, Ordering::Relaxed);
+        self.inner
+            .readahead_bytes
+            .fetch_add(run.readahead_bytes, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     #[must_use]
     pub fn snapshot(&self) -> IoSnapshot {
@@ -153,6 +202,9 @@ impl IoStats {
             bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            runs_coalesced: self.inner.runs_coalesced.load(Ordering::Relaxed),
+            pages_read_run: self.inner.pages_read_run.load(Ordering::Relaxed),
+            readahead_bytes: self.inner.readahead_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -166,6 +218,9 @@ impl IoStats {
         self.inner.bytes_written.store(0, Ordering::Relaxed);
         self.inner.cache_hits.store(0, Ordering::Relaxed);
         self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.runs_coalesced.store(0, Ordering::Relaxed);
+        self.inner.pages_read_run.store(0, Ordering::Relaxed);
+        self.inner.readahead_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -209,5 +264,40 @@ mod tests {
         assert_eq!(delta.pages_read, 7);
         assert_eq!(delta.blobs_read, 1);
         assert_eq!(delta.bytes_read, 100);
+    }
+
+    #[test]
+    fn run_reads_accumulate_and_round_trip() {
+        let stats = IoStats::new();
+        stats.add_run_read(crate::page::RunRead {
+            runs_coalesced: 2,
+            pages_in_runs: 9,
+            readahead_bytes: 9 * 4096,
+        });
+        stats.add_run_read(crate::page::RunRead::default()); // no-op
+        let s = stats.snapshot();
+        assert_eq!(s.runs_coalesced, 2);
+        assert_eq!(s.pages_read_run, 9);
+        assert_eq!(s.readahead_bytes, 9 * 4096);
+        let back = IoSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshots_without_run_fields_still_parse() {
+        // Stats persisted before the run counters existed lack the fields.
+        let j = Json::parse(
+            r#"{"pages_read": 3, "pages_written": 0, "blobs_read": 1,
+                "blobs_written": 0, "bytes_read": 10, "bytes_written": 0,
+                "cache_hits": 0, "cache_misses": 0}"#,
+        )
+        .unwrap();
+        let s = IoSnapshot::from_json(&j).unwrap();
+        assert_eq!(s.pages_read, 3);
+        assert_eq!(s.runs_coalesced, 0);
+        assert_eq!(s.pages_read_run, 0);
+        assert_eq!(s.readahead_bytes, 0);
     }
 }

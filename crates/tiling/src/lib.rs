@@ -39,7 +39,9 @@ pub use directional::{
 };
 pub use error::{Result, TilingError};
 pub use interest::{AreasOfInterestTiling, IntersectCode, MAX_AREAS};
-pub use parse::{parse_scheme_spec, DEFAULT_SPEC_TILE_KB};
+pub use parse::{
+    parse_retile_spec, parse_scheme_spec, RetileSpec, DEFAULT_SPEC_TILE_KB, RETILE_USAGE,
+};
 pub use spec::{check_cell_fits, TilingSpec, DEFAULT_MAX_TILE_SIZE};
 pub use statistic::{AccessCluster, AccessRecord, StatisticTiling};
 pub use strategy::{Scheme, TilingStrategy};

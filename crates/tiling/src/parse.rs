@@ -77,6 +77,85 @@ fn tile_kb(part: Option<&&str>) -> Result<u64, String> {
     }
 }
 
+/// The one-token retile grammar, shared verbatim by the single-node CLI,
+/// the cluster CLI, the server's `retile` request, and the cluster
+/// coordinator so the surfaces cannot drift.
+pub const RETILE_USAGE: &str =
+    "<scheme> | --from-log[:<dist>:<freq>:<maxKB>] | --defrag[:<budgetKB>]";
+
+/// A parsed retile request: what to do to the object's tiles.
+///
+/// Produced by [`parse_retile_spec`]; scheme strings are validated lazily
+/// (against the object's dimensionality) by [`parse_scheme_spec`] because
+/// the dimensionality is not known at parse time on every surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetileSpec {
+    /// Re-tile to an explicit scheme spec (see [`parse_scheme_spec`]).
+    Scheme(String),
+    /// Re-tile from the recorded access log via statistic tiling.
+    FromLog {
+        /// Interest-region merge distance threshold.
+        distance: u64,
+        /// Minimum access frequency for a region to count.
+        frequency: u64,
+        /// Tile-size cap in bytes.
+        max_tile_bytes: u64,
+    },
+    /// Rewrite the object's tiles curve-ordered onto contiguous pages
+    /// without changing the tiling. `budget_bytes` bounds each compaction
+    /// step; `None` defragments in one atomic commit.
+    Defrag {
+        /// Per-step byte budget for paced background compaction.
+        budget_bytes: Option<u64>,
+    },
+}
+
+/// Parses the retile argument: a scheme spec, `--from-log[:d:f:maxKB]`, or
+/// `--defrag[:budgetKB]`.
+///
+/// # Errors
+/// A human-readable message naming the malformed component.
+pub fn parse_retile_spec(token: &str) -> Result<RetileSpec, String> {
+    if let Some(rest) = token.strip_prefix("--from-log") {
+        let mut parts = rest.strip_prefix(':').unwrap_or("").split(':');
+        let mut next = |default: u64, what: &str| -> Result<u64, String> {
+            match parts.next() {
+                None | Some("") => Ok(default),
+                Some(v) => v.parse().map_err(|e| format!("bad {what}: {e}")),
+            }
+        };
+        let distance = next(0, "distance threshold")?;
+        let frequency = next(1, "frequency threshold")?;
+        let max_kb = next(DEFAULT_SPEC_TILE_KB, "MaxTileSize")?;
+        if parts.next().is_some() {
+            return Err(format!(
+                "--from-log takes at most 3 parameters ({RETILE_USAGE})"
+            ));
+        }
+        return Ok(RetileSpec::FromLog {
+            distance,
+            frequency,
+            max_tile_bytes: max_kb * 1024,
+        });
+    }
+    if let Some(rest) = token.strip_prefix("--defrag") {
+        let budget_bytes = match rest.strip_prefix(':') {
+            None if rest.is_empty() => None,
+            None => return Err(format!("bad defrag spec {token:?} ({RETILE_USAGE})")),
+            Some(kb) => Some(
+                kb.parse::<u64>()
+                    .map_err(|e| format!("bad defrag budget: {e}"))?
+                    * 1024,
+            ),
+        };
+        return Ok(RetileSpec::Defrag { budget_bytes });
+    }
+    if token.starts_with("--") {
+        return Err(format!("unknown retile flag {token:?} ({RETILE_USAGE})"));
+    }
+    Ok(RetileSpec::Scheme(token.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +191,57 @@ mod tests {
         assert!(parse_scheme_spec("directional", 2).is_err());
         assert!(parse_scheme_spec("directional:nope:64", 2).is_err());
         assert!(parse_scheme_spec("regular:notanumber", 2).is_err());
+    }
+
+    #[test]
+    fn retile_spec_covers_all_three_verbs() {
+        assert_eq!(
+            parse_retile_spec("regular:64"),
+            Ok(RetileSpec::Scheme("regular:64".into()))
+        );
+        assert_eq!(
+            parse_retile_spec("--from-log"),
+            Ok(RetileSpec::FromLog {
+                distance: 0,
+                frequency: 1,
+                max_tile_bytes: DEFAULT_SPEC_TILE_KB * 1024,
+            })
+        );
+        assert_eq!(
+            parse_retile_spec("--from-log:4:2:64"),
+            Ok(RetileSpec::FromLog {
+                distance: 4,
+                frequency: 2,
+                max_tile_bytes: 64 * 1024,
+            })
+        );
+        // Omitted middle parameters keep their defaults.
+        assert_eq!(
+            parse_retile_spec("--from-log::3"),
+            Ok(RetileSpec::FromLog {
+                distance: 0,
+                frequency: 3,
+                max_tile_bytes: DEFAULT_SPEC_TILE_KB * 1024,
+            })
+        );
+        assert_eq!(
+            parse_retile_spec("--defrag"),
+            Ok(RetileSpec::Defrag { budget_bytes: None })
+        );
+        assert_eq!(
+            parse_retile_spec("--defrag:256"),
+            Ok(RetileSpec::Defrag {
+                budget_bytes: Some(256 * 1024)
+            })
+        );
+    }
+
+    #[test]
+    fn retile_spec_rejects_malformed_flags() {
+        assert!(parse_retile_spec("--from-log:a").is_err());
+        assert!(parse_retile_spec("--from-log:1:2:3:4").is_err());
+        assert!(parse_retile_spec("--defrag:xkb").is_err());
+        assert!(parse_retile_spec("--defragx").is_err());
+        assert!(parse_retile_spec("--compact").is_err());
     }
 }

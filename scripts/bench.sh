@@ -23,6 +23,10 @@
 #                    throughput over 1/2/4 local shards behind one
 #                    coordinator endpoint vs a plain single-engine serve,
 #                    with the ratio against the BENCH_PR8 16-client figure
+#   BENCH_PR10.json — physical layout: cold quadrant read over a scattered
+#                    insertion order vs the same read after `defrag`
+#                    (run counters, modelled seek-dominated t_o ratio,
+#                    wall-clock medians)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +40,7 @@ PREDICATE_OUT="${4:-BENCH_PR6.json}"
 OBS_OUT="${5:-BENCH_PR7.json}"
 POOL_OUT="${6:-BENCH_PR8.json}"
 CLUSTER_OUT="${7:-BENCH_PR9.json}"
+LAYOUT_OUT="${8:-BENCH_PR10.json}"
 
 cargo run --release --offline -p tilestore-bench --bin microbench -- "$MICRO_OUT"
 echo "micro-bench report written to $MICRO_OUT"
@@ -57,3 +62,6 @@ echo "buffer-pool/codec bench report written to $POOL_OUT"
 
 cargo run --release --offline -p tilestore-bench --bin cluster_bench -- "$CLUSTER_OUT"
 echo "cluster bench report written to $CLUSTER_OUT"
+
+cargo run --release --offline -p tilestore-bench --bin layout_bench -- "$LAYOUT_OUT"
+echo "layout bench report written to $LAYOUT_OUT"

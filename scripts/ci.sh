@@ -80,6 +80,11 @@ test -s "$SMOKE_DIR/db/slow_queries.log"
 wait "$SERVER_PID"
 SERVER_PID=""
 "$TILESTORE" "$SMOKE_DIR/db" query 'SELECT max_cells(img) FROM img WHERE img < 100' | grep -q pruned
+# --- Defrag smoke: rewrite the tile BLOBs onto contiguous pages (full,
+# then budget-paced), and verify queries still answer and fsck stays clean.
+"$TILESTORE" "$SMOKE_DIR/db" retile img --defrag | grep -q defragmented
+"$TILESTORE" "$SMOKE_DIR/db" retile img --defrag:4 | grep -q defragmented
+"$TILESTORE" "$SMOKE_DIR/db" query 'SELECT sum_cells(img) FROM img' | grep -q 'tiles'
 "$TILESTORE" "$SMOKE_DIR/db" fsck >/dev/null
 echo "server smoke test passed"
 
@@ -94,6 +99,10 @@ CLUSTER="$SMOKE_DIR/cluster"
 # The coordinator answers directly over local shards first.
 "$TILESTORE" "$CLUSTER" query 'SELECT img[14:17,2:5] FROM img' | grep -q 'array over \[14:17,2:5\]'
 "$TILESTORE" "$CLUSTER" explain 'SELECT img FROM img' | grep -q 'shard 1'
+# Defrag shares the retile grammar on a cluster root; the seam query must
+# still stitch afterwards.
+"$TILESTORE" "$CLUSTER" retile img --defrag | grep -q 'defragmented on 2 shard(s)'
+"$TILESTORE" "$CLUSTER" query 'SELECT img[14:17,2:5] FROM img' | grep -q 'array over \[14:17,2:5\]'
 
 # Each shard directory is a plain database; serve the two shards as
 # independent processes, then the coordinator over their addresses.

@@ -51,8 +51,9 @@ pub use tilestore_cluster as cluster;
 pub use tilestore_compress::{Codec, CompressionPolicy};
 pub use tilestore_engine::{
     AccessLog, AccessRegion, AggKind, AggValue, Array, CellType, CellValue, Database,
-    DatabaseBuilder, DeleteStats, EngineError, InsertStats, MddObject, MddType, QueryResult,
-    QueryStats, QueryTimes, RetileStats, Rgb, SharedDatabase, Snapshot, UpdateStats, WriteReceipt,
+    DatabaseBuilder, DefragStep, DeleteStats, EngineError, InsertStats, MddObject, MddType,
+    QueryResult, QueryStats, QueryTimes, RetileStats, Rgb, SharedDatabase, Snapshot, UpdateStats,
+    WriteReceipt,
 };
 pub use tilestore_exec::ThreadPool;
 pub use tilestore_geometry::{AxisRange, DefDomain, Domain, Point};
@@ -61,5 +62,5 @@ pub use tilestore_server::{Client, RemoteValue, ServerConfig, ServerHandle};
 pub use tilestore_storage::{BufferPool, CostModel, FilePageStore, IoStats, MemPageStore};
 pub use tilestore_tiling::{
     AccessRecord, AlignedTiling, AreasOfInterestTiling, AxisPartition, DirectionalTiling, Extent,
-    Scheme, SingleTile, StatisticTiling, TileConfig, TilingSpec, TilingStrategy,
+    RetileSpec, Scheme, SingleTile, StatisticTiling, TileConfig, TilingSpec, TilingStrategy,
 };
